@@ -1,0 +1,75 @@
+//! Microbenchmarks of the discrete-event kernel.
+
+use baldur::sim::{Duration, Model, Scheduler, Simulation, Time};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+struct Ring {
+    hops: u64,
+    left: u64,
+}
+
+impl Model for Ring {
+    type Event = u32;
+    fn handle(&mut self, _now: Time, ev: u32, sched: &mut Scheduler<u32>) {
+        self.hops += 1;
+        if self.left > 0 {
+            self.left -= 1;
+            sched.schedule_in(Duration::from_ns(1), (ev + 1) % 64);
+        }
+    }
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel");
+    let events = 100_000u64;
+    g.throughput(Throughput::Elements(events));
+    g.bench_function("event_chain_100k", |b| {
+        b.iter_batched(
+            || {
+                let mut sim = Simulation::new(Ring {
+                    hops: 0,
+                    left: events,
+                });
+                sim.scheduler_mut().schedule_at(Time::ZERO, 0);
+                sim
+            },
+            |mut sim| {
+                sim.run();
+                assert_eq!(sim.model().hops, events + 1);
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("fan_out_calendar_10k", |b| {
+        b.iter_batched(
+            || {
+                let mut sim = Simulation::new_calendar(Ring { hops: 0, left: 0 });
+                for i in 0..10_000u64 {
+                    sim.scheduler_mut()
+                        .schedule_at(Time::from_ps(i * 37 % 100_000), (i % 64) as u32);
+                }
+                sim
+            },
+            |mut sim| sim.run(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("fan_out_heap_10k", |b| {
+        b.iter_batched(
+            || {
+                let mut sim = Simulation::new(Ring { hops: 0, left: 0 });
+                for i in 0..10_000u64 {
+                    sim.scheduler_mut()
+                        .schedule_at(Time::from_ps(i * 37 % 100_000), (i % 64) as u32);
+                }
+                sim
+            },
+            |mut sim| sim.run(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernel);
+criterion_main!(benches);

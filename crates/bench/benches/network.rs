@@ -1,0 +1,44 @@
+//! Packet-level simulator throughput for all network models.
+
+use baldur::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn run_one(net: NetworkKind) -> LatencyReport {
+    let cfg = RunConfig::new(
+        64,
+        net,
+        Workload::Synthetic {
+            pattern: Pattern::RandomPermutation,
+            load: 0.5,
+            packets_per_node: 50,
+        },
+    );
+    baldur::run(&cfg)
+}
+
+fn bench_network(c: &mut Criterion) {
+    let mut g = c.benchmark_group("network");
+    g.sample_size(10);
+    for (name, net) in NetworkKind::paper_lineup(64) {
+        g.bench_function(format!("{name}_64n_50p"), |b| {
+            b.iter(|| {
+                let r = run_one(net.clone());
+                assert!(r.delivered > 0);
+            })
+        });
+    }
+    g.bench_function("droptool_worst_case_8k", |b| {
+        b.iter(|| {
+            baldur::net::droptool::worst_case(
+                8_192,
+                4,
+                Pattern::RandomPermutation,
+                1,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_network);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Offered versus accepted load (the saturation companion to Figure 6).
+
+use baldur::experiments::saturation;
+use baldur_bench::{header, Args};
+
+fn main() {
+    let args = Args::parse();
+    let cfg = args.eval_config();
+    let loads = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+    let rows = saturation(&cfg, &loads);
+    header(&format!(
+        "Saturation: accepted load vs offered (uniform random, {} nodes)",
+        cfg.nodes
+    ));
+    print!("{:>14}", "network");
+    for l in loads {
+        print!("{l:>7.1}");
+    }
+    println!();
+    for net in ["baldur", "electrical_mb", "dragonfly", "fattree", "ideal"] {
+        print!("{net:>14}");
+        for &l in &loads {
+            let r = rows
+                .iter()
+                .find(|r| r.network == net && r.offered == l)
+                .expect("cell");
+            print!("{:>7.2}", r.accepted);
+        }
+        println!();
+    }
+    println!("(a network saturates where accepted stops tracking offered)");
+    if let Some(path) = args.get("csv") {
+        std::fs::write(path, baldur::csv::saturation(&rows)).expect("write CSV");
+        eprintln!("wrote {path}");
+    }
+    args.maybe_write_json(&rows);
+}

@@ -1,0 +1,26 @@
+//! Table V: gates, latency, and drop rate versus path multiplicity.
+
+use baldur::experiments::table_v;
+use baldur_bench::{header, Args};
+
+fn main() {
+    let args = Args::parse();
+    let cfg = args.eval_config();
+    let rows = table_v(&cfg);
+    header(&format!(
+        "Table V (transpose @ 0.7 load, {} nodes, {} pkts/node)",
+        cfg.nodes, cfg.packets_per_node
+    ));
+    println!("multiplicity | gates | latency (ns) | drop % (paper @1K) | drop % (measured)");
+    for r in &rows {
+        println!(
+            "{:>12} | {:>5} | {:>12.2} | {:>18.2} | {:>17.3}",
+            r.multiplicity, r.gates, r.latency_ns, r.paper_drop_pct, r.measured_drop_pct
+        );
+    }
+    if let Some(path) = args.get("csv") {
+        std::fs::write(path, baldur::csv::table5(&rows)).expect("write CSV");
+        eprintln!("wrote {path}");
+    }
+    args.maybe_write_json(&rows);
+}

@@ -1,0 +1,136 @@
+//! Shared helpers for the figure/table harness binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper. Common flags:
+//!
+//! * `--nodes N` — active server nodes (default: quick-config 256),
+//! * `--packets N` — packets per node for open-loop runs,
+//! * `--rounds N` — ping-pong rounds,
+//! * `--seed N` — master seed,
+//! * `--threads N` — worker threads (default: all cores),
+//! * `--json PATH` — also write the structured results as JSON,
+//! * `--paper` — use the paper's full scale (1,024 nodes × 10,000
+//!   packets; slow).
+
+use std::collections::HashMap;
+
+use baldur::experiments::EvalConfig;
+
+/// Minimal `--key value` argument parser (plus boolean `--flag`s).
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    map: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses the process arguments.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an argument that is not `--key [value]`.
+    pub fn parse() -> Self {
+        let mut map = HashMap::new();
+        let mut flags = Vec::new();
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < argv.len() {
+            let key = argv[i]
+                .strip_prefix("--")
+                .unwrap_or_else(|| panic!("unexpected argument {}", argv[i]))
+                .to_string();
+            if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
+                map.insert(key, argv[i + 1].clone());
+                i += 2;
+            } else {
+                flags.push(key);
+                i += 1;
+            }
+        }
+        Args { map, flags }
+    }
+
+    /// True if `--name` was passed as a flag.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// String value of `--name`.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.map.get(name).map(String::as_str)
+    }
+
+    /// Parsed value of `--name`, or `default`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not parse.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> T
+    where
+        T::Err: std::fmt::Debug,
+    {
+        match self.get(name) {
+            Some(v) => v.parse().unwrap_or_else(|e| panic!("--{name}: {e:?}")),
+            None => default,
+        }
+    }
+
+    /// Builds an [`EvalConfig`] from the common flags.
+    pub fn eval_config(&self) -> EvalConfig {
+        let base = if self.flag("paper") {
+            EvalConfig::paper()
+        } else {
+            EvalConfig::quick()
+        };
+        EvalConfig {
+            nodes: self.get_or("nodes", base.nodes),
+            packets_per_node: self.get_or("packets", base.packets_per_node),
+            pingpong_rounds: self.get_or("rounds", base.pingpong_rounds),
+            seed: self.get_or("seed", base.seed),
+            threads: self.get_or("threads", base.threads),
+        }
+    }
+
+    /// Writes `value` as JSON to the `--json` path, if given.
+    ///
+    /// # Panics
+    ///
+    /// Panics if serialization or the write fails.
+    pub fn maybe_write_json<T: serde::Serialize>(&self, value: &T) {
+        if let Some(path) = self.get("json") {
+            let s = serde_json::to_string_pretty(value).expect("serialize results");
+            std::fs::write(path, s).unwrap_or_else(|e| panic!("write {path}: {e}"));
+            eprintln!("wrote {path}");
+        }
+    }
+}
+
+/// Formats a nanosecond value the way the paper's figures read.
+pub fn fmt_ns(ns: f64) -> String {
+    if !ns.is_finite() {
+        "-".into()
+    } else if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Prints a section header.
+pub fn header(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_ns_scales() {
+        assert_eq!(fmt_ns(250.0), "250.0 ns");
+        assert_eq!(fmt_ns(2_500.0), "2.50 us");
+        assert_eq!(fmt_ns(2_500_000.0), "2.50 ms");
+    }
+}

@@ -1,0 +1,851 @@
+//! One function per table/figure of the paper's evaluation.
+//!
+//! Every harness binary in `baldur-bench`, every example, and the
+//! integration tests call these; the default parameters are sized to run
+//! in seconds-to-minutes — pass larger [`EvalConfig`] values to approach
+//! the paper's full 1,024-node × 10,000-packet setup.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+use crate::net::config::BaldurParams;
+use crate::net::droptool;
+use crate::net::metrics::LatencyReport;
+use crate::net::runner::{run, NetworkKind, RunConfig, Workload};
+use crate::net::traffic::Pattern;
+use crate::net::workloads::{HpcApp, TraceParams};
+use crate::power::networks::NetworkPower;
+use crate::power::scaling::{paper_scales, scaling_sweep, ScalePoint};
+use crate::power::sensitivity::Scenario;
+use crate::sim::stats::geometric_mean;
+use crate::tl::gate_count::{SwitchDesign, TABLE_V_DROP_PCT};
+use crate::tl::reliability::JitterModel;
+
+/// Shared sizing knobs for the simulation-backed experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvalConfig {
+    /// Active server nodes (paper: 1,024).
+    pub nodes: u32,
+    /// Packets injected per node for open-loop runs (paper: 10,000).
+    pub packets_per_node: u32,
+    /// Rounds per pair for ping-pong runs.
+    pub pingpong_rounds: u32,
+    /// Master seed.
+    pub seed: u64,
+    /// Worker threads for sweeps (0 = all cores).
+    pub threads: usize,
+}
+
+impl EvalConfig {
+    /// A configuration that completes the full figure set in minutes.
+    pub fn quick() -> Self {
+        EvalConfig {
+            nodes: 256,
+            packets_per_node: 300,
+            pingpong_rounds: 50,
+            seed: 0xBA1D,
+            threads: 0,
+        }
+    }
+
+    /// A small configuration for tests (seconds).
+    pub fn tiny() -> Self {
+        EvalConfig {
+            nodes: 64,
+            packets_per_node: 60,
+            pingpong_rounds: 10,
+            seed: 0xBA1D,
+            threads: 0,
+        }
+    }
+
+    /// The paper's full scale (expect long runtimes).
+    pub fn paper() -> Self {
+        EvalConfig {
+            nodes: 1_024,
+            packets_per_node: 10_000,
+            pingpong_rounds: 1_000,
+            seed: 0xBA1D,
+            threads: 0,
+        }
+    }
+
+    fn workers(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        }
+    }
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig::quick()
+    }
+}
+
+/// Maps `f` over `items` on a thread pool, preserving order.
+pub fn parallel_map<T, R, F>(workers: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let next = AtomicUsize::new(0);
+    let slots: Vec<std::sync::Mutex<&mut Option<R>>> =
+        out.iter_mut().map(std::sync::Mutex::new).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers.max(1).min(n.max(1)) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(&items[i]);
+                **slots[i].lock().expect("slot lock") = Some(r);
+            });
+        }
+    });
+    drop(slots);
+    out.into_iter().map(|r| r.expect("computed")).collect()
+}
+
+// ---------------------------------------------------------------- Table V
+
+/// One row of Table V.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TableVRow {
+    /// Path multiplicity.
+    pub multiplicity: u32,
+    /// TL gates per switch (paper netlist values).
+    pub gates: u32,
+    /// Switch latency, ns.
+    pub latency_ns: f64,
+    /// Paper's drop rate (%) — transpose, 0.7 load, 1,024 nodes.
+    pub paper_drop_pct: f64,
+    /// Our simulator's drop rate (%) at the configured scale.
+    pub measured_drop_pct: f64,
+}
+
+/// Regenerates Table V: design cost and drop rate versus multiplicity.
+pub fn table_v(cfg: &EvalConfig) -> Vec<TableVRow> {
+    let items: Vec<u32> = (1..=5).collect();
+    parallel_map(cfg.workers(), items, |&m| {
+        let design = SwitchDesign::new(m);
+        let mut params = BaldurParams::paper_for(u64::from(cfg.nodes));
+        params.multiplicity = m;
+        params.switch_latency_ps = (design.latency_ns() * 1e3) as u64;
+        let rc = RunConfig {
+            seed: cfg.seed,
+            ..RunConfig::new(
+                cfg.nodes,
+                NetworkKind::Baldur(params),
+                Workload::Synthetic {
+                    pattern: Pattern::Transpose,
+                    load: 0.7,
+                    packets_per_node: cfg.packets_per_node,
+                },
+            )
+        };
+        let r = run(&rc);
+        TableVRow {
+            multiplicity: m,
+            gates: design.gates(),
+            latency_ns: design.latency_ns(),
+            paper_drop_pct: TABLE_V_DROP_PCT[(m - 1) as usize],
+            measured_drop_pct: r.drop_rate * 100.0,
+        }
+    })
+}
+
+// ------------------------------------------------------------- Figures 6/7
+
+/// One measured cell of Figure 6.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig6Row {
+    /// Traffic pattern name.
+    pub pattern: String,
+    /// Network name.
+    pub network: String,
+    /// Offered input load.
+    pub load: f64,
+    /// The measured report.
+    pub report: LatencyReport,
+}
+
+/// The Figure 6 load sweep: average + tail latency for four patterns on
+/// all five networks.
+pub fn figure6(cfg: &EvalConfig, loads: &[f64]) -> Vec<Fig6Row> {
+    let patterns = [
+        Pattern::RandomPermutation,
+        Pattern::Transpose,
+        Pattern::Bisection,
+        Pattern::GroupPermutation,
+    ];
+    let mut items = Vec::new();
+    for &pattern in &patterns {
+        for (name, net) in NetworkKind::paper_lineup(cfg.nodes) {
+            for &load in loads {
+                items.push((pattern, name.clone(), net.clone(), load));
+            }
+        }
+    }
+    parallel_map(cfg.workers(), items, |(pattern, name, net, load)| {
+        let rc = RunConfig {
+            seed: cfg.seed,
+            ..RunConfig::new(
+                cfg.nodes,
+                net.clone(),
+                Workload::Synthetic {
+                    pattern: *pattern,
+                    load: *load,
+                    packets_per_node: cfg.packets_per_node,
+                },
+            )
+        };
+        Fig6Row {
+            pattern: pattern.name().to_string(),
+            network: name.clone(),
+            load: *load,
+            report: run(&rc),
+        }
+    })
+}
+
+/// One measured cell of Figure 7.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig7Row {
+    /// Workload name (hotspot / ping_pong1 / ping_pong2 / AMG / CR / FB / MG).
+    pub workload: String,
+    /// Network name.
+    pub network: String,
+    /// The measured report.
+    pub report: LatencyReport,
+}
+
+/// The Figure 7 workload set: hotspot, both ping-pongs, and the four HPC
+/// traces, on all five networks.
+pub fn figure7(cfg: &EvalConfig) -> Vec<Fig7Row> {
+    let mut workloads: Vec<(String, Workload)> = vec![
+        (
+            "hotspot".into(),
+            Workload::Synthetic {
+                pattern: Pattern::Hotspot,
+                load: 0.7,
+                packets_per_node: cfg.packets_per_node.min(200),
+            },
+        ),
+        (
+            "ping_pong1".into(),
+            Workload::PingPong1 {
+                rounds: cfg.pingpong_rounds,
+            },
+        ),
+        (
+            "ping_pong2".into(),
+            Workload::PingPong2 {
+                rounds: cfg.pingpong_rounds,
+            },
+        ),
+    ];
+    for app in HpcApp::ALL {
+        workloads.push((
+            app.name().into(),
+            Workload::Hpc {
+                app,
+                params: TraceParams::default_scale(),
+            },
+        ));
+    }
+    let mut items = Vec::new();
+    for (wname, wl) in &workloads {
+        for (nname, net) in NetworkKind::paper_lineup(cfg.nodes) {
+            items.push((wname.clone(), *wl, nname, net));
+        }
+    }
+    parallel_map(cfg.workers(), items, |(wname, wl, nname, net)| {
+        let rc = RunConfig {
+            seed: cfg.seed,
+            ..RunConfig::new(cfg.nodes, net.clone(), *wl)
+        };
+        Fig7Row {
+            workload: wname.clone(),
+            network: nname.clone(),
+            report: run(&rc),
+        }
+    })
+}
+
+/// Normalizes Figure 7 rows to Baldur per workload and returns
+/// `(workload, network, normalized_avg, normalized_p99)` tuples.
+pub fn normalize_fig7(rows: &[Fig7Row]) -> Vec<(String, String, f64, f64)> {
+    let mut out = Vec::new();
+    for row in rows {
+        let baldur = rows
+            .iter()
+            .find(|r| r.workload == row.workload && r.network == "baldur")
+            .expect("baldur row present");
+        out.push((
+            row.workload.clone(),
+            row.network.clone(),
+            row.report.avg_ns / baldur.report.avg_ns,
+            row.report.p99_ns / baldur.report.p99_ns,
+        ));
+    }
+    out
+}
+
+/// Geometric-mean normalized latency per network across workloads
+/// (`(network, geomean_avg, geomean_p99)`), as quoted in Sec. V-B.
+pub fn fig7_geomeans(rows: &[Fig7Row]) -> Vec<(String, f64, f64)> {
+    let normalized = normalize_fig7(rows);
+    let mut networks: Vec<String> = normalized.iter().map(|r| r.1.clone()).collect();
+    networks.sort();
+    networks.dedup();
+    networks
+        .into_iter()
+        .map(|net| {
+            let avg: Vec<f64> = normalized
+                .iter()
+                .filter(|r| r.1 == net)
+                .map(|r| r.2)
+                .collect();
+            let p99: Vec<f64> = normalized
+                .iter()
+                .filter(|r| r.1 == net)
+                .map(|r| r.3)
+                .collect();
+            (net, geometric_mean(&avg), geometric_mean(&p99))
+        })
+        .collect()
+}
+
+// ----------------------------------------------------------- Figures 8-10
+
+/// The Figure 8 power sweep at the paper's four scales.
+pub fn figure8() -> Vec<ScalePoint> {
+    scaling_sweep(&paper_scales())
+}
+
+/// One Figure 9 scenario row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig9Row {
+    /// Scenario name.
+    pub scenario: String,
+    /// `(network, per-node W, Baldur improvement factor)`.
+    pub entries: Vec<(String, f64, f64)>,
+}
+
+/// The Figure 9 sensitivity analysis at the 1M-1.4M scale.
+pub fn figure9() -> Vec<Fig9Row> {
+    let scale = 1_048_576;
+    [
+        ("baseline", Scenario::BASELINE),
+        ("pessimistic", Scenario::PESSIMISTIC),
+        ("optimistic", Scenario::OPTIMISTIC),
+    ]
+    .into_iter()
+    .map(|(name, s)| Fig9Row {
+        scenario: name.into(),
+        entries: NetworkPower::ALL
+            .iter()
+            .map(|&n| {
+                (
+                    n.name().to_string(),
+                    s.per_node_w(n, scale),
+                    s.improvement(n, scale),
+                )
+            })
+            .collect(),
+    })
+    .collect()
+}
+
+/// One Figure 10 cost row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig10Row {
+    /// Scale label.
+    pub label: String,
+    /// Nodes instantiated.
+    pub nodes: u64,
+    /// Cost breakdown, USD/node.
+    pub breakdown: crate::cost::CostBreakdown,
+}
+
+/// The Figure 10 cost sweep.
+pub fn figure10() -> Vec<Fig10Row> {
+    paper_scales()
+        .into_iter()
+        .map(|(requested, label)| {
+            let nodes = requested.next_power_of_two();
+            Fig10Row {
+                label,
+                nodes,
+                breakdown: crate::cost::cost_per_node(requested),
+            }
+        })
+        .collect()
+}
+
+// ------------------------------------------------- Sec. IV-E / IV-F / VII
+
+/// One drop-tool row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DropRow {
+    /// Network scale.
+    pub nodes: u32,
+    /// Pattern name.
+    pub pattern: String,
+    /// Multiplicity.
+    pub multiplicity: u32,
+    /// Worst-case simultaneous-burst drop rate.
+    pub drop_rate: f64,
+}
+
+/// The Sec. IV-E "in-house tool" study: worst-case drop rate versus
+/// multiplicity and scale, plus the required multiplicity per scale.
+pub fn droptool_study(scales: &[u32], seed: u64) -> (Vec<DropRow>, Vec<(u32, u32)>) {
+    let patterns = [Pattern::RandomPermutation, Pattern::Transpose, Pattern::Bisection];
+    let mut rows = Vec::new();
+    for &nodes in scales {
+        for &pattern in &patterns {
+            for m in 1..=5 {
+                let r = droptool::worst_case(nodes, m, pattern, seed);
+                rows.push(DropRow {
+                    nodes,
+                    pattern: pattern.name().into(),
+                    multiplicity: m,
+                    drop_rate: r.drop_rate,
+                });
+            }
+        }
+    }
+    let required = scales
+        .iter()
+        .map(|&n| {
+            (
+                n,
+                droptool::required_multiplicity(n, &patterns, 0.01, 3, seed),
+            )
+        })
+        .collect();
+    (rows, required)
+}
+
+/// The Sec. IV-F reliability summary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReliabilityReport {
+    /// Jitter sigma, ps.
+    pub sigma_ps: f64,
+    /// Margin, ps (0.42T).
+    pub margin_ps: f64,
+    /// Margin in sigmas.
+    pub margin_sigmas: f64,
+    /// Analytic per-transition error probability.
+    pub analytic_error_probability: f64,
+    /// Monte Carlo check points: `(threshold_sigmas, mc, analytic)`.
+    pub monte_carlo: Vec<(f64, f64, f64)>,
+}
+
+/// Regenerates the Sec. IV-F reliability analysis.
+pub fn reliability(samples: u64, seed: u64) -> ReliabilityReport {
+    let m = JitterModel::paper();
+    let monte_carlo = [1.0, 2.0, 3.0, 3.5]
+        .into_iter()
+        .map(|thr| {
+            (
+                thr,
+                m.monte_carlo_exceedance(thr, samples, seed),
+                crate::tl::reliability::normal_tail(thr),
+            )
+        })
+        .collect();
+    ReliabilityReport {
+        sigma_ps: m.sigma_ps(),
+        margin_ps: m.margin_ps(),
+        margin_sigmas: m.margin_sigmas(),
+        analytic_error_probability: m.error_probability(),
+        monte_carlo,
+    }
+}
+
+/// The Sec. VII AWGR comparison at 32 nodes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AwgrComparison {
+    /// Baldur W/node (TL chips only).
+    pub baldur_w: f64,
+    /// AWGR W/node (receivers, SerDes, buffers, wavelength converters).
+    pub awgr_w: f64,
+    /// Baldur per-hop latency, ns.
+    pub baldur_latency_ns: f64,
+    /// AWGR header-processing latency, ns.
+    pub awgr_latency_ns: f64,
+}
+
+/// Regenerates the AWGR comparison.
+pub fn awgr_comparison() -> AwgrComparison {
+    let model = crate::power::awgr::AwgrModel::paper();
+    AwgrComparison {
+        baldur_w: crate::power::awgr::baldur_32node_tl_only_w(),
+        awgr_w: model.per_node_w(),
+        baldur_latency_ns: crate::power::awgr::baldur_32node_latency_ns(),
+        awgr_latency_ns: model.header_latency_ns(),
+    }
+}
+
+/// The Sec. IV-E retransmission-buffer sizing study: the high-water
+/// buffer occupancy across the synthetic patterns at 0.7 load.
+pub fn buffer_sizing(cfg: &EvalConfig) -> Vec<(String, u64)> {
+    let patterns = [
+        Pattern::RandomPermutation,
+        Pattern::Transpose,
+        Pattern::Bisection,
+        Pattern::GroupPermutation,
+        Pattern::Hotspot,
+    ];
+    let items: Vec<Pattern> = patterns.to_vec();
+    parallel_map(cfg.workers(), items, |&pattern| {
+        let rc = RunConfig {
+            seed: cfg.seed,
+            ..RunConfig::new(
+                cfg.nodes,
+                NetworkKind::Baldur(BaldurParams::paper_for(u64::from(cfg.nodes))),
+                Workload::Synthetic {
+                    pattern,
+                    load: 0.7,
+                    packets_per_node: cfg.packets_per_node,
+                },
+            )
+        };
+        let r = run(&rc);
+        (pattern.name().to_string(), r.max_retx_buffer_bytes)
+    })
+}
+
+// ------------------------------------------------- Topology isomorphism
+
+/// One row of the staged-topology comparison.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TopologyRow {
+    /// Topology name.
+    pub topology: String,
+    /// Pattern name.
+    pub pattern: String,
+    /// The measured report.
+    pub report: LatencyReport,
+}
+
+/// Compares Baldur running on its randomized multi-butterfly against the
+/// structured Omega (and the dilated butterfly), testing the paper's
+/// claim that multi-stage topologies behave similarly — and showing where
+/// randomization matters (structured adversarial permutations).
+pub fn topology_comparison(cfg: &EvalConfig) -> Vec<TopologyRow> {
+    use crate::net::config::StagedTopology;
+    use crate::topo::multibutterfly::Wiring;
+    let variants: [(&str, StagedTopology, Wiring); 3] = [
+        ("multibutterfly", StagedTopology::MultiButterfly, Wiring::Randomized),
+        ("dilated_butterfly", StagedTopology::MultiButterfly, Wiring::Dilated),
+        ("omega", StagedTopology::Omega, Wiring::Randomized),
+    ];
+    let patterns = [Pattern::UniformRandom, Pattern::Transpose];
+    let mut items = Vec::new();
+    for &(name, topo, wiring) in &variants {
+        for &pattern in &patterns {
+            items.push((name.to_string(), topo, wiring, pattern));
+        }
+    }
+    parallel_map(cfg.workers(), items, |(name, topo, wiring, pattern)| {
+        let params = BaldurParams {
+            topology: *topo,
+            wiring: *wiring,
+            ..BaldurParams::paper_for(u64::from(cfg.nodes))
+        };
+        let rc = RunConfig {
+            seed: cfg.seed,
+            ..RunConfig::new(
+                cfg.nodes,
+                NetworkKind::Baldur(params),
+                Workload::Synthetic {
+                    pattern: *pattern,
+                    load: 0.6,
+                    packets_per_node: cfg.packets_per_node,
+                },
+            )
+        };
+        TopologyRow {
+            topology: name.clone(),
+            pattern: pattern.name().to_string(),
+            report: run(&rc),
+        }
+    })
+}
+
+// ----------------------------------------------------------- Saturation
+
+/// One cell of the offered-vs-accepted saturation analysis.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SaturationRow {
+    /// Network name.
+    pub network: String,
+    /// Offered input load.
+    pub offered: f64,
+    /// Accepted load (delivered bandwidth / link rate).
+    pub accepted: f64,
+    /// Average latency at this point, ns.
+    pub avg_ns: f64,
+}
+
+/// Sweeps offered load under uniform-random traffic and reports the
+/// accepted throughput of every network — the classical saturation curve
+/// backing Figure 6's "saturates at higher input loads" observation.
+pub fn saturation(cfg: &EvalConfig, loads: &[f64]) -> Vec<SaturationRow> {
+    let mut items = Vec::new();
+    for (name, net) in NetworkKind::paper_lineup(cfg.nodes) {
+        for &load in loads {
+            items.push((name.clone(), net.clone(), load));
+        }
+    }
+    let link = crate::net::config::LinkParams::paper();
+    parallel_map(cfg.workers(), items, |(name, net, load)| {
+        let rc = RunConfig {
+            seed: cfg.seed,
+            ..RunConfig::new(
+                cfg.nodes,
+                net.clone(),
+                Workload::Synthetic {
+                    pattern: Pattern::UniformRandom,
+                    load: *load,
+                    packets_per_node: cfg.packets_per_node,
+                },
+            )
+        };
+        let r = run(&rc);
+        SaturationRow {
+            network: name.clone(),
+            offered: *load,
+            accepted: r.accepted_load(cfg.nodes, link.packet_time().as_ps()),
+            avg_ns: r.avg_ns,
+        }
+    })
+}
+
+// ------------------------------------------------------------ Ablations
+
+/// The wiring ablation: randomized (expansion) versus dilated-butterfly
+/// (structured) inter-stage connections, under an adversarial pattern.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WiringAblation {
+    /// Pattern used.
+    pub pattern: String,
+    /// Worst-case burst drop rate, randomized wiring.
+    pub randomized_burst_drop: f64,
+    /// Worst-case burst drop rate, dilated wiring.
+    pub dilated_burst_drop: f64,
+    /// Steady-state sim report, randomized wiring.
+    pub randomized: LatencyReport,
+    /// Steady-state sim report, dilated wiring.
+    pub dilated: LatencyReport,
+}
+
+/// Runs the randomization ablation (paper Sec. IV-E: expansion makes the
+/// network immune to worst-case permutations; without it, structured
+/// permutations concentrate on a few internal paths).
+pub fn wiring_ablation(cfg: &EvalConfig) -> WiringAblation {
+    use crate::topo::multibutterfly::Wiring;
+    let pattern = Pattern::Transpose;
+    let nodes = cfg.nodes.next_power_of_two();
+    let burst = |wiring| {
+        droptool::worst_case_with_wiring(nodes, 4, pattern, cfg.seed, wiring).drop_rate
+    };
+    let sim = |wiring| {
+        let params = BaldurParams {
+            wiring,
+            ..BaldurParams::paper_for(u64::from(cfg.nodes))
+        };
+        let rc = RunConfig {
+            seed: cfg.seed,
+            ..RunConfig::new(
+                cfg.nodes,
+                NetworkKind::Baldur(params),
+                Workload::Synthetic {
+                    pattern,
+                    load: 0.7,
+                    packets_per_node: cfg.packets_per_node,
+                },
+            )
+        };
+        run(&rc)
+    };
+    WiringAblation {
+        pattern: pattern.name().into(),
+        randomized_burst_drop: burst(Wiring::Randomized),
+        dilated_burst_drop: burst(Wiring::Dilated),
+        randomized: sim(Wiring::Randomized),
+        dilated: sim(Wiring::Dilated),
+    }
+}
+
+/// The backoff ablation: binary exponential backoff on versus off under a
+/// congested pattern.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BackoffAblation {
+    /// With BEB (the paper's design).
+    pub with_backoff: LatencyReport,
+    /// Without BEB.
+    pub without_backoff: LatencyReport,
+}
+
+/// Runs the binary-exponential-backoff ablation: a congested-but-
+/// completable configuration (multiplicity 2, transpose at 0.9 load)
+/// where retransmission pressure is real and BEB's throttling shows up
+/// as fewer wasted traversals.
+pub fn backoff_ablation(cfg: &EvalConfig) -> BackoffAblation {
+    let sim = |backoff| {
+        let params = BaldurParams {
+            backoff,
+            multiplicity: 2,
+            ..BaldurParams::paper_for(u64::from(cfg.nodes))
+        };
+        let rc = RunConfig {
+            seed: cfg.seed,
+            ..RunConfig::new(
+                cfg.nodes,
+                NetworkKind::Baldur(params),
+                Workload::Synthetic {
+                    pattern: Pattern::Transpose,
+                    load: 0.9,
+                    packets_per_node: cfg.packets_per_node,
+                },
+            )
+        };
+        run(&rc)
+    };
+    BackoffAblation {
+        with_backoff: sim(true),
+        without_backoff: sim(false),
+    }
+}
+
+// ------------------------------------------------------------- Figure 5
+
+/// The Figure 5 waveform reproduction.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig5Waveform {
+    /// Full VCD document for a waveform viewer.
+    pub vcd: String,
+    /// ASCII rendering for terminals.
+    pub ascii: String,
+    /// Which output port carried the packet.
+    pub output_port: usize,
+}
+
+/// Runs the gate-level 2x2 switch on one packet (routing bits `[0, 1]`)
+/// and captures the Figure 5 signal set.
+pub fn figure5() -> Fig5Waveform {
+    use crate::phy::length_code::LengthCode;
+    use crate::phy::packet_wave::assemble;
+    use crate::tl::netlist::{CircuitSim, Netlist, RunOutcome};
+    use crate::tl::switch::{build_switch, SwitchParams};
+
+    let t = crate::phy::waveform::BIT_PERIOD_FS;
+    let p = SwitchParams::paper();
+    let code = LengthCode::paper();
+    let mut n = Netlist::new();
+    let sw = build_switch(&mut n, p);
+    let mut sim = CircuitSim::new(n);
+    let probes = [
+        sw.inputs[0],
+        sw.taps[0].envelope,
+        sw.taps[0].route,
+        sw.taps[0].valid,
+        sw.taps[0].mask,
+        sw.grants[0][0],
+        sw.outputs[0],
+        sw.outputs[1],
+    ];
+    for w in probes {
+        sim.probe(w);
+    }
+    let pw = assemble(&code, &[false, true], b"FIG5", 10 * t);
+    sim.drive(sw.inputs[0], &pw.wave);
+    let outcome = sim.run(pw.end + 3_000_000);
+    assert!(
+        matches!(outcome, RunOutcome::Settled { .. }),
+        "switch failed to settle"
+    );
+    let out0 = !sim.probed(sw.outputs[0]).is_dark();
+    Fig5Waveform {
+        vcd: crate::tl::vcd::to_vcd(&sim, "baldur_switch"),
+        ascii: crate::tl::vcd::to_ascii(&sim, 0, pw.end + 200_000, t / 2),
+        output_port: usize::from(!out0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let r = parallel_map(4, (0..100).collect::<Vec<i32>>(), |&x| x * 2);
+        assert_eq!(r, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn figure5_routes_bit0_to_port0() {
+        let f = figure5();
+        assert_eq!(f.output_port, 0);
+        assert!(f.vcd.contains("$var wire 1"));
+        assert!(f.ascii.contains('█'));
+    }
+
+    #[test]
+    fn table_v_shape_holds_at_tiny_scale() {
+        let rows = table_v(&EvalConfig::tiny());
+        assert_eq!(rows.len(), 5);
+        // Drop rate falls monotonically with multiplicity, like the paper.
+        for w in rows.windows(2) {
+            assert!(
+                w[1].measured_drop_pct <= w[0].measured_drop_pct + 1e-9,
+                "{w:?}"
+            );
+        }
+        assert!(rows[0].measured_drop_pct > rows[4].measured_drop_pct);
+        assert_eq!(rows[3].gates, 1_112);
+    }
+
+    #[test]
+    fn figure9_pessimistic_still_wins() {
+        let rows = figure9();
+        let pess = rows.iter().find(|r| r.scenario == "pessimistic").unwrap();
+        for (name, _, improvement) in &pess.entries {
+            if name != "baldur" {
+                assert!(*improvement > 3.0, "{name}: {improvement}");
+            }
+        }
+    }
+
+    #[test]
+    fn awgr_numbers() {
+        let c = awgr_comparison();
+        assert!(c.awgr_w / c.baldur_w > 5.0);
+        assert!(c.awgr_latency_ns / c.baldur_latency_ns > 50.0);
+    }
+
+    #[test]
+    fn reliability_is_1e_minus_9_class() {
+        let r = reliability(100_000, 1);
+        assert!(r.analytic_error_probability < 1e-8);
+        for (_, mc, an) in &r.monte_carlo {
+            if *an > 1e-3 {
+                assert!((mc / an - 1.0).abs() < 0.25, "{mc} vs {an}");
+            }
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Cost and packaging models for Baldur (paper Sec. IV-G and VI-B).
+//!
+//! * [`components`] — unit prices for fibers, fiber array units (FAUs),
+//!   rack-mount fiber enclosures/cassettes (RFECs), optical interposers
+//!   (pessimistically 5x the cost of CMOS for the same area), and
+//!   transceivers, following the cost-model style of Helios/OSA
+//!   (paper refs \[2\], \[63\]),
+//! * [`model`] — the Figure 10 cost-per-node sweep with component
+//!   breakdown, plus the fat-tree and OCS comparison anchors,
+//! * [`packaging`] — interposer/PCB/cabinet counts under the fiber-pitch
+//!   (127 µm) and 85 kW-per-cabinet constraints; reproduces "1 cabinet at
+//!   1K nodes, ~750 at 1M, fiber pitch binding".
+
+pub mod components;
+pub mod model;
+pub mod packaging;
+
+pub use model::{cost_per_node, CostBreakdown};
+pub use packaging::{packaging_for, Packaging};

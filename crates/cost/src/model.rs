@@ -1,0 +1,108 @@
+//! The Figure 10 cost model: USD per server node, by component.
+
+use serde::{Deserialize, Serialize};
+
+use crate::components::{
+    interposer_cost, FAU_COST_PER_FIBER, FIBER_COST, RFEC_COST_PER_FIBER, TRANSCEIVER_COST,
+};
+use crate::packaging::packaging_for;
+
+/// Per-node cost decomposition, USD.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostBreakdown {
+    /// Optical interposers (TL chips + passives).
+    pub interposers: f64,
+    /// Node fibers with connectors.
+    pub fibers: f64,
+    /// Fiber array units (all boundary fibers).
+    pub faus: f64,
+    /// Rack-mount fiber enclosures and cassettes.
+    pub rfecs: f64,
+    /// Node transceivers.
+    pub transceivers: f64,
+}
+
+impl CostBreakdown {
+    /// Total USD per node.
+    pub fn total(&self) -> f64 {
+        self.interposers + self.fibers + self.faus + self.rfecs + self.transceivers
+    }
+
+    /// The dominant component's name (the paper: interposers dominate).
+    pub fn dominant(&self) -> &'static str {
+        let items = [
+            (self.interposers, "interposers"),
+            (self.fibers, "fibers"),
+            (self.faus, "faus"),
+            (self.rfecs, "rfecs"),
+            (self.transceivers, "transceivers"),
+        ];
+        items
+            .iter()
+            .max_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"))
+            .expect("non-empty")
+            .1
+    }
+}
+
+/// Cost per node of a Baldur network with (at least) `nodes` servers.
+pub fn cost_per_node(nodes: u64) -> CostBreakdown {
+    let p = packaging_for(nodes);
+    let n = p.nodes as f64;
+    // Node fibers: one TX + one RX per server (one duplex transceiver).
+    let node_fibers = 2.0;
+    let node_transceivers = 1.0;
+    // Boundary fibers inside the fabric, per node.
+    let boundary_fibers_per_node =
+        f64::from(p.stages + 1) * f64::from(p.multiplicity);
+    CostBreakdown {
+        interposers: p.interposers as f64 * interposer_cost() / n,
+        fibers: node_fibers * FIBER_COST,
+        faus: boundary_fibers_per_node * FAU_COST_PER_FIBER,
+        rfecs: node_fibers * RFEC_COST_PER_FIBER,
+        transceivers: node_transceivers * TRANSCEIVER_COST,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::{FATTREE_2560_COST_PER_NODE, OCS_COST_PER_NODE};
+
+    #[test]
+    fn about_523_usd_per_node_at_1k() {
+        let c = cost_per_node(1_024);
+        assert!(
+            (c.total() / 523.0 - 1.0).abs() < 0.15,
+            "total {}",
+            c.total()
+        );
+    }
+
+    #[test]
+    fn interposers_dominate() {
+        for scale in [1_024u64, 16_384, 1 << 20] {
+            let c = cost_per_node(scale);
+            assert_eq!(c.dominant(), "interposers", "at {scale}: {c:?}");
+            assert!(c.interposers > 0.5 * c.total());
+        }
+    }
+
+    #[test]
+    fn cheaper_than_fattree_and_ocs_anchors() {
+        let c = cost_per_node(2_048).total();
+        assert!(c < FATTREE_2560_COST_PER_NODE / 2.0, "{c}");
+        assert!(c < OCS_COST_PER_NODE / 2.0, "{c}");
+    }
+
+    #[test]
+    fn growth_with_scale_is_bounded() {
+        // The stage count grows log-linearly, so per-node hardware grows;
+        // the paper reports a slight increase — ours stays within ~2.6x
+        // from 1K to 1M (see EXPERIMENTS.md for the discussion).
+        let lo = cost_per_node(1_024).total();
+        let hi = cost_per_node(1 << 20).total();
+        assert!(hi > lo, "more stages cannot be free");
+        assert!(hi / lo < 3.0, "{lo} -> {hi}");
+    }
+}

@@ -1,0 +1,152 @@
+//! Physical packaging of the Baldur network (paper Sec. IV-G).
+//!
+//! The network is a 2-D array of optical interposers, one multi-butterfly
+//! stage per interposer column, on standard PCBs in standard cabinets.
+//! Two constraints size the installation:
+//!
+//! * **fiber pitch** — every column boundary carries `N·m` fibers at
+//!   127 µm pitch across interposer and PCB edges (this binds, as the
+//!   paper observes),
+//! * **power** — at most 85 kW per cabinet.
+
+use serde::{Deserialize, Serialize};
+
+use crate::components::{FIBER_PITCH_MM, INTERPOSER_MM, PCB_MM};
+
+/// PCBs a cabinet can hold (42U-class rack of switch boards).
+pub const PCBS_PER_CABINET: u32 = 30;
+
+/// Packaging requirements for one Baldur installation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Packaging {
+    /// Server nodes (power of two).
+    pub nodes: u64,
+    /// Path multiplicity.
+    pub multiplicity: u32,
+    /// Multi-butterfly stages.
+    pub stages: u32,
+    /// Total optical interposers.
+    pub interposers: u64,
+    /// Total PCBs.
+    pub pcbs: u64,
+    /// Cabinets under the fiber-pitch constraint.
+    pub cabinets_fiber_limited: u64,
+    /// Cabinets under the power-only constraint.
+    pub cabinets_power_limited: u64,
+    /// Fraction of interposer area used by TL gates.
+    pub tl_area_fraction: f64,
+}
+
+impl Packaging {
+    /// The binding constraint's cabinet count.
+    pub fn cabinets(&self) -> u64 {
+        self.cabinets_fiber_limited.max(self.cabinets_power_limited)
+    }
+}
+
+/// Fibers that fit along one interposer's long edge.
+pub fn fibers_per_interposer_edge() -> u64 {
+    (INTERPOSER_MM.0 / FIBER_PITCH_MM) as u64
+}
+
+/// Fibers that fit along one PCB's long edge.
+pub fn fibers_per_pcb_edge() -> u64 {
+    (PCB_MM.0 / FIBER_PITCH_MM) as u64
+}
+
+/// Computes the packaging for a Baldur network of `nodes` servers
+/// (rounded up to a power of two) at the scale's multiplicity.
+pub fn packaging_for(nodes: u64) -> Packaging {
+    let nodes = nodes.next_power_of_two().max(4);
+    let stages = nodes.trailing_zeros();
+    let m = baldur_power::multiplicity_for(nodes);
+    let gates = u64::from(baldur_tl::gate_count::SwitchDesign::new(m).gates());
+
+    // Fibers crossing each column boundary: every switch drives 2m fibers,
+    // N/2 switches per stage => N*m fibers; stages+1 boundaries including
+    // the node-facing first and last columns.
+    let fibers_per_boundary = nodes * u64::from(m);
+    let boundaries = u64::from(stages) + 1;
+    let total_boundary_fibers = fibers_per_boundary * boundaries;
+
+    // Interposers: each contributes one pitch-limited edge per boundary.
+    let per_interposer = fibers_per_interposer_edge();
+    let interposers_per_column = fibers_per_boundary.div_ceil(per_interposer);
+    let interposers = interposers_per_column * u64::from(stages);
+
+    // PCBs: the boundary fibers must also cross PCB edges.
+    let pcbs = total_boundary_fibers.div_ceil(fibers_per_pcb_edge());
+    let cabinets_fiber_limited = pcbs.div_ceil(u64::from(PCBS_PER_CABINET)).max(1);
+
+    // Power-only bound.
+    let per_node_w = baldur_power::NetworkPower::Baldur.per_node(nodes).total_w();
+    let total_w = per_node_w * nodes as f64;
+    let cabinets_power_limited =
+        (total_w / baldur_power::constants::CABINET_POWER_W).ceil() as u64;
+
+    // TL area share of the interposer budget.
+    let switch_area_mm2 =
+        gates as f64 * baldur_tl::TlGate::PAPER.area_um2 * 1e-6;
+    let switches = u64::from(stages) * (nodes / 2);
+    let tl_area = switch_area_mm2 * switches as f64;
+    let interposer_area = INTERPOSER_MM.0 * INTERPOSER_MM.1 * interposers as f64;
+    Packaging {
+        nodes,
+        multiplicity: m,
+        stages,
+        interposers,
+        pcbs,
+        cabinets_fiber_limited,
+        cabinets_power_limited: cabinets_power_limited.max(1),
+        tl_area_fraction: tl_area / interposer_area,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_cabinet_at_1k_nodes() {
+        let p = packaging_for(1_024);
+        assert_eq!(p.cabinets(), 1, "{p:?}");
+    }
+
+    #[test]
+    fn about_750_cabinets_at_1m_nodes() {
+        let p = packaging_for(1 << 20);
+        // Paper: 752 cabinets at the 1M scale, fiber pitch binding.
+        let c = p.cabinets();
+        assert!((700..=820).contains(&c), "{c}");
+        assert!(
+            p.cabinets_fiber_limited > p.cabinets_power_limited,
+            "fiber pitch must be the binding constraint: {p:?}"
+        );
+    }
+
+    #[test]
+    fn power_only_bound_matches_paper_order() {
+        // Paper: if 85 kW/cabinet were the only constraint, ~176 cabinets
+        // would suffice at the 1M scale.
+        let p = packaging_for(1 << 20);
+        assert!(
+            (120..=230).contains(&p.cabinets_power_limited),
+            "{}",
+            p.cabinets_power_limited
+        );
+    }
+
+    #[test]
+    fn tl_gates_use_under_10_percent_of_interposer_area() {
+        // Paper Sec. IV-G: <10% for a 1,024-node network at m=4.
+        let p = packaging_for(1_024);
+        assert!(p.tl_area_fraction < 0.10, "{}", p.tl_area_fraction);
+        assert!(p.tl_area_fraction > 0.0);
+    }
+
+    #[test]
+    fn pitch_arithmetic() {
+        assert_eq!(fibers_per_interposer_edge(), 251);
+        assert_eq!(fibers_per_pcb_edge(), 4_800);
+    }
+}

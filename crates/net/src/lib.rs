@@ -1,0 +1,40 @@
+//! Packet-level network simulation models for the Baldur reproduction.
+//!
+//! This crate is the stand-in for the paper's CODES-based evaluation
+//! (Sec. V): it simulates, at packet granularity,
+//!
+//! * [`baldur_net`] — the bufferless all-optical Baldur network: on-the-fly
+//!   switching, per-output-port occupancy, sequential multiplicity-path
+//!   arbitration, packet drops, ACK/timeout retransmission with binary
+//!   exponential backoff, and retransmission-buffer accounting,
+//! * [`router_net`] — the buffered electrical substrate (input-queued VC
+//!   routers, credit flow control, 90 ns switch latency) used by the
+//!   electrical multi-butterfly, dragonfly (UGAL-style adaptive routing),
+//!   and fat-tree (adaptive up-path) baselines,
+//! * [`ideal_net`] — the infinite-bandwidth, flat-200 ns reference,
+//! * [`traffic`] — the seven synthetic patterns of Sec. V-A,
+//! * [`workloads`] — synthetic DUMPI-style traces for the four Design
+//!   Forward HPC applications (see DESIGN.md for the substitution note),
+//! * [`droptool`] — the paper's "in-house tool": worst-case simultaneous
+//!   injection drop-rate analysis at scales up to millions of nodes,
+//! * [`diagnosis`] — Sec. IV-F fault isolation via deterministic
+//!   test-mode probing,
+//! * [`runner`] — one entry point that builds any of the networks, applies
+//!   any workload, and returns a [`metrics::LatencyReport`].
+
+pub mod baldur_net;
+pub mod config;
+pub mod diagnosis;
+pub mod driver;
+pub mod droptool;
+pub mod ideal_net;
+pub mod metrics;
+pub mod router_net;
+pub mod routing;
+pub mod runner;
+pub mod traffic;
+pub mod workloads;
+
+pub use config::LinkParams;
+pub use metrics::LatencyReport;
+pub use runner::{run, NetworkKind, RunConfig, Workload};

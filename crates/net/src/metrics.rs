@@ -1,0 +1,199 @@
+//! Latency and drop accounting shared by all network models.
+
+use baldur_sim::stats::{Reservoir, Streaming};
+use baldur_sim::{Duration, Time};
+use serde::{Deserialize, Serialize};
+
+/// Collects per-packet observations during a run.
+#[derive(Debug, Clone)]
+pub struct Collector {
+    latency: Streaming,
+    tail: Reservoir,
+    generated: u64,
+    delivered: u64,
+    abandoned: u64,
+    drop_attempts: u64,
+    forward_attempts: u64,
+    injections: u64,
+    retransmissions: u64,
+    max_retx_buffer_bytes: u64,
+    end: Time,
+}
+
+impl Collector {
+    /// An empty collector retaining up to `sample_cap` exact latency
+    /// samples for percentiles.
+    pub fn new(sample_cap: usize) -> Self {
+        Collector {
+            latency: Streaming::new(),
+            tail: Reservoir::with_capacity(sample_cap.max(1)),
+            generated: 0,
+            delivered: 0,
+            abandoned: 0,
+            drop_attempts: 0,
+            forward_attempts: 0,
+            injections: 0,
+            retransmissions: 0,
+            max_retx_buffer_bytes: 0,
+            end: Time::ZERO,
+        }
+    }
+
+    /// A packet was created by the workload.
+    pub fn on_generated(&mut self) {
+        self.generated += 1;
+    }
+
+    /// A packet reached its destination for the first time.
+    pub fn on_delivered(&mut self, latency: Duration, now: Time) {
+        self.delivered += 1;
+        let ns = latency.as_ns_f64();
+        self.latency.push(ns);
+        self.tail.push(ns);
+        self.end = self.end.max(now);
+    }
+
+    /// A packet gave up after the retry limit.
+    pub fn on_abandoned(&mut self) {
+        self.abandoned += 1;
+    }
+
+    /// A packet entered the network (one traversal attempt).
+    pub fn on_injection(&mut self) {
+        self.injections += 1;
+    }
+
+    /// A switch forwarded (or tried to forward) a packet.
+    pub fn on_forward_attempt(&mut self, dropped: bool) {
+        self.forward_attempts += 1;
+        if dropped {
+            self.drop_attempts += 1;
+        }
+    }
+
+    /// A source retransmitted a packet.
+    pub fn on_retransmit(&mut self) {
+        self.retransmissions += 1;
+    }
+
+    /// Tracks the high-water retransmission-buffer occupancy.
+    pub fn on_retx_buffer(&mut self, bytes: u64) {
+        self.max_retx_buffer_bytes = self.max_retx_buffer_bytes.max(bytes);
+    }
+
+    /// Finalizes into a [`LatencyReport`].
+    pub fn report(&self, sim_end: Time) -> LatencyReport {
+        LatencyReport {
+            generated: self.generated,
+            delivered: self.delivered,
+            abandoned: self.abandoned,
+            avg_ns: self.latency.mean(),
+            p99_ns: self.tail.quantile(0.99),
+            max_ns: self.latency.max(),
+            min_ns: self.latency.min(),
+            drop_attempts: self.drop_attempts,
+            forward_attempts: self.forward_attempts,
+            injections: self.injections,
+            drop_rate: if self.injections == 0 {
+                0.0
+            } else {
+                self.drop_attempts as f64 / self.injections as f64
+            },
+            hop_drop_rate: if self.forward_attempts == 0 {
+                0.0
+            } else {
+                self.drop_attempts as f64 / self.forward_attempts as f64
+            },
+            retransmissions: self.retransmissions,
+            max_retx_buffer_bytes: self.max_retx_buffer_bytes,
+            sim_end_ns: sim_end.as_ns_f64(),
+        }
+    }
+}
+
+/// The summary of one simulation run — the row a figure harness prints.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyReport {
+    /// Packets created by the workload.
+    pub generated: u64,
+    /// Packets that reached their destination.
+    pub delivered: u64,
+    /// Packets abandoned after the retry limit (Baldur only).
+    pub abandoned: u64,
+    /// Mean packet latency, ns (generation to first delivery, including
+    /// queueing and retransmissions).
+    pub avg_ns: f64,
+    /// 99th-percentile ("tail") latency, ns.
+    pub p99_ns: f64,
+    /// Worst observed latency, ns.
+    pub max_ns: f64,
+    /// Best observed latency, ns.
+    pub min_ns: f64,
+    /// Forwarding attempts that ended in a drop (Baldur only).
+    pub drop_attempts: u64,
+    /// Total switch forwarding attempts.
+    pub forward_attempts: u64,
+    /// Network traversal attempts (injections, counting retransmissions).
+    pub injections: u64,
+    /// Per-traversal drop probability: `drop_attempts / injections` —
+    /// the paper's Table V "drop rate".
+    pub drop_rate: f64,
+    /// Per-switch-hop drop probability: `drop_attempts / forward_attempts`.
+    pub hop_drop_rate: f64,
+    /// Source retransmissions (Baldur only).
+    pub retransmissions: u64,
+    /// High-water mark of any node's retransmission buffer, bytes.
+    pub max_retx_buffer_bytes: u64,
+    /// Simulated time at the last delivery, ns.
+    pub sim_end_ns: f64,
+}
+
+impl LatencyReport {
+    /// Fraction of generated packets delivered.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.generated == 0 {
+            return 1.0;
+        }
+        self.delivered as f64 / self.generated as f64
+    }
+
+    /// Accepted load: delivered bandwidth per node as a fraction of the
+    /// link rate (the y-axis of an offered-vs-accepted saturation plot).
+    pub fn accepted_load(&self, nodes: u32, packet_time_ps: u64) -> f64 {
+        if self.sim_end_ns <= 0.0 || nodes == 0 {
+            return 0.0;
+        }
+        let delivered_time_ps = self.delivered as f64 * packet_time_ps as f64;
+        delivered_time_ps / (self.sim_end_ns * 1e3 * f64::from(nodes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collector_round_trip() {
+        let mut c = Collector::new(1000);
+        for i in 1..=100u64 {
+            c.on_generated();
+            c.on_delivered(Duration::from_ns(i * 10), Time::from_ns(i * 1000));
+        }
+        c.on_injection();
+        c.on_injection();
+        c.on_forward_attempt(false);
+        c.on_forward_attempt(true);
+        c.on_retransmit();
+        c.on_retx_buffer(4096);
+        c.on_retx_buffer(1024);
+        let r = c.report(Time::from_ns(123_456));
+        assert_eq!(r.generated, 100);
+        assert_eq!(r.delivered, 100);
+        assert!((r.avg_ns - 505.0).abs() < 1e-9);
+        assert!((r.p99_ns - 990.1).abs() < 0.2);
+        assert_eq!(r.drop_attempts, 1);
+        assert!((r.drop_rate - 0.5).abs() < 1e-12);
+        assert_eq!(r.max_retx_buffer_bytes, 4096);
+        assert!((r.delivery_ratio() - 1.0).abs() < 1e-12);
+    }
+}

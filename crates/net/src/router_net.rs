@@ -1,0 +1,650 @@
+//! The buffered electrical network model (paper Table VI baselines).
+//!
+//! Virtual-cut-through, input-queued routers with credit-based flow
+//! control: 24 KB of buffering per port split over 3 VCs, 90 ns
+//! port-to-port switch latency (Mellanox SB7700), and per-output
+//! round-robin arbitration. The same engine runs the electrical
+//! multi-butterfly, dragonfly, and fat-tree — only the [`RoutingAlg`]
+//! differs. Electrical networks are lossless: congestion backs packets up
+//! through credits instead of dropping them.
+
+use std::collections::VecDeque;
+
+use baldur_sim::rng::StreamRng;
+use baldur_sim::{Duration, Model, Scheduler, Simulation, Time};
+use baldur_topo::graph::{Endpoint, NodeId, RouterGraph};
+
+use crate::config::{LinkParams, RouterParams};
+use crate::driver::Driver;
+use crate::metrics::{Collector, LatencyReport};
+use crate::routing::{RouteState, RoutingAlg};
+
+type PktId = u32;
+
+#[derive(Debug, Clone, Copy)]
+struct RPacket {
+    dst: NodeId,
+    generated_at: Time,
+    route: RouteState,
+    /// Output decision at the current router: (port, next vc).
+    decision: (u32, u32),
+}
+
+struct Router {
+    /// `queues[in_port * vcs + vc]` — packets buffered at this input.
+    queues: Vec<VecDeque<PktId>>,
+    /// `credits[out_port * vcs + vc]` — free slots downstream.
+    credits: Vec<u32>,
+    out_busy: Vec<Time>,
+    /// Buffered packets routed to each output (adaptive-routing signal).
+    out_pending: Vec<u32>,
+    arb_scheduled: bool,
+    rr: u32,
+}
+
+struct Nic {
+    queue: VecDeque<PktId>,
+    tx_busy_until: Time,
+    credits: Vec<u32>,
+    try_scheduled: bool,
+}
+
+/// Events of the electrical model.
+#[derive(Debug, Clone, Copy)]
+pub enum Ev {
+    /// Driver wakeup.
+    Wake(u32),
+    /// NIC attempts to inject.
+    NicTry(u32),
+    /// Packet head arrives at a router input.
+    Arrive {
+        /// Packet id.
+        pkt: PktId,
+        /// Router index.
+        router: u32,
+        /// Input port.
+        port: u32,
+        /// Virtual channel.
+        vc: u32,
+    },
+    /// Run the router's allocation loop.
+    Arb(u32),
+    /// A buffer slot freed upstream (tail passed): return one credit.
+    Credit {
+        /// Upstream router (or `u32::MAX` for a NIC).
+        router: u32,
+        /// Port on the upstream router (or node id for a NIC).
+        port: u32,
+        /// VC whose slot freed.
+        vc: u32,
+    },
+    /// Packet tail reaches the destination node.
+    Deliver {
+        /// Packet id.
+        pkt: PktId,
+        /// Destination node.
+        node: u32,
+    },
+}
+
+/// The electrical network simulation model.
+pub struct RouterNet {
+    graph: RouterGraph,
+    alg: RoutingAlg,
+    link: LinkParams,
+    rp: RouterParams,
+    driver: Driver,
+    routers: Vec<Router>,
+    nics: Vec<Nic>,
+    packets: Vec<RPacket>,
+    metrics: Collector,
+    rng: StreamRng,
+    vc_cap: u32,
+}
+
+impl RouterNet {
+    /// Builds the model.
+    pub fn new(
+        graph: RouterGraph,
+        alg: RoutingAlg,
+        link: LinkParams,
+        rp: RouterParams,
+        driver: Driver,
+        seed: u64,
+        sample_cap: usize,
+    ) -> Self {
+        let vc_cap = rp.vc_capacity(link.packet_bytes);
+        let vcs = rp.vcs;
+        let routers = (0..graph.router_count())
+            .map(|r| {
+                let radix = graph.radix(r) as usize;
+                Router {
+                    queues: vec![VecDeque::new(); radix * vcs as usize],
+                    credits: vec![vc_cap; radix * vcs as usize],
+                    out_busy: vec![Time::ZERO; radix],
+                    out_pending: vec![0; radix],
+                    arb_scheduled: false,
+                    rr: 0,
+                }
+            })
+            .collect();
+        let nics = (0..driver.nodes())
+            .map(|_| Nic {
+                queue: VecDeque::new(),
+                tx_busy_until: Time::ZERO,
+                credits: vec![vc_cap; vcs as usize],
+                try_scheduled: false,
+            })
+            .collect();
+        RouterNet {
+            graph,
+            alg,
+            link,
+            rp,
+            driver,
+            routers,
+            nics,
+            packets: Vec::new(),
+            metrics: Collector::new(sample_cap),
+            rng: StreamRng::named(seed, "routernt", 0),
+            vc_cap,
+        }
+    }
+
+    fn qidx(&self, port: u32, vc: u32) -> usize {
+        (port * self.rp.vcs + vc) as usize
+    }
+
+    fn schedule_arb(&mut self, router: u32, at: Time, sched: &mut Scheduler<Ev>) {
+        let r = &mut self.routers[router as usize];
+        if !r.arb_scheduled {
+            r.arb_scheduled = true;
+            sched.schedule_at(at, Ev::Arb(router));
+        }
+    }
+
+    fn schedule_nic(&mut self, node: u32, at: Time, sched: &mut Scheduler<Ev>) {
+        let nic = &mut self.nics[node as usize];
+        if !nic.try_scheduled {
+            nic.try_scheduled = true;
+            sched.schedule_at(at, Ev::NicTry(node));
+        }
+    }
+
+    fn apply_driver_output(
+        &mut self,
+        now: Time,
+        node: u32,
+        out: crate::driver::DriverOutput,
+        sched: &mut Scheduler<Ev>,
+    ) {
+        for cmd in out.sends {
+            for _ in 0..cmd.count {
+                let pkt = self.packets.len() as PktId;
+                self.packets.push(RPacket {
+                    dst: cmd.dst,
+                    generated_at: now,
+                    route: RouteState::default(),
+                    decision: (0, 0),
+                });
+                self.metrics.on_generated();
+                self.nics[node as usize].queue.push_back(pkt);
+            }
+        }
+        if !self.nics[node as usize].queue.is_empty() {
+            self.schedule_nic(node, now, sched);
+        }
+        if let Some(t) = out.wake_at_ps {
+            sched.schedule_at(Time::from_ps(t), Ev::Wake(node));
+        }
+    }
+
+    /// Runs the allocation loop of one router; grants as many
+    /// (input, output) matches as possible at `now`.
+    fn arbitrate(&mut self, now: Time, router: u32, sched: &mut Scheduler<Ev>) {
+        let radix = self.graph.radix(router);
+        let vcs = self.rp.vcs;
+        let nq = (radix * vcs) as usize;
+        let ser = self.link.packet_time();
+        let mut next_wakeup: Option<Time> = None;
+
+        for out_port in 0..radix {
+            let busy = self.routers[router as usize].out_busy[out_port as usize];
+            if busy > now {
+                next_wakeup = Some(next_wakeup.map_or(busy, |t: Time| t.min(busy)));
+                continue;
+            }
+            // Round-robin over input queues for fairness.
+            let start = self.routers[router as usize].rr as usize;
+            let mut granted = false;
+            for off in 0..nq {
+                let qi = (start + off) % nq;
+                let Some(&pkt) = self.routers[router as usize].queues[qi].front() else {
+                    continue;
+                };
+                let (dport, dvc) = self.packets[pkt as usize].decision;
+                if dport != out_port {
+                    continue;
+                }
+                // Downstream space?
+                let peer = self.graph.peer(router, out_port);
+                let has_credit = match peer {
+                    Endpoint::Router { .. } => {
+                        self.routers[router as usize].credits[self.qidx(out_port, dvc)] > 0
+                    }
+                    Endpoint::Node(_) => true, // nodes always sink
+                    Endpoint::Unused => panic!("routing chose an unused port"),
+                };
+                if !has_credit {
+                    continue;
+                }
+                // Grant.
+                let in_vc = (qi as u32) % vcs;
+                let in_port = (qi as u32) / vcs;
+                self.routers[router as usize].queues[qi].pop_front();
+                self.routers[router as usize].out_pending[out_port as usize] -= 1;
+                self.routers[router as usize].out_busy[out_port as usize] = now + ser;
+                self.routers[router as usize].rr = (qi as u32 + 1) % nq as u32;
+
+                // Return the freed input slot upstream once the tail passes.
+                match self.graph.peer(router, in_port) {
+                    Endpoint::Router {
+                        router: ur,
+                        port: up,
+                    } => sched.schedule_at(
+                        now + ser,
+                        Ev::Credit {
+                            router: ur,
+                            port: up,
+                            vc: in_vc,
+                        },
+                    ),
+                    Endpoint::Node(n) => sched.schedule_at(
+                        now + ser,
+                        Ev::Credit {
+                            router: u32::MAX,
+                            port: n.0,
+                            vc: in_vc,
+                        },
+                    ),
+                    Endpoint::Unused => {}
+                }
+
+                // Launch downstream.
+                let hop = Duration::from_ps(self.rp.switch_latency_ps)
+                    + Duration::from_ps(self.graph.delay(router, out_port));
+                match peer {
+                    Endpoint::Router {
+                        router: dr,
+                        port: dp,
+                    } => {
+                        let idx = self.qidx(out_port, dvc);
+                        self.routers[router as usize].credits[idx] -= 1;
+                        sched.schedule_at(
+                            now + hop,
+                            Ev::Arrive {
+                                pkt,
+                                router: dr,
+                                port: dp,
+                                vc: dvc,
+                            },
+                        );
+                    }
+                    Endpoint::Node(n) => {
+                        sched.schedule_at(now + hop + ser, Ev::Deliver { pkt, node: n.0 });
+                    }
+                    Endpoint::Unused => unreachable!(),
+                }
+                granted = true;
+                break;
+            }
+            if granted {
+                // This output is now busy until now+ser; revisit then if
+                // more traffic waits.
+                let t = now + ser;
+                next_wakeup = Some(next_wakeup.map_or(t, |x: Time| x.min(t)));
+            }
+        }
+        if let Some(t) = next_wakeup {
+            self.schedule_arb(router, t, sched);
+        }
+    }
+
+    /// Finalizes the run.
+    pub fn into_report(self, end: Time) -> LatencyReport {
+        self.metrics.report(end)
+    }
+}
+
+impl Model for RouterNet {
+    type Event = Ev;
+
+    fn handle(&mut self, now: Time, ev: Ev, sched: &mut Scheduler<Ev>) {
+        match ev {
+            Ev::Wake(node) => {
+                let out = self.driver.wakeup(node, now.as_ps());
+                self.apply_driver_output(now, node, out, sched);
+            }
+            Ev::NicTry(node) => {
+                self.nics[node as usize].try_scheduled = false;
+                let Some(&pkt) = self.nics[node as usize].queue.front() else {
+                    return;
+                };
+                let busy = self.nics[node as usize].tx_busy_until;
+                if busy > now {
+                    self.schedule_nic(node, busy, sched);
+                    return;
+                }
+                let vc = self.alg.injection_vc(u64::from(pkt));
+                if self.nics[node as usize].credits[vc as usize] == 0 {
+                    // Wait for a credit event to re-trigger.
+                    return;
+                }
+                self.nics[node as usize].queue.pop_front();
+                self.nics[node as usize].credits[vc as usize] -= 1;
+                let ser = self.link.packet_time();
+                self.nics[node as usize].tx_busy_until = now + ser;
+                if !self.nics[node as usize].queue.is_empty() {
+                    self.schedule_nic(node, now + ser, sched);
+                }
+                let (router, port) = self.graph.node_attach[node as usize];
+                // UGAL decision happens at the source router's state.
+                let mut route = RouteState::default();
+                {
+                    let pending: &[u32] = &self.routers[router as usize].out_pending;
+                    self.alg.on_inject(
+                        router,
+                        NodeId(node),
+                        self.packets[pkt as usize].dst,
+                        &mut route,
+                        &pending,
+                        &mut self.rng,
+                    );
+                }
+                self.packets[pkt as usize].route = route;
+                self.metrics.on_injection();
+                let delay = Duration::from_ps(self.graph.delay(router, port));
+                sched.schedule_at(
+                    now + delay,
+                    Ev::Arrive {
+                        pkt,
+                        router,
+                        port,
+                        vc,
+                    },
+                );
+            }
+            Ev::Arrive {
+                pkt,
+                router,
+                port,
+                vc,
+            } => {
+                // Compute the forwarding decision once, on arrival.
+                let dst = self.packets[pkt as usize].dst;
+                let mut route = self.packets[pkt as usize].route;
+                let decision = {
+                    let pending: &[u32] = &self.routers[router as usize].out_pending;
+                    self.alg
+                        .route(&self.graph, router, u64::from(pkt), dst, &mut route, &pending)
+                };
+                self.packets[pkt as usize].route = route;
+                self.packets[pkt as usize].decision = decision;
+                let qi = self.qidx(port, vc);
+                self.routers[router as usize].queues[qi].push_back(pkt);
+                self.routers[router as usize].out_pending[decision.0 as usize] += 1;
+                self.metrics.on_forward_attempt(false);
+                self.schedule_arb(router, now, sched);
+            }
+            Ev::Arb(router) => {
+                self.routers[router as usize].arb_scheduled = false;
+                self.arbitrate(now, router, sched);
+            }
+            Ev::Credit { router, port, vc } => {
+                if router == u32::MAX {
+                    let node = port;
+                    self.nics[node as usize].credits[vc as usize] += 1;
+                    if !self.nics[node as usize].queue.is_empty() {
+                        self.schedule_nic(node, now, sched);
+                    }
+                } else {
+                    let idx = self.qidx(port, vc);
+                    let r = &mut self.routers[router as usize];
+                    r.credits[idx] += 1;
+                    debug_assert!(r.credits[idx] <= self.vc_cap);
+                    self.schedule_arb(router, now, sched);
+                }
+            }
+            Ev::Deliver { pkt, node } => {
+                let latency = now.since(self.packets[pkt as usize].generated_at);
+                self.metrics.on_delivered(latency, now);
+                let out = self.driver.delivered(node, now.as_ps());
+                self.apply_driver_output(now, node, out, sched);
+            }
+        }
+    }
+}
+
+/// Runs an electrical network simulation to completion (or horizon).
+pub fn simulate(
+    graph: RouterGraph,
+    alg: RoutingAlg,
+    link: LinkParams,
+    rp: RouterParams,
+    driver: Driver,
+    seed: u64,
+    horizon_ns: Option<u64>,
+) -> LatencyReport {
+    let total = driver.total_to_send();
+    let nodes = driver.nodes().max(1);
+    let sample_cap = (total.min(2_000_000)) as usize + 16;
+    let mut model = RouterNet::new(graph, alg, link, rp, driver, seed, sample_cap);
+    let initial_driver: Vec<(u32, u64)> = model.driver.initial();
+    let mut sim = Simulation::new(model);
+    for (node, t) in initial_driver {
+        sim.scheduler_mut().schedule_at(Time::from_ps(t), Ev::Wake(node));
+    }
+    let horizon = Time::from_ns(horizon_ns.unwrap_or_else(|| {
+        let per_node = total / u64::from(nodes) + 1;
+        100 * per_node * link.packet_time().as_ps() / 1_000 + 50_000_000
+    }));
+    sim.run_until(horizon, u64::MAX);
+    let end = sim.scheduler().now();
+    sim.into_model().into_report(end)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::Driver;
+    use crate::routing::build_mb_graph;
+    use crate::traffic::Pattern;
+    use baldur_topo::dragonfly::Dragonfly;
+    use baldur_topo::fattree::FatTree;
+    use baldur_topo::multibutterfly::MultiButterfly;
+
+    fn link() -> LinkParams {
+        LinkParams::paper()
+    }
+
+    #[test]
+    fn fattree_delivers_everything_at_low_load() {
+        let ft = FatTree::new(4); // 16 hosts
+        let g = ft.build_graph(10_000, 50_000, 100_000);
+        let d = Driver::open_loop(16, Pattern::RandomPermutation, 0.1, 40, &link(), 2);
+        let r = simulate(
+            g,
+            RoutingAlg::FatTree(ft),
+            link(),
+            RouterParams::paper(),
+            d,
+            2,
+            None,
+        );
+        assert_eq!(r.delivered, r.generated);
+        // Unloaded floor: up to 4 router hops x 90 ns + links + one
+        // serialization >= ~500 ns.
+        assert!(r.avg_ns > 400.0 && r.avg_ns < 2_000.0, "avg {}", r.avg_ns);
+    }
+
+    #[test]
+    fn dragonfly_delivers_everything_at_low_load() {
+        let df = Dragonfly::balanced(2); // 72 nodes
+        let g = df.build_graph(10_000, 100_000);
+        let d = Driver::open_loop(72, Pattern::RandomPermutation, 0.1, 30, &link(), 3);
+        let r = simulate(
+            g,
+            RoutingAlg::Dragonfly(df),
+            link(),
+            RouterParams::paper(),
+            d,
+            3,
+            None,
+        );
+        assert_eq!(r.delivered, r.generated);
+        assert!(r.avg_ns > 250.0 && r.avg_ns < 2_000.0, "avg {}", r.avg_ns);
+    }
+
+    #[test]
+    fn electrical_mb_delivers_everything() {
+        let mb = MultiButterfly::new(64, 4, 4);
+        let g = build_mb_graph(&mb, 100_000, 10_000);
+        let d = Driver::open_loop(64, Pattern::Transpose, 0.3, 40, &link(), 4);
+        let r = simulate(
+            g,
+            RoutingAlg::MultiButterfly(mb),
+            link(),
+            RouterParams::paper(),
+            d,
+            4,
+            None,
+        );
+        assert_eq!(r.delivered, r.generated);
+        // 6 stages x 90 ns + 2 x 100 ns fiber + serialization ~ 0.9 us.
+        assert!(r.avg_ns > 600.0 && r.avg_ns < 3_000.0, "avg {}", r.avg_ns);
+    }
+
+    #[test]
+    fn saturation_inflates_latency() {
+        let ft = FatTree::new(4);
+        let g = ft.build_graph(10_000, 50_000, 100_000);
+        let lo = {
+            let d = Driver::open_loop(16, Pattern::Hotspot, 0.1, 30, &link(), 5);
+            simulate(
+                g.clone(),
+                RoutingAlg::FatTree(ft.clone()),
+                link(),
+                RouterParams::paper(),
+                d,
+                5,
+                None,
+            )
+        };
+        let hi = {
+            let d = Driver::open_loop(16, Pattern::Hotspot, 0.9, 30, &link(), 5);
+            simulate(
+                g,
+                RoutingAlg::FatTree(ft),
+                link(),
+                RouterParams::paper(),
+                d,
+                5,
+                None,
+            )
+        };
+        assert!(
+            hi.avg_ns > 2.0 * lo.avg_ns,
+            "hotspot at 0.9 ({}) must crush 0.1 ({})",
+            hi.avg_ns,
+            lo.avg_ns
+        );
+    }
+
+    #[test]
+    fn ping_pong_on_fattree() {
+        let ft = FatTree::new(4);
+        let g = ft.build_graph(10_000, 50_000, 100_000);
+        let pairs = crate::workloads::ping_pong1_pairs(16, 1);
+        let d = Driver::ping_pong(pairs, 5, 1);
+        let r = simulate(
+            g,
+            RoutingAlg::FatTree(ft),
+            link(),
+            RouterParams::paper(),
+            d,
+            1,
+            None,
+        );
+        assert_eq!(r.delivered, r.generated);
+        assert_eq!(r.delivered, 16 / 2 * 2 * 5);
+    }
+
+    #[test]
+    fn ugal_beats_minimal_on_adversarial_traffic() {
+        // ping_pong2-style group pairing concentrates all minimal routes
+        // onto one global link per group pair; UGAL detours around it.
+        let df = Dragonfly::balanced(2); // 72 nodes
+        let run_with = |alg: RoutingAlg| {
+            let g = df.build_graph(10_000, 100_000);
+            let d = Driver::open_loop(
+                72,
+                Pattern::GroupPermutation,
+                0.6,
+                40,
+                &link(),
+                8,
+            );
+            simulate(g, alg, link(), RouterParams::paper(), d, 8, None)
+        };
+        let adaptive = run_with(RoutingAlg::Dragonfly(df.clone()));
+        let minimal = run_with(RoutingAlg::DragonflyMinimal(df.clone()));
+        assert!(adaptive.delivery_ratio() > 0.99);
+        assert!(
+            minimal.avg_ns > 1.3 * adaptive.avg_ns,
+            "minimal {} vs adaptive {}",
+            minimal.avg_ns,
+            adaptive.avg_ns
+        );
+    }
+
+    #[test]
+    fn credits_prevent_loss_even_at_saturation() {
+        // Electrical networks are lossless: an oversubscribed hotspot
+        // backs up through credits but every packet eventually lands.
+        let ft = FatTree::new(4);
+        let g = ft.build_graph(10_000, 50_000, 100_000);
+        let d = Driver::open_loop(16, Pattern::Hotspot, 1.0, 30, &link(), 6);
+        let r = simulate(
+            g,
+            RoutingAlg::FatTree(ft),
+            link(),
+            RouterParams::paper(),
+            d,
+            6,
+            None,
+        );
+        assert_eq!(r.delivered, r.generated, "lossless under backpressure");
+        assert_eq!(r.drop_attempts, 0);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let run = || {
+            let df = Dragonfly::balanced(2);
+            let g = df.build_graph(10_000, 100_000);
+            let d = Driver::open_loop(72, Pattern::Bisection, 0.4, 20, &link(), 9);
+            simulate(
+                g,
+                RoutingAlg::Dragonfly(df),
+                link(),
+                RouterParams::paper(),
+                d,
+                9,
+                None,
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.avg_ns.to_bits(), b.avg_ns.to_bits());
+    }
+}

@@ -1,0 +1,323 @@
+//! One entry point for every (network × workload) simulation the paper's
+//! figures need.
+
+use baldur_topo::dragonfly::Dragonfly;
+use baldur_topo::fattree::FatTree;
+use baldur_topo::multibutterfly::MultiButterfly;
+use serde::{Deserialize, Serialize};
+
+use crate::config::{BaldurParams, LinkParams, RouterParams};
+use crate::driver::Driver;
+use crate::metrics::LatencyReport;
+use crate::routing::{build_mb_graph, RoutingAlg};
+use crate::traffic::Pattern;
+use crate::workloads::{self, HpcApp, TraceParams};
+use crate::{baldur_net, ideal_net, router_net};
+
+/// Which network to simulate (the five of Sec. V-A).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum NetworkKind {
+    /// The all-optical Baldur network.
+    Baldur(BaldurParams),
+    /// The buffered electrical multi-butterfly baseline.
+    ElectricalMultiButterfly {
+        /// Path multiplicity (paper: 4).
+        multiplicity: u32,
+        /// Router parameters.
+        router: RouterParams,
+    },
+    /// The dragonfly baseline with UGAL-style adaptive routing.
+    Dragonfly {
+        /// Router parameters.
+        router: RouterParams,
+    },
+    /// Dragonfly with minimal-only routing (ablation; the paper uses the
+    /// adaptive configuration).
+    DragonflyMinimal {
+        /// Router parameters.
+        router: RouterParams,
+    },
+    /// The 3-level fat-tree baseline with adaptive up-routing.
+    FatTree {
+        /// Router parameters.
+        router: RouterParams,
+    },
+    /// Infinite bandwidth, flat 200 ns.
+    Ideal,
+}
+
+impl NetworkKind {
+    /// All five networks at the paper's defaults for `nodes` servers.
+    pub fn paper_lineup(nodes: u32) -> Vec<(String, NetworkKind)> {
+        vec![
+            (
+                "baldur".into(),
+                NetworkKind::Baldur(BaldurParams::paper_for(u64::from(nodes))),
+            ),
+            (
+                "electrical_mb".into(),
+                NetworkKind::ElectricalMultiButterfly {
+                    multiplicity: 4,
+                    router: RouterParams::paper(),
+                },
+            ),
+            (
+                "dragonfly".into(),
+                NetworkKind::Dragonfly {
+                    router: RouterParams::paper(),
+                },
+            ),
+            (
+                "fattree".into(),
+                NetworkKind::FatTree {
+                    router: RouterParams::paper(),
+                },
+            ),
+            ("ideal".into(), NetworkKind::Ideal),
+        ]
+    }
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            NetworkKind::Baldur(_) => "baldur",
+            NetworkKind::ElectricalMultiButterfly { .. } => "electrical_mb",
+            NetworkKind::Dragonfly { .. } => "dragonfly",
+            NetworkKind::DragonflyMinimal { .. } => "dragonfly_minimal",
+            NetworkKind::FatTree { .. } => "fattree",
+            NetworkKind::Ideal => "ideal",
+        }
+    }
+}
+
+/// What traffic to offer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Workload {
+    /// Open-loop synthetic pattern at an input load.
+    Synthetic {
+        /// Traffic pattern.
+        pattern: Pattern,
+        /// Input load in (0, 1].
+        load: f64,
+        /// Packets injected per node.
+        packets_per_node: u32,
+    },
+    /// Closed-loop ping-pong over a random pairing (paper ping_pong1).
+    PingPong1 {
+        /// Rounds per pair.
+        rounds: u32,
+    },
+    /// Closed-loop ping-pong over dragonfly-adversarial group pairs
+    /// (paper ping_pong2).
+    PingPong2 {
+        /// Rounds per pair.
+        rounds: u32,
+    },
+    /// Synthetic HPC application trace.
+    Hpc {
+        /// Which application.
+        app: HpcApp,
+        /// Trace scale knobs.
+        params: TraceParams,
+    },
+}
+
+/// A complete run configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunConfig {
+    /// Active server nodes (topologies may be built slightly larger, as in
+    /// the paper; the extra nodes idle).
+    pub nodes: u32,
+    /// The network under test.
+    pub network: NetworkKind,
+    /// The offered workload.
+    pub workload: Workload,
+    /// Link/packet parameters.
+    pub link: LinkParams,
+    /// Master seed.
+    pub seed: u64,
+    /// Simulated-time bound in ns (None = generous default).
+    pub horizon_ns: Option<u64>,
+}
+
+impl RunConfig {
+    /// A config with paper defaults for everything but the essentials.
+    pub fn new(nodes: u32, network: NetworkKind, workload: Workload) -> Self {
+        RunConfig {
+            nodes,
+            network,
+            workload,
+            link: LinkParams::paper(),
+            seed: 0xBA1D,
+            horizon_ns: None,
+        }
+    }
+}
+
+fn build_driver(cfg: &RunConfig) -> Driver {
+    match cfg.workload {
+        Workload::Synthetic {
+            pattern,
+            load,
+            packets_per_node,
+        } => Driver::open_loop(cfg.nodes, pattern, load, packets_per_node, &cfg.link, cfg.seed),
+        Workload::PingPong1 { rounds } => {
+            Driver::ping_pong(workloads::ping_pong1_pairs(cfg.nodes, cfg.seed), rounds, cfg.seed)
+        }
+        Workload::PingPong2 { rounds } => {
+            Driver::ping_pong(workloads::ping_pong2_pairs(cfg.nodes), rounds, cfg.seed)
+        }
+        Workload::Hpc { app, params } => {
+            Driver::trace(workloads::generate(app, cfg.nodes, params, cfg.seed), cfg.seed)
+        }
+    }
+}
+
+/// Runs one configuration and returns the report.
+///
+/// # Panics
+///
+/// Panics on malformed configurations (e.g. transpose on a non-square node
+/// count) — the harnesses construct only valid ones.
+pub fn run(cfg: &RunConfig) -> LatencyReport {
+    let driver = build_driver(cfg);
+    match &cfg.network {
+        NetworkKind::Baldur(params) => baldur_net::simulate(
+            cfg.nodes,
+            *params,
+            cfg.link,
+            driver,
+            cfg.seed,
+            cfg.horizon_ns,
+        ),
+        NetworkKind::ElectricalMultiButterfly {
+            multiplicity,
+            router,
+        } => {
+            let topo_nodes = cfg.nodes.next_power_of_two().max(4);
+            let mb = MultiButterfly::new(topo_nodes, *multiplicity, cfg.seed);
+            // Node fibers 100 ns (Table VI); same-room stage links short.
+            let graph = build_mb_graph(&mb, 100_000, 10_000);
+            router_net::simulate(
+                graph,
+                RoutingAlg::MultiButterfly(mb),
+                cfg.link,
+                *router,
+                driver,
+                cfg.seed,
+                cfg.horizon_ns,
+            )
+        }
+        NetworkKind::Dragonfly { router } => {
+            let df = Dragonfly::at_least(u64::from(cfg.nodes));
+            // Table VI: intra-group 10 ns, inter-group 100 ns.
+            let graph = df.build_graph(10_000, 100_000);
+            router_net::simulate(
+                graph,
+                RoutingAlg::Dragonfly(df),
+                cfg.link,
+                *router,
+                driver,
+                cfg.seed,
+                cfg.horizon_ns,
+            )
+        }
+        NetworkKind::DragonflyMinimal { router } => {
+            let df = Dragonfly::at_least(u64::from(cfg.nodes));
+            let graph = df.build_graph(10_000, 100_000);
+            router_net::simulate(
+                graph,
+                RoutingAlg::DragonflyMinimal(df),
+                cfg.link,
+                *router,
+                driver,
+                cfg.seed,
+                cfg.horizon_ns,
+            )
+        }
+        NetworkKind::FatTree { router } => {
+            let ft = FatTree::at_least(u64::from(cfg.nodes));
+            // Table VI: level 1/2/3 links at 10/50/100 ns.
+            let graph = ft.build_graph(10_000, 50_000, 100_000);
+            router_net::simulate(
+                graph,
+                RoutingAlg::FatTree(ft),
+                cfg.link,
+                *router,
+                driver,
+                cfg.seed,
+                cfg.horizon_ns,
+            )
+        }
+        NetworkKind::Ideal => ideal_net::simulate(driver, None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synth(load: f64, ppn: u32) -> Workload {
+        Workload::Synthetic {
+            pattern: Pattern::RandomPermutation,
+            load,
+            packets_per_node: ppn,
+        }
+    }
+
+    #[test]
+    fn all_five_networks_run_the_same_workload() {
+        for (name, net) in NetworkKind::paper_lineup(64) {
+            let cfg = RunConfig::new(64, net, synth(0.2, 20));
+            let r = run(&cfg);
+            assert!(
+                r.delivery_ratio() > 0.99,
+                "{name}: delivered {} of {}",
+                r.delivered,
+                r.generated
+            );
+            assert!(r.avg_ns > 0.0, "{name}");
+        }
+    }
+
+    #[test]
+    fn baldur_beats_electrical_networks_at_moderate_load() {
+        let mut avg = std::collections::HashMap::new();
+        for (name, net) in NetworkKind::paper_lineup(64) {
+            let cfg = RunConfig::new(64, net, synth(0.3, 30));
+            avg.insert(name, run(&cfg).avg_ns);
+        }
+        let baldur = avg["baldur"];
+        assert!(baldur < avg["electrical_mb"], "{avg:?}");
+        assert!(baldur < avg["fattree"], "{avg:?}");
+        assert!(baldur < avg["dragonfly"], "{avg:?}");
+        // And the ideal network lower-bounds everyone.
+        assert!(avg["ideal"] <= baldur, "{avg:?}");
+    }
+
+    #[test]
+    fn ping_pong2_runs_everywhere() {
+        for (name, net) in NetworkKind::paper_lineup(64) {
+            let cfg = RunConfig::new(64, net, Workload::PingPong2 { rounds: 3 });
+            let r = run(&cfg);
+            assert_eq!(r.delivered, r.generated, "{name}");
+        }
+    }
+
+    #[test]
+    fn hpc_trace_runs_on_baldur_and_fattree() {
+        let wl = Workload::Hpc {
+            app: HpcApp::CrystalRouter,
+            params: TraceParams {
+                iterations: 1,
+                halo_packets: 2,
+                compute_ps: 100_000,
+            },
+        };
+        for (name, net) in NetworkKind::paper_lineup(64).into_iter().take(2) {
+            let cfg = RunConfig::new(64, net, wl);
+            let r = run(&cfg);
+            assert!(r.delivery_ratio() > 0.99, "{name}");
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! Synthetic traffic patterns (paper Sec. V-A).
+//!
+//! Patterns assign a destination to each transmitted packet. For the
+//! pair-based patterns the pairing is fixed per run (drawn from the seeded
+//! RNG) so that the same transmitter/receiver pairs are applied to all
+//! networks, exactly as the paper does for group_permutation and
+//! ping_pong2.
+
+use baldur_sim::rng::StreamRng;
+use baldur_topo::dragonfly::Dragonfly;
+use baldur_topo::graph::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// A synthetic traffic pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Pattern {
+    /// Nodes paired by a uniformly random permutation.
+    RandomPermutation,
+    /// Bit-transpose of the binary address (upper/lower halves swapped).
+    Transpose,
+    /// Random pairing of one half of the machine with the other half.
+    Bisection,
+    /// Dragonfly groups paired randomly; each node sends to a random node
+    /// of the partner group (pairs then reused on every network).
+    GroupPermutation,
+    /// Every node sends to one destination node.
+    Hotspot,
+    /// Uniform random destination per packet (not in the paper's list;
+    /// kept for calibration).
+    UniformRandom,
+}
+
+impl Pattern {
+    /// All of the paper's open-loop patterns, in Figure 6/7 order.
+    pub const PAPER_OPEN_LOOP: [Pattern; 5] = [
+        Pattern::RandomPermutation,
+        Pattern::Transpose,
+        Pattern::Bisection,
+        Pattern::GroupPermutation,
+        Pattern::Hotspot,
+    ];
+
+    /// Display name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Pattern::RandomPermutation => "random_permutation",
+            Pattern::Transpose => "transpose",
+            Pattern::Bisection => "bisection",
+            Pattern::GroupPermutation => "group_permutation",
+            Pattern::Hotspot => "hotspot",
+            Pattern::UniformRandom => "uniform_random",
+        }
+    }
+}
+
+/// A concrete destination assignment for `nodes` endpoints.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Assignment {
+    /// Fixed partner per source.
+    Pairs(Vec<u32>),
+    /// Fresh uniform destination per packet.
+    Uniform,
+}
+
+impl Assignment {
+    /// Builds the assignment for `pattern` over `nodes` endpoints.
+    ///
+    /// `group_nodes` is the dragonfly group size used by
+    /// [`Pattern::GroupPermutation`] (the paper constructs the pairs on
+    /// dragonfly and reuses them elsewhere); pass the paper's 1K-scale
+    /// dragonfly by default.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes < 2`, or for [`Pattern::Transpose`] if `nodes` is
+    /// not an even power of two.
+    pub fn build(pattern: Pattern, nodes: u32, seed: u64) -> Assignment {
+        assert!(nodes >= 2, "need at least two nodes");
+        let mut rng = StreamRng::named(seed, "traffic", pattern as u64);
+        match pattern {
+            Pattern::RandomPermutation => {
+                Assignment::Pairs(derangement(&mut rng, nodes))
+            }
+            Pattern::Transpose => {
+                // The paper swaps the upper and lower address halves; for
+                // an odd number of address bits this generalizes to the
+                // standard rotate-by-floor(bits/2), which coincides with
+                // the paper's definition whenever bits is even.
+                assert!(
+                    nodes.is_power_of_two(),
+                    "transpose needs a power-of-two node count"
+                );
+                let bits = nodes.trailing_zeros();
+                let lo = bits / 2;
+                let mask = (1u32 << lo) - 1;
+                Assignment::Pairs(
+                    (0..nodes)
+                        .map(|a| ((a & mask) << (bits - lo)) | (a >> lo))
+                        .collect(),
+                )
+            }
+            Pattern::Bisection => {
+                let half = nodes / 2;
+                let perm = rng.permutation(half as usize);
+                let mut pairs = vec![0u32; nodes as usize];
+                for (lo, &hi_off) in perm.iter().enumerate() {
+                    let lo = lo as u32;
+                    let hi = half + hi_off as u32;
+                    pairs[lo as usize] = hi;
+                    pairs[hi as usize] = lo;
+                }
+                Assignment::Pairs(pairs)
+            }
+            Pattern::GroupPermutation => {
+                let df = Dragonfly::at_least(u64::from(nodes));
+                let group_nodes = df.p * df.a;
+                let groups = nodes / group_nodes;
+                // Pair the groups with a derangement, then each node picks
+                // a random node in the partner group.
+                let gperm = derangement(&mut rng, groups.max(2));
+                let pairs = (0..nodes)
+                    .map(|n| {
+                        let g = (n / group_nodes).min(groups - 1);
+                        let pg = gperm[g as usize] % groups;
+                        let target = pg * group_nodes + rng.gen_range(0..group_nodes);
+                        if target == n {
+                            (target + 1) % nodes
+                        } else {
+                            target
+                        }
+                    })
+                    .collect();
+                Assignment::Pairs(pairs)
+            }
+            Pattern::Hotspot => {
+                let target = rng.gen_range(0..nodes);
+                Assignment::Pairs(
+                    (0..nodes)
+                        .map(|n| if n == target { (target + 1) % nodes } else { target })
+                        .collect(),
+                )
+            }
+            Pattern::UniformRandom => Assignment::Uniform,
+        }
+    }
+
+    /// The destination for the next packet from `src`.
+    pub fn destination(&self, src: NodeId, rng: &mut StreamRng, nodes: u32) -> NodeId {
+        match self {
+            Assignment::Pairs(p) => NodeId(p[src.0 as usize]),
+            Assignment::Uniform => loop {
+                let d = rng.gen_range(0..nodes);
+                if d != src.0 {
+                    return NodeId(d);
+                }
+            },
+        }
+    }
+}
+
+/// A random permutation with no fixed points (nobody sends to themselves).
+fn derangement(rng: &mut StreamRng, n: u32) -> Vec<u32> {
+    loop {
+        let p = rng.permutation(n as usize);
+        if p.iter().enumerate().all(|(i, &x)| i != x) {
+            return p.into_iter().map(|x| x as u32).collect();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pairs(pattern: Pattern, nodes: u32) -> Vec<u32> {
+        match Assignment::build(pattern, nodes, 11) {
+            Assignment::Pairs(p) => p,
+            Assignment::Uniform => panic!("expected pairs"),
+        }
+    }
+
+    #[test]
+    fn random_permutation_is_a_derangement() {
+        let p = pairs(Pattern::RandomPermutation, 256);
+        let mut seen = vec![false; 256];
+        for (i, &d) in p.iter().enumerate() {
+            assert_ne!(i as u32, d, "self-send");
+            assert!(!seen[d as usize], "duplicate destination");
+            seen[d as usize] = true;
+        }
+    }
+
+    #[test]
+    fn transpose_swaps_address_halves() {
+        let p = pairs(Pattern::Transpose, 1_024);
+        // Node 0b10000_00001 -> 0b00001_10000.
+        assert_eq!(p[0b10000_00001], 0b00001_10000);
+        // Transpose is an involution.
+        for (i, &d) in p.iter().enumerate() {
+            assert_eq!(p[d as usize], i as u32);
+        }
+    }
+
+    #[test]
+    fn bisection_pairs_across_halves() {
+        let p = pairs(Pattern::Bisection, 128);
+        for (i, &d) in p.iter().enumerate() {
+            let i = i as u32;
+            assert_ne!(i < 64, d < 64, "pair must straddle the bisection");
+            assert_eq!(p[d as usize], i, "pairing must be symmetric");
+        }
+    }
+
+    #[test]
+    fn hotspot_targets_one_node() {
+        let p = pairs(Pattern::Hotspot, 64);
+        let mut dests: Vec<u32> = p.clone();
+        dests.sort_unstable();
+        dests.dedup();
+        assert!(dests.len() <= 2, "hotspot has one destination (plus the target's own)");
+    }
+
+    #[test]
+    fn group_permutation_leaves_the_group() {
+        let nodes = 1_056; // paper-scale dragonfly
+        let p = pairs(Pattern::GroupPermutation, nodes);
+        let group = 32;
+        let mut cross = 0;
+        for (i, &d) in p.iter().enumerate() {
+            if (i as u32) / group != d / group {
+                cross += 1;
+            }
+        }
+        assert!(cross as f64 > 0.95 * nodes as f64, "{cross} cross-group");
+    }
+
+    #[test]
+    fn uniform_never_self_sends() {
+        let a = Assignment::build(Pattern::UniformRandom, 16, 3);
+        let mut rng = StreamRng::named(5, "t", 0);
+        for _ in 0..500 {
+            let d = a.destination(NodeId(7), &mut rng, 16);
+            assert_ne!(d.0, 7);
+        }
+    }
+
+    #[test]
+    fn assignments_are_deterministic_per_seed() {
+        let a = pairs(Pattern::RandomPermutation, 64);
+        let b = match Assignment::build(Pattern::RandomPermutation, 64, 11) {
+            Assignment::Pairs(p) => p,
+            _ => unreachable!(),
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,572 @@
+//! Synthetic HPC workload traces (paper Sec. V-A).
+//!
+//! The paper replays DUMPI traces of four DOE Design Forward mini-apps.
+//! Those traces are not redistributable, so this module generates traces
+//! with the published structural character of each application (see the
+//! substitution note in DESIGN.md):
+//!
+//! * **AMG** — algebraic multigrid V-cycle: 3-D nearest-neighbour halo
+//!   exchanges whose message sizes shrink per level, plus a small
+//!   hypercube allreduce at the coarsest level.
+//! * **CrystalRouter** (CR) — log₂N staged many-to-many: each stage
+//!   exchanges with the node whose address differs in one bit.
+//! * **FillBoundary** (FB) — AMR ghost-cell exchange with a *skewed,
+//!   distance-heavy* partner set (the property that makes FB near
+//!   worst-case for hierarchical topologies — the paper measures
+//!   dragonfly/fat-tree at 23.5X/46.1X worse than Baldur here).
+//! * **MultiGrid** (MG) — geometric multigrid: barriered V-cycle of 3-D
+//!   stencil exchanges with halving message counts.
+//!
+//! Also provides the two closed-loop ping-pong pairings of Sec. V-A.
+
+use baldur_sim::rng::StreamRng;
+use baldur_topo::dragonfly::Dragonfly;
+use serde::{Deserialize, Serialize};
+
+use crate::driver::Op;
+
+/// The four Design Forward applications.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HpcApp {
+    /// Algebraic multigrid.
+    Amg,
+    /// CrystalRouter many-to-many.
+    CrystalRouter,
+    /// BoxLib FillBoundary.
+    FillBoundary,
+    /// Geometric multigrid.
+    MultiGrid,
+}
+
+impl HpcApp {
+    /// All four, in the paper's order.
+    pub const ALL: [HpcApp; 4] = [
+        HpcApp::Amg,
+        HpcApp::CrystalRouter,
+        HpcApp::FillBoundary,
+        HpcApp::MultiGrid,
+    ];
+
+    /// Short name used in the figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            HpcApp::Amg => "AMG",
+            HpcApp::CrystalRouter => "CR",
+            HpcApp::FillBoundary => "FB",
+            HpcApp::MultiGrid => "MG",
+        }
+    }
+}
+
+/// Scale knobs for trace generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceParams {
+    /// Iterations (V-cycles / exchange rounds).
+    pub iterations: u32,
+    /// Packets per halo message at the finest level.
+    pub halo_packets: u32,
+    /// Compute delay inserted between phases, ps.
+    pub compute_ps: u64,
+}
+
+impl TraceParams {
+    /// Small default keeping harness runtimes reasonable; scale up via the
+    /// harness flags for full-fidelity runs.
+    pub fn default_scale() -> Self {
+        TraceParams {
+            iterations: 2,
+            halo_packets: 4,
+            compute_ps: 200_000,
+        }
+    }
+}
+
+impl Default for TraceParams {
+    fn default() -> Self {
+        TraceParams::default_scale()
+    }
+}
+
+/// Generates the per-node scripts for `app` over `nodes` endpoints.
+///
+/// # Panics
+///
+/// Panics if `nodes < 8`.
+pub fn generate(app: HpcApp, nodes: u32, p: TraceParams, seed: u64) -> Vec<Vec<Op>> {
+    assert!(nodes >= 8, "HPC traces need at least 8 nodes");
+    match app {
+        HpcApp::Amg => amg(nodes, p),
+        HpcApp::CrystalRouter => crystal_router(nodes, p),
+        HpcApp::FillBoundary => fill_boundary(nodes, p, seed),
+        HpcApp::MultiGrid => multigrid(nodes, p),
+    }
+}
+
+/// A near-cubic 3-D decomposition of `n` ranks: factors (x, y, z) with
+/// x·y·z = n and the dimensions as balanced as powers of two allow.
+pub fn grid3d(n: u32) -> (u32, u32, u32) {
+    assert!(n.is_power_of_two(), "grid3d expects a power of two");
+    let bits = n.trailing_zeros();
+    let bx = bits / 3 + u32::from(!bits.is_multiple_of(3));
+    let by = bits / 3 + u32::from(bits % 3 > 1);
+    let bz = bits / 3;
+    (1 << bx, 1 << by, 1 << bz)
+}
+
+fn coords(rank: u32, dims: (u32, u32, u32)) -> (u32, u32, u32) {
+    let (x, y, _) = dims;
+    (rank % x, (rank / x) % y, rank / (x * y))
+}
+
+fn rank_of(c: (u32, u32, u32), dims: (u32, u32, u32)) -> u32 {
+    c.0 + c.1 * dims.0 + c.2 * dims.0 * dims.1
+}
+
+/// The up-to-six face neighbours of `rank` in a periodic 3-D grid.
+pub fn neighbors3d(rank: u32, dims: (u32, u32, u32)) -> Vec<u32> {
+    let (x, y, z) = coords(rank, dims);
+    let mut out = Vec::with_capacity(6);
+    let deltas: [(i64, i64, i64); 6] = [
+        (1, 0, 0),
+        (-1, 0, 0),
+        (0, 1, 0),
+        (0, -1, 0),
+        (0, 0, 1),
+        (0, 0, -1),
+    ];
+    for (dx, dy, dz) in deltas {
+        let nx = ((i64::from(x) + dx).rem_euclid(i64::from(dims.0))) as u32;
+        let ny = ((i64::from(y) + dy).rem_euclid(i64::from(dims.1))) as u32;
+        let nz = ((i64::from(z) + dz).rem_euclid(i64::from(dims.2))) as u32;
+        let n = rank_of((nx, ny, nz), dims);
+        if n != rank && !out.contains(&n) {
+            out.push(n);
+        }
+    }
+    out
+}
+
+fn halo_phase(script: &mut Vec<Op>, partners: &[u32], packets: u32, compute_ps: u64) {
+    if partners.is_empty() || packets == 0 {
+        return;
+    }
+    for &p in partners {
+        script.push(Op::Send { dst: p, packets });
+    }
+    script.push(Op::Recv {
+        packets: packets * partners.len() as u32,
+    });
+    if compute_ps > 0 {
+        script.push(Op::Delay { ps: compute_ps });
+    }
+}
+
+fn amg(nodes: u32, p: TraceParams) -> Vec<Vec<Op>> {
+    let n2 = nodes.next_power_of_two() / if nodes.is_power_of_two() { 1 } else { 2 };
+    let dims = grid3d(n2);
+    let levels = 3u32;
+    (0..nodes)
+        .map(|rank| {
+            let mut script = Vec::new();
+            if rank >= n2 {
+                return script; // ragged tail idles, like unused ranks
+            }
+            for _ in 0..p.iterations {
+                // Down-cycle: shrinking halos.
+                for lvl in 0..levels {
+                    let pk = (p.halo_packets >> lvl).max(1);
+                    halo_phase(&mut script, &neighbors3d(rank, dims), pk, p.compute_ps);
+                }
+                // Coarse allreduce: hypercube exchange, 1 packet per stage.
+                let bits = n2.trailing_zeros();
+                for d in 0..bits {
+                    let peer = rank ^ (1 << d);
+                    script.push(Op::Send {
+                        dst: peer,
+                        packets: 1,
+                    });
+                    script.push(Op::Recv { packets: 1 });
+                }
+                // Up-cycle: growing halos.
+                for lvl in (0..levels).rev() {
+                    let pk = (p.halo_packets >> lvl).max(1);
+                    halo_phase(&mut script, &neighbors3d(rank, dims), pk, p.compute_ps);
+                }
+            }
+            script
+        })
+        .collect()
+}
+
+fn crystal_router(nodes: u32, p: TraceParams) -> Vec<Vec<Op>> {
+    let n2 = nodes.next_power_of_two() / if nodes.is_power_of_two() { 1 } else { 2 };
+    let bits = n2.trailing_zeros();
+    (0..nodes)
+        .map(|rank| {
+            let mut script = Vec::new();
+            if rank >= n2 {
+                return script;
+            }
+            for _ in 0..p.iterations {
+                for d in 0..bits {
+                    let peer = rank ^ (1 << d);
+                    script.push(Op::Send {
+                        dst: peer,
+                        packets: p.halo_packets,
+                    });
+                    script.push(Op::Recv {
+                        packets: p.halo_packets,
+                    });
+                    if p.compute_ps > 0 {
+                        script.push(Op::Delay { ps: p.compute_ps / 4 });
+                    }
+                }
+            }
+            script
+        })
+        .collect()
+}
+
+fn fill_boundary(nodes: u32, p: TraceParams, seed: u64) -> Vec<Vec<Op>> {
+    // Distance-heavy AMR exchange: every rank talks to its antipode (the
+    // full-bisection component) plus two random far partners — traffic
+    // hierarchical topologies concentrate onto few global links.
+    let mut rng = StreamRng::named(seed, "fbtrace", 0);
+    let half = nodes / 2;
+    let partners: Vec<Vec<u32>> = (0..nodes)
+        .map(|rank| {
+            let mut ps = vec![(rank + half) % nodes];
+            for _ in 0..2 {
+                let offset = rng.gen_range(half / 2..half.max(2));
+                let far = (rank + offset) % nodes;
+                if far != rank && !ps.contains(&far) {
+                    ps.push(far);
+                }
+            }
+            ps
+        })
+        .collect();
+    // Symmetrize so every send has a matching recv.
+    let mut inbound: Vec<Vec<u32>> = vec![Vec::new(); nodes as usize];
+    for (rank, ps) in partners.iter().enumerate() {
+        for &dst in ps {
+            inbound[dst as usize].push(rank as u32);
+        }
+    }
+    (0..nodes as usize)
+        .map(|rank| {
+            let mut script = Vec::new();
+            for _ in 0..p.iterations {
+                for &dst in &partners[rank] {
+                    script.push(Op::Send {
+                        dst,
+                        packets: p.halo_packets,
+                    });
+                }
+                let expected = inbound[rank].len() as u32 * p.halo_packets;
+                if expected > 0 {
+                    script.push(Op::Recv { packets: expected });
+                }
+                if p.compute_ps > 0 {
+                    script.push(Op::Delay { ps: p.compute_ps });
+                }
+            }
+            script
+        })
+        .collect()
+}
+
+fn multigrid(nodes: u32, p: TraceParams) -> Vec<Vec<Op>> {
+    let n2 = nodes.next_power_of_two() / if nodes.is_power_of_two() { 1 } else { 2 };
+    let dims = grid3d(n2);
+    let levels = 4u32;
+    (0..nodes)
+        .map(|rank| {
+            let mut script = Vec::new();
+            if rank >= n2 {
+                return script;
+            }
+            for _ in 0..p.iterations {
+                for lvl in 0..levels {
+                    // Geometric coarsening: only every 2^lvl-th rank works.
+                    let stride = 1u32 << lvl;
+                    if rank % stride != 0 {
+                        continue;
+                    }
+                    let active_partners: Vec<u32> = neighbors3d(rank, dims)
+                        .into_iter()
+                        .filter(|n| n % stride == 0)
+                        .collect();
+                    let pk = (p.halo_packets >> lvl).max(1);
+                    halo_phase(&mut script, &active_partners, pk, p.compute_ps);
+                }
+            }
+            script
+        })
+        .collect()
+}
+
+/// Quantitative characterization of a generated trace, used to document
+/// how the synthetic traces preserve each mini-app's communication
+/// structure (the DESIGN.md substitution note, made measurable).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Total messages (Send ops).
+    pub messages: u64,
+    /// Total packets across all messages.
+    pub packets: u64,
+    /// Distinct communication partners, averaged over active ranks.
+    pub avg_partners: f64,
+    /// Mean ring distance |dst - src| (mod N), normalized by N/2: 0 = all
+    /// nearest-neighbour, 1 = all antipodal.
+    pub mean_distance: f64,
+    /// Fraction of ranks with at least one op.
+    pub active_fraction: f64,
+    /// Receive ops (synchronization points) per active rank.
+    pub sync_points_per_rank: f64,
+}
+
+/// Computes [`TraceStats`] for a trace.
+pub fn characterize(scripts: &[Vec<Op>]) -> TraceStats {
+    let n = scripts.len() as u32;
+    let mut messages = 0u64;
+    let mut packets = 0u64;
+    let mut partner_total = 0usize;
+    let mut dist_sum = 0.0f64;
+    let mut active = 0u32;
+    let mut recvs = 0u64;
+    for (rank, ops) in scripts.iter().enumerate() {
+        if ops.is_empty() {
+            continue;
+        }
+        active += 1;
+        let mut partners = std::collections::BTreeSet::new();
+        for op in ops {
+            match op {
+                Op::Send { dst, packets: p } => {
+                    messages += 1;
+                    packets += u64::from(*p);
+                    partners.insert(*dst);
+                    let d = (i64::from(*dst) - rank as i64).unsigned_abs() as u32;
+                    let ring = d.min(n - d);
+                    dist_sum += f64::from(ring) / (f64::from(n) / 2.0);
+                }
+                Op::Recv { .. } => recvs += 1,
+                Op::Delay { .. } => {}
+            }
+        }
+        partner_total += partners.len();
+    }
+    TraceStats {
+        messages,
+        packets,
+        avg_partners: partner_total as f64 / f64::from(active.max(1)),
+        mean_distance: if messages > 0 {
+            dist_sum / messages as f64
+        } else {
+            0.0
+        },
+        active_fraction: f64::from(active) / f64::from(n.max(1)),
+        sync_points_per_rank: recvs as f64 / f64::from(active.max(1)),
+    }
+}
+
+/// Ping-pong 1 pairing: a random mutual pairing of all nodes.
+pub fn ping_pong1_pairs(nodes: u32, seed: u64) -> Vec<u32> {
+    assert!(nodes >= 2 && nodes.is_multiple_of(2), "need an even node count");
+    let mut rng = StreamRng::named(seed, "pp1", 0);
+    let order = rng.permutation(nodes as usize);
+    let mut pairs = vec![0u32; nodes as usize];
+    for chunk in order.chunks(2) {
+        pairs[chunk[0]] = chunk[1] as u32;
+        pairs[chunk[1]] = chunk[0] as u32;
+    }
+    pairs
+}
+
+/// Ping-pong 2 pairing: nodes of dragonfly group 2k paired position-wise
+/// with nodes of group 2k+1, forcing all traffic of a group pair across
+/// the single global link between them (the paper's dragonfly stress
+/// case). The pairing is built on the dragonfly sized for `nodes` and
+/// applied identically to all networks.
+pub fn ping_pong2_pairs(nodes: u32) -> Vec<u32> {
+    let df = Dragonfly::at_least(u64::from(nodes));
+    let group = df.p * df.a;
+    (0..nodes)
+        .map(|n| {
+            let g = n / group;
+            let pos = n % group;
+            let pg = if g.is_multiple_of(2) { g + 1 } else { g - 1 };
+            let partner = pg * group + pos;
+            if partner < nodes {
+                partner
+            } else {
+                // Ragged tail: fall back to a neighbour pairing.
+                if n % 2 == 0 {
+                    n + 1
+                } else {
+                    n - 1
+                }
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid3d_is_balanced() {
+        assert_eq!(grid3d(64), (4, 4, 4));
+        assert_eq!(grid3d(128), (8, 4, 4));
+        assert_eq!(grid3d(1_024), (16, 8, 8));
+        let (x, y, z) = grid3d(256);
+        assert_eq!(x * y * z, 256);
+    }
+
+    #[test]
+    fn neighbors_are_symmetric() {
+        let dims = grid3d(64);
+        for r in 0..64 {
+            for n in neighbors3d(r, dims) {
+                assert!(
+                    neighbors3d(n, dims).contains(&r),
+                    "asymmetric neighbours {r} {n}"
+                );
+            }
+        }
+    }
+
+    /// Every generated trace must be deadlock-free under in-order delivery:
+    /// simulate instant delivery and check all scripts run to completion
+    /// with sends equal to receives.
+    fn check_closure(scripts: &[Vec<Op>]) {
+        let sent: u64 = scripts
+            .iter()
+            .flatten()
+            .filter_map(|op| match op {
+                Op::Send { packets, .. } => Some(u64::from(*packets)),
+                _ => None,
+            })
+            .sum();
+        let recv: u64 = scripts
+            .iter()
+            .flatten()
+            .filter_map(|op| match op {
+                Op::Recv { packets } => Some(u64::from(*packets)),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(sent, recv, "sends and receives must balance");
+        // Destinations in range and no self-sends.
+        let n = scripts.len() as u32;
+        for (rank, ops) in scripts.iter().enumerate() {
+            for op in ops {
+                if let Op::Send { dst, .. } = op {
+                    assert!(*dst < n);
+                    assert_ne!(*dst, rank as u32, "self-send at rank {rank}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_apps_generate_balanced_traces() {
+        for app in HpcApp::ALL {
+            let scripts = generate(app, 64, TraceParams::default_scale(), 5);
+            assert_eq!(scripts.len(), 64);
+            check_closure(&scripts);
+            let total_ops: usize = scripts.iter().map(Vec::len).sum();
+            assert!(total_ops > 64, "{}: trivial trace", app.name());
+        }
+    }
+
+    #[test]
+    fn fb_is_distance_heavy() {
+        let scripts = generate(HpcApp::FillBoundary, 64, TraceParams::default_scale(), 5);
+        let mut far = 0;
+        let mut near = 0;
+        for (rank, ops) in scripts.iter().enumerate() {
+            for op in ops {
+                if let Op::Send { dst, .. } = op {
+                    let dist = (i64::from(*dst) - rank as i64).unsigned_abs();
+                    if dist >= 16 {
+                        far += 1;
+                    } else {
+                        near += 1;
+                    }
+                }
+            }
+        }
+        assert!(far > near * 3, "far {far} near {near}");
+    }
+
+    #[test]
+    fn characterization_separates_the_apps() {
+        let p = TraceParams::default_scale();
+        let stats: Vec<(HpcApp, TraceStats)> = HpcApp::ALL
+            .iter()
+            .map(|&app| (app, characterize(&generate(app, 64, p, 5))))
+            .collect();
+        let get = |app: HpcApp| {
+            stats
+                .iter()
+                .find(|(a, _)| *a == app)
+                .map(|(_, s)| s.clone())
+                .expect("app present")
+        };
+        // FB is the distance-heavy one: its mean ring distance dominates
+        // the stencil codes'.
+        let fb = get(HpcApp::FillBoundary);
+        let mg = get(HpcApp::MultiGrid);
+        assert!(
+            fb.mean_distance > 2.0 * mg.mean_distance,
+            "FB {} vs MG {}",
+            fb.mean_distance,
+            mg.mean_distance
+        );
+        // CrystalRouter talks to log2(N) = 6 hypercube partners.
+        let cr = get(HpcApp::CrystalRouter);
+        assert!((cr.avg_partners - 6.0).abs() < 0.5, "{}", cr.avg_partners);
+        // Everyone has synchronization structure.
+        for (_, s) in &stats {
+            assert!(s.sync_points_per_rank >= 1.0);
+            assert!(s.active_fraction > 0.9);
+        }
+    }
+
+    #[test]
+    fn ping_pong1_is_an_involution() {
+        let p = ping_pong1_pairs(128, 3);
+        for (i, &d) in p.iter().enumerate() {
+            assert_ne!(i as u32, d);
+            assert_eq!(p[d as usize], i as u32);
+        }
+    }
+
+    #[test]
+    fn ping_pong2_crosses_groups() {
+        let p = ping_pong2_pairs(1_056);
+        let group = 32;
+        let crossing = p
+            .iter()
+            .enumerate()
+            .filter(|&(i, &d)| (i as u32) / group != d / group)
+            .count();
+        assert!(crossing >= 1_000, "{crossing}");
+        for (i, &d) in p.iter().enumerate() {
+            assert_eq!(p[d as usize], i as u32, "must be mutual");
+        }
+    }
+
+    #[test]
+    fn traces_handle_non_power_of_two() {
+        // 1,056-node dragonfly scale: ragged tail idles but must not panic.
+        for app in HpcApp::ALL {
+            let scripts = generate(app, 96, TraceParams::default_scale(), 1);
+            assert_eq!(scripts.len(), 96);
+            check_closure(&scripts);
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! General Digital Pulse Interval and Width Modulation (DPIWM).
+//!
+//! The paper derives its routing-bit code as "a variant of the Digital
+//! Pulse Interval Width Modulation (DPIWM) scheme \[45\], \[46\]". This module
+//! implements the general scheme so the relationship is explicit: a DPIWM
+//! symbol carries `width_bits` of data in the *length of the light pulse*
+//! and `interval_bits` in the *length of the following dark gap*, each
+//! quantized in bit periods.
+//!
+//! Baldur's [`crate::length_code::LengthCode`] is the degenerate instance
+//! with one width bit (pulse 1T or 2T) and zero interval bits, padded so
+//! every slot is exactly 3T — the padding is what lets a clock-less
+//! receiver predict slot boundaries.
+
+use serde::{Deserialize, Serialize};
+
+use crate::waveform::{Fs, Waveform, BIT_PERIOD_FS};
+
+/// A DPIWM code configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Dpiwm {
+    /// Data bits carried by the pulse width (pulse = (value+1)·T).
+    pub width_bits: u32,
+    /// Data bits carried by the gap length (gap = (value+1)·T).
+    pub interval_bits: u32,
+    /// Bit period T in femtoseconds.
+    pub bit_period: Fs,
+}
+
+impl Dpiwm {
+    /// A code with the given sub-symbol sizes at 60 Gbps.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `width_bits ≥ 1` and both fields are ≤ 4 (longer
+    /// symbols defeat the purpose of the modulation).
+    pub fn new(width_bits: u32, interval_bits: u32) -> Self {
+        assert!(
+            (1..=4).contains(&width_bits) && interval_bits <= 4,
+            "width_bits in 1..=4, interval_bits in 0..=4"
+        );
+        Dpiwm {
+            width_bits,
+            interval_bits,
+            bit_period: BIT_PERIOD_FS,
+        }
+    }
+
+    /// Bits per symbol.
+    pub fn bits_per_symbol(&self) -> u32 {
+        self.width_bits + self.interval_bits
+    }
+
+    /// The number of symbol values.
+    pub fn alphabet(&self) -> u32 {
+        1 << self.bits_per_symbol()
+    }
+
+    /// Worst-case slot length in bit periods (max pulse + max gap + the
+    /// mandatory 1T minimum gap when no interval bits are carried).
+    pub fn max_slot_periods(&self) -> u64 {
+        let max_pulse = 1u64 << self.width_bits;
+        let max_gap = if self.interval_bits == 0 {
+            1
+        } else {
+            1 << self.interval_bits
+        };
+        max_pulse + max_gap
+    }
+
+    fn split(&self, symbol: u32) -> (u64, u64) {
+        assert!(symbol < self.alphabet(), "symbol out of range");
+        let w = u64::from(symbol >> self.interval_bits) + 1;
+        let g = if self.interval_bits == 0 {
+            1
+        } else {
+            u64::from(symbol & ((1 << self.interval_bits) - 1)) + 1
+        };
+        (w, g)
+    }
+
+    /// Encodes `symbols` starting at `start`, returning the waveform and
+    /// the instant just past the frame. A 1T terminator pulse closes the
+    /// frame so the final symbol's gap is measurable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any symbol is outside the alphabet.
+    pub fn encode(&self, symbols: &[u32], start: Fs) -> (Waveform, Fs) {
+        let t = self.bit_period;
+        let mut pulses = Vec::with_capacity(symbols.len() + 1);
+        let mut cursor = start;
+        for &sym in symbols {
+            let (w, g) = self.split(sym);
+            pulses.push((cursor, cursor + w * t));
+            cursor += (w + g) * t;
+        }
+        // Frame terminator.
+        pulses.push((cursor, cursor + t));
+        cursor += t;
+        (Waveform::from_pulses(pulses), cursor)
+    }
+
+    /// Decodes every symbol in a frame produced by [`Dpiwm::encode`] by
+    /// measuring pulse and gap lengths (rounding to the nearest bit
+    /// period). The final pulse is the frame terminator and carries no
+    /// data.
+    pub fn decode(&self, wave: &Waveform) -> Vec<u32> {
+        let t = self.bit_period as f64;
+        let pulses: Vec<(Fs, Fs)> = wave.pulses().filter(|&(_, e)| e != Fs::MAX).collect();
+        if pulses.len() < 2 {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(pulses.len() - 1);
+        for (i, &(s, e)) in pulses[..pulses.len() - 1].iter().enumerate() {
+            let w_periods = ((e - s) as f64 / t).round() as u64;
+            let w_val = (w_periods.saturating_sub(1)).min((1 << self.width_bits) - 1) as u32;
+            let g_val = if self.interval_bits == 0 {
+                0
+            } else {
+                let (ns, _) = pulses[i + 1];
+                let g_periods = ((ns - e) as f64 / t).round() as u64;
+                (g_periods.saturating_sub(1)).min((1 << self.interval_bits) - 1) as u32
+            };
+            out.push((w_val << self.interval_bits) | g_val);
+        }
+        out
+    }
+
+    /// Mean symbol length in bit periods over a uniform source — the
+    /// bandwidth-efficiency figure of merit.
+    pub fn mean_slot_periods(&self) -> f64 {
+        let mean_pulse = (1.0 + f64::from(1u32 << self.width_bits)) / 2.0;
+        let mean_gap = if self.interval_bits == 0 {
+            1.0
+        } else {
+            (1.0 + f64::from(1u32 << self.interval_bits)) / 2.0
+        };
+        mean_pulse + mean_gap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_symbols() {
+        for (w, i) in [(1, 0), (1, 1), (2, 2), (3, 1), (4, 4)] {
+            let c = Dpiwm::new(w, i);
+            let symbols: Vec<u32> = (0..c.alphabet()).collect();
+            let (wave, _) = c.encode(&symbols, 0);
+            assert_eq!(c.decode(&wave), symbols, "w={w} i={i}");
+        }
+    }
+
+    #[test]
+    fn baldur_code_is_the_w1_i0_instance() {
+        // Baldur: "0" = 2T pulse, "1" = 1T pulse, fixed 3T slot.
+        let c = Dpiwm::new(1, 0);
+        // Symbol 1 = long pulse (2T) = Baldur's logic 0;
+        // symbol 0 = short pulse (1T) = Baldur's logic 1.
+        let (wave, _) = c.encode(&[1, 0], 0);
+        let pulses: Vec<_> = wave.pulses().collect();
+        let t = BIT_PERIOD_FS;
+        assert_eq!(pulses.len(), 3, "two symbols plus the terminator");
+        assert_eq!(pulses[0].1 - pulses[0].0, 2 * t);
+        assert_eq!(pulses[1].1 - pulses[1].0, t);
+        // Baldur pads every slot to the worst case: max 3T per symbol.
+        assert_eq!(c.max_slot_periods(), 3);
+    }
+
+    #[test]
+    fn interval_bits_raise_efficiency() {
+        // Carrying bits in the gap buys bandwidth: bits per mean period
+        // improves from w1i0 to w1i1.
+        let plain = Dpiwm::new(1, 0);
+        let combined = Dpiwm::new(1, 1);
+        let eff = |c: &Dpiwm| f64::from(c.bits_per_symbol()) / c.mean_slot_periods();
+        assert!(eff(&combined) > eff(&plain));
+    }
+
+    #[test]
+    fn decode_survives_moderate_jitter() {
+        let c = Dpiwm::new(2, 1);
+        let symbols = vec![5, 0, 7, 2, 3];
+        let (wave, _) = c.encode(&symbols, 10 * BIT_PERIOD_FS);
+        // Shift every transition by up to 0.2T (rounding must absorb it).
+        let jittered: Vec<Fs> = wave
+            .transitions()
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| {
+                let j = (i as i64 % 5 - 2) * (BIT_PERIOD_FS as i64 / 10);
+                (t as i64 + j) as Fs
+            })
+            .collect();
+        let jw = Waveform::from_transitions(jittered);
+        assert_eq!(c.decode(&jw), symbols);
+    }
+
+    #[test]
+    #[should_panic(expected = "symbol out of range")]
+    fn oversize_symbol_rejected() {
+        Dpiwm::new(1, 0).encode(&[2], 0);
+    }
+}

@@ -1,0 +1,28 @@
+//! Physical-layer encodings for the Baldur reproduction.
+//!
+//! Baldur packets (paper Sec. IV-B, Figure 3) carry two differently-encoded
+//! regions:
+//!
+//! * **Routing bits** use a clock-less, length-based code (a variant of
+//!   Digital Pulse Interval Width Modulation): logic `0` is light for two
+//!   bit periods (2T), logic `1` is light for one bit period (T), and each
+//!   routing bit plus its dark "gap period" occupies exactly 3T. The 2x2 TL
+//!   switch decodes the *first* routing bit on the fly and masks it off.
+//! * **Payload bits** use conventional 8b/10b, whose bounded run length
+//!   (at most five consecutive zeros) lets the switch's line activity
+//!   detector declare end-of-packet after >6T of darkness.
+//!
+//! This crate implements both codes plus the piecewise-constant optical
+//! [`waveform::Waveform`] representation shared with the circuit simulator
+//! in `baldur-tl`, and the bandwidth-overhead analysis backing the paper's
+//! "0.34% overhead" claim.
+
+pub mod dpiwm;
+pub mod eightbtenb;
+pub mod length_code;
+pub mod overhead;
+pub mod packet_wave;
+pub mod waveform;
+
+pub use length_code::LengthCode;
+pub use waveform::Waveform;

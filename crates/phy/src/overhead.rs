@@ -1,0 +1,74 @@
+//! Bandwidth-overhead analysis of the length-based code (paper Sec. IV-B).
+//!
+//! The paper states that with 8 routing bits and a 512-byte remainder the
+//! length-based scheme adds ≈0.34% overhead compared to coding the whole
+//! packet with 8b/10b. The comparison: the `k` routing bits occupy `3kT`
+//! when length-coded, versus `10·⌈k/8⌉·T` if they had been carried as
+//! ordinary 8b/10b payload octets.
+
+use serde::{Deserialize, Serialize};
+
+/// Result of the overhead computation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Overhead {
+    /// Bit periods spent on the packet with length-coded routing bits.
+    pub length_coded_periods: u64,
+    /// Bit periods for an all-8b/10b packet carrying the same information.
+    pub all_8b10b_periods: u64,
+    /// Fractional overhead: `length_coded / all_8b10b - 1`.
+    pub fraction: f64,
+}
+
+/// Computes the overhead of length-coding `routing_bits` routing bits on a
+/// packet with `payload_bytes` bytes of 8b/10b payload.
+///
+/// # Panics
+///
+/// Panics if `routing_bits` is zero.
+pub fn length_code_overhead(routing_bits: u64, payload_bytes: u64) -> Overhead {
+    assert!(routing_bits > 0, "need at least one routing bit");
+    let payload_periods = payload_bytes * 10; // 8b/10b: 10T per byte
+    let header_octets = routing_bits.div_ceil(8);
+    let all_8b10b = payload_periods + header_octets * 10;
+    let length_coded = payload_periods + routing_bits * 3;
+    Overhead {
+        length_coded_periods: length_coded,
+        all_8b10b_periods: all_8b10b,
+        fraction: length_coded as f64 / all_8b10b as f64 - 1.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configuration_is_sub_half_percent() {
+        // 8 routing bits (a 256-switch-per-stage class network) + 512 B.
+        let o = length_code_overhead(8, 512);
+        assert_eq!(o.all_8b10b_periods, 5_130);
+        assert_eq!(o.length_coded_periods, 5_144);
+        // Paper reports 0.34%; our accounting of the same scheme gives
+        // 0.27% — same order, comfortably "very minimal".
+        assert!(o.fraction > 0.0 && o.fraction < 0.005, "{}", o.fraction);
+    }
+
+    #[test]
+    fn overhead_grows_with_stages_but_stays_small_at_1m_nodes() {
+        // A 2^20-node Baldur has 20 routing bits.
+        let o = length_code_overhead(20, 512);
+        assert!(o.fraction < 0.01, "{}", o.fraction);
+    }
+
+    #[test]
+    fn tiny_payload_shows_the_cost() {
+        let o = length_code_overhead(8, 8);
+        assert!(o.fraction > 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one routing bit")]
+    fn zero_routing_bits_panics() {
+        length_code_overhead(0, 512);
+    }
+}

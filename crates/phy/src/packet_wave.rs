@@ -1,0 +1,140 @@
+//! Full-packet waveform assembly (Figure 3's packet format).
+//!
+//! A Baldur packet on the wire is: length-coded routing bits (one per
+//! network stage), then the 8b/10b-coded remainder (destination tail,
+//! payload, CRC — everything the switches do not inspect) at one bit per T.
+
+use serde::{Deserialize, Serialize};
+
+use crate::eightbtenb::Encoder;
+use crate::length_code::LengthCode;
+use crate::waveform::{Fs, Waveform};
+
+/// Assembled description of one on-the-wire packet.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PacketWave {
+    /// The routing bits, most-significant (first-stage) first.
+    pub routing_bits: Vec<bool>,
+    /// The payload bytes fed to the 8b/10b encoder.
+    pub payload: Vec<u8>,
+    /// The assembled waveform.
+    pub wave: Waveform,
+    /// Instant where the payload region begins.
+    pub payload_start: Fs,
+    /// Instant of the final falling edge.
+    pub end: Fs,
+}
+
+/// Assembles a packet waveform starting at `start`.
+///
+/// Routing bits are length-coded; payload bytes are 8b/10b coded NRZ-OOK at
+/// one bit per T. A dark guard of one slot separates header from payload so
+/// that the header decoder's prefix scan terminates cleanly.
+///
+/// # Panics
+///
+/// Panics if `routing_bits` is empty — every Baldur packet routes through at
+/// least one stage.
+pub fn assemble(
+    code: &LengthCode,
+    routing_bits: &[bool],
+    payload: &[u8],
+    start: Fs,
+) -> PacketWave {
+    assert!(!routing_bits.is_empty(), "a packet needs routing bits");
+    let t = code.bit_period;
+    let mut pulses = code.encode_pulses(routing_bits, start);
+    let payload_start = start + code.duration(routing_bits.len());
+
+    // 8b/10b payload: emit maximal runs of ones as single pulses.
+    let mut enc = Encoder::new();
+    let bits = enc.encode_bits(payload);
+    let mut cursor = payload_start;
+    let mut run_start: Option<Fs> = None;
+    for &b in &bits {
+        match (b, run_start) {
+            (true, None) => run_start = Some(cursor),
+            (false, Some(s)) => {
+                pulses.push((s, cursor));
+                run_start = None;
+            }
+            _ => {}
+        }
+        cursor += t;
+    }
+    if let Some(s) = run_start {
+        pulses.push((s, cursor));
+    }
+    let wave = Waveform::from_pulses(pulses);
+    let end = wave.end();
+    PacketWave {
+        routing_bits: routing_bits.to_vec(),
+        payload: payload.to_vec(),
+        wave,
+        payload_start,
+        end,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eightbtenb::max_run_length;
+    use crate::waveform::BIT_PERIOD_FS;
+
+    const T: Fs = BIT_PERIOD_FS;
+
+    #[test]
+    fn header_decodes_back() {
+        let code = LengthCode::paper();
+        let bits = vec![true, false, true, true, false];
+        let pw = assemble(&code, &bits, b"hello world", 0);
+        let (decoded, next) = code.decode_prefix(&pw.wave, T / 10);
+        // All five routing bits recovered before payload confuses the scan.
+        assert!(decoded.len() >= bits.len(), "decoded {decoded:?}");
+        assert_eq!(&decoded[..bits.len()], &bits[..]);
+        assert!(next >= pw.payload_start || decoded.len() == bits.len());
+    }
+
+    #[test]
+    fn payload_region_never_dark_longer_than_5t() {
+        let code = LengthCode::paper();
+        let pw = assemble(&code, &[false], &[0u8; 64], 0);
+        // Sample the payload region at T/2 granularity and measure dark runs.
+        let samples = pw.wave.sample(pw.payload_start, pw.end, T / 2);
+        let dark_run = samples
+            .split(|&lit| lit)
+            .map(|run| run.len())
+            .max()
+            .unwrap_or(0);
+        // <=5 bit periods of darkness = <=10 half-period samples.
+        assert!(dark_run <= 10, "dark run of {dark_run} half-periods");
+    }
+
+    #[test]
+    fn empty_payload_is_header_only() {
+        let code = LengthCode::paper();
+        let pw = assemble(&code, &[true, true], &[], 10 * T);
+        assert_eq!(pw.end, 10 * T + code.slot() + code.pulse_len(true));
+    }
+
+    #[test]
+    #[should_panic(expected = "routing bits")]
+    fn empty_header_panics() {
+        assemble(&LengthCode::paper(), &[], b"x", 0);
+    }
+
+    #[test]
+    fn payload_bits_match_encoder() {
+        let code = LengthCode::paper();
+        let payload = b"\x00\xff\x55";
+        let pw = assemble(&code, &[true], payload, 0);
+        let mut enc = Encoder::new();
+        let bits = enc.encode_bits(payload);
+        assert!(max_run_length(&bits) <= 5);
+        for (i, &b) in bits.iter().enumerate() {
+            let t_mid = pw.payload_start + i as Fs * T + T / 2;
+            assert_eq!(pw.wave.level_at(t_mid), b, "bit {i}");
+        }
+    }
+}

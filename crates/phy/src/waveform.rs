@@ -1,0 +1,198 @@
+//! Piecewise-constant binary optical waveforms.
+//!
+//! A [`Waveform`] is the shared signal representation between the encoders
+//! in this crate and the gate-level circuit simulator in `baldur-tl`: a
+//! sorted list of transition instants, with the signal dark (logic 0) before
+//! the first transition.
+//!
+//! The time unit here is deliberately *not* [`baldur_sim::Time`]'s
+//! picosecond: the circuit layer works at a 60 Gbps bit period of
+//! T ≈ 16.67 ps, so waveform timestamps are in **femtosecond** ticks
+//! ([`Fs`]), which keeps T exactly representable (`T = 16_667 fs`).
+
+use serde::{Deserialize, Serialize};
+
+/// Femtosecond tick used by the circuit layer.
+pub type Fs = u64;
+
+/// The 60 Gbps bit period T in femtoseconds (paper Table IV data rate).
+pub const BIT_PERIOD_FS: Fs = 16_667;
+
+/// A piecewise-constant binary waveform.
+///
+/// Invariants: transition times are strictly increasing, and each transition
+/// flips the level. The level before the first transition is `false` (dark).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Waveform {
+    transitions: Vec<Fs>,
+}
+
+impl Waveform {
+    /// The always-dark waveform.
+    pub fn dark() -> Self {
+        Waveform {
+            transitions: Vec::new(),
+        }
+    }
+
+    /// Builds a waveform from `(start, end)` light pulses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if pulses are unordered, overlapping, or empty.
+    pub fn from_pulses<I: IntoIterator<Item = (Fs, Fs)>>(pulses: I) -> Self {
+        let mut transitions = Vec::new();
+        let mut last_end: Option<Fs> = None;
+        for (start, end) in pulses {
+            assert!(start < end, "empty or inverted pulse");
+            if let Some(le) = last_end {
+                assert!(start > le, "pulses must be separated and ordered");
+            }
+            transitions.push(start);
+            transitions.push(end);
+            last_end = Some(end);
+        }
+        Waveform { transitions }
+    }
+
+    /// Builds a waveform directly from a transition list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `transitions` is not strictly increasing.
+    pub fn from_transitions(transitions: Vec<Fs>) -> Self {
+        for w in transitions.windows(2) {
+            assert!(w[0] < w[1], "transitions must be strictly increasing");
+        }
+        Waveform { transitions }
+    }
+
+    /// The transition instants, strictly increasing. Odd count means the
+    /// waveform ends high.
+    pub fn transitions(&self) -> &[Fs] {
+        &self.transitions
+    }
+
+    /// The signal level at instant `t` (transitions take effect *at* their
+    /// timestamp).
+    pub fn level_at(&self, t: Fs) -> bool {
+        // Number of transitions at or before t decides the level.
+        let n = self.transitions.partition_point(|&x| x <= t);
+        n % 2 == 1
+    }
+
+    /// Iterates `(start, end)` light pulses. A trailing unterminated pulse
+    /// is reported with `end == Fs::MAX`.
+    pub fn pulses(&self) -> impl Iterator<Item = (Fs, Fs)> + '_ {
+        let n = self.transitions.len();
+        (0..n).step_by(2).map(move |i| {
+            let start = self.transitions[i];
+            let end = if i + 1 < n {
+                self.transitions[i + 1]
+            } else {
+                Fs::MAX
+            };
+            (start, end)
+        })
+    }
+
+    /// The instant of the last transition, or 0 for the dark waveform.
+    pub fn end(&self) -> Fs {
+        self.transitions.last().copied().unwrap_or(0)
+    }
+
+    /// True if the waveform never lights up.
+    pub fn is_dark(&self) -> bool {
+        self.transitions.is_empty()
+    }
+
+    /// A copy delayed by `delay` (waveguide delay element).
+    pub fn delayed(&self, delay: Fs) -> Waveform {
+        Waveform {
+            transitions: self.transitions.iter().map(|&t| t + delay).collect(),
+        }
+    }
+
+    /// Samples the waveform every `step` from `from` (inclusive) to `to`
+    /// (exclusive), for plotting/assertions.
+    pub fn sample(&self, from: Fs, to: Fs, step: Fs) -> Vec<bool> {
+        assert!(step > 0, "step must be positive");
+        let mut out = Vec::new();
+        let mut t = from;
+        while t < to {
+            out.push(self.level_at(t));
+            t += step;
+        }
+        out
+    }
+
+    /// Total lit time within `[0, horizon)`.
+    pub fn lit_time(&self, horizon: Fs) -> Fs {
+        let mut total = 0;
+        for (s, e) in self.pulses() {
+            if s >= horizon {
+                break;
+            }
+            total += e.min(horizon) - s;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_follows_pulses() {
+        let w = Waveform::from_pulses([(10, 20), (30, 35)]);
+        assert!(!w.level_at(0));
+        assert!(!w.level_at(9));
+        assert!(w.level_at(10));
+        assert!(w.level_at(19));
+        assert!(!w.level_at(20));
+        assert!(w.level_at(30));
+        assert!(!w.level_at(35));
+        assert_eq!(w.end(), 35);
+    }
+
+    #[test]
+    fn pulses_round_trip() {
+        let w = Waveform::from_pulses([(1, 2), (5, 9)]);
+        let ps: Vec<_> = w.pulses().collect();
+        assert_eq!(ps, vec![(1, 2), (5, 9)]);
+    }
+
+    #[test]
+    fn unterminated_pulse_is_open() {
+        let w = Waveform::from_transitions(vec![7]);
+        let ps: Vec<_> = w.pulses().collect();
+        assert_eq!(ps, vec![(7, Fs::MAX)]);
+        assert!(w.level_at(1_000_000));
+    }
+
+    #[test]
+    fn delayed_shifts_everything() {
+        let w = Waveform::from_pulses([(10, 20)]).delayed(5);
+        assert_eq!(w.transitions(), &[15, 25]);
+    }
+
+    #[test]
+    fn lit_time_clips_at_horizon() {
+        let w = Waveform::from_pulses([(0, 10), (20, 40)]);
+        assert_eq!(w.lit_time(25), 15);
+        assert_eq!(w.lit_time(100), 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "separated and ordered")]
+    fn overlapping_pulses_panic() {
+        Waveform::from_pulses([(0, 10), (10, 20)]);
+    }
+
+    #[test]
+    fn sampling() {
+        let w = Waveform::from_pulses([(2, 4)]);
+        assert_eq!(w.sample(0, 6, 1), vec![false, false, true, true, false, false]);
+    }
+}

@@ -1,0 +1,39 @@
+//! Component power constants with their paper citations.
+
+/// Cisco SFP28 optical transceiver module (paper ref \[58\]): watts.
+pub const TRANSCEIVER_W: f64 = 1.5;
+
+/// One 28 Gb/s SerDes lane in 32 nm SOI (paper ref \[59\]): watts.
+pub const SERDES_W: f64 = 0.693;
+
+/// A 1 MB SRAM retransmission buffer (paper ref \[60\]): watts. Only Baldur
+/// pays this (per node, assuming hardware retransmission).
+pub const RETX_BUFFER_W: f64 = 0.741;
+
+/// TL gate static power (paper Table IV): milliwatts.
+pub const TL_GATE_MW: f64 = 0.406;
+
+/// Power cost of one *optical* link end: a transceiver plus its SerDes.
+pub const OPTICAL_PORT_W: f64 = TRANSCEIVER_W + SERDES_W;
+
+/// Power cost of one *electrical* (short, in-cabinet) link end: SerDes
+/// only.
+pub const ELECTRICAL_PORT_W: f64 = SERDES_W;
+
+/// Peak power budget per cabinet (paper Sec. IV-G, Cray XC \[1\]): watts.
+pub const CABINET_POWER_W: f64 = 85_000.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optical_port_sums_components() {
+        assert!((OPTICAL_PORT_W - 2.193).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tl_gate_matches_table_iv() {
+        assert!((TL_GATE_MW - baldur_tl::TlGate::PAPER.power_mw).abs() < 1e-12);
+    }
+}

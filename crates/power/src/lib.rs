@@ -1,0 +1,39 @@
+//! Power models for the Baldur reproduction (paper Sec. VI-A and VII).
+//!
+//! The paper composes network power from datasheet and tool numbers:
+//! Cisco SFP28 transceivers (1.5 W), a 32 nm SerDes (0.693 W), a 1 MB
+//! retransmission buffer (0.741 W), ORION 3.0 + Cacti 6.5 router power,
+//! and the TL gate power of Table IV (0.406 mW). This crate reproduces
+//! that composition:
+//!
+//! * [`constants`] — the cited component numbers,
+//! * [`router_power`] — the ORION-like electrical router-core model, with
+//!   per-network coefficients calibrated to the paper's quoted anchors
+//!   (see DESIGN.md, substitution 4),
+//! * [`networks`] — per-node power with component breakdown for Baldur,
+//!   electrical multi-butterfly, dragonfly, and fat-tree at any scale,
+//! * [`scaling`] — the Figure 8 sweep (1K → 1.4M nodes),
+//! * [`sensitivity`] — the Figure 9 0.5x/2x switch-power analysis,
+//! * [`awgr`] — the Sec. VII AWGR comparison at 32 nodes.
+
+pub mod awgr;
+pub mod constants;
+pub mod networks;
+pub mod router_power;
+pub mod scaling;
+pub mod sensitivity;
+
+pub use networks::{NetworkPower, PowerBreakdown};
+pub use scaling::{scaling_sweep, ScalePoint};
+
+/// Baldur's multiplicity schedule by scale (Sec. IV-E): 3 for tens of
+/// nodes, 4 up to ~16K, 5 beyond — the same schedule `baldur-net` uses.
+pub fn multiplicity_for(nodes: u64) -> u32 {
+    if nodes >= 16_384 {
+        5
+    } else if nodes >= 64 {
+        4
+    } else {
+        3
+    }
+}

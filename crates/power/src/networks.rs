@@ -1,0 +1,293 @@
+//! Per-node network power with component breakdown (Figure 8's data).
+
+use baldur_tl::gate_count::SwitchDesign;
+use baldur_topo::dragonfly::Dragonfly;
+use baldur_topo::fattree::FatTree;
+use serde::{Deserialize, Serialize};
+
+use crate::constants::{
+    ELECTRICAL_PORT_W, OPTICAL_PORT_W, RETX_BUFFER_W, SERDES_W, TL_GATE_MW, TRANSCEIVER_W,
+};
+use crate::router_power::CoreModel;
+
+/// Node count above which dragonfly intra-group links must go optical
+/// (paper: ~83K, when groups grow too large for copper).
+pub const DRAGONFLY_OPTICAL_LOCAL_THRESHOLD: u64 = 83_000;
+
+/// Per-node power decomposition, watts.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PowerBreakdown {
+    /// Optical transceiver modules.
+    pub transceivers_w: f64,
+    /// SerDes lanes.
+    pub serdes_w: f64,
+    /// Packet / retransmission buffering.
+    pub buffers_w: f64,
+    /// Switch logic (router cores, or TL gates for Baldur).
+    pub switching_w: f64,
+}
+
+impl PowerBreakdown {
+    /// Total watts per node.
+    pub fn total_w(&self) -> f64 {
+        self.transceivers_w + self.serdes_w + self.buffers_w + self.switching_w
+    }
+
+    /// Conversion overhead share (transceivers + SerDes), as in the
+    /// paper's "41.7% of the power is attributed to O-E/E-O conversions
+    /// and SerDes units".
+    pub fn conversion_fraction(&self) -> f64 {
+        (self.transceivers_w + self.serdes_w) / self.total_w()
+    }
+
+    /// Scales the switching component (Figure 9 sensitivity analysis).
+    pub fn with_switch_scale(mut self, factor: f64) -> Self {
+        self.switching_w *= factor;
+        self
+    }
+}
+
+/// The network families of Figure 8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NetworkPower {
+    /// All-optical Baldur.
+    Baldur,
+    /// Electrical multi-butterfly.
+    ElectricalMultiButterfly,
+    /// Dragonfly.
+    Dragonfly,
+    /// Fat-tree.
+    FatTree,
+}
+
+impl NetworkPower {
+    /// All four, in Figure 8 order.
+    pub const ALL: [NetworkPower; 4] = [
+        NetworkPower::Baldur,
+        NetworkPower::ElectricalMultiButterfly,
+        NetworkPower::Dragonfly,
+        NetworkPower::FatTree,
+    ];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            NetworkPower::Baldur => "baldur",
+            NetworkPower::ElectricalMultiButterfly => "electrical_mb",
+            NetworkPower::Dragonfly => "dragonfly",
+            NetworkPower::FatTree => "fattree",
+        }
+    }
+
+    /// The actual node count this network family instantiates for a
+    /// requested scale (the paper reports scale *ranges* because each
+    /// topology rounds differently).
+    pub fn natural_size(&self, requested: u64) -> u64 {
+        match self {
+            NetworkPower::Baldur | NetworkPower::ElectricalMultiButterfly => {
+                requested.next_power_of_two()
+            }
+            NetworkPower::Dragonfly => Dragonfly::at_least(requested).node_count(),
+            NetworkPower::FatTree => FatTree::at_least(requested).node_count(),
+        }
+    }
+
+    /// Per-node power breakdown at (roughly) `requested` nodes.
+    pub fn per_node(&self, requested: u64) -> PowerBreakdown {
+        match self {
+            NetworkPower::Baldur => baldur_per_node(requested),
+            NetworkPower::ElectricalMultiButterfly => mb_per_node(requested),
+            NetworkPower::Dragonfly => dragonfly_per_node(requested),
+            NetworkPower::FatTree => fattree_per_node(requested),
+        }
+    }
+}
+
+/// Baldur: bottom-up from real component counts. Per node: one transceiver
+/// pair (TX + RX fiber interfaces) with SerDes, the 1 MB retransmission
+/// buffer, and the node's share of the TL switch gates. No other
+/// conversions exist anywhere in the fabric — that is the whole point.
+fn baldur_per_node(requested: u64) -> PowerBreakdown {
+    let nodes = requested.next_power_of_two();
+    let stages = nodes.trailing_zeros() as u64;
+    let m = crate::multiplicity_for(nodes);
+    let gates = u64::from(SwitchDesign::new(m).gates());
+    let switches = stages * (nodes / 2);
+    let tl_w_total = switches as f64 * gates as f64 * TL_GATE_MW * 1e-3;
+    PowerBreakdown {
+        transceivers_w: 2.0 * TRANSCEIVER_W,
+        serdes_w: 2.0 * SERDES_W,
+        buffers_w: RETX_BUFFER_W,
+        switching_w: tl_w_total / nodes as f64,
+    }
+}
+
+/// Electrical multi-butterfly (multiplicity 4, radix-16 switches): per
+/// node there are `stages / 2` switch cores, 2 node fibers (optical), and
+/// `m(stages-1)` inter-stage links of which roughly a third leave the
+/// cabinet and need optics (packaging-derived; calibrated so the 1K-scale
+/// conversion share matches the paper's 41.7%).
+fn mb_per_node(requested: u64) -> PowerBreakdown {
+    let nodes = requested.next_power_of_two();
+    let stages = nodes.trailing_zeros() as f64;
+    let m = 4.0;
+    let core = CoreModel::multibutterfly().core_w(16);
+    let cores_per_node = stages / 2.0;
+    let internal_links = m * (stages - 1.0);
+    let optical_fraction = 0.32;
+    let node_links = 2.0;
+    let transceivers =
+        node_links * 2.0 * TRANSCEIVER_W + internal_links * optical_fraction * 2.0 * TRANSCEIVER_W;
+    let serdes = (node_links + internal_links) * 2.0 * SERDES_W;
+    PowerBreakdown {
+        transceivers_w: transceivers,
+        serdes_w: serdes,
+        // Buffering is inside the ORION core model; keep it there and
+        // report the core under "switching" minus a nominal buffer share.
+        buffers_w: cores_per_node * core * 0.25,
+        switching_w: cores_per_node * core * 0.75,
+    }
+}
+
+fn dragonfly_per_node(requested: u64) -> PowerBreakdown {
+    let df = Dragonfly::at_least(requested);
+    let p = f64::from(df.p);
+    let a = f64::from(df.a);
+    let h = f64::from(df.h);
+    let core = CoreModel::dragonfly().core_w(df.radix());
+    // Local (intra-group) links stay copper until groups outgrow the
+    // cabinet (paper: ~83K nodes), then need optics too.
+    let local_optical = if df.node_count() >= DRAGONFLY_OPTICAL_LOCAL_THRESHOLD {
+        1.0
+    } else {
+        0.0
+    };
+    // Per node: a NIC transceiver+SerDes, plus the router's ports shared
+    // by its p nodes — every port has a SerDes; optical ports also carry a
+    // transceiver (terminal links are short copper).
+    let transceivers_w = TRANSCEIVER_W * (1.0 + ((a - 1.0) * local_optical + h) / p);
+    let serdes_w = SERDES_W * (1.0 + (p + (a - 1.0) + h) / p);
+    // Silence unused-constant lint paths in the electrical/optical split.
+    let _ = (ELECTRICAL_PORT_W, OPTICAL_PORT_W);
+    PowerBreakdown {
+        transceivers_w,
+        serdes_w,
+        buffers_w: core / p * 0.25,
+        switching_w: core / p * 0.75,
+    }
+}
+
+fn fattree_per_node(requested: u64) -> PowerBreakdown {
+    let ft = FatTree::at_least(requested);
+    let k = f64::from(ft.k);
+    let core = CoreModel::fattree().core_w(ft.k);
+    let switches_per_node = 5.0 / k; // (k^2 + k^2/4) / (k^3/4)
+    // Per node: 1 terminal link (electrical), 1 edge-agg link and 1
+    // agg-core link (optical at the paper's 50/100 ns distances).
+    let transceivers = 1.0 * TRANSCEIVER_W + 2.0 * 2.0 * TRANSCEIVER_W;
+    let serdes = (1.0 + 1.0 + 2.0 * 2.0) * SERDES_W;
+    PowerBreakdown {
+        transceivers_w: transceivers,
+        serdes_w: serdes,
+        buffers_w: switches_per_node * core * 0.25,
+        switching_w: switches_per_node * core * 0.75,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mb_1k_anchor_holds() {
+        // Paper Sec. II-A: 223.5 W/node at 1,024 nodes, 41.7% conversions.
+        let b = NetworkPower::ElectricalMultiButterfly.per_node(1_024);
+        assert!((b.total_w() / 223.5 - 1.0).abs() < 0.05, "{}", b.total_w());
+        assert!(
+            (b.conversion_fraction() - 0.417).abs() < 0.05,
+            "{}",
+            b.conversion_fraction()
+        );
+    }
+
+    #[test]
+    fn mb_is_6x_fattree_at_1k() {
+        let mb = NetworkPower::ElectricalMultiButterfly.per_node(1_024).total_w();
+        let ft = NetworkPower::FatTree.per_node(1_024).total_w();
+        let ratio = mb / ft;
+        assert!((5.0..7.5).contains(&ratio), "MB/FT = {ratio}");
+    }
+
+    #[test]
+    fn baldur_growth_1k_to_1m_is_about_1_7x() {
+        let lo = NetworkPower::Baldur.per_node(1_024).total_w();
+        let hi = NetworkPower::Baldur.per_node(1 << 20).total_w();
+        let g = hi / lo;
+        assert!((1.4..2.0).contains(&g), "Baldur growth {g}");
+    }
+
+    #[test]
+    fn electrical_growth_factors_match_paper_bands() {
+        // Paper: dragonfly 7.8x, fat-tree 9.0x, MB 2.0x from 1K-2K to
+        // 1M-1.4M.
+        let g = |n: NetworkPower| n.per_node(1_050_000).total_w() / n.per_node(1_024).total_w();
+        let df = g(NetworkPower::Dragonfly);
+        let ft = g(NetworkPower::FatTree);
+        let mb = g(NetworkPower::ElectricalMultiButterfly);
+        assert!((6.0..10.0).contains(&df), "dragonfly growth {df}");
+        assert!((7.0..11.0).contains(&ft), "fat-tree growth {ft}");
+        assert!((1.7..2.4).contains(&mb), "MB growth {mb}");
+    }
+
+    #[test]
+    fn baldur_wins_at_every_scale() {
+        for scale in [1_024u64, 16_384, 131_072, 1 << 20] {
+            let b = NetworkPower::Baldur.per_node(scale).total_w();
+            for n in [
+                NetworkPower::ElectricalMultiButterfly,
+                NetworkPower::Dragonfly,
+                NetworkPower::FatTree,
+            ] {
+                let w = n.per_node(scale).total_w();
+                assert!(w > b, "{} at {scale}: {w} vs baldur {b}", n.name());
+            }
+        }
+    }
+
+    #[test]
+    fn improvement_bands_match_figure_8() {
+        // 1K-2K: 3.2x - 26.4x; 1M-1.4M: 14.6x - 31.0x (paper abstract).
+        let at = |scale: u64| {
+            let b = NetworkPower::Baldur.per_node(scale).total_w();
+            NetworkPower::ALL[1..]
+                .iter()
+                .map(|n| n.per_node(scale).total_w() / b)
+                .collect::<Vec<_>>()
+        };
+        let r1k = at(1_024);
+        let min1 = r1k.iter().cloned().fold(f64::MAX, f64::min);
+        let max1 = r1k.iter().cloned().fold(0.0, f64::max);
+        assert!((2.5..5.5).contains(&min1), "1K min ratio {min1}");
+        assert!((20.0..34.0).contains(&max1), "1K max ratio {max1}");
+        let r1m = at(1_050_000);
+        let min2 = r1m.iter().cloned().fold(f64::MAX, f64::min);
+        let max2 = r1m.iter().cloned().fold(0.0, f64::max);
+        assert!((11.0..21.0).contains(&min2), "1M min ratio {min2}");
+        assert!((24.0..40.0).contains(&max2), "1M max ratio {max2}");
+    }
+
+    #[test]
+    fn baldur_switching_share_from_gates() {
+        // 1,024 nodes, m=4: 10 x 512 switches x 1,112 gates x 0.406 mW
+        // = 2.31 kW total => ~2.26 W/node of TL switching.
+        let b = NetworkPower::Baldur.per_node(1_024);
+        assert!((b.switching_w - 2.26).abs() < 0.05, "{}", b.switching_w);
+    }
+
+    #[test]
+    fn natural_sizes() {
+        assert_eq!(NetworkPower::Baldur.natural_size(1_000), 1_024);
+        assert_eq!(NetworkPower::Dragonfly.natural_size(1_000), 1_056);
+        assert_eq!(NetworkPower::FatTree.natural_size(1_000), 1_024);
+    }
+}

@@ -1,0 +1,123 @@
+//! Electrical router-core power (the ORION 3.0 + Cacti 6.5 substitute).
+//!
+//! The paper runs ORION/Cacti per configuration; we use the standard
+//! decomposition — per-port buffering (linear in radix) plus
+//! crossbar/allocation (super-linear in radix) — as a power law
+//! `core(r) = linear·r + c·r^gamma`, with `(c, gamma)` calibrated per
+//! network family against the paper's quoted anchors:
+//!
+//! * multi-butterfly: 223.5 W/node at 1K with 41.7% conversion overhead ⇒
+//!   a radix-16, radix-2-logical switch core of ≈26 W; the MB's trivial
+//!   destination-bit routing keeps its allocator simple, so its core
+//!   scales gently,
+//! * fat-tree: 1/6 of MB per node at 1K and 9.0x growth to 1M (radix
+//!   16 → 160) ⇒ `gamma ≈ 2.1`,
+//! * dragonfly: 3.2x Baldur at 1K and 7.8x growth to 1M (radix 15 → 95)
+//!   ⇒ `gamma ≈ 2.2` (its adaptive-routing allocator is the most complex;
+//!   the paper itself calls its dragonfly/fat-tree numbers optimistic for
+//!   excluding adaptive-routing logic).
+//!
+//! The calibration targets are asserted in this module's tests, so any
+//! drift in the model is caught immediately.
+
+use serde::{Deserialize, Serialize};
+
+/// A router-core power law.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoreModel {
+    /// Per-port (buffer + local SerDes driver) watts.
+    pub linear_w_per_port: f64,
+    /// Crossbar/allocator coefficient.
+    pub c: f64,
+    /// Crossbar/allocator exponent.
+    pub gamma: f64,
+}
+
+impl CoreModel {
+    /// Core power of a radix-`r` router, watts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is zero.
+    pub fn core_w(&self, r: u32) -> f64 {
+        assert!(r > 0, "radix must be positive");
+        self.linear_w_per_port * f64::from(r) + self.c * f64::from(r).powf(self.gamma)
+    }
+
+    /// Multi-butterfly switches (radix-2 logical, 2m ports/side).
+    pub fn multibutterfly() -> Self {
+        // core(16) ≈ 26 W (derived from the paper's 223.5 W/node & 41.7%
+        // conversion-share anchors); simple routing ⇒ near-quadratic only
+        // through the crossbar.
+        CoreModel {
+            linear_w_per_port: 0.40,
+            c: 0.0766,
+            gamma: 2.0,
+        }
+    }
+
+    /// Fat-tree switches (adaptive up-routing).
+    pub fn fattree() -> Self {
+        // core(16) ≈ 79.7 W and core(160) ≈ 10.3 kW (paper growth 9.0x).
+        CoreModel {
+            linear_w_per_port: 0.40,
+            c: 0.191,
+            gamma: 2.146,
+        }
+    }
+
+    /// Dragonfly routers (UGAL adaptive routing).
+    pub fn dragonfly() -> Self {
+        // core(15) ≈ 80.5 W and core(95) ≈ 4.8 kW (paper growth 7.8x).
+        CoreModel {
+            linear_w_per_port: 0.40,
+            c: 0.166,
+            gamma: 2.255,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mb_core_anchor() {
+        let w = CoreModel::multibutterfly().core_w(16);
+        assert!((w - 26.0).abs() < 1.0, "{w}");
+    }
+
+    #[test]
+    fn fattree_core_anchors() {
+        let m = CoreModel::fattree();
+        let w16 = m.core_w(16);
+        let w160 = m.core_w(160);
+        assert!((w16 - 79.7).abs() < 4.0, "{w16}");
+        assert!((w160 / 10_325.0 - 1.0).abs() < 0.10, "{w160}");
+    }
+
+    #[test]
+    fn dragonfly_core_anchors() {
+        let m = CoreModel::dragonfly();
+        let w15 = m.core_w(15);
+        let w95 = m.core_w(95);
+        assert!((w15 - 80.5).abs() < 4.0, "{w15}");
+        assert!((w95 / 4_822.0 - 1.0).abs() < 0.10, "{w95}");
+    }
+
+    #[test]
+    fn cores_grow_monotonically() {
+        for m in [
+            CoreModel::multibutterfly(),
+            CoreModel::fattree(),
+            CoreModel::dragonfly(),
+        ] {
+            let mut last = 0.0;
+            for r in [4u32, 8, 16, 32, 64, 128] {
+                let w = m.core_w(r);
+                assert!(w > last);
+                last = w;
+            }
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! The Figure 8 scaling sweep: power per node from 1K to 1.4M servers.
+
+use serde::{Deserialize, Serialize};
+
+use crate::networks::{NetworkPower, PowerBreakdown};
+
+/// One scale point of the sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScalePoint {
+    /// Requested scale (lower edge of the paper's range label).
+    pub requested: u64,
+    /// Figure 8's range label, e.g. "1K-2K".
+    pub label: String,
+    /// Per-network `(actual nodes, breakdown)`.
+    pub entries: Vec<(NetworkPower, u64, PowerBreakdown)>,
+}
+
+impl ScalePoint {
+    /// Power per node of one network at this point.
+    pub fn total_w(&self, n: NetworkPower) -> f64 {
+        self.entries
+            .iter()
+            .find(|(k, _, _)| *k == n)
+            .map(|(_, _, b)| b.total_w())
+            .expect("network present")
+    }
+
+    /// Baldur's improvement factor over `n`.
+    pub fn improvement(&self, n: NetworkPower) -> f64 {
+        self.total_w(n) / self.total_w(NetworkPower::Baldur)
+    }
+}
+
+/// The paper's Figure 8 x-axis.
+pub fn paper_scales() -> Vec<(u64, String)> {
+    vec![
+        (1_024, "1K-2K".into()),
+        (16_384, "16K-17K".into()),
+        (131_072, "131K-263K".into()),
+        (1_048_576, "1M-1.4M".into()),
+    ]
+}
+
+/// Runs the sweep over the given scales (or [`paper_scales`]).
+pub fn scaling_sweep(scales: &[(u64, String)]) -> Vec<ScalePoint> {
+    scales
+        .iter()
+        .map(|(requested, label)| {
+            let entries = NetworkPower::ALL
+                .iter()
+                .map(|&n| (n, n.natural_size(*requested), n.per_node(*requested)))
+                .collect();
+            ScalePoint {
+                requested: *requested,
+                label: label.clone(),
+                entries,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_all_networks_at_all_scales() {
+        let sweep = scaling_sweep(&paper_scales());
+        assert_eq!(sweep.len(), 4);
+        for p in &sweep {
+            assert_eq!(p.entries.len(), 4);
+            for (n, size, b) in &p.entries {
+                assert!(*size >= p.requested, "{} at {}", n.name(), p.requested);
+                assert!(b.total_w() > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn baldur_improvement_grows_with_scale_overall() {
+        let sweep = scaling_sweep(&paper_scales());
+        let first_min = NetworkPower::ALL[1..]
+            .iter()
+            .map(|&n| sweep[0].improvement(n))
+            .fold(f64::MAX, f64::min);
+        let last_min = NetworkPower::ALL[1..]
+            .iter()
+            .map(|&n| sweep[3].improvement(n))
+            .fold(f64::MAX, f64::min);
+        // Paper: min improvement rises from 3.2x at 1K to 14.6x at 1M.
+        assert!(last_min > 2.5 * first_min, "{first_min} -> {last_min}");
+    }
+
+    #[test]
+    fn dip_at_16k_from_multiplicity_bump() {
+        // The paper notes Baldur's advantage dips slightly at 16K-17K
+        // because multiplicity goes 4 -> 5 there.
+        let sweep = scaling_sweep(&paper_scales());
+        let b_1k = sweep[0].total_w(NetworkPower::Baldur);
+        let b_16k = sweep[1].total_w(NetworkPower::Baldur);
+        assert!(b_16k > b_1k, "multiplicity bump must cost power");
+    }
+}

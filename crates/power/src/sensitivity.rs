@@ -1,0 +1,98 @@
+//! The Figure 9 sensitivity analysis: switch power scaled 0.5x / 2x.
+//!
+//! The paper's pessimistic case halves every *electrical* switch's power
+//! while doubling the *optical* (TL) switch power; even then Baldur wins
+//! by 5.1x / 8.2x / 14.7x against dragonfly / fat-tree / electrical MB at
+//! the 1M-1.4M scale.
+
+use serde::{Deserialize, Serialize};
+
+use crate::networks::NetworkPower;
+
+/// One sensitivity scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Multiplier on electrical switch (router-core) power.
+    pub electrical_scale: f64,
+    /// Multiplier on optical (TL) switch power.
+    pub optical_scale: f64,
+}
+
+impl Scenario {
+    /// Figure 8's numbers unchanged.
+    pub const BASELINE: Scenario = Scenario {
+        electrical_scale: 1.0,
+        optical_scale: 1.0,
+    };
+
+    /// The paper's pessimistic (for Baldur) corner.
+    pub const PESSIMISTIC: Scenario = Scenario {
+        electrical_scale: 0.5,
+        optical_scale: 2.0,
+    };
+
+    /// The paper's optimistic corner.
+    pub const OPTIMISTIC: Scenario = Scenario {
+        electrical_scale: 2.0,
+        optical_scale: 0.5,
+    };
+
+    /// Per-node power of `n` at `scale` under this scenario. For the
+    /// electrical networks the router *core* includes its buffering, so
+    /// both shares scale; Baldur's buffer is the NIC-side retransmission
+    /// SRAM, which is not a switch and stays fixed.
+    pub fn per_node_w(&self, n: NetworkPower, scale: u64) -> f64 {
+        let mut b = n.per_node(scale);
+        match n {
+            NetworkPower::Baldur => {
+                b.switching_w *= self.optical_scale;
+            }
+            _ => {
+                b.switching_w *= self.electrical_scale;
+                b.buffers_w *= self.electrical_scale;
+            }
+        }
+        b.total_w()
+    }
+
+    /// Baldur's improvement over `n` at `scale`.
+    pub fn improvement(&self, n: NetworkPower, scale: u64) -> f64 {
+        self.per_node_w(n, scale) / self.per_node_w(NetworkPower::Baldur, scale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCALE_1M: u64 = 1_048_576;
+
+    #[test]
+    fn pessimistic_case_still_favors_baldur() {
+        // Paper Fig. 9: 5.1x / 8.2x / 14.7x vs dragonfly / fat-tree / MB.
+        let s = Scenario::PESSIMISTIC;
+        let df = s.improvement(NetworkPower::Dragonfly, SCALE_1M);
+        let ft = s.improvement(NetworkPower::FatTree, SCALE_1M);
+        let mb = s.improvement(NetworkPower::ElectricalMultiButterfly, SCALE_1M);
+        assert!((3.5..8.0).contains(&df), "dragonfly {df}");
+        assert!((6.0..12.0).contains(&ft), "fat-tree {ft}");
+        assert!((10.0..20.0).contains(&mb), "MB {mb}");
+    }
+
+    #[test]
+    fn optimistic_case_widens_the_gap() {
+        let base = Scenario::BASELINE.improvement(NetworkPower::FatTree, SCALE_1M);
+        let opt = Scenario::OPTIMISTIC.improvement(NetworkPower::FatTree, SCALE_1M);
+        let pess = Scenario::PESSIMISTIC.improvement(NetworkPower::FatTree, SCALE_1M);
+        assert!(opt > base && base > pess, "{opt} > {base} > {pess}");
+    }
+
+    #[test]
+    fn scaling_only_touches_switching() {
+        let b = NetworkPower::FatTree.per_node(SCALE_1M);
+        let scaled = b.with_switch_scale(0.5);
+        assert_eq!(b.transceivers_w, scaled.transceivers_w);
+        assert_eq!(b.serdes_w, scaled.serdes_w);
+        assert!((scaled.switching_w - b.switching_w * 0.5).abs() < 1e-12);
+    }
+}

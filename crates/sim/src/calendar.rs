@@ -1,0 +1,287 @@
+//! A calendar queue (Brown 1988) — the classic O(1)-amortized future
+//! event list for discrete-event simulation.
+//!
+//! Events hash into day buckets by timestamp; a dequeue scans from the
+//! current bucket within the current "year". The queue resizes itself
+//! (doubling/halving buckets, re-estimating the bucket width from a
+//! sample of inter-event gaps) to keep ~1 event per bucket. Ties are
+//! broken by sequence number, so it is a drop-in, determinism-preserving
+//! replacement for the binary heap in [`crate::engine::Scheduler`]
+//! (select it with `Scheduler::new_calendar`).
+
+use crate::time::Time;
+
+/// An entry: `(time, seq)` orders the queue; `E` is the payload.
+#[derive(Debug, Clone)]
+struct Entry<E> {
+    at: u64,
+    seq: u64,
+    event: E,
+}
+
+/// A calendar queue over `(Time, seq)`-ordered events.
+#[derive(Debug, Clone)]
+pub struct CalendarQueue<E> {
+    buckets: Vec<Vec<Entry<E>>>,
+    /// Width of one bucket (picoseconds).
+    width: u64,
+    /// Index of the bucket the next dequeue starts scanning at.
+    cursor: usize,
+    /// Start time of the cursor bucket's current year window.
+    cursor_start: u64,
+    len: usize,
+    /// Resize thresholds.
+    grow_at: usize,
+    shrink_at: usize,
+}
+
+impl<E> CalendarQueue<E> {
+    /// An empty queue with a small initial geometry.
+    pub fn new() -> Self {
+        Self::with_geometry(16, 1_000)
+    }
+
+    /// An empty queue with explicit bucket count (a power of two) and
+    /// width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets` is not a power of two or `width` is zero.
+    pub fn with_geometry(buckets: usize, width: u64) -> Self {
+        assert!(buckets.is_power_of_two(), "bucket count must be 2^k");
+        assert!(width > 0, "bucket width must be positive");
+        CalendarQueue {
+            buckets: (0..buckets).map(|_| Vec::new()).collect(),
+            width,
+            cursor: 0,
+            cursor_start: 0,
+            len: 0,
+            grow_at: buckets * 2,
+            shrink_at: buckets / 8,
+        }
+    }
+
+    /// Number of queued events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn bucket_of(&self, at: u64) -> usize {
+        ((at / self.width) as usize) & (self.buckets.len() - 1)
+    }
+
+    /// Enqueues an event.
+    pub fn push(&mut self, at: Time, seq: u64, event: E) {
+        let at = at.as_ps();
+        // Keep the scan anchor valid: never let an insertion land before
+        // the cursor's notion of "now".
+        if self.len == 0 || at < self.cursor_start {
+            self.cursor_start = at - at % self.width;
+            self.cursor = self.bucket_of(at);
+        }
+        let b = self.bucket_of(at);
+        // Insert sorted descending so pop from the tail is the minimum.
+        let bucket = &mut self.buckets[b];
+        let pos = bucket
+            .binary_search_by(|e| (at, seq).cmp(&(e.at, e.seq)))
+            .unwrap_or_else(|p| p);
+        bucket.insert(pos, Entry { at, seq, event });
+        self.len += 1;
+        if self.len > self.grow_at {
+            self.resize(self.buckets.len() * 2);
+        }
+    }
+
+    /// The `(time, seq)` of the earliest event.
+    pub fn peek(&self) -> Option<(Time, u64)> {
+        if self.len == 0 {
+            return None;
+        }
+        // Fast path: scan one year from the cursor.
+        let n = self.buckets.len();
+        let mut start = self.cursor_start;
+        let mut idx = self.cursor;
+        for _ in 0..n {
+            let year_end = start + self.width;
+            if let Some(e) = self.buckets[idx].last() {
+                if e.at < year_end {
+                    return Some((Time::from_ps(e.at), e.seq));
+                }
+            }
+            idx = (idx + 1) & (n - 1);
+            start = year_end;
+        }
+        // Sparse case: direct minimum search.
+        self.buckets
+            .iter()
+            .filter_map(|b| b.last())
+            .min_by_key(|e| (e.at, e.seq))
+            .map(|e| (Time::from_ps(e.at), e.seq))
+    }
+
+    /// Dequeues the earliest event.
+    pub fn pop(&mut self) -> Option<(Time, u64, E)> {
+        if self.len == 0 {
+            return None;
+        }
+        let n = self.buckets.len();
+        loop {
+            let mut start = self.cursor_start;
+            let mut idx = self.cursor;
+            for _ in 0..n {
+                let year_end = start + self.width;
+                let hit = self.buckets[idx]
+                    .last()
+                    .map(|e| e.at < year_end)
+                    .unwrap_or(false);
+                if hit {
+                    let e = self.buckets[idx].pop().expect("non-empty");
+                    self.len -= 1;
+                    self.cursor = idx;
+                    self.cursor_start = start;
+                    if self.len < self.shrink_at && self.buckets.len() > 16 {
+                        self.resize(self.buckets.len() / 2);
+                    }
+                    return Some((Time::from_ps(e.at), e.seq, e.event));
+                }
+                idx = (idx + 1) & (n - 1);
+                start = year_end;
+            }
+            // Nothing within a year of the cursor: jump the cursor to the
+            // global minimum's window and retry (sparse queue).
+            let min_at = self
+                .buckets
+                .iter()
+                .filter_map(|b| b.last())
+                .map(|e| e.at)
+                .min()
+                .expect("len > 0");
+            self.cursor_start = min_at - min_at % self.width;
+            self.cursor = self.bucket_of(min_at);
+        }
+    }
+
+    fn resize(&mut self, new_buckets: usize) {
+        let new_width = self.estimate_width();
+        let mut entries: Vec<Entry<E>> = Vec::with_capacity(self.len);
+        for b in &mut self.buckets {
+            entries.append(b);
+        }
+        let min_at = entries.iter().map(|e| e.at).min().unwrap_or(0);
+        self.buckets = (0..new_buckets).map(|_| Vec::new()).collect();
+        self.width = new_width;
+        self.grow_at = new_buckets * 2;
+        self.shrink_at = new_buckets / 8;
+        self.cursor_start = min_at - min_at % self.width;
+        self.cursor = self.bucket_of(min_at);
+        let count = entries.len();
+        for e in entries {
+            let b = self.bucket_of(e.at);
+            let bucket = &mut self.buckets[b];
+            let pos = bucket
+                .binary_search_by(|x| (e.at, e.seq).cmp(&(x.at, x.seq)))
+                .unwrap_or_else(|p| p);
+            bucket.insert(pos, e);
+        }
+        debug_assert_eq!(self.len, count);
+    }
+
+    /// Estimates a bucket width from the spread of queued timestamps.
+    fn estimate_width(&self) -> u64 {
+        let mut lo = u64::MAX;
+        let mut hi = 0;
+        for b in &self.buckets {
+            for e in b {
+                lo = lo.min(e.at);
+                hi = hi.max(e.at);
+            }
+        }
+        if self.len < 2 || hi <= lo {
+            return self.width;
+        }
+        // Aim for ~1 event per bucket over the occupied span.
+        ((hi - lo) / self.len as u64).clamp(1, u64::MAX / 4)
+    }
+}
+
+impl<E> Default for CalendarQueue<E> {
+    fn default() -> Self {
+        CalendarQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_then_seq_order() {
+        let mut q = CalendarQueue::new();
+        q.push(Time::from_ps(50), 1, "b");
+        q.push(Time::from_ps(10), 2, "a");
+        q.push(Time::from_ps(50), 0, "c");
+        q.push(Time::from_ps(10_000), 3, "d");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, _, e)| e)).collect();
+        assert_eq!(order, vec!["a", "c", "b", "d"]);
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = CalendarQueue::new();
+        for i in 0..100u64 {
+            q.push(Time::from_ps(i * 37 % 500), i, i);
+        }
+        while let Some((t, s)) = q.peek() {
+            let (pt, ps, _) = q.pop().expect("non-empty");
+            assert_eq!((t, s), (pt, ps));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn survives_resizes_with_mixed_scales() {
+        let mut q = CalendarQueue::with_geometry(16, 10);
+        // Mix ps-scale and ms-scale events to force geometry churn.
+        let mut expect = Vec::new();
+        for i in 0..2_000u64 {
+            let t = if i % 3 == 0 { i } else { i * 1_000_000 };
+            q.push(Time::from_ps(t), i, (t, i));
+            expect.push((t, i));
+        }
+        expect.sort_unstable();
+        let mut got = Vec::new();
+        while let Some((_, _, e)) = q.pop() {
+            got.push(e);
+        }
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut q = CalendarQueue::new();
+        let mut seq = 0u64;
+        let mut last = 0u64;
+        let mut pending = 0usize;
+        let mut x: u64 = 0x12345;
+        for _ in 0..5_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            if pending == 0 || !x.is_multiple_of(3) {
+                // Push an event at or after the last popped time.
+                let t = last + x % 1_000;
+                q.push(Time::from_ps(t), seq, t);
+                seq += 1;
+                pending += 1;
+            } else {
+                let (t, _, _) = q.pop().expect("pending > 0");
+                assert!(t.as_ps() >= last, "{} < {last}", t.as_ps());
+                last = t.as_ps();
+                pending -= 1;
+            }
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Discrete-event simulation kernel for the Baldur reproduction.
+//!
+//! This crate is the substrate that replaces the CODES/ROSS toolkit used by
+//! the paper for packet-level network simulation, and also drives the
+//! gate-level circuit simulator in `baldur-tl`. It provides:
+//!
+//! * [`Time`] / [`Duration`] — integer picosecond simulated time,
+//! * [`Scheduler`] / [`Simulation`] — a deterministic event queue and run
+//!   loop generic over the model's event type,
+//! * [`rng`] — reproducible, stream-split random number generation,
+//! * [`stats`] — streaming summary statistics, exact percentiles, and
+//!   logarithmic histograms used for latency reporting.
+//!
+//! # Example
+//!
+//! ```
+//! use baldur_sim::{Duration, Model, Scheduler, Simulation, Time};
+//!
+//! struct Counter {
+//!     fired: u64,
+//! }
+//!
+//! impl Model for Counter {
+//!     type Event = ();
+//!     fn handle(&mut self, now: Time, _ev: (), sched: &mut Scheduler<()>) {
+//!         self.fired += 1;
+//!         if self.fired < 10 {
+//!             sched.schedule_in(Duration::from_ns(1), ());
+//!         }
+//!         let _ = now;
+//!     }
+//! }
+//!
+//! let mut sim = Simulation::new(Counter { fired: 0 });
+//! sim.scheduler_mut().schedule_at(Time::ZERO, ());
+//! sim.run();
+//! assert_eq!(sim.model().fired, 10);
+//! ```
+
+pub mod calendar;
+pub mod engine;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use engine::{Model, Scheduler, Simulation};
+pub use time::{Duration, Time};

@@ -1,0 +1,158 @@
+//! The 2x2 asynchronous arbiter (paper Sec. IV-C, after Patil \[47\]).
+//!
+//! A mutual-exclusion element built from a cross-coupled NAND pair plus an
+//! output filter: `grant_i` can only rise when the opposing internal node is
+//! quiescent, so at most one grant is high at any instant. Slightly
+//! asymmetric NAND delays resolve exactly-simultaneous requests
+//! deterministically (request 0 wins ties), standing in for the analog
+//! metastability filter of the real element.
+
+use crate::netlist::{GateKind, Netlist, WireId};
+
+/// Handles to a mutual-exclusion element.
+#[derive(Debug, Clone, Copy)]
+pub struct Mutex2 {
+    /// Grant for requester 0; high only while request 0 holds the resource.
+    pub grant0: WireId,
+    /// Grant for requester 1.
+    pub grant1: WireId,
+}
+
+/// Builds a two-input mutual-exclusion element.
+///
+/// Semantics: first-come first-served; a grant is held until its request
+/// drops; on exact ties requester 0 wins.
+pub fn mutex2(n: &mut Netlist, req0: WireId, req1: WireId) -> Mutex2 {
+    let base = n.gate_delay();
+    // Cross-coupled NAND core. n0 low <=> requester 0 holds the latch.
+    let n0 = n.wire_with(true);
+    let n1 = n.wire_with(true);
+    n.gate_into(GateKind::Nand2, req0, Some(n1), n0, base);
+    n.gate_into(GateKind::Nand2, req1, Some(n0), n1, base + 120);
+    // Output filter: grant_i = !n_i AND n_other. During the both-low
+    // transient of a race neither AND can assert.
+    let n0_inv = n.not(n0);
+    let n1_inv = n.not(n1);
+    let grant0 = n.and2(n0_inv, n1);
+    let grant1 = n.and2(n1_inv, n0);
+    Mutex2 { grant0, grant1 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::{CircuitSim, RunOutcome};
+    use baldur_phy::waveform::{Fs, Waveform};
+
+    const T: u64 = 16_667;
+
+    struct Rig {
+        sim: CircuitSim,
+        m: Mutex2,
+    }
+
+    fn run(r0: &[(Fs, Fs)], r1: &[(Fs, Fs)]) -> Rig {
+        let mut n = Netlist::new();
+        let req0 = n.wire();
+        let req1 = n.wire();
+        let m = mutex2(&mut n, req0, req1);
+        let mut sim = CircuitSim::new(n);
+        sim.probe(m.grant0);
+        sim.probe(m.grant1);
+        if !r0.is_empty() {
+            sim.drive(req0, &Waveform::from_pulses(r0.iter().copied()));
+        }
+        if !r1.is_empty() {
+            sim.drive(req1, &Waveform::from_pulses(r1.iter().copied()));
+        }
+        let out = sim.run(200 * T);
+        assert!(matches!(out, RunOutcome::Settled { .. }), "did not settle");
+        Rig { sim, m }
+    }
+
+    /// Asserts grants were never simultaneously high.
+    fn assert_mutual_exclusion(rig: &Rig) {
+        let g0 = rig.sim.probed(rig.m.grant0);
+        let g1 = rig.sim.probed(rig.m.grant1);
+        let mut edges: Vec<Fs> = g0
+            .transitions()
+            .iter()
+            .chain(g1.transitions().iter())
+            .copied()
+            .collect();
+        edges.sort_unstable();
+        for &e in &edges {
+            assert!(
+                !(g0.level_at(e) && g1.level_at(e)),
+                "both grants high at {e} fs"
+            );
+        }
+    }
+
+    #[test]
+    fn single_request_granted() {
+        let rig = run(&[(5 * T, 50 * T)], &[]);
+        let g0 = rig.sim.probed(rig.m.grant0);
+        assert_eq!(g0.transitions().len(), 2);
+        assert!(rig.sim.probed(rig.m.grant1).is_dark());
+    }
+
+    #[test]
+    fn first_come_first_served() {
+        let rig = run(&[(5 * T, 50 * T)], &[(10 * T, 60 * T)]);
+        let g0 = rig.sim.probed(rig.m.grant0);
+        let g1 = rig.sim.probed(rig.m.grant1);
+        // Requester 0 holds throughout its request; requester 1 only gets
+        // the grant after request 0 drops.
+        assert!(g0.transitions()[0] < 10 * T);
+        assert!(!g1.is_dark(), "late requester gets it eventually");
+        assert!(g1.transitions()[0] > 50 * T);
+        assert_mutual_exclusion(&rig);
+    }
+
+    #[test]
+    fn simultaneous_requests_pick_exactly_one() {
+        let rig = run(&[(5 * T, 50 * T)], &[(5 * T, 50 * T)]);
+        let g0 = rig.sim.probed(rig.m.grant0);
+        let g1 = rig.sim.probed(rig.m.grant1);
+        assert!(
+            !g0.is_dark() ^ g1.is_dark().then_some(true).is_none(),
+            "exactly one grant: g0 {:?} g1 {:?}",
+            g0.transitions(),
+            g1.transitions()
+        );
+        // Deterministic tie-break: requester 0 wins.
+        assert!(!g0.is_dark());
+        assert_mutual_exclusion(&rig);
+    }
+
+    #[test]
+    fn near_simultaneous_requests_settle() {
+        for skew in [1u64, 10, 100, 500, 1_000, 1_900, 2_000, 3_000] {
+            let rig = run(&[(5 * T, 50 * T)], &[(5 * T + skew, 50 * T)]);
+            assert_mutual_exclusion(&rig);
+            let g0 = rig.sim.probed(rig.m.grant0);
+            assert!(!g0.is_dark(), "skew {skew}: earlier requester wins");
+        }
+    }
+
+    #[test]
+    fn grant_released_on_request_drop() {
+        let rig = run(&[(5 * T, 20 * T)], &[]);
+        let g0 = rig.sim.probed(rig.m.grant0);
+        assert_eq!(g0.transitions().len(), 2);
+        assert!(!rig.sim.level(rig.m.grant0));
+    }
+
+    #[test]
+    fn back_to_back_arbitration_rounds() {
+        let rig = run(
+            &[(5 * T, 20 * T), (40 * T, 60 * T)],
+            &[(10 * T, 35 * T), (45 * T, 70 * T)],
+        );
+        assert_mutual_exclusion(&rig);
+        let g1 = rig.sim.probed(rig.m.grant1);
+        // Requester 1 wins the middle interval (20T..35T) after 0 releases.
+        assert!(g1.transitions().len() >= 2, "{:?}", g1.transitions());
+    }
+}

@@ -1,0 +1,234 @@
+//! The line activity detector (paper Fig. 4(b)).
+//!
+//! Three jobs, all clock-less:
+//!
+//! 1. **Packet envelope** — the input is split into `n = 15` waveguide
+//!    delay taps spaced `delta = 0.4T` apart and recombined; because
+//!    8b/10b payload never goes dark for more than 5T, the combiner output
+//!    rises at the first light and holds until 6T after the last light.
+//! 2. **Start/end pulses** — comparing the envelope with a 0.5T-delayed
+//!    copy yields a pulse on each envelope edge.
+//! 3. **First-bit sampling** — the input delayed by the data-path
+//!    waveguide is sampled in a narrow window just after the input's
+//!    falling edge; a high sample means the pulse was ≥ the decision
+//!    boundary (≈1.5T), i.e. a logic "0" (2T). The window is generated
+//!    from the input itself, so the mechanism needs no clock.
+//!
+//! The paper quotes θ = 1.3T for the sampling delay of *their*
+//! HSPICE-level element; in this gate-level model the window-generation
+//! path contributes ~0.4T of additional gate delay, so the data-path
+//! waveguide defaults to ~1.74T to place the *net* decision boundary at
+//! 1.5T — midway between the 1T and 2T symbols, which is what gives the
+//! symmetric ±0.42T timing margin of Sec. IV-F.
+
+use baldur_phy::waveform::{Fs, BIT_PERIOD_FS};
+
+use crate::netlist::{Netlist, WireId};
+
+/// Geometry of the detector, in femtoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DetectorParams {
+    /// Number of envelope delay taps (paper: 15).
+    pub taps: u32,
+    /// Tap spacing delta (paper: 0.4T).
+    pub delta: Fs,
+    /// Envelope edge-detection delay (paper: 0.5T).
+    pub edge_delay: Fs,
+    /// Data-path waveguide delay for first-bit sampling.
+    pub data_delay: Fs,
+    /// Sampling-window length determinant (window ≈ [fall+2g, fall+win+g]).
+    pub window: Fs,
+}
+
+impl DetectorParams {
+    /// The paper's geometry at 60 Gbps (T = 16,667 fs), with the data
+    /// delay sized to put the decision boundary at 1.5T (see module docs).
+    pub fn paper() -> Self {
+        let t = BIT_PERIOD_FS;
+        DetectorParams {
+            taps: 15,
+            delta: 2 * t / 5,  // 0.4T
+            edge_delay: t / 2, // 0.5T
+            data_delay: 29_000, // ≈1.74T; net boundary ≈ 1.5T
+            window: 4_300,      // ≈0.26T raw; effective width ≈ 0.14T
+        }
+    }
+
+    /// Envelope hold time after the last light: `taps * delta` (6T).
+    pub fn hold(&self) -> Fs {
+        self.taps as Fs * self.delta
+    }
+}
+
+impl Default for DetectorParams {
+    fn default() -> Self {
+        DetectorParams::paper()
+    }
+}
+
+/// Output wires of one line activity detector.
+#[derive(Debug, Clone, Copy)]
+pub struct Detector {
+    /// High from first light until 6T after the last light.
+    pub envelope: WireId,
+    /// One ~0.5T pulse at packet start.
+    pub start_pulse: WireId,
+    /// One ~0.5T pulse at packet end (6T after last light).
+    pub end_pulse: WireId,
+    /// The input delayed by the data-path waveguide (first-bit sample data).
+    pub data_delayed: WireId,
+    /// Narrow window pulse after every falling edge of the input (first-bit
+    /// sample enable, to be gated by "not yet valid").
+    pub fall_window: WireId,
+}
+
+/// Builds a line activity detector reading `input`.
+pub fn line_activity_detector(n: &mut Netlist, input: WireId, p: DetectorParams) -> Detector {
+    assert!(p.taps > 0 && p.delta > 0, "detector needs taps");
+    // 1. Envelope: input OR its delayed copies.
+    let mut taps = Vec::with_capacity(p.taps as usize + 1);
+    taps.push(input);
+    for k in 1..=p.taps {
+        taps.push(n.waveguide(input, k as Fs * p.delta));
+    }
+    let envelope = n.combiner(&taps);
+
+    // 2. Edge pulses.
+    let env_d = n.waveguide(envelope, p.edge_delay);
+    let env_d_not = n.not(env_d);
+    let start_pulse = n.and2(envelope, env_d_not);
+    let env_not = n.not(envelope);
+    let end_pulse = n.and2(env_not, env_d);
+
+    // 3. First-bit sampling primitives.
+    let data_delayed = n.waveguide(input, p.data_delay);
+    let in_not = n.not(input);
+    let in_win = n.waveguide(input, p.window);
+    let fall_window = n.and2(in_not, in_win);
+
+    Detector {
+        envelope,
+        start_pulse,
+        end_pulse,
+        data_delayed,
+        fall_window,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::{CircuitSim, RunOutcome};
+    use baldur_phy::length_code::LengthCode;
+    use baldur_phy::packet_wave::assemble;
+    use baldur_phy::waveform::Waveform;
+
+    const T: u64 = 16_667;
+
+    fn rig(wave: &Waveform) -> (CircuitSim, Detector) {
+        let mut n = Netlist::new();
+        let input = n.wire();
+        let d = line_activity_detector(&mut n, input, DetectorParams::paper());
+        let mut sim = CircuitSim::new(n);
+        for w in [d.envelope, d.start_pulse, d.end_pulse, d.fall_window] {
+            sim.probe(w);
+        }
+        sim.drive(input, wave);
+        let out = sim.run(4_000 * T);
+        assert!(matches!(out, RunOutcome::Settled { .. }));
+        (sim, d)
+    }
+
+    #[test]
+    fn envelope_covers_packet_and_holds_6t() {
+        let code = LengthCode::paper();
+        let pw = assemble(&code, &[false, true, false], b"payload", 10 * T);
+        let (sim, d) = rig(&pw.wave);
+        let env = sim.probed(d.envelope);
+        // Exactly one rise and one fall: the envelope never drops inside
+        // the packet.
+        assert_eq!(env.transitions().len(), 2, "{:?}", env.transitions());
+        let rise = env.transitions()[0];
+        let fall = env.transitions()[1];
+        assert!((10 * T..10 * T + T / 2).contains(&rise), "rise {rise}");
+        let expected_fall = pw.end + DetectorParams::paper().hold();
+        assert!(
+            fall.abs_diff(expected_fall) < T / 2,
+            "fall {fall} vs {expected_fall}"
+        );
+    }
+
+    #[test]
+    fn one_start_and_one_end_pulse_per_packet() {
+        let code = LengthCode::paper();
+        let pw = assemble(&code, &[true, false], b"some packet data", 8 * T);
+        let (sim, d) = rig(&pw.wave);
+        let start = sim.probed(d.start_pulse);
+        let end = sim.probed(d.end_pulse);
+        assert_eq!(start.transitions().len(), 2, "{:?}", start.transitions());
+        assert_eq!(end.transitions().len(), 2, "{:?}", end.transitions());
+        assert!(start.transitions()[0] < end.transitions()[0]);
+    }
+
+    #[test]
+    fn two_packets_give_two_start_pulses() {
+        let code = LengthCode::paper();
+        let p1 = assemble(&code, &[true], b"aa", 5 * T);
+        // Second packet starts well after the 6T hold expires.
+        let p2 = assemble(&code, &[false], b"bb", p1.end + 20 * T);
+        let mut transitions: Vec<u64> = p1
+            .wave
+            .transitions()
+            .iter()
+            .chain(p2.wave.transitions())
+            .copied()
+            .collect();
+        transitions.sort_unstable();
+        let wave = Waveform::from_transitions(transitions);
+        let (sim, d) = rig(&wave);
+        assert_eq!(sim.probed(d.start_pulse).transitions().len(), 4);
+        assert_eq!(sim.probed(d.end_pulse).transitions().len(), 4);
+    }
+
+    #[test]
+    fn fall_window_fires_after_each_falling_edge() {
+        let code = LengthCode::paper();
+        let w = code.encode(&[false, true], 5 * T); // falls at 7T and 9T... (slots)
+        let (sim, d) = rig(&w);
+        let fw = sim.probed(d.fall_window);
+        // Two pulses, one per encoded bit's falling edge.
+        assert_eq!(fw.transitions().len(), 4, "{:?}", fw.transitions());
+    }
+
+    /// Empirically locates the first-bit decision boundary by sweeping the
+    /// first pulse length, emulating the sample-and-hold with a latch.
+    #[test]
+    fn decision_boundary_is_near_1_5t() {
+        use crate::latch::sr_latch;
+        let mut boundary = None;
+        let mut prev = None;
+        for len_centi_t in (90..=200).step_by(2) {
+            let len = len_centi_t as u64 * T / 100;
+            let mut n = Netlist::new();
+            let input = n.wire();
+            let d = line_activity_detector(&mut n, input, DetectorParams::paper());
+            let s = n.and2(d.fall_window, d.data_delayed);
+            let r = n.wire();
+            let l = sr_latch(&mut n, s, r);
+            let mut sim = CircuitSim::new(n);
+            sim.drive(input, &Waveform::from_pulses([(5 * T, 5 * T + len)]));
+            assert!(matches!(sim.run(1_000 * T), RunOutcome::Settled { .. }));
+            let latched = sim.level(l.q);
+            if let Some(p) = prev {
+                if p != latched {
+                    boundary = Some(len_centi_t);
+                }
+            }
+            prev = Some(latched);
+        }
+        let b = boundary.expect("no decision boundary found");
+        // 1.5T +- 0.08T: symmetric margins of at least 0.42T on both the
+        // 1T and 2T symbols, matching Sec. IV-F.
+        assert!((142..=158).contains(&b), "boundary at {b} centi-T");
+    }
+}

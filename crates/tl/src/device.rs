@@ -1,0 +1,146 @@
+//! TL device and circuit parameters (paper Tables III and IV).
+//!
+//! The paper characterizes the transistor laser at a near-future technology
+//! node using Keysight ADS and reduces every optical logic gate — inverter,
+//! NAND, NOR, AND, OR, of up to two inputs — to the same figures of merit
+//! (Table IV), because the single output TL is the speed/power-limiting
+//! element. All downstream analyses consume the device only through these
+//! numbers, which is what makes a software reproduction possible.
+
+use serde::{Deserialize, Serialize};
+
+/// Femtoseconds per picosecond (the circuit simulator tick is 1 fs).
+pub const FS_PER_PS: u64 = 1_000;
+
+/// Table IV figures of merit for a TL logic gate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TlGate {
+    /// Gate footprint (µm²).
+    pub area_um2: f64,
+    /// Optical rise/fall time (ps).
+    pub rise_fall_ps: f64,
+    /// Propagation delay (ps).
+    pub delay_ps: f64,
+    /// Static power (mW). TL power is dominated by static bias current and
+    /// is effectively independent of data rate and activity factor.
+    pub power_mw: f64,
+    /// Supported data rate (Gbps).
+    pub data_rate_gbps: f64,
+}
+
+impl TlGate {
+    /// The paper's Table IV values.
+    pub const PAPER: TlGate = TlGate {
+        area_um2: 25.0,
+        rise_fall_ps: 7.3,
+        delay_ps: 1.93,
+        power_mw: 0.406,
+        data_rate_gbps: 60.0,
+    };
+
+    /// Energy per bit at the rated data rate, in femtojoules.
+    ///
+    /// The paper quotes 6.77 fJ/bit (0.406 mW at 60 Gbps).
+    pub fn energy_per_bit_fj(&self) -> f64 {
+        // mW / Gbps = pJ/bit; ×1000 = fJ/bit.
+        self.power_mw / self.data_rate_gbps * 1_000.0
+    }
+
+    /// Gate delay in femtoseconds (the circuit simulator unit).
+    pub fn delay_fs(&self) -> u64 {
+        (self.delay_ps * FS_PER_PS as f64).round() as u64
+    }
+
+    /// A TL latch is two cross-coupled NOR gates, so it consumes twice the
+    /// gate power (Sec. III).
+    pub fn latch_power_mw(&self) -> f64 {
+        2.0 * self.power_mw
+    }
+
+    /// Bit period T at the rated data rate, in femtoseconds.
+    pub fn bit_period_fs(&self) -> u64 {
+        (1.0e6 / self.data_rate_gbps).round() as u64
+    }
+}
+
+impl Default for TlGate {
+    fn default() -> Self {
+        TlGate::PAPER
+    }
+}
+
+/// Table III device parameters, kept for documentation and the device-level
+/// sanity tests (they do not enter the network-level models directly).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TlDevice {
+    /// Junction capacitance (fF).
+    pub junction_capacitance_ff: f64,
+    /// Spontaneous recombination lifetime (ps).
+    pub recombination_lifetime_ps: f64,
+    /// Photon lifetime (ps).
+    pub photon_lifetime_ps: f64,
+    /// Emission wavelength (nm).
+    pub wavelength_nm: f64,
+    /// Laser threshold current (mA).
+    pub threshold_current_ma: f64,
+    /// Bias current (mA).
+    pub bias_current_ma: f64,
+}
+
+impl TlDevice {
+    /// The paper's Table III values.
+    pub const PAPER: TlDevice = TlDevice {
+        junction_capacitance_ff: 100.0,
+        recombination_lifetime_ps: 37.0,
+        photon_lifetime_ps: 2.72,
+        wavelength_nm: 980.0,
+        threshold_current_ma: 0.1,
+        bias_current_ma: 0.2,
+    };
+}
+
+impl Default for TlDevice {
+    fn default() -> Self {
+        TlDevice::PAPER
+    }
+}
+
+/// Power ratio of a TL gate versus a 32 nm CMOS gate, as referenced in the
+/// paper's motivation (">100X higher power ... at the current technology
+/// node"). Exposed so the power model's comparisons can cite one constant.
+pub const TL_VS_CMOS_POWER_RATIO: f64 = 100.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_per_bit_matches_paper() {
+        let e = TlGate::PAPER.energy_per_bit_fj();
+        assert!((e - 6.77).abs() < 0.01, "got {e} fJ/bit, paper says 6.77");
+    }
+
+    #[test]
+    fn delay_and_bit_period_in_fs() {
+        assert_eq!(TlGate::PAPER.delay_fs(), 1_930);
+        // 60 Gbps => T = 16.667 ps = 16,667 fs, matching baldur-phy.
+        assert_eq!(TlGate::PAPER.bit_period_fs(), 16_667);
+        assert_eq!(
+            TlGate::PAPER.bit_period_fs(),
+            baldur_phy::waveform::BIT_PERIOD_FS
+        );
+    }
+
+    #[test]
+    fn latch_is_two_gates() {
+        assert!((TlGate::PAPER.latch_power_mw() - 0.812).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gate_is_much_faster_than_bit_period() {
+        // The switch design relies on several gate delays fitting inside
+        // fractions of T (e.g. the 0.4T detector window).
+        let g = TlGate::PAPER;
+        assert!(g.delay_fs() * 4 < g.bit_period_fs());
+    }
+}

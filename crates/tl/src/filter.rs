@@ -1,0 +1,279 @@
+//! In-network optical filtering (paper Sec. VIII future work: "network
+//! filtering for security purposes").
+//!
+//! A filter block sits on a waveguide and drops packets whose first `k`
+//! routing bits match a *programmed* pattern — entirely in the optical
+//! domain. The mechanism extends the switch's header machinery from one
+//! captured bit to `k`:
+//!
+//! * a **token cascade** of SR latches walks one position per routing-bit
+//!   falling edge, so capture `i` samples exactly the i-th bit's length,
+//! * each captured bit is XNOR-compared against a constant pattern wire,
+//! * when the k-th token advances, a full-prefix match raises `block`,
+//!   which kills the AND gate the (delay-matched) packet must traverse.
+//!
+//! Non-matching packets pass intact, delayed by the block's internal
+//! waveguide; matching packets never reach the output — an optical
+//! firewall rule at line rate.
+
+use baldur_phy::waveform::{Fs, BIT_PERIOD_FS};
+
+use crate::detector::{line_activity_detector, DetectorParams};
+use crate::latch::sr_latch;
+use crate::netlist::{GateKind, Netlist, WireId};
+
+/// Handles to a built filter block.
+#[derive(Debug, Clone)]
+pub struct Filter {
+    /// The optical input.
+    pub input: WireId,
+    /// The filtered output.
+    pub output: WireId,
+    /// High while a matching packet is being suppressed (observability).
+    pub blocking: WireId,
+    /// The captured routing-bit latches (observability).
+    pub captured: Vec<WireId>,
+}
+
+/// Parameters of the filter block.
+#[derive(Debug, Clone)]
+pub struct FilterParams {
+    /// Detector geometry (defaults match the switch).
+    pub detector: DetectorParams,
+    /// The routing-bit prefix to block, most-significant first.
+    pub pattern: Vec<bool>,
+    /// Pass-through delay; must exceed the time to capture the whole
+    /// prefix (`pattern.len() * 3T` plus latch margins).
+    pub pass_delay: Fs,
+}
+
+impl FilterParams {
+    /// A filter blocking `pattern`, with the pass delay sized
+    /// automatically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pattern` is empty or longer than 8 bits.
+    pub fn blocking(pattern: Vec<bool>) -> Self {
+        assert!(
+            !pattern.is_empty() && pattern.len() <= 8,
+            "pattern must be 1..=8 bits"
+        );
+        let t = BIT_PERIOD_FS;
+        // Capture of bit k completes ~ (k slots) + sampling window +
+        // comparator depth; one extra slot is ample margin.
+        let pass_delay = (pattern.len() as Fs + 1) * 3 * t + 2 * t;
+        FilterParams {
+            detector: DetectorParams::paper(),
+            pattern,
+            pass_delay,
+        }
+    }
+}
+
+/// XNOR from two-input TL gates: `or(and(a, b), nor(a, b))`.
+fn xnor(n: &mut Netlist, a: WireId, b: WireId) -> WireId {
+    let both = n.and2(a, b);
+    let neither = n.nor2(a, b);
+    n.or2(both, neither)
+}
+
+/// Builds the filter block into `n`.
+pub fn build_filter(n: &mut Netlist, p: &FilterParams) -> Filter {
+    let k = p.pattern.len();
+    let input = n.wire();
+    n.name_wire(input, "filter_in");
+    let det = line_activity_detector(n, input, p.detector);
+    let end = det.end_pulse;
+
+    // Token cascade: token[0] set at packet start, token[i+1] set when
+    // capture i fires; every token clears at end of packet (and when its
+    // successor takes over, so fall_window pulses can't double-capture).
+    let mut tokens = Vec::with_capacity(k + 1);
+    let mut capture_pulses = Vec::with_capacity(k);
+    let mut captured = Vec::with_capacity(k);
+    // token 0: set by the start pulse.
+    let mut set_wire = det.start_pulse;
+    for i in 0..=k {
+        // Reset: end-of-packet OR the handoff pulse (attached below via a
+        // dedicated wire).
+        let handoff = n.wire();
+        let reset = n.or2(end, handoff);
+        let tok = sr_latch(n, set_wire, reset);
+        tokens.push((tok, handoff));
+        if i == k {
+            break;
+        }
+        // Capture pulse i: the input's falling-edge window while token i
+        // holds.
+        let c = n.and2(det.fall_window, tok.q);
+        capture_pulses.push(c);
+        // Routing latch i samples the delayed data on that pulse.
+        let s_bit = n.and2(c, det.data_delayed);
+        let bit = sr_latch(n, s_bit, end);
+        captured.push(bit.q);
+        n.name_wire(bit.q, &format!("filter_bit{i}"));
+        // The same pulse hands the token forward.
+        set_wire = c;
+    }
+    // Close the handoff loops: token i clears when capture i fires.
+    for (i, c) in capture_pulses.iter().enumerate() {
+        let delay = n.gate_delay();
+        n.gate_into(GateKind::Or2, *c, Some(*c), tokens[i].1, delay);
+    }
+    // The terminal token's handoff never fires; tie it low via a dead AND.
+    {
+        let zero = n.wire();
+        let delay = n.gate_delay();
+        n.gate_into(GateKind::And2, zero, Some(zero), tokens[k].1, delay);
+    }
+
+    // Comparator: all captured bits match the pattern. Length-code
+    // polarity: a latch that sampled HIGH saw a 2T pulse, i.e. a logic
+    // **0** bit (same convention as the switch's routing latch).
+    let mut match_acc: Option<WireId> = None;
+    for (i, &want) in p.pattern.iter().enumerate() {
+        let bit_ok = if want {
+            n.not(captured[i])
+        } else {
+            captured[i]
+        };
+        match_acc = Some(match match_acc {
+            None => bit_ok,
+            Some(acc) => n.and2(acc, bit_ok),
+        });
+    }
+    let prefix_match = match_acc.expect("k >= 1");
+    // Valid only once the whole prefix was captured (terminal token set)
+    // AND the comparator inputs have settled: the final capture both sets
+    // its bit latch and advances the token, so an inverter-lag glitch
+    // rides the token edge. Half a bit period of verdict delay outwaits
+    // it.
+    let verdict_ready = n.waveguide(tokens[k].0.q, BIT_PERIOD_FS / 2);
+    let blocking = n.and2(prefix_match, verdict_ready);
+    n.name_wire(blocking, "filter_block");
+
+    // The kill signal must outlive the token (which clears at the *input*
+    // packet's end) for as long as the delayed copy keeps draining.
+    let held = n.waveguide(blocking, p.pass_delay);
+    let kill = n.or2(blocking, held);
+
+    // Pass-through: delay the packet until the verdict is ready, then
+    // gate it with NOT(kill).
+    let delayed = n.waveguide(input, p.pass_delay);
+    let allow = n.not(kill);
+    let output = n.and2(delayed, allow);
+    n.name_wire(output, "filter_out");
+
+    let _ = xnor; // retained for multi-polarity comparators
+
+    Filter {
+        input,
+        output,
+        blocking,
+        captured,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::TlGate;
+    use crate::netlist::{CircuitSim, RunOutcome};
+    use baldur_phy::length_code::LengthCode;
+    use baldur_phy::packet_wave::assemble;
+
+    const T: u64 = 16_667;
+
+    fn run(pattern: Vec<bool>, bits: &[bool]) -> (CircuitSim, Filter, baldur_phy::packet_wave::PacketWave) {
+        let fp = FilterParams::blocking(pattern);
+        let mut n = Netlist::new();
+        let f = build_filter(&mut n, &fp);
+        let mut sim = CircuitSim::new(n);
+        sim.probe(f.output);
+        sim.probe(f.blocking);
+        for &c in &f.captured {
+            sim.probe(c);
+        }
+        let code = LengthCode::paper();
+        let pw = assemble(&code, bits, b"SEC", 10 * T);
+        sim.drive(f.input, &pw.wave);
+        let out = sim.run(pw.end + 4_000_000);
+        assert!(matches!(out, RunOutcome::Settled { .. }), "did not settle");
+        (sim, f, pw)
+    }
+
+    #[test]
+    fn matching_prefix_is_blocked() {
+        let (sim, f, _) = run(vec![true, false], &[true, false, true]);
+        let out = sim.probed(f.output);
+        // The verdict lands before the delayed packet: nothing after the
+        // capture horizon leaks. (A sub-bit sliver before blocking rises
+        // is acceptable — the downstream detector sees no valid packet.)
+        let leaked = out.lit_time(u64::MAX);
+        assert!(leaked < 2 * T, "blocked packet leaked {leaked} fs of light");
+        assert!(!sim.probed(f.blocking).is_dark(), "blocking must assert");
+    }
+
+    #[test]
+    fn non_matching_packet_passes_intact() {
+        let (sim, f, pw) = run(vec![true, false], &[true, true, false]);
+        let g = TlGate::PAPER.delay_fs();
+        let fp = FilterParams::blocking(vec![true, false]);
+        // Output = input delayed by pass_delay + the allow AND + 0 (allow
+        // is already high).
+        let expect = pw.wave.delayed(fp.pass_delay + g);
+        assert_eq!(
+            sim.probed(f.output).transitions(),
+            expect.transitions(),
+            "pass-through must be bit-exact"
+        );
+        assert!(sim.probed(f.blocking).is_dark());
+    }
+
+    #[test]
+    fn single_bit_filter_works_both_ways() {
+        let (sim, f, _) = run(vec![false], &[false, true]);
+        assert!(!sim.probed(f.blocking).is_dark(), "0-prefix blocked");
+        let (sim, f, _) = run(vec![false], &[true, true]);
+        assert!(sim.probed(f.blocking).is_dark(), "1-prefix passes");
+    }
+
+    #[test]
+    fn three_bit_pattern_discriminates_neighbours() {
+        // Block exactly 101; 100 and 111 must pass.
+        for (bits, blocked) in [
+            (vec![true, false, true], true),
+            (vec![true, false, false], false),
+            (vec![true, true, true], false),
+        ] {
+            let (sim, f, _) = run(vec![true, false, true], &bits);
+            assert_eq!(
+                !sim.probed(f.blocking).is_dark(),
+                blocked,
+                "bits {bits:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn captured_bits_match_the_header() {
+        // Latch polarity: high = sampled a 2T pulse = logic 0. The end
+        // pulse clears latches after the packet, so inspect the traces.
+        let (sim, f, _) = run(vec![true, true], &[true, false, true]);
+        assert!(
+            sim.probed(f.captured[0]).is_dark(),
+            "bit 0 was a 1 (1T pulse): latch must never set"
+        );
+        assert!(
+            !sim.probed(f.captured[1]).is_dark(),
+            "bit 1 was a 0 (2T pulse): latch must set during the packet"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "pattern must be")]
+    fn empty_pattern_rejected() {
+        FilterParams::blocking(vec![]);
+    }
+}

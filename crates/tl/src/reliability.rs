@@ -1,0 +1,157 @@
+//! Timing-jitter reliability analysis (paper Sec. IV-F).
+//!
+//! The paper's model: with 10% gate-delay variation and 1 ps waveguide
+//! variation, the switch tolerates a 0.42T shift (in either direction) of
+//! any routing-bit edge. Jitter at each transition is Gaussian with µ = 0
+//! and σ² = 1.53 ps². The probability that a single transition jumps the
+//! margin is then the Gaussian tail beyond 0.42T — about 10⁻⁹ (the error
+//! scenarios listed in the paper are all single-edge-escapes of this
+//! margin).
+
+use serde::{Deserialize, Serialize};
+
+use baldur_sim::rng::StreamRng;
+
+/// Bit period T in picoseconds at 60 Gbps.
+pub const BIT_PERIOD_PS: f64 = 1_000.0 / 60.0;
+
+/// The jitter/margin model of Sec. IV-F.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JitterModel {
+    /// Jitter variance per transition, ps².
+    pub variance_ps2: f64,
+    /// Tolerated edge displacement, as a fraction of T.
+    pub margin_t: f64,
+}
+
+impl JitterModel {
+    /// The paper's parameters: σ² = 1.53 ps², margin 0.42T.
+    pub fn paper() -> Self {
+        JitterModel {
+            variance_ps2: 1.53,
+            margin_t: 0.42,
+        }
+    }
+
+    /// Jitter standard deviation in ps.
+    pub fn sigma_ps(&self) -> f64 {
+        self.variance_ps2.sqrt()
+    }
+
+    /// The margin in ps.
+    pub fn margin_ps(&self) -> f64 {
+        self.margin_t * BIT_PERIOD_PS
+    }
+
+    /// The margin expressed in jitter standard deviations.
+    pub fn margin_sigmas(&self) -> f64 {
+        self.margin_ps() / self.sigma_ps()
+    }
+
+    /// Analytic probability that one transition escapes the margin in the
+    /// harmful direction (single-sided tail).
+    pub fn error_probability(&self) -> f64 {
+        normal_tail(self.margin_sigmas())
+    }
+
+    /// Monte Carlo estimate of the probability that a transition's jitter
+    /// exceeds `threshold_sigmas`, for validating [`normal_tail`] at
+    /// resolvable levels.
+    pub fn monte_carlo_exceedance(
+        &self,
+        threshold_sigmas: f64,
+        samples: u64,
+        seed: u64,
+    ) -> f64 {
+        let mut rng = StreamRng::named(seed, "jittermc", 0);
+        let mut exceed = 0u64;
+        for _ in 0..samples {
+            let j = rng.gen_normal(0.0, 1.0);
+            if j > threshold_sigmas {
+                exceed += 1;
+            }
+        }
+        exceed as f64 / samples as f64
+    }
+}
+
+impl Default for JitterModel {
+    fn default() -> Self {
+        JitterModel::paper()
+    }
+}
+
+/// Upper-tail probability `P(Z > x)` of the standard normal distribution.
+///
+/// Uses the Abramowitz–Stegun rational approximation for small `x` and the
+/// asymptotic continued-fraction expansion for the deep tail, where the
+/// rational approximation's absolute error would swamp the value.
+pub fn normal_tail(x: f64) -> f64 {
+    if x < 0.0 {
+        return 1.0 - normal_tail(-x);
+    }
+    let phi = (-0.5 * x * x).exp() / (2.0 * std::f64::consts::PI).sqrt();
+    if x > 4.0 {
+        // Asymptotic series: Q(x) = phi(x)/x * (1 - 1/x^2 + 3/x^4 - 15/x^6).
+        let x2 = x * x;
+        return phi / x * (1.0 - 1.0 / x2 + 3.0 / (x2 * x2) - 15.0 / (x2 * x2 * x2));
+    }
+    // Zelen & Severo 26.2.17.
+    let t = 1.0 / (1.0 + 0.2316419 * x);
+    let poly = t
+        * (0.319381530
+            + t * (-0.356563782 + t * (1.781477937 + t * (-1.821255978 + t * 1.330274429))));
+    phi * poly
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_margin_is_about_5_7_sigma() {
+        let m = JitterModel::paper();
+        assert!((m.sigma_ps() - 1.2369).abs() < 1e-3);
+        assert!((m.margin_ps() - 7.0).abs() < 0.01);
+        assert!((m.margin_sigmas() - 5.66).abs() < 0.01);
+    }
+
+    #[test]
+    fn error_probability_is_order_1e_minus_9() {
+        let p = JitterModel::paper().error_probability();
+        // The paper quotes "a low error probability of 1e-9"; the exact
+        // Gaussian tail at 5.66 sigma is ~7.5e-9.
+        assert!(p > 1e-10 && p < 1e-8, "P = {p:e}");
+    }
+
+    #[test]
+    fn normal_tail_known_values() {
+        assert!((normal_tail(0.0) - 0.5).abs() < 1e-6);
+        assert!((normal_tail(1.0) - 0.158_655).abs() < 1e-5);
+        assert!((normal_tail(2.0) - 0.022_750).abs() < 1e-5);
+        assert!((normal_tail(3.0) - 1.349_9e-3).abs() < 1e-6);
+        // Deep-tail reference values (Q function): Q(5) = 2.8665e-7.
+        assert!((normal_tail(5.0) / 2.866_5e-7 - 1.0).abs() < 1e-3);
+        assert!((normal_tail(6.0) / 9.865_9e-10 - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn normal_tail_is_symmetric() {
+        for x in [0.3, 1.7, 3.9] {
+            assert!((normal_tail(x) + normal_tail(-x) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn monte_carlo_matches_analytic_at_resolvable_levels() {
+        let m = JitterModel::paper();
+        for &(thr, tol) in &[(1.0f64, 0.02), (2.0, 0.05), (3.0, 0.2)] {
+            let mc = m.monte_carlo_exceedance(thr, 400_000, 7);
+            let an = normal_tail(thr);
+            assert!(
+                (mc / an - 1.0).abs() < tol,
+                "thr {thr}: mc {mc:e} vs analytic {an:e}"
+            );
+        }
+    }
+}

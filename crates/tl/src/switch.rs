@@ -1,0 +1,549 @@
+//! The all-optical 2x2 TL switch, multiplicity 1 (paper Fig. 4(a)).
+//!
+//! Composition:
+//!
+//! * **Switch fabric** — per input: a mask-off AND (kills the first routing
+//!   bit), a 132 ps waveguide delay (hides arbitration latency), and per
+//!   input×output an AND gated by the grant; per output a passive combiner.
+//! * **Header processing unit** — per input: a line activity detector,
+//!   a valid latch and a mask-off latch (set 2.3T after packet start, reset
+//!   at packet end), and a routing latch capturing the first bit by
+//!   length; plus one asynchronous arbiter per output port.
+//!
+//! Congestion behaviour is exactly the paper's: a packet whose requested
+//! output is held by the other input is *dropped* — its valid latch is
+//! cleared so it can never be granted mid-packet — and the sender must
+//! retransmit (handled at the network layer in `baldur-net`).
+
+use baldur_phy::length_code::LengthCode;
+use baldur_phy::packet_wave::{assemble, PacketWave};
+use baldur_phy::waveform::{Fs, Waveform, BIT_PERIOD_FS};
+
+use crate::arbiter::mutex2;
+use crate::detector::{line_activity_detector, DetectorParams};
+use crate::latch::sr_latch;
+use crate::netlist::{CircuitSim, GateKind, Netlist, RunOutcome, WireId};
+
+/// Switch geometry, in femtoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwitchParams {
+    /// Line activity detector geometry.
+    pub detector: DetectorParams,
+    /// Fabric waveguide delay WD0/WD1 (paper: 132 ps).
+    pub fabric_delay: Fs,
+    /// Delay from packet start to setting the mask-off latch (paper: 2.5T
+    /// for both latches; we use 2.3T so the latch output settles by 2.5T
+    /// after our gate delays).
+    pub mask_set_delay: Fs,
+    /// Delay from packet start to setting the valid latch. Must fall after
+    /// the routing latch (and its complement) are stable — otherwise a
+    /// spurious request on the wrong output port fires during the sliver
+    /// between valid rising and the route complement falling — and before
+    /// the second routing bit's sampling window, so the sample-enable gate
+    /// closes in time.
+    pub valid_set_delay: Fs,
+    /// Extra delay on the end-of-packet reset path so grants outlive the
+    /// fabric-delayed packet tail.
+    pub reset_delay: Fs,
+}
+
+impl SwitchParams {
+    /// The paper's switch at 60 Gbps.
+    pub fn paper() -> Self {
+        let t = BIT_PERIOD_FS;
+        SwitchParams {
+            detector: DetectorParams::paper(),
+            fabric_delay: 132_000,
+            mask_set_delay: 23 * t / 10,
+            valid_set_delay: 33 * t / 10,
+            reset_delay: 30_000,
+        }
+    }
+}
+
+impl Default for SwitchParams {
+    fn default() -> Self {
+        SwitchParams::paper()
+    }
+}
+
+/// Observable wires of one input's header-processing slice.
+#[derive(Debug, Clone, Copy)]
+pub struct InputTaps {
+    /// Packet envelope from the line activity detector.
+    pub envelope: WireId,
+    /// Valid latch output.
+    pub valid: WireId,
+    /// Mask-off latch output.
+    pub mask: WireId,
+    /// Routing latch output (high = first bit was "0" = output 0).
+    pub route: WireId,
+    /// Request wires toward the two output arbiters.
+    pub req: [WireId; 2],
+}
+
+/// Handles to a built 2x2 switch.
+#[derive(Debug, Clone, Copy)]
+pub struct Switch2x2 {
+    /// Optical inputs.
+    pub inputs: [WireId; 2],
+    /// Optical outputs.
+    pub outputs: [WireId; 2],
+    /// Grant wires: `grants[i][j]` = input `i` granted output `j`.
+    pub grants: [[WireId; 2]; 2],
+    /// Per-input observability taps.
+    pub taps: [InputTaps; 2],
+}
+
+/// Builds the multiplicity-1 switch into `n`, returning its handles.
+pub fn build_switch(n: &mut Netlist, p: SwitchParams) -> Switch2x2 {
+    let in0 = n.wire();
+    let in1 = n.wire();
+    n.name_wire(in0, "in0");
+    n.name_wire(in1, "in1");
+
+    let mut per_input = Vec::with_capacity(2);
+    for (i, &input) in [in0, in1].iter().enumerate() {
+        let det = line_activity_detector(n, input, p.detector);
+        let end_d = n.waveguide(det.end_pulse, p.reset_delay);
+
+        // Valid latch: reset by (delayed end) OR (drop); the drop wire is
+        // attached after the arbiters exist.
+        let valid_set = n.waveguide(det.start_pulse, p.valid_set_delay);
+        let valid_reset = n.wire();
+        let valid = sr_latch(n, valid_set, valid_reset);
+
+        // Mask-off latch (set earlier than valid: it only needs to open
+        // before the second routing bit arrives).
+        let mask_set = n.waveguide(det.start_pulse, p.mask_set_delay);
+        let mask = sr_latch(n, mask_set, end_d);
+
+        // Routing latch: sample the data-path-delayed input in the window
+        // after the first falling edge (gated by "not yet valid").
+        let s_pre = n.and2(det.fall_window, det.data_delayed);
+        let not_valid = n.not(valid.q);
+        let s_route = n.and2(s_pre, not_valid);
+        let route = sr_latch(n, s_route, end_d);
+
+        // Fabric front half: mask off the first routing bit, then delay.
+        let masked = n.and2(input, mask.q);
+        let delayed = n.waveguide(masked, p.fabric_delay);
+
+        // Requests.
+        let req0 = n.and2(valid.q, route.q);
+        let route_n = n.not(route.q);
+        let req1 = n.and2(valid.q, route_n);
+
+        n.name_wire(valid.q, &format!("valid{i}"));
+        n.name_wire(mask.q, &format!("mask{i}"));
+        n.name_wire(route.q, &format!("route{i}"));
+        n.name_wire(det.envelope, &format!("env{i}"));
+
+        per_input.push((det, end_d, valid_reset, valid, mask, route, delayed, [req0, req1]));
+    }
+
+    // Arbiters: one mutex per output port.
+    let m0 = mutex2(n, per_input[0].7[0], per_input[1].7[0]);
+    let m1 = mutex2(n, per_input[0].7[1], per_input[1].7[1]);
+    let grants = [[m0.grant0, m1.grant0], [m0.grant1, m1.grant1]];
+    n.name_wire(grants[0][0], "grant00");
+    n.name_wire(grants[0][1], "grant01");
+    n.name_wire(grants[1][0], "grant10");
+    n.name_wire(grants[1][1], "grant11");
+
+    // Drop detection closes the valid-reset loop: input i is dropped when
+    // it requests an output the other input currently holds.
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..2 {
+        let other = 1 - i;
+        let req = per_input[i].7;
+        let lost0 = n.and2(req[0], grants[other][0]);
+        let lost1 = n.and2(req[1], grants[other][1]);
+        let drop = n.or2(lost0, lost1);
+        let end_d = per_input[i].1;
+        let valid_reset = per_input[i].2;
+        n.gate_into(GateKind::Or2, end_d, Some(drop), valid_reset, n.gate_delay());
+    }
+
+    // Fabric back half.
+    let a00 = n.and2(per_input[0].6, grants[0][0]);
+    let a01 = n.and2(per_input[0].6, grants[0][1]);
+    let a10 = n.and2(per_input[1].6, grants[1][0]);
+    let a11 = n.and2(per_input[1].6, grants[1][1]);
+    let out0 = n.combiner(&[a00, a10]);
+    let out1 = n.combiner(&[a01, a11]);
+    n.name_wire(out0, "out0");
+    n.name_wire(out1, "out1");
+
+    let taps = [0, 1].map(|i| {
+        let (det, _, _, valid, mask, route, _, req) = &per_input[i];
+        InputTaps {
+            envelope: det.envelope,
+            valid: valid.q,
+            mask: mask.q,
+            route: route.q,
+            req: *req,
+        }
+    });
+
+    Switch2x2 {
+        inputs: [in0, in1],
+        outputs: [out0, out1],
+        grants,
+        taps,
+    }
+}
+
+/// A packet to inject in a harness run.
+#[derive(Debug, Clone)]
+pub struct Injection {
+    /// Which switch input (0 or 1).
+    pub input: usize,
+    /// Arrival instant of the first light, in femtoseconds.
+    pub start: Fs,
+    /// Routing bits; the first selects this switch's output.
+    pub routing_bits: Vec<bool>,
+    /// Payload bytes (8b/10b coded on the wire).
+    pub payload: Vec<u8>,
+}
+
+/// Result of a harness run.
+#[derive(Debug)]
+pub struct HarnessResult {
+    /// Waveforms observed at the two outputs.
+    pub outputs: [Waveform; 2],
+    /// The assembled input waves (for reference checks).
+    pub injected: Vec<(usize, PacketWave)>,
+    /// The completed simulation, for extra probing.
+    pub sim: CircuitSim,
+    /// The switch handles.
+    pub switch: Switch2x2,
+}
+
+/// Fixed delay from switch input to output for a granted packet:
+/// mask AND + fabric waveguide + output AND + combiner.
+pub fn fabric_latency(p: &SwitchParams, gate_delay: Fs) -> Fs {
+    gate_delay + p.fabric_delay + gate_delay + 1
+}
+
+/// Builds a switch, injects `packets`, runs to quiescence, and returns the
+/// observed outputs.
+///
+/// # Panics
+///
+/// Panics if the circuit fails to settle (oscillation) or an injection is
+/// malformed.
+pub fn run_switch(p: SwitchParams, packets: &[Injection]) -> HarnessResult {
+    let code = LengthCode::paper();
+    let mut n = Netlist::new();
+    let sw = build_switch(&mut n, p);
+    let mut sim = CircuitSim::new(n);
+    for j in 0..2 {
+        sim.probe(sw.outputs[j]);
+    }
+    let mut horizon = 0;
+    let mut injected = Vec::new();
+    // Merge multiple packets per input into a single waveform.
+    let mut per_input: [Vec<Fs>; 2] = [Vec::new(), Vec::new()];
+    for inj in packets {
+        assert!(inj.input < 2, "switch has two inputs");
+        let pw = assemble(&code, &inj.routing_bits, &inj.payload, inj.start);
+        horizon = horizon.max(pw.end);
+        per_input[inj.input].extend_from_slice(pw.wave.transitions());
+        injected.push((inj.input, pw));
+    }
+    for (i, mut transitions) in per_input.into_iter().enumerate() {
+        if transitions.is_empty() {
+            continue;
+        }
+        transitions.sort_unstable();
+        sim.drive(sw.inputs[i], &Waveform::from_transitions(transitions));
+    }
+    let outcome = sim.run(horizon + 2_000_000);
+    assert!(
+        matches!(outcome, RunOutcome::Settled { .. }),
+        "switch failed to settle"
+    );
+    let outputs = [sim.probed(sw.outputs[0]), sim.probed(sw.outputs[1])];
+    HarnessResult {
+        outputs,
+        injected,
+        sim,
+        switch: sw,
+    }
+}
+
+/// The waveform a granted packet should produce at the switch output:
+/// everything from the second routing-bit slot onward, shifted by the
+/// fabric latency.
+pub fn expected_output(pw: &PacketWave, p: &SwitchParams, gate_delay: Fs) -> Waveform {
+    let code = LengthCode::paper();
+    let start = pw.wave.transitions().first().copied().unwrap_or(0);
+    let masked = baldur_phy::length_code::mask_front(&pw.wave, start + code.slot());
+    masked.delayed(fabric_latency(p, gate_delay))
+}
+
+/// Empirically measures the switch's misrouting rate under Gaussian
+/// timing jitter of the given sigma (femtoseconds) applied independently
+/// to every transition of the input packet — the circuit-level
+/// counterpart of the Sec. IV-F analytical model.
+///
+/// Returns the fraction of trials where the packet exited the wrong port
+/// (or no port). At the paper's sigma (1,237 fs) failures are ~1e-9 and
+/// will not be observed; push sigma to 3,000+ fs to see the error floor
+/// rise, which validates the ~0.5T decision margin.
+pub fn jitter_failure_rate(p: SwitchParams, sigma_fs: f64, trials: u32, seed: u64) -> f64 {
+    use baldur_sim::rng::StreamRng;
+    let code = LengthCode::paper();
+    let t = BIT_PERIOD_FS;
+    let mut rng = StreamRng::named(seed, "jitsweep", sigma_fs.to_bits());
+    let mut failures = 0u32;
+    for trial in 0..trials {
+        let bit = trial % 2 == 0;
+        let pw = assemble(&code, &[bit, true], b"JM", 10 * t);
+        let mut jittered: Vec<Fs> = pw
+            .wave
+            .transitions()
+            .iter()
+            .map(|&x| {
+                let j = rng.gen_normal(0.0, sigma_fs);
+                (x as i64 + j.round() as i64).max(0) as Fs
+            })
+            .collect();
+        jittered.sort_unstable();
+        jittered.dedup();
+        let mut n = Netlist::new();
+        let sw = build_switch(&mut n, p);
+        let mut sim = CircuitSim::new(n);
+        sim.probe(sw.outputs[0]);
+        sim.probe(sw.outputs[1]);
+        sim.drive(sw.inputs[0], &Waveform::from_transitions(jittered));
+        let outcome = sim.run(pw.end + 3_000_000);
+        let ok = matches!(outcome, RunOutcome::Settled { .. }) && {
+            let (want, other) = if bit { (1usize, 0usize) } else { (0, 1) };
+            !sim.probed(sw.outputs[want]).is_dark() && sim.probed(sw.outputs[other]).is_dark()
+        };
+        if !ok {
+            failures += 1;
+        }
+    }
+    f64::from(failures) / f64::from(trials)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::TlGate;
+
+    const T: u64 = 16_667;
+
+    fn pkt(input: usize, start: Fs, bits: &[bool]) -> Injection {
+        Injection {
+            input,
+            start,
+            routing_bits: bits.to_vec(),
+            payload: b"DATA".to_vec(),
+        }
+    }
+
+    #[test]
+    fn routes_bit0_to_output0_with_exact_waveform() {
+        let p = SwitchParams::paper();
+        let r = run_switch(p, &[pkt(0, 10 * T, &[false, true, false])]);
+        let expect = expected_output(&r.injected[0].1, &p, TlGate::PAPER.delay_fs());
+        assert_eq!(
+            r.outputs[0].transitions(),
+            expect.transitions(),
+            "output 0 must carry the masked, delayed packet"
+        );
+        assert!(r.outputs[1].is_dark(), "output 1 must stay dark");
+    }
+
+    #[test]
+    fn routes_bit1_to_output1() {
+        let p = SwitchParams::paper();
+        let r = run_switch(p, &[pkt(0, 10 * T, &[true, false, true])]);
+        let expect = expected_output(&r.injected[0].1, &p, TlGate::PAPER.delay_fs());
+        assert_eq!(r.outputs[1].transitions(), expect.transitions());
+        assert!(r.outputs[0].is_dark());
+    }
+
+    #[test]
+    fn input1_routes_symmetrically() {
+        let p = SwitchParams::paper();
+        let r = run_switch(p, &[pkt(1, 10 * T, &[false, false])]);
+        let expect = expected_output(&r.injected[0].1, &p, TlGate::PAPER.delay_fs());
+        assert_eq!(r.outputs[0].transitions(), expect.transitions());
+        assert!(r.outputs[1].is_dark());
+    }
+
+    #[test]
+    fn disjoint_outputs_deliver_both_packets() {
+        let p = SwitchParams::paper();
+        let r = run_switch(
+            p,
+            &[pkt(0, 10 * T, &[false, true]), pkt(1, 10 * T, &[true, true])],
+        );
+        let g = TlGate::PAPER.delay_fs();
+        assert_eq!(
+            r.outputs[0].transitions(),
+            expected_output(&r.injected[0].1, &p, g).transitions()
+        );
+        assert_eq!(
+            r.outputs[1].transitions(),
+            expected_output(&r.injected[1].1, &p, g).transitions()
+        );
+    }
+
+    #[test]
+    fn contention_drops_exactly_one_packet() {
+        let p = SwitchParams::paper();
+        // Both want output 0; input 0 arrives first.
+        let r = run_switch(
+            p,
+            &[pkt(0, 10 * T, &[false, true]), pkt(1, 12 * T, &[false, false])],
+        );
+        let g = TlGate::PAPER.delay_fs();
+        assert_eq!(
+            r.outputs[0].transitions(),
+            expected_output(&r.injected[0].1, &p, g).transitions(),
+            "the earlier packet must win intact"
+        );
+        assert!(r.outputs[1].is_dark(), "nothing leaks to the other output");
+    }
+
+    #[test]
+    fn simultaneous_contention_delivers_exactly_one() {
+        let p = SwitchParams::paper();
+        let r = run_switch(
+            p,
+            &[pkt(0, 10 * T, &[false, true]), pkt(1, 10 * T, &[false, false])],
+        );
+        let g = TlGate::PAPER.delay_fs();
+        // Tie-break is deterministic (input 0), and the winner arrives
+        // unmangled.
+        assert_eq!(
+            r.outputs[0].transitions(),
+            expected_output(&r.injected[0].1, &p, g).transitions()
+        );
+        assert!(r.outputs[1].is_dark());
+    }
+
+    #[test]
+    fn back_to_back_packets_reuse_the_port() {
+        let p = SwitchParams::paper();
+        let first = pkt(0, 10 * T, &[false, true]);
+        // Leave > envelope hold (6T) + reset time between packets.
+        let code = LengthCode::paper();
+        let pw1 = assemble(&code, &first.routing_bits, &first.payload, first.start);
+        let second_start = pw1.end + 20 * T;
+        let r = run_switch(p, &[first, pkt(0, second_start, &[true, true])]);
+        let g = TlGate::PAPER.delay_fs();
+        assert_eq!(
+            r.outputs[0].transitions(),
+            expected_output(&r.injected[0].1, &p, g).transitions()
+        );
+        assert_eq!(
+            r.outputs[1].transitions(),
+            expected_output(&r.injected[1].1, &p, g).transitions()
+        );
+    }
+
+    #[test]
+    fn loser_freed_port_goes_to_later_packet() {
+        let p = SwitchParams::paper();
+        let code = LengthCode::paper();
+        let first = pkt(0, 10 * T, &[false, true]);
+        let pw1 = assemble(&code, &first.routing_bits, &first.payload, first.start);
+        // Input 1 sends to output 0 well after the first packet drains.
+        let late_start = pw1.end + 30 * T;
+        let r = run_switch(p, &[first, pkt(1, late_start, &[false, false])]);
+        let g = TlGate::PAPER.delay_fs();
+        let e0 = expected_output(&r.injected[0].1, &p, g);
+        let e1 = expected_output(&r.injected[1].1, &p, g);
+        let mut all: Vec<Fs> = e0
+            .transitions()
+            .iter()
+            .chain(e1.transitions())
+            .copied()
+            .collect();
+        all.sort_unstable();
+        assert_eq!(r.outputs[0].transitions(), &all[..]);
+    }
+
+    #[test]
+    fn gate_count_matches_figure_4() {
+        let mut n = Netlist::new();
+        build_switch(&mut n, SwitchParams::paper());
+        let gates = n.tl_gate_count();
+        // Paper Fig. 4 caption: "only 60 TL gates" for multiplicity 1
+        // (Table V budgets 64 including I/O conditioning).
+        assert!(
+            (55..=70).contains(&gates),
+            "switch has {gates} TL gates, expected ~60"
+        );
+    }
+
+    #[test]
+    fn fabric_latency_close_to_table_v() {
+        // Table V: 0.14 ns switch latency at multiplicity 1.
+        let lat = fabric_latency(&SwitchParams::paper(), TlGate::PAPER.delay_fs());
+        let ns = lat as f64 / 1e6;
+        assert!((0.12..=0.15).contains(&ns), "{ns} ns");
+    }
+
+    #[test]
+    fn jitter_failure_rate_rises_past_the_margin() {
+        // Margin ~0.5T = 8.3 ps. At sigma = 1.24 ps (paper) failures are
+        // ~1e-9: none in 12 trials. At sigma = 6 ps (margin ~1.4 sigma,
+        // two routing-bit transitions exposed) misroutes are common.
+        let p = SwitchParams::paper();
+        let clean = jitter_failure_rate(p, 1_237.0, 12, 5);
+        assert_eq!(clean, 0.0, "paper-sigma jitter must not misroute");
+        let noisy = jitter_failure_rate(p, 6_000.0, 12, 5);
+        assert!(noisy > 0.1, "6 ps jitter should break decodes: {noisy}");
+    }
+
+    #[test]
+    fn decodes_with_gaussian_jitter_at_paper_sigma() {
+        use baldur_sim::rng::StreamRng;
+        let p = SwitchParams::paper();
+        let code = LengthCode::paper();
+        let sigma_fs = 1_237.0; // sqrt(1.53 ps^2) in fs
+        let mut rng = StreamRng::named(2024, "jitter", 0);
+        let mut correct = 0;
+        let trials = 24;
+        for trial in 0..trials {
+            let bit = trial % 2 == 0;
+            let pw = assemble(&code, &[bit, true], b"JT", 10 * T);
+            // Jitter every transition independently (Sec. IV-F model).
+            let jittered: Vec<Fs> = pw
+                .wave
+                .transitions()
+                .iter()
+                .map(|&t| {
+                    let j = rng.gen_normal(0.0, sigma_fs);
+                    (t as i64 + j.round() as i64).max(0) as Fs
+                })
+                .collect();
+            let mut sorted = jittered.clone();
+            sorted.sort_unstable();
+            let mut n = Netlist::new();
+            let sw = build_switch(&mut n, p);
+            let mut sim = CircuitSim::new(n);
+            sim.probe(sw.outputs[0]);
+            sim.probe(sw.outputs[1]);
+            sim.drive(sw.inputs[0], &Waveform::from_transitions(sorted));
+            assert!(matches!(sim.run(pw.end + 2_000_000), RunOutcome::Settled { .. }));
+            let (want, other) = if bit { (1, 0) } else { (0, 1) };
+            if !sim.probed(sw.outputs[want]).is_dark()
+                && sim.probed(sw.outputs[other]).is_dark()
+            {
+                correct += 1;
+            }
+        }
+        // At sigma = 1.24 ps against a >= 7 ps margin, misdecodes are
+        // ~1e-9; every trial must route correctly.
+        assert_eq!(correct, trials);
+    }
+}

@@ -1,0 +1,562 @@
+//! The generalized 2x2 switch with path multiplicity m (paper Sec. IV-E).
+//!
+//! A multiplicity-m switch has `2m` input ports (m per logical input
+//! direction, fed by m different upstream switches) and `2m` output ports
+//! (m per output direction). Every input port carries an independent
+//! packet and gets its own line activity detector, mask-off latch, and
+//! routing latch. Path arbitration is *sequential*, exactly as the paper
+//! describes: each input holds a chain of m valid latches; the packet
+//! first requests path port 0 of its direction, and when it loses that
+//! port to another input, the loss pulse simultaneously clears the
+//! current valid latch and sets the next one, moving the request to path
+//! port 1, and so on. Exhausting all m paths drops the packet.
+//!
+//! Each output port arbitrates its up-to-2m requesters with a tournament
+//! of two-input mutual-exclusion elements; the grant conditions the
+//! fabric AND that releases the (132 ps-delayed, first-bit-masked) packet
+//! onto that port.
+//!
+//! `build_switch_m` with m = 1 degenerates to the Figure 4 design of
+//! [`crate::switch`]; the paper's Table V gate counts for m = 2..5 are
+//! within ~25% of what this generator instantiates (the authors'
+//! netlists include I/O conditioning we do not model).
+
+// Parallel index-coupled structures (inputs x dirs x paths) read more
+// clearly with explicit indices than with zipped iterators here.
+#![allow(clippy::needless_range_loop)]
+
+use baldur_phy::length_code::LengthCode;
+use baldur_phy::packet_wave::{assemble, PacketWave};
+use baldur_phy::waveform::{Fs, Waveform};
+
+use crate::arbiter::mutex2;
+use crate::detector::line_activity_detector;
+use crate::latch::sr_latch;
+use crate::netlist::{CircuitSim, GateKind, Netlist, RunOutcome, WireId};
+use crate::switch::SwitchParams;
+
+/// Handles to a built multiplicity-m switch.
+#[derive(Debug, Clone)]
+pub struct SwitchM {
+    /// Path multiplicity.
+    pub multiplicity: u32,
+    /// Input ports: `inputs[side][k]`, side ∈ {0, 1}, k ∈ 0..m.
+    pub inputs: Vec<Vec<WireId>>,
+    /// Output ports: `outputs[dir][j]`.
+    pub outputs: Vec<Vec<WireId>>,
+    /// `grants[input_index][dir][j]` — input `side * m + k` granted output
+    /// `(dir, j)`.
+    pub grants: Vec<Vec<Vec<WireId>>>,
+    /// Per-input valid-chain outputs, for observability:
+    /// `valids[input_index][j]`.
+    pub valids: Vec<Vec<WireId>>,
+}
+
+/// An n-way mutual-exclusion element built as a tournament of
+/// [`mutex2`] pairs. Returns one grant wire per requester; at most one is
+/// high at any instant.
+fn mutex_tree(n: &mut Netlist, reqs: &[WireId]) -> Vec<WireId> {
+    match reqs.len() {
+        0 => Vec::new(),
+        1 => {
+            // A single requester wins whenever it asks (buffer through two
+            // inverters to keep grant timing comparable).
+            let a = n.not(reqs[0]);
+            vec![n.not(a)]
+        }
+        2 => {
+            let m = mutex2(n, reqs[0], reqs[1]);
+            vec![m.grant0, m.grant1]
+        }
+        _ => {
+            let half = reqs.len().div_ceil(2);
+            let left = mutex_tree_side(n, &reqs[..half]);
+            let right = mutex_tree_side(n, &reqs[half..]);
+            let final_m = mutex2(n, left.any, right.any);
+            let mut grants = Vec::with_capacity(reqs.len());
+            for g in left.grants {
+                grants.push(n.and2(g, final_m.grant0));
+            }
+            for g in right.grants {
+                grants.push(n.and2(g, final_m.grant1));
+            }
+            grants
+        }
+    }
+}
+
+struct TreeSide {
+    grants: Vec<WireId>,
+    any: WireId,
+}
+
+fn mutex_tree_side(n: &mut Netlist, reqs: &[WireId]) -> TreeSide {
+    let grants = mutex_tree(n, reqs);
+    let any = match grants.len() {
+        1 => grants[0],
+        _ => {
+            let mut acc = grants[0];
+            for &g in &grants[1..] {
+                acc = n.or2(acc, g);
+            }
+            acc
+        }
+    };
+    TreeSide { grants, any }
+}
+
+/// Builds the multiplicity-m switch into `n`.
+///
+/// # Panics
+///
+/// Panics if `m` is zero.
+pub fn build_switch_m(n: &mut Netlist, p: SwitchParams, m: u32) -> SwitchM {
+    assert!(m >= 1, "multiplicity must be at least 1");
+    let m = m as usize;
+    let n_inputs = 2 * m;
+
+    // Input ports.
+    let inputs: Vec<Vec<WireId>> = (0..2)
+        .map(|side| {
+            (0..m)
+                .map(|k| {
+                    let w = n.wire();
+                    n.name_wire(w, &format!("in{side}_{k}"));
+                    w
+                })
+                .collect()
+        })
+        .collect();
+
+    // Per-input header slices.
+    struct InputSlice {
+        delayed: WireId,   // masked + fabric-delayed packet
+        dir: [WireId; 2],  // direction-select (route / not route)
+        end_d: WireId,     // delayed end-of-packet reset
+        valid_set: WireId, // initial valid set pulse
+    }
+    let mut slices = Vec::with_capacity(n_inputs);
+    for side in 0..2 {
+        for k in 0..m {
+            let input = inputs[side][k];
+            let det = line_activity_detector(n, input, p.detector);
+            let end_d = n.waveguide(det.end_pulse, p.reset_delay);
+            let valid_set = n.waveguide(det.start_pulse, p.valid_set_delay);
+            let mask_set = n.waveguide(det.start_pulse, p.mask_set_delay);
+            let mask = sr_latch(n, mask_set, end_d);
+
+            // Routing latch gated by "no valid in the chain yet": use the
+            // first chain latch's complement, set later; simplest correct
+            // gate is a dedicated pre-valid latch mirroring valid_set.
+            let prevalid = sr_latch(n, valid_set, end_d);
+            let s_pre = n.and2(det.fall_window, det.data_delayed);
+            let not_pv = prevalid.qb;
+            let s_route = n.and2(s_pre, not_pv);
+            let route = sr_latch(n, s_route, end_d);
+            let route_n = n.not(route.q);
+
+            let masked = n.and2(input, mask.q);
+            let delayed = n.waveguide(masked, p.fabric_delay);
+            slices.push(InputSlice {
+                delayed,
+                dir: [route.q, route_n],
+                end_d,
+                valid_set,
+            });
+        }
+    }
+
+    // Valid chains: V[input][level]. The set wire of level j > 0 is the
+    // loss pulse of level j - 1, attached after arbitration exists; model
+    // that with pre-created set wires driven later via gate_into.
+    let mut valid = Vec::with_capacity(n_inputs);
+    let mut chain_set_wires: Vec<Vec<WireId>> = Vec::with_capacity(n_inputs);
+    let mut chain_reset_wires: Vec<Vec<WireId>> = Vec::with_capacity(n_inputs);
+    for slice in &slices {
+        let mut levels = Vec::with_capacity(m);
+        let mut sets = Vec::with_capacity(m);
+        let mut resets = Vec::with_capacity(m);
+        for j in 0..m {
+            let set = if j == 0 {
+                slice.valid_set
+            } else {
+                n.wire() // driven by the level j-1 loss pulse, later
+            };
+            // Reset: end-of-packet OR lost-at-this-level (wire driven
+            // later).
+            let lost_here = n.wire();
+            let reset = n.or2(slice.end_d, lost_here);
+            let l = sr_latch(n, set, reset);
+            levels.push(l);
+            sets.push(set);
+            resets.push(lost_here);
+        }
+        valid.push(levels);
+        chain_set_wires.push(sets);
+        chain_reset_wires.push(resets);
+    }
+
+    // Requests: req[input][dir][level] = valid_level AND dir-select.
+    let mut req: Vec<[Vec<WireId>; 2]> = (0..n_inputs)
+        .map(|_| [Vec::with_capacity(m), Vec::with_capacity(m)])
+        .collect();
+    for (i, slice) in slices.iter().enumerate() {
+        for d in 0..2 {
+            for j in 0..m {
+                let r = n.and2(valid[i][j].q, slice.dir[d]);
+                req[i][d].push(r);
+            }
+        }
+    }
+
+    // Arbitration: one mutex tree per output port (d, j) over all inputs.
+    // grants[i][d][j].
+    let mut grants = vec![vec![vec![WireId(u32::MAX); m]; 2]; n_inputs];
+    let mut port_grant_lists: Vec<Vec<Vec<WireId>>> = vec![vec![Vec::new(); m]; 2];
+    for d in 0..2 {
+        for j in 0..m {
+            let reqs: Vec<WireId> = (0..n_inputs).map(|i| req[i][d][j]).collect();
+            let gs = mutex_tree(n, &reqs);
+            for (i, g) in gs.iter().enumerate() {
+                grants[i][d][j] = *g;
+                n.name_wire(*g, &format!("g_i{i}_d{d}_p{j}"));
+            }
+            port_grant_lists[d][j] = gs;
+        }
+    }
+
+    // Loss pulses close the valid chains: input i lost level j when it
+    // requests (d, j) while that port is granted to someone else.
+    for i in 0..n_inputs {
+        for j in 0..m {
+            // other_grant(d, j) = OR of everyone else's grants there.
+            let mut lost_d = Vec::with_capacity(2);
+            for d in 0..2 {
+                let mut other: Option<WireId> = None;
+                for (x, &g) in port_grant_lists[d][j].iter().enumerate() {
+                    if x == i {
+                        continue;
+                    }
+                    other = Some(match other {
+                        None => g,
+                        Some(acc) => n.or2(acc, g),
+                    });
+                }
+                let other = other.expect("at least one other input");
+                lost_d.push(n.and2(req[i][d][j], other));
+            }
+            let lost = n.or2(lost_d[0], lost_d[1]);
+            // Drive this level's reset, and the next level's set.
+            let delay = n.gate_delay();
+            n.gate_into(GateKind::Or2, lost, Some(lost), chain_reset_wires[i][j], delay);
+            if j + 1 < m {
+                n.gate_into(
+                    GateKind::Or2,
+                    lost,
+                    Some(lost),
+                    chain_set_wires[i][j + 1],
+                    delay,
+                );
+            }
+        }
+    }
+
+    // Fabric: outputs[d][j] = combiner over AND(delayed_i, grant_i_d_j).
+    let outputs: Vec<Vec<WireId>> = (0..2)
+        .map(|d| {
+            (0..m)
+                .map(|j| {
+                    let legs: Vec<WireId> = (0..n_inputs)
+                        .map(|i| n.and2(slices[i].delayed, grants[i][d][j]))
+                        .collect();
+                    let out = n.combiner(&legs);
+                    n.name_wire(out, &format!("out{d}_{j}"));
+                    out
+                })
+                .collect()
+        })
+        .collect();
+
+    SwitchM {
+        multiplicity: m as u32,
+        inputs,
+        outputs,
+        grants,
+        valids: valid
+            .iter()
+            .map(|levels| levels.iter().map(|l| l.q).collect())
+            .collect(),
+    }
+}
+
+/// A packet to inject into a multiplicity-m switch harness.
+#[derive(Debug, Clone)]
+pub struct InjectionM {
+    /// Input side (0 or 1).
+    pub side: usize,
+    /// Input port within the side (0..m).
+    pub port: usize,
+    /// First-light instant, fs.
+    pub start: Fs,
+    /// Routing bits (first selects this switch's direction).
+    pub routing_bits: Vec<bool>,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Harness result: the waveform observed on every output port.
+#[derive(Debug)]
+pub struct HarnessMResult {
+    /// `outputs[dir][j]`.
+    pub outputs: Vec<Vec<Waveform>>,
+    /// The assembled input waves.
+    pub injected: Vec<PacketWave>,
+    /// The completed simulation.
+    pub sim: CircuitSim,
+    /// Switch handles.
+    pub switch: SwitchM,
+}
+
+impl HarnessMResult {
+    /// Output ports of `dir` that carried any light.
+    pub fn lit_ports(&self, dir: usize) -> Vec<usize> {
+        self.outputs[dir]
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| !w.is_dark())
+            .map(|(j, _)| j)
+            .collect()
+    }
+
+    /// Count of packets that exited on direction `dir` (each lit port
+    /// carries at most one packet in the test scenarios).
+    pub fn delivered(&self, dir: usize) -> usize {
+        self.lit_ports(dir).len()
+    }
+}
+
+/// Builds a multiplicity-m switch, injects `packets`, runs to quiescence.
+///
+/// # Panics
+///
+/// Panics on malformed injections or a non-settling circuit.
+pub fn run_switch_m(p: SwitchParams, m: u32, packets: &[InjectionM]) -> HarnessMResult {
+    let code = LengthCode::paper();
+    let mut n = Netlist::new();
+    let sw = build_switch_m(&mut n, p, m);
+    let mut sim = CircuitSim::new(n);
+    for d in 0..2 {
+        for j in 0..m as usize {
+            sim.probe(sw.outputs[d][j]);
+        }
+    }
+    let mut horizon = 0;
+    let mut injected = Vec::new();
+    for inj in packets {
+        assert!(inj.side < 2 && inj.port < m as usize, "bad input port");
+        let pw = assemble(&code, &inj.routing_bits, &inj.payload, inj.start);
+        horizon = horizon.max(pw.end);
+        sim.drive(sw.inputs[inj.side][inj.port], &pw.wave);
+        injected.push(pw);
+    }
+    let outcome = sim.run(horizon + 3_000_000);
+    assert!(
+        matches!(outcome, RunOutcome::Settled { .. }),
+        "m={m} switch failed to settle"
+    );
+    let outputs = (0..2)
+        .map(|d| {
+            (0..m as usize)
+                .map(|j| sim.probed(sw.outputs[d][j]))
+                .collect()
+        })
+        .collect();
+    HarnessMResult {
+        outputs,
+        injected,
+        sim,
+        switch: sw,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::TlGate;
+    use crate::switch::expected_output;
+
+    const T: u64 = 16_667;
+
+    fn pkt(side: usize, port: usize, start: Fs, bits: &[bool]) -> InjectionM {
+        InjectionM {
+            side,
+            port,
+            start,
+            routing_bits: bits.to_vec(),
+            payload: b"DATA".to_vec(),
+        }
+    }
+
+    #[test]
+    fn m1_degenerates_to_the_basic_switch() {
+        let p = SwitchParams::paper();
+        let r = run_switch_m(p, 1, &[pkt(0, 0, 10 * T, &[false, true])]);
+        assert_eq!(r.delivered(0), 1);
+        assert_eq!(r.delivered(1), 0);
+    }
+
+    #[test]
+    fn m2_single_packet_takes_path_0_with_exact_waveform() {
+        let p = SwitchParams::paper();
+        let r = run_switch_m(p, 2, &[pkt(0, 0, 10 * T, &[false, true])]);
+        assert_eq!(r.lit_ports(0), vec![0], "uncontended packet uses path 0");
+        let expect = expected_output(&r.injected[0], &p, TlGate::PAPER.delay_fs());
+        assert_eq!(
+            r.outputs[0][0].transitions(),
+            expect.transitions(),
+            "masked, delayed packet must arrive intact"
+        );
+        assert_eq!(r.delivered(1), 0);
+    }
+
+    #[test]
+    fn m2_two_contenders_both_delivered_on_different_paths() {
+        // The whole point of multiplicity: what would be a drop at m=1 is
+        // a second-path delivery at m=2.
+        let p = SwitchParams::paper();
+        let r = run_switch_m(
+            p,
+            2,
+            &[
+                pkt(0, 0, 10 * T, &[false, true]),
+                pkt(1, 0, 10 * T, &[false, false]),
+            ],
+        );
+        assert_eq!(r.delivered(0), 2, "lit ports: {:?}", r.lit_ports(0));
+        assert_eq!(r.delivered(1), 0);
+    }
+
+    #[test]
+    fn m2_three_contenders_drop_exactly_one() {
+        let p = SwitchParams::paper();
+        let r = run_switch_m(
+            p,
+            2,
+            &[
+                pkt(0, 0, 10 * T, &[false, true]),
+                pkt(0, 1, 10 * T, &[false, false]),
+                pkt(1, 0, 11 * T, &[false, true]),
+            ],
+        );
+        assert_eq!(r.delivered(0), 2, "two paths exist, two survive");
+        assert_eq!(r.delivered(1), 0);
+    }
+
+    #[test]
+    fn m2_disjoint_directions_do_not_interact() {
+        let p = SwitchParams::paper();
+        let r = run_switch_m(
+            p,
+            2,
+            &[
+                pkt(0, 0, 10 * T, &[false, true]),
+                pkt(0, 1, 10 * T, &[true, false]),
+                pkt(1, 0, 10 * T, &[true, true]),
+            ],
+        );
+        assert_eq!(r.delivered(0), 1);
+        assert_eq!(r.delivered(1), 2);
+    }
+
+    #[test]
+    fn m3_four_contenders_drop_exactly_one() {
+        let p = SwitchParams::paper();
+        let r = run_switch_m(
+            p,
+            3,
+            &[
+                pkt(0, 0, 10 * T, &[false]),
+                pkt(0, 1, 10 * T, &[false]),
+                pkt(0, 2, 11 * T, &[false]),
+                pkt(1, 0, 11 * T, &[false]),
+            ],
+        );
+        assert_eq!(r.delivered(0), 3, "three paths exist, three survive");
+    }
+
+    #[test]
+    fn staggered_arrivals_reuse_freed_paths() {
+        let p = SwitchParams::paper();
+        let code = LengthCode::paper();
+        let first = pkt(0, 0, 10 * T, &[false, true]);
+        let pw = assemble(&code, &first.routing_bits, &first.payload, first.start);
+        // Second packet arrives long after the first drains: path 0 again.
+        let r = run_switch_m(p, 2, &[first, pkt(1, 0, pw.end + 30 * T, &[false, false])]);
+        let port0 = &r.outputs[0][0];
+        // Both packets on path 0, sequentially; path 1 never used.
+        assert!(!port0.is_dark());
+        assert!(r.outputs[0][1].is_dark(), "{:?}", r.lit_ports(0));
+    }
+
+    #[test]
+    fn gate_counts_track_table_v() {
+        use crate::gate_count::TABLE_V_GATES;
+        for m in 1..=3u32 {
+            let mut n = Netlist::new();
+            build_switch_m(&mut n, SwitchParams::paper(), m);
+            let gates = n.tl_gate_count();
+            let paper = TABLE_V_GATES[(m - 1) as usize];
+            let ratio = gates as f64 / paper as f64;
+            assert!(
+                (0.5..=1.5).contains(&ratio),
+                "m={m}: {gates} gates vs paper {paper}"
+            );
+        }
+    }
+
+    #[test]
+    fn grants_are_exclusive_per_port() {
+        // Run the contended scenario and check grant exclusivity on every
+        // output port at every recorded edge.
+        let p = SwitchParams::paper();
+        let mut n = Netlist::new();
+        let sw = build_switch_m(&mut n, p, 2);
+        let mut sim = CircuitSim::new(n);
+        let code = LengthCode::paper();
+        let mut grant_wires = Vec::new();
+        for i in 0..4 {
+            for d in 0..2 {
+                for j in 0..2 {
+                    sim.probe(sw.grants[i][d][j]);
+                    grant_wires.push((i, d, j, sw.grants[i][d][j]));
+                }
+            }
+        }
+        let a = assemble(&code, &[false, true], b"AA", 10 * T);
+        let b = assemble(&code, &[false, false], b"BB", 10 * T);
+        let c = assemble(&code, &[false, true], b"CC", 12 * T);
+        sim.drive(sw.inputs[0][0], &a.wave);
+        sim.drive(sw.inputs[0][1], &b.wave);
+        sim.drive(sw.inputs[1][0], &c.wave);
+        let out = sim.run(a.end.max(b.end).max(c.end) + 3_000_000);
+        assert!(matches!(out, RunOutcome::Settled { .. }));
+        // Collect all transition instants, then assert <= 1 grant high per
+        // port at each.
+        let mut edges: Vec<Fs> = Vec::new();
+        for &(_, _, _, w) in &grant_wires {
+            edges.extend_from_slice(sim.probed(w).transitions());
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        for &e in &edges {
+            for d in 0..2 {
+                for j in 0..2 {
+                    let high: usize = (0..4)
+                        .filter(|&i| sim.probed(sw.grants[i][d][j]).level_at(e))
+                        .count();
+                    assert!(high <= 1, "port ({d},{j}) at {e}: {high} grants");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! The dragonfly topology (Kim et al. \[16\]).
+//!
+//! Balanced configuration: each router has `p` terminal ports, `a - 1`
+//! local ports (full mesh within the group), and `h` global ports, with
+//! `a = 2p = 2h`. A maximal network has `g = a·h + 1` groups and
+//! `N = p·a·g` nodes. The paper's 1K-scale instance is (p=4, a=8, h=4):
+//! 33 groups, 1,056 nodes; scaling the radix grows the network to the
+//! 263K-node limit the paper cites, past which dragonfly cannot grow.
+
+use serde::{Deserialize, Serialize};
+
+use crate::graph::{NodeId, RouterGraph};
+
+/// A balanced dragonfly topology.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dragonfly {
+    /// Terminals per router.
+    pub p: u32,
+    /// Routers per group.
+    pub a: u32,
+    /// Global links per router.
+    pub h: u32,
+    /// Number of groups.
+    pub groups: u32,
+}
+
+impl Dragonfly {
+    /// A balanced dragonfly with the maximal group count `g = a·h + 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `a = 2p = 2h` (the balanced condition) and all
+    /// parameters are positive.
+    pub fn balanced(p: u32) -> Self {
+        assert!(p > 0, "p must be positive");
+        let a = 2 * p;
+        let h = p;
+        Dragonfly {
+            p,
+            a,
+            h,
+            groups: a * h + 1,
+        }
+    }
+
+    /// A dragonfly with an explicit group count (`2 ≤ groups ≤ a·h + 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups` is out of range.
+    pub fn with_groups(p: u32, groups: u32) -> Self {
+        let full = Dragonfly::balanced(p);
+        assert!(
+            (2..=full.groups).contains(&groups),
+            "groups must be in 2..={}",
+            full.groups
+        );
+        Dragonfly { groups, ..full }
+    }
+
+    /// The balanced dragonfly closest to (at least) `nodes` servers.
+    pub fn at_least(nodes: u64) -> Self {
+        let mut p = 1;
+        loop {
+            let d = Dragonfly::balanced(p);
+            if d.node_count() >= nodes {
+                return d;
+            }
+            p += 1;
+        }
+    }
+
+    /// Total server nodes: `p · a · groups`.
+    pub fn node_count(&self) -> u64 {
+        u64::from(self.p) * u64::from(self.a) * u64::from(self.groups)
+    }
+
+    /// Total routers.
+    pub fn router_count(&self) -> u64 {
+        u64::from(self.a) * u64::from(self.groups)
+    }
+
+    /// Router radix: `p + (a-1) + h`.
+    pub fn radix(&self) -> u32 {
+        self.p + self.a - 1 + self.h
+    }
+
+    /// The group of a router.
+    pub fn group_of_router(&self, router: u32) -> u32 {
+        router / self.a
+    }
+
+    /// The router a node attaches to.
+    pub fn router_of_node(&self, node: NodeId) -> u32 {
+        node.0 / self.p
+    }
+
+    /// The group a node belongs to.
+    pub fn group_of_node(&self, node: NodeId) -> u32 {
+        self.group_of_router(self.router_of_node(node))
+    }
+
+    /// The router in `src_group` that owns the global link to `dst_group`,
+    /// and the global-port index on it. The canonical arrangement assigns
+    /// group `g`'s global slot `s(g')` (where `s = g'` if `g' < g`, else
+    /// `g' - 1`) to router `s / h`, port `s % h`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the groups are equal.
+    pub fn gateway(&self, src_group: u32, dst_group: u32) -> (u32, u32) {
+        assert_ne!(src_group, dst_group, "no global link within a group");
+        let slot = if dst_group < src_group {
+            dst_group
+        } else {
+            dst_group - 1
+        };
+        (src_group * self.a + slot / self.h, slot % self.h)
+    }
+
+    /// Port layout on every router: `[0, p)` terminals, `[p, p+a-1)` local,
+    /// `[p+a-1, radix)` global.
+    pub fn local_port(&self, from_local: u32, to_local: u32) -> u32 {
+        debug_assert_ne!(from_local, to_local);
+        let idx = if to_local < from_local {
+            to_local
+        } else {
+            to_local - 1
+        };
+        self.p + idx
+    }
+
+    /// The first global port index.
+    pub fn global_port_base(&self) -> u32 {
+        self.p + self.a - 1
+    }
+
+    /// Builds the port-level graph with the paper's Table VI link delays:
+    /// `intra_delay_ps` for terminal/local links, `global_delay_ps` for
+    /// inter-group links.
+    pub fn build_graph(&self, intra_delay_ps: u64, global_delay_ps: u64) -> RouterGraph {
+        let mut g = RouterGraph::new(self.router_count() as u32, self.radix());
+        // Terminals (node ids ascend with router ids).
+        for r in 0..self.router_count() as u32 {
+            for t in 0..self.p {
+                g.attach_node(r, t, intra_delay_ps);
+            }
+        }
+        // Local full mesh.
+        for grp in 0..self.groups {
+            for i in 0..self.a {
+                for j in (i + 1)..self.a {
+                    let ri = grp * self.a + i;
+                    let rj = grp * self.a + j;
+                    g.connect(
+                        (ri, self.local_port(i, j)),
+                        (rj, self.local_port(j, i)),
+                        intra_delay_ps,
+                    );
+                }
+            }
+        }
+        // Global links (only between instantiated groups).
+        for ga in 0..self.groups {
+            for gb in (ga + 1)..self.groups {
+                let (ra, pa) = self.gateway(ga, gb);
+                let (rb, pb) = self.gateway(gb, ga);
+                g.connect(
+                    (ra, self.global_port_base() + pa),
+                    (rb, self.global_port_base() + pb),
+                    global_delay_ps,
+                );
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_configuration() {
+        let d = Dragonfly::balanced(4);
+        assert_eq!((d.p, d.a, d.h, d.groups), (4, 8, 4, 33));
+        assert_eq!(d.node_count(), 1_056);
+        assert_eq!(d.radix(), 15);
+    }
+
+    #[test]
+    fn scalability_limit_matches_paper() {
+        // The paper says dragonfly tops out around 263K nodes with radix
+        // <= 64: balanced p=16 gives radix 63 and 16*32*513 = 262,656.
+        let d = Dragonfly::balanced(16);
+        assert_eq!(d.radix(), 63);
+        assert_eq!(d.node_count(), 262_656);
+    }
+
+    #[test]
+    fn gateway_is_symmetric_and_total() {
+        let d = Dragonfly::balanced(2);
+        for ga in 0..d.groups {
+            let mut seen = std::collections::HashSet::new();
+            for gb in 0..d.groups {
+                if ga == gb {
+                    continue;
+                }
+                let (r, p) = d.gateway(ga, gb);
+                assert_eq!(d.group_of_router(r), ga);
+                assert!(p < d.h);
+                assert!(seen.insert((r, p)), "global port reused");
+            }
+            // All a*h global ports of the group are used exactly once.
+            assert_eq!(seen.len() as u32, d.a * d.h);
+        }
+    }
+
+    #[test]
+    fn graph_validates_at_paper_scale() {
+        let d = Dragonfly::balanced(4);
+        let g = d.build_graph(10_000, 100_000);
+        assert!(g.validate().is_ok());
+        assert_eq!(g.node_count() as u64, d.node_count());
+        // Every port of every router is used in the maximal configuration.
+        for r in 0..g.router_count() {
+            for p in 0..g.radix(r) {
+                assert!(
+                    !matches!(g.peer(r, p), crate::graph::Endpoint::Unused),
+                    "router {r} port {p} unused"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partial_group_count_builds() {
+        let d = Dragonfly::with_groups(4, 9);
+        let g = d.build_graph(10_000, 100_000);
+        assert!(g.validate().is_ok());
+        assert_eq!(g.node_count(), 4 * 8 * 9);
+    }
+
+    #[test]
+    fn at_least_finds_smallest() {
+        let d = Dragonfly::at_least(1_000);
+        assert_eq!(d.node_count(), 1_056);
+        let d = Dragonfly::at_least(1_057);
+        assert!(d.node_count() >= 1_057);
+    }
+
+    #[test]
+    fn node_and_group_mapping() {
+        let d = Dragonfly::balanced(4);
+        assert_eq!(d.router_of_node(NodeId(0)), 0);
+        assert_eq!(d.router_of_node(NodeId(7)), 1);
+        assert_eq!(d.group_of_node(NodeId(32 * 5 + 3)), 5);
+    }
+}

@@ -1,0 +1,236 @@
+//! The 3-level k-ary fat-tree (Al-Fares et al. \[17\]).
+//!
+//! `k` pods, each with `k/2` edge and `k/2` aggregation switches; `(k/2)²`
+//! core switches; `k³/4` hosts at full bisection bandwidth. The paper's
+//! 1K-scale instance is `k = 16` (1,024 hosts, radix-16 switches); its
+//! scalability limit with radix ≤ 64 is `64³/4 = 65,536` hosts ("66K").
+
+use serde::{Deserialize, Serialize};
+
+use crate::graph::{NodeId, RouterGraph};
+
+/// Level of a fat-tree switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Level {
+    /// Connects hosts (level 1).
+    Edge,
+    /// Pod-internal aggregation (level 2).
+    Aggregation,
+    /// Core (level 3).
+    Core,
+}
+
+/// A 3-level k-ary fat-tree.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FatTree {
+    /// Switch radix (even, ≥ 4).
+    pub k: u32,
+}
+
+impl FatTree {
+    /// A fat-tree of radix `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `k` is even and at least 4.
+    pub fn new(k: u32) -> Self {
+        assert!(k >= 4 && k.is_multiple_of(2), "k must be even and >= 4");
+        FatTree { k }
+    }
+
+    /// The smallest fat-tree with at least `nodes` hosts.
+    pub fn at_least(nodes: u64) -> Self {
+        let mut k = 4;
+        loop {
+            let ft = FatTree::new(k);
+            if ft.node_count() >= nodes {
+                return ft;
+            }
+            k += 2;
+        }
+    }
+
+    /// Hosts: `k³/4`.
+    pub fn node_count(&self) -> u64 {
+        u64::from(self.k).pow(3) / 4
+    }
+
+    /// Hosts per pod: `k²/4`.
+    pub fn hosts_per_pod(&self) -> u32 {
+        self.k * self.k / 4
+    }
+
+    /// Edge (or aggregation) switches per pod: `k/2`.
+    pub fn half_k(&self) -> u32 {
+        self.k / 2
+    }
+
+    /// Core switches: `(k/2)²`.
+    pub fn core_count(&self) -> u32 {
+        self.half_k() * self.half_k()
+    }
+
+    /// Total switches: `k·k/2 (edge) + k·k/2 (agg) + (k/2)²`.
+    pub fn switch_count(&self) -> u64 {
+        u64::from(self.k) * u64::from(self.k) + u64::from(self.core_count())
+    }
+
+    /// Router index layout: edges `[0, k·k/2)`, aggregations
+    /// `[k·k/2, k·k)`, cores `[k·k, k·k + (k/2)²)`.
+    pub fn edge_index(&self, pod: u32, e: u32) -> u32 {
+        pod * self.half_k() + e
+    }
+
+    /// Aggregation switch index (see [`FatTree::edge_index`]).
+    pub fn agg_index(&self, pod: u32, a: u32) -> u32 {
+        self.k * self.half_k() + pod * self.half_k() + a
+    }
+
+    /// Core switch index (see [`FatTree::edge_index`]).
+    pub fn core_index(&self, c: u32) -> u32 {
+        self.k * self.k + c
+    }
+
+    /// The level of a router index.
+    pub fn level(&self, router: u32) -> Level {
+        if router < self.k * self.half_k() {
+            Level::Edge
+        } else if router < self.k * self.k {
+            Level::Aggregation
+        } else {
+            Level::Core
+        }
+    }
+
+    /// The pod of an edge or aggregation switch.
+    ///
+    /// # Panics
+    ///
+    /// Panics for core switches, which belong to no pod.
+    pub fn pod_of(&self, router: u32) -> u32 {
+        match self.level(router) {
+            Level::Edge => router / self.half_k(),
+            Level::Aggregation => (router - self.k * self.half_k()) / self.half_k(),
+            Level::Core => panic!("core switches have no pod"),
+        }
+    }
+
+    /// The edge switch serving a host, plus its terminal port.
+    pub fn host_attachment(&self, node: NodeId) -> (u32, u32) {
+        let pod = node.0 / self.hosts_per_pod();
+        let within = node.0 % self.hosts_per_pod();
+        let e = within / self.half_k();
+        (self.edge_index(pod, e), within % self.half_k())
+    }
+
+    /// Builds the port-level graph with the paper's Table VI link delays
+    /// (level-1 / level-2 / level-3 links).
+    ///
+    /// Port layout: on edge switches, `[0, k/2)` hosts and `[k/2, k)` up to
+    /// aggregation; on aggregation, `[0, k/2)` down to edges and `[k/2, k)`
+    /// up to core; on cores, port `pod` goes down to that pod.
+    pub fn build_graph(&self, l1_ps: u64, l2_ps: u64, l3_ps: u64) -> RouterGraph {
+        let half = self.half_k();
+        let mut g = RouterGraph::new(self.switch_count() as u32, self.k);
+        // Hosts, in node-id order.
+        for pod in 0..self.k {
+            for e in 0..half {
+                for h in 0..half {
+                    g.attach_node(self.edge_index(pod, e), h, l1_ps);
+                }
+            }
+        }
+        // Edge <-> aggregation (within pod).
+        for pod in 0..self.k {
+            for e in 0..half {
+                for a in 0..half {
+                    g.connect(
+                        (self.edge_index(pod, e), half + a),
+                        (self.agg_index(pod, a), e),
+                        l2_ps,
+                    );
+                }
+            }
+        }
+        // Aggregation <-> core: agg `a` serves cores `[a*half, (a+1)*half)`.
+        for pod in 0..self.k {
+            for a in 0..half {
+                for c in 0..half {
+                    let core = a * half + c;
+                    g.connect(
+                        (self.agg_index(pod, a), half + c),
+                        (self.core_index(core), pod),
+                        l3_ps,
+                    );
+                }
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_is_k16() {
+        let ft = FatTree::new(16);
+        assert_eq!(ft.node_count(), 1_024);
+        assert_eq!(ft.switch_count(), 16 * 16 + 64);
+    }
+
+    #[test]
+    fn scalability_limit_matches_paper() {
+        let ft = FatTree::new(64);
+        assert_eq!(ft.node_count(), 65_536); // the paper's "66K"
+    }
+
+    #[test]
+    fn graph_validates_and_all_ports_used() {
+        let ft = FatTree::new(8);
+        let g = ft.build_graph(10_000, 50_000, 100_000);
+        assert!(g.validate().is_ok());
+        assert_eq!(g.node_count() as u64, ft.node_count());
+        for r in 0..g.router_count() {
+            for p in 0..g.radix(r) {
+                assert!(
+                    !matches!(g.peer(r, p), crate::graph::Endpoint::Unused),
+                    "router {r} port {p} unused"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn host_attachment_round_trips() {
+        let ft = FatTree::new(8);
+        let g = ft.build_graph(1, 2, 3);
+        for n in 0..ft.node_count() as u32 {
+            let (r, p) = ft.host_attachment(NodeId(n));
+            assert_eq!(g.node_attach[n as usize], (r, p));
+        }
+    }
+
+    #[test]
+    fn levels_and_pods() {
+        let ft = FatTree::new(8);
+        assert_eq!(ft.level(ft.edge_index(3, 1)), Level::Edge);
+        assert_eq!(ft.level(ft.agg_index(3, 1)), Level::Aggregation);
+        assert_eq!(ft.level(ft.core_index(5)), Level::Core);
+        assert_eq!(ft.pod_of(ft.edge_index(3, 1)), 3);
+        assert_eq!(ft.pod_of(ft.agg_index(6, 0)), 6);
+    }
+
+    #[test]
+    fn at_least_covers_paper_sweep() {
+        assert_eq!(FatTree::at_least(1_024).k, 16);
+        assert!(FatTree::at_least(1_000_000).node_count() >= 1_000_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_k_rejected() {
+        FatTree::new(5);
+    }
+}

@@ -1,0 +1,35 @@
+//! The ideal reference network (paper Sec. V-A): infinite bandwidth and a
+//! flat 200 ns packet latency between any pair of nodes.
+
+use serde::{Deserialize, Serialize};
+
+/// The ideal network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ideal {
+    /// Number of server nodes.
+    pub nodes: u32,
+    /// Flat latency in picoseconds (paper: 200 ns).
+    pub latency_ps: u64,
+}
+
+impl Ideal {
+    /// The paper's reference: flat 200 ns.
+    pub fn paper(nodes: u32) -> Self {
+        Ideal {
+            nodes,
+            latency_ps: 200_000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_reference_is_200ns() {
+        let i = Ideal::paper(1024);
+        assert_eq!(i.latency_ps, 200_000);
+        assert_eq!(i.nodes, 1024);
+    }
+}

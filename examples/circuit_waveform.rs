@@ -1,0 +1,19 @@
+//! Drive one packet through the gate-level 2x2 TL switch and render the
+//! control waveforms (the Figure 5 reproduction).
+//!
+//! ```sh
+//! cargo run --release --example circuit_waveform
+//! ```
+
+use baldur::experiments::figure5;
+
+fn main() {
+    let f = figure5();
+    println!("one packet, routing bits [0, 1], into switch input 0:\n");
+    print!("{}", f.ascii);
+    println!("\nthe packet exited on output port {} (routing bit 0 = up)", f.output_port);
+
+    let path = std::env::temp_dir().join("baldur_switch.vcd");
+    std::fs::write(&path, &f.vcd).expect("write VCD");
+    println!("full VCD written to {} (open with GTKWave)", path.display());
+}

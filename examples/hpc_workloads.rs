@@ -1,0 +1,42 @@
+//! Replay the four synthetic Design Forward HPC traces on Baldur and the
+//! ideal network.
+//!
+//! ```sh
+//! cargo run --release --example hpc_workloads
+//! ```
+
+use baldur::prelude::*;
+
+fn main() {
+    let nodes = 64;
+    println!("HPC traces on {nodes} nodes (avg latency / completion time)\n");
+    println!(
+        "{:>4} | {:>22} | {:>22}",
+        "app", "baldur", "ideal (200 ns flat)"
+    );
+    for app in HpcApp::ALL {
+        let mut cells = Vec::new();
+        for network in [
+            NetworkKind::Baldur(BaldurParams::paper_for(nodes as u64)),
+            NetworkKind::Ideal,
+        ] {
+            let cfg = RunConfig::new(
+                nodes,
+                network,
+                Workload::Hpc {
+                    app,
+                    params: TraceParams::default_scale(),
+                },
+            );
+            let r = baldur::run(&cfg);
+            cells.push(format!(
+                "{:>7.0} ns / {:>8.1} us",
+                r.avg_ns,
+                r.sim_end_ns / 1e3
+            ));
+        }
+        println!("{:>4} | {} | {}", app.name(), cells[0], cells[1]);
+    }
+    println!("\ncompletion time tracks the dependency structure: receives");
+    println!("gate sends, so network latency serializes whole phases.");
+}

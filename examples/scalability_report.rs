@@ -1,0 +1,39 @@
+//! Power, cost, and packaging summary across scales (Figures 8 and 10 plus
+//! Sec. IV-G in one report).
+//!
+//! ```sh
+//! cargo run --release --example scalability_report
+//! ```
+
+use baldur::cost::{cost_per_node, packaging_for};
+use baldur::power::NetworkPower;
+
+fn main() {
+    println!("Baldur scalability: 1K -> 1M server nodes\n");
+    println!(
+        "{:>9} | {:>9} | {:>10} | {:>9} | {:>8} | vs best electrical",
+        "nodes", "W/node", "USD/node", "cabinets", "m"
+    );
+    for requested in [1_024u64, 16_384, 131_072, 1 << 20] {
+        let power = NetworkPower::Baldur.per_node(requested).total_w();
+        let cost = cost_per_node(requested).total();
+        let pack = packaging_for(requested);
+        let best_rival = [
+            NetworkPower::ElectricalMultiButterfly,
+            NetworkPower::Dragonfly,
+            NetworkPower::FatTree,
+        ]
+        .iter()
+        .map(|n| n.per_node(requested).total_w())
+        .fold(f64::MAX, f64::min);
+        println!(
+            "{requested:>9} | {power:>9.2} | {cost:>10.0} | {:>9} | {:>8} | {:.1}x less power",
+            pack.cabinets(),
+            pack.multiplicity,
+            best_rival / power
+        );
+    }
+    println!("\npower per node stays nearly flat while every electrical");
+    println!("alternative grows superlinearly with switch radix — the");
+    println!("paper's central scalability claim.");
+}

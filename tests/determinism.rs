@@ -1,0 +1,59 @@
+//! Bit-level reproducibility: a run is a pure function of its config.
+
+use baldur::prelude::*;
+
+fn run_twice(network: NetworkKind, workload: Workload) {
+    let name = network.name();
+    let mk = || {
+        let mut cfg = RunConfig::new(64, network.clone(), workload);
+        cfg.seed = 1234;
+        baldur::run(&cfg)
+    };
+    let a = mk();
+    let b = mk();
+    assert_eq!(a.avg_ns.to_bits(), b.avg_ns.to_bits(), "{name}");
+    assert_eq!(a.p99_ns.to_bits(), b.p99_ns.to_bits(), "{name}");
+    assert_eq!(a.delivered, b.delivered, "{name}");
+    assert_eq!(a.drop_attempts, b.drop_attempts, "{name}");
+    assert_eq!(a.sim_end_ns.to_bits(), b.sim_end_ns.to_bits(), "{name}");
+}
+
+#[test]
+fn every_network_is_deterministic() {
+    let wl = Workload::Synthetic {
+        pattern: Pattern::Bisection,
+        load: 0.6,
+        packets_per_node: 40,
+    };
+    for (_, network) in NetworkKind::paper_lineup(64) {
+        run_twice(network, wl);
+    }
+}
+
+#[test]
+fn seeds_actually_matter() {
+    let wl = Workload::Synthetic {
+        pattern: Pattern::RandomPermutation,
+        load: 0.6,
+        packets_per_node: 40,
+    };
+    let mut cfg = RunConfig::new(
+        64,
+        NetworkKind::Baldur(BaldurParams::paper_for(64)),
+        wl,
+    );
+    cfg.seed = 1;
+    let a = baldur::run(&cfg);
+    cfg.seed = 2;
+    let b = baldur::run(&cfg);
+    assert_ne!(a.avg_ns.to_bits(), b.avg_ns.to_bits());
+}
+
+#[test]
+fn trace_workloads_are_deterministic() {
+    let wl = Workload::Hpc {
+        app: HpcApp::Amg,
+        params: TraceParams::default_scale(),
+    };
+    run_twice(NetworkKind::Baldur(BaldurParams::paper_for(64)), wl);
+}

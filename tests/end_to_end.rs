@@ -1,0 +1,110 @@
+//! Cross-crate integration: every network model runs every workload type
+//! end to end, and the paper's qualitative orderings hold.
+
+use baldur::prelude::*;
+
+fn synth(pattern: Pattern, load: f64) -> Workload {
+    Workload::Synthetic {
+        pattern,
+        load,
+        packets_per_node: 50,
+    }
+}
+
+#[test]
+fn all_networks_deliver_all_patterns() {
+    for pattern in [
+        Pattern::RandomPermutation,
+        Pattern::Transpose,
+        Pattern::Bisection,
+        Pattern::GroupPermutation,
+    ] {
+        for (name, network) in NetworkKind::paper_lineup(64) {
+            let cfg = RunConfig::new(64, network, synth(pattern, 0.2));
+            let r = baldur::run(&cfg);
+            assert!(
+                r.delivery_ratio() > 0.99,
+                "{name}/{}: {} of {}",
+                pattern.name(),
+                r.delivered,
+                r.generated
+            );
+        }
+    }
+}
+
+#[test]
+fn ideal_lower_bounds_everyone() {
+    for (name, network) in NetworkKind::paper_lineup(64) {
+        let cfg = RunConfig::new(64, network, synth(Pattern::Bisection, 0.3));
+        let r = baldur::run(&cfg);
+        assert!(r.avg_ns >= 199.9, "{name}: {}", r.avg_ns);
+        assert!(r.p99_ns >= r.avg_ns * 0.99, "{name}");
+    }
+}
+
+#[test]
+fn baldur_beats_every_electrical_network() {
+    let mut results = std::collections::HashMap::new();
+    for (name, network) in NetworkKind::paper_lineup(64) {
+        let cfg = RunConfig::new(64, network, synth(Pattern::RandomPermutation, 0.5));
+        results.insert(name, baldur::run(&cfg).avg_ns);
+    }
+    for rival in ["electrical_mb", "dragonfly", "fattree"] {
+        assert!(
+            results["baldur"] < results[rival],
+            "baldur {} vs {rival} {}",
+            results["baldur"],
+            results[rival]
+        );
+    }
+}
+
+#[test]
+fn closed_loop_ping_pong_emphasizes_latency() {
+    // Per paper Sec. V-B: in ping-pong the serialization dependency makes
+    // switch/header latency dominate, so Baldur's advantage over the
+    // electrical networks is at least as large as in open loop.
+    let mut avg = std::collections::HashMap::new();
+    for (name, network) in NetworkKind::paper_lineup(64) {
+        let cfg = RunConfig::new(64, network, Workload::PingPong1 { rounds: 20 });
+        avg.insert(name, baldur::run(&cfg).avg_ns);
+    }
+    assert!(avg["baldur"] < avg["fattree"] / 2.0, "{avg:?}");
+    assert!(avg["baldur"] < avg["electrical_mb"], "{avg:?}");
+}
+
+#[test]
+fn hpc_traces_complete_on_all_networks() {
+    let wl = Workload::Hpc {
+        app: HpcApp::MultiGrid,
+        params: TraceParams {
+            iterations: 1,
+            halo_packets: 2,
+            compute_ps: 100_000,
+        },
+    };
+    for (name, network) in NetworkKind::paper_lineup(64) {
+        let cfg = RunConfig::new(64, network, wl);
+        let r = baldur::run(&cfg);
+        assert!(r.delivery_ratio() > 0.99, "{name}");
+        assert!(r.generated > 0, "{name}");
+    }
+}
+
+#[test]
+fn fb_trace_hurts_hierarchical_networks_most() {
+    // The paper's FB result: dragonfly/fat-tree suffer far more than
+    // Baldur on the distance-heavy FillBoundary exchange.
+    let wl = Workload::Hpc {
+        app: HpcApp::FillBoundary,
+        params: TraceParams::default_scale(),
+    };
+    let mut avg = std::collections::HashMap::new();
+    for (name, network) in NetworkKind::paper_lineup(64) {
+        let cfg = RunConfig::new(64, network, wl);
+        avg.insert(name, baldur::run(&cfg).avg_ns);
+    }
+    assert!(avg["dragonfly"] > 1.5 * avg["baldur"], "{avg:?}");
+    assert!(avg["fattree"] > avg["baldur"], "{avg:?}");
+}

@@ -1,0 +1,198 @@
+//! Property-based tests over the full stack.
+
+use baldur::phy::eightbtenb::{max_run_length, Decoder, Encoder, Symbol};
+use baldur::phy::length_code::LengthCode;
+use baldur::phy::waveform::Waveform;
+use baldur::sim::rng::StreamRng;
+use baldur::sim::stats::{Reservoir, Streaming};
+use baldur::topo::graph::NodeId;
+use baldur::topo::multibutterfly::MultiButterfly;
+use proptest::prelude::*;
+
+proptest! {
+    /// 8b/10b: any byte stream round-trips, never exceeds run length 5,
+    /// and keeps bounded disparity.
+    #[test]
+    fn eightbtenb_roundtrip(bytes in proptest::collection::vec(any::<u8>(), 1..200)) {
+        let mut enc = Encoder::new();
+        let mut dec = Decoder::new();
+        let mut bits = Vec::new();
+        for &b in &bytes {
+            let c = enc.encode_data(b);
+            bits.extend_from_slice(&c.bits());
+            prop_assert_eq!(dec.decode(c), Ok(Symbol::Data(b)));
+        }
+        prop_assert!(max_run_length(&bits) <= 5);
+    }
+
+    /// Length code: arbitrary routing-bit strings round-trip.
+    #[test]
+    fn length_code_roundtrip(bits in proptest::collection::vec(any::<bool>(), 1..24),
+                             start_slots in 0u64..16) {
+        let code = LengthCode::paper();
+        let start = start_slots * code.slot();
+        let w = code.encode(&bits, start);
+        let (decoded, _) = code.decode_prefix(&w, code.bit_period / 10);
+        prop_assert_eq!(decoded, bits);
+    }
+
+    /// Waveforms: level_at is consistent with the pulse list.
+    #[test]
+    fn waveform_pulse_consistency(gaps in proptest::collection::vec(1u64..1000, 2..40)) {
+        let mut t = 0;
+        let mut transitions = Vec::new();
+        for g in gaps {
+            t += g;
+            transitions.push(t);
+        }
+        let w = Waveform::from_transitions(transitions.clone());
+        for (i, &tr) in transitions.iter().enumerate() {
+            prop_assert_eq!(w.level_at(tr), i % 2 == 0);
+            if tr > 0 {
+                prop_assert_eq!(w.level_at(tr - 1), i % 2 == 1);
+            }
+        }
+    }
+
+    /// Multi-butterfly: every (src, dst, path choice, seed) delivers to
+    /// the right node — the deliverability invariant under randomized
+    /// wiring.
+    #[test]
+    fn multibutterfly_always_delivers(
+        bits in 3u32..8,
+        m in 1u32..5,
+        seed in any::<u64>(),
+        src in any::<u32>(),
+        dst in any::<u32>(),
+        path in any::<u32>(),
+    ) {
+        let nodes = 1u32 << bits;
+        let topo = MultiButterfly::new(nodes, m, seed);
+        let src = NodeId(src % nodes);
+        let dst = NodeId(dst % nodes);
+        let (_, reached) = topo.trace_route(src, dst, path);
+        prop_assert_eq!(reached, dst);
+    }
+
+    /// Multi-butterfly wiring invariants hold for arbitrary seeds.
+    #[test]
+    fn multibutterfly_wiring_valid(bits in 2u32..9, m in 1u32..6, seed in any::<u64>()) {
+        let topo = MultiButterfly::new(1 << bits, m, seed);
+        prop_assert!(topo.validate().is_ok());
+    }
+
+    /// Streaming stats merge == sequential, for any split point.
+    #[test]
+    fn streaming_merge_any_split(data in proptest::collection::vec(-1e6f64..1e6, 2..200),
+                                 split in any::<prop::sample::Index>()) {
+        let k = split.index(data.len());
+        let mut whole = Streaming::new();
+        for &x in &data { whole.push(x); }
+        let mut a = Streaming::new();
+        let mut b = Streaming::new();
+        for &x in &data[..k] { a.push(x); }
+        for &x in &data[k..] { b.push(x); }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean() - whole.mean()).abs() < 1e-6);
+    }
+
+    /// Reservoir quantiles are exact below capacity.
+    #[test]
+    fn reservoir_exact_quantiles(data in proptest::collection::vec(0f64..1e9, 1..500)) {
+        let mut r = Reservoir::with_capacity(1000);
+        for &x in &data { r.push(x); }
+        prop_assert!(r.is_exact());
+        let mut sorted = data.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert_eq!(r.quantile(0.0), sorted[0]);
+        prop_assert_eq!(r.quantile(1.0), *sorted.last().unwrap());
+    }
+
+    /// Derived RNG streams are reproducible and label-separated.
+    #[test]
+    fn rng_streams_deterministic(seed in any::<u64>(), idx in any::<u64>()) {
+        use rand::RngCore;
+        let mut a = StreamRng::named(seed, "prop", idx);
+        let mut b = StreamRng::named(seed, "prop", idx);
+        prop_assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    /// Traffic assignments never self-send and stay in range.
+    #[test]
+    fn traffic_assignments_in_range(bits in 3u32..10, seed in any::<u64>()) {
+        use baldur::net::traffic::{Assignment, Pattern};
+        let nodes = 1u32 << bits;
+        for pattern in [Pattern::RandomPermutation, Pattern::Transpose,
+                        Pattern::Bisection, Pattern::GroupPermutation, Pattern::Hotspot] {
+            if let Assignment::Pairs(p) = Assignment::build(pattern, nodes, seed) {
+                for (i, &d) in p.iter().enumerate() {
+                    prop_assert!(d < nodes, "{}: out of range", pattern.name());
+                    // Transpose has fixed points (palindromic addresses)
+                    // and the hotspot target sends to its neighbour; all
+                    // other patterns are self-send-free.
+                    let may_self = matches!(pattern, Pattern::Transpose | Pattern::Hotspot);
+                    prop_assert!(d != i as u32 || may_self,
+                        "{}: self-send at {i}", pattern.name());
+                }
+            }
+        }
+    }
+
+    /// The worst-case drop tool's rate is a probability, and multiplicity
+    /// never hurts.
+    #[test]
+    fn droptool_monotone(bits in 5u32..11, seed in any::<u64>()) {
+        use baldur::net::droptool::worst_case;
+        use baldur::net::traffic::Pattern;
+        let nodes = 1u32 << bits;
+        let mut last = 1.0f64;
+        for m in [1u32, 2, 4] {
+            let r = worst_case(nodes, m, Pattern::RandomPermutation, seed);
+            prop_assert!((0.0..=1.0).contains(&r.drop_rate));
+            prop_assert!(r.drop_rate <= last + 0.05,
+                "m={m}: {} > {last}", r.drop_rate);
+            last = r.drop_rate;
+        }
+    }
+}
+
+/// Records every (time, payload) it executes; re-schedules a follow-up
+/// for payloads divisible by 5 so the queues also see pops interleaved
+/// with pushes.
+struct Recorder {
+    log: Vec<(u64, u32)>,
+}
+
+impl baldur::sim::Model for Recorder {
+    type Event = u32;
+    fn handle(
+        &mut self,
+        now: baldur::sim::Time,
+        ev: u32,
+        sched: &mut baldur::sim::Scheduler<u32>,
+    ) {
+        self.log.push((now.as_ps(), ev));
+        if ev.is_multiple_of(5) && ev > 0 {
+            sched.schedule_in(baldur::sim::Duration::from_ps(u64::from(ev) * 31 + 1), ev / 2);
+        }
+    }
+}
+
+proptest! {
+    /// The calendar queue executes the exact event sequence the binary
+    /// heap does, including FIFO tie-breaks and re-scheduling mid-run.
+    #[test]
+    fn calendar_queue_matches_heap(ops in proptest::collection::vec((0u64..1_000_000, 0u32..1_000), 1..300)) {
+        use baldur::sim::{Simulation, Time};
+        let mut heap = Simulation::new(Recorder { log: Vec::new() });
+        let mut cal = Simulation::new_calendar(Recorder { log: Vec::new() });
+        for &(t, v) in &ops {
+            heap.scheduler_mut().schedule_at(Time::from_ps(t), v);
+            cal.scheduler_mut().schedule_at(Time::from_ps(t), v);
+        }
+        heap.run();
+        cal.run();
+        prop_assert_eq!(&heap.model().log, &cal.model().log);
+    }
+}
