@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Golden gate for this repository. Fully offline: formatting, the
+# baldur-lint static-analysis wall, a release build, the test suite (with
+# and without the `validate` runtime-invariant feature), and a timestamped
+# JSON summary under results/. Exits nonzero on the first failure.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+export CARGO_NET_OFFLINE=true
+
+stamp="$(date -u +%Y%m%dT%H%M%SZ)"
+mkdir -p results
+summary="results/ci_${stamp}.json"
+
+steps=()
+status=pass
+
+run_step() {
+    local name="$1"
+    shift
+    local t0 t1 rc
+    t0=$(date +%s)
+    echo "=== ${name}: $*"
+    if "$@"; then
+        rc=0
+    else
+        rc=$?
+        status=fail
+    fi
+    t1=$(date +%s)
+    steps+=("{\"name\":\"${name}\",\"command\":\"$*\",\"exit\":${rc},\"seconds\":$((t1 - t0))}")
+    if [ "${rc}" -ne 0 ]; then
+        write_summary
+        echo "=== FAILED at ${name} (summary: ${summary})"
+        exit "${rc}"
+    fi
+}
+
+write_summary() {
+    {
+        echo "{"
+        echo "  \"timestamp\": \"${stamp}\","
+        echo "  \"status\": \"${status}\","
+        echo "  \"steps\": ["
+        local first=1
+        for s in "${steps[@]}"; do
+            if [ "${first}" -eq 1 ]; then first=0; else echo ","; fi
+            printf '    %s' "${s}"
+        done
+        echo ""
+        echo "  ]"
+        echo "}"
+    } >"${summary}"
+}
+
+run_step fmt cargo fmt --all --check
+run_step lint cargo run --release -p baldur-lint
+run_step build cargo build --release
+run_step test cargo test -q
+run_step test-validate cargo test --features validate -q
+run_step test-workspace cargo test --workspace -q
+
+write_summary
+echo "=== OK (summary: ${summary})"

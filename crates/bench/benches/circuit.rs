@@ -4,41 +4,33 @@ use baldur::phy::length_code::LengthCode;
 use baldur::phy::packet_wave::assemble;
 use baldur::tl::netlist::{CircuitSim, Netlist, RunOutcome};
 use baldur::tl::switch::{build_switch, SwitchParams};
-use criterion::{criterion_group, criterion_main, Criterion};
+use baldur_bench::timing::Group;
 
-fn bench_circuit(c: &mut Criterion) {
-    let mut g = c.benchmark_group("circuit");
+fn main() {
+    let mut g = Group::new("circuit");
     let t = baldur::phy::waveform::BIT_PERIOD_FS;
-    g.bench_function("switch_one_packet", |b| {
-        b.iter(|| {
-            let code = LengthCode::paper();
-            let mut n = Netlist::new();
-            let sw = build_switch(&mut n, SwitchParams::paper());
-            let mut sim = CircuitSim::new(n);
-            sim.probe(sw.outputs[0]);
-            let pw = assemble(&code, &[false, true], b"BENCHMARK", 10 * t);
-            sim.drive(sw.inputs[0], &pw.wave);
-            let out = sim.run(pw.end + 3_000_000);
-            assert!(matches!(out, RunOutcome::Settled { .. }));
-            sim.events_executed()
-        })
+    g.bench_function("switch_one_packet", || {
+        let code = LengthCode::paper();
+        let mut n = Netlist::new();
+        let sw = build_switch(&mut n, SwitchParams::paper());
+        let mut sim = CircuitSim::new(n);
+        sim.probe(sw.outputs[0]);
+        let pw = assemble(&code, &[false, true], b"BENCHMARK", 10 * t);
+        sim.drive(sw.inputs[0], &pw.wave);
+        let out = sim.run(pw.end + 3_000_000);
+        assert!(matches!(out, RunOutcome::Settled { .. }));
+        sim.events_executed()
     });
-    g.bench_function("switch_contention", |b| {
-        b.iter(|| {
-            let code = LengthCode::paper();
-            let mut n = Netlist::new();
-            let sw = build_switch(&mut n, SwitchParams::paper());
-            let mut sim = CircuitSim::new(n);
-            let p0 = assemble(&code, &[false, true], b"AA", 10 * t);
-            let p1 = assemble(&code, &[false, false], b"BB", 12 * t);
-            sim.drive(sw.inputs[0], &p0.wave);
-            sim.drive(sw.inputs[1], &p1.wave);
-            let out = sim.run(p0.end.max(p1.end) + 3_000_000);
-            assert!(matches!(out, RunOutcome::Settled { .. }));
-        })
+    g.bench_function("switch_contention", || {
+        let code = LengthCode::paper();
+        let mut n = Netlist::new();
+        let sw = build_switch(&mut n, SwitchParams::paper());
+        let mut sim = CircuitSim::new(n);
+        let p0 = assemble(&code, &[false, true], b"AA", 10 * t);
+        let p1 = assemble(&code, &[false, false], b"BB", 12 * t);
+        sim.drive(sw.inputs[0], &p0.wave);
+        sim.drive(sw.inputs[1], &p1.wave);
+        let out = sim.run(p0.end.max(p1.end) + 3_000_000);
+        assert!(matches!(out, RunOutcome::Settled { .. }));
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_circuit);
-criterion_main!(benches);

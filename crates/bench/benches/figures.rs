@@ -3,32 +3,18 @@
 //! is perf-tracked.
 
 use baldur::experiments::{self, EvalConfig};
-use criterion::{criterion_group, criterion_main, Criterion};
+use baldur_bench::timing::Group;
 
-fn bench_figures(c: &mut Criterion) {
-    let mut g = c.benchmark_group("figures");
+fn main() {
+    let mut g = Group::new("figures");
     g.sample_size(10);
     let cfg = EvalConfig::tiny();
-    g.bench_function("table_v_tiny", |b| {
-        b.iter(|| experiments::table_v(&cfg))
+    g.bench_function("table_v_tiny", || experiments::table_v(&cfg));
+    g.bench_function("figure6_tiny_one_load", || {
+        experiments::figure6(&cfg, &[0.3])
     });
-    g.bench_function("figure6_tiny_one_load", |b| {
-        b.iter(|| experiments::figure6(&cfg, &[0.3]))
-    });
-    g.bench_function("figure8_power_sweep", |b| {
-        b.iter(experiments::figure8)
-    });
-    g.bench_function("figure10_cost_sweep", |b| {
-        b.iter(experiments::figure10)
-    });
-    g.bench_function("figure5_circuit", |b| {
-        b.iter(experiments::figure5)
-    });
-    g.bench_function("reliability_100k", |b| {
-        b.iter(|| experiments::reliability(100_000, 7))
-    });
-    g.finish();
+    g.bench_function("figure8_power_sweep", experiments::figure8);
+    g.bench_function("figure10_cost_sweep", experiments::figure10);
+    g.bench_function("figure5_circuit", experiments::figure5);
+    g.bench_function("reliability_100k", || experiments::reliability(100_000, 7));
 }
-
-criterion_group!(benches, bench_figures);
-criterion_main!(benches);

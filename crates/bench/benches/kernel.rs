@@ -1,7 +1,7 @@
 //! Microbenchmarks of the discrete-event kernel.
 
 use baldur::sim::{Duration, Model, Scheduler, Simulation, Time};
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use baldur_bench::timing::Group;
 
 struct Ring {
     hops: u64,
@@ -19,57 +19,32 @@ impl Model for Ring {
     }
 }
 
-fn bench_kernel(c: &mut Criterion) {
-    let mut g = c.benchmark_group("kernel");
+fn main() {
+    let mut g = Group::new("kernel");
     let events = 100_000u64;
-    g.throughput(Throughput::Elements(events));
-    g.bench_function("event_chain_100k", |b| {
-        b.iter_batched(
-            || {
-                let mut sim = Simulation::new(Ring {
-                    hops: 0,
-                    left: events,
-                });
-                sim.scheduler_mut().schedule_at(Time::ZERO, 0);
-                sim
-            },
-            |mut sim| {
-                sim.run();
-                assert_eq!(sim.model().hops, events + 1);
-            },
-            BatchSize::SmallInput,
-        )
+    g.bench_function("event_chain_100k", || {
+        let mut sim = Simulation::new(Ring {
+            hops: 0,
+            left: events,
+        });
+        sim.scheduler_mut().schedule_at(Time::ZERO, 0);
+        sim.run();
+        assert_eq!(sim.model().hops, events + 1);
     });
-    g.bench_function("fan_out_calendar_10k", |b| {
-        b.iter_batched(
-            || {
-                let mut sim = Simulation::new_calendar(Ring { hops: 0, left: 0 });
-                for i in 0..10_000u64 {
-                    sim.scheduler_mut()
-                        .schedule_at(Time::from_ps(i * 37 % 100_000), (i % 64) as u32);
-                }
-                sim
-            },
-            |mut sim| sim.run(),
-            BatchSize::SmallInput,
-        )
+    g.bench_function("fan_out_calendar_10k", || {
+        let mut sim = Simulation::new_calendar(Ring { hops: 0, left: 0 });
+        for i in 0..10_000u64 {
+            sim.scheduler_mut()
+                .schedule_at(Time::from_ps(i * 37 % 100_000), (i % 64) as u32);
+        }
+        sim.run();
     });
-    g.bench_function("fan_out_heap_10k", |b| {
-        b.iter_batched(
-            || {
-                let mut sim = Simulation::new(Ring { hops: 0, left: 0 });
-                for i in 0..10_000u64 {
-                    sim.scheduler_mut()
-                        .schedule_at(Time::from_ps(i * 37 % 100_000), (i % 64) as u32);
-                }
-                sim
-            },
-            |mut sim| sim.run(),
-            BatchSize::SmallInput,
-        )
+    g.bench_function("fan_out_heap_10k", || {
+        let mut sim = Simulation::new(Ring { hops: 0, left: 0 });
+        for i in 0..10_000u64 {
+            sim.scheduler_mut()
+                .schedule_at(Time::from_ps(i * 37 % 100_000), (i % 64) as u32);
+        }
+        sim.run();
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_kernel);
-criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! Packet-level simulator throughput for all network models.
 
 use baldur::prelude::*;
-use criterion::{criterion_group, criterion_main, Criterion};
+use baldur_bench::timing::Group;
 
 fn run_one(net: NetworkKind) -> LatencyReport {
     let cfg = RunConfig::new(
@@ -16,29 +16,16 @@ fn run_one(net: NetworkKind) -> LatencyReport {
     baldur::run(&cfg)
 }
 
-fn bench_network(c: &mut Criterion) {
-    let mut g = c.benchmark_group("network");
+fn main() {
+    let mut g = Group::new("network");
     g.sample_size(10);
     for (name, net) in NetworkKind::paper_lineup(64) {
-        g.bench_function(format!("{name}_64n_50p"), |b| {
-            b.iter(|| {
-                let r = run_one(net.clone());
-                assert!(r.delivered > 0);
-            })
+        g.bench_function(&format!("{name}_64n_50p"), || {
+            let r = run_one(net.clone());
+            assert!(r.delivered > 0);
         });
     }
-    g.bench_function("droptool_worst_case_8k", |b| {
-        b.iter(|| {
-            baldur::net::droptool::worst_case(
-                8_192,
-                4,
-                Pattern::RandomPermutation,
-                1,
-            )
-        })
+    g.bench_function("droptool_worst_case_8k", || {
+        baldur::net::droptool::worst_case(8_192, 4, Pattern::RandomPermutation, 1)
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_network);
-criterion_main!(benches);

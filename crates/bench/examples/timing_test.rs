@@ -1,10 +1,27 @@
+//! Quick wall-clock sanity check: runs the paper lineup at 1,024 nodes and
+//! prints elapsed time plus headline metrics per network.
+
 use baldur::prelude::*;
+
 fn main() {
     for (name, net) in NetworkKind::paper_lineup(1024) {
         let t0 = std::time::Instant::now();
-        let cfg = RunConfig::new(1024, net, Workload::Synthetic {
-            pattern: Pattern::RandomPermutation, load: 0.7, packets_per_node: 200 });
+        let cfg = RunConfig::new(
+            1024,
+            net,
+            Workload::Synthetic {
+                pattern: Pattern::RandomPermutation,
+                load: 0.7,
+                packets_per_node: 200,
+            },
+        );
         let r = baldur::run(&cfg);
-        println!("{name}: {:?} avg {:.0}ns p99 {:.0}ns dr {:.4}", t0.elapsed(), r.avg_ns, r.p99_ns, r.delivery_ratio());
+        println!(
+            "{name}: {:?} avg {:.0}ns p99 {:.0}ns dr {:.4}",
+            t0.elapsed(),
+            r.avg_ns,
+            r.p99_ns,
+            r.delivery_ratio()
+        );
     }
 }

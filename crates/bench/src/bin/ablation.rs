@@ -71,9 +71,7 @@ fn main() {
     );
     println!(
         "{:>22} | {:>12} | {:>12}",
-        "delivered",
-        b.with_backoff.delivered,
-        b.without_backoff.delivered
+        "delivered", b.with_backoff.delivered, b.without_backoff.delivered
     );
 
     args.maybe_write_json(&(w, b));

@@ -62,7 +62,11 @@ fn main() {
     let (drops, required) = experiments::droptool_study(&[256, 1_024, 8_192], cfg.seed);
     json(dir, "droptool", &(drops, required));
 
-    json(dir, "reliability", &experiments::reliability(500_000, cfg.seed));
+    json(
+        dir,
+        "reliability",
+        &experiments::reliability(500_000, cfg.seed),
+    );
     json(dir, "awgr", &experiments::awgr_comparison());
     json(dir, "buffers", &experiments::buffer_sizing(&cfg));
     json(dir, "wiring_ablation", &experiments::wiring_ablation(&cfg));

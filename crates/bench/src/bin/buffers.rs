@@ -12,7 +12,11 @@ fn main() {
         cfg.nodes
     ));
     for (pattern, bytes) in &rows {
-        println!("{pattern:>20}: {:>9} bytes ({:.1} KB)", bytes, *bytes as f64 / 1024.0);
+        println!(
+            "{pattern:>20}: {:>9} bytes ({:.1} KB)",
+            bytes,
+            *bytes as f64 / 1024.0
+        );
     }
     println!("(paper: 536 KB sufficient; 1 MB provisioned)");
     args.maybe_write_json(&rows);

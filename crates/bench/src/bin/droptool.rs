@@ -14,7 +14,10 @@ fn main() {
     }
     let (rows, required) = droptool_study(&scales, seed);
     header("Worst-case burst drop rate (%)");
-    println!("{:>9} | {:>18} | m=1    m=2    m=3    m=4    m=5", "nodes", "pattern");
+    println!(
+        "{:>9} | {:>18} | m=1    m=2    m=3    m=4    m=5",
+        "nodes", "pattern"
+    );
     let mut by_key: std::collections::BTreeMap<(u32, String), Vec<f64>> = Default::default();
     for r in &rows {
         by_key

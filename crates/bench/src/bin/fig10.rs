@@ -16,8 +16,14 @@ fn main() {
         let b = &r.breakdown;
         println!(
             "{:>10} | {:>12.0} {:>8.0} {:>8.0} {:>8.0} {:>8.0} | {:>9.0} | {}",
-            r.label, b.interposers, b.fibers, b.faus, b.rfecs, b.transceivers,
-            b.total(), b.dominant()
+            r.label,
+            b.interposers,
+            b.fibers,
+            b.faus,
+            b.rfecs,
+            b.transceivers,
+            b.total(),
+            b.dominant()
         );
     }
     println!(

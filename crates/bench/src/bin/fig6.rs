@@ -12,16 +12,25 @@ fn main() {
         None => vec![0.1, 0.3, 0.5, 0.7, 0.9],
     };
     let rows = figure6(&cfg, &loads);
-    for pattern in ["random_permutation", "transpose", "bisection", "group_permutation"] {
+    for pattern in [
+        "random_permutation",
+        "transpose",
+        "bisection",
+        "group_permutation",
+    ] {
         header(&format!(
             "Figure 6: {pattern} ({} nodes, {} pkts/node)",
             cfg.nodes, cfg.packets_per_node
         ));
-        println!("{:>14} | {}", "network", loads
-            .iter()
-            .map(|l| format!("{l:>22.2}"))
-            .collect::<Vec<_>>()
-            .join(" "));
+        println!(
+            "{:>14} | {}",
+            "network",
+            loads
+                .iter()
+                .map(|l| format!("{l:>22.2}"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
         for net in ["baldur", "electrical_mb", "dragonfly", "fattree", "ideal"] {
             let cells: Vec<String> = loads
                 .iter()

@@ -7,9 +7,20 @@ fn main() {
     let args = Args::parse();
     let cfg = args.eval_config();
     let rows = figure7(&cfg);
-    let workloads = ["hotspot", "ping_pong1", "ping_pong2", "AMG", "CR", "FB", "MG"];
+    let workloads = [
+        "hotspot",
+        "ping_pong1",
+        "ping_pong2",
+        "AMG",
+        "CR",
+        "FB",
+        "MG",
+    ];
     header(&format!("Figure 7: absolute latency ({} nodes)", cfg.nodes));
-    println!("{:>12} | {:>14} | {:>12} | {:>12}", "workload", "network", "avg", "p99");
+    println!(
+        "{:>12} | {:>14} | {:>12} | {:>12}",
+        "workload", "network", "avg", "p99"
+    );
     for w in &workloads {
         for r in rows.iter().filter(|r| r.workload == *w) {
             println!(

@@ -16,8 +16,14 @@ fn main() {
         let p = packaging_for(nodes);
         println!(
             "{:>10} | {} | {:>6} | {:>11} | {:>7} | {:>9} | {:>9} | {:>8} | {:>6.2}%",
-            p.nodes, p.multiplicity, p.stages, p.interposers, p.pcbs,
-            p.cabinets_fiber_limited, p.cabinets_power_limited, p.cabinets(),
+            p.nodes,
+            p.multiplicity,
+            p.stages,
+            p.interposers,
+            p.pcbs,
+            p.cabinets_fiber_limited,
+            p.cabinets_power_limited,
+            p.cabinets(),
             p.tl_area_fraction * 100.0
         );
         rows.push(p);

@@ -9,8 +9,14 @@ fn main() {
     let r = reliability(samples, args.get_or("seed", 7u64));
     header("Sec. IV-F reliability (jitter N(0, 1.53 ps^2), margin 0.42T)");
     println!("sigma                 {:>10.3} ps", r.sigma_ps);
-    println!("margin                {:>10.3} ps ({:.2} sigma)", r.margin_ps, r.margin_sigmas);
-    println!("analytic P(error)     {:>10.2e}  (paper: ~1e-9)", r.analytic_error_probability);
+    println!(
+        "margin                {:>10.3} ps ({:.2} sigma)",
+        r.margin_ps, r.margin_sigmas
+    );
+    println!(
+        "analytic P(error)     {:>10.2e}  (paper: ~1e-9)",
+        r.analytic_error_probability
+    );
     println!("\nMonte Carlo validation ({samples} samples):");
     println!("threshold | measured   | analytic");
     for (thr, mc, an) in &r.monte_carlo {

@@ -7,11 +7,20 @@ use baldur_bench::header;
 fn main() {
     header("Table III: TL device parameters");
     let d = TlDevice::PAPER;
-    println!("junction capacitance     {:>8.1} fF", d.junction_capacitance_ff);
-    println!("recombination lifetime   {:>8.1} ps", d.recombination_lifetime_ps);
+    println!(
+        "junction capacitance     {:>8.1} fF",
+        d.junction_capacitance_ff
+    );
+    println!(
+        "recombination lifetime   {:>8.1} ps",
+        d.recombination_lifetime_ps
+    );
     println!("photon lifetime          {:>8.2} ps", d.photon_lifetime_ps);
     println!("wavelength               {:>8.0} nm", d.wavelength_nm);
-    println!("threshold current        {:>8.1} mA", d.threshold_current_ma);
+    println!(
+        "threshold current        {:>8.1} mA",
+        d.threshold_current_ma
+    );
     println!("bias current             {:>8.1} mA", d.bias_current_ma);
 
     header("Table IV: TL gate figures of merit");

@@ -16,6 +16,8 @@ use std::collections::HashMap;
 
 use baldur::experiments::EvalConfig;
 
+pub mod timing;
+
 /// Minimal `--key value` argument parser (plus boolean `--flag`s).
 #[derive(Debug, Clone, Default)]
 pub struct Args {

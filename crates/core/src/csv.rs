@@ -10,7 +10,8 @@ use crate::power::scaling::ScalePoint;
 
 /// `pattern,network,load,avg_ns,p99_ns,drop_rate,delivered,generated`.
 pub fn fig6(rows: &[Fig6Row]) -> String {
-    let mut out = String::from("pattern,network,load,avg_ns,p99_ns,drop_rate,delivered,generated\n");
+    let mut out =
+        String::from("pattern,network,load,avg_ns,p99_ns,drop_rate,delivered,generated\n");
     for r in rows {
         let _ = writeln!(
             out,
@@ -73,7 +74,13 @@ pub fn fig10(rows: &[Fig10Row]) -> String {
         let _ = writeln!(
             out,
             "{},{},{},{},{},{},{},{}",
-            r.label, r.nodes, b.interposers, b.fibers, b.faus, b.rfecs, b.transceivers,
+            r.label,
+            r.nodes,
+            b.interposers,
+            b.fibers,
+            b.faus,
+            b.rfecs,
+            b.transceivers,
             b.total()
         );
     }
@@ -97,7 +104,11 @@ pub fn table5(rows: &[TableVRow]) -> String {
 pub fn saturation(rows: &[SaturationRow]) -> String {
     let mut out = String::from("network,offered,accepted,avg_ns\n");
     for r in rows {
-        let _ = writeln!(out, "{},{},{},{}", r.network, r.offered, r.accepted, r.avg_ns);
+        let _ = writeln!(
+            out,
+            "{},{},{},{}",
+            r.network, r.offered, r.accepted, r.avg_ns
+        );
     }
     out
 }

@@ -411,7 +411,11 @@ pub struct DropRow {
 /// The Sec. IV-E "in-house tool" study: worst-case drop rate versus
 /// multiplicity and scale, plus the required multiplicity per scale.
 pub fn droptool_study(scales: &[u32], seed: u64) -> (Vec<DropRow>, Vec<(u32, u32)>) {
-    let patterns = [Pattern::RandomPermutation, Pattern::Transpose, Pattern::Bisection];
+    let patterns = [
+        Pattern::RandomPermutation,
+        Pattern::Transpose,
+        Pattern::Bisection,
+    ];
     let mut rows = Vec::new();
     for &nodes in scales {
         for &pattern in &patterns {
@@ -549,8 +553,16 @@ pub fn topology_comparison(cfg: &EvalConfig) -> Vec<TopologyRow> {
     use crate::net::config::StagedTopology;
     use crate::topo::multibutterfly::Wiring;
     let variants: [(&str, StagedTopology, Wiring); 3] = [
-        ("multibutterfly", StagedTopology::MultiButterfly, Wiring::Randomized),
-        ("dilated_butterfly", StagedTopology::MultiButterfly, Wiring::Dilated),
+        (
+            "multibutterfly",
+            StagedTopology::MultiButterfly,
+            Wiring::Randomized,
+        ),
+        (
+            "dilated_butterfly",
+            StagedTopology::MultiButterfly,
+            Wiring::Dilated,
+        ),
         ("omega", StagedTopology::Omega, Wiring::Randomized),
     ];
     let patterns = [Pattern::UniformRandom, Pattern::Transpose];
@@ -660,9 +672,8 @@ pub fn wiring_ablation(cfg: &EvalConfig) -> WiringAblation {
     use crate::topo::multibutterfly::Wiring;
     let pattern = Pattern::Transpose;
     let nodes = cfg.nodes.next_power_of_two();
-    let burst = |wiring| {
-        droptool::worst_case_with_wiring(nodes, 4, pattern, cfg.seed, wiring).drop_rate
-    };
+    let burst =
+        |wiring| droptool::worst_case_with_wiring(nodes, 4, pattern, cfg.seed, wiring).drop_rate;
     let sim = |wiring| {
         let params = BaldurParams {
             wiring,

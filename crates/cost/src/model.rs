@@ -39,9 +39,8 @@ impl CostBreakdown {
         ];
         items
             .iter()
-            .max_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"))
-            .expect("non-empty")
-            .1
+            .max_by(|a, b| a.0.total_cmp(&b.0))
+            .map_or("none", |item| item.1)
     }
 }
 
@@ -53,8 +52,7 @@ pub fn cost_per_node(nodes: u64) -> CostBreakdown {
     let node_fibers = 2.0;
     let node_transceivers = 1.0;
     // Boundary fibers inside the fabric, per node.
-    let boundary_fibers_per_node =
-        f64::from(p.stages + 1) * f64::from(p.multiplicity);
+    let boundary_fibers_per_node = f64::from(p.stages + 1) * f64::from(p.multiplicity);
     CostBreakdown {
         interposers: p.interposers as f64 * interposer_cost() / n,
         fibers: node_fibers * FIBER_COST,

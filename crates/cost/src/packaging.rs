@@ -81,12 +81,10 @@ pub fn packaging_for(nodes: u64) -> Packaging {
     // Power-only bound.
     let per_node_w = baldur_power::NetworkPower::Baldur.per_node(nodes).total_w();
     let total_w = per_node_w * nodes as f64;
-    let cabinets_power_limited =
-        (total_w / baldur_power::constants::CABINET_POWER_W).ceil() as u64;
+    let cabinets_power_limited = (total_w / baldur_power::constants::CABINET_POWER_W).ceil() as u64;
 
     // TL area share of the interposer budget.
-    let switch_area_mm2 =
-        gates as f64 * baldur_tl::TlGate::PAPER.area_um2 * 1e-6;
+    let switch_area_mm2 = gates as f64 * baldur_tl::TlGate::PAPER.area_um2 * 1e-6;
     let switches = u64::from(stages) * (nodes / 2);
     let tl_area = switch_area_mm2 * switches as f64;
     let interposer_area = INTERPOSER_MM.0 * INTERPOSER_MM.1 * interposers as f64;

@@ -1,0 +1,843 @@
+//! Repo-specific static analysis for the Baldur reproduction.
+//!
+//! The paper's headline claims (bit-reproducible latency/power numbers from
+//! a clock-less, bufferless network) only hold if the simulator is provably
+//! deterministic and panic-free on hot paths. `baldur-lint` machine-checks
+//! three families of source-level rules over `crates/*/src`:
+//!
+//! * **Determinism wall** — in the result-producing crates (`sim`, `net`,
+//!   `tl`, `phy`) no ambient randomness (`thread_rng`, `rand::random`), no
+//!   wall-clock reads (`SystemTime::now`, `Instant::now`), and no unordered
+//!   `HashMap`/`HashSet` (whose iteration order leaks into reports; use
+//!   `BTreeMap`/`BTreeSet` or an index-keyed `Vec`).
+//! * **Panic budget** — no `.unwrap()` / `.expect(...)` in non-test library
+//!   code, except sites recorded in `crates/lint/allowlist.txt`. The
+//!   allowlist is a per-(rule, file) count budget that may shrink but never
+//!   grow: exceeding it fails the lint, and a stale (over-provisioned)
+//!   entry also fails so the budget ratchets down.
+//! * **Float hazards** — `partial_cmp(..).unwrap()/expect(...)` (panics on
+//!   NaN; use `f64::total_cmp`) and `==`/`!=` against float literals.
+//!
+//! Comments, string literals, and `#[cfg(test)]`/`#[test]` regions are
+//! excluded from matching, so documentation and test assertions never trip
+//! the wall. Diagnostics carry `file:line`, and [`lint_repo`] produces a
+//! JSON-serializable [`Report`] that the `baldur-lint` binary writes under
+//! `results/`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use serde::Serialize;
+
+/// Crates whose sources fall under the determinism wall.
+pub const WALL_CRATES: &[&str] = &["sim", "net", "tl", "phy"];
+
+/// Relative path (from the repo root) of the panic-budget allowlist.
+pub const ALLOWLIST_PATH: &str = "crates/lint/allowlist.txt";
+
+/// Relative path (from the repo root) the binary writes its report to.
+pub const REPORT_PATH: &str = "results/lint_report.json";
+
+/// The rule families `baldur-lint` checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Wall-clock reads in a determinism-wall crate.
+    WallClock,
+    /// Ambient (OS-seeded) randomness in a determinism-wall crate.
+    AmbientRandom,
+    /// `HashMap`/`HashSet` in a determinism-wall crate.
+    UnorderedCollection,
+    /// `.unwrap()` / `.expect(...)` in non-test library code.
+    PanicSite,
+    /// `partial_cmp(..)` chained into `.unwrap()` / `.expect(...)`.
+    FloatCmpPanic,
+    /// `==` / `!=` against a float literal.
+    FloatLiteralEq,
+}
+
+impl Rule {
+    /// Every rule, in report order.
+    pub const ALL: &'static [Rule] = &[
+        Rule::WallClock,
+        Rule::AmbientRandom,
+        Rule::UnorderedCollection,
+        Rule::PanicSite,
+        Rule::FloatCmpPanic,
+        Rule::FloatLiteralEq,
+    ];
+
+    /// Stable identifier used in the allowlist and the JSON report.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::WallClock => "wall-clock",
+            Rule::AmbientRandom => "ambient-random",
+            Rule::UnorderedCollection => "unordered-collection",
+            Rule::PanicSite => "panic-site",
+            Rule::FloatCmpPanic => "float-cmp-panic",
+            Rule::FloatLiteralEq => "float-literal-eq",
+        }
+    }
+
+    /// Parses an allowlist rule identifier.
+    pub fn from_id(id: &str) -> Option<Rule> {
+        Rule::ALL.iter().copied().find(|r| r.id() == id)
+    }
+
+    /// One-line description for the report.
+    pub fn describe(self) -> &'static str {
+        match self {
+            Rule::WallClock => {
+                "no SystemTime::now/Instant::now in result-producing crates (sim/net/tl/phy)"
+            }
+            Rule::AmbientRandom => {
+                "no thread_rng/rand::random in result-producing crates; use StreamRng"
+            }
+            Rule::UnorderedCollection => {
+                "no HashMap/HashSet in result-producing crates; iteration order leaks into output"
+            }
+            Rule::PanicSite => {
+                "no .unwrap()/.expect() in non-test library code outside the shrinking allowlist"
+            }
+            Rule::FloatCmpPanic => {
+                "no partial_cmp().unwrap()/expect(); NaN panics — use f64::total_cmp"
+            }
+            Rule::FloatLiteralEq => "no ==/!= against float literals in library code",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One rule match at a source location.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Finding {
+    /// Rule identifier (see [`Rule::id`]).
+    pub rule: String,
+    /// Path relative to the repo root, `/`-separated.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// One consumed allowlist budget, echoed into the report.
+#[derive(Debug, Clone, Serialize)]
+pub struct AllowlistUse {
+    /// Rule identifier.
+    pub rule: String,
+    /// File the budget applies to.
+    pub file: String,
+    /// Budgeted number of sites.
+    pub allowed: usize,
+    /// Sites actually found.
+    pub found: usize,
+}
+
+/// The JSON report `baldur-lint` writes under `results/`.
+#[derive(Debug, Clone, Serialize)]
+pub struct Report {
+    /// Name and version of the analyzer.
+    pub tool: String,
+    /// Every rule checked, with its description.
+    pub rules: Vec<RuleInfo>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Violations (after allowlist application); empty on a clean tree.
+    pub violations: Vec<Finding>,
+    /// Allowlist budgets and how much of each was used.
+    pub allowlisted: Vec<AllowlistUse>,
+}
+
+/// A rule's identifier and description, for the report.
+#[derive(Debug, Clone, Serialize)]
+pub struct RuleInfo {
+    /// Stable identifier.
+    pub id: String,
+    /// One-line description.
+    pub description: String,
+}
+
+/// The outcome of linting a tree.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// The full report (rules, counts, violations, allowlist usage).
+    pub report: Report,
+}
+
+impl Outcome {
+    /// True when no violations remain after allowlist application.
+    pub fn is_clean(&self) -> bool {
+        self.report.violations.is_empty()
+    }
+}
+
+/// Lints the repository rooted at `root` (the directory containing
+/// `crates/`).
+///
+/// # Errors
+///
+/// Returns a message when the tree cannot be walked, a source file cannot
+/// be read, or the allowlist is malformed.
+pub fn lint_repo(root: &Path) -> Result<Outcome, String> {
+    let allowlist = load_allowlist(&root.join(ALLOWLIST_PATH))?;
+    let files = collect_sources(root)?;
+    let mut findings: Vec<Finding> = Vec::new();
+    for (abs, rel) in &files {
+        let source =
+            std::fs::read_to_string(abs).map_err(|e| format!("read {}: {e}", abs.display()))?;
+        findings.extend(lint_source(rel, &source));
+    }
+
+    // Apply allowlist budgets per (rule, file).
+    let mut by_key: BTreeMap<(String, String), Vec<Finding>> = BTreeMap::new();
+    for f in findings {
+        by_key
+            .entry((f.rule.clone(), f.file.clone()))
+            .or_default()
+            .push(f);
+    }
+    let mut violations = Vec::new();
+    let mut allowlisted = Vec::new();
+    let mut consumed: BTreeMap<(String, String), usize> = BTreeMap::new();
+    for ((rule, file), group) in &by_key {
+        let key = (rule.clone(), file.clone());
+        let allowed = allowlist.get(&key).copied().unwrap_or(0);
+        consumed.insert(key, group.len());
+        if group.len() > allowed {
+            if allowed > 0 {
+                violations.push(Finding {
+                    rule: rule.clone(),
+                    file: file.clone(),
+                    line: 0,
+                    message: format!(
+                        "allowlist budget exceeded: {} sites found, {} allowed — \
+                         fix the new sites; the budget never grows",
+                        group.len(),
+                        allowed
+                    ),
+                });
+            }
+            for f in group {
+                if allowed == 0 {
+                    violations.push(f.clone());
+                }
+            }
+            if allowed > 0 {
+                violations.extend(group.iter().cloned());
+            }
+        } else {
+            allowlisted.push(AllowlistUse {
+                rule: rule.clone(),
+                file: file.clone(),
+                allowed,
+                found: group.len(),
+            });
+            if group.len() < allowed {
+                violations.push(Finding {
+                    rule: rule.clone(),
+                    file: file.clone(),
+                    line: 0,
+                    message: format!(
+                        "stale allowlist entry: {} sites found but {} budgeted — \
+                         shrink {ALLOWLIST_PATH}",
+                        group.len(),
+                        allowed
+                    ),
+                });
+            }
+        }
+    }
+    // Allowlist entries for files with no findings at all are also stale.
+    for ((rule, file), allowed) in &allowlist {
+        if *allowed > 0 && !consumed.contains_key(&(rule.clone(), file.clone())) {
+            violations.push(Finding {
+                rule: rule.clone(),
+                file: file.clone(),
+                line: 0,
+                message: format!(
+                    "stale allowlist entry: no sites found but {allowed} budgeted — \
+                     remove it from {ALLOWLIST_PATH}"
+                ),
+            });
+        }
+    }
+    violations.sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+
+    Ok(Outcome {
+        report: Report {
+            tool: format!("baldur-lint {}", env!("CARGO_PKG_VERSION")),
+            rules: Rule::ALL
+                .iter()
+                .map(|r| RuleInfo {
+                    id: r.id().to_string(),
+                    description: r.describe().to_string(),
+                })
+                .collect(),
+            files_scanned: files.len(),
+            violations,
+            allowlisted,
+        },
+    })
+}
+
+/// Lints a single source file (relative path decides rule applicability).
+/// Exposed for tests and for editor integration.
+pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
+    let scrubbed = scrub(source);
+    let test_lines = test_mask(&scrubbed);
+    let crate_name = crate_of(rel_path);
+    let in_wall = crate_name.is_some_and(|c| WALL_CRATES.contains(&c));
+    // Binaries and benches may panic on bad CLI input; the panic budget
+    // covers library code.
+    let panic_scope = !rel_path.contains("/src/bin/") && !rel_path.contains("/benches/");
+
+    let mut findings = Vec::new();
+    for (idx, line) in scrubbed.lines().enumerate() {
+        if test_lines.get(idx).copied().unwrap_or(false) {
+            continue;
+        }
+        let lineno = idx + 1;
+        let mut push = |rule: Rule, message: String| {
+            findings.push(Finding {
+                rule: rule.id().to_string(),
+                file: rel_path.to_string(),
+                line: lineno,
+                message,
+            });
+        };
+        if in_wall {
+            // One finding per occurrence, so the panic-budget counts stay
+            // meaningful on lines with several sites.
+            for pat in ["SystemTime::now", "Instant::now"] {
+                for _ in line.matches(pat) {
+                    push(
+                        Rule::WallClock,
+                        format!("wall-clock read `{pat}` breaks reproducibility"),
+                    );
+                }
+            }
+            for pat in ["thread_rng", "rand::random"] {
+                for _ in line.matches(pat) {
+                    push(
+                        Rule::AmbientRandom,
+                        format!("ambient randomness `{pat}`; derive a StreamRng instead"),
+                    );
+                }
+            }
+            for pat in ["HashMap", "HashSet"] {
+                for _ in line.matches(pat) {
+                    push(
+                        Rule::UnorderedCollection,
+                        format!(
+                            "unordered `{pat}` in a result-producing crate; \
+                             use BTreeMap/BTreeSet or an index-keyed Vec"
+                        ),
+                    );
+                }
+            }
+        }
+        let unwraps = line.matches(".unwrap()").count();
+        let expects = line.matches(".expect(").count() - line.matches(".expect_err(").count();
+        let cmp_panic = line.contains("partial_cmp") && unwraps + expects > 0;
+        if cmp_panic {
+            push(
+                Rule::FloatCmpPanic,
+                "partial_cmp().unwrap()/expect() panics on NaN; use f64::total_cmp".to_string(),
+            );
+        }
+        if panic_scope && !cmp_panic {
+            for _ in 0..unwraps {
+                push(
+                    Rule::PanicSite,
+                    "`.unwrap()` in library code; handle the None/Err or allowlist it".to_string(),
+                );
+            }
+            for _ in 0..expects {
+                push(
+                    Rule::PanicSite,
+                    "`.expect(..)` in library code; handle the None/Err or allowlist it"
+                        .to_string(),
+                );
+            }
+        }
+        if let Some(op) = float_literal_cmp(line) {
+            push(
+                Rule::FloatLiteralEq,
+                format!("`{op}` against a float literal; compare with a tolerance"),
+            );
+        }
+    }
+    findings
+}
+
+/// The crate directory name (`sim`, `net`, ...) of a `crates/<name>/...`
+/// relative path.
+fn crate_of(rel_path: &str) -> Option<&str> {
+    let mut parts = rel_path.split('/');
+    if parts.next() != Some("crates") {
+        return None;
+    }
+    parts.next()
+}
+
+/// Detects `== 1.0`-style comparisons (either operand a float literal).
+fn float_literal_cmp(line: &str) -> Option<&'static str> {
+    let bytes = line.as_bytes();
+    for i in 0..bytes.len().saturating_sub(1) {
+        if bytes[i + 1] != b'=' || (bytes[i] != b'=' && bytes[i] != b'!') {
+            continue;
+        }
+        // Exclude `<=`, `>=`, `==` chains and pattern arms `=>`.
+        if i > 0 && matches!(bytes[i - 1], b'<' | b'>' | b'=' | b'!') {
+            continue;
+        }
+        if bytes.get(i + 2) == Some(&b'=') {
+            continue;
+        }
+        let op = if bytes[i] == b'=' { "==" } else { "!=" };
+        if operand_is_float_literal(&line[i + 2..], Direction::Forward)
+            || operand_is_float_literal(&line[..i], Direction::Backward)
+        {
+            return Some(op);
+        }
+    }
+    None
+}
+
+enum Direction {
+    Forward,
+    Backward,
+}
+
+/// True when the nearest operand in the given direction is a float literal
+/// like `1.0` or `0.25` (but not a range like `0.0..=1.0` or a method call
+/// like `1.0_f64.sqrt()`).
+fn operand_is_float_literal(s: &str, dir: Direction) -> bool {
+    match dir {
+        Direction::Forward => {
+            let t = s.trim_start();
+            let t = t.strip_prefix('-').unwrap_or(t).trim_start();
+            let digits = t.chars().take_while(|c| c.is_ascii_digit()).count();
+            if digits == 0 {
+                return false;
+            }
+            let rest = &t[digits..];
+            let Some(frac) = rest.strip_prefix('.') else {
+                return false;
+            };
+            let frac_digits = frac.chars().take_while(|c| c.is_ascii_digit()).count();
+            frac_digits > 0
+                && !matches!(
+                    frac[frac_digits..].chars().next(),
+                    Some('.') | Some('_') | Some('e') | Some('E')
+                )
+        }
+        Direction::Backward => {
+            let t = s.trim_end();
+            let frac_digits = t.chars().rev().take_while(|c| c.is_ascii_digit()).count();
+            if frac_digits == 0 || !t[..t.len() - frac_digits].ends_with('.') {
+                return false;
+            }
+            let before_dot = &t[..t.len() - frac_digits - 1];
+            let int_digits = before_dot
+                .chars()
+                .rev()
+                .take_while(|c| c.is_ascii_digit())
+                .count();
+            int_digits > 0 && !before_dot[..before_dot.len() - int_digits].ends_with('.')
+        }
+    }
+}
+
+/// Replaces comments and string/char literal contents with spaces,
+/// preserving line structure, so pattern matching never fires inside
+/// documentation or message text.
+pub fn scrub(source: &str) -> String {
+    let b: Vec<char> = source.chars().collect();
+    let mut out = String::with_capacity(source.len());
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        // Line comment (and doc comment).
+        if c == '/' && b.get(i + 1) == Some(&'/') {
+            while i < b.len() && b[i] != '\n' {
+                out.push(' ');
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment, possibly nested.
+        if c == '/' && b.get(i + 1) == Some(&'*') {
+            let mut depth = 1;
+            out.push(' ');
+            out.push(' ');
+            i += 2;
+            while i < b.len() && depth > 0 {
+                if b[i] == '/' && b.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else if b[i] == '*' && b.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else {
+                    out.push(if b[i] == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw string literal r"..." / r#"..."# (with optional b prefix).
+        if (c == 'r' || c == 'b') && !prev_is_ident(&b, i) {
+            let mut j = i;
+            if b[j] == 'b' && b.get(j + 1) == Some(&'r') {
+                j += 1;
+            }
+            if b[j] == 'r' {
+                let mut hashes = 0;
+                let mut k = j + 1;
+                while b.get(k) == Some(&'#') {
+                    hashes += 1;
+                    k += 1;
+                }
+                if b.get(k) == Some(&'"') {
+                    for _ in i..=k {
+                        out.push(' ');
+                    }
+                    i = k + 1;
+                    // Scan to closing quote followed by `hashes` hashes.
+                    while i < b.len() {
+                        if b[i] == '"'
+                            && b[i + 1..]
+                                .iter()
+                                .take(hashes)
+                                .filter(|&&h| h == '#')
+                                .count()
+                                == hashes
+                        {
+                            for _ in 0..=hashes {
+                                out.push(' ');
+                            }
+                            i += 1 + hashes;
+                            break;
+                        }
+                        out.push(if b[i] == '\n' { '\n' } else { ' ' });
+                        i += 1;
+                    }
+                    continue;
+                }
+            }
+        }
+        // Ordinary string literal.
+        if c == '"' {
+            out.push(' ');
+            i += 1;
+            while i < b.len() {
+                if b[i] == '\\' {
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    continue;
+                }
+                if b[i] == '"' {
+                    out.push(' ');
+                    i += 1;
+                    break;
+                }
+                out.push(if b[i] == '\n' { '\n' } else { ' ' });
+                i += 1;
+            }
+            continue;
+        }
+        // Char literal vs lifetime: a quote directly after an identifier
+        // character is never a char literal start (e.g. `Scheduler<'a>`
+        // can't occur, but `x'` could in macros); otherwise look for a
+        // closing quote within a short window.
+        if c == '\'' {
+            let is_char = match b.get(i + 1) {
+                Some('\\') => true,
+                Some(_) => b.get(i + 2) == Some(&'\''),
+                None => false,
+            };
+            if is_char {
+                let close = if b.get(i + 1) == Some(&'\\') {
+                    // `'\n'`, `'\\'`, `'\x41'`, `'\u{1F600}'`
+                    (i + 2..b.len().min(i + 12)).find(|&k| b[k] == '\'')
+                } else {
+                    Some(i + 2)
+                };
+                if let Some(close) = close {
+                    for &ch in &b[i..=close] {
+                        out.push(if ch == '\n' { '\n' } else { ' ' });
+                    }
+                    i = close + 1;
+                    continue;
+                }
+            }
+            out.push('\'');
+            i += 1;
+            continue;
+        }
+        out.push(c);
+        i += 1;
+    }
+    out
+}
+
+fn prev_is_ident(b: &[char], i: usize) -> bool {
+    i > 0 && (b[i - 1].is_alphanumeric() || b[i - 1] == '_')
+}
+
+/// Per-line mask: `true` for lines inside `#[cfg(test)]` or `#[test]`
+/// items (computed on scrubbed source).
+pub fn test_mask(scrubbed: &str) -> Vec<bool> {
+    let lines: Vec<&str> = scrubbed.lines().collect();
+    let mut mask = vec![false; lines.len()];
+    let chars: Vec<char> = scrubbed.chars().collect();
+    // Byte offsets won't do: we walk chars, so build a char-index → line map.
+    let mut line_of = Vec::with_capacity(chars.len() + 1);
+    let mut ln = 0;
+    for &c in &chars {
+        line_of.push(ln);
+        if c == '\n' {
+            ln += 1;
+        }
+    }
+    line_of.push(ln);
+
+    let text: String = chars.iter().collect();
+    for pat in ["#[cfg(test)]", "#[test]"] {
+        let mut start = 0;
+        while let Some(pos) = text[start..].find(pat) {
+            let attr_at = start + pos;
+            let mut i = attr_at + pat.len();
+            // Skip whitespace and further attributes to the item start.
+            let cs: Vec<char> = text.chars().collect();
+            loop {
+                while i < cs.len() && cs[i].is_whitespace() {
+                    i += 1;
+                }
+                if i < cs.len() && cs[i] == '#' {
+                    // Skip a whole `#[...]` attribute.
+                    while i < cs.len() && cs[i] != ']' {
+                        i += 1;
+                    }
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            // Walk to the item's opening brace (or terminating semicolon).
+            let mut open = None;
+            while i < cs.len() {
+                match cs[i] {
+                    '{' => {
+                        open = Some(i);
+                        break;
+                    }
+                    ';' => break,
+                    _ => i += 1,
+                }
+            }
+            let end = match open {
+                Some(open_idx) => {
+                    let mut depth = 0usize;
+                    let mut k = open_idx;
+                    loop {
+                        if k >= cs.len() {
+                            break k;
+                        }
+                        match cs[k] {
+                            '{' => depth += 1,
+                            '}' => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break k;
+                                }
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                }
+                None => i,
+            };
+            let first = line_of[attr_at.min(line_of.len() - 1)];
+            let last = line_of[end.min(line_of.len() - 1)];
+            for m in mask.iter_mut().take(last + 1).skip(first) {
+                *m = true;
+            }
+            start = attr_at + pat.len();
+        }
+    }
+    mask
+}
+
+/// All `.rs` files under `crates/*/src`, as `(absolute, repo-relative)`
+/// pairs sorted by relative path.
+fn collect_sources(root: &Path) -> Result<Vec<(PathBuf, String)>, String> {
+    let crates_dir = root.join("crates");
+    let mut out = Vec::new();
+    let entries = std::fs::read_dir(&crates_dir)
+        .map_err(|e| format!("read {}: {e}", crates_dir.display()))?;
+    let mut crate_dirs: Vec<PathBuf> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("walk crates/: {e}"))?;
+        if entry.path().is_dir() {
+            crate_dirs.push(entry.path());
+        }
+    }
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        let src = dir.join("src");
+        if src.is_dir() {
+            walk_rs(&src, root, &mut out)?;
+        }
+    }
+    out.sort_by(|a, b| a.1.cmp(&b.1));
+    Ok(out)
+}
+
+fn walk_rs(dir: &Path, root: &Path, out: &mut Vec<(PathBuf, String)>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("read {}: {e}", dir.display()))?;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for entry in entries {
+        paths.push(
+            entry
+                .map_err(|e| format!("walk {}: {e}", dir.display()))?
+                .path(),
+        );
+    }
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            walk_rs(&path, root, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path
+                .strip_prefix(root)
+                .map_err(|e| format!("relativize {}: {e}", path.display()))?
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push((path, rel));
+        }
+    }
+    Ok(())
+}
+
+/// Parses the allowlist: `<rule-id> <repo-relative-path> <max-count>` per
+/// line, `#` comments and blank lines ignored. A missing file is an empty
+/// allowlist.
+fn load_allowlist(path: &Path) -> Result<BTreeMap<(String, String), usize>, String> {
+    let mut map = BTreeMap::new();
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(map),
+        Err(e) => return Err(format!("read {}: {e}", path.display())),
+    };
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        if parts.len() != 3 {
+            return Err(format!(
+                "{}:{}: expected `<rule> <path> <count>`, got `{line}`",
+                path.display(),
+                idx + 1
+            ));
+        }
+        let rule = Rule::from_id(parts[0]).ok_or_else(|| {
+            format!(
+                "{}:{}: unknown rule `{}`",
+                path.display(),
+                idx + 1,
+                parts[0]
+            )
+        })?;
+        let count: usize = parts[2].parse().map_err(|e| {
+            format!(
+                "{}:{}: bad count `{}`: {e}",
+                path.display(),
+                idx + 1,
+                parts[2]
+            )
+        })?;
+        map.insert((rule.id().to_string(), parts[1].to_string()), count);
+    }
+    Ok(map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scrub_blanks_comments_and_strings() {
+        let src = "let a = \"Instant::now\"; // Instant::now\nlet b = 1;\n";
+        let s = scrub(src);
+        assert!(!s.contains("Instant::now"));
+        assert!(s.contains("let b = 1;"));
+        assert_eq!(s.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn scrub_keeps_lifetimes_and_char_literals_apart() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }\n";
+        let s = scrub(src);
+        assert!(s.contains("fn f<'a>(x: &'a str) -> char"));
+        assert!(!s.contains("'x'"));
+    }
+
+    #[test]
+    fn test_regions_are_masked() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n";
+        let findings = lint_source("crates/sim/src/x.rs", src);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn wall_rules_fire_only_in_wall_crates() {
+        let src = "fn f() { let t = Instant::now(); }\n";
+        assert_eq!(lint_source("crates/sim/src/x.rs", src).len(), 1);
+        assert!(lint_source("crates/power/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn float_literal_eq_detected_both_sides() {
+        assert!(float_literal_cmp("if x == 1.0 {").is_some());
+        assert!(float_literal_cmp("if 0.25 != y {").is_some());
+        assert!(float_literal_cmp("if x <= 1.0 {").is_none());
+        assert!(float_literal_cmp("for i in 0.0..=1.0 {").is_none());
+        assert!(float_literal_cmp("if x == 10 {").is_none());
+        assert!(float_literal_cmp("match x { _ => 1.0 }").is_none());
+    }
+
+    #[test]
+    fn panic_budget_skips_bins() {
+        let src = "fn main() { run().unwrap(); }\n";
+        assert!(lint_source("crates/bench/src/bin/fig6.rs", src).is_empty());
+        assert_eq!(lint_source("crates/bench/src/lib.rs", src).len(), 1);
+    }
+}

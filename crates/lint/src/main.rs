@@ -1,0 +1,78 @@
+//! `baldur-lint`: determinism/panic/float static analysis for this repo.
+//!
+//! Usage: `cargo run -p baldur-lint [-- --root <repo-root>]`
+//!
+//! Scans `crates/*/src`, prints `file:line` diagnostics for every
+//! violation, writes a JSON report to `results/lint_report.json`, and
+//! exits nonzero when the tree is not clean.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(value) => root = PathBuf::from(value),
+                None => {
+                    eprintln!("baldur-lint: --root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: baldur-lint [--root <repo-root>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("baldur-lint: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let outcome = match baldur_lint::lint_repo(&root) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("baldur-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report_path = root.join(baldur_lint::REPORT_PATH);
+    if let Some(parent) = report_path.parent() {
+        if let Err(e) = std::fs::create_dir_all(parent) {
+            eprintln!("baldur-lint: create {}: {e}", parent.display());
+            return ExitCode::from(2);
+        }
+    }
+    let json = match serde_json::to_string_pretty(&outcome.report) {
+        Ok(json) => json,
+        Err(e) => {
+            eprintln!("baldur-lint: serialize report: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Err(e) = std::fs::write(&report_path, json + "\n") {
+        eprintln!("baldur-lint: write {}: {e}", report_path.display());
+        return ExitCode::from(2);
+    }
+
+    for finding in &outcome.report.violations {
+        eprintln!("{finding}");
+    }
+    let budgeted: usize = outcome.report.allowlisted.iter().map(|a| a.found).sum();
+    eprintln!(
+        "baldur-lint: {} files scanned, {} violations, {} allowlisted panic-budget sites; report: {}",
+        outcome.report.files_scanned,
+        outcome.report.violations.len(),
+        budgeted,
+        report_path.display()
+    );
+    if outcome.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,241 @@
+//! Integration tests: `baldur-lint` over synthetic trees with seeded
+//! violations, including a spawn of the real binary asserting nonzero exit
+//! and `file:line` diagnostics.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// A throwaway repo-shaped tree under the target directory (no wall-clock
+/// or RNG in the name — tests run serially against distinct names).
+struct TempRepo {
+    root: PathBuf,
+}
+
+impl TempRepo {
+    fn new(name: &str) -> Self {
+        let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join(name);
+        if root.exists() {
+            std::fs::remove_dir_all(&root).expect("clear previous fixture");
+        }
+        std::fs::create_dir_all(&root).expect("create fixture root");
+        TempRepo { root }
+    }
+
+    fn write(&self, rel: &str, content: &str) {
+        let path = self.root.join(rel);
+        let parent = path.parent().expect("relative path has a parent");
+        std::fs::create_dir_all(parent).expect("create fixture dirs");
+        std::fs::write(&path, content).expect("write fixture file");
+    }
+}
+
+#[test]
+fn clean_tree_is_clean() {
+    let repo = TempRepo::new("lint-clean");
+    repo.write(
+        "crates/sim/src/lib.rs",
+        "pub fn double(x: u64) -> u64 { x * 2 }\n",
+    );
+    let outcome = baldur_lint::lint_repo(&repo.root).expect("lint runs");
+    assert!(outcome.is_clean(), "{:?}", outcome.report.violations);
+    assert_eq!(outcome.report.files_scanned, 1);
+}
+
+#[test]
+fn seeded_violations_are_found_with_file_and_line() {
+    let repo = TempRepo::new("lint-seeded");
+    repo.write(
+        "crates/sim/src/bad.rs",
+        concat!(
+            "pub fn f() {\n",
+            "    let _t = std::time::Instant::now();\n", // line 2
+            "    let _m: std::collections::HashMap<u32, u32> = Default::default();\n", // 3
+            "    let _x: Option<u32> = None;\n",
+            "    let _y = _x.unwrap();\n", // line 5
+            "}\n",
+        ),
+    );
+    let outcome = baldur_lint::lint_repo(&repo.root).expect("lint runs");
+    let v = &outcome.report.violations;
+    assert!(!outcome.is_clean());
+    let find = |rule: &str| {
+        v.iter()
+            .find(|f| f.rule == rule)
+            .unwrap_or_else(|| panic!("missing {rule} in {v:?}"))
+    };
+    let wall = find("wall-clock");
+    assert_eq!(
+        (wall.file.as_str(), wall.line),
+        ("crates/sim/src/bad.rs", 2)
+    );
+    assert_eq!(find("unordered-collection").line, 3);
+    assert_eq!(find("panic-site").line, 5);
+}
+
+#[test]
+fn wall_rules_do_not_apply_outside_wall_crates() {
+    let repo = TempRepo::new("lint-nonwall");
+    repo.write(
+        "crates/power/src/lib.rs",
+        "pub fn now() -> std::time::Instant { std::time::Instant::now() }\n",
+    );
+    let outcome = baldur_lint::lint_repo(&repo.root).expect("lint runs");
+    assert!(outcome.is_clean(), "{:?}", outcome.report.violations);
+}
+
+#[test]
+fn test_code_and_strings_and_comments_are_exempt() {
+    let repo = TempRepo::new("lint-exempt");
+    repo.write(
+        "crates/net/src/lib.rs",
+        concat!(
+            "//! Mentions Instant::now and HashMap in docs only.\n",
+            "pub const HINT: &str = \"thread_rng() is forbidden\";\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    #[test]\n",
+            "    fn t() {\n",
+            "        let x: Option<u32> = Some(1);\n",
+            "        assert_eq!(x.unwrap(), 1);\n",
+            "    }\n",
+            "}\n",
+        ),
+    );
+    let outcome = baldur_lint::lint_repo(&repo.root).expect("lint runs");
+    assert!(outcome.is_clean(), "{:?}", outcome.report.violations);
+}
+
+#[test]
+fn float_hazards_fire_in_every_crate() {
+    let repo = TempRepo::new("lint-float");
+    repo.write(
+        "crates/cost/src/lib.rs",
+        concat!(
+            "pub fn worst(xs: &[f64]) -> f64 {\n",
+            "    let mut s = xs.to_vec();\n",
+            "    s.sort_by(|a, b| a.partial_cmp(b).unwrap());\n", // line 3
+            "    if s[0] == 0.5 { return 1.0; }\n",               // line 4
+            "    s[0]\n",
+            "}\n",
+        ),
+    );
+    let outcome = baldur_lint::lint_repo(&repo.root).expect("lint runs");
+    let rules: Vec<(&str, usize)> = outcome
+        .report
+        .violations
+        .iter()
+        .map(|f| (f.rule.as_str(), f.line))
+        .collect();
+    assert!(rules.contains(&("float-cmp-panic", 3)), "{rules:?}");
+    assert!(rules.contains(&("float-literal-eq", 4)), "{rules:?}");
+    // The partial_cmp unwrap reports as the float hazard, not double-counted
+    // as a generic panic site.
+    assert!(!rules.iter().any(|(r, l)| *r == "panic-site" && *l == 3));
+}
+
+#[test]
+fn allowlist_budget_shrinks_but_never_grows() {
+    let repo = TempRepo::new("lint-allowlist");
+    repo.write(
+        "crates/topo/src/lib.rs",
+        concat!(
+            "pub fn f(a: Option<u32>, b: Option<u32>) -> u32 {\n",
+            "    a.unwrap() + b.unwrap()\n",
+            "}\n",
+        ),
+    );
+    // Exact budget: clean.
+    repo.write(
+        "crates/lint/allowlist.txt",
+        "panic-site crates/topo/src/lib.rs 2\n",
+    );
+    let outcome = baldur_lint::lint_repo(&repo.root).expect("lint runs");
+    assert!(outcome.is_clean(), "{:?}", outcome.report.violations);
+    assert_eq!(outcome.report.allowlisted.len(), 1);
+
+    // Over-provisioned budget: stale entry, must shrink.
+    repo.write(
+        "crates/lint/allowlist.txt",
+        "panic-site crates/topo/src/lib.rs 5\n",
+    );
+    let outcome = baldur_lint::lint_repo(&repo.root).expect("lint runs");
+    assert!(
+        outcome
+            .report
+            .violations
+            .iter()
+            .any(|f| f.message.contains("stale allowlist entry")),
+        "{:?}",
+        outcome.report.violations
+    );
+
+    // Under-provisioned budget: the findings surface as violations.
+    repo.write(
+        "crates/lint/allowlist.txt",
+        "panic-site crates/topo/src/lib.rs 1\n",
+    );
+    let outcome = baldur_lint::lint_repo(&repo.root).expect("lint runs");
+    assert!(!outcome.is_clean());
+    assert!(
+        outcome
+            .report
+            .violations
+            .iter()
+            .any(|f| f.message.contains("budget exceeded")),
+        "{:?}",
+        outcome.report.violations
+    );
+
+    // Entry for a file with no findings at all: stale.
+    repo.write(
+        "crates/lint/allowlist.txt",
+        concat!(
+            "panic-site crates/topo/src/lib.rs 2\n",
+            "panic-site crates/topo/src/gone.rs 1\n",
+        ),
+    );
+    let outcome = baldur_lint::lint_repo(&repo.root).expect("lint runs");
+    assert!(
+        outcome
+            .report
+            .violations
+            .iter()
+            .any(|f| f.file == "crates/topo/src/gone.rs"),
+        "{:?}",
+        outcome.report.violations
+    );
+}
+
+#[test]
+fn binary_exits_nonzero_on_seeded_violation_and_writes_report() {
+    let repo = TempRepo::new("lint-binary");
+    repo.write(
+        "crates/sim/src/lib.rs",
+        "pub fn bad() { let _ = std::time::SystemTime::now(); }\n",
+    );
+    let out = Command::new(env!("CARGO_BIN_EXE_baldur-lint"))
+        .args(["--root", repo.root.to_str().expect("utf-8 path")])
+        .output()
+        .expect("spawn baldur-lint");
+    assert!(!out.status.success(), "must exit nonzero on a dirty tree");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("crates/sim/src/lib.rs:1"),
+        "diagnostic must carry file:line, got:\n{stderr}"
+    );
+    assert!(stderr.contains("wall-clock"), "{stderr}");
+    let report = std::fs::read_to_string(repo.root.join(baldur_lint::REPORT_PATH))
+        .expect("JSON report written even on failure");
+    assert!(report.contains("\"wall-clock\""), "{report}");
+}
+
+#[test]
+fn binary_exits_zero_on_clean_tree() {
+    let repo = TempRepo::new("lint-binary-clean");
+    repo.write("crates/sim/src/lib.rs", "pub fn ok() {}\n");
+    let out = Command::new(env!("CARGO_BIN_EXE_baldur-lint"))
+        .args(["--root", repo.root.to_str().expect("utf-8 path")])
+        .output()
+        .expect("spawn baldur-lint");
+    assert!(out.status.success());
+}

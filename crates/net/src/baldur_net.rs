@@ -14,7 +14,7 @@
 //!   plus a small same-cabinet stage delay; node↔network fibers add the
 //!   Table VI 100 ns each way.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use baldur_sim::{Duration, Model, Scheduler, Simulation, Time};
 use baldur_topo::graph::NodeId;
@@ -50,8 +50,9 @@ struct Nic {
     outstanding: u32,
     backoff_exp: u32,
     /// ACK coalescing: per source, data packets awaiting a combined ACK
-    /// (the bool marks a pending flush event).
-    pending_acks: HashMap<u32, (Vec<PktId>, bool)>,
+    /// (the bool marks a pending flush event). Ordered so no iteration
+    /// order can leak into results.
+    pending_acks: BTreeMap<u32, (Vec<PktId>, bool)>,
 }
 
 impl Nic {
@@ -63,12 +64,14 @@ impl Nic {
             try_scheduled: false,
             outstanding: 0,
             backoff_exp: 0,
-            pending_acks: HashMap::new(),
+            pending_acks: BTreeMap::new(),
         }
     }
 
     fn pop(&mut self) -> Option<PktId> {
-        self.ack_queue.pop_front().or_else(|| self.data_queue.pop_front())
+        self.ack_queue
+            .pop_front()
+            .or_else(|| self.data_queue.pop_front())
     }
 
     fn is_empty(&self) -> bool {
@@ -131,7 +134,8 @@ pub struct BaldurNet {
     /// experiments; empty by default).
     faulty: Vec<bool>,
     /// For combined ACK packets: every data packet they acknowledge.
-    ack_refs: HashMap<PktId, Vec<PktId>>,
+    /// Ordered for the same determinism reason as `pending_acks`.
+    ack_refs: BTreeMap<PktId, Vec<PktId>>,
 }
 
 impl BaldurNet {
@@ -163,7 +167,7 @@ impl BaldurNet {
             metrics: Collector::new(sample_cap),
             in_flight: 0,
             faulty: Vec::new(),
-            ack_refs: HashMap::new(),
+            ack_refs: BTreeMap::new(),
         }
     }
 
@@ -176,7 +180,10 @@ impl BaldurNet {
             self.faulty = vec![false; (self.topo.stages() * width) as usize];
         }
         for &(stage, switch) in switches {
-            assert!(stage < self.topo.stages() && switch < width, "fault out of range");
+            assert!(
+                stage < self.topo.stages() && switch < width,
+                "fault out of range"
+            );
             self.faulty[(stage * width + switch) as usize] = true;
         }
     }
@@ -281,6 +288,44 @@ impl BaldurNet {
         self.enqueue(now, node, ack, sched);
     }
 
+    /// Takes a packet out of flight (delivery or drop).
+    fn dec_in_flight(&mut self) {
+        #[cfg(feature = "validate")]
+        debug_assert!(
+            self.in_flight > 0,
+            "in_flight underflow: drop/arrive without inject"
+        );
+        self.in_flight -= 1;
+    }
+
+    /// Packet-conservation check, valid only once the event queue has
+    /// drained: every generated packet was then delivered, dropped and
+    /// retransmitted to completion, or abandoned — so nothing is in
+    /// flight, no NIC holds queued or unACKed work, and no coalesced ACK
+    /// is still owed.
+    #[cfg(feature = "validate")]
+    fn debug_validate_drained(&self) {
+        debug_assert_eq!(self.in_flight, 0, "packets still in flight after drain");
+        for (i, nic) in self.nics.iter().enumerate() {
+            debug_assert!(
+                nic.is_empty(),
+                "NIC {i} still has queued packets after drain"
+            );
+            debug_assert_eq!(
+                nic.outstanding, 0,
+                "NIC {i} still counts unACKed packets after drain"
+            );
+            debug_assert!(
+                nic.pending_acks.is_empty(),
+                "NIC {i} still owes coalesced ACKs after drain"
+            );
+        }
+        debug_assert!(
+            self.ack_refs.is_empty(),
+            "combined-ACK references leaked after drain"
+        );
+    }
+
     fn note_buffer(&mut self, node: u32) {
         let bytes =
             u64::from(self.nics[node as usize].outstanding) * u64::from(self.link.packet_bytes);
@@ -314,7 +359,9 @@ impl Model for BaldurNet {
                     sched.schedule_at(at, Ev::TryInject(node));
                     return;
                 }
-                let pkt = nic.pop().expect("queue non-empty");
+                // `is_empty` was just checked, so the pop always succeeds;
+                // the else arm keeps the handler panic-free regardless.
+                let Some(pkt) = nic.pop() else { return };
                 let dur = self.duration_of(pkt);
                 let nic = &mut self.nics[node as usize];
                 nic.tx_busy_until = now + dur;
@@ -348,7 +395,10 @@ impl Model for BaldurNet {
             Ev::Hop { pkt, stage, switch } => {
                 if self.is_faulty(stage, switch) {
                     self.metrics.on_forward_attempt(true);
-                    self.in_flight -= 1;
+                    self.dec_in_flight();
+                    // ACKs are never retransmitted, so a dropped combined
+                    // ACK must release its batch references here.
+                    self.ack_refs.remove(&pkt);
                     return; // a dead switch eats the packet
                 }
                 let dst = self.packets[pkt as usize].dst;
@@ -383,7 +433,8 @@ impl Model for BaldurNet {
                 match claimed {
                     None => {
                         self.metrics.on_forward_attempt(true);
-                        self.in_flight -= 1;
+                        self.dec_in_flight();
+                        self.ack_refs.remove(&pkt);
                         // Dropped: the source's timeout handles recovery.
                     }
                     Some(path) => {
@@ -400,10 +451,18 @@ impl Model for BaldurNet {
                                 + dur;
                             sched.schedule_at(at, Ev::Arrive { pkt });
                         } else {
-                            let target = self
-                                .topo
-                                .target(stage, switch, dir, path)
-                                .expect("inner stage has targets");
+                            // Inner stages always have targets by
+                            // construction; a miss would indicate a wiring
+                            // bug, so under `validate` it trips, and in
+                            // release the packet is treated as dropped
+                            // (recovered by the source timeout) instead of
+                            // aborting the run.
+                            let Some(target) = self.topo.target(stage, switch, dir, path) else {
+                                debug_assert!(false, "inner stage {stage} has no target");
+                                self.dec_in_flight();
+                                self.ack_refs.remove(&pkt);
+                                return;
+                            };
                             sched.schedule_at(
                                 now + hop_delay,
                                 Ev::Hop {
@@ -417,7 +476,7 @@ impl Model for BaldurNet {
                 }
             }
             Ev::Arrive { pkt } => {
-                self.in_flight -= 1;
+                self.dec_in_flight();
                 let (is_ack, dst, src) = {
                     let st = &self.packets[pkt as usize];
                     (st.acks, st.dst, st.src)
@@ -426,20 +485,15 @@ impl Model for BaldurNet {
                     Some(data_pkt) => {
                         // ACK arrived back at the data source; a combined
                         // ACK settles its whole batch.
-                        let batch = self
-                            .ack_refs
-                            .remove(&pkt)
-                            .unwrap_or_else(|| vec![data_pkt]);
+                        let batch = self.ack_refs.remove(&pkt).unwrap_or_else(|| vec![data_pkt]);
                         for data_pkt in batch {
                             let data = &mut self.packets[data_pkt as usize];
                             if !data.acked {
                                 data.acked = true;
                                 let src_nic = &mut self.nics[dst.0 as usize];
-                                src_nic.outstanding =
-                                    src_nic.outstanding.saturating_sub(1);
+                                src_nic.outstanding = src_nic.outstanding.saturating_sub(1);
                                 // Successful round trip relaxes the backoff.
-                                src_nic.backoff_exp =
-                                    src_nic.backoff_exp.saturating_sub(1);
+                                src_nic.backoff_exp = src_nic.backoff_exp.saturating_sub(1);
                             }
                         }
                     }
@@ -447,8 +501,7 @@ impl Model for BaldurNet {
                         let first = !self.packets[pkt as usize].delivered;
                         if first {
                             self.packets[pkt as usize].delivered = true;
-                            let latency =
-                                now.since(self.packets[pkt as usize].generated_at);
+                            let latency = now.since(self.packets[pkt as usize].generated_at);
                             self.metrics.on_delivered(latency, now);
                             let out = self.driver.delivered(dst.0, now.as_ps());
                             self.apply_driver_output(now, dst.0, out, sched);
@@ -480,8 +533,7 @@ impl Model for BaldurNet {
                 }
             }
             Ev::AckFlush { node, src } => {
-                let Some((batch, _)) = self.nics[node as usize].pending_acks.remove(&src)
-                else {
+                let Some((batch, _)) = self.nics[node as usize].pending_acks.remove(&src) else {
                     return;
                 };
                 if !batch.is_empty() {
@@ -503,8 +555,7 @@ impl Model for BaldurNet {
                 if self.params.backoff {
                     // Binary exponential backoff throttles the transmitter.
                     let nic = &mut self.nics[st.src.0 as usize];
-                    nic.backoff_exp =
-                        (nic.backoff_exp + 1).min(self.params.max_backoff_exp);
+                    nic.backoff_exp = (nic.backoff_exp + 1).min(self.params.max_backoff_exp);
                 }
                 self.enqueue(now, st.src.0, pkt, sched);
             }
@@ -547,7 +598,8 @@ pub fn simulate_with_faults(
     let initial = model.driver.initial();
     let mut sim = Simulation::new(model);
     for (node, t) in initial {
-        sim.scheduler_mut().schedule_at(Time::from_ps(t), Ev::Wake(node));
+        sim.scheduler_mut()
+            .schedule_at(Time::from_ps(t), Ev::Wake(node));
     }
     let horizon = Time::from_ns(horizon_ns.unwrap_or_else(|| {
         // ~50x the time to stream the whole workload at line rate, plus
@@ -555,7 +607,11 @@ pub fn simulate_with_faults(
         let per_node = total / u64::from(sim.model().active_nodes.max(1)) + 1;
         50 * per_node * link.packet_time().as_ps() / 1_000 + 10_000_000
     }));
-    sim.run_until(horizon, u64::MAX);
+    let _stop = sim.run_until(horizon, u64::MAX);
+    #[cfg(feature = "validate")]
+    if _stop == baldur_sim::StopReason::Drained {
+        sim.model().debug_validate_drained();
+    }
     let end = sim.scheduler().now();
     sim.into_model().into_report(end)
 }
@@ -592,7 +648,11 @@ mod tests {
             ..BaldurParams::paper_1k()
         };
         let r = simulate(64, params, link(), d, 7, None);
-        assert!(r.delivery_ratio() > 0.99, "delivered {}", r.delivery_ratio());
+        assert!(
+            r.delivery_ratio() > 0.99,
+            "delivered {}",
+            r.delivery_ratio()
+        );
         assert!(r.drop_attempts > 0, "expected contention drops");
         assert!(r.retransmissions > 0);
         assert!(r.avg_ns > 350.0);
@@ -682,15 +742,7 @@ mod tests {
         let d = Driver::open_loop(64, Pattern::RandomPermutation, 0.3, 60, &link(), 21);
         let healthy = simulate(64, params, link(), d, 21, None);
         let d = Driver::open_loop(64, Pattern::RandomPermutation, 0.3, 60, &link(), 21);
-        let faulty = simulate_with_faults(
-            64,
-            params,
-            link(),
-            d,
-            21,
-            None,
-            &[(2, 7), (3, 11)],
-        );
+        let faulty = simulate_with_faults(64, params, link(), d, 21, None, &[(2, 7), (3, 11)]);
         assert_eq!(healthy.delivered, healthy.generated);
         assert_eq!(
             faulty.delivered, faulty.generated,

@@ -139,8 +139,12 @@ pub fn locate_faulty_switch(
         }
 
         if let Some(c) = &candidates {
-            let remaining: Vec<usize> =
-                c.iter().enumerate().filter(|(_, &x)| x).map(|(i, _)| i).collect();
+            let remaining: Vec<usize> = c
+                .iter()
+                .enumerate()
+                .filter(|(_, &x)| x)
+                .map(|(i, _)| i)
+                .collect();
             if remaining.len() <= 1 {
                 let suspect = remaining.first().map(|&i| {
                     let i = i as u32;

@@ -367,10 +367,22 @@ mod tests {
         let init = d.initial();
         assert_eq!(init, vec![(0, 0)]); // only the initiator starts
         let first = d.wakeup(0, 0);
-        assert_eq!(first.sends, vec![SendCmd { dst: NodeId(1), count: 1 }]);
+        assert_eq!(
+            first.sends,
+            vec![SendCmd {
+                dst: NodeId(1),
+                count: 1
+            }]
+        );
         // Node 1 receives, replies.
         let reply = d.delivered(1, 500);
-        assert_eq!(reply.sends, vec![SendCmd { dst: NodeId(0), count: 1 }]);
+        assert_eq!(
+            reply.sends,
+            vec![SendCmd {
+                dst: NodeId(0),
+                count: 1
+            }]
+        );
         // Node 0 receives, sends round 2.
         let r2 = d.delivered(0, 1_000);
         assert_eq!(r2.sends.len(), 1);
@@ -384,22 +396,31 @@ mod tests {
     fn trace_recv_gates_send() {
         let scripts = vec![
             vec![Op::Send { dst: 1, packets: 2 }],
-            vec![
-                Op::Recv { packets: 2 },
-                Op::Send { dst: 0, packets: 1 },
-            ],
+            vec![Op::Recv { packets: 2 }, Op::Send { dst: 0, packets: 1 }],
         ];
         let mut d = Driver::trace(scripts, 0);
         assert_eq!(d.total_to_send(), 3);
         let init = d.initial();
         assert_eq!(init.len(), 2);
         let o0 = d.wakeup(0, 0);
-        assert_eq!(o0.sends, vec![SendCmd { dst: NodeId(1), count: 2 }]);
+        assert_eq!(
+            o0.sends,
+            vec![SendCmd {
+                dst: NodeId(1),
+                count: 2
+            }]
+        );
         let o1 = d.wakeup(1, 0);
         assert!(o1.sends.is_empty(), "recv must block the send");
         assert!(d.delivered(1, 100).sends.is_empty());
         let done = d.delivered(1, 200);
-        assert_eq!(done.sends, vec![SendCmd { dst: NodeId(0), count: 1 }]);
+        assert_eq!(
+            done.sends,
+            vec![SendCmd {
+                dst: NodeId(0),
+                count: 1
+            }]
+        );
     }
 
     #[test]

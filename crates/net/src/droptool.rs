@@ -80,9 +80,14 @@ pub fn worst_case_with_wiring(
             if stage + 1 == topo.stages() {
                 next.push((u32::MAX, dst)); // delivered marker
             } else {
-                let target = topo.next_targets(stage, switch, dir).expect("inner stage")
-                    [path as usize];
-                next.push((target.switch, dst));
+                // Inner stages always have targets by construction; a miss
+                // would be a wiring bug, so count the packet as dropped
+                // rather than aborting the whole analysis.
+                let Some(targets) = topo.next_targets(stage, switch, dir) else {
+                    debug_assert!(false, "inner stage {stage} has no targets");
+                    continue;
+                };
+                next.push((targets[path as usize].switch, dst));
             }
         }
         live = next;
@@ -130,8 +135,9 @@ mod tests {
         let mut last = 1.1;
         for m in 1..=5 {
             let r = worst_case(1_024, m, Pattern::RandomPermutation, 7);
+            // Strictly decreasing until drops bottom out at zero.
             assert!(
-                r.drop_rate < last,
+                r.drop_rate < last || (last == 0.0 && r.drop_rate == 0.0),
                 "m={m}: {} !< {last}",
                 r.drop_rate
             );
@@ -147,7 +153,11 @@ mod tests {
         let r = worst_case(1_024, 4, Pattern::Transpose, 3);
         assert!(r.drop_rate < 0.08, "{}", r.drop_rate);
         let r1 = worst_case(1_024, 1, Pattern::Transpose, 3);
-        assert!(r1.drop_rate > 0.4, "m=1 must be catastrophic: {}", r1.drop_rate);
+        assert!(
+            r1.drop_rate > 0.4,
+            "m=1 must be catastrophic: {}",
+            r1.drop_rate
+        );
     }
 
     #[test]
@@ -162,20 +172,8 @@ mod tests {
 
     #[test]
     fn required_multiplicity_is_monotone_in_scale() {
-        let small = required_multiplicity(
-            256,
-            &[Pattern::RandomPermutation],
-            0.05,
-            2,
-            11,
-        );
-        let large = required_multiplicity(
-            8_192,
-            &[Pattern::RandomPermutation],
-            0.05,
-            2,
-            11,
-        );
+        let small = required_multiplicity(256, &[Pattern::RandomPermutation], 0.05, 2, 11);
+        let large = required_multiplicity(8_192, &[Pattern::RandomPermutation], 0.05, 2, 11);
         assert!(small <= large, "{small} > {large}");
         assert!((2..=6).contains(&small));
     }

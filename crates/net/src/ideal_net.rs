@@ -28,7 +28,13 @@ pub struct IdealNet {
 }
 
 impl IdealNet {
-    fn apply(&mut self, now: Time, node: u32, out: crate::driver::DriverOutput, sched: &mut Scheduler<Ev>) {
+    fn apply(
+        &mut self,
+        now: Time,
+        node: u32,
+        out: crate::driver::DriverOutput,
+        sched: &mut Scheduler<Ev>,
+    ) {
         for cmd in out.sends {
             for _ in 0..cmd.count {
                 self.metrics.on_generated();
@@ -78,7 +84,8 @@ pub fn simulate(driver: Driver, latency_ns: Option<u64>) -> LatencyReport {
     let initial = model.driver.initial();
     let mut sim = Simulation::new(model);
     for (node, t) in initial {
-        sim.scheduler_mut().schedule_at(Time::from_ps(t), Ev::Wake(node));
+        sim.scheduler_mut()
+            .schedule_at(Time::from_ps(t), Ev::Wake(node));
     }
     sim.run();
     let end = sim.scheduler().now();

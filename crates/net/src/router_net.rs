@@ -385,8 +385,14 @@ impl Model for RouterNet {
                 let mut route = self.packets[pkt as usize].route;
                 let decision = {
                     let pending: &[u32] = &self.routers[router as usize].out_pending;
-                    self.alg
-                        .route(&self.graph, router, u64::from(pkt), dst, &mut route, &pending)
+                    self.alg.route(
+                        &self.graph,
+                        router,
+                        u64::from(pkt),
+                        dst,
+                        &mut route,
+                        &pending,
+                    )
                 };
                 self.packets[pkt as usize].route = route;
                 self.packets[pkt as usize].decision = decision;
@@ -442,7 +448,8 @@ pub fn simulate(
     let initial_driver: Vec<(u32, u64)> = model.driver.initial();
     let mut sim = Simulation::new(model);
     for (node, t) in initial_driver {
-        sim.scheduler_mut().schedule_at(Time::from_ps(t), Ev::Wake(node));
+        sim.scheduler_mut()
+            .schedule_at(Time::from_ps(t), Ev::Wake(node));
     }
     let horizon = Time::from_ns(horizon_ns.unwrap_or_else(|| {
         let per_node = total / u64::from(nodes) + 1;
@@ -586,14 +593,7 @@ mod tests {
         let df = Dragonfly::balanced(2); // 72 nodes
         let run_with = |alg: RoutingAlg| {
             let g = df.build_graph(10_000, 100_000);
-            let d = Driver::open_loop(
-                72,
-                Pattern::GroupPermutation,
-                0.6,
-                40,
-                &link(),
-                8,
-            );
+            let d = Driver::open_loop(72, Pattern::GroupPermutation, 0.6, 40, &link(), 8);
             simulate(g, alg, link(), RouterParams::paper(), d, 8, None)
         };
         let adaptive = run_with(RoutingAlg::Dragonfly(df.clone()));

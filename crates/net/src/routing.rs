@@ -243,11 +243,7 @@ impl RoutingAlg {
 /// upstream inputs, `[2m, 4m)` downstream outputs (direction-major). Nodes
 /// inject at stage 0 (input `(node % 2) * m`) and are delivered from the
 /// last stage (output port `2m + dir * m`).
-pub fn build_mb_graph(
-    mb: &MultiButterfly,
-    node_link_ps: u64,
-    stage_link_ps: u64,
-) -> RouterGraph {
+pub fn build_mb_graph(mb: &MultiButterfly, node_link_ps: u64, stage_link_ps: u64) -> RouterGraph {
     let m = mb.multiplicity();
     let width = mb.switches_per_stage();
     let routers = width * mb.stages();
@@ -413,8 +409,14 @@ mod tests {
             let mut st = RouteState::default();
             let mut hops = 0;
             loop {
-                let (port, _) =
-                    alg.route(&g, router, u64::from(src), NodeId(dst), &mut st, &pending.as_slice());
+                let (port, _) = alg.route(
+                    &g,
+                    router,
+                    u64::from(src),
+                    NodeId(dst),
+                    &mut st,
+                    &pending.as_slice(),
+                );
                 match g.peer(router, port) {
                     baldur_topo::graph::Endpoint::Router { router: r, .. } => router = r,
                     baldur_topo::graph::Endpoint::Node(n) => {

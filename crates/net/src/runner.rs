@@ -160,16 +160,26 @@ fn build_driver(cfg: &RunConfig) -> Driver {
             pattern,
             load,
             packets_per_node,
-        } => Driver::open_loop(cfg.nodes, pattern, load, packets_per_node, &cfg.link, cfg.seed),
-        Workload::PingPong1 { rounds } => {
-            Driver::ping_pong(workloads::ping_pong1_pairs(cfg.nodes, cfg.seed), rounds, cfg.seed)
-        }
+        } => Driver::open_loop(
+            cfg.nodes,
+            pattern,
+            load,
+            packets_per_node,
+            &cfg.link,
+            cfg.seed,
+        ),
+        Workload::PingPong1 { rounds } => Driver::ping_pong(
+            workloads::ping_pong1_pairs(cfg.nodes, cfg.seed),
+            rounds,
+            cfg.seed,
+        ),
         Workload::PingPong2 { rounds } => {
             Driver::ping_pong(workloads::ping_pong2_pairs(cfg.nodes), rounds, cfg.seed)
         }
-        Workload::Hpc { app, params } => {
-            Driver::trace(workloads::generate(app, cfg.nodes, params, cfg.seed), cfg.seed)
-        }
+        Workload::Hpc { app, params } => Driver::trace(
+            workloads::generate(app, cfg.nodes, params, cfg.seed),
+            cfg.seed,
+        ),
     }
 }
 
@@ -282,7 +292,7 @@ mod tests {
 
     #[test]
     fn baldur_beats_electrical_networks_at_moderate_load() {
-        let mut avg = std::collections::HashMap::new();
+        let mut avg = std::collections::BTreeMap::new();
         for (name, net) in NetworkKind::paper_lineup(64) {
             let cfg = RunConfig::new(64, net, synth(0.3, 30));
             avg.insert(name, run(&cfg).avg_ns);

@@ -78,9 +78,7 @@ impl Assignment {
         assert!(nodes >= 2, "need at least two nodes");
         let mut rng = StreamRng::named(seed, "traffic", pattern as u64);
         match pattern {
-            Pattern::RandomPermutation => {
-                Assignment::Pairs(derangement(&mut rng, nodes))
-            }
+            Pattern::RandomPermutation => Assignment::Pairs(derangement(&mut rng, nodes)),
             Pattern::Transpose => {
                 // The paper swaps the upper and lower address halves; for
                 // an odd number of address bits this generalizes to the
@@ -136,7 +134,13 @@ impl Assignment {
                 let target = rng.gen_range(0..nodes);
                 Assignment::Pairs(
                     (0..nodes)
-                        .map(|n| if n == target { (target + 1) % nodes } else { target })
+                        .map(|n| {
+                            if n == target {
+                                (target + 1) % nodes
+                            } else {
+                                target
+                            }
+                        })
                         .collect(),
                 )
             }
@@ -217,7 +221,10 @@ mod tests {
         let mut dests: Vec<u32> = p.clone();
         dests.sort_unstable();
         dests.dedup();
-        assert!(dests.len() <= 2, "hotspot has one destination (plus the target's own)");
+        assert!(
+            dests.len() <= 2,
+            "hotspot has one destination (plus the target's own)"
+        );
     }
 
     #[test]

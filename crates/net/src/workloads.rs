@@ -218,7 +218,9 @@ fn crystal_router(nodes: u32, p: TraceParams) -> Vec<Vec<Op>> {
                         packets: p.halo_packets,
                     });
                     if p.compute_ps > 0 {
-                        script.push(Op::Delay { ps: p.compute_ps / 4 });
+                        script.push(Op::Delay {
+                            ps: p.compute_ps / 4,
+                        });
                     }
                 }
             }
@@ -373,7 +375,10 @@ pub fn characterize(scripts: &[Vec<Op>]) -> TraceStats {
 
 /// Ping-pong 1 pairing: a random mutual pairing of all nodes.
 pub fn ping_pong1_pairs(nodes: u32, seed: u64) -> Vec<u32> {
-    assert!(nodes >= 2 && nodes.is_multiple_of(2), "need an even node count");
+    assert!(
+        nodes >= 2 && nodes.is_multiple_of(2),
+        "need an even node count"
+    );
     let mut rng = StreamRng::named(seed, "pp1", 0);
     let order = rng.permutation(nodes as usize);
     let mut pairs = vec![0u32; nodes as usize];

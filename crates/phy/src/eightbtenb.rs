@@ -303,7 +303,11 @@ impl Encoder {
         let x = (byte & 0x1F) as usize;
         let y = (byte >> 5) as usize;
 
-        let six_neg = if x == 28 { K28_SIX_NEG } else { FIVE_SIX_NEG[x] };
+        let six_neg = if x == 28 {
+            K28_SIX_NEG
+        } else {
+            FIVE_SIX_NEG[x]
+        };
         let six = match (six_disparity(six_neg), self.rd) {
             (0, _) => six_neg,
             (_, Disparity::Negative) => six_neg,
@@ -500,6 +504,9 @@ pub fn max_run_length(bits: &[bool]) -> usize {
 }
 
 #[cfg(test)]
+// Binary literals below group as 6b_4b to mirror the abcdei/fghj split of
+// the 8b/10b code, not as equal-width digit groups.
+#[allow(clippy::unusual_byte_groupings)]
 mod tests {
     use super::*;
 
@@ -537,7 +544,11 @@ mod tests {
                 assert_eq!(dec.decode(c), Ok(Symbol::Data(prefix)));
             }
             let c = enc.encode_data(first as u8);
-            assert_eq!(dec.decode(c), Ok(Symbol::Data(first as u8)), "byte {first:#x}");
+            assert_eq!(
+                dec.decode(c),
+                Ok(Symbol::Data(first as u8)),
+                "byte {first:#x}"
+            );
         }
     }
 
@@ -603,9 +614,6 @@ mod tests {
     fn max_run_length_works() {
         assert_eq!(max_run_length(&[]), 0);
         assert_eq!(max_run_length(&[true]), 1);
-        assert_eq!(
-            max_run_length(&[true, true, false, false, false, true]),
-            3
-        );
+        assert_eq!(max_run_length(&[true, true, false, false, false, true]), 3);
     }
 }

@@ -35,12 +35,7 @@ pub struct PacketWave {
 ///
 /// Panics if `routing_bits` is empty — every Baldur packet routes through at
 /// least one stage.
-pub fn assemble(
-    code: &LengthCode,
-    routing_bits: &[bool],
-    payload: &[u8],
-    start: Fs,
-) -> PacketWave {
+pub fn assemble(code: &LengthCode, routing_bits: &[bool], payload: &[u8], start: Fs) -> PacketWave {
     assert!(!routing_bits.is_empty(), "a packet needs routing bits");
     let t = code.bit_period;
     let mut pulses = code.encode_pulses(routing_bits, start);

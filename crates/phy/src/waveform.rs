@@ -193,6 +193,9 @@ mod tests {
     #[test]
     fn sampling() {
         let w = Waveform::from_pulses([(2, 4)]);
-        assert_eq!(w.sample(0, 6, 1), vec![false, false, true, true, false, false]);
+        assert_eq!(
+            w.sample(0, 6, 1),
+            vec![false, false, true, true, false, false]
+        );
     }
 }

@@ -182,8 +182,8 @@ fn fattree_per_node(requested: u64) -> PowerBreakdown {
     let k = f64::from(ft.k);
     let core = CoreModel::fattree().core_w(ft.k);
     let switches_per_node = 5.0 / k; // (k^2 + k^2/4) / (k^3/4)
-    // Per node: 1 terminal link (electrical), 1 edge-agg link and 1
-    // agg-core link (optical at the paper's 50/100 ns distances).
+                                     // Per node: 1 terminal link (electrical), 1 edge-agg link and 1
+                                     // agg-core link (optical at the paper's 50/100 ns distances).
     let transceivers = 1.0 * TRANSCEIVER_W + 2.0 * 2.0 * TRANSCEIVER_W;
     let serdes = (1.0 + 1.0 + 2.0 * 2.0) * SERDES_W;
     PowerBreakdown {
@@ -212,7 +212,9 @@ mod tests {
 
     #[test]
     fn mb_is_6x_fattree_at_1k() {
-        let mb = NetworkPower::ElectricalMultiButterfly.per_node(1_024).total_w();
+        let mb = NetworkPower::ElectricalMultiButterfly
+            .per_node(1_024)
+            .total_w();
         let ft = NetworkPower::FatTree.per_node(1_024).total_w();
         let ratio = mb / ft;
         assert!((5.0..7.5).contains(&ratio), "MB/FT = {ratio}");

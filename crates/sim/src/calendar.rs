@@ -139,8 +139,10 @@ impl<E> CalendarQueue<E> {
                     .last()
                     .map(|e| e.at < year_end)
                     .unwrap_or(false);
-                if hit {
-                    let e = self.buckets[idx].pop().expect("non-empty");
+                // `hit` proved `last()` was Some, so the pop succeeds; an
+                // impossible miss just advances the scan instead of
+                // panicking.
+                if let Some(e) = if hit { self.buckets[idx].pop() } else { None } {
                     self.len -= 1;
                     self.cursor = idx;
                     self.cursor_start = start;
@@ -153,14 +155,15 @@ impl<E> CalendarQueue<E> {
                 start = year_end;
             }
             // Nothing within a year of the cursor: jump the cursor to the
-            // global minimum's window and retry (sparse queue).
+            // global minimum's window and retry (sparse queue). `len > 0`
+            // was checked on entry, so a minimum exists; an empty queue
+            // (impossible) would just report exhaustion.
             let min_at = self
                 .buckets
                 .iter()
                 .filter_map(|b| b.last())
                 .map(|e| e.at)
-                .min()
-                .expect("len > 0");
+                .min()?;
             self.cursor_start = min_at - min_at % self.width;
             self.cursor = self.bucket_of(min_at);
         }

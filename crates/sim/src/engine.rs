@@ -79,10 +79,10 @@ impl<E> Queue<E> {
         }
     }
 
-    fn pop(&mut self) -> Option<(Time, E)> {
+    fn pop(&mut self) -> Option<(Time, u64, E)> {
         match self {
-            Queue::Heap(h) => h.pop().map(|s| (s.at, s.event)),
-            Queue::Calendar(c) => c.pop().map(|(t, _, e)| (t, e)),
+            Queue::Heap(h) => h.pop().map(|s| (s.at, s.seq, s.event)),
+            Queue::Calendar(c) => c.pop(),
         }
     }
 }
@@ -100,6 +100,11 @@ pub struct Scheduler<E> {
     now: Time,
     seq: u64,
     executed: u64,
+    /// `(time, seq)` of the last popped event, for the `validate`-feature
+    /// invariant checks (popped times never decrease; same-time pops obey
+    /// FIFO order).
+    #[cfg(feature = "validate")]
+    last_pop: Option<(Time, u64)>,
 }
 
 impl<E> Scheduler<E> {
@@ -110,6 +115,8 @@ impl<E> Scheduler<E> {
             now: Time::ZERO,
             seq: 0,
             executed: 0,
+            #[cfg(feature = "validate")]
+            last_pop: None,
         }
     }
 
@@ -120,6 +127,8 @@ impl<E> Scheduler<E> {
             now: Time::ZERO,
             seq: 0,
             executed: 0,
+            #[cfg(feature = "validate")]
+            last_pop: None,
         }
     }
 
@@ -173,7 +182,22 @@ impl<E> Scheduler<E> {
     }
 
     fn pop(&mut self) -> Option<(Time, E)> {
-        let (at, event) = self.queue.pop()?;
+        let (at, _seq, event) = self.queue.pop()?;
+        #[cfg(feature = "validate")]
+        {
+            debug_assert!(
+                at >= self.now,
+                "popped event time regressed below the clock"
+            );
+            if let Some((last_at, last_seq)) = self.last_pop {
+                debug_assert!(at >= last_at, "popped times must be non-decreasing");
+                debug_assert!(
+                    at > last_at || _seq > last_seq,
+                    "same-time events must pop in FIFO (scheduling) order"
+                );
+            }
+            self.last_pop = Some((at, _seq));
+        }
         self.now = at;
         self.executed += 1;
         Some((at, event))

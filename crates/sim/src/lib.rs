@@ -43,5 +43,5 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
-pub use engine::{Model, Scheduler, Simulation};
+pub use engine::{Model, Scheduler, Simulation, StopReason};
 pub use time::{Duration, Time};

@@ -5,11 +5,12 @@
 //! [`StreamRng`] derived from a master seed plus a named stream, so that a
 //! run is a pure function of its configuration. ChaCha8 is used because it
 //! is counter-based, portable across platforms, and fast enough to never
-//! appear in profiles.
+//! appear in profiles. The cipher core is implemented here directly (the
+//! build environment has no crates.io access, so `rand_chacha` is
+//! unavailable); the keystream is the standard ChaCha with 8 rounds, a
+//! 64-bit block counter, and a zero nonce.
 
-use rand::distributions::uniform::{SampleRange, SampleUniform};
-use rand::{Rng, RngCore, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use std::ops::{Bound, RangeBounds};
 
 /// Identifies an independent random stream within one experiment.
 ///
@@ -39,10 +40,126 @@ impl StreamId {
     }
 }
 
+/// The ChaCha8 keystream generator: 256-bit key, 64-bit block counter,
+/// 64-bit (zero) nonce, eight rounds.
+#[derive(Debug, Clone)]
+struct ChaCha8 {
+    /// Key words 4..12 of the initial state.
+    key: [u32; 8],
+    /// Block counter (state words 12..14).
+    counter: u64,
+    /// Current 16-word output block.
+    block: [u32; 16],
+    /// Next word to emit from `block`; 16 forces a refill.
+    word_idx: usize,
+}
+
+const CHACHA_CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+impl ChaCha8 {
+    fn from_seed(seed: [u8; 32]) -> Self {
+        let mut key = [0u32; 8];
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            key[i] = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        ChaCha8 {
+            key,
+            counter: 0,
+            block: [0; 16],
+            word_idx: 16,
+        }
+    }
+
+    #[inline]
+    fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+        state[a] = state[a].wrapping_add(state[b]);
+        state[d] = (state[d] ^ state[a]).rotate_left(16);
+        state[c] = state[c].wrapping_add(state[d]);
+        state[b] = (state[b] ^ state[c]).rotate_left(12);
+        state[a] = state[a].wrapping_add(state[b]);
+        state[d] = (state[d] ^ state[a]).rotate_left(8);
+        state[c] = state[c].wrapping_add(state[d]);
+        state[b] = (state[b] ^ state[c]).rotate_left(7);
+    }
+
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CHACHA_CONSTANTS);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        // Nonce (words 14..16) stays zero: streams are separated by key.
+        let initial = state;
+        for _ in 0..4 {
+            // One double round: a column round then a diagonal round.
+            Self::quarter_round(&mut state, 0, 4, 8, 12);
+            Self::quarter_round(&mut state, 1, 5, 9, 13);
+            Self::quarter_round(&mut state, 2, 6, 10, 14);
+            Self::quarter_round(&mut state, 3, 7, 11, 15);
+            Self::quarter_round(&mut state, 0, 5, 10, 15);
+            Self::quarter_round(&mut state, 1, 6, 11, 12);
+            Self::quarter_round(&mut state, 2, 7, 8, 13);
+            Self::quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (out, init) in state.iter_mut().zip(initial.iter()) {
+            *out = out.wrapping_add(*init);
+        }
+        self.block = state;
+        self.counter = self.counter.wrapping_add(1);
+        self.word_idx = 0;
+    }
+
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        if self.word_idx >= 16 {
+            self.refill();
+        }
+        let w = self.block[self.word_idx];
+        self.word_idx += 1;
+        w
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let lo = u64::from(self.next_u32());
+        let hi = u64::from(self.next_u32());
+        (hi << 32) | lo
+    }
+}
+
+/// Integer types [`StreamRng::gen_range`] can sample uniformly.
+pub trait UniformInt: Copy {
+    /// Widens to the sampling domain.
+    fn to_u64(self) -> u64;
+    /// Narrows back from the sampling domain (the value is guaranteed to
+    /// fit by construction).
+    fn from_u64(v: u64) -> Self;
+    /// The largest representable value, widened.
+    const MAX_U64: u64;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            #[inline]
+            fn to_u64(self) -> u64 {
+                self as u64
+            }
+            #[inline]
+            fn from_u64(v: u64) -> Self {
+                v as $t
+            }
+            const MAX_U64: u64 = <$t>::MAX as u64;
+        }
+    )*};
+}
+
+uniform_int!(u8, u16, u32, u64, usize);
+
 /// A deterministic random stream.
 #[derive(Debug, Clone)]
 pub struct StreamRng {
-    inner: ChaCha8Rng,
+    inner: ChaCha8,
 }
 
 impl StreamRng {
@@ -65,7 +182,7 @@ impl StreamRng {
         feed(id.index, &mut key[16..24]);
         feed(label ^ id.index.rotate_left(17), &mut key[24..32]);
         StreamRng {
-            inner: ChaCha8Rng::from_seed(key),
+            inner: ChaCha8::from_seed(key),
         }
     }
 
@@ -74,26 +191,80 @@ impl StreamRng {
         Self::derive(master_seed, StreamId::new(label.as_bytes(), index))
     }
 
-    /// Uniform sample from `range`.
+    /// The next 32 uniformly random bits.
     #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+
+    /// The next 64 uniformly random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Fills `dest` with uniformly random bytes.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(4);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.inner.next_u32().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.inner.next_u32().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+
+    /// Uniform sample from `range` (unbiased via rejection sampling).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
     pub fn gen_range<T, R>(&mut self, range: R) -> T
     where
-        T: SampleUniform,
-        R: SampleRange<T>,
+        T: UniformInt,
+        R: RangeBounds<T>,
     {
-        self.inner.gen_range(range)
+        let lo = match range.start_bound() {
+            Bound::Included(&s) => s.to_u64(),
+            Bound::Excluded(&s) => s.to_u64() + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi_inclusive = match range.end_bound() {
+            Bound::Included(&e) => e.to_u64(),
+            Bound::Excluded(&e) => {
+                assert!(e.to_u64() > 0, "empty range");
+                e.to_u64() - 1
+            }
+            Bound::Unbounded => T::MAX_U64,
+        };
+        assert!(lo <= hi_inclusive, "empty range");
+        if lo == 0 && hi_inclusive == u64::MAX {
+            return T::from_u64(self.next_u64());
+        }
+        let span = hi_inclusive - lo + 1;
+        // Rejection zone: the largest multiple of `span` below 2^64 keeps
+        // the modulo unbiased.
+        let zone = u64::MAX - (u64::MAX % span);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return T::from_u64(lo + v % span);
+            }
+        }
     }
 
-    /// A uniform `f64` in `[0, 1)`.
+    /// A uniform `f64` in `[0, 1)` (53 mantissa bits).
     #[inline]
     pub fn gen_f64(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
-    /// A uniform bool.
+    /// A Bernoulli draw with success probability `p`.
     #[inline]
     pub fn gen_bool(&mut self, p: f64) -> bool {
-        self.inner.gen_bool(p)
+        self.gen_f64() < p
     }
 
     /// An exponentially distributed sample with the given `mean`
@@ -105,16 +276,16 @@ impl StreamRng {
     pub fn gen_exp(&mut self, mean: f64) -> f64 {
         assert!(mean.is_finite() && mean > 0.0, "mean must be positive");
         // Inverse CDF; 1-u avoids ln(0).
-        let u: f64 = self.inner.gen::<f64>();
+        let u = self.gen_f64();
         -mean * (1.0 - u).ln()
     }
 
-    /// A standard-normal sample (Marsaglia polar method), used for timing
+    /// A normal sample (Marsaglia polar method), used for timing
     /// jitter (Sec. IV-F).
     pub fn gen_normal(&mut self, mu: f64, sigma: f64) -> f64 {
         loop {
-            let u = self.inner.gen::<f64>() * 2.0 - 1.0;
-            let v = self.inner.gen::<f64>() * 2.0 - 1.0;
+            let u = self.gen_f64() * 2.0 - 1.0;
+            let v = self.gen_f64() * 2.0 - 1.0;
             let s = u * u + v * v;
             if s > 0.0 && s < 1.0 {
                 let factor = (-2.0 * s.ln() / s).sqrt();
@@ -126,7 +297,7 @@ impl StreamRng {
     /// Fisher–Yates shuffles `slice` in place.
     pub fn shuffle<T>(&mut self, slice: &mut [T]) {
         for i in (1..slice.len()).rev() {
-            let j = self.inner.gen_range(0..=i);
+            let j = self.gen_range(0..=i);
             slice.swap(i, j);
         }
     }
@@ -139,24 +310,28 @@ impl StreamRng {
     }
 }
 
-impl RngCore for StreamRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
-    }
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest)
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// RFC 8439 test vector machinery only covers ChaCha20; cross-check the
+    /// 8-round core against the independently published ChaCha8 keystream
+    /// for the all-zero key and nonce (first block, words 0..4).
+    #[test]
+    fn chacha8_keystream_matches_reference() {
+        let mut core = ChaCha8::from_seed([0u8; 32]);
+        let first: Vec<u32> = (0..4).map(|_| core.next_u32()).collect();
+        // From the eSTREAM/chacha reference implementation output
+        // ("expand 32-byte k", zero key, zero IV, 8 rounds), first 16 bytes:
+        // 3e00ef2f895f40d67f5bb8e81f09a5a1 2c840ec3ce9a7f3b181be188ef711a1e.
+        let expected = [
+            u32::from_le_bytes([0x3e, 0x00, 0xef, 0x2f]),
+            u32::from_le_bytes([0x89, 0x5f, 0x40, 0xd6]),
+            u32::from_le_bytes([0x7f, 0x5b, 0xb8, 0xe8]),
+            u32::from_le_bytes([0x1f, 0x09, 0xa5, 0xa1]),
+        ];
+        assert_eq!(first, expected);
+    }
 
     #[test]
     fn same_seed_same_stream_is_deterministic() {
@@ -178,6 +353,21 @@ mod tests {
         assert_ne!(av, bv);
         assert_ne!(av, cv);
         assert_ne!(bv, cv);
+    }
+
+    #[test]
+    fn gen_range_is_in_bounds_and_covers() {
+        let mut rng = StreamRng::named(9, "range", 0);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            let v: usize = rng.gen_range(0..7);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..1000 {
+            let v: u32 = rng.gen_range(5..=9);
+            assert!((5..=9).contains(&v));
+        }
     }
 
     #[test]
@@ -211,6 +401,18 @@ mod tests {
             seen[x] = true;
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn fill_bytes_handles_ragged_lengths() {
+        let mut a = StreamRng::named(5, "bytes", 0);
+        let mut b = StreamRng::named(5, "bytes", 0);
+        let mut buf_a = [0u8; 13];
+        let mut buf_b = [0u8; 13];
+        a.fill_bytes(&mut buf_a);
+        b.fill_bytes(&mut buf_b);
+        assert_eq!(buf_a, buf_b);
+        assert!(buf_a.iter().any(|&x| x != 0));
     }
 
     #[test]

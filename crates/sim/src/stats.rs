@@ -186,7 +186,9 @@ impl Reservoir {
             return f64::NAN;
         }
         let mut sorted = self.samples.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+        // total_cmp gives NaN a fixed sort position (after +inf) instead of
+        // panicking, so a single bad sample cannot abort a whole run.
+        sorted.sort_by(f64::total_cmp);
         let pos = q * (sorted.len() - 1) as f64;
         let lo = pos.floor() as usize;
         let hi = pos.ceil() as usize;
@@ -341,6 +343,21 @@ mod tests {
         assert!((r.quantile(1.0) - 100.0).abs() < 1e-12);
         assert!((r.quantile(0.5) - 50.5).abs() < 1e-12);
         assert!((r.p99() - 99.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reservoir_quantile_survives_nan_sample() {
+        // Regression: sort_by(partial_cmp().expect()) used to abort on a
+        // NaN sample. total_cmp sorts NaN after +inf, so finite quantiles
+        // stay sane and only the extreme upper quantile sees the NaN.
+        let mut r = Reservoir::with_capacity(100);
+        for i in 1..=9 {
+            r.push(i as f64);
+        }
+        r.push(f64::NAN);
+        assert!((r.quantile(0.0) - 1.0).abs() < 1e-12);
+        assert!((r.quantile(0.5) - 5.5).abs() < 1e-12);
+        assert!(r.quantile(1.0).is_nan());
     }
 
     #[test]

@@ -47,8 +47,8 @@ impl DetectorParams {
         let t = BIT_PERIOD_FS;
         DetectorParams {
             taps: 15,
-            delta: 2 * t / 5,  // 0.4T
-            edge_delay: t / 2, // 0.5T
+            delta: 2 * t / 5,   // 0.4T
+            edge_delay: t / 2,  // 0.5T
             data_delay: 29_000, // ≈1.74T; net boundary ≈ 1.5T
             window: 4_300,      // ≈0.26T raw; effective width ≈ 0.14T
         }

@@ -185,7 +185,10 @@ mod tests {
 
     const T: u64 = 16_667;
 
-    fn run(pattern: Vec<bool>, bits: &[bool]) -> (CircuitSim, Filter, baldur_phy::packet_wave::PacketWave) {
+    fn run(
+        pattern: Vec<bool>,
+        bits: &[bool],
+    ) -> (CircuitSim, Filter, baldur_phy::packet_wave::PacketWave) {
         let fp = FilterParams::blocking(pattern);
         let mut n = Netlist::new();
         let f = build_filter(&mut n, &fp);
@@ -248,11 +251,7 @@ mod tests {
             (vec![true, true, true], false),
         ] {
             let (sim, f, _) = run(vec![true, false, true], &bits);
-            assert_eq!(
-                !sim.probed(f.blocking).is_dark(),
-                blocked,
-                "bits {bits:?}"
-            );
+            assert_eq!(!sim.probed(f.blocking).is_dark(), blocked, "bits {bits:?}");
         }
     }
 

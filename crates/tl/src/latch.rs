@@ -76,7 +76,11 @@ mod tests {
         let s = n.wire();
         let r = n.wire();
         let l = sr_latch(&mut n, s, r);
-        let sim = run(n, vec![(s, Waveform::from_pulses([(5 * T, 6 * T)]))], &[l.q]);
+        let sim = run(
+            n,
+            vec![(s, Waveform::from_pulses([(5 * T, 6 * T)]))],
+            &[l.q],
+        );
         assert!(sim.level(l.q), "latch must hold after set pulse ends");
     }
 
@@ -87,7 +91,11 @@ mod tests {
         let r = n.wire();
         let l = sr_latch(&mut n, s, r);
         // 1 ps set pulse: below the ~2 ps commit threshold.
-        let sim = run(n, vec![(s, Waveform::from_pulses([(5 * T, 5 * T + 1_000)]))], &[]);
+        let sim = run(
+            n,
+            vec![(s, Waveform::from_pulses([(5 * T, 5 * T + 1_000)]))],
+            &[],
+        );
         assert!(!sim.level(l.q));
         let _ = l;
     }

@@ -20,7 +20,7 @@
 //! Feedback (latches, arbiters) is expressed by creating a wire first and
 //! later attaching a gate that drives it via [`Netlist::gate_into`].
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use baldur_phy::waveform::{Fs, Waveform};
 use baldur_sim::{Model, Scheduler, Simulation, Time};
@@ -329,9 +329,19 @@ impl Netlist {
 #[derive(Debug, Clone, Copy)]
 pub enum CircuitEvent {
     /// A transport element or external source drives a wire.
-    Drive { wire: WireId, value: bool },
+    Drive {
+        /// The wire being driven.
+        wire: WireId,
+        /// The new logic level.
+        value: bool,
+    },
     /// An inertial gate's pending transition fires (if still current).
-    GateFire { comp: CompId, seq: u64 },
+    GateFire {
+        /// The gate whose output transitions.
+        comp: CompId,
+        /// Sequence number guarding against superseded transitions.
+        seq: u64,
+    },
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -346,7 +356,7 @@ struct CircuitModel {
     values: Vec<bool>,
     pending: Vec<Option<Pending>>,
     next_seq: u64,
-    probes: HashMap<WireId, Vec<(Fs, bool)>>,
+    probes: BTreeMap<WireId, Vec<(Fs, bool)>>,
 }
 
 impl CircuitModel {
@@ -402,16 +412,15 @@ impl CircuitModel {
                 }
                 let _ = now;
             }
-            Component::Transport {
-                inputs,
-                out,
-                delay,
-            } => {
+            Component::Transport { inputs, out, delay } => {
                 let v = inputs.iter().any(|w| self.values[w.0 as usize]);
                 let (out, delay) = (*out, *delay);
                 sched.schedule_in(
                     baldur_sim::Duration::from_ps(delay),
-                    CircuitEvent::Drive { wire: out, value: v },
+                    CircuitEvent::Drive {
+                        wire: out,
+                        value: v,
+                    },
                 );
             }
         }
@@ -536,7 +545,7 @@ impl CircuitSim {
         let fanout = netlist.fanout();
         let values = netlist.initial.clone();
         let pending = vec![None; netlist.comps.len()];
-        let mut probes = HashMap::new();
+        let mut probes = BTreeMap::new();
         for &w in &self.probes {
             probes.insert(w, Vec::new());
         }
@@ -599,11 +608,7 @@ impl CircuitSim {
     ///
     /// Panics if `wire` was not probed or the simulation has not run.
     pub fn probed(&self, wire: WireId) -> Waveform {
-        let trace = self
-            .model()
-            .probes
-            .get(&wire)
-            .expect("wire was not probed");
+        let trace = self.model().probes.get(&wire).expect("wire was not probed");
         Waveform::from_transitions(trace.iter().map(|&(t, _)| t).collect())
     }
 

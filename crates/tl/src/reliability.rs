@@ -57,12 +57,7 @@ impl JitterModel {
     /// Monte Carlo estimate of the probability that a transition's jitter
     /// exceeds `threshold_sigmas`, for validating [`normal_tail`] at
     /// resolvable levels.
-    pub fn monte_carlo_exceedance(
-        &self,
-        threshold_sigmas: f64,
-        samples: u64,
-        seed: u64,
-    ) -> f64 {
+    pub fn monte_carlo_exceedance(&self, threshold_sigmas: f64, samples: u64, seed: u64) -> f64 {
         let mut rng = StreamRng::named(seed, "jittermc", 0);
         let mut exceed = 0u64;
         for _ in 0..samples {

@@ -139,7 +139,16 @@ pub fn build_switch(n: &mut Netlist, p: SwitchParams) -> Switch2x2 {
         n.name_wire(route.q, &format!("route{i}"));
         n.name_wire(det.envelope, &format!("env{i}"));
 
-        per_input.push((det, end_d, valid_reset, valid, mask, route, delayed, [req0, req1]));
+        per_input.push((
+            det,
+            end_d,
+            valid_reset,
+            valid,
+            mask,
+            route,
+            delayed,
+            [req0, req1],
+        ));
     }
 
     // Arbiters: one mutex per output port.
@@ -162,7 +171,13 @@ pub fn build_switch(n: &mut Netlist, p: SwitchParams) -> Switch2x2 {
         let drop = n.or2(lost0, lost1);
         let end_d = per_input[i].1;
         let valid_reset = per_input[i].2;
-        n.gate_into(GateKind::Or2, end_d, Some(drop), valid_reset, n.gate_delay());
+        n.gate_into(
+            GateKind::Or2,
+            end_d,
+            Some(drop),
+            valid_reset,
+            n.gate_delay(),
+        );
     }
 
     // Fabric back half.
@@ -382,7 +397,10 @@ mod tests {
         let p = SwitchParams::paper();
         let r = run_switch(
             p,
-            &[pkt(0, 10 * T, &[false, true]), pkt(1, 10 * T, &[true, true])],
+            &[
+                pkt(0, 10 * T, &[false, true]),
+                pkt(1, 10 * T, &[true, true]),
+            ],
         );
         let g = TlGate::PAPER.delay_fs();
         assert_eq!(
@@ -401,7 +419,10 @@ mod tests {
         // Both want output 0; input 0 arrives first.
         let r = run_switch(
             p,
-            &[pkt(0, 10 * T, &[false, true]), pkt(1, 12 * T, &[false, false])],
+            &[
+                pkt(0, 10 * T, &[false, true]),
+                pkt(1, 12 * T, &[false, false]),
+            ],
         );
         let g = TlGate::PAPER.delay_fs();
         assert_eq!(
@@ -417,7 +438,10 @@ mod tests {
         let p = SwitchParams::paper();
         let r = run_switch(
             p,
-            &[pkt(0, 10 * T, &[false, true]), pkt(1, 10 * T, &[false, false])],
+            &[
+                pkt(0, 10 * T, &[false, true]),
+                pkt(1, 10 * T, &[false, false]),
+            ],
         );
         let g = TlGate::PAPER.delay_fs();
         // Tie-break is deterministic (input 0), and the winner arrives
@@ -534,11 +558,12 @@ mod tests {
             sim.probe(sw.outputs[0]);
             sim.probe(sw.outputs[1]);
             sim.drive(sw.inputs[0], &Waveform::from_transitions(sorted));
-            assert!(matches!(sim.run(pw.end + 2_000_000), RunOutcome::Settled { .. }));
+            assert!(matches!(
+                sim.run(pw.end + 2_000_000),
+                RunOutcome::Settled { .. }
+            ));
             let (want, other) = if bit { (1, 0) } else { (0, 1) };
-            if !sim.probed(sw.outputs[want]).is_dark()
-                && sim.probed(sw.outputs[other]).is_dark()
-            {
+            if !sim.probed(sw.outputs[want]).is_dark() && sim.probed(sw.outputs[other]).is_dark() {
                 correct += 1;
             }
         }

@@ -248,7 +248,13 @@ pub fn build_switch_m(n: &mut Netlist, p: SwitchParams, m: u32) -> SwitchM {
             let lost = n.or2(lost_d[0], lost_d[1]);
             // Drive this level's reset, and the next level's set.
             let delay = n.gate_delay();
-            n.gate_into(GateKind::Or2, lost, Some(lost), chain_reset_wires[i][j], delay);
+            n.gate_into(
+                GateKind::Or2,
+                lost,
+                Some(lost),
+                chain_reset_wires[i][j],
+                delay,
+            );
             if j + 1 < m {
                 n.gate_into(
                     GateKind::Or2,

@@ -180,10 +180,7 @@ mod tests {
         g.connect((0, 1), (1, 2), 100_000);
         let n = g.attach_node(0, 0, 10_000);
         assert_eq!(n, NodeId(0));
-        assert_eq!(
-            g.peer(0, 1),
-            Endpoint::Router { router: 1, port: 2 }
-        );
+        assert_eq!(g.peer(0, 1), Endpoint::Router { router: 1, port: 2 });
         assert_eq!(g.delay(1, 2), 100_000);
         assert!(g.validate().is_ok());
     }

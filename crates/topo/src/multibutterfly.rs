@@ -144,12 +144,10 @@ impl MultiButterfly {
                                 let target = next_group_base + src % next_width;
                                 let half = src / next_width; // 0 or 1
                                 for round in 0..m {
-                                    stage_links[switch as usize][dir as usize].push(
-                                        LinkTarget {
-                                            switch: target,
-                                            port: 2 * round + half,
-                                        },
-                                    );
+                                    stage_links[switch as usize][dir as usize].push(LinkTarget {
+                                        switch: target,
+                                        port: 2 * round + half,
+                                    });
                                 }
                             }
                         }
@@ -350,9 +348,8 @@ mod tests {
             }
         }
         // A different seed rewires at least something.
-        let differs = (0..a.switches_per_stage()).any(|sw| {
-            (0..2).any(|d| a.next_targets(0, sw, d) != c.next_targets(0, sw, d))
-        });
+        let differs = (0..a.switches_per_stage())
+            .any(|sw| (0..2).any(|d| a.next_targets(0, sw, d) != c.next_targets(0, sw, d)));
         assert!(differs);
     }
 

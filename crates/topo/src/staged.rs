@@ -46,9 +46,12 @@ impl Staged {
     /// Panics if `nodes` is not a power of two ≥ 4 or `m` is 0.
     pub fn build(kind: StagedKind, nodes: u32, m: u32, seed: u64) -> Staged {
         match kind {
-            StagedKind::MultiButterfly => {
-                Staged::MultiButterfly(MultiButterfly::with_wiring(nodes, m, seed, Wiring::Randomized))
-            }
+            StagedKind::MultiButterfly => Staged::MultiButterfly(MultiButterfly::with_wiring(
+                nodes,
+                m,
+                seed,
+                Wiring::Randomized,
+            )),
             StagedKind::DilatedButterfly => {
                 Staged::MultiButterfly(MultiButterfly::with_wiring(nodes, m, seed, Wiring::Dilated))
             }

@@ -11,7 +11,10 @@ fn main() {
     let f = figure5();
     println!("one packet, routing bits [0, 1], into switch input 0:\n");
     print!("{}", f.ascii);
-    println!("\nthe packet exited on output port {} (routing bit 0 = up)", f.output_port);
+    println!(
+        "\nthe packet exited on output port {} (routing bit 0 = up)",
+        f.output_port
+    );
 
     let path = std::env::temp_dir().join("baldur_switch.vcd");
     std::fs::write(&path, &f.vcd).expect("write VCD");

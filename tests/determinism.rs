@@ -37,11 +37,7 @@ fn seeds_actually_matter() {
         load: 0.6,
         packets_per_node: 40,
     };
-    let mut cfg = RunConfig::new(
-        64,
-        NetworkKind::Baldur(BaldurParams::paper_for(64)),
-        wl,
-    );
+    let mut cfg = RunConfig::new(64, NetworkKind::Baldur(BaldurParams::paper_for(64)), wl);
     cfg.seed = 1;
     let a = baldur::run(&cfg);
     cfg.seed = 2;
@@ -56,4 +52,42 @@ fn trace_workloads_are_deterministic() {
         params: TraceParams::default_scale(),
     };
     run_twice(NetworkKind::Baldur(BaldurParams::paper_for(64)), wl);
+}
+
+/// Two fresh runs of the same seed must agree on the *entire serialized
+/// metrics struct* — every field, via the JSON rendering — not just the
+/// headline numbers.
+#[test]
+fn full_metrics_json_is_bit_identical_across_runs() {
+    let mk = || {
+        let mut cfg = RunConfig::new(
+            64,
+            NetworkKind::Baldur(BaldurParams::paper_for(64)),
+            Workload::Synthetic {
+                pattern: Pattern::RandomPermutation,
+                load: 0.6,
+                packets_per_node: 40,
+            },
+        );
+        cfg.seed = 4242;
+        let report = baldur::run(&cfg);
+        serde_json::to_string_pretty(&report).expect("serialize report")
+    };
+    let a = mk();
+    let b = mk();
+    assert_eq!(a, b, "serialized LatencyReport must be byte-identical");
+}
+
+/// The figure-6 CSV — the artifact the paper's plots are drawn from — must
+/// be byte-identical across two same-seed regenerations.
+#[test]
+fn figure_csv_bytes_are_identical_across_runs() {
+    let mk = || {
+        let cfg = baldur::experiments::EvalConfig::tiny();
+        let rows = baldur::experiments::figure6(&cfg, &[0.3]);
+        baldur::csv::fig6(&rows).into_bytes()
+    };
+    let a = mk();
+    let b = mk();
+    assert_eq!(a, b, "fig6 CSV bytes must be identical for a fixed seed");
 }

@@ -1,0 +1,31 @@
+//! Tier-1 gate: the repo's own static-analysis wall must hold.
+//!
+//! `baldur-lint` (crates/lint) checks the determinism wall (no ambient
+//! randomness, wall-clock reads, or unordered maps in result-producing
+//! crates), the shrink-only panic budget, and float hazards. This test
+//! runs the analyzer in-process over the working tree, so `cargo test`
+//! fails the moment a violation lands.
+
+use std::path::Path;
+
+#[test]
+fn repository_passes_baldur_lint() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let outcome = baldur_lint::lint_repo(root).expect("lint walks the tree");
+    assert!(
+        outcome.report.files_scanned > 50,
+        "suspiciously few files scanned: {}",
+        outcome.report.files_scanned
+    );
+    assert!(
+        outcome.is_clean(),
+        "baldur-lint violations:\n{}",
+        outcome
+            .report
+            .violations
+            .iter()
+            .map(|f| format!("  {f}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -1,4 +1,9 @@
 //! Property-based tests over the full stack.
+//!
+//! The build environment has no `proptest`, so each property is exercised
+//! with a deterministic, seed-derived generator loop: `StreamRng::named`
+//! provides the case inputs, `CASES` iterations per property, and every
+//! assertion message carries the case index so failures reproduce exactly.
 
 use baldur::phy::eightbtenb::{max_run_length, Decoder, Encoder, Symbol};
 use baldur::phy::length_code::LengthCode;
@@ -7,151 +12,217 @@ use baldur::sim::rng::StreamRng;
 use baldur::sim::stats::{Reservoir, Streaming};
 use baldur::topo::graph::NodeId;
 use baldur::topo::multibutterfly::MultiButterfly;
-use proptest::prelude::*;
 
-proptest! {
-    /// 8b/10b: any byte stream round-trips, never exceeds run length 5,
-    /// and keeps bounded disparity.
-    #[test]
-    fn eightbtenb_roundtrip(bytes in proptest::collection::vec(any::<u8>(), 1..200)) {
+/// Cases per property; all derived from this fixed seed.
+const CASES: u64 = 64;
+const SEED: u64 = 0xba1d_u64;
+
+fn case_rng(label: &'static str, case: u64) -> StreamRng {
+    StreamRng::named(SEED, label, case)
+}
+
+/// 8b/10b: any byte stream round-trips, never exceeds run length 5,
+/// and keeps bounded disparity.
+#[test]
+fn eightbtenb_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = case_rng("8b10b", case);
+        let len = rng.gen_range(1usize..200);
+        let bytes: Vec<u8> = (0..len).map(|_| rng.gen_range(0u8..=u8::MAX)).collect();
         let mut enc = Encoder::new();
         let mut dec = Decoder::new();
         let mut bits = Vec::new();
         for &b in &bytes {
             let c = enc.encode_data(b);
             bits.extend_from_slice(&c.bits());
-            prop_assert_eq!(dec.decode(c), Ok(Symbol::Data(b)));
+            assert_eq!(dec.decode(c), Ok(Symbol::Data(b)), "case {case}");
         }
-        prop_assert!(max_run_length(&bits) <= 5);
+        assert!(max_run_length(&bits) <= 5, "case {case}");
     }
+}
 
-    /// Length code: arbitrary routing-bit strings round-trip.
-    #[test]
-    fn length_code_roundtrip(bits in proptest::collection::vec(any::<bool>(), 1..24),
-                             start_slots in 0u64..16) {
+/// Length code: arbitrary routing-bit strings round-trip.
+#[test]
+fn length_code_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = case_rng("lencode", case);
+        let n = rng.gen_range(1usize..24);
+        let bits: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
+        let start_slots = rng.gen_range(0u64..16);
         let code = LengthCode::paper();
         let start = start_slots * code.slot();
         let w = code.encode(&bits, start);
         let (decoded, _) = code.decode_prefix(&w, code.bit_period / 10);
-        prop_assert_eq!(decoded, bits);
+        assert_eq!(decoded, bits, "case {case}");
     }
+}
 
-    /// Waveforms: level_at is consistent with the pulse list.
-    #[test]
-    fn waveform_pulse_consistency(gaps in proptest::collection::vec(1u64..1000, 2..40)) {
+/// Waveforms: level_at is consistent with the pulse list.
+#[test]
+fn waveform_pulse_consistency() {
+    for case in 0..CASES {
+        let mut rng = case_rng("waveform", case);
+        let n = rng.gen_range(2usize..40);
         let mut t = 0;
         let mut transitions = Vec::new();
-        for g in gaps {
-            t += g;
+        for _ in 0..n {
+            t += rng.gen_range(1u64..1000);
             transitions.push(t);
         }
         let w = Waveform::from_transitions(transitions.clone());
         for (i, &tr) in transitions.iter().enumerate() {
-            prop_assert_eq!(w.level_at(tr), i % 2 == 0);
+            assert_eq!(w.level_at(tr), i % 2 == 0, "case {case}");
             if tr > 0 {
-                prop_assert_eq!(w.level_at(tr - 1), i % 2 == 1);
+                assert_eq!(w.level_at(tr - 1), i % 2 == 1, "case {case}");
             }
         }
     }
+}
 
-    /// Multi-butterfly: every (src, dst, path choice, seed) delivers to
-    /// the right node — the deliverability invariant under randomized
-    /// wiring.
-    #[test]
-    fn multibutterfly_always_delivers(
-        bits in 3u32..8,
-        m in 1u32..5,
-        seed in any::<u64>(),
-        src in any::<u32>(),
-        dst in any::<u32>(),
-        path in any::<u32>(),
-    ) {
+/// Multi-butterfly: every (src, dst, path choice, seed) delivers to
+/// the right node — the deliverability invariant under randomized wiring.
+#[test]
+fn multibutterfly_always_delivers() {
+    for case in 0..CASES {
+        let mut rng = case_rng("mbfdeliv", case);
+        let bits = rng.gen_range(3u32..8);
+        let m = rng.gen_range(1u32..5);
+        let seed = rng.next_u64();
         let nodes = 1u32 << bits;
         let topo = MultiButterfly::new(nodes, m, seed);
-        let src = NodeId(src % nodes);
-        let dst = NodeId(dst % nodes);
+        let src = NodeId(rng.gen_range(0u32..=u32::MAX) % nodes);
+        let dst = NodeId(rng.gen_range(0u32..=u32::MAX) % nodes);
+        let path = rng.gen_range(0u32..=u32::MAX);
         let (_, reached) = topo.trace_route(src, dst, path);
-        prop_assert_eq!(reached, dst);
+        assert_eq!(reached, dst, "case {case}");
     }
+}
 
-    /// Multi-butterfly wiring invariants hold for arbitrary seeds.
-    #[test]
-    fn multibutterfly_wiring_valid(bits in 2u32..9, m in 1u32..6, seed in any::<u64>()) {
+/// Multi-butterfly wiring invariants hold for arbitrary seeds.
+#[test]
+fn multibutterfly_wiring_valid() {
+    for case in 0..CASES {
+        let mut rng = case_rng("mbfwire", case);
+        let bits = rng.gen_range(2u32..9);
+        let m = rng.gen_range(1u32..6);
+        let seed = rng.next_u64();
         let topo = MultiButterfly::new(1 << bits, m, seed);
-        prop_assert!(topo.validate().is_ok());
+        assert!(topo.validate().is_ok(), "case {case}");
     }
+}
 
-    /// Streaming stats merge == sequential, for any split point.
-    #[test]
-    fn streaming_merge_any_split(data in proptest::collection::vec(-1e6f64..1e6, 2..200),
-                                 split in any::<prop::sample::Index>()) {
-        let k = split.index(data.len());
+/// Streaming stats merge == sequential, for any split point.
+#[test]
+fn streaming_merge_any_split() {
+    for case in 0..CASES {
+        let mut rng = case_rng("stream", case);
+        let n = rng.gen_range(2usize..200);
+        let data: Vec<f64> = (0..n).map(|_| (rng.gen_f64() - 0.5) * 2e6).collect();
+        let k = rng.gen_range(0usize..data.len());
         let mut whole = Streaming::new();
-        for &x in &data { whole.push(x); }
+        for &x in &data {
+            whole.push(x);
+        }
         let mut a = Streaming::new();
         let mut b = Streaming::new();
-        for &x in &data[..k] { a.push(x); }
-        for &x in &data[k..] { b.push(x); }
+        for &x in &data[..k] {
+            a.push(x);
+        }
+        for &x in &data[k..] {
+            b.push(x);
+        }
         a.merge(&b);
-        prop_assert_eq!(a.count(), whole.count());
-        prop_assert!((a.mean() - whole.mean()).abs() < 1e-6);
+        assert_eq!(a.count(), whole.count(), "case {case}");
+        assert!((a.mean() - whole.mean()).abs() < 1e-6, "case {case}");
     }
+}
 
-    /// Reservoir quantiles are exact below capacity.
-    #[test]
-    fn reservoir_exact_quantiles(data in proptest::collection::vec(0f64..1e9, 1..500)) {
+/// Reservoir quantiles are exact below capacity.
+#[test]
+fn reservoir_exact_quantiles() {
+    for case in 0..CASES {
+        let mut rng = case_rng("resv", case);
+        let n = rng.gen_range(1usize..500);
+        let data: Vec<f64> = (0..n).map(|_| rng.gen_f64() * 1e9).collect();
         let mut r = Reservoir::with_capacity(1000);
-        for &x in &data { r.push(x); }
-        prop_assert!(r.is_exact());
+        for &x in &data {
+            r.push(x);
+        }
+        assert!(r.is_exact(), "case {case}");
         let mut sorted = data.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        prop_assert_eq!(r.quantile(0.0), sorted[0]);
-        prop_assert_eq!(r.quantile(1.0), *sorted.last().unwrap());
+        sorted.sort_by(f64::total_cmp);
+        assert_eq!(r.quantile(0.0), sorted[0], "case {case}");
+        assert_eq!(r.quantile(1.0), sorted[n - 1], "case {case}");
     }
+}
 
-    /// Derived RNG streams are reproducible and label-separated.
-    #[test]
-    fn rng_streams_deterministic(seed in any::<u64>(), idx in any::<u64>()) {
-        use rand::RngCore;
+/// Derived RNG streams are reproducible and label-separated.
+#[test]
+fn rng_streams_deterministic() {
+    for case in 0..CASES {
+        let mut meta = case_rng("rng-meta", case);
+        let seed = meta.next_u64();
+        let idx = meta.next_u64();
         let mut a = StreamRng::named(seed, "prop", idx);
         let mut b = StreamRng::named(seed, "prop", idx);
-        prop_assert_eq!(a.next_u64(), b.next_u64());
+        assert_eq!(a.next_u64(), b.next_u64(), "case {case}");
     }
+}
 
-    /// Traffic assignments never self-send and stay in range.
-    #[test]
-    fn traffic_assignments_in_range(bits in 3u32..10, seed in any::<u64>()) {
-        use baldur::net::traffic::{Assignment, Pattern};
+/// Traffic assignments never self-send and stay in range.
+#[test]
+fn traffic_assignments_in_range() {
+    use baldur::net::traffic::{Assignment, Pattern};
+    for case in 0..CASES {
+        let mut rng = case_rng("traffic", case);
+        let bits = rng.gen_range(3u32..10);
+        let seed = rng.next_u64();
         let nodes = 1u32 << bits;
-        for pattern in [Pattern::RandomPermutation, Pattern::Transpose,
-                        Pattern::Bisection, Pattern::GroupPermutation, Pattern::Hotspot] {
+        for pattern in [
+            Pattern::RandomPermutation,
+            Pattern::Transpose,
+            Pattern::Bisection,
+            Pattern::GroupPermutation,
+            Pattern::Hotspot,
+        ] {
             if let Assignment::Pairs(p) = Assignment::build(pattern, nodes, seed) {
                 for (i, &d) in p.iter().enumerate() {
-                    prop_assert!(d < nodes, "{}: out of range", pattern.name());
+                    assert!(d < nodes, "case {case} {}: out of range", pattern.name());
                     // Transpose has fixed points (palindromic addresses)
                     // and the hotspot target sends to its neighbour; all
                     // other patterns are self-send-free.
                     let may_self = matches!(pattern, Pattern::Transpose | Pattern::Hotspot);
-                    prop_assert!(d != i as u32 || may_self,
-                        "{}: self-send at {i}", pattern.name());
+                    assert!(
+                        d != i as u32 || may_self,
+                        "case {case} {}: self-send at {i}",
+                        pattern.name()
+                    );
                 }
             }
         }
     }
+}
 
-    /// The worst-case drop tool's rate is a probability, and multiplicity
-    /// never hurts.
-    #[test]
-    fn droptool_monotone(bits in 5u32..11, seed in any::<u64>()) {
-        use baldur::net::droptool::worst_case;
-        use baldur::net::traffic::Pattern;
+/// The worst-case drop tool's rate is a probability, and multiplicity
+/// never hurts.
+#[test]
+fn droptool_monotone() {
+    use baldur::net::droptool::worst_case;
+    use baldur::net::traffic::Pattern;
+    for case in 0..16 {
+        let mut rng = case_rng("droptool", case);
+        let bits = rng.gen_range(5u32..11);
+        let seed = rng.next_u64();
         let nodes = 1u32 << bits;
         let mut last = 1.0f64;
         for m in [1u32, 2, 4] {
             let r = worst_case(nodes, m, Pattern::RandomPermutation, seed);
-            prop_assert!((0.0..=1.0).contains(&r.drop_rate));
-            prop_assert!(r.drop_rate <= last + 0.05,
-                "m={m}: {} > {last}", r.drop_rate);
+            assert!((0.0..=1.0).contains(&r.drop_rate), "case {case}");
+            assert!(
+                r.drop_rate <= last + 0.05,
+                "case {case} m={m}: {} > {last}",
+                r.drop_rate
+            );
             last = r.drop_rate;
         }
     }
@@ -166,25 +237,28 @@ struct Recorder {
 
 impl baldur::sim::Model for Recorder {
     type Event = u32;
-    fn handle(
-        &mut self,
-        now: baldur::sim::Time,
-        ev: u32,
-        sched: &mut baldur::sim::Scheduler<u32>,
-    ) {
+    fn handle(&mut self, now: baldur::sim::Time, ev: u32, sched: &mut baldur::sim::Scheduler<u32>) {
         self.log.push((now.as_ps(), ev));
         if ev.is_multiple_of(5) && ev > 0 {
-            sched.schedule_in(baldur::sim::Duration::from_ps(u64::from(ev) * 31 + 1), ev / 2);
+            sched.schedule_in(
+                baldur::sim::Duration::from_ps(u64::from(ev) * 31 + 1),
+                ev / 2,
+            );
         }
     }
 }
 
-proptest! {
-    /// The calendar queue executes the exact event sequence the binary
-    /// heap does, including FIFO tie-breaks and re-scheduling mid-run.
-    #[test]
-    fn calendar_queue_matches_heap(ops in proptest::collection::vec((0u64..1_000_000, 0u32..1_000), 1..300)) {
-        use baldur::sim::{Simulation, Time};
+/// The calendar queue executes the exact event sequence the binary heap
+/// does, including FIFO tie-breaks and re-scheduling mid-run.
+#[test]
+fn calendar_queue_matches_heap() {
+    use baldur::sim::{Simulation, Time};
+    for case in 0..CASES {
+        let mut rng = case_rng("calendar", case);
+        let n = rng.gen_range(1usize..300);
+        let ops: Vec<(u64, u32)> = (0..n)
+            .map(|_| (rng.gen_range(0u64..1_000_000), rng.gen_range(0u32..1_000)))
+            .collect();
         let mut heap = Simulation::new(Recorder { log: Vec::new() });
         let mut cal = Simulation::new_calendar(Recorder { log: Vec::new() });
         for &(t, v) in &ops {
@@ -193,6 +267,6 @@ proptest! {
         }
         heap.run();
         cal.run();
-        prop_assert_eq!(&heap.model().log, &cal.model().log);
+        assert_eq!(&heap.model().log, &cal.model().log, "case {case}");
     }
 }

@@ -1,0 +1,349 @@
+//! Derive macros for the vendored serde facade.
+//!
+//! crates.io is unreachable in this build environment, so `syn`/`quote` are
+//! unavailable; the derive input is parsed with a small hand-rolled walker
+//! over [`proc_macro::TokenTree`]s instead. It supports the shapes this
+//! workspace actually derives on:
+//!
+//! * structs with named fields,
+//! * tuple structs (serialized transparently when single-field or marked
+//!   `#[serde(transparent)]`, as an array otherwise),
+//! * unit structs,
+//! * enums with unit, tuple, and struct variants (externally tagged, like
+//!   real serde's default representation).
+//!
+//! Generic type parameters are intentionally rejected with a clear panic —
+//! nothing in the workspace derives on a generic type.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field: its name (named structs/variants) or index.
+#[derive(Debug)]
+struct Fields {
+    /// Named field identifiers, in declaration order.
+    named: Vec<String>,
+    /// Count of tuple fields (used when `named` is empty).
+    tuple_len: usize,
+    /// True for named-field bodies even when empty.
+    is_named: bool,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Struct { fields: Fields, transparent: bool },
+    Unit,
+    Enum(Vec<(String, Fields, bool)>),
+}
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+/// Derives the vendored `serde::Serialize` (lowering into `serde::Value`).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse(input);
+    let body = serialize_body(&parsed);
+    let name = &parsed.name;
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl must parse")
+}
+
+/// Derives the vendored `serde::Deserialize` marker.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse(input);
+    format!("impl ::serde::Deserialize for {} {{}}", parsed.name)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+fn serialize_body(input: &Input) -> String {
+    match &input.shape {
+        Shape::Unit => "::serde::Value::Null".to_string(),
+        Shape::Struct {
+            fields,
+            transparent,
+        } => {
+            if fields.is_named {
+                named_fields_value(&fields.named, "self.")
+            } else if *transparent || fields.tuple_len == 1 {
+                "::serde::Serialize::to_value(&self.0)".to_string()
+            } else {
+                let items: Vec<String> = (0..fields.tuple_len)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+            }
+        }
+        Shape::Enum(variants) => {
+            let name = &input.name;
+            let mut arms = String::new();
+            for (vname, fields, transparent) in variants {
+                let arm = if fields.is_named {
+                    let binds = fields.named.join(", ");
+                    let inner = named_fields_value(&fields.named, "");
+                    format!(
+                        "{name}::{vname} {{ {binds} }} => ::serde::Value::Object(::std::vec![\
+                         (::std::string::String::from(\"{vname}\"), {inner})]),"
+                    )
+                } else if fields.tuple_len == 0 {
+                    format!(
+                        "{name}::{vname} => \
+                         ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+                    )
+                } else {
+                    let binds: Vec<String> =
+                        (0..fields.tuple_len).map(|i| format!("f{i}")).collect();
+                    let inner = if *transparent || fields.tuple_len == 1 {
+                        "::serde::Serialize::to_value(f0)".to_string()
+                    } else {
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+                    };
+                    format!(
+                        "{name}::{vname}({}) => ::serde::Value::Object(::std::vec![\
+                         (::std::string::String::from(\"{vname}\"), {inner})]),",
+                        binds.join(", ")
+                    )
+                };
+                arms.push_str(&arm);
+                arms.push('\n');
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    }
+}
+
+fn named_fields_value(names: &[String], accessor_prefix: &str) -> String {
+    let items: Vec<String> = names
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{f}\"), \
+                 ::serde::Serialize::to_value(&{accessor_prefix}{f}))"
+            )
+        })
+        .collect();
+    format!("::serde::Value::Object(::std::vec![{}])", items.join(", "))
+}
+
+fn parse(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    let transparent = skip_attributes(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected struct/enum keyword, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, found {other}"),
+    };
+    i += 1;
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("vendored serde derive does not support generic type `{name}`");
+    }
+
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Input {
+                name,
+                shape: Shape::Struct {
+                    fields: parse_named_fields(g.stream()),
+                    transparent,
+                },
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Input {
+                name,
+                shape: Shape::Struct {
+                    fields: Fields {
+                        named: Vec::new(),
+                        tuple_len: count_tuple_fields(g.stream()),
+                        is_named: false,
+                    },
+                    transparent,
+                },
+            },
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Input {
+                name,
+                shape: Shape::Unit,
+            },
+            other => panic!("unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Input {
+                name,
+                shape: Shape::Enum(parse_variants(g.stream())),
+            },
+            other => panic!("unsupported enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("cannot derive on `{other} {name}`"),
+    }
+}
+
+/// Skips leading attributes; returns whether `#[serde(transparent)]` was
+/// among them.
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut transparent = false;
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1;
+        if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+            if attribute_is_serde_transparent(g.stream()) {
+                transparent = true;
+            }
+            *i += 1;
+        }
+    }
+    transparent
+}
+
+fn attribute_is_serde_transparent(stream: TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) if id.to_string() == "serde" => {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(a) if a.to_string() == "transparent"))
+        }
+        _ => false,
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Advances past a type (or discriminant expression) until a top-level `,`,
+/// tracking `<`/`>` nesting so commas inside generics don't split fields.
+fn skip_until_top_level_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth: i32 = 0;
+    let mut prev_dash = false;
+    while let Some(t) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                ',' if angle_depth == 0 => return,
+                '<' => angle_depth += 1,
+                '>' if prev_dash => {} // `->` in fn types: not a closer
+                '>' => angle_depth -= 1,
+                _ => {}
+            }
+            prev_dash = p.as_char() == '-';
+        } else {
+            prev_dash = false;
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Fields {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut i);
+        let field = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected field name, found {other}"),
+        };
+        names.push(field);
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field name, found {other:?}"),
+        }
+        skip_until_top_level_comma(&tokens, &mut i);
+        i += 1; // past the comma (or end)
+    }
+    Fields {
+        named: names,
+        tuple_len: 0,
+        is_named: true,
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        count += 1;
+        skip_until_top_level_comma(&tokens, &mut i);
+        i += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, Fields, bool)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let transparent = skip_attributes(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let vname = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("expected variant name, found {other}"),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                parse_named_fields(g.stream())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields {
+                    named: Vec::new(),
+                    tuple_len: count_tuple_fields(g.stream()),
+                    is_named: false,
+                }
+            }
+            _ => Fields {
+                named: Vec::new(),
+                tuple_len: 0,
+                is_named: false,
+            },
+        };
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        skip_until_top_level_comma(&tokens, &mut i);
+        i += 1;
+        variants.push((vname, fields, transparent));
+    }
+    variants
+}

@@ -1,0 +1,173 @@
+//! Offline stand-in for `serde_json`, rendering the vendored `serde`
+//! [`Value`] tree as JSON text.
+//!
+//! Output is deterministic: float formatting is fixed (shortest round-trip
+//! via `{}` with a `.0` suffix for integral values), non-finite floats
+//! render as `null` (matching real serde_json), and map keys were already
+//! sorted by the vendored `serde` when the tree was built.
+
+use std::fmt;
+
+use serde::{Serialize, Value};
+
+/// Serialization error. The vendored renderer is infallible, so this is
+/// only ever constructed by future fallible extensions; it exists to keep
+/// the `Result` signature of the real crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json serialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Renders `value` as compact JSON.
+///
+/// # Errors
+///
+/// Never fails with the vendored renderer; the `Result` mirrors the real
+/// crate's signature.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_value(), None, 0, &mut out);
+    Ok(out)
+}
+
+/// Renders `value` as pretty-printed JSON (two-space indentation).
+///
+/// # Errors
+///
+/// Never fails with the vendored renderer; the `Result` mirrors the real
+/// crate's signature.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_value(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+/// Renders `value` as compact JSON bytes.
+///
+/// # Errors
+///
+/// Never fails with the vendored renderer; the `Result` mirrors the real
+/// crate's signature.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+fn render(value: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(x) => {
+            if x.is_finite() {
+                let s = format!("{x}");
+                out.push_str(&s);
+                // Keep floats visually distinct from integers, as the real
+                // serde_json does.
+                if !s.contains('.') && !s.contains('e') && !s.contains("inf") {
+                    out.push_str(".0");
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => escape_into(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent, depth + 1, out);
+                render(item, indent, depth + 1, out);
+            }
+            newline_indent(indent, depth, out);
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(indent, depth + 1, out);
+                escape_into(key, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                render(item, indent, depth + 1, out);
+            }
+            newline_indent(indent, depth, out);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(indent: Option<usize>, depth: usize, out: &mut String) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..depth * width {
+            out.push(' ');
+        }
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_and_pretty_agree_on_content() {
+        let v = vec![("a".to_string(), 1u32), ("b".to_string(), 2u32)];
+        let compact = to_string(&v).unwrap();
+        assert_eq!(compact, r#"[["a",1],["b",2]]"#);
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\"a\""));
+        assert!(pretty.contains('\n'));
+    }
+
+    #[test]
+    fn floats_keep_a_decimal_point_and_nan_is_null() {
+        assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+    }
+
+    #[test]
+    fn strings_escape_control_characters() {
+        assert_eq!(to_string("a\"b\n").unwrap(), r#""a\"b\n""#);
+    }
+}
