@@ -59,6 +59,9 @@ run_step build cargo build --release
 run_step test cargo test -q
 run_step test-validate cargo test --features validate -q
 run_step test-workspace cargo test --workspace -q
+# Fault-injection smoke: small topology, 5% failures, fixed seed; asserts
+# packet conservation and run-to-run byte-identity, exits nonzero on drift.
+run_step fault-smoke cargo run --release -p baldur-bench --bin faults -- --smoke
 
 write_summary
 echo "=== OK (summary: ${summary})"

@@ -1,7 +1,20 @@
-//! Sec. IV-F in action: inject a dead switch, watch the network keep
-//! delivering (with the path-rotation extension), then isolate the fault
-//! with deterministic test-mode probing.
+//! Fault injection and degradation curves.
+//!
+//! Default mode sweeps the failed-element fraction (0–20%) across Baldur
+//! and the electrical baselines and writes `results/faults.csv` plus a
+//! JSON summary — the kill sets nest, so goodput degrades monotonically
+//! in the fraction. Extra modes:
+//!
+//! * `--smoke` — CI gate: a small topology at 5% failures, run twice,
+//!   asserting packet conservation (delivered + abandoned = generated)
+//!   and byte-identical CSVs across the two runs; exits nonzero on any
+//!   violation.
+//! * `--diagnose` — the Sec. IV-F demo: one dead switch, path rotation
+//!   routing around it, then deterministic test-mode probing to isolate
+//!   it.
+//! * `--fractions a,b,c` — override the swept fractions.
 
+use baldur::experiments::{degradation, DegradationRow, EvalConfig};
 use baldur::net::baldur_net::simulate_with_faults;
 use baldur::net::diagnosis::locate_faulty_switch;
 use baldur::net::driver::Driver;
@@ -12,6 +25,113 @@ use baldur_bench::{fmt_ns, header, Args};
 fn main() {
     let args = Args::parse();
     let cfg = args.eval_config();
+    if args.flag("diagnose") {
+        diagnose(&args, &cfg);
+        return;
+    }
+    if args.flag("smoke") {
+        smoke(&cfg);
+        return;
+    }
+    sweep(&args, &cfg);
+}
+
+fn fractions(args: &Args) -> Vec<f64> {
+    match args.get("fractions") {
+        Some(s) => s.split(',').map(|x| x.parse().expect("fraction")).collect(),
+        None => vec![0.0, 0.025, 0.05, 0.10, 0.15, 0.20],
+    }
+}
+
+fn print_rows(rows: &[DegradationRow]) {
+    let mut networks: Vec<&str> = rows.iter().map(|r| r.network.as_str()).collect();
+    networks.dedup();
+    println!(
+        "{:>14} | {:>8} | {:>8} | {:>10} | {:>10} | {:>9} | {:>9}",
+        "network", "fraction", "goodput", "avg", "p99", "abandoned", "retx"
+    );
+    for net in networks {
+        for r in rows.iter().filter(|r| r.network == net) {
+            println!(
+                "{:>14} | {:>8.3} | {:>7.2}% | {:>10} | {:>10} | {:>9} | {:>9}",
+                r.network,
+                r.fraction,
+                r.report.delivery_ratio() * 100.0,
+                fmt_ns(r.report.avg_ns),
+                fmt_ns(r.report.p99_ns),
+                r.report.abandoned,
+                r.report.retransmissions
+            );
+        }
+    }
+}
+
+fn sweep(args: &Args, cfg: &EvalConfig) {
+    let fracs = fractions(args);
+    header(&format!(
+        "Degradation curves: failed-element fraction sweep ({} nodes, {} pkts/node)",
+        cfg.nodes, cfg.packets_per_node
+    ));
+    let rows = degradation(cfg, &fracs);
+    print_rows(&rows);
+    std::fs::create_dir_all("results").expect("create results/");
+    let csv_path = args.get("csv").unwrap_or("results/faults.csv");
+    std::fs::write(csv_path, baldur::csv::faults(&rows)).expect("write CSV");
+    eprintln!("wrote {csv_path}");
+    let json_path = args.get("json").unwrap_or("results/faults.json");
+    let s = serde_json::to_string_pretty(&rows).expect("serialize results");
+    std::fs::write(json_path, s).unwrap_or_else(|e| panic!("write {json_path}: {e}"));
+    eprintln!("wrote {json_path}");
+}
+
+/// CI gate: small topology, 5% failures, fixed seed; conservation and
+/// run-to-run determinism must hold exactly.
+fn smoke(cfg: &EvalConfig) {
+    let small = EvalConfig {
+        nodes: cfg.nodes.min(64),
+        packets_per_node: cfg.packets_per_node.min(40),
+        ..*cfg
+    };
+    let fracs = [0.0, 0.05];
+    header(&format!(
+        "Fault smoke: {} nodes, {} pkts/node, 5% failures, seed {}",
+        small.nodes, small.packets_per_node, small.seed
+    ));
+    let first = degradation(&small, &fracs);
+    let second = degradation(&small, &fracs);
+    let csv_a = baldur::csv::faults(&first);
+    let csv_b = baldur::csv::faults(&second);
+    let mut failed = false;
+    if csv_a != csv_b {
+        eprintln!("FAIL: same-seed runs are not byte-identical");
+        failed = true;
+    }
+    for r in &first {
+        let accounted = r.report.delivered + r.report.abandoned;
+        if accounted != r.report.generated {
+            eprintln!(
+                "FAIL: {} at fraction {}: delivered {} + abandoned {} != generated {}",
+                r.network, r.fraction, r.report.delivered, r.report.abandoned, r.report.generated
+            );
+            failed = true;
+        }
+        if r.fraction <= 0.0 && r.report.abandoned != 0 {
+            eprintln!(
+                "FAIL: {} abandoned {} packets with no faults injected",
+                r.network, r.report.abandoned
+            );
+            failed = true;
+        }
+    }
+    print_rows(&first);
+    if failed {
+        std::process::exit(1);
+    }
+    println!("fault smoke OK: conservation + determinism hold");
+}
+
+/// The original Sec. IV-F demo: dead switch, rotation, diagnosis.
+fn diagnose(args: &Args, cfg: &EvalConfig) {
     let nodes = cfg.nodes.next_power_of_two();
     let stages = nodes.trailing_zeros();
     let fault = (stages / 2, nodes / 4); // somewhere mid-network

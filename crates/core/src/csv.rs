@@ -5,7 +5,7 @@
 
 use std::fmt::Write as _;
 
-use crate::experiments::{Fig10Row, Fig6Row, Fig7Row, SaturationRow, TableVRow};
+use crate::experiments::{DegradationRow, Fig10Row, Fig6Row, Fig7Row, SaturationRow, TableVRow};
 use crate::power::scaling::ScalePoint;
 
 /// `pattern,network,load,avg_ns,p99_ns,drop_rate,delivered,generated`.
@@ -108,6 +108,29 @@ pub fn saturation(rows: &[SaturationRow]) -> String {
             out,
             "{},{},{},{}",
             r.network, r.offered, r.accepted, r.avg_ns
+        );
+    }
+    out
+}
+
+/// `network,fraction,goodput,avg_ns,p99_ns,delivered,abandoned,generated,retransmissions`.
+pub fn faults(rows: &[DegradationRow]) -> String {
+    let mut out = String::from(
+        "network,fraction,goodput,avg_ns,p99_ns,delivered,abandoned,generated,retransmissions\n",
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{}",
+            r.network,
+            r.fraction,
+            r.report.delivery_ratio(),
+            r.report.avg_ns,
+            r.report.p99_ns,
+            r.report.delivered,
+            r.report.abandoned,
+            r.report.generated,
+            r.report.retransmissions
         );
     }
     out

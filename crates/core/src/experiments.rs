@@ -647,6 +647,58 @@ pub fn saturation(cfg: &EvalConfig, loads: &[f64]) -> Vec<SaturationRow> {
     })
 }
 
+// ------------------------------------------------- Fault degradation
+
+/// One cell of the fault-degradation sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DegradationRow {
+    /// Network name.
+    pub network: String,
+    /// Fraction of switching elements failed at t = 0.
+    pub fraction: f64,
+    /// The measured report (per-epoch breakdowns included when the plan
+    /// has events after t = 0).
+    pub report: LatencyReport,
+}
+
+/// Sweeps the failed-element fraction across Baldur and the electrical
+/// baselines (the ideal network has no components to fail) under
+/// uniform-random traffic. Kill sets nest — a higher fraction fails a
+/// strict superset of a lower one — so goodput degrades monotonically in
+/// the fraction by construction, not by luck of the draw.
+pub fn degradation(cfg: &EvalConfig, fractions: &[f64]) -> Vec<DegradationRow> {
+    use crate::net::faults::FaultPlan;
+    let mut items = Vec::new();
+    for (name, net) in NetworkKind::paper_lineup(cfg.nodes) {
+        if matches!(net, NetworkKind::Ideal) {
+            continue;
+        }
+        for &fraction in fractions {
+            items.push((name.clone(), net.clone(), fraction));
+        }
+    }
+    parallel_map(cfg.workers(), items, |(name, net, fraction)| {
+        let rc = RunConfig {
+            seed: cfg.seed,
+            ..RunConfig::new(
+                cfg.nodes,
+                net.clone(),
+                Workload::Synthetic {
+                    pattern: Pattern::UniformRandom,
+                    load: 0.5,
+                    packets_per_node: cfg.packets_per_node,
+                },
+            )
+        }
+        .with_faults(FaultPlan::degradation(cfg.seed, *fraction));
+        DegradationRow {
+            network: name.clone(),
+            fraction: *fraction,
+            report: run(&rc),
+        }
+    })
+}
+
 // ------------------------------------------------------------ Ablations
 
 /// The wiring ablation: randomized (expansion) versus dilated-butterfly

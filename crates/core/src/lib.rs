@@ -65,6 +65,7 @@ pub use net::runner::{run, NetworkKind, RunConfig, Workload};
 /// Everything needed for typical use.
 pub mod prelude {
     pub use crate::net::config::{BaldurParams, LinkParams, RouterParams};
+    pub use crate::net::faults::{FaultKind, FaultPlan};
     pub use crate::net::metrics::LatencyReport;
     pub use crate::net::runner::{run, NetworkKind, RunConfig, Workload};
     pub use crate::net::traffic::Pattern;

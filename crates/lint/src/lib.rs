@@ -50,6 +50,13 @@ pub enum Rule {
     UnorderedCollection,
     /// `.unwrap()` / `.expect(...)` in non-test library code.
     PanicSite,
+    /// `.unwrap()` / `.expect(...)` in `crates/net` fault-handling code
+    /// (a `fault`-named file, or any line touching fault state). Fault
+    /// paths run exactly when the simulated network is already degraded —
+    /// a panic there turns an injected fault into a crashed experiment,
+    /// so these sites get their own (empty) budget instead of sharing the
+    /// general panic budget.
+    FaultPathPanic,
     /// `partial_cmp(..)` chained into `.unwrap()` / `.expect(...)`.
     FloatCmpPanic,
     /// `==` / `!=` against a float literal.
@@ -63,6 +70,7 @@ impl Rule {
         Rule::AmbientRandom,
         Rule::UnorderedCollection,
         Rule::PanicSite,
+        Rule::FaultPathPanic,
         Rule::FloatCmpPanic,
         Rule::FloatLiteralEq,
     ];
@@ -74,6 +82,7 @@ impl Rule {
             Rule::AmbientRandom => "ambient-random",
             Rule::UnorderedCollection => "unordered-collection",
             Rule::PanicSite => "panic-site",
+            Rule::FaultPathPanic => "fault-path-panic",
             Rule::FloatCmpPanic => "float-cmp-panic",
             Rule::FloatLiteralEq => "float-literal-eq",
         }
@@ -98,6 +107,10 @@ impl Rule {
             }
             Rule::PanicSite => {
                 "no .unwrap()/.expect() in non-test library code outside the shrinking allowlist"
+            }
+            Rule::FaultPathPanic => {
+                "no .unwrap()/.expect() in crates/net fault-handling code; \
+                 a panic there crashes the experiment mid-fault"
             }
             Rule::FloatCmpPanic => {
                 "no partial_cmp().unwrap()/expect(); NaN panics — use f64::total_cmp"
@@ -306,6 +319,11 @@ pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
     // Binaries and benches may panic on bad CLI input; the panic budget
     // covers library code.
     let panic_scope = !rel_path.contains("/src/bin/") && !rel_path.contains("/benches/");
+    // Fault-injection code in the network crate gets the stricter
+    // fault-path rule: every site in a `fault`-named file, plus any
+    // fault-state-touching line elsewhere in the crate.
+    let net_crate = crate_name == Some("net");
+    let fault_file = net_crate && rel_path.to_ascii_lowercase().contains("fault");
 
     let mut findings = Vec::new();
     for (idx, line) in scrubbed.lines().enumerate() {
@@ -362,17 +380,23 @@ pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
             );
         }
         if panic_scope && !cmp_panic {
+            let fault_path =
+                fault_file || (net_crate && line.to_ascii_lowercase().contains("fault"));
+            let (rule, what) = if fault_path {
+                (Rule::FaultPathPanic, "fault-handling")
+            } else {
+                (Rule::PanicSite, "library")
+            };
             for _ in 0..unwraps {
                 push(
-                    Rule::PanicSite,
-                    "`.unwrap()` in library code; handle the None/Err or allowlist it".to_string(),
+                    rule,
+                    format!("`.unwrap()` in {what} code; handle the None/Err or allowlist it"),
                 );
             }
             for _ in 0..expects {
                 push(
-                    Rule::PanicSite,
-                    "`.expect(..)` in library code; handle the None/Err or allowlist it"
-                        .to_string(),
+                    rule,
+                    format!("`.expect(..)` in {what} code; handle the None/Err or allowlist it"),
                 );
             }
         }
@@ -832,6 +856,25 @@ mod tests {
         assert!(float_literal_cmp("for i in 0.0..=1.0 {").is_none());
         assert!(float_literal_cmp("if x == 10 {").is_none());
         assert!(float_literal_cmp("match x { _ => 1.0 }").is_none());
+    }
+
+    #[test]
+    fn fault_path_panic_fires_in_net_fault_code() {
+        // A `fault`-named file in crates/net: every site is fault-path.
+        let src = "fn f(p: &Plan) { p.events.first().unwrap(); }\n";
+        let fs = lint_source("crates/net/src/faults.rs", src);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].rule, "fault-path-panic");
+        // Elsewhere in the crate only fault-state-touching lines are.
+        let src2 = "fn g() { self.fstate.apply_fault(now).expect(\"ok\"); }\n";
+        let fs2 = lint_source("crates/net/src/baldur_net.rs", src2);
+        assert_eq!(fs2[0].rule, "fault-path-panic");
+        let src3 = "fn h() { self.queue.pop().unwrap(); }\n";
+        let fs3 = lint_source("crates/net/src/baldur_net.rs", src3);
+        assert_eq!(fs3[0].rule, "panic-site");
+        // Outside crates/net the ordinary panic budget applies.
+        let fs4 = lint_source("crates/core/src/faults.rs", src);
+        assert_eq!(fs4[0].rule, "panic-site");
     }
 
     #[test]

@@ -16,13 +16,15 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
+use baldur_sim::rng::StreamRng;
 use baldur_sim::{Duration, Model, Scheduler, Simulation, Time};
 use baldur_topo::graph::NodeId;
 use baldur_topo::staged::Staged;
 
 use crate::config::{BaldurParams, LinkParams};
 use crate::driver::Driver;
-use crate::metrics::{Collector, LatencyReport};
+use crate::faults::{jittered_timeout_ps, FaultKind, FaultPlan, FaultState};
+use crate::metrics::{Collector, DeliveryOutcome, LatencyReport};
 
 /// Index into the packet table.
 type PktId = u32;
@@ -33,7 +35,7 @@ struct PacketState {
     dst: NodeId,
     generated_at: Time,
     attempts: u32,
-    delivered: bool,
+    outcome: DeliveryOutcome,
     acked: bool,
     /// For ACK packets, the data packet being acknowledged.
     acks: Option<PktId>,
@@ -115,6 +117,8 @@ pub enum Ev {
         /// The data source being acknowledged.
         src: u32,
     },
+    /// Apply fault-plan event `idx` (scheduled at its `at_ps`).
+    Fault(u32),
 }
 
 /// The Baldur network simulation model.
@@ -130,9 +134,16 @@ pub struct BaldurNet {
     packets: Vec<PacketState>,
     metrics: Collector,
     in_flight: u64,
-    /// Dead switches: `faulty[stage * width + switch]` (fault-tolerance
-    /// experiments; empty by default).
-    faulty: Vec<bool>,
+    /// Live fault state (switches, links, lasers, bit-error bursts); all
+    /// healthy by default, driven by [`Ev::Fault`] events from `plan`.
+    fstate: FaultState,
+    /// The fault schedule this run executes (empty by default).
+    plan: FaultPlan,
+    /// Seed for retry-timeout jitter (the run seed).
+    seed: u64,
+    /// Coin flips for bit-error bursts; only drawn while a burst is
+    /// active, so fault-free runs stay bit-identical.
+    fault_rng: StreamRng,
     /// For combined ACK packets: every data packet they acknowledge.
     /// Ordered for the same determinism reason as `pending_acks`.
     ack_refs: BTreeMap<PktId, Vec<PktId>>,
@@ -155,6 +166,12 @@ impl BaldurNet {
             .map(|_| vec![Time::ZERO; topo.switches_per_stage() as usize * 2 * m])
             .collect();
         let nics = (0..active_nodes).map(|_| Nic::new()).collect();
+        let fstate = FaultState::healthy(
+            topo.stages(),
+            topo.switches_per_stage(),
+            params.multiplicity,
+            active_nodes,
+        );
         BaldurNet {
             topo,
             params,
@@ -166,7 +183,10 @@ impl BaldurNet {
             packets: Vec::new(),
             metrics: Collector::new(sample_cap),
             in_flight: 0,
-            faulty: Vec::new(),
+            fstate,
+            plan: FaultPlan::new(seed),
+            seed,
+            fault_rng: StreamRng::named(seed, "biterror", 0),
             ack_refs: BTreeMap::new(),
         }
     }
@@ -176,23 +196,14 @@ impl BaldurNet {
     /// multiplicity routes retransmissions around them).
     pub fn inject_faults(&mut self, switches: &[(u32, u32)]) {
         let width = self.topo.switches_per_stage();
-        if self.faulty.is_empty() {
-            self.faulty = vec![false; (self.topo.stages() * width) as usize];
-        }
         for &(stage, switch) in switches {
             assert!(
                 stage < self.topo.stages() && switch < width,
                 "fault out of range"
             );
-            self.faulty[(stage * width + switch) as usize] = true;
+            self.fstate
+                .apply(self.plan.seed, 0, &FaultKind::SwitchDown { stage, switch });
         }
-    }
-
-    fn is_faulty(&self, stage: u32, switch: u32) -> bool {
-        if self.faulty.is_empty() {
-            return false;
-        }
-        self.faulty[(stage * self.topo.switches_per_stage() + switch) as usize]
     }
 
     /// The wired topology in use.
@@ -226,11 +237,6 @@ impl BaldurNet {
         }
     }
 
-    fn timeout_for(&self, attempt: u32, backoff_exp: u32) -> Duration {
-        let exp = (attempt.saturating_sub(1) + backoff_exp).min(self.params.max_backoff_exp);
-        Duration::from_ps(self.params.base_timeout_ps).saturating_mul(1u64 << exp)
-    }
-
     fn apply_driver_output(
         &mut self,
         now: Time,
@@ -246,11 +252,11 @@ impl BaldurNet {
                     dst: cmd.dst,
                     generated_at: now,
                     attempts: 0,
-                    delivered: false,
+                    outcome: DeliveryOutcome::Pending,
                     acked: false,
                     acks: None,
                 });
-                self.metrics.on_generated();
+                self.metrics.on_generated(now);
                 self.nics[node as usize].outstanding += 1;
                 self.note_buffer(node);
                 self.enqueue(now, node, pkt, sched);
@@ -278,7 +284,7 @@ impl BaldurNet {
             dst: NodeId(src),
             generated_at: now,
             attempts: 0,
-            delivered: false,
+            outcome: DeliveryOutcome::Pending,
             acked: false,
             acks: Some(first),
         });
@@ -323,6 +329,32 @@ impl BaldurNet {
         debug_assert!(
             self.ack_refs.is_empty(),
             "combined-ACK references leaked after drain"
+        );
+        // Packet conservation: at drain every data packet has reached a
+        // terminal outcome — delivered or GaveUp, never still Pending —
+        // and the metric counters agree exactly (delivered and abandoned
+        // are disjoint, so generated = delivered + abandoned even under
+        // fault plans that killed switches, links, or lasers mid-run).
+        let mut delivered = 0u64;
+        let mut gave_up = 0u64;
+        for st in self.packets.iter().filter(|p| p.acks.is_none()) {
+            match st.outcome {
+                DeliveryOutcome::Delivered => delivered += 1,
+                DeliveryOutcome::GaveUp => gave_up += 1,
+                DeliveryOutcome::Pending => {
+                    debug_assert!(
+                        false,
+                        "packet leaked: neither delivered nor GaveUp at drain"
+                    )
+                }
+            }
+        }
+        debug_assert_eq!(self.metrics.delivered(), delivered, "delivered count drift");
+        debug_assert_eq!(self.metrics.abandoned(), gave_up, "abandoned count drift");
+        debug_assert_eq!(
+            self.metrics.generated(),
+            delivered + gave_up,
+            "conservation violated: generated != delivered + abandoned"
         );
     }
 
@@ -375,8 +407,23 @@ impl Model for BaldurNet {
                     st.attempts += 1;
                     let attempt = st.attempts;
                     let backoff = self.nics[node as usize].backoff_exp;
-                    let to = self.timeout_for(attempt, backoff);
+                    let to = Duration::from_ps(jittered_timeout_ps(
+                        &self.params,
+                        self.seed,
+                        pkt,
+                        attempt,
+                        backoff,
+                    ));
                     sched.schedule_at(now + dur + to, Ev::Timeout { pkt, attempt });
+                }
+                // A dead transmit laser eats the frame at the source: the
+                // NIC still burned the serialization slot (and, for data,
+                // armed its retry timer — the recovery path), but nothing
+                // enters the fabric.
+                if !self.fstate.is_all_healthy() && self.fstate.laser_is_down(node) {
+                    self.metrics.on_laser_loss();
+                    self.ack_refs.remove(&pkt);
+                    return;
                 }
                 // Head reaches the first-stage switch after the ingress
                 // fiber.
@@ -393,7 +440,8 @@ impl Model for BaldurNet {
                 );
             }
             Ev::Hop { pkt, stage, switch } => {
-                if self.is_faulty(stage, switch) {
+                let healthy = self.fstate.is_all_healthy();
+                if !healthy && self.fstate.switch_is_down(stage, switch) {
                     self.metrics.on_forward_attempt(true);
                     self.dec_in_flight();
                     // ACKs are never retransmitted, so a dropped combined
@@ -423,6 +471,12 @@ impl Model for BaldurNet {
                 let mut claimed = None;
                 for k in 0..m {
                     let path = (start + k) % m;
+                    // A failed link looks like a permanently busy port:
+                    // the scan skips it, shifting traffic onto the
+                    // direction's surviving paths.
+                    if !healthy && self.fstate.link_is_down(stage, switch, dir, path) {
+                        continue;
+                    }
                     let idx = self.port_index(switch, dir, path);
                     if self.ports[stage as usize][idx] <= now {
                         self.ports[stage as usize][idx] = now + dur;
@@ -438,6 +492,20 @@ impl Model for BaldurNet {
                         // Dropped: the source's timeout handles recovery.
                     }
                     Some(path) => {
+                        // During a bit-error burst the traversal can
+                        // corrupt the packet (the port was still burned);
+                        // the destination NIC's CRC discards it and the
+                        // source timeout recovers, like any drop.
+                        if !healthy {
+                            let p = self.fstate.corruption_prob(now.as_ps());
+                            if p > 0.0 && self.fault_rng.gen_bool(p) {
+                                self.metrics.on_corrupted();
+                                self.metrics.on_forward_attempt(true);
+                                self.dec_in_flight();
+                                self.ack_refs.remove(&pkt);
+                                return;
+                            }
+                        }
                         self.metrics.on_forward_attempt(false);
                         let hop_delay = Duration::from_ps(
                             self.params.switch_latency_ps + self.params.stage_delay_ps,
@@ -498,9 +566,9 @@ impl Model for BaldurNet {
                         }
                     }
                     None => {
-                        let first = !self.packets[pkt as usize].delivered;
+                        let first = self.packets[pkt as usize].outcome == DeliveryOutcome::Pending;
                         if first {
-                            self.packets[pkt as usize].delivered = true;
+                            self.packets[pkt as usize].outcome = DeliveryOutcome::Delivered;
                             let latency = now.since(self.packets[pkt as usize].generated_at);
                             self.metrics.on_delivered(latency, now);
                             let out = self.driver.delivered(dst.0, now.as_ps());
@@ -545,8 +613,15 @@ impl Model for BaldurNet {
                 if st.acked || st.attempts != attempt || st.acks.is_some() {
                     return; // stale timer
                 }
-                if st.attempts >= self.params.max_attempts {
-                    self.metrics.on_abandoned();
+                // Retry budget exhausted: the source gives up instead of
+                // retrying forever. A packet that was delivered but whose
+                // ACKs all died is only dropped from the buffer — it is
+                // not a loss, so it must not count as abandoned.
+                if st.attempts > self.params.max_retries {
+                    if st.outcome != DeliveryOutcome::Delivered {
+                        self.packets[pkt as usize].outcome = DeliveryOutcome::GaveUp;
+                        self.metrics.on_abandoned(now);
+                    }
                     let nic = &mut self.nics[st.src.0 as usize];
                     nic.outstanding = nic.outstanding.saturating_sub(1);
                     return;
@@ -558,6 +633,11 @@ impl Model for BaldurNet {
                     nic.backoff_exp = (nic.backoff_exp + 1).min(self.params.max_backoff_exp);
                 }
                 self.enqueue(now, st.src.0, pkt, sched);
+            }
+            Ev::Fault(idx) => {
+                if let Some(ev) = self.plan.events.get(idx as usize).copied() {
+                    self.fstate.apply(self.plan.seed, now.as_ps(), &ev.kind);
+                }
             }
         }
     }
@@ -589,9 +669,60 @@ pub fn simulate_with_faults(
     horizon_ns: Option<u64>,
     faults: &[(u32, u32)],
 ) -> LatencyReport {
+    simulate_impl(
+        active_nodes,
+        params,
+        link,
+        driver,
+        seed,
+        horizon_ns,
+        faults,
+        &FaultPlan::new(seed),
+    )
+}
+
+/// [`simulate`] executing a full [`FaultPlan`]: scheduled kill/revive of
+/// switches, links, and lasers plus bit-error bursts, with per-fault-epoch
+/// metrics in the report.
+pub fn simulate_plan(
+    active_nodes: u32,
+    params: BaldurParams,
+    link: LinkParams,
+    driver: Driver,
+    seed: u64,
+    horizon_ns: Option<u64>,
+    plan: &FaultPlan,
+) -> LatencyReport {
+    simulate_impl(
+        active_nodes,
+        params,
+        link,
+        driver,
+        seed,
+        horizon_ns,
+        &[],
+        plan,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn simulate_impl(
+    active_nodes: u32,
+    params: BaldurParams,
+    link: LinkParams,
+    driver: Driver,
+    seed: u64,
+    horizon_ns: Option<u64>,
+    faults: &[(u32, u32)],
+    plan: &FaultPlan,
+) -> LatencyReport {
     let total = driver.total_to_send();
     let sample_cap = (total.min(2_000_000)) as usize + 16;
     let mut model = BaldurNet::new(active_nodes, params, link, driver, seed, sample_cap);
+    if !plan.is_empty() {
+        model.metrics = Collector::with_epochs(sample_cap, plan.epoch_boundaries());
+        model.plan = plan.clone();
+    }
     if !faults.is_empty() {
         model.inject_faults(faults);
     }
@@ -600,6 +731,10 @@ pub fn simulate_with_faults(
     for (node, t) in initial {
         sim.scheduler_mut()
             .schedule_at(Time::from_ps(t), Ev::Wake(node));
+    }
+    for (idx, ev) in plan.events.iter().enumerate() {
+        sim.scheduler_mut()
+            .schedule_at(Time::from_ps(ev.at_ps), Ev::Fault(idx as u32));
     }
     let horizon = Time::from_ns(horizon_ns.unwrap_or_else(|| {
         // ~50x the time to stream the whole workload at line rate, plus
@@ -756,15 +891,118 @@ mod tests {
     fn dead_ingress_column_still_recovers_other_flows() {
         // Even killing a first-stage switch only severs the two nodes
         // wired to it; packets *from* those nodes are abandoned after
-        // max_attempts while the rest of the machine keeps working.
+        // the retry budget while the rest of the machine keeps working.
         let mut params = BaldurParams::paper_for(64);
-        params.max_attempts = 3;
+        params.max_retries = 2;
         params.base_timeout_ps = 500_000;
         let d = Driver::open_loop(64, Pattern::UniformRandom, 0.2, 20, &link(), 5);
         let r = simulate_with_faults(64, params, link(), d, 5, None, &[(0, 0)]);
         // Nodes 0 and 1 inject into switch (0,0): their 40 packets die.
         assert!(r.abandoned >= 30, "{}", r.abandoned);
         assert!(r.delivered as f64 >= 0.9 * (r.generated - r.abandoned) as f64);
+    }
+
+    #[test]
+    fn terminates_and_gives_up_under_100_percent_drop() {
+        // Satellite check for the retry-forever hazard: with every switch
+        // dead (100% drop), every packet must hit GaveUp after exactly
+        // max_retries retransmissions and the run must drain on its own —
+        // no infinite retry loop, no horizon rescue needed.
+        let mut params = BaldurParams::paper_for(16);
+        params.max_retries = 3;
+        params.base_timeout_ps = 500_000;
+        let d = Driver::open_loop(16, Pattern::UniformRandom, 0.3, 10, &link(), 11);
+        let plan = FaultPlan::degradation(11, 1.0);
+        let r = simulate_plan(16, params, link(), d, 11, None, &plan);
+        assert_eq!(r.delivered, 0, "nothing can cross a fully dead fabric");
+        assert_eq!(r.abandoned, r.generated, "every packet must give up");
+        assert!(r.generated > 0);
+        // First try + 3 retries per packet, all dropped at stage 0.
+        assert_eq!(r.retransmissions, 3 * r.generated);
+        assert_eq!(r.drop_attempts, 4 * r.generated);
+    }
+
+    #[test]
+    fn dead_laser_loses_frames_until_revival() {
+        // A dark transmit laser during the first 40 us silences node 0;
+        // its packets burn retries (never entering the fabric) until the
+        // laser is repaired, after which retransmissions deliver them.
+        let params = BaldurParams::paper_for(32);
+        let plan = FaultPlan::new(5)
+            .at(0, FaultKind::LaserDown { node: 0 })
+            .at(40_000_000, FaultKind::LaserUp { node: 0 });
+        let d = Driver::open_loop(32, Pattern::RandomPermutation, 0.2, 30, &link(), 5);
+        let r = simulate_plan(32, params, link(), d, 5, None, &plan);
+        assert_eq!(r.delivered, r.generated, "revival must recover all flows");
+        assert!(r.laser_losses > 0, "the dark window must eat frames");
+        assert!(r.retransmissions >= r.laser_losses - 1);
+        // Epoch 0 (laser dark) must show worse goodput than epoch 1.
+        assert_eq!(r.epochs.len(), 2);
+        assert!(r.epochs[0].goodput() < r.epochs[1].goodput() + 1e-9);
+    }
+
+    #[test]
+    fn bit_error_burst_corrupts_then_recovery() {
+        // A heavy burst over the first 30 us corrupts traversals; CRC
+        // drops + retransmission still deliver everything.
+        let params = BaldurParams::paper_for(32);
+        let plan = FaultPlan::new(3).at(
+            0,
+            FaultKind::BitErrorBurst {
+                duration_ps: 30_000_000,
+                corruption_prob: 0.2,
+            },
+        );
+        let d = Driver::open_loop(32, Pattern::RandomPermutation, 0.3, 30, &link(), 17);
+        let r = simulate_plan(32, params, link(), d, 17, None, &plan);
+        assert_eq!(r.delivered, r.generated);
+        assert!(r.corrupted > 0, "the burst must corrupt some traversals");
+        assert!(
+            r.drop_attempts >= r.corrupted,
+            "corruptions are a subset of drops"
+        );
+    }
+
+    #[test]
+    fn link_failures_degrade_but_do_not_disconnect() {
+        // Killing one of the m paths of a direction leaves m-1 survivors:
+        // more contention drops, same connectivity.
+        let params = BaldurParams::paper_for(64);
+        let d = Driver::open_loop(64, Pattern::Transpose, 0.5, 40, &link(), 23);
+        let healthy = simulate(64, params, link(), d, 23, None);
+        let plan = FaultPlan::new(23)
+            .at(
+                0,
+                FaultKind::LinkDown {
+                    stage: 1,
+                    switch: 0,
+                    dir: 0,
+                    path: 0,
+                },
+            )
+            .at(
+                0,
+                FaultKind::LinkDown {
+                    stage: 1,
+                    switch: 1,
+                    dir: 1,
+                    path: 2,
+                },
+            )
+            .at(
+                0,
+                FaultKind::LinkDown {
+                    stage: 2,
+                    switch: 3,
+                    dir: 0,
+                    path: 1,
+                },
+            );
+        let d = Driver::open_loop(64, Pattern::Transpose, 0.5, 40, &link(), 23);
+        let faulty = simulate_plan(64, params, link(), d, 23, None, &plan);
+        assert_eq!(healthy.delivered, healthy.generated);
+        assert_eq!(faulty.delivered, faulty.generated);
+        assert!(faulty.drop_attempts >= healthy.drop_attempts);
     }
 
     #[test]

@@ -71,9 +71,19 @@ pub struct BaldurParams {
     pub base_timeout_ps: u64,
     /// Maximum binary-exponential-backoff exponent.
     pub max_backoff_exp: u32,
-    /// Maximum retransmission attempts before a packet is abandoned
-    /// (counted separately; effectively unbounded by default).
-    pub max_attempts: u32,
+    /// Retry budget: retransmissions allowed after the first try before
+    /// the packet is abandoned (its terminal state becomes
+    /// `DeliveryOutcome::GaveUp` and the abandonment is counted in the
+    /// report). The paper's backoff description bounds recovery time, not
+    /// attempts; 16 retries at the capped timeout is past any transient
+    /// the fabric recovers from, so giving up then is a fault signal, not
+    /// a lost packet under congestion.
+    pub max_retries: u32,
+    /// Seeded retry-timeout jitter as a percentage of the backoff base
+    /// (0 = off = paper-faithful pure BEB; clamped below 100 so the
+    /// schedule stays monotone in the attempt number). Desynchronizes
+    /// sources whose packets died in the same fault at the same instant.
+    pub retry_jitter_pct: u32,
     /// Inter-stage wiring (randomized per the paper; dilated butterfly is
     /// the no-expansion ablation baseline).
     pub wiring: Wiring,
@@ -110,7 +120,8 @@ impl BaldurParams {
             // retransmission latency.
             base_timeout_ps: 1_000_000,
             max_backoff_exp: 8,
-            max_attempts: 64,
+            max_retries: 16,
+            retry_jitter_pct: 0,
             wiring: Wiring::Randomized,
             topology: StagedTopology::MultiButterfly,
             backoff: true,
@@ -130,6 +141,18 @@ impl BaldurParams {
         } else {
             3
         }
+    }
+
+    /// The retransmission timeout (ps) armed for `attempt` (1-based)
+    /// when the transmitting NIC carries `backoff_exp` extra backoff:
+    /// binary exponential backoff doubling per attempt, capped at
+    /// [`Self::max_backoff_exp`] doublings of [`Self::base_timeout_ps`].
+    pub fn backoff_timeout_ps(&self, attempt: u32, backoff_exp: u32) -> u64 {
+        let exp = attempt
+            .saturating_sub(1)
+            .saturating_add(backoff_exp)
+            .min(self.max_backoff_exp);
+        self.base_timeout_ps.saturating_mul(1u64 << exp)
     }
 
     /// Paper configuration scaled to `nodes` servers.
@@ -227,6 +250,18 @@ mod tests {
         assert_eq!(BaldurParams::multiplicity_for(16_384), 5);
         assert_eq!(BaldurParams::multiplicity_for(1 << 20), 5);
         assert_eq!(BaldurParams::multiplicity_for(32), 3);
+    }
+
+    #[test]
+    fn backoff_timeout_doubles_then_caps() {
+        let p = BaldurParams::paper_1k();
+        assert_eq!(p.backoff_timeout_ps(1, 0), p.base_timeout_ps);
+        assert_eq!(p.backoff_timeout_ps(2, 0), 2 * p.base_timeout_ps);
+        assert_eq!(p.backoff_timeout_ps(3, 1), 8 * p.base_timeout_ps);
+        // Capped at max_backoff_exp doublings, however deep the retry.
+        let cap = p.base_timeout_ps << p.max_backoff_exp;
+        assert_eq!(p.backoff_timeout_ps(40, 7), cap);
+        assert_eq!(p.backoff_timeout_ps(u32::MAX, u32::MAX), cap);
     }
 
     #[test]

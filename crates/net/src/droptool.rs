@@ -46,17 +46,49 @@ pub fn worst_case_with_wiring(
     seed: u64,
     wiring: Wiring,
 ) -> DropResult {
+    worst_case_impl(nodes, multiplicity, pattern, seed, wiring, 1.0)
+}
+
+/// [`worst_case`] at a partial offered load: each node injects with
+/// probability `load` (seeded). An idle epoch (`load = 0`, nothing
+/// injected) is legal and reports a zero drop rate.
+pub fn worst_case_at_load(
+    nodes: u32,
+    multiplicity: u32,
+    pattern: Pattern,
+    seed: u64,
+    load: f64,
+) -> DropResult {
+    worst_case_impl(nodes, multiplicity, pattern, seed, Wiring::Randomized, load)
+}
+
+fn worst_case_impl(
+    nodes: u32,
+    multiplicity: u32,
+    pattern: Pattern,
+    seed: u64,
+    wiring: Wiring,
+    load: f64,
+) -> DropResult {
     let topo = MultiButterfly::with_wiring(nodes, multiplicity, seed, wiring);
     let assignment = Assignment::build(pattern, nodes, seed);
     let mut rng = StreamRng::named(seed, "droptool", 0);
 
     // Current location of each live packet: (switch index, destination).
-    let mut live: Vec<(u32, NodeId)> = (0..nodes)
-        .map(|n| {
-            let dst = assignment.destination(NodeId(n), &mut rng, nodes);
-            (topo.ingress_switch(NodeId(n)), dst)
-        })
-        .collect();
+    // At partial load each node flips a (seeded) injection coin; the
+    // full-load path draws nothing extra, so it stays bit-identical to
+    // the pre-load-knob tool.
+    let mut live: Vec<(u32, NodeId)> = Vec::with_capacity(nodes as usize);
+    for n in 0..nodes {
+        if load < 1.0 {
+            let inject = load > 0.0 && rng.gen_bool(load.clamp(0.0, 1.0));
+            if !inject {
+                continue;
+            }
+        }
+        let dst = assignment.destination(NodeId(n), &mut rng, nodes);
+        live.push((topo.ingress_switch(NodeId(n)), dst));
+    }
     let injected = live.len() as u64;
 
     let m = multiplicity as usize;
@@ -97,7 +129,14 @@ pub fn worst_case_with_wiring(
     DropResult {
         injected,
         survived,
-        drop_rate: 1.0 - survived as f64 / injected as f64,
+        // An idle epoch (nothing injected) drops nothing — guard the
+        // 0/0 that would otherwise poison downstream aggregation with
+        // NaN.
+        drop_rate: if injected == 0 {
+            0.0
+        } else {
+            1.0 - survived as f64 / injected as f64
+        },
     }
 }
 
@@ -176,6 +215,34 @@ mod tests {
         let large = required_multiplicity(8_192, &[Pattern::RandomPermutation], 0.05, 2, 11);
         assert!(small <= large, "{small} > {large}");
         assert!((2..=6).contains(&small));
+    }
+
+    #[test]
+    fn zero_offered_load_reports_zero_drop_rate() {
+        // Regression: an idle epoch used to compute 1.0 - 0/0 = NaN.
+        let r = worst_case_at_load(256, 4, Pattern::RandomPermutation, 9, 0.0);
+        assert_eq!(r.injected, 0);
+        assert_eq!(r.survived, 0);
+        assert!(r.drop_rate == 0.0, "idle epoch must not be NaN");
+        assert!(r.drop_rate.is_finite());
+    }
+
+    #[test]
+    fn partial_load_drops_less_than_full_burst() {
+        let full = worst_case(1_024, 2, Pattern::Transpose, 7);
+        let half = worst_case_at_load(1_024, 2, Pattern::Transpose, 7, 0.5);
+        assert!(half.injected < full.injected);
+        assert!(half.injected > 0);
+        assert!(
+            half.drop_rate < full.drop_rate,
+            "half {} vs full {}",
+            half.drop_rate,
+            full.drop_rate
+        );
+        // Full load through the load knob is bit-identical to the
+        // original tool (no extra RNG draws).
+        let full2 = worst_case_at_load(1_024, 2, Pattern::Transpose, 7, 1.0);
+        assert_eq!(full, full2);
     }
 
     #[test]

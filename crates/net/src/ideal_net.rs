@@ -37,7 +37,7 @@ impl IdealNet {
     ) {
         for cmd in out.sends {
             for _ in 0..cmd.count {
-                self.metrics.on_generated();
+                self.metrics.on_generated(now);
                 sched.schedule_at(
                     now + self.latency,
                     Ev::Deliver {

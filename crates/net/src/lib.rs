@@ -19,6 +19,10 @@
 //!   injection drop-rate analysis at scales up to millions of nodes,
 //! * [`diagnosis`] — Sec. IV-F fault isolation via deterministic
 //!   test-mode probing,
+//! * [`faults`] — deterministic seeded fault injection ([`FaultPlan`]):
+//!   switch/link/laser kill-and-revive schedules and jitter-model-derived
+//!   bit-error bursts, threaded through both network models for
+//!   degradation curves,
 //! * [`runner`] — one entry point that builds any of the networks, applies
 //!   any workload, and returns a [`metrics::LatencyReport`].
 
@@ -27,6 +31,7 @@ pub mod config;
 pub mod diagnosis;
 pub mod driver;
 pub mod droptool;
+pub mod faults;
 pub mod ideal_net;
 pub mod metrics;
 pub mod router_net;
@@ -36,5 +41,6 @@ pub mod traffic;
 pub mod workloads;
 
 pub use config::LinkParams;
+pub use faults::{FaultKind, FaultPlan};
 pub use metrics::LatencyReport;
 pub use runner::{run, NetworkKind, RunConfig, Workload};

@@ -4,6 +4,28 @@ use baldur_sim::stats::{Reservoir, Streaming};
 use baldur_sim::{Duration, Time};
 use serde::{Deserialize, Serialize};
 
+/// The terminal state of one data packet's delivery attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum DeliveryOutcome {
+    /// Still in the source's retransmission buffer (or in flight).
+    #[default]
+    Pending,
+    /// At least one copy reached the destination.
+    Delivered,
+    /// The source exhausted its retry budget and gave up — the terminal
+    /// state fault scenarios produce instead of retrying forever.
+    GaveUp,
+}
+
+/// Per-fault-epoch accumulator (internal to [`Collector`]).
+#[derive(Debug, Clone, Default)]
+struct EpochAcc {
+    generated: u64,
+    delivered: u64,
+    abandoned: u64,
+    latency_sum_ns: f64,
+}
+
 /// Collects per-packet observations during a run.
 #[derive(Debug, Clone)]
 pub struct Collector {
@@ -16,14 +38,34 @@ pub struct Collector {
     forward_attempts: u64,
     injections: u64,
     retransmissions: u64,
+    corrupted: u64,
+    laser_losses: u64,
     max_retx_buffer_bytes: u64,
     end: Time,
+    /// Fault-epoch boundaries (ps, ascending); empty = one implicit epoch
+    /// and zero per-epoch bookkeeping.
+    boundaries: Vec<u64>,
+    epochs: Vec<EpochAcc>,
 }
 
 impl Collector {
     /// An empty collector retaining up to `sample_cap` exact latency
     /// samples for percentiles.
     pub fn new(sample_cap: usize) -> Self {
+        Collector::with_epochs(sample_cap, Vec::new())
+    }
+
+    /// [`Collector::new`], additionally bucketing observations into the
+    /// fault epochs delimited by `boundaries_ps` (sorted ascending, e.g.
+    /// from `FaultPlan::epoch_boundaries`). Each observation lands in the
+    /// epoch containing its event time, giving per-epoch degradation
+    /// curves across a staircase fault plan.
+    pub fn with_epochs(sample_cap: usize, boundaries_ps: Vec<u64>) -> Self {
+        let epochs = if boundaries_ps.is_empty() {
+            Vec::new()
+        } else {
+            vec![EpochAcc::default(); boundaries_ps.len() + 1]
+        };
         Collector {
             latency: Streaming::new(),
             tail: Reservoir::with_capacity(sample_cap.max(1)),
@@ -34,14 +76,29 @@ impl Collector {
             forward_attempts: 0,
             injections: 0,
             retransmissions: 0,
+            corrupted: 0,
+            laser_losses: 0,
             max_retx_buffer_bytes: 0,
             end: Time::ZERO,
+            boundaries: boundaries_ps,
+            epochs,
         }
     }
 
-    /// A packet was created by the workload.
-    pub fn on_generated(&mut self) {
+    #[inline]
+    fn epoch_mut(&mut self, now: Time) -> Option<&mut EpochAcc> {
+        if self.boundaries.is_empty() {
+            return None;
+        }
+        self.epochs.get_mut(now.epoch_index(&self.boundaries))
+    }
+
+    /// A packet was created by the workload at `now`.
+    pub fn on_generated(&mut self, now: Time) {
         self.generated += 1;
+        if let Some(e) = self.epoch_mut(now) {
+            e.generated += 1;
+        }
     }
 
     /// A packet reached its destination for the first time.
@@ -51,11 +108,30 @@ impl Collector {
         self.latency.push(ns);
         self.tail.push(ns);
         self.end = self.end.max(now);
+        if let Some(e) = self.epoch_mut(now) {
+            e.delivered += 1;
+            e.latency_sum_ns += ns;
+        }
     }
 
-    /// A packet gave up after the retry limit.
-    pub fn on_abandoned(&mut self) {
+    /// A packet gave up after the retry limit at `now`.
+    pub fn on_abandoned(&mut self, now: Time) {
         self.abandoned += 1;
+        if let Some(e) = self.epoch_mut(now) {
+            e.abandoned += 1;
+        }
+    }
+
+    /// A packet was corrupted in flight by a bit-error burst (and
+    /// dropped; also counted as a drop via [`Collector::on_forward_attempt`]).
+    pub fn on_corrupted(&mut self) {
+        self.corrupted += 1;
+    }
+
+    /// A transmission was lost at the source because its laser is dead
+    /// (charged as an injection attempt, never enters the fabric).
+    pub fn on_laser_loss(&mut self) {
+        self.laser_losses += 1;
     }
 
     /// A packet entered the network (one traversal attempt).
@@ -79,6 +155,21 @@ impl Collector {
     /// Tracks the high-water retransmission-buffer occupancy.
     pub fn on_retx_buffer(&mut self, bytes: u64) {
         self.max_retx_buffer_bytes = self.max_retx_buffer_bytes.max(bytes);
+    }
+
+    /// Packets generated so far.
+    pub fn generated(&self) -> u64 {
+        self.generated
+    }
+
+    /// Packets delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Packets abandoned (GaveUp) so far.
+    pub fn abandoned(&self) -> u64 {
+        self.abandoned
     }
 
     /// Finalizes into a [`LatencyReport`].
@@ -105,9 +196,59 @@ impl Collector {
                 self.drop_attempts as f64 / self.forward_attempts as f64
             },
             retransmissions: self.retransmissions,
+            corrupted: self.corrupted,
+            laser_losses: self.laser_losses,
             max_retx_buffer_bytes: self.max_retx_buffer_bytes,
             sim_end_ns: sim_end.as_ns_f64(),
+            epochs: self
+                .epochs
+                .iter()
+                .enumerate()
+                .map(|(i, e)| EpochReport {
+                    start_ns: if i == 0 {
+                        0.0
+                    } else {
+                        Time::from_ps(self.boundaries[i - 1]).as_ns_f64()
+                    },
+                    generated: e.generated,
+                    delivered: e.delivered,
+                    abandoned: e.abandoned,
+                    avg_ns: if e.delivered == 0 {
+                        0.0
+                    } else {
+                        e.latency_sum_ns / e.delivered as f64
+                    },
+                })
+                .collect(),
         }
+    }
+}
+
+/// Per-fault-epoch slice of a run: observations bucketed by the epoch
+/// containing their event time (generation, delivery, or abandonment).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochReport {
+    /// Epoch start on the simulation clock, ns.
+    pub start_ns: f64,
+    /// Packets generated during the epoch.
+    pub generated: u64,
+    /// Packets delivered during the epoch.
+    pub delivered: u64,
+    /// Packets abandoned (GaveUp) during the epoch.
+    pub abandoned: u64,
+    /// Mean latency of the epoch's deliveries, ns (0 when none).
+    pub avg_ns: f64,
+}
+
+impl EpochReport {
+    /// Goodput of the epoch: packets delivered per packet generated
+    /// (cross-epoch deliveries can push this above 1 right after a
+    /// recovery; 1.0 when the epoch generated nothing).
+    pub fn goodput(&self) -> f64 {
+        if self.generated == 0 {
+            return 1.0;
+        }
+        self.delivered as f64 / self.generated as f64
     }
 }
 
@@ -142,10 +283,18 @@ pub struct LatencyReport {
     pub hop_drop_rate: f64,
     /// Source retransmissions (Baldur only).
     pub retransmissions: u64,
+    /// In-flight packets corrupted (and dropped) by bit-error bursts.
+    pub corrupted: u64,
+    /// Transmissions lost at a dead source laser before entering the
+    /// fabric.
+    pub laser_losses: u64,
     /// High-water mark of any node's retransmission buffer, bytes.
     pub max_retx_buffer_bytes: u64,
     /// Simulated time at the last delivery, ns.
     pub sim_end_ns: f64,
+    /// Per-fault-epoch breakdown (empty unless the run had a fault plan
+    /// with nonzero event times).
+    pub epochs: Vec<EpochReport>,
 }
 
 impl LatencyReport {
@@ -176,7 +325,7 @@ mod tests {
     fn collector_round_trip() {
         let mut c = Collector::new(1000);
         for i in 1..=100u64 {
-            c.on_generated();
+            c.on_generated(Time::from_ns(i * 1000));
             c.on_delivered(Duration::from_ns(i * 10), Time::from_ns(i * 1000));
         }
         c.on_injection();
@@ -195,5 +344,63 @@ mod tests {
         assert!((r.drop_rate - 0.5).abs() < 1e-12);
         assert_eq!(r.max_retx_buffer_bytes, 4096);
         assert!((r.delivery_ratio() - 1.0).abs() < 1e-12);
+        assert!(r.epochs.is_empty(), "no boundaries, no epoch rows");
+        assert_eq!(r.corrupted, 0);
+        assert_eq!(r.laser_losses, 0);
+    }
+
+    #[test]
+    fn epochs_bucket_by_event_time() {
+        // Boundaries at 10 us and 20 us → three epochs.
+        let mut c = Collector::with_epochs(64, vec![10_000_000, 20_000_000]);
+        c.on_generated(Time::from_us(1));
+        c.on_delivered(Duration::from_ns(400), Time::from_us(2));
+        c.on_generated(Time::from_us(12));
+        c.on_abandoned(Time::from_us(15));
+        c.on_generated(Time::from_us(25));
+        c.on_delivered(Duration::from_ns(800), Time::from_us(26));
+        let r = c.report(Time::from_us(30));
+        assert_eq!(r.epochs.len(), 3);
+        assert_eq!(r.epochs[0].start_ns, 0.0);
+        assert_eq!(r.epochs[1].start_ns, 10_000.0);
+        assert_eq!(r.epochs[2].start_ns, 20_000.0);
+        assert_eq!(
+            (
+                r.epochs[0].generated,
+                r.epochs[0].delivered,
+                r.epochs[0].abandoned
+            ),
+            (1, 1, 0)
+        );
+        assert_eq!(
+            (
+                r.epochs[1].generated,
+                r.epochs[1].delivered,
+                r.epochs[1].abandoned
+            ),
+            (1, 0, 1)
+        );
+        assert_eq!(
+            (
+                r.epochs[2].generated,
+                r.epochs[2].delivered,
+                r.epochs[2].abandoned
+            ),
+            (1, 1, 0)
+        );
+        assert!((r.epochs[0].goodput() - 1.0).abs() < 1e-12);
+        assert!(r.epochs[1].goodput().abs() < 1e-12);
+        assert!((r.epochs[0].avg_ns - 400.0).abs() < 1e-12);
+        assert!((r.epochs[2].avg_ns - 800.0).abs() < 1e-12);
+        // Totals still cover everything.
+        assert_eq!(r.generated, 3);
+        assert_eq!(r.delivered, 2);
+        assert_eq!(r.abandoned, 1);
+    }
+
+    #[test]
+    fn delivery_outcome_default_is_pending() {
+        assert_eq!(DeliveryOutcome::default(), DeliveryOutcome::Pending);
+        assert_ne!(DeliveryOutcome::Delivered, DeliveryOutcome::GaveUp);
     }
 }

@@ -16,6 +16,7 @@ use baldur_topo::graph::{Endpoint, NodeId, RouterGraph};
 
 use crate::config::{LinkParams, RouterParams};
 use crate::driver::Driver;
+use crate::faults::{nested_kill_set, FaultKind, FaultPlan};
 use crate::metrics::{Collector, LatencyReport};
 use crate::routing::{RouteState, RoutingAlg};
 
@@ -85,6 +86,8 @@ pub enum Ev {
         /// Destination node.
         node: u32,
     },
+    /// Apply fault-plan event `idx` (scheduled at its `at_ps`).
+    Fault(u32),
 }
 
 /// The electrical network simulation model.
@@ -100,6 +103,17 @@ pub struct RouterNet {
     metrics: Collector,
     rng: StreamRng,
     vc_cap: u32,
+    /// Dead routers (fault injection). The electrical baselines have no
+    /// retransmission layer, so a packet reaching a dead router is a
+    /// terminal loss (counted as abandoned) — the credit it held is
+    /// returned upstream so the lossless machinery stays live.
+    router_down: Vec<bool>,
+    any_router_down: bool,
+    /// The fault schedule this run executes (empty by default). Only
+    /// router-granularity kinds apply here ([`FaultKind::FailFraction`],
+    /// [`FaultKind::ReviveAll`]); element-level kinds are Baldur-specific
+    /// and ignored.
+    plan: FaultPlan,
 }
 
 impl RouterNet {
@@ -136,6 +150,7 @@ impl RouterNet {
                 try_scheduled: false,
             })
             .collect();
+        let router_count = graph.router_count();
         RouterNet {
             graph,
             alg,
@@ -148,6 +163,86 @@ impl RouterNet {
             metrics: Collector::new(sample_cap),
             rng: StreamRng::named(seed, "routernt", 0),
             vc_cap,
+            router_down: vec![false; router_count as usize],
+            any_router_down: false,
+            plan: FaultPlan::new(seed),
+        }
+    }
+
+    #[inline]
+    fn is_down(&self, router: u32) -> bool {
+        self.any_router_down && self.router_down[router as usize]
+    }
+
+    /// Returns (to the upstream feeder of `(router, port, vc)`) the
+    /// buffer credit a dropped packet held, so drops at dead routers do
+    /// not bleed the credit pool dry.
+    fn refund_credit(&self, now: Time, router: u32, port: u32, vc: u32, sched: &mut Scheduler<Ev>) {
+        match self.graph.peer(router, port) {
+            Endpoint::Router {
+                router: ur,
+                port: up,
+            } => sched.schedule_at(
+                now,
+                Ev::Credit {
+                    router: ur,
+                    port: up,
+                    vc,
+                },
+            ),
+            Endpoint::Node(n) => sched.schedule_at(
+                now,
+                Ev::Credit {
+                    router: u32::MAX,
+                    port: n.0,
+                    vc,
+                },
+            ),
+            Endpoint::Unused => {}
+        }
+    }
+
+    /// Kills `router`: every packet buffered in it becomes a terminal
+    /// loss (credits refunded upstream) and everything arriving later is
+    /// dropped on arrival.
+    fn kill_router(&mut self, now: Time, router: u32, sched: &mut Scheduler<Ev>) {
+        if self.router_down[router as usize] {
+            return;
+        }
+        self.router_down[router as usize] = true;
+        self.any_router_down = true;
+        let vcs = self.rp.vcs;
+        let nq = self.routers[router as usize].queues.len();
+        for qi in 0..nq {
+            while let Some(pkt) = self.routers[router as usize].queues[qi].pop_front() {
+                let out = self.packets[pkt as usize].decision.0;
+                self.routers[router as usize].out_pending[out as usize] -= 1;
+                self.metrics.on_forward_attempt(true);
+                self.metrics.on_abandoned(now);
+                let in_port = qi as u32 / vcs;
+                let in_vc = qi as u32 % vcs;
+                self.refund_credit(now, router, in_port, in_vc, sched);
+            }
+        }
+    }
+
+    /// Applies one fault-plan event. Only router-granularity kinds act on
+    /// the electrical model.
+    fn apply_fault(&mut self, now: Time, kind: FaultKind, sched: &mut Scheduler<Ev>) {
+        match kind {
+            FaultKind::FailFraction { fraction } => {
+                let dead = nested_kill_set(self.plan.seed, self.graph.router_count(), fraction);
+                for (r, &d) in dead.iter().enumerate() {
+                    if d {
+                        self.kill_router(now, r as u32, sched);
+                    }
+                }
+            }
+            FaultKind::ReviveAll => {
+                self.router_down.iter_mut().for_each(|d| *d = false);
+                self.any_router_down = false;
+            }
+            _ => {}
         }
     }
 
@@ -187,7 +282,7 @@ impl RouterNet {
                     route: RouteState::default(),
                     decision: (0, 0),
                 });
-                self.metrics.on_generated();
+                self.metrics.on_generated(now);
                 self.nics[node as usize].queue.push_back(pkt);
             }
         }
@@ -380,6 +475,14 @@ impl Model for RouterNet {
                 port,
                 vc,
             } => {
+                // A dead router eats the packet; with no retransmission
+                // layer in the electrical model this is a terminal loss.
+                if self.is_down(router) {
+                    self.metrics.on_forward_attempt(true);
+                    self.metrics.on_abandoned(now);
+                    self.refund_credit(now, router, port, vc, sched);
+                    return;
+                }
                 // Compute the forwarding decision once, on arrival.
                 let dst = self.packets[pkt as usize].dst;
                 let mut route = self.packets[pkt as usize].route;
@@ -404,6 +507,9 @@ impl Model for RouterNet {
             }
             Ev::Arb(router) => {
                 self.routers[router as usize].arb_scheduled = false;
+                if self.is_down(router) {
+                    return; // its queues were flushed at kill time
+                }
                 self.arbitrate(now, router, sched);
             }
             Ev::Credit { router, port, vc } => {
@@ -427,6 +533,11 @@ impl Model for RouterNet {
                 let out = self.driver.delivered(node, now.as_ps());
                 self.apply_driver_output(now, node, out, sched);
             }
+            Ev::Fault(idx) => {
+                if let Some(ev) = self.plan.events.get(idx as usize).copied() {
+                    self.apply_fault(now, ev.kind, sched);
+                }
+            }
         }
     }
 }
@@ -441,15 +552,51 @@ pub fn simulate(
     seed: u64,
     horizon_ns: Option<u64>,
 ) -> LatencyReport {
+    simulate_plan(
+        graph,
+        alg,
+        link,
+        rp,
+        driver,
+        seed,
+        horizon_ns,
+        &FaultPlan::new(seed),
+    )
+}
+
+/// [`simulate`] executing a [`FaultPlan`]. The electrical model honors
+/// router-granularity kinds ([`FaultKind::FailFraction`],
+/// [`FaultKind::ReviveAll`]); packets reaching a dead router are terminal
+/// losses (`abandoned` in the report) since these baselines have no
+/// retransmission layer.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_plan(
+    graph: RouterGraph,
+    alg: RoutingAlg,
+    link: LinkParams,
+    rp: RouterParams,
+    driver: Driver,
+    seed: u64,
+    horizon_ns: Option<u64>,
+    plan: &FaultPlan,
+) -> LatencyReport {
     let total = driver.total_to_send();
     let nodes = driver.nodes().max(1);
     let sample_cap = (total.min(2_000_000)) as usize + 16;
     let mut model = RouterNet::new(graph, alg, link, rp, driver, seed, sample_cap);
+    if !plan.is_empty() {
+        model.metrics = Collector::with_epochs(sample_cap, plan.epoch_boundaries());
+        model.plan = plan.clone();
+    }
     let initial_driver: Vec<(u32, u64)> = model.driver.initial();
     let mut sim = Simulation::new(model);
     for (node, t) in initial_driver {
         sim.scheduler_mut()
             .schedule_at(Time::from_ps(t), Ev::Wake(node));
+    }
+    for (idx, ev) in plan.events.iter().enumerate() {
+        sim.scheduler_mut()
+            .schedule_at(Time::from_ps(ev.at_ps), Ev::Fault(idx as u32));
     }
     let horizon = Time::from_ns(horizon_ns.unwrap_or_else(|| {
         let per_node = total / u64::from(nodes) + 1;
@@ -625,6 +772,34 @@ mod tests {
         );
         assert_eq!(r.delivered, r.generated, "lossless under backpressure");
         assert_eq!(r.drop_attempts, 0);
+    }
+
+    #[test]
+    fn dead_routers_lose_packets_but_the_network_stays_live() {
+        // 15% dead routers: packets reaching them are terminal losses,
+        // credits are refunded so everything else still flows, and the
+        // run drains with every packet accounted for.
+        let ft = FatTree::new(4);
+        let g = ft.build_graph(10_000, 50_000, 100_000);
+        let d = Driver::open_loop(16, Pattern::RandomPermutation, 0.3, 30, &link(), 12);
+        let plan = FaultPlan::degradation(12, 0.15);
+        let r = simulate_plan(
+            g,
+            RoutingAlg::FatTree(ft),
+            link(),
+            RouterParams::paper(),
+            d,
+            12,
+            None,
+            &plan,
+        );
+        assert!(r.abandoned > 0, "dead routers must eat something");
+        assert!(r.delivered > 0, "the rest of the fabric must still work");
+        assert_eq!(
+            r.delivered + r.abandoned,
+            r.generated,
+            "every packet must be delivered or counted lost"
+        );
     }
 
     #[test]

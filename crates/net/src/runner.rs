@@ -8,6 +8,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::config::{BaldurParams, LinkParams, RouterParams};
 use crate::driver::Driver;
+use crate::faults::FaultPlan;
 use crate::metrics::LatencyReport;
 use crate::routing::{build_mb_graph, RoutingAlg};
 use crate::traffic::Pattern;
@@ -138,6 +139,10 @@ pub struct RunConfig {
     pub seed: u64,
     /// Simulated-time bound in ns (None = generous default).
     pub horizon_ns: Option<u64>,
+    /// Fault schedule (None = fault-free). Baldur executes every kind;
+    /// the electrical baselines honor router-granularity kinds; the ideal
+    /// network ignores faults (it has no components to fail).
+    pub faults: Option<FaultPlan>,
 }
 
 impl RunConfig {
@@ -150,7 +155,14 @@ impl RunConfig {
             link: LinkParams::paper(),
             seed: 0xBA1D,
             horizon_ns: None,
+            faults: None,
         }
+    }
+
+    /// The same config with a fault schedule attached.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
     }
 }
 
@@ -191,14 +203,21 @@ fn build_driver(cfg: &RunConfig) -> Driver {
 /// count) — the harnesses construct only valid ones.
 pub fn run(cfg: &RunConfig) -> LatencyReport {
     let driver = build_driver(cfg);
+    // An absent schedule is the empty plan: both simulators take the
+    // fault-free fast path on it, bit-identical to a plain run.
+    let plan = cfg
+        .faults
+        .clone()
+        .unwrap_or_else(|| FaultPlan::new(cfg.seed));
     match &cfg.network {
-        NetworkKind::Baldur(params) => baldur_net::simulate(
+        NetworkKind::Baldur(params) => baldur_net::simulate_plan(
             cfg.nodes,
             *params,
             cfg.link,
             driver,
             cfg.seed,
             cfg.horizon_ns,
+            &plan,
         ),
         NetworkKind::ElectricalMultiButterfly {
             multiplicity,
@@ -208,7 +227,7 @@ pub fn run(cfg: &RunConfig) -> LatencyReport {
             let mb = MultiButterfly::new(topo_nodes, *multiplicity, cfg.seed);
             // Node fibers 100 ns (Table VI); same-room stage links short.
             let graph = build_mb_graph(&mb, 100_000, 10_000);
-            router_net::simulate(
+            router_net::simulate_plan(
                 graph,
                 RoutingAlg::MultiButterfly(mb),
                 cfg.link,
@@ -216,13 +235,14 @@ pub fn run(cfg: &RunConfig) -> LatencyReport {
                 driver,
                 cfg.seed,
                 cfg.horizon_ns,
+                &plan,
             )
         }
         NetworkKind::Dragonfly { router } => {
             let df = Dragonfly::at_least(u64::from(cfg.nodes));
             // Table VI: intra-group 10 ns, inter-group 100 ns.
             let graph = df.build_graph(10_000, 100_000);
-            router_net::simulate(
+            router_net::simulate_plan(
                 graph,
                 RoutingAlg::Dragonfly(df),
                 cfg.link,
@@ -230,12 +250,13 @@ pub fn run(cfg: &RunConfig) -> LatencyReport {
                 driver,
                 cfg.seed,
                 cfg.horizon_ns,
+                &plan,
             )
         }
         NetworkKind::DragonflyMinimal { router } => {
             let df = Dragonfly::at_least(u64::from(cfg.nodes));
             let graph = df.build_graph(10_000, 100_000);
-            router_net::simulate(
+            router_net::simulate_plan(
                 graph,
                 RoutingAlg::DragonflyMinimal(df),
                 cfg.link,
@@ -243,13 +264,14 @@ pub fn run(cfg: &RunConfig) -> LatencyReport {
                 driver,
                 cfg.seed,
                 cfg.horizon_ns,
+                &plan,
             )
         }
         NetworkKind::FatTree { router } => {
             let ft = FatTree::at_least(u64::from(cfg.nodes));
             // Table VI: level 1/2/3 links at 10/50/100 ns.
             let graph = ft.build_graph(10_000, 50_000, 100_000);
-            router_net::simulate(
+            router_net::simulate_plan(
                 graph,
                 RoutingAlg::FatTree(ft),
                 cfg.link,
@@ -257,6 +279,7 @@ pub fn run(cfg: &RunConfig) -> LatencyReport {
                 driver,
                 cfg.seed,
                 cfg.horizon_ns,
+                &plan,
             )
         }
         NetworkKind::Ideal => ideal_net::simulate(driver, None),

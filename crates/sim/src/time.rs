@@ -105,6 +105,16 @@ impl Time {
     pub fn saturating_since(self, earlier: Time) -> Duration {
         Duration(self.0.saturating_sub(earlier.0))
     }
+
+    /// The index of the epoch containing this instant, given sorted
+    /// (ascending) epoch boundary times in picoseconds: instants before
+    /// the first boundary are epoch 0, instants at or after boundary `i`
+    /// are epoch `i + 1`. Fault-epoch metrics bucket observations with
+    /// this.
+    #[inline]
+    pub fn epoch_index(self, boundaries_ps: &[u64]) -> usize {
+        boundaries_ps.partition_point(|&b| b <= self.0)
+    }
 }
 
 impl Duration {
@@ -339,5 +349,18 @@ mod tests {
     fn sum_of_durations() {
         let total: Duration = (1..=4).map(Duration::from_ns).sum();
         assert_eq!(total, Duration::from_ns(10));
+    }
+
+    #[test]
+    fn epoch_index_buckets_against_sorted_boundaries() {
+        let bounds = [1_000, 5_000, 5_000, 9_000];
+        assert_eq!(Time::from_ps(0).epoch_index(&bounds), 0);
+        assert_eq!(Time::from_ps(999).epoch_index(&bounds), 0);
+        assert_eq!(Time::from_ps(1_000).epoch_index(&bounds), 1);
+        assert_eq!(Time::from_ps(5_000).epoch_index(&bounds), 3);
+        assert_eq!(Time::from_ps(8_999).epoch_index(&bounds), 3);
+        assert_eq!(Time::from_ps(9_000).epoch_index(&bounds), 4);
+        assert_eq!(Time::MAX.epoch_index(&bounds), 4);
+        assert_eq!(Time::from_ps(7).epoch_index(&[]), 0);
     }
 }

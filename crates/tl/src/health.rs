@@ -1,0 +1,118 @@
+//! Switch health states and their bit-error consequences.
+//!
+//! The Sec. IV-F reliability model ([`crate::reliability::JitterModel`])
+//! gives the *healthy* per-transition error probability: the Gaussian
+//! jitter tail beyond the 0.42T routing-bit margin (~1e-9). A degrading
+//! TL switch — an aging laser losing extinction ratio, a drifting
+//! waveguide — shows up as a *shrinking margin*, which walks that tail
+//! probability up by orders of magnitude long before the switch goes
+//! fully dark. [`SwitchHealth`] captures the three regimes the fault
+//! plan distinguishes and maps each onto the jitter model, so transient
+//! bit-error bursts injected by the network layer use physically
+//! grounded probabilities rather than made-up constants.
+
+use serde::{Deserialize, Serialize};
+
+use crate::reliability::{normal_tail, JitterModel};
+
+/// Operational state of one TL switch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SwitchHealth {
+    /// Nominal: the full 0.42T margin of the paper.
+    Healthy,
+    /// Degraded: the timing margin has shrunk to `margin_scale` (in
+    /// `(0, 1]`) of its nominal value; bit errors become likelier as the
+    /// scale falls.
+    Degraded {
+        /// Remaining fraction of the nominal margin.
+        margin_scale: f64,
+    },
+    /// Dead: the switch forwards nothing (every packet through it is
+    /// lost).
+    Dead,
+}
+
+impl SwitchHealth {
+    /// Per-transition error probability under `model`: the Gaussian tail
+    /// beyond the (possibly shrunken) margin; 1.0 for a dead switch.
+    pub fn error_probability(&self, model: &JitterModel) -> f64 {
+        match *self {
+            SwitchHealth::Healthy => model.error_probability(),
+            SwitchHealth::Degraded { margin_scale } => {
+                let scale = margin_scale.clamp(0.0, 1.0);
+                normal_tail(model.margin_sigmas() * scale)
+            }
+            SwitchHealth::Dead => 1.0,
+        }
+    }
+
+    /// Probability that a packet whose header exposes `transitions`
+    /// routing-bit edges to this switch is corrupted (at least one edge
+    /// escapes the margin): `1 - (1 - p)^transitions`.
+    pub fn packet_corruption_probability(&self, model: &JitterModel, transitions: u32) -> f64 {
+        let p = self.error_probability(model);
+        1.0 - (1.0 - p).powi(transitions.min(i32::MAX as u32) as i32)
+    }
+
+    /// True when the switch still forwards packets at all.
+    pub fn is_forwarding(&self) -> bool {
+        !matches!(self, SwitchHealth::Dead)
+    }
+}
+
+impl Default for SwitchHealth {
+    fn default() -> Self {
+        SwitchHealth::Healthy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_matches_the_paper_tail() {
+        let m = JitterModel::paper();
+        let p = SwitchHealth::Healthy.error_probability(&m);
+        assert!((p / m.error_probability() - 1.0).abs() < 1e-12);
+        assert!(p < 1e-8);
+    }
+
+    #[test]
+    fn degradation_walks_the_tail_up_monotonically() {
+        let m = JitterModel::paper();
+        let mut last = SwitchHealth::Healthy.error_probability(&m);
+        for scale in [0.9, 0.7, 0.5, 0.3, 0.1] {
+            let p = SwitchHealth::Degraded {
+                margin_scale: scale,
+            }
+            .error_probability(&m);
+            assert!(p > last, "scale {scale}: {p:e} !> {last:e}");
+            last = p;
+        }
+        // Half the margin is still ~2.8 sigma: errors become resolvable
+        // (1e-3 class) but the switch is far from dead.
+        let half = SwitchHealth::Degraded { margin_scale: 0.5 }.error_probability(&m);
+        assert!(half > 1e-4 && half < 1e-2, "{half:e}");
+    }
+
+    #[test]
+    fn dead_switch_corrupts_everything() {
+        let m = JitterModel::paper();
+        let d = SwitchHealth::Dead;
+        assert!(!d.is_forwarding());
+        assert!((d.error_probability(&m) - 1.0).abs() < 1e-12);
+        assert!((d.packet_corruption_probability(&m, 8) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn packet_corruption_scales_with_transitions() {
+        let m = JitterModel::paper();
+        let h = SwitchHealth::Degraded { margin_scale: 0.4 };
+        let one = h.packet_corruption_probability(&m, 1);
+        let eight = h.packet_corruption_probability(&m, 8);
+        assert!(eight > one);
+        assert!(eight < 8.0 * one + 1e-9, "union bound");
+        assert!((h.packet_corruption_probability(&m, 0)).abs() < 1e-12);
+    }
+}

@@ -27,6 +27,7 @@ pub mod detector;
 pub mod device;
 pub mod filter;
 pub mod gate_count;
+pub mod health;
 pub mod latch;
 pub mod netlist;
 pub mod reliability;

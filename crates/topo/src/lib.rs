@@ -21,6 +21,7 @@ pub mod dragonfly;
 pub mod fattree;
 pub mod graph;
 pub mod ideal;
+pub mod mask;
 pub mod multibutterfly;
 pub mod omega;
 pub mod staged;
@@ -28,6 +29,7 @@ pub mod staged;
 pub use dragonfly::Dragonfly;
 pub use fattree::FatTree;
 pub use graph::{Endpoint, NodeId, RouterGraph};
+pub use mask::EdgeMask;
 pub use multibutterfly::MultiButterfly;
 pub use omega::Omega;
 pub use staged::{Staged, StagedKind};

@@ -270,3 +270,53 @@ fn calendar_queue_matches_heap() {
         assert_eq!(&heap.model().log, &cal.model().log, "case {case}");
     }
 }
+
+/// Retransmission hardening: for any parameter draw the backoff timeout
+/// schedule is monotone non-decreasing in the attempt number and capped
+/// at `max_backoff_exp` doublings; with jitter enabled the schedule stays
+/// monotone until the cap is reached and is bit-identical across two
+/// same-seed evaluations.
+#[test]
+fn backoff_schedule_is_monotone_capped_and_reproducible() {
+    use baldur::net::config::BaldurParams;
+    use baldur::net::faults::jittered_timeout_ps;
+    for case in 0..CASES {
+        let mut rng = case_rng("backoff", case);
+        let mut params = BaldurParams::paper_1k();
+        params.base_timeout_ps = rng.gen_range(10_000u64..10_000_000);
+        params.max_backoff_exp = rng.gen_range(0u32..12);
+        params.retry_jitter_pct = rng.gen_range(0u32..150); // clamped inside
+        let seed = rng.gen_range(0u64..u64::MAX);
+        let pkt = rng.gen_range(0u32..1_000_000);
+        let cap = params.base_timeout_ps << params.max_backoff_exp;
+        let mut last_base = 0u64;
+        let mut last_jittered = 0u64;
+        for attempt in 1..=params.max_backoff_exp + 4 {
+            let base = params.backoff_timeout_ps(attempt, 0);
+            assert!(base >= last_base, "case {case}: base schedule not monotone");
+            assert!(base <= cap, "case {case}: base exceeds the cap");
+            let jit = jittered_timeout_ps(&params, seed, pkt, attempt, 0);
+            assert_eq!(
+                jit,
+                jittered_timeout_ps(&params, seed, pkt, attempt, 0),
+                "case {case}: jittered schedule not reproducible"
+            );
+            assert!(jit >= base, "case {case}: jitter may only lengthen");
+            assert!(
+                jit < 2 * base || params.retry_jitter_pct == 0,
+                "case {case}: jitter must stay below one extra doubling"
+            );
+            if base < cap {
+                // Below the cap each base doubles, which dominates any
+                // jitter on the previous attempt — monotone by design.
+                assert!(
+                    jit >= last_jittered,
+                    "case {case}: jittered schedule regressed pre-cap"
+                );
+            }
+            last_base = base;
+            last_jittered = jit;
+        }
+        assert_eq!(last_base, cap, "case {case}: schedule never reached cap");
+    }
+}
