@@ -8,6 +8,14 @@ cd "$(dirname "$0")"
 
 export CARGO_NET_OFFLINE=true
 
+# `./ci.sh --bless` regenerates the golden snapshots under results/golden/
+# (see tests/golden_suite.rs) and exits; review the diff like any other.
+if [ "${1:-}" = "--bless" ]; then
+    echo "=== blessing golden snapshots (results/golden/)"
+    BALDUR_BLESS=1 cargo test -q --test golden_suite
+    exit 0
+fi
+
 stamp="$(date -u +%Y%m%dT%H%M%SZ)"
 mkdir -p results
 summary="results/ci_${stamp}.json"
@@ -57,6 +65,11 @@ run_step fmt cargo fmt --all --check
 run_step lint cargo run --release -p baldur-lint
 run_step build cargo build --release
 run_step test cargo test -q
+# Explicit tier-1 gates for the sweep engine (both also run under `cargo
+# test`, but a named step makes a determinism or snapshot break obvious):
+# byte-identical output at 1/2/8 workers, and the golden CSV snapshots.
+run_step thread-invariance cargo test -q --test thread_invariance
+run_step golden cargo test -q --test golden_suite
 run_step test-validate cargo test --features validate -q
 run_step test-workspace cargo test --workspace -q
 # Fault-injection smoke: small topology, 5% failures, fixed seed; asserts

@@ -8,14 +8,15 @@
 //!
 //! (The third design knob, path multiplicity, is Table V: `--bin table5`.)
 
-use baldur::experiments::{backoff_ablation, wiring_ablation};
-use baldur_bench::{fmt_ns, header, Args};
+use baldur::experiments::{backoff_ablation_on, wiring_ablation_on};
+use baldur_bench::{fmt_ns, header, print_sweep_summary, Args};
 
 fn main() {
     let args = Args::parse();
     let cfg = args.eval_config();
+    let sw = args.sweep(&cfg);
 
-    let w = wiring_ablation(&cfg);
+    let w = wiring_ablation_on(&sw, &cfg);
     header(&format!(
         "Ablation 1: wiring randomization ({} nodes, {}, load 0.7)",
         cfg.nodes, w.pattern
@@ -47,7 +48,7 @@ fn main() {
     );
     println!("(expansion via randomization is what defuses structured permutations)");
 
-    let b = backoff_ablation(&cfg);
+    let b = backoff_ablation_on(&sw, &cfg);
     header(&format!(
         "Ablation 2: binary exponential backoff (m=2, transpose @ 0.9, {} nodes)",
         cfg.nodes
@@ -75,4 +76,5 @@ fn main() {
     );
 
     args.maybe_write_json(&(w, b));
+    print_sweep_summary(&sw);
 }

@@ -10,7 +10,7 @@ use std::fs;
 use std::path::Path;
 
 use baldur::experiments;
-use baldur_bench::Args;
+use baldur_bench::{print_sweep_summary, Args};
 
 fn write(path: &Path, contents: &str) {
     fs::write(path, contents).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
@@ -29,48 +29,61 @@ fn main() {
     let dir = Path::new(&dir_name);
     fs::create_dir_all(dir).expect("create output directory");
 
-    eprintln!("running the full figure set at {} nodes...", cfg.nodes);
+    let sw = args.sweep(&cfg);
+    eprintln!(
+        "running the full figure set at {} nodes ({} worker threads)...",
+        cfg.nodes,
+        sw.threads()
+    );
 
-    let t5 = experiments::table_v(&cfg);
+    let t5 = experiments::table_v_on(&sw, &cfg);
     json(dir, "table5", &t5);
     write(&dir.join("table5.csv"), &baldur::csv::table5(&t5));
 
     let loads = [0.1, 0.3, 0.5, 0.7, 0.9];
-    let f6 = experiments::figure6(&cfg, &loads);
+    let f6 = experiments::figure6_on(&sw, &cfg, &loads);
     json(dir, "fig6", &f6);
     write(&dir.join("fig6.csv"), &baldur::csv::fig6(&f6));
 
-    let f7 = experiments::figure7(&cfg);
+    let f7 = experiments::figure7_on(&sw, &cfg);
     json(dir, "fig7", &f7);
     write(&dir.join("fig7.csv"), &baldur::csv::fig7(&f7));
 
-    let f8 = experiments::figure8();
+    let f8 = experiments::figure8_on(&sw);
     json(dir, "fig8", &f8);
     write(&dir.join("fig8.csv"), &baldur::csv::fig8(&f8));
 
-    let f9 = experiments::figure9();
+    let f9 = experiments::figure9_on(&sw);
     json(dir, "fig9", &f9);
 
-    let f10 = experiments::figure10();
+    let f10 = experiments::figure10_on(&sw);
     json(dir, "fig10", &f10);
     write(&dir.join("fig10.csv"), &baldur::csv::fig10(&f10));
 
-    let sat = experiments::saturation(&cfg, &loads);
+    let sat = experiments::saturation_on(&sw, &cfg, &loads);
     json(dir, "saturation", &sat);
     write(&dir.join("saturation.csv"), &baldur::csv::saturation(&sat));
 
-    let (drops, required) = experiments::droptool_study(&[256, 1_024, 8_192], cfg.seed);
+    let (drops, required) = experiments::droptool_study_on(&sw, &[256, 1_024, 8_192], cfg.seed);
     json(dir, "droptool", &(drops, required));
 
     json(
         dir,
         "reliability",
-        &experiments::reliability(500_000, cfg.seed),
+        &experiments::reliability_on(&sw, 500_000, cfg.seed),
     );
     json(dir, "awgr", &experiments::awgr_comparison());
-    json(dir, "buffers", &experiments::buffer_sizing(&cfg));
-    json(dir, "wiring_ablation", &experiments::wiring_ablation(&cfg));
-    json(dir, "topologies", &experiments::topology_comparison(&cfg));
+    json(dir, "buffers", &experiments::buffer_sizing_on(&sw, &cfg));
+    json(
+        dir,
+        "wiring_ablation",
+        &experiments::wiring_ablation_on(&sw, &cfg),
+    );
+    json(
+        dir,
+        "topologies",
+        &experiments::topology_comparison_on(&sw, &cfg),
+    );
 
     let fig5 = experiments::figure5();
     write(&dir.join("fig5.vcd"), &fig5.vcd);
@@ -80,6 +93,7 @@ fn main() {
     write(&dir.join("fig8.gp"), FIG8_GP);
     write(&dir.join("saturation.gp"), SAT_GP);
 
+    print_sweep_summary(&sw);
     eprintln!("done: {}", dir.display());
 }
 

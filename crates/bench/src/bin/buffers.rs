@@ -1,12 +1,13 @@
 //! Sec. IV-E: retransmission-buffer sizing at 0.7 load.
 
-use baldur::experiments::buffer_sizing;
-use baldur_bench::{header, Args};
+use baldur::experiments::buffer_sizing_on;
+use baldur_bench::{header, print_sweep_summary, Args};
 
 fn main() {
     let args = Args::parse();
     let cfg = args.eval_config();
-    let rows = buffer_sizing(&cfg);
+    let sw = args.sweep(&cfg);
+    let rows = buffer_sizing_on(&sw, &cfg);
     header(&format!(
         "Retransmission-buffer high-water mark ({} nodes, load 0.7)",
         cfg.nodes
@@ -20,4 +21,5 @@ fn main() {
     }
     println!("(paper: 536 KB sufficient; 1 MB provisioned)");
     args.maybe_write_json(&rows);
+    print_sweep_summary(&sw);
 }

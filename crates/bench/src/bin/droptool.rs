@@ -2,8 +2,8 @@
 //!
 //! `--big` extends the sweep to 1M+ nodes (the paper's exascale check).
 
-use baldur::experiments::droptool_study;
-use baldur_bench::{header, Args};
+use baldur::experiments::droptool_study_on;
+use baldur_bench::{header, print_sweep_summary, Args};
 
 fn main() {
     let args = Args::parse();
@@ -12,7 +12,8 @@ fn main() {
     if args.flag("big") {
         scales.push(1 << 20);
     }
-    let (rows, required) = droptool_study(&scales, seed);
+    let sw = args.sweep(&args.eval_config());
+    let (rows, required) = droptool_study_on(&sw, &scales, seed);
     header("Worst-case burst drop rate (%)");
     println!(
         "{:>9} | {:>18} | m=1    m=2    m=3    m=4    m=5",
@@ -35,4 +36,5 @@ fn main() {
     }
     println!("(paper: m=4 at 1K, m=5 sufficient for >1M)");
     args.maybe_write_json(&rows);
+    print_sweep_summary(&sw);
 }

@@ -14,13 +14,13 @@
 //!   it.
 //! * `--fractions a,b,c` — override the swept fractions.
 
-use baldur::experiments::{degradation, DegradationRow, EvalConfig};
+use baldur::experiments::{degradation, degradation_on, DegradationRow, EvalConfig};
 use baldur::net::baldur_net::simulate_with_faults;
 use baldur::net::diagnosis::locate_faulty_switch;
 use baldur::net::driver::Driver;
 use baldur::prelude::*;
 use baldur::topo::multibutterfly::MultiButterfly;
-use baldur_bench::{fmt_ns, header, Args};
+use baldur_bench::{fmt_ns, header, print_sweep_summary, Args};
 
 fn main() {
     let args = Args::parse();
@@ -72,7 +72,8 @@ fn sweep(args: &Args, cfg: &EvalConfig) {
         "Degradation curves: failed-element fraction sweep ({} nodes, {} pkts/node)",
         cfg.nodes, cfg.packets_per_node
     ));
-    let rows = degradation(cfg, &fracs);
+    let sw = args.sweep(cfg);
+    let rows = degradation_on(&sw, cfg, &fracs);
     print_rows(&rows);
     std::fs::create_dir_all("results").expect("create results/");
     let csv_path = args.get("csv").unwrap_or("results/faults.csv");
@@ -82,6 +83,7 @@ fn sweep(args: &Args, cfg: &EvalConfig) {
     let s = serde_json::to_string_pretty(&rows).expect("serialize results");
     std::fs::write(json_path, s).unwrap_or_else(|e| panic!("write {json_path}: {e}"));
     eprintln!("wrote {json_path}");
+    print_sweep_summary(&sw);
 }
 
 /// CI gate: small topology, 5% failures, fixed seed; conservation and

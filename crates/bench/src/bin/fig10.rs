@@ -1,12 +1,13 @@
 //! Figure 10: Baldur cost per server node versus scale.
 
 use baldur::cost::components::{FATTREE_2560_COST_PER_NODE, OCS_COST_PER_NODE};
-use baldur::experiments::figure10;
-use baldur_bench::{header, Args};
+use baldur::experiments::figure10_on;
+use baldur_bench::{header, print_sweep_summary, Args};
 
 fn main() {
     let args = Args::parse();
-    let rows = figure10();
+    let sw = args.sweep(&args.eval_config());
+    let rows = figure10_on(&sw);
     header("Figure 10: cost per node (USD)");
     println!(
         "{:>10} | {:>12} {:>8} {:>8} {:>8} {:>8} | {:>9} | dominant",
@@ -34,4 +35,5 @@ fn main() {
         eprintln!("wrote {path}");
     }
     args.maybe_write_json(&rows);
+    print_sweep_summary(&sw);
 }

@@ -1,8 +1,8 @@
 //! Figure 6: average and tail latency versus input load, four synthetic
 //! patterns x five networks.
 
-use baldur::experiments::figure6;
-use baldur_bench::{fmt_ns, header, Args};
+use baldur::experiments::figure6_on;
+use baldur_bench::{fmt_ns, header, print_sweep_summary, Args};
 
 fn main() {
     let args = Args::parse();
@@ -11,7 +11,8 @@ fn main() {
         Some(s) => s.split(',').map(|x| x.parse().expect("load")).collect(),
         None => vec![0.1, 0.3, 0.5, 0.7, 0.9],
     };
-    let rows = figure6(&cfg, &loads);
+    let sw = args.sweep(&cfg);
+    let rows = figure6_on(&sw, &cfg, &loads);
     for pattern in [
         "random_permutation",
         "transpose",
@@ -55,4 +56,5 @@ fn main() {
         eprintln!("wrote {path}");
     }
     args.maybe_write_json(&rows);
+    print_sweep_summary(&sw);
 }

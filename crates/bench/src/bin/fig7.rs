@@ -1,12 +1,13 @@
 //! Figure 7: normalized latency for hotspot, ping-pong, and HPC traces.
 
-use baldur::experiments::{fig7_geomeans, figure7, normalize_fig7};
-use baldur_bench::{fmt_ns, header, Args};
+use baldur::experiments::{fig7_geomeans, figure7_on, normalize_fig7};
+use baldur_bench::{fmt_ns, header, print_sweep_summary, Args};
 
 fn main() {
     let args = Args::parse();
     let cfg = args.eval_config();
-    let rows = figure7(&cfg);
+    let sw = args.sweep(&cfg);
+    let rows = figure7_on(&sw, &cfg);
     let workloads = [
         "hotspot",
         "ping_pong1",
@@ -48,4 +49,5 @@ fn main() {
         eprintln!("wrote {path}");
     }
     args.maybe_write_json(&rows);
+    print_sweep_summary(&sw);
 }

@@ -1,12 +1,13 @@
 //! Figure 8: power per server node versus network scale.
 
-use baldur::experiments::figure8;
+use baldur::experiments::figure8_on;
 use baldur::power::NetworkPower;
-use baldur_bench::{header, Args};
+use baldur_bench::{header, print_sweep_summary, Args};
 
 fn main() {
     let args = Args::parse();
-    let sweep = figure8();
+    let sw = args.sweep(&args.eval_config());
+    let sweep = figure8_on(&sw);
     header("Figure 8: power per node (W)");
     println!(
         "{:>10} | {:>10} {:>14} {:>10} {:>10} | min..max improvement",
@@ -43,4 +44,5 @@ fn main() {
         eprintln!("wrote {path}");
     }
     args.maybe_write_json(&sweep);
+    print_sweep_summary(&sw);
 }

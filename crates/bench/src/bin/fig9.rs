@@ -1,12 +1,13 @@
 //! Figure 9: sensitivity of the 1M-scale power comparison to switch-power
 //! modelling error.
 
-use baldur::experiments::figure9;
-use baldur_bench::{header, Args};
+use baldur::experiments::figure9_on;
+use baldur_bench::{header, print_sweep_summary, Args};
 
 fn main() {
     let args = Args::parse();
-    let rows = figure9();
+    let sw = args.sweep(&args.eval_config());
+    let rows = figure9_on(&sw);
     header("Figure 9: switch-power sensitivity at the 1M-1.4M scale");
     for row in &rows {
         println!("-- {}", row.scenario);
@@ -20,4 +21,5 @@ fn main() {
     }
     println!("(paper pessimistic case: 5.1x / 8.2x / 14.7x vs dragonfly / fat-tree / MB)");
     args.maybe_write_json(&rows);
+    print_sweep_summary(&sw);
 }

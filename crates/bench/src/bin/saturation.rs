@@ -1,13 +1,14 @@
 //! Offered versus accepted load (the saturation companion to Figure 6).
 
-use baldur::experiments::saturation;
-use baldur_bench::{header, Args};
+use baldur::experiments::saturation_on;
+use baldur_bench::{header, print_sweep_summary, Args};
 
 fn main() {
     let args = Args::parse();
     let cfg = args.eval_config();
     let loads = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
-    let rows = saturation(&cfg, &loads);
+    let sw = args.sweep(&cfg);
+    let rows = saturation_on(&sw, &cfg, &loads);
     header(&format!(
         "Saturation: accepted load vs offered (uniform random, {} nodes)",
         cfg.nodes
@@ -34,4 +35,5 @@ fn main() {
         eprintln!("wrote {path}");
     }
     args.maybe_write_json(&rows);
+    print_sweep_summary(&sw);
 }

@@ -1,12 +1,13 @@
 //! Table V: gates, latency, and drop rate versus path multiplicity.
 
-use baldur::experiments::table_v;
-use baldur_bench::{header, Args};
+use baldur::experiments::table_v_on;
+use baldur_bench::{header, print_sweep_summary, Args};
 
 fn main() {
     let args = Args::parse();
     let cfg = args.eval_config();
-    let rows = table_v(&cfg);
+    let sw = args.sweep(&cfg);
+    let rows = table_v_on(&sw, &cfg);
     header(&format!(
         "Table V (transpose @ 0.7 load, {} nodes, {} pkts/node)",
         cfg.nodes, cfg.packets_per_node
@@ -23,4 +24,5 @@ fn main() {
         eprintln!("wrote {path}");
     }
     args.maybe_write_json(&rows);
+    print_sweep_summary(&sw);
 }

@@ -2,13 +2,14 @@
 //! Baldur to achieve similar results with other multi-stage topologies")
 //! plus the value of randomization.
 
-use baldur::experiments::topology_comparison;
-use baldur_bench::{fmt_ns, header, Args};
+use baldur::experiments::topology_comparison_on;
+use baldur_bench::{fmt_ns, header, print_sweep_summary, Args};
 
 fn main() {
     let args = Args::parse();
     let cfg = args.eval_config();
-    let rows = topology_comparison(&cfg);
+    let sw = args.sweep(&cfg);
+    let rows = topology_comparison_on(&sw, &cfg);
     header(&format!(
         "Baldur on three staged topologies ({} nodes, load 0.6)",
         cfg.nodes
@@ -30,4 +31,5 @@ fn main() {
     println!("(uniform traffic: all three are near-identical — the paper's");
     println!(" isomorphism claim; transpose: only randomized wiring survives)");
     args.maybe_write_json(&rows);
+    print_sweep_summary(&sw);
 }

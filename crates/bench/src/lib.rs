@@ -7,14 +7,18 @@
 //! * `--packets N` — packets per node for open-loop runs,
 //! * `--rounds N` — ping-pong rounds,
 //! * `--seed N` — master seed,
-//! * `--threads N` — worker threads (default: all cores),
+//! * `--threads N` — worker threads (default: `BALDUR_THREADS`, then
+//!   all cores),
 //! * `--json PATH` — also write the structured results as JSON,
+//! * `--cache-dir DIR` — run-cache directory (default `results/cache`),
+//! * `--no-cache` — recompute every run, bypassing the cache,
 //! * `--paper` — use the paper's full scale (1,024 nodes × 10,000
 //!   packets; slow).
 
 use std::collections::HashMap;
 
 use baldur::experiments::EvalConfig;
+use baldur::sweep::{Sweep, DEFAULT_CACHE_DIR};
 
 pub mod timing;
 
@@ -93,6 +97,18 @@ impl Args {
         }
     }
 
+    /// Builds the [`Sweep`] runner for this invocation: cached into
+    /// `--cache-dir` (default [`DEFAULT_CACHE_DIR`]) unless `--no-cache`
+    /// was passed; worker count follows `--threads` / `BALDUR_THREADS`.
+    pub fn sweep(&self, cfg: &EvalConfig) -> Sweep {
+        let sw = Sweep::new(cfg.threads);
+        if self.flag("no-cache") {
+            sw
+        } else {
+            sw.with_cache_dir(self.get("cache-dir").unwrap_or(DEFAULT_CACHE_DIR))
+        }
+    }
+
     /// Writes `value` as JSON to the `--json` path, if given.
     ///
     /// # Panics
@@ -123,6 +139,12 @@ pub fn fmt_ns(ns: f64) -> String {
 /// Prints a section header.
 pub fn header(title: &str) {
     println!("\n=== {title} ===");
+}
+
+/// Prints the per-sweep wall-clock and cache-hit counters to stderr, so
+/// result tables on stdout stay clean and diffable.
+pub fn print_sweep_summary(sw: &Sweep) {
+    eprint!("\n{}", sw.summary());
 }
 
 #[cfg(test)]

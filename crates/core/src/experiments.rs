@@ -5,8 +5,6 @@
 //! in seconds-to-minutes — pass larger [`EvalConfig`] values to approach
 //! the paper's full 1,024-node × 10,000-packet setup.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-
 use serde::{Deserialize, Serialize};
 
 use crate::net::config::BaldurParams;
@@ -19,6 +17,7 @@ use crate::power::networks::NetworkPower;
 use crate::power::scaling::{paper_scales, scaling_sweep, ScalePoint};
 use crate::power::sensitivity::Scenario;
 use crate::sim::stats::geometric_mean;
+use crate::sweep::Sweep;
 use crate::tl::gate_count::{SwitchDesign, TABLE_V_DROP_PCT};
 use crate::tl::reliability::JitterModel;
 
@@ -71,14 +70,11 @@ impl EvalConfig {
         }
     }
 
-    fn workers(&self) -> usize {
-        if self.threads > 0 {
-            self.threads
-        } else {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(4)
-        }
+    /// A one-shot uncached [`Sweep`] honoring `self.threads` (0 resolves
+    /// through `BALDUR_THREADS`, then the machine's parallelism) — what
+    /// the plain experiment wrappers fan out on.
+    pub fn sweep(&self) -> Sweep {
+        Sweep::new(self.threads)
     }
 }
 
@@ -89,31 +85,17 @@ impl Default for EvalConfig {
 }
 
 /// Maps `f` over `items` on a thread pool, preserving order.
+///
+/// Retained as a thin shim over [`baldur_sim::par::par_map`] (the
+/// work-stealing pool) for callers that don't need sweep accounting or
+/// caching; the experiment functions themselves go through [`Sweep`].
 pub fn parallel_map<T, R, F>(workers: usize, items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send + Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let n = items.len();
-    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    let next = AtomicUsize::new(0);
-    let slots: Vec<std::sync::Mutex<&mut Option<R>>> =
-        out.iter_mut().map(std::sync::Mutex::new).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..workers.max(1).min(n.max(1)) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let r = f(&items[i]);
-                **slots[i].lock().expect("slot lock") = Some(r);
-            });
-        }
-    });
-    drop(slots);
-    out.into_iter().map(|r| r.expect("computed")).collect()
+    crate::sim::par::par_map(workers, items, f)
 }
 
 // ---------------------------------------------------------------- Table V
@@ -135,30 +117,41 @@ pub struct TableVRow {
 
 /// Regenerates Table V: design cost and drop rate versus multiplicity.
 pub fn table_v(cfg: &EvalConfig) -> Vec<TableVRow> {
-    let items: Vec<u32> = (1..=5).collect();
-    parallel_map(cfg.workers(), items, |&m| {
-        let design = SwitchDesign::new(m);
-        let mut params = BaldurParams::paper_for(u64::from(cfg.nodes));
-        params.multiplicity = m;
-        params.switch_latency_ps = (design.latency_ns() * 1e3) as u64;
-        let rc = RunConfig {
-            seed: cfg.seed,
-            ..RunConfig::new(
-                cfg.nodes,
-                NetworkKind::Baldur(params),
-                Workload::Synthetic {
-                    pattern: Pattern::Transpose,
-                    load: 0.7,
-                    packets_per_node: cfg.packets_per_node,
-                },
-            )
-        };
-        let r = run(&rc);
+    table_v_on(&cfg.sweep(), cfg)
+}
+
+/// [`table_v`] on a caller-provided [`Sweep`] (shared thread pool, run
+/// cache, per-sweep counters).
+pub fn table_v_on(sw: &Sweep, cfg: &EvalConfig) -> Vec<TableVRow> {
+    let items: Vec<(u32, RunConfig)> = (1..=5)
+        .map(|m| {
+            let design = SwitchDesign::new(m);
+            let mut params = BaldurParams::paper_for(u64::from(cfg.nodes));
+            params.multiplicity = m;
+            params.switch_latency_ps = (design.latency_ns() * 1e3) as u64;
+            let rc = RunConfig {
+                seed: cfg.seed,
+                ..RunConfig::new(
+                    cfg.nodes,
+                    NetworkKind::Baldur(params),
+                    Workload::Synthetic {
+                        pattern: Pattern::Transpose,
+                        load: 0.7,
+                        packets_per_node: cfg.packets_per_node,
+                    },
+                )
+            };
+            (m, rc)
+        })
+        .collect();
+    sw.map("table_v", items, |(m, rc)| {
+        let design = SwitchDesign::new(*m);
+        let r = run(rc);
         TableVRow {
-            multiplicity: m,
+            multiplicity: *m,
             gates: design.gates(),
             latency_ns: design.latency_ns(),
-            paper_drop_pct: TABLE_V_DROP_PCT[(m - 1) as usize],
+            paper_drop_pct: TABLE_V_DROP_PCT[(*m - 1) as usize],
             measured_drop_pct: r.drop_rate * 100.0,
         }
     })
@@ -182,39 +175,42 @@ pub struct Fig6Row {
 /// The Figure 6 load sweep: average + tail latency for four patterns on
 /// all five networks.
 pub fn figure6(cfg: &EvalConfig, loads: &[f64]) -> Vec<Fig6Row> {
+    figure6_on(&cfg.sweep(), cfg, loads)
+}
+
+/// [`figure6`] on a caller-provided [`Sweep`].
+pub fn figure6_on(sw: &Sweep, cfg: &EvalConfig, loads: &[f64]) -> Vec<Fig6Row> {
     let patterns = [
         Pattern::RandomPermutation,
         Pattern::Transpose,
         Pattern::Bisection,
         Pattern::GroupPermutation,
     ];
-    let mut items = Vec::new();
+    let mut items: Vec<(String, String, f64, RunConfig)> = Vec::new();
     for &pattern in &patterns {
         for (name, net) in NetworkKind::paper_lineup(cfg.nodes) {
             for &load in loads {
-                items.push((pattern, name.clone(), net.clone(), load));
+                let rc = RunConfig {
+                    seed: cfg.seed,
+                    ..RunConfig::new(
+                        cfg.nodes,
+                        net.clone(),
+                        Workload::Synthetic {
+                            pattern,
+                            load,
+                            packets_per_node: cfg.packets_per_node,
+                        },
+                    )
+                };
+                items.push((pattern.name().to_string(), name.clone(), load, rc));
             }
         }
     }
-    parallel_map(cfg.workers(), items, |(pattern, name, net, load)| {
-        let rc = RunConfig {
-            seed: cfg.seed,
-            ..RunConfig::new(
-                cfg.nodes,
-                net.clone(),
-                Workload::Synthetic {
-                    pattern: *pattern,
-                    load: *load,
-                    packets_per_node: cfg.packets_per_node,
-                },
-            )
-        };
-        Fig6Row {
-            pattern: pattern.name().to_string(),
-            network: name.clone(),
-            load: *load,
-            report: run(&rc),
-        }
+    sw.map("fig6", items, |(pattern, name, load, rc)| Fig6Row {
+        pattern: pattern.clone(),
+        network: name.clone(),
+        load: *load,
+        report: run(rc),
     })
 }
 
@@ -232,6 +228,11 @@ pub struct Fig7Row {
 /// The Figure 7 workload set: hotspot, both ping-pongs, and the four HPC
 /// traces, on all five networks.
 pub fn figure7(cfg: &EvalConfig) -> Vec<Fig7Row> {
+    figure7_on(&cfg.sweep(), cfg)
+}
+
+/// [`figure7`] on a caller-provided [`Sweep`].
+pub fn figure7_on(sw: &Sweep, cfg: &EvalConfig) -> Vec<Fig7Row> {
     let mut workloads: Vec<(String, Workload)> = vec![
         (
             "hotspot".into(),
@@ -263,22 +264,20 @@ pub fn figure7(cfg: &EvalConfig) -> Vec<Fig7Row> {
             },
         ));
     }
-    let mut items = Vec::new();
+    let mut items: Vec<(String, String, RunConfig)> = Vec::new();
     for (wname, wl) in &workloads {
         for (nname, net) in NetworkKind::paper_lineup(cfg.nodes) {
-            items.push((wname.clone(), *wl, nname, net));
+            let rc = RunConfig {
+                seed: cfg.seed,
+                ..RunConfig::new(cfg.nodes, net, *wl)
+            };
+            items.push((wname.clone(), nname, rc));
         }
     }
-    parallel_map(cfg.workers(), items, |(wname, wl, nname, net)| {
-        let rc = RunConfig {
-            seed: cfg.seed,
-            ..RunConfig::new(cfg.nodes, net.clone(), *wl)
-        };
-        Fig7Row {
-            workload: wname.clone(),
-            network: nname.clone(),
-            report: run(&rc),
-        }
+    sw.map("fig7", items, |(wname, nname, rc)| Fig7Row {
+        workload: wname.clone(),
+        network: nname.clone(),
+        report: run(rc),
     })
 }
 
@@ -333,6 +332,16 @@ pub fn figure8() -> Vec<ScalePoint> {
     scaling_sweep(&paper_scales())
 }
 
+/// [`figure8`] on a caller-provided [`Sweep`] — one cached job per scale.
+pub fn figure8_on(sw: &Sweep) -> Vec<ScalePoint> {
+    sw.map("fig8", paper_scales(), |point| {
+        match scaling_sweep(std::slice::from_ref(point)).pop() {
+            Some(row) => row,
+            None => unreachable!("scaling_sweep returns one point per scale"),
+        }
+    })
+}
+
 /// One Figure 9 scenario row.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Fig9Row {
@@ -345,26 +354,44 @@ pub struct Fig9Row {
 /// The Figure 9 sensitivity analysis at the 1M-1.4M scale.
 pub fn figure9() -> Vec<Fig9Row> {
     let scale = 1_048_576;
-    [
-        ("baseline", Scenario::BASELINE),
-        ("pessimistic", Scenario::PESSIMISTIC),
-        ("optimistic", Scenario::OPTIMISTIC),
-    ]
-    .into_iter()
-    .map(|(name, s)| Fig9Row {
-        scenario: name.into(),
+    let items: Vec<(String, u64)> = ["baseline", "pessimistic", "optimistic"]
+        .into_iter()
+        .map(|name| (name.to_string(), scale))
+        .collect();
+    items.iter().map(fig9_row).collect()
+}
+
+/// [`figure9`] on a caller-provided [`Sweep`] — one cached job per
+/// scenario.
+pub fn figure9_on(sw: &Sweep) -> Vec<Fig9Row> {
+    let scale = 1_048_576;
+    let items: Vec<(String, u64)> = ["baseline", "pessimistic", "optimistic"]
+        .into_iter()
+        .map(|name| (name.to_string(), scale))
+        .collect();
+    sw.map("fig9", items, fig9_row)
+}
+
+fn fig9_row(item: &(String, u64)) -> Fig9Row {
+    let (name, scale) = item;
+    let s = match name.as_str() {
+        "pessimistic" => Scenario::PESSIMISTIC,
+        "optimistic" => Scenario::OPTIMISTIC,
+        _ => Scenario::BASELINE,
+    };
+    Fig9Row {
+        scenario: name.clone(),
         entries: NetworkPower::ALL
             .iter()
             .map(|&n| {
                 (
                     n.name().to_string(),
-                    s.per_node_w(n, scale),
-                    s.improvement(n, scale),
+                    s.per_node_w(n, *scale),
+                    s.improvement(n, *scale),
                 )
             })
             .collect(),
-    })
-    .collect()
+    }
 }
 
 /// One Figure 10 cost row.
@@ -380,17 +407,22 @@ pub struct Fig10Row {
 
 /// The Figure 10 cost sweep.
 pub fn figure10() -> Vec<Fig10Row> {
-    paper_scales()
-        .into_iter()
-        .map(|(requested, label)| {
-            let nodes = requested.next_power_of_two();
-            Fig10Row {
-                label,
-                nodes,
-                breakdown: crate::cost::cost_per_node(requested),
-            }
-        })
-        .collect()
+    paper_scales().iter().map(fig10_row).collect()
+}
+
+/// [`figure10`] on a caller-provided [`Sweep`] — one cached job per
+/// scale.
+pub fn figure10_on(sw: &Sweep) -> Vec<Fig10Row> {
+    sw.map("fig10", paper_scales(), fig10_row)
+}
+
+fn fig10_row(item: &(u64, String)) -> Fig10Row {
+    let (requested, label) = item;
+    Fig10Row {
+        label: label.clone(),
+        nodes: requested.next_power_of_two(),
+        breakdown: crate::cost::cost_per_node(*requested),
+    }
 }
 
 // ------------------------------------------------- Sec. IV-E / IV-F / VII
@@ -411,34 +443,40 @@ pub struct DropRow {
 /// The Sec. IV-E "in-house tool" study: worst-case drop rate versus
 /// multiplicity and scale, plus the required multiplicity per scale.
 pub fn droptool_study(scales: &[u32], seed: u64) -> (Vec<DropRow>, Vec<(u32, u32)>) {
+    droptool_study_on(&Sweep::new(0), scales, seed)
+}
+
+/// [`droptool_study`] on a caller-provided [`Sweep`].
+pub fn droptool_study_on(sw: &Sweep, scales: &[u32], seed: u64) -> (Vec<DropRow>, Vec<(u32, u32)>) {
     let patterns = [
         Pattern::RandomPermutation,
         Pattern::Transpose,
         Pattern::Bisection,
     ];
-    let mut rows = Vec::new();
+    let mut items: Vec<(u32, Pattern, u32, u64)> = Vec::new();
     for &nodes in scales {
         for &pattern in &patterns {
             for m in 1..=5 {
-                let r = droptool::worst_case(nodes, m, pattern, seed);
-                rows.push(DropRow {
-                    nodes,
-                    pattern: pattern.name().into(),
-                    multiplicity: m,
-                    drop_rate: r.drop_rate,
-                });
+                items.push((nodes, pattern, m, seed));
             }
         }
     }
-    let required = scales
-        .iter()
-        .map(|&n| {
-            (
-                n,
-                droptool::required_multiplicity(n, &patterns, 0.01, 3, seed),
-            )
-        })
-        .collect();
+    let rows = sw.map("droptool", items, |(nodes, pattern, m, seed)| {
+        let r = droptool::worst_case(*nodes, *m, *pattern, *seed);
+        DropRow {
+            nodes: *nodes,
+            pattern: pattern.name().into(),
+            multiplicity: *m,
+            drop_rate: r.drop_rate,
+        }
+    });
+    let req_items: Vec<(u32, u64)> = scales.iter().map(|&n| (n, seed)).collect();
+    let required = sw.map("droptool_req", req_items, |(n, seed)| {
+        (
+            *n,
+            droptool::required_multiplicity(*n, &patterns, 0.01, 3, *seed),
+        )
+    });
     (rows, required)
 }
 
@@ -459,17 +497,25 @@ pub struct ReliabilityReport {
 
 /// Regenerates the Sec. IV-F reliability analysis.
 pub fn reliability(samples: u64, seed: u64) -> ReliabilityReport {
+    reliability_on(&Sweep::new(0), samples, seed)
+}
+
+/// [`reliability`] on a caller-provided [`Sweep`] — the Monte Carlo
+/// threshold points fan out (and cache) independently.
+pub fn reliability_on(sw: &Sweep, samples: u64, seed: u64) -> ReliabilityReport {
     let m = JitterModel::paper();
-    let monte_carlo = [1.0, 2.0, 3.0, 3.5]
+    let items: Vec<(f64, u64, u64)> = [1.0, 2.0, 3.0, 3.5]
         .into_iter()
-        .map(|thr| {
-            (
-                thr,
-                m.monte_carlo_exceedance(thr, samples, seed),
-                crate::tl::reliability::normal_tail(thr),
-            )
-        })
+        .map(|thr| (thr, samples, seed))
         .collect();
+    let monte_carlo = sw.map("reliability", items, |(thr, samples, seed)| {
+        let m = JitterModel::paper();
+        (
+            *thr,
+            m.monte_carlo_exceedance(*thr, *samples, *seed),
+            crate::tl::reliability::normal_tail(*thr),
+        )
+    });
     ReliabilityReport {
         sigma_ps: m.sigma_ps(),
         margin_ps: m.margin_ps(),
@@ -506,6 +552,11 @@ pub fn awgr_comparison() -> AwgrComparison {
 /// The Sec. IV-E retransmission-buffer sizing study: the high-water
 /// buffer occupancy across the synthetic patterns at 0.7 load.
 pub fn buffer_sizing(cfg: &EvalConfig) -> Vec<(String, u64)> {
+    buffer_sizing_on(&cfg.sweep(), cfg)
+}
+
+/// [`buffer_sizing`] on a caller-provided [`Sweep`].
+pub fn buffer_sizing_on(sw: &Sweep, cfg: &EvalConfig) -> Vec<(String, u64)> {
     let patterns = [
         Pattern::RandomPermutation,
         Pattern::Transpose,
@@ -513,22 +564,27 @@ pub fn buffer_sizing(cfg: &EvalConfig) -> Vec<(String, u64)> {
         Pattern::GroupPermutation,
         Pattern::Hotspot,
     ];
-    let items: Vec<Pattern> = patterns.to_vec();
-    parallel_map(cfg.workers(), items, |&pattern| {
-        let rc = RunConfig {
-            seed: cfg.seed,
-            ..RunConfig::new(
-                cfg.nodes,
-                NetworkKind::Baldur(BaldurParams::paper_for(u64::from(cfg.nodes))),
-                Workload::Synthetic {
-                    pattern,
-                    load: 0.7,
-                    packets_per_node: cfg.packets_per_node,
-                },
-            )
-        };
-        let r = run(&rc);
-        (pattern.name().to_string(), r.max_retx_buffer_bytes)
+    let items: Vec<(String, RunConfig)> = patterns
+        .into_iter()
+        .map(|pattern| {
+            let rc = RunConfig {
+                seed: cfg.seed,
+                ..RunConfig::new(
+                    cfg.nodes,
+                    NetworkKind::Baldur(BaldurParams::paper_for(u64::from(cfg.nodes))),
+                    Workload::Synthetic {
+                        pattern,
+                        load: 0.7,
+                        packets_per_node: cfg.packets_per_node,
+                    },
+                )
+            };
+            (pattern.name().to_string(), rc)
+        })
+        .collect();
+    sw.map("buffer_sizing", items, |(name, rc)| {
+        let r = run(rc);
+        (name.clone(), r.max_retx_buffer_bytes)
     })
 }
 
@@ -550,6 +606,11 @@ pub struct TopologyRow {
 /// claim that multi-stage topologies behave similarly — and showing where
 /// randomization matters (structured adversarial permutations).
 pub fn topology_comparison(cfg: &EvalConfig) -> Vec<TopologyRow> {
+    topology_comparison_on(&cfg.sweep(), cfg)
+}
+
+/// [`topology_comparison`] on a caller-provided [`Sweep`].
+pub fn topology_comparison_on(sw: &Sweep, cfg: &EvalConfig) -> Vec<TopologyRow> {
     use crate::net::config::StagedTopology;
     use crate::topo::multibutterfly::Wiring;
     let variants: [(&str, StagedTopology, Wiring); 3] = [
@@ -566,35 +627,33 @@ pub fn topology_comparison(cfg: &EvalConfig) -> Vec<TopologyRow> {
         ("omega", StagedTopology::Omega, Wiring::Randomized),
     ];
     let patterns = [Pattern::UniformRandom, Pattern::Transpose];
-    let mut items = Vec::new();
+    let mut items: Vec<(String, String, RunConfig)> = Vec::new();
     for &(name, topo, wiring) in &variants {
         for &pattern in &patterns {
-            items.push((name.to_string(), topo, wiring, pattern));
+            let params = BaldurParams {
+                topology: topo,
+                wiring,
+                ..BaldurParams::paper_for(u64::from(cfg.nodes))
+            };
+            let rc = RunConfig {
+                seed: cfg.seed,
+                ..RunConfig::new(
+                    cfg.nodes,
+                    NetworkKind::Baldur(params),
+                    Workload::Synthetic {
+                        pattern,
+                        load: 0.6,
+                        packets_per_node: cfg.packets_per_node,
+                    },
+                )
+            };
+            items.push((name.to_string(), pattern.name().to_string(), rc));
         }
     }
-    parallel_map(cfg.workers(), items, |(name, topo, wiring, pattern)| {
-        let params = BaldurParams {
-            topology: *topo,
-            wiring: *wiring,
-            ..BaldurParams::paper_for(u64::from(cfg.nodes))
-        };
-        let rc = RunConfig {
-            seed: cfg.seed,
-            ..RunConfig::new(
-                cfg.nodes,
-                NetworkKind::Baldur(params),
-                Workload::Synthetic {
-                    pattern: *pattern,
-                    load: 0.6,
-                    packets_per_node: cfg.packets_per_node,
-                },
-            )
-        };
-        TopologyRow {
-            topology: name.clone(),
-            pattern: pattern.name().to_string(),
-            report: run(&rc),
-        }
+    sw.map("topologies", items, |(name, pattern, rc)| TopologyRow {
+        topology: name.clone(),
+        pattern: pattern.clone(),
+        report: run(rc),
     })
 }
 
@@ -617,31 +676,36 @@ pub struct SaturationRow {
 /// accepted throughput of every network — the classical saturation curve
 /// backing Figure 6's "saturates at higher input loads" observation.
 pub fn saturation(cfg: &EvalConfig, loads: &[f64]) -> Vec<SaturationRow> {
-    let mut items = Vec::new();
+    saturation_on(&cfg.sweep(), cfg, loads)
+}
+
+/// [`saturation`] on a caller-provided [`Sweep`].
+pub fn saturation_on(sw: &Sweep, cfg: &EvalConfig, loads: &[f64]) -> Vec<SaturationRow> {
+    let mut items: Vec<(String, f64, RunConfig)> = Vec::new();
     for (name, net) in NetworkKind::paper_lineup(cfg.nodes) {
         for &load in loads {
-            items.push((name.clone(), net.clone(), load));
+            let rc = RunConfig {
+                seed: cfg.seed,
+                ..RunConfig::new(
+                    cfg.nodes,
+                    net.clone(),
+                    Workload::Synthetic {
+                        pattern: Pattern::UniformRandom,
+                        load,
+                        packets_per_node: cfg.packets_per_node,
+                    },
+                )
+            };
+            items.push((name.clone(), load, rc));
         }
     }
     let link = crate::net::config::LinkParams::paper();
-    parallel_map(cfg.workers(), items, |(name, net, load)| {
-        let rc = RunConfig {
-            seed: cfg.seed,
-            ..RunConfig::new(
-                cfg.nodes,
-                net.clone(),
-                Workload::Synthetic {
-                    pattern: Pattern::UniformRandom,
-                    load: *load,
-                    packets_per_node: cfg.packets_per_node,
-                },
-            )
-        };
-        let r = run(&rc);
+    sw.map("saturation", items, |(name, load, rc)| {
+        let r = run(rc);
         SaturationRow {
             network: name.clone(),
             offered: *load,
-            accepted: r.accepted_load(cfg.nodes, link.packet_time().as_ps()),
+            accepted: r.accepted_load(rc.nodes, link.packet_time().as_ps()),
             avg_ns: r.avg_ns,
         }
     })
@@ -667,35 +731,38 @@ pub struct DegradationRow {
 /// strict superset of a lower one — so goodput degrades monotonically in
 /// the fraction by construction, not by luck of the draw.
 pub fn degradation(cfg: &EvalConfig, fractions: &[f64]) -> Vec<DegradationRow> {
+    degradation_on(&cfg.sweep(), cfg, fractions)
+}
+
+/// [`degradation`] on a caller-provided [`Sweep`].
+pub fn degradation_on(sw: &Sweep, cfg: &EvalConfig, fractions: &[f64]) -> Vec<DegradationRow> {
     use crate::net::faults::FaultPlan;
-    let mut items = Vec::new();
+    let mut items: Vec<(String, f64, RunConfig)> = Vec::new();
     for (name, net) in NetworkKind::paper_lineup(cfg.nodes) {
         if matches!(net, NetworkKind::Ideal) {
             continue;
         }
         for &fraction in fractions {
-            items.push((name.clone(), net.clone(), fraction));
+            let rc = RunConfig {
+                seed: cfg.seed,
+                ..RunConfig::new(
+                    cfg.nodes,
+                    net.clone(),
+                    Workload::Synthetic {
+                        pattern: Pattern::UniformRandom,
+                        load: 0.5,
+                        packets_per_node: cfg.packets_per_node,
+                    },
+                )
+            }
+            .with_faults(FaultPlan::degradation(cfg.seed, fraction));
+            items.push((name.clone(), fraction, rc));
         }
     }
-    parallel_map(cfg.workers(), items, |(name, net, fraction)| {
-        let rc = RunConfig {
-            seed: cfg.seed,
-            ..RunConfig::new(
-                cfg.nodes,
-                net.clone(),
-                Workload::Synthetic {
-                    pattern: Pattern::UniformRandom,
-                    load: 0.5,
-                    packets_per_node: cfg.packets_per_node,
-                },
-            )
-        }
-        .with_faults(FaultPlan::degradation(cfg.seed, *fraction));
-        DegradationRow {
-            network: name.clone(),
-            fraction: *fraction,
-            report: run(&rc),
-        }
+    sw.map("faults", items, |(name, fraction, rc)| DegradationRow {
+        network: name.clone(),
+        fraction: *fraction,
+        report: run(rc),
     })
 }
 
@@ -721,36 +788,55 @@ pub struct WiringAblation {
 /// network immune to worst-case permutations; without it, structured
 /// permutations concentrate on a few internal paths).
 pub fn wiring_ablation(cfg: &EvalConfig) -> WiringAblation {
+    wiring_ablation_on(&cfg.sweep(), cfg)
+}
+
+/// [`wiring_ablation`] on a caller-provided [`Sweep`]: the two burst
+/// analyses and the two steady-state runs are four independent cached
+/// jobs.
+pub fn wiring_ablation_on(sw: &Sweep, cfg: &EvalConfig) -> WiringAblation {
     use crate::topo::multibutterfly::Wiring;
     let pattern = Pattern::Transpose;
     let nodes = cfg.nodes.next_power_of_two();
-    let burst =
-        |wiring| droptool::worst_case_with_wiring(nodes, 4, pattern, cfg.seed, wiring).drop_rate;
-    let sim = |wiring| {
-        let params = BaldurParams {
-            wiring,
-            ..BaldurParams::paper_for(u64::from(cfg.nodes))
-        };
-        let rc = RunConfig {
-            seed: cfg.seed,
-            ..RunConfig::new(
-                cfg.nodes,
-                NetworkKind::Baldur(params),
-                Workload::Synthetic {
-                    pattern,
-                    load: 0.7,
-                    packets_per_node: cfg.packets_per_node,
-                },
-            )
-        };
-        run(&rc)
+    let burst_items: Vec<(u32, u32, Pattern, u64, Wiring)> = [Wiring::Randomized, Wiring::Dilated]
+        .into_iter()
+        .map(|w| (nodes, 4, pattern, cfg.seed, w))
+        .collect();
+    let bursts = sw.map("wiring_burst", burst_items, |(n, m, p, seed, w)| {
+        droptool::worst_case_with_wiring(*n, *m, *p, *seed, *w).drop_rate
+    });
+    let sim_items: Vec<RunConfig> = [Wiring::Randomized, Wiring::Dilated]
+        .into_iter()
+        .map(|wiring| {
+            let params = BaldurParams {
+                wiring,
+                ..BaldurParams::paper_for(u64::from(cfg.nodes))
+            };
+            RunConfig {
+                seed: cfg.seed,
+                ..RunConfig::new(
+                    cfg.nodes,
+                    NetworkKind::Baldur(params),
+                    Workload::Synthetic {
+                        pattern,
+                        load: 0.7,
+                        packets_per_node: cfg.packets_per_node,
+                    },
+                )
+            }
+        })
+        .collect();
+    let mut sims = sw.map("wiring_sim", sim_items, run);
+    let (randomized, dilated) = match (sims.pop(), sims.pop()) {
+        (Some(d), Some(r)) => (r, d),
+        _ => unreachable!("two wiring configs in, two reports out"),
     };
     WiringAblation {
         pattern: pattern.name().into(),
-        randomized_burst_drop: burst(Wiring::Randomized),
-        dilated_burst_drop: burst(Wiring::Dilated),
-        randomized: sim(Wiring::Randomized),
-        dilated: sim(Wiring::Dilated),
+        randomized_burst_drop: bursts[0],
+        dilated_burst_drop: bursts[1],
+        randomized,
+        dilated,
     }
 }
 
@@ -769,29 +855,42 @@ pub struct BackoffAblation {
 /// where retransmission pressure is real and BEB's throttling shows up
 /// as fewer wasted traversals.
 pub fn backoff_ablation(cfg: &EvalConfig) -> BackoffAblation {
-    let sim = |backoff| {
-        let params = BaldurParams {
-            backoff,
-            multiplicity: 2,
-            ..BaldurParams::paper_for(u64::from(cfg.nodes))
-        };
-        let rc = RunConfig {
-            seed: cfg.seed,
-            ..RunConfig::new(
-                cfg.nodes,
-                NetworkKind::Baldur(params),
-                Workload::Synthetic {
-                    pattern: Pattern::Transpose,
-                    load: 0.9,
-                    packets_per_node: cfg.packets_per_node,
-                },
-            )
-        };
-        run(&rc)
+    backoff_ablation_on(&cfg.sweep(), cfg)
+}
+
+/// [`backoff_ablation`] on a caller-provided [`Sweep`] — the on/off runs
+/// are two independent cached jobs.
+pub fn backoff_ablation_on(sw: &Sweep, cfg: &EvalConfig) -> BackoffAblation {
+    let items: Vec<RunConfig> = [true, false]
+        .into_iter()
+        .map(|backoff| {
+            let params = BaldurParams {
+                backoff,
+                multiplicity: 2,
+                ..BaldurParams::paper_for(u64::from(cfg.nodes))
+            };
+            RunConfig {
+                seed: cfg.seed,
+                ..RunConfig::new(
+                    cfg.nodes,
+                    NetworkKind::Baldur(params),
+                    Workload::Synthetic {
+                        pattern: Pattern::Transpose,
+                        load: 0.9,
+                        packets_per_node: cfg.packets_per_node,
+                    },
+                )
+            }
+        })
+        .collect();
+    let mut reports = sw.map("backoff", items, run);
+    let (with_backoff, without_backoff) = match (reports.pop(), reports.pop()) {
+        (Some(wo), Some(w)) => (w, wo),
+        _ => unreachable!("two backoff configs in, two reports out"),
     };
     BackoffAblation {
-        with_backoff: sim(true),
-        without_backoff: sim(false),
+        with_backoff,
+        without_backoff,
     }
 }
 

@@ -59,6 +59,8 @@ pub use baldur_topo as topo;
 
 pub mod csv;
 pub mod experiments;
+pub mod hash;
+pub mod sweep;
 
 pub use net::runner::{run, NetworkKind, RunConfig, Workload};
 

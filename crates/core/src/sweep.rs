@@ -1,0 +1,368 @@
+//! Sweep orchestration: deterministic parallel fan-out plus a
+//! content-addressed run cache.
+//!
+//! Every experiment in [`crate::experiments`] is a sweep — a list of fully
+//! self-describing jobs (each item serializes to JSON and determines its
+//! result completely) mapped through a pure function. That structure buys
+//! two things at once:
+//!
+//! * **Parallelism without divergence.** Jobs fan out over
+//!   [`baldur_sim::par::par_map`], which returns results in submission
+//!   order, so rendered CSV/JSON is byte-identical at any thread count
+//!   (`BALDUR_THREADS=1` and `=8` produce the same bytes; a tier-1 test
+//!   asserts it).
+//! * **Content-addressed caching.** Each job's cache key is the SHA-256 of
+//!   `label | schema | crate version | exact-JSON(item)`. A hit replays
+//!   the stored result instead of simulating; because results are stored
+//!   with [`serde_json::to_string_exact`] (non-finite floats round-trip)
+//!   and floats render shortest-round-trip, a replayed result is
+//!   bit-identical to a fresh one. Corrupt or unreadable entries are
+//!   silently recomputed and overwritten.
+//!
+//! The cache lives under `results/cache/` by default (one `<hex>.json`
+//! per job) and is enabled by the bench binaries, not by unit tests: the
+//! experiment wrappers in [`crate::experiments`] default to an uncached
+//! [`Sweep`] so `cargo test` never touches the filesystem.
+
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use crate::sim::par;
+
+/// Bump when the meaning of cached payloads changes (e.g. a report field
+/// is added): every key changes, so stale entries are never replayed.
+const CACHE_SCHEMA: u32 = 1;
+
+/// Default cache directory, relative to the working directory.
+pub const DEFAULT_CACHE_DIR: &str = "results/cache";
+
+/// Per-sweep accounting: one entry per [`Sweep::map`] call.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SweepStats {
+    /// The sweep label (also part of every job's cache key).
+    pub label: String,
+    /// Jobs in the sweep.
+    pub jobs: usize,
+    /// Jobs answered from the cache.
+    pub cache_hits: usize,
+    /// Wall-clock time for the whole sweep, milliseconds.
+    pub wall_ms: u64,
+}
+
+/// A parallel sweep runner with optional result caching.
+///
+/// Construct once per harness invocation and thread through the
+/// `*_on` experiment variants; [`Sweep::summary`] renders the collected
+/// per-sweep wall-clock and cache-hit counters.
+#[derive(Debug)]
+pub struct Sweep {
+    threads: usize,
+    cache_dir: Option<PathBuf>,
+    stats: Mutex<Vec<SweepStats>>,
+}
+
+impl Sweep {
+    /// An uncached sweep runner. `threads == 0` resolves through
+    /// `BALDUR_THREADS`, then the machine's parallelism.
+    pub fn new(threads: usize) -> Self {
+        Sweep {
+            threads: par::thread_count(threads),
+            cache_dir: None,
+            stats: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// A sweep runner caching into [`DEFAULT_CACHE_DIR`].
+    pub fn cached(threads: usize) -> Self {
+        Sweep::new(threads).with_cache_dir(DEFAULT_CACHE_DIR)
+    }
+
+    /// Redirects (and enables) the cache at `dir`.
+    #[must_use]
+    pub fn with_cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Disables the cache (jobs always recompute).
+    #[must_use]
+    pub fn without_cache(mut self) -> Self {
+        self.cache_dir = None;
+        self
+    }
+
+    /// The resolved worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Maps `f` over `items` in parallel, preserving order, replaying
+    /// cached results where available.
+    ///
+    /// Each item must be *self-describing*: its serialized form (plus
+    /// `label`) is the cache key, so everything that influences `f`'s
+    /// result must be part of the item — which is why the experiment
+    /// sweeps carry their full `RunConfig` in the item tuples.
+    pub fn map<T, R, F>(&self, label: &str, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Serialize + Send + Sync,
+        R: Serialize + Deserialize + Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let start = Instant::now();
+        let n = items.len();
+        let keys: Vec<Option<PathBuf>> = match &self.cache_dir {
+            Some(dir) => items.iter().map(|it| key_path(dir, label, it)).collect(),
+            None => vec![None; n],
+        };
+
+        let mut results: Vec<Option<R>> = Vec::with_capacity(n);
+        let mut miss_idx: Vec<usize> = Vec::new();
+        for (i, key) in keys.iter().enumerate() {
+            let cached = key.as_deref().and_then(read_entry::<R>);
+            if cached.is_none() {
+                miss_idx.push(i);
+            }
+            results.push(cached);
+        }
+        let cache_hits = n - miss_idx.len();
+
+        let computed = par::par_map(self.threads, miss_idx.clone(), |&i| f(&items[i]));
+        for (i, r) in miss_idx.into_iter().zip(computed) {
+            if let Some(path) = &keys[i] {
+                write_entry(path, &r);
+            }
+            results[i] = Some(r);
+        }
+
+        let wall_ms = u64::try_from(start.elapsed().as_millis()).unwrap_or(u64::MAX);
+        self.stats
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(SweepStats {
+                label: label.to_string(),
+                jobs: n,
+                cache_hits,
+                wall_ms,
+            });
+
+        results
+            .into_iter()
+            .map(|r| match r {
+                Some(v) => v,
+                None => unreachable!("every sweep job is either a hit or recomputed"),
+            })
+            .collect()
+    }
+
+    /// The per-sweep counters collected so far, in execution order.
+    pub fn stats(&self) -> Vec<SweepStats> {
+        self.stats
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Renders the collected counters as an aligned console block, e.g.
+    ///
+    /// ```text
+    /// sweep summary (threads=8, cache=results/cache)
+    ///   fig6            48 jobs    48 hits       213 ms
+    ///   total           48 jobs    48 hits (100.0%)   213 ms
+    /// ```
+    pub fn summary(&self) -> String {
+        let stats = self.stats();
+        let cache_note = match &self.cache_dir {
+            Some(dir) => format!("cache={}", dir.display()),
+            None => "cache=off".to_string(),
+        };
+        let mut out = format!("sweep summary (threads={}, {cache_note})\n", self.threads);
+        let (mut jobs, mut hits, mut ms) = (0usize, 0usize, 0u64);
+        for s in &stats {
+            out.push_str(&format!(
+                "  {:<18} {:>5} jobs {:>5} hits {:>8} ms\n",
+                s.label, s.jobs, s.cache_hits, s.wall_ms
+            ));
+            jobs += s.jobs;
+            hits += s.cache_hits;
+            ms += s.wall_ms;
+        }
+        let pct = if jobs == 0 {
+            0.0
+        } else {
+            100.0 * hits as f64 / jobs as f64
+        };
+        out.push_str(&format!(
+            "  {:<18} {jobs:>5} jobs {hits:>5} hits ({pct:.1}%) {ms:>4} ms\n",
+            "total"
+        ));
+        out
+    }
+
+    /// `(total jobs, cache hits)` across every sweep so far.
+    pub fn totals(&self) -> (usize, usize) {
+        let stats = self.stats();
+        (
+            stats.iter().map(|s| s.jobs).sum(),
+            stats.iter().map(|s| s.cache_hits).sum(),
+        )
+    }
+}
+
+/// The cache file for one `(label, item)` job, or `None` when the item
+/// fails to serialize — that job simply runs uncached.
+fn key_path<T: Serialize>(dir: &Path, label: &str, item: &T) -> Option<PathBuf> {
+    let payload = serde_json::to_string_exact(item).ok()?;
+    let mut h = crate::hash::Sha256::new();
+    h.update(label.as_bytes());
+    h.update(b"|");
+    h.update(&CACHE_SCHEMA.to_le_bytes());
+    h.update(b"|");
+    h.update(env!("CARGO_PKG_VERSION").as_bytes());
+    h.update(b"|");
+    h.update(payload.as_bytes());
+    let digest = h.finish();
+    let mut name = String::with_capacity(69);
+    for b in digest {
+        use std::fmt::Write;
+        let _ = write!(name, "{b:02x}"); // writing to a String cannot fail
+    }
+    name.push_str(".json");
+    Some(dir.join(name))
+}
+
+/// Reads and decodes one cache entry; any failure (missing file, torn
+/// write, schema drift that survived the key) is just a miss.
+fn read_entry<R: Deserialize>(path: &Path) -> Option<R> {
+    let text = std::fs::read_to_string(path).ok()?;
+    serde_json::from_str(&text).ok()
+}
+
+/// Writes one cache entry via a temp file + rename so concurrent
+/// harnesses never observe a torn entry. Failures are silent: the cache
+/// is an accelerator, never a correctness dependency.
+fn write_entry<R: Serialize>(path: &Path, value: &R) {
+    let Some(dir) = path.parent() else { return };
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let Ok(text) = serde_json::to_string_exact(value) else {
+        return;
+    };
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    if std::fs::write(&tmp, text).is_ok() && std::fs::rename(&tmp, path).is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("baldur-sweep-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn uncached_map_preserves_order() {
+        let sw = Sweep::new(4);
+        let out = sw.map("square", (0u64..50).collect(), |&x| x * x);
+        assert_eq!(out, (0u64..50).map(|x| x * x).collect::<Vec<_>>());
+        let stats = sw.stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!((stats[0].jobs, stats[0].cache_hits), (50, 0));
+    }
+
+    #[test]
+    fn second_run_hits_cache_and_agrees() {
+        let dir = temp_dir("hits");
+        let calls = AtomicUsize::new(0);
+        let job = |&x: &u64| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            (x, (x as f64).sqrt())
+        };
+        let sw = Sweep::new(2).with_cache_dir(&dir);
+        let first = sw.map("roots", (0u64..20).collect(), job);
+        assert_eq!(calls.load(Ordering::Relaxed), 20);
+
+        let sw2 = Sweep::new(2).with_cache_dir(&dir);
+        let second = sw2.map("roots", (0u64..20).collect(), job);
+        assert_eq!(calls.load(Ordering::Relaxed), 20, "all jobs replayed");
+        assert_eq!(first, second);
+        let stats = sw2.stats();
+        assert_eq!((stats[0].jobs, stats[0].cache_hits), (20, 20));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn label_separates_cache_namespaces() {
+        let dir = temp_dir("labels");
+        let sw = Sweep::new(1).with_cache_dir(&dir);
+        let a = sw.map("double", vec![21u64], |&x| x * 2);
+        let b = sw.map("triple", vec![21u64], |&x| x * 3);
+        assert_eq!((a[0], b[0]), (42, 63));
+        let (jobs, hits) = sw.totals();
+        assert_eq!((jobs, hits), (2, 0), "same item, different label: no hit");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entries_recompute() {
+        let dir = temp_dir("corrupt");
+        let sw = Sweep::new(1).with_cache_dir(&dir);
+        sw.map("c", vec![7u64], |&x| x + 1);
+        for entry in std::fs::read_dir(&dir).expect("cache dir exists") {
+            let path = entry.expect("dir entry").path();
+            std::fs::write(&path, "{ not json").expect("overwrite entry");
+        }
+        let sw2 = Sweep::new(1).with_cache_dir(&dir);
+        let out = sw2.map("c", vec![7u64], |&x| x + 1);
+        assert_eq!(out, vec![8]);
+        assert_eq!(sw2.stats()[0].cache_hits, 0);
+        // The corrupt entry was healed: a third run hits.
+        let sw3 = Sweep::new(1).with_cache_dir(&dir);
+        sw3.map("c", vec![7u64], |&x| x + 1);
+        assert_eq!(sw3.stats()[0].cache_hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn non_finite_results_round_trip_through_cache() {
+        let dir = temp_dir("nonfinite");
+        let job = |&x: &u32| match x {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            2 => f64::NEG_INFINITY,
+            _ => 0.1,
+        };
+        let sw = Sweep::new(1).with_cache_dir(&dir);
+        sw.map("nf", (0u32..4).collect(), job);
+        let sw2 = Sweep::new(1).with_cache_dir(&dir);
+        let replayed = sw2.map("nf", (0u32..4).collect(), job);
+        assert_eq!(sw2.stats()[0].cache_hits, 4);
+        assert!(replayed[0].is_nan());
+        assert_eq!(replayed[1], f64::INFINITY);
+        assert_eq!(replayed[2], f64::NEG_INFINITY);
+        assert_eq!(replayed[3].to_bits(), 0.1f64.to_bits());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn summary_mentions_totals() {
+        let sw = Sweep::new(1);
+        sw.map("alpha", vec![1u32, 2], |&x| x);
+        sw.map("beta", vec![3u32], |&x| x);
+        let s = sw.summary();
+        assert!(s.contains("alpha"), "{s}");
+        assert!(s.contains("beta"), "{s}");
+        assert!(s.contains("total"), "{s}");
+        assert!(s.contains("3 jobs"), "{s}");
+    }
+}

@@ -61,6 +61,11 @@ pub enum Rule {
     FloatCmpPanic,
     /// `==` / `!=` against a float literal.
     FloatLiteralEq,
+    /// A committed `*.proptest-regressions` file anywhere in the tree.
+    /// The repo's property tests are deterministic seed-loop tests (no
+    /// `proptest` dependency), so these shrinker artifacts are always
+    /// stale imports; a failure case worth keeping belongs in test code.
+    StaleArtifact,
 }
 
 impl Rule {
@@ -73,6 +78,7 @@ impl Rule {
         Rule::FaultPathPanic,
         Rule::FloatCmpPanic,
         Rule::FloatLiteralEq,
+        Rule::StaleArtifact,
     ];
 
     /// Stable identifier used in the allowlist and the JSON report.
@@ -85,6 +91,7 @@ impl Rule {
             Rule::FaultPathPanic => "fault-path-panic",
             Rule::FloatCmpPanic => "float-cmp-panic",
             Rule::FloatLiteralEq => "float-literal-eq",
+            Rule::StaleArtifact => "stale-artifact",
         }
     }
 
@@ -116,6 +123,10 @@ impl Rule {
                 "no partial_cmp().unwrap()/expect(); NaN panics — use f64::total_cmp"
             }
             Rule::FloatLiteralEq => "no ==/!= against float literals in library code",
+            Rule::StaleArtifact => {
+                "no committed *.proptest-regressions files; the seed-loop property \
+                 tests are deterministic, so shrinker artifacts are always stale"
+            }
         }
     }
 }
@@ -216,6 +227,7 @@ pub fn lint_repo(root: &Path) -> Result<Outcome, String> {
             std::fs::read_to_string(abs).map_err(|e| format!("read {}: {e}", abs.display()))?;
         findings.extend(lint_source(rel, &source));
     }
+    findings.extend(find_stale_artifacts(root)?);
 
     // Apply allowlist budgets per (rule, file).
     let mut by_key: BTreeMap<(String, String), Vec<Finding>> = BTreeMap::new();
@@ -716,6 +728,64 @@ pub fn test_mask(scrubbed: &str) -> Vec<bool> {
     mask
 }
 
+/// Scans the *whole* repository tree (not just `crates/*/src`) for banned
+/// artifact files — currently `*.proptest-regressions`. Generated and
+/// external directories (`.git`, `target`, `results`, `vendor`) are
+/// skipped; everything else, including `tests/` at the repo root, is fair
+/// game since that is exactly where such files get committed by accident.
+///
+/// # Errors
+///
+/// Returns a message when a directory cannot be walked.
+pub fn find_stale_artifacts(root: &Path) -> Result<Vec<Finding>, String> {
+    const SKIP_DIRS: &[&str] = &[".git", "target", "results", "vendor"];
+    let mut findings = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let entries =
+            std::fs::read_dir(&dir).map_err(|e| format!("read {}: {e}", dir.display()))?;
+        let mut paths: Vec<PathBuf> = Vec::new();
+        for entry in entries {
+            paths.push(
+                entry
+                    .map_err(|e| format!("walk {}: {e}", dir.display()))?
+                    .path(),
+            );
+        }
+        paths.sort();
+        for path in paths {
+            let name = path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_str()) {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".proptest-regressions") {
+                let rel = path
+                    .strip_prefix(root)
+                    .map_err(|e| format!("relativize {}: {e}", path.display()))?
+                    .components()
+                    .map(|c| c.as_os_str().to_string_lossy())
+                    .collect::<Vec<_>>()
+                    .join("/");
+                findings.push(Finding {
+                    rule: Rule::StaleArtifact.id().to_string(),
+                    file: rel,
+                    line: 0,
+                    message: "committed proptest shrinker artifact; the seed-loop property \
+                              tests are deterministic — delete it (keep a worthwhile failure \
+                              case as a regular test instead)"
+                        .to_string(),
+                });
+            }
+        }
+    }
+    findings.sort_by(|a, b| a.file.cmp(&b.file));
+    Ok(findings)
+}
+
 /// All `.rs` files under `crates/*/src`, as `(absolute, repo-relative)`
 /// pairs sorted by relative path.
 fn collect_sources(root: &Path) -> Result<Vec<(PathBuf, String)>, String> {
@@ -875,6 +945,42 @@ mod tests {
         // Outside crates/net the ordinary panic budget applies.
         let fs4 = lint_source("crates/core/src/faults.rs", src);
         assert_eq!(fs4[0].rule, "panic-site");
+    }
+
+    #[test]
+    fn stale_artifact_scan_finds_proptest_regressions() {
+        let root =
+            std::env::temp_dir().join(format!("baldur-lint-artifact-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(root.join("tests")).expect("mkdir tests/");
+        std::fs::create_dir_all(root.join("target/debug")).expect("mkdir target/");
+        std::fs::write(
+            root.join("tests/properties.proptest-regressions"),
+            "cc deadbeef\n",
+        )
+        .expect("write artifact");
+        // The same file under target/ is generated output and ignored.
+        std::fs::write(
+            root.join("target/debug/x.proptest-regressions"),
+            "cc deadbeef\n",
+        )
+        .expect("write ignored artifact");
+        let findings = find_stale_artifacts(&root).expect("scan");
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, "stale-artifact");
+        assert_eq!(findings[0].file, "tests/properties.proptest-regressions");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn stale_artifact_scan_clean_tree_is_empty() {
+        let root =
+            std::env::temp_dir().join(format!("baldur-lint-artifact-clean-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(root.join("tests")).expect("mkdir tests/");
+        std::fs::write(root.join("tests/properties.rs"), "// fine\n").expect("write source");
+        assert!(find_stale_artifacts(&root).expect("scan").is_empty());
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

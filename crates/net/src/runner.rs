@@ -286,6 +286,21 @@ pub fn run(cfg: &RunConfig) -> LatencyReport {
     }
 }
 
+/// Runs a batch of independent configurations across up to `threads`
+/// workers, returning reports in input order.
+///
+/// Every run is a pure function of its `RunConfig`, so the fan-out cannot
+/// change any report — results are byte-identical at any thread count.
+/// `threads == 0` resolves through `BALDUR_THREADS`, then the machine's
+/// available parallelism (see [`baldur_sim::par::thread_count`]).
+///
+/// # Panics
+///
+/// Propagates a panic from any individual [`run`].
+pub fn run_many(threads: usize, cfgs: Vec<RunConfig>) -> Vec<LatencyReport> {
+    baldur_sim::par::par_map(baldur_sim::par::thread_count(threads), cfgs, run)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -326,6 +341,17 @@ mod tests {
         assert!(baldur < avg["dragonfly"], "{avg:?}");
         // And the ideal network lower-bounds everyone.
         assert!(avg["ideal"] <= baldur, "{avg:?}");
+    }
+
+    #[test]
+    fn run_many_matches_serial_runs_in_order() {
+        let cfgs: Vec<RunConfig> = NetworkKind::paper_lineup(64)
+            .into_iter()
+            .map(|(_, net)| RunConfig::new(64, net, synth(0.2, 10)))
+            .collect();
+        let serial: Vec<LatencyReport> = cfgs.iter().map(run).collect();
+        let batched = run_many(4, cfgs);
+        assert_eq!(serial, batched);
     }
 
     #[test]

@@ -8,6 +8,9 @@
 //! * [`Scheduler`] / [`Simulation`] — a deterministic event queue and run
 //!   loop generic over the model's event type,
 //! * [`rng`] — reproducible, stream-split random number generation,
+//! * [`par`] — a work-stealing thread pool that fans independent runs
+//!   across workers while keeping output order (and thus bytes) identical
+//!   to the serial path,
 //! * [`stats`] — streaming summary statistics, exact percentiles, and
 //!   logarithmic histograms used for latency reporting.
 //!
@@ -39,6 +42,7 @@
 
 pub mod calendar;
 pub mod engine;
+pub mod par;
 pub mod rng;
 pub mod stats;
 pub mod time;

@@ -1,0 +1,193 @@
+//! Work-stealing thread pool for independent simulation jobs.
+//!
+//! The reproduction's sweeps (one simulation per load point, topology, or
+//! fault scenario) are embarrassingly parallel: every run is a pure
+//! function of its `RunConfig`, so fanning runs across threads cannot
+//! change any result — only the wall clock. This module provides the
+//! fan-out: a std-only pool (the workspace is offline-vendored, so rayon
+//! is unavailable) where each worker owns a deque of job indices and
+//! steals from its neighbours when it runs dry.
+//!
+//! Determinism contract: [`par_map`] returns results **in submission
+//! order** regardless of which worker executed which job, so downstream
+//! CSV/JSON rendering is byte-identical at any thread count — including
+//! the serial `threads == 1` path, which runs inline without spawning.
+//! `baldur-lint` keeps wall-clock reads out of this crate; the pool never
+//! consults a timer.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::thread;
+
+/// Environment variable overriding the worker count for sweeps
+/// (`thread_count(0)` consults it; an explicit request wins over it).
+pub const THREADS_ENV: &str = "BALDUR_THREADS";
+
+/// Parses a `BALDUR_THREADS`-style value: a positive integer, with
+/// surrounding whitespace tolerated. `None`, empty, zero, or garbage all
+/// yield `None` (meaning "fall back to the machine's parallelism").
+pub fn parse_threads(value: Option<&str>) -> Option<usize> {
+    match value?.trim().parse::<usize>() {
+        Ok(n) if n > 0 => Some(n),
+        _ => None,
+    }
+}
+
+/// Resolves the worker count for a sweep: an explicit nonzero `requested`
+/// wins; otherwise the `BALDUR_THREADS` environment variable; otherwise
+/// the machine's available parallelism (1 if unknown).
+pub fn thread_count(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    if let Some(n) = parse_threads(std::env::var(THREADS_ENV).ok().as_deref()) {
+        return n;
+    }
+    thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Maps `f` over `items` on up to `threads` workers, returning results in
+/// submission order.
+///
+/// Jobs are dealt round-robin into per-worker deques; a worker pops its
+/// own jobs from the front and, when dry, steals from the *back* of a
+/// neighbour's deque (classic Chase–Lev shape, mutex-based since the
+/// workspace forbids `unsafe`). With `threads <= 1` (or a single item)
+/// the map runs inline on the caller's thread — no pool, no overhead —
+/// and produces the identical result vector.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the scope join panics after all other
+/// workers finish).
+pub fn par_map<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = threads.clamp(1, n.max(1));
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    // Deal job indices round-robin so early (often heavier) points spread
+    // across workers; stealing rebalances whatever the deal got wrong.
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+        .map(|w| Mutex::new((w..n).step_by(workers).collect()))
+        .collect();
+    let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let slots: Vec<Mutex<&mut Option<R>>> = out.iter_mut().map(Mutex::new).collect();
+
+    thread::scope(|scope| {
+        for w in 0..workers {
+            let queues = &queues;
+            let slots = &slots;
+            let items = &items;
+            let f = &f;
+            scope.spawn(move || loop {
+                // A poisoned lock means a sibling panicked mid-`f`; the
+                // scope will propagate that panic, so recovering the data
+                // here is safe and keeps the remaining workers draining.
+                let mine = queues[w]
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .pop_front();
+                let job = mine.or_else(|| {
+                    (1..workers).find_map(|off| {
+                        queues[(w + off) % workers]
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                            .pop_back()
+                    })
+                });
+                // No job anywhere: every queue was empty at inspection, and
+                // jobs are never re-enqueued, so this worker is done.
+                let Some(i) = job else { break };
+                let r = f(&items[i]);
+                **slots[i]
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(r);
+            });
+        }
+    });
+
+    drop(slots);
+    out.into_iter()
+        .map(|r| match r {
+            Some(v) => v,
+            None => unreachable!("scope joined with a job still pending"),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_submission_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let got = par_map(4, items.clone(), |&x| x * x);
+        let want: Vec<u64> = items.iter().map(|&x| x * x).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn identical_results_at_any_thread_count() {
+        let items: Vec<u64> = (0..37).collect();
+        let serial = par_map(1, items.clone(), |&x| x.wrapping_mul(0x9E37).rotate_left(7));
+        for threads in [2, 3, 8, 64] {
+            let parallel = par_map(threads, items.clone(), |&x| {
+                x.wrapping_mul(0x9E37).rotate_left(7)
+            });
+            assert_eq!(serial, parallel, "diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        assert_eq!(par_map(16, vec![1u32, 2], |&x| x + 1), vec![2, 3]);
+        assert_eq!(par_map(16, vec![5u32], |&x| x), vec![5]);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<u32> = par_map(8, Vec::<u32>::new(), |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn uneven_job_costs_still_complete() {
+        // Front-loaded heavy jobs force the later workers to steal.
+        let items: Vec<u32> = (0..16).collect();
+        let got = par_map(4, items, |&x| {
+            let spins = if x < 2 { 200_000 } else { 10 };
+            let mut acc = x;
+            for _ in 0..spins {
+                acc = acc.wrapping_mul(31).wrapping_add(1);
+            }
+            (x, acc)
+        });
+        let idx: Vec<u32> = got.iter().map(|&(x, _)| x).collect();
+        assert_eq!(idx, (0..16).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn parse_threads_accepts_positive_integers_only() {
+        assert_eq!(parse_threads(Some("4")), Some(4));
+        assert_eq!(parse_threads(Some(" 8 ")), Some(8));
+        assert_eq!(parse_threads(Some("0")), None);
+        assert_eq!(parse_threads(Some("-2")), None);
+        assert_eq!(parse_threads(Some("lots")), None);
+        assert_eq!(parse_threads(Some("")), None);
+        assert_eq!(parse_threads(None), None);
+    }
+
+    #[test]
+    fn thread_count_prefers_explicit_request() {
+        assert_eq!(thread_count(3), 3);
+        assert!(thread_count(0) >= 1);
+    }
+}

@@ -360,6 +360,77 @@ mod tests {
         assert!(r.quantile(1.0).is_nan());
     }
 
+    /// Independent reference: linear interpolation between order statistics
+    /// on a fully sorted copy, written from the definition rather than by
+    /// calling back into `Reservoir`.
+    fn exact_quantile(data: &[f64], q: f64) -> f64 {
+        let mut sorted = data.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let rank = q * (sorted.len() as f64 - 1.0);
+        let below = rank.floor() as usize;
+        let above = rank.ceil() as usize;
+        let w = rank - below as f64;
+        sorted[below] + (sorted[above] - sorted[below]) * w
+    }
+
+    #[test]
+    fn reservoir_quantiles_match_exact_sorted_reference() {
+        // Several sizes, including ones that don't divide the quantile
+        // grid evenly; xorshift data so values are unordered and distinct.
+        for n in [1usize, 2, 3, 7, 100, 997] {
+            let mut r = Reservoir::with_capacity(1000);
+            let mut x = 0x9E37_79B9u64 | 1;
+            let mut data = Vec::with_capacity(n);
+            for _ in 0..n {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let v = (x % 1_000_003) as f64 / 7.0;
+                r.push(v);
+                data.push(v);
+            }
+            assert!(r.is_exact());
+            for q in [0.0, 0.01, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+                let got = r.quantile(q);
+                let want = exact_quantile(&data, q);
+                assert!(
+                    (got - want).abs() <= 1e-9 * want.abs().max(1.0),
+                    "n={n} q={q}: got {got}, want {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reservoir_single_sample_is_every_quantile() {
+        let mut r = Reservoir::with_capacity(8);
+        r.push(42.5);
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(r.quantile(q), 42.5, "q={q}");
+        }
+    }
+
+    #[test]
+    fn reservoir_quantile_is_monotone_in_q() {
+        let mut r = Reservoir::with_capacity(100);
+        for i in 0..64u64 {
+            r.push((i.wrapping_mul(0x9E37_79B9) % 1000) as f64);
+        }
+        let mut last = f64::NEG_INFINITY;
+        for i in 0..=100 {
+            let q = f64::from(i) / 100.0;
+            let v = r.quantile(q);
+            assert!(v >= last, "quantile regressed at q={q}: {v} < {last}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn reservoir_empty_quantile_is_nan() {
+        let r = Reservoir::with_capacity(4);
+        assert!(r.quantile(0.5).is_nan());
+    }
+
     #[test]
     fn reservoir_sampling_stays_close() {
         let mut r = Reservoir::with_capacity(4096);

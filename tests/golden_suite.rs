@@ -1,0 +1,110 @@
+//! Golden-file suite: renders a fixed subset of the figure CSVs at the
+//! tiny config and compares them byte-for-byte against the snapshots in
+//! `results/golden/`.
+//!
+//! These snapshots pin the *rendered output*, end to end: simulation
+//! determinism, report field values, float formatting, and CSV layout all
+//! have to hold for the bytes to match. A legitimate change to any of
+//! those layers regenerates the snapshots with
+//!
+//! ```sh
+//! ./ci.sh --bless            # or: BALDUR_BLESS=1 cargo test -q --test golden_suite
+//! ```
+//!
+//! and the new files are reviewed like any other diff.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use baldur::experiments::{self, EvalConfig};
+
+/// Repo-relative directory holding the snapshots.
+const GOLDEN_DIR: &str = "results/golden";
+
+fn golden_path(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join(GOLDEN_DIR)
+        .join(name)
+}
+
+/// First line where `got` and `want` differ, for a readable failure.
+fn first_diff(got: &str, want: &str) -> String {
+    let mut out = String::new();
+    for (i, (g, w)) in got.lines().zip(want.lines()).enumerate() {
+        if g != w {
+            let _ = write!(out, "line {}:\n  got:    {g}\n  golden: {w}", i + 1);
+            return out;
+        }
+    }
+    let (gl, wl) = (got.lines().count(), want.lines().count());
+    let _ = write!(out, "line counts differ: got {gl}, golden {wl}");
+    out
+}
+
+/// Compares `rendered` against the snapshot `name`, or rewrites the
+/// snapshot when `BALDUR_BLESS` is set.
+fn check(name: &str, rendered: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("BALDUR_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().expect("golden dir has a parent"))
+            .expect("create results/golden/");
+        std::fs::write(&path, rendered).unwrap_or_else(|e| panic!("bless {name}: {e}"));
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "read golden snapshot {}: {e}\n\
+             create it with `./ci.sh --bless` (or BALDUR_BLESS=1 cargo test -q --test golden_suite)",
+            path.display()
+        )
+    });
+    assert!(
+        rendered == golden,
+        "{name} drifted from its golden snapshot:\n{}\n\
+         if the change is intentional, re-bless with `./ci.sh --bless` and review the diff",
+        first_diff(rendered, &golden)
+    );
+}
+
+fn tiny() -> EvalConfig {
+    EvalConfig::tiny()
+}
+
+#[test]
+fn golden_fig6_csv() {
+    let rows = experiments::figure6(&tiny(), &[0.3, 0.7]);
+    check("fig6.csv", &baldur::csv::fig6(&rows));
+}
+
+#[test]
+fn golden_fig7_csv() {
+    let rows = experiments::figure7(&tiny());
+    check("fig7.csv", &baldur::csv::fig7(&rows));
+}
+
+#[test]
+fn golden_faults_csv() {
+    let rows = experiments::degradation(&tiny(), &[0.0, 0.05]);
+    check("faults.csv", &baldur::csv::faults(&rows));
+}
+
+#[test]
+fn golden_table5_csv() {
+    let rows = experiments::table_v(&tiny());
+    check("table5.csv", &baldur::csv::table5(&rows));
+}
+
+#[test]
+fn golden_fig8_csv() {
+    // Analytic (no simulation): pins the power model and CSV rendering.
+    let rows = experiments::figure8();
+    check("fig8.csv", &baldur::csv::fig8(&rows));
+}
+
+#[test]
+fn golden_fig10_csv() {
+    // Analytic: pins the cost model and CSV rendering.
+    let rows = experiments::figure10();
+    check("fig10.csv", &baldur::csv::fig10(&rows));
+}

@@ -5,7 +5,9 @@
 //! provides the case inputs, `CASES` iterations per property, and every
 //! assertion message carries the case index so failures reproduce exactly.
 
-use baldur::phy::eightbtenb::{max_run_length, Decoder, Encoder, Symbol};
+use baldur::phy::eightbtenb::{
+    max_run_length, Code10, Decoder, Disparity, Encoder, Symbol, VALID_CONTROL,
+};
 use baldur::phy::length_code::LengthCode;
 use baldur::phy::waveform::Waveform;
 use baldur::sim::rng::StreamRng;
@@ -38,6 +40,131 @@ fn eightbtenb_roundtrip() {
             assert_eq!(dec.decode(c), Ok(Symbol::Data(b)), "case {case}");
         }
         assert!(max_run_length(&bits) <= 5, "case {case}");
+    }
+}
+
+/// Puts a fresh encoder/decoder pair into the requested running-disparity
+/// state. A fresh pair starts at RD−; encoding D.11.0 (0x0B, whose 3b/4b
+/// block is unbalanced) flips both to RD+.
+fn pair_at(rd: Disparity) -> (Encoder, Decoder) {
+    let mut enc = Encoder::new();
+    let mut dec = Decoder::new();
+    if rd == Disparity::Positive {
+        let c = enc.encode_data(0x0B);
+        assert_eq!(dec.decode(c), Ok(Symbol::Data(0x0B)));
+    }
+    assert_eq!(enc.disparity(), rd);
+    (enc, dec)
+}
+
+/// 8b/10b, exhaustively: every one of the 256 data octets round-trips
+/// from *both* running-disparity states, and every emitted group is
+/// balanced to within one bit pair (4–6 ones out of 10).
+#[test]
+fn eightbtenb_exhaustive_roundtrip_both_disparities() {
+    for rd in [Disparity::Negative, Disparity::Positive] {
+        for byte in 0u16..=255 {
+            let byte = byte as u8;
+            let (mut enc, mut dec) = pair_at(rd);
+            let code = enc.encode_data(byte);
+            assert!(
+                (4..=6).contains(&code.ones()),
+                "{rd:?} D.{byte:#04x}: {} ones",
+                code.ones()
+            );
+            assert_eq!(
+                dec.decode(code),
+                Ok(Symbol::Data(byte)),
+                "{rd:?} D.{byte:#04x}"
+            );
+        }
+    }
+}
+
+/// 8b/10b, exhaustively: the running disparity stays within ±1 after
+/// *every sub-block* (not just group boundaries) for any octet from
+/// either starting state — the invariant that keeps the line DC-balanced.
+#[test]
+fn eightbtenb_disparity_bounded_after_every_sub_block() {
+    for rd0 in [Disparity::Negative, Disparity::Positive] {
+        for byte in 0u16..=255 {
+            let byte = byte as u8;
+            let (mut enc, _) = pair_at(rd0);
+            let code = enc.encode_data(byte);
+            let six_ones = i32::from(((code.0 >> 4) & 0x3F).count_ones() as u8);
+            let four_ones = i32::from((code.0 & 0x0F).count_ones() as u8);
+            let mut rd = match rd0 {
+                Disparity::Negative => -1i32,
+                Disparity::Positive => 1,
+            };
+            rd += six_ones * 2 - 6;
+            assert_eq!(rd.abs(), 1, "{rd0:?} D.{byte:#04x}: after 6b block");
+            rd += four_ones * 2 - 4;
+            assert_eq!(rd.abs(), 1, "{rd0:?} D.{byte:#04x}: after 4b block");
+            // And the encoder's tracked state agrees with the arithmetic.
+            let tracked = match enc.disparity() {
+                Disparity::Negative => -1,
+                Disparity::Positive => 1,
+            };
+            assert_eq!(rd, tracked, "{rd0:?} D.{byte:#04x}");
+        }
+    }
+}
+
+/// 8b/10b: every control character decodes as `Symbol::Control`, never as
+/// data, from both disparity states — so K-codes can safely delimit
+/// packets without ever being mistaken for payload bytes.
+#[test]
+fn eightbtenb_control_codes_never_decode_as_data() {
+    for rd in [Disparity::Negative, Disparity::Positive] {
+        for &k in &VALID_CONTROL {
+            let (mut enc, mut dec) = pair_at(rd);
+            let code = enc.encode_control(k);
+            let sym = dec
+                .decode(code)
+                .unwrap_or_else(|e| panic!("{rd:?} K {k:#04x}: {e}"));
+            assert_eq!(sym, Symbol::Control(k), "{rd:?} K {k:#04x}");
+            assert!(sym.is_control(), "{rd:?} K {k:#04x} decoded as data");
+        }
+    }
+}
+
+/// 8b/10b, exhaustively: over all 1024 possible 10-bit groups from both
+/// disparity states, the decoder either rejects the group or yields a
+/// symbol that round-trips through a fresh encoder/decoder pair at the
+/// same starting state — accepted symbols are always re-transmittable.
+#[test]
+fn eightbtenb_decoder_accepts_only_coherent_codes() {
+    let mut accepted = [0usize; 2];
+    for (i, rd) in [Disparity::Negative, Disparity::Positive]
+        .into_iter()
+        .enumerate()
+    {
+        for raw in 0u16..1024 {
+            let (_, mut dec) = pair_at(rd);
+            let Ok(sym) = dec.decode(Code10(raw)) else {
+                continue;
+            };
+            accepted[i] += 1;
+            let (mut enc2, mut dec2) = pair_at(rd);
+            let reencoded = match sym {
+                Symbol::Data(b) => enc2.encode_data(b),
+                Symbol::Control(k) => enc2.encode_control(k),
+            };
+            assert_eq!(
+                dec2.decode(reencoded),
+                Ok(sym),
+                "{rd:?} {raw:#05x}: accepted symbol does not re-transmit"
+            );
+        }
+    }
+    // The code space is sparse by design: each state accepts the 256 data
+    // octets and 12 control characters, plus bounded alternation slack.
+    for (i, n) in accepted.iter().enumerate() {
+        assert!(
+            (268..=600).contains(n),
+            "state {i}: {n} of 1024 groups accepted — table drift?"
+        );
     }
 }
 

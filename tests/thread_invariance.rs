@@ -1,0 +1,66 @@
+//! Thread-count invariance: the parallel sweep engine must produce
+//! byte-identical rendered output at any worker count.
+//!
+//! This is the determinism contract of `baldur::sweep` + `sim::par`:
+//! results come back in submission order and every run is a pure function
+//! of its `RunConfig`, so `BALDUR_THREADS=1` and `=8` (or any other
+//! count) render the same CSV and JSON bytes. `ci.sh` runs this suite as
+//! a tier-1 gate.
+
+use baldur::experiments::{figure6_on, EvalConfig};
+use baldur::sweep::Sweep;
+
+/// The tiny Figure 6 sweep, rendered to CSV and JSON, at `threads`.
+fn fig6_bytes(threads: usize) -> (String, String) {
+    let cfg = EvalConfig {
+        threads,
+        ..EvalConfig::tiny()
+    };
+    let sw = Sweep::new(threads);
+    let rows = figure6_on(&sw, &cfg, &[0.3, 0.7]);
+    let csv = baldur::csv::fig6(&rows);
+    let json = serde_json::to_string_pretty(&rows).expect("serialize fig6 rows");
+    (csv, json)
+}
+
+#[test]
+fn fig6_is_byte_identical_at_1_2_and_8_threads() {
+    let (csv1, json1) = fig6_bytes(1);
+    for threads in [2, 8] {
+        let (csv, json) = fig6_bytes(threads);
+        assert!(
+            csv == csv1,
+            "fig6 CSV diverged between 1 and {threads} threads"
+        );
+        assert!(
+            json == json1,
+            "fig6 JSON diverged between 1 and {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn cached_sweep_replays_identically_across_thread_counts() {
+    let dir = std::env::temp_dir().join(format!("baldur-thread-invariance-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = EvalConfig::tiny();
+    let loads = [0.5];
+
+    // Cold run at 2 threads populates the cache; a warm run at 8 threads
+    // must replay every job and render the same bytes (the cache key
+    // deliberately excludes the thread count).
+    let cold = Sweep::new(2).with_cache_dir(&dir);
+    let rows_cold = figure6_on(&cold, &cfg, &loads);
+    assert_eq!(cold.totals().1, 0, "cold run cannot hit");
+
+    let warm = Sweep::new(8).with_cache_dir(&dir);
+    let rows_warm = figure6_on(&warm, &cfg, &loads);
+    let (jobs, hits) = warm.totals();
+    assert_eq!(jobs, hits, "warm run must be answered fully from cache");
+
+    assert!(
+        baldur::csv::fig6(&rows_cold) == baldur::csv::fig6(&rows_warm),
+        "cached replay rendered different CSV bytes"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

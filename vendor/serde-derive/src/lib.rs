@@ -56,13 +56,129 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     .expect("generated Serialize impl must parse")
 }
 
-/// Derives the vendored `serde::Deserialize` marker.
+/// Derives the vendored `serde::Deserialize` (rebuilding from
+/// `serde::Value`), mirroring the shapes `derive(Serialize)` emits so any
+/// serialized value round-trips.
 #[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let parsed = parse(input);
-    format!("impl ::serde::Deserialize for {} {{}}", parsed.name)
-        .parse()
-        .expect("generated Deserialize impl must parse")
+    let body = deserialize_body(&parsed);
+    let name = &parsed.name;
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) \
+             -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl must parse")
+}
+
+fn deserialize_body(input: &Input) -> String {
+    let name = &input.name;
+    match &input.shape {
+        Shape::Unit => format!(
+            "match v {{\n\
+                 ::serde::Value::Null => ::std::result::Result::Ok({name}),\n\
+                 other => ::std::result::Result::Err(\
+                     ::serde::DeError::expected(\"{name}\", other)),\n\
+             }}"
+        ),
+        Shape::Struct {
+            fields,
+            transparent,
+        } => {
+            if fields.is_named {
+                let inits = named_fields_init(name, &fields.named);
+                format!(
+                    "let entries = ::serde::de::object(v, \"{name}\")?;\n\
+                     let _ = &entries;\n\
+                     ::std::result::Result::Ok({name} {{ {inits} }})"
+                )
+            } else if *transparent || fields.tuple_len == 1 {
+                format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+            } else {
+                let n = fields.tuple_len;
+                let elems = tuple_elems_init(name, n);
+                format!(
+                    "let items = ::serde::de::array(v, \"{name}\", {n})?;\n\
+                     ::std::result::Result::Ok({name}({elems}))"
+                )
+            }
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for (vname, fields, transparent) in variants {
+                if !fields.is_named && fields.tuple_len == 0 {
+                    unit_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                    ));
+                } else if fields.is_named {
+                    let inits = named_fields_init(&format!("{name}::{vname}"), &fields.named);
+                    tagged_arms.push_str(&format!(
+                        "\"{vname}\" => {{\n\
+                             let entries = ::serde::de::object(inner, \"{name}::{vname}\")?;\n\
+                             ::std::result::Result::Ok({name}::{vname} {{ {inits} }})\n\
+                         }}\n"
+                    ));
+                } else if *transparent || fields.tuple_len == 1 {
+                    tagged_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok(\
+                         {name}::{vname}(::serde::Deserialize::from_value(inner)?)),\n"
+                    ));
+                } else {
+                    let n = fields.tuple_len;
+                    let elems = tuple_elems_init(&format!("{name}::{vname}"), n);
+                    tagged_arms.push_str(&format!(
+                        "\"{vname}\" => {{\n\
+                             let items = \
+                             ::serde::de::array(inner, \"{name}::{vname}\", {n})?;\n\
+                             ::std::result::Result::Ok({name}::{vname}({elems}))\n\
+                         }}\n"
+                    ));
+                }
+            }
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Str(tag) => match tag.as_str() {{\n\
+                         {unit_arms}\
+                         other => ::std::result::Result::Err(\
+                             ::serde::DeError::unknown_variant(\"{name}\", other)),\n\
+                     }},\n\
+                     ::serde::Value::Object(entries) if entries.len() == 1 => {{\n\
+                         let (tag, inner) = &entries[0];\n\
+                         let _ = inner;\n\
+                         match tag.as_str() {{\n\
+                             {tagged_arms}\
+                             other => ::std::result::Result::Err(\
+                                 ::serde::DeError::unknown_variant(\"{name}\", other)),\n\
+                         }}\n\
+                     }},\n\
+                     other => ::std::result::Result::Err(\
+                         ::serde::DeError::expected(\"enum {name}\", other)),\n\
+                 }}"
+            )
+        }
+    }
+}
+
+/// `f1: ::serde::de::field(entries, "Ty", "f1")?, ...` initializers for a
+/// named-field struct or enum variant.
+fn named_fields_init(ty: &str, names: &[String]) -> String {
+    names
+        .iter()
+        .map(|f| format!("{f}: ::serde::de::field(entries, \"{ty}\", \"{f}\")?"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// `::serde::de::elem(items, "Ty", 0)?, ...` initializers for a tuple shape.
+fn tuple_elems_init(ty: &str, n: usize) -> String {
+    (0..n)
+        .map(|i| format!("::serde::de::elem(items, \"{ty}\", {i})?"))
+        .collect::<Vec<_>>()
+        .join(", ")
 }
 
 fn serialize_body(input: &Input) -> String {

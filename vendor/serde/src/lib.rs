@@ -12,7 +12,9 @@
 //! [`Serialize`] lowers a value into a [`Value`] tree; map keys are always
 //! emitted in sorted order so serialized output is byte-stable regardless of
 //! hash-map iteration order (a determinism requirement checked by
-//! `baldur-lint`).
+//! `baldur-lint`). [`Deserialize`] is the inverse — it rebuilds a value from
+//! a [`Value`] tree (parsed from JSON by the sibling `serde_json`), which is
+//! what the content-addressed run cache uses to replay stored reports.
 
 pub use baldur_serde_derive::{Deserialize, Serialize};
 
@@ -46,12 +48,143 @@ pub trait Serialize {
     fn to_value(&self) -> Value;
 }
 
-/// Marker trait mirroring serde's `Deserialize`.
+/// Reconstructs a value from a [`Value`] tree (the inverse of
+/// [`Serialize`]).
 ///
-/// The reproduction only ever serializes (reports, figures, CSV/JSON
-/// artifacts); nothing is parsed back, so this carries no methods. It exists
-/// so `#[derive(Deserialize)]` in the seed code keeps compiling.
-pub trait Deserialize: Sized {}
+/// Unlike real serde there is no `Deserializer` abstraction: the only
+/// source format in this workspace is the vendored `serde_json`, which
+/// parses text into a [`Value`] first. Derived impls mirror the shapes
+/// [`Serialize`] emits — named structs as objects, single-field tuple
+/// structs transparently, enums externally tagged — so any value produced
+/// by `to_value` round-trips through `from_value`.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a JSON value tree.
+    ///
+    /// # Errors
+    /// Returns a [`DeError`] describing the first structural mismatch
+    /// (wrong kind, missing field, unknown enum variant, bad length).
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Error produced when a [`Value`] tree does not match the target type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// An error with a custom message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        DeError { msg: msg.into() }
+    }
+
+    /// "expected WHAT, found KIND" — the workhorse mismatch error.
+    pub fn expected(what: &str, got: &Value) -> Self {
+        DeError::new(format!("expected {what}, found {}", got.kind()))
+    }
+
+    /// An enum tag that names no variant of `ty`.
+    pub fn unknown_variant(ty: &str, tag: &str) -> Self {
+        DeError::new(format!("unknown variant `{tag}` for enum {ty}"))
+    }
+
+    /// The error message.
+    pub fn message(&self) -> &str {
+        &self.msg
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+impl Value {
+    /// A short name for the value's JSON kind, used in error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Looks up `key` in an object value (first match; `None` otherwise
+    /// or when `self` is not an object).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Helpers used by `#[derive(Deserialize)]`-generated code.
+///
+/// Public because the generated impls live in downstream crates, but not
+/// intended for direct use.
+pub mod de {
+    use super::{DeError, Deserialize, Value};
+
+    /// Views `v` as an object (for a named-field struct or variant `ty`).
+    ///
+    /// # Errors
+    /// When `v` is not an object.
+    pub fn object<'a>(v: &'a Value, ty: &str) -> Result<&'a [(String, Value)], DeError> {
+        match v {
+            Value::Object(entries) => Ok(entries),
+            other => Err(DeError::expected(ty, other)),
+        }
+    }
+
+    /// Views `v` as an array of exactly `len` elements (tuple shapes).
+    ///
+    /// # Errors
+    /// When `v` is not an array or has the wrong length.
+    pub fn array<'a>(v: &'a Value, ty: &str, len: usize) -> Result<&'a [Value], DeError> {
+        match v {
+            Value::Array(items) if items.len() == len => Ok(items),
+            Value::Array(items) => Err(DeError::new(format!(
+                "expected {len}-element array for {ty}, found {} elements",
+                items.len()
+            ))),
+            other => Err(DeError::expected(ty, other)),
+        }
+    }
+
+    /// Extracts and deserializes field `name` of struct/variant `ty`.
+    ///
+    /// # Errors
+    /// When the field is missing or its value does not deserialize.
+    pub fn field<T: Deserialize>(
+        entries: &[(String, Value)],
+        ty: &str,
+        name: &str,
+    ) -> Result<T, DeError> {
+        match entries.iter().find(|(k, _)| k == name) {
+            Some((_, v)) => T::from_value(v)
+                .map_err(|e| DeError::new(format!("in {ty}.{name}: {}", e.message()))),
+            None => Err(DeError::new(format!("missing field `{name}` in {ty}"))),
+        }
+    }
+
+    /// Deserializes element `idx` of a tuple shape `ty`.
+    ///
+    /// # Errors
+    /// When the element does not deserialize (bounds are checked by
+    /// [`array`] beforehand).
+    pub fn elem<T: Deserialize>(items: &[Value], ty: &str, idx: usize) -> Result<T, DeError> {
+        T::from_value(&items[idx])
+            .map_err(|e| DeError::new(format!("in {ty}.{idx}: {}", e.message())))
+    }
+}
 
 macro_rules! ser_uint {
     ($($t:ty),*) => {$(
@@ -60,7 +193,19 @@ macro_rules! ser_uint {
                 Value::UInt(*self as u64)
             }
         }
-        impl Deserialize for $t {}
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let wide = match v {
+                    Value::UInt(u) => *u,
+                    Value::Int(i) if *i >= 0 => *i as u64,
+                    other => return Err(DeError::expected(stringify!($t), other)),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| DeError::new(format!(
+                        "{wide} out of range for {}", stringify!($t)
+                    )))
+            }
+        }
     )*};
 }
 
@@ -71,7 +216,21 @@ macro_rules! ser_int {
                 Value::Int(*self as i64)
             }
         }
-        impl Deserialize for $t {}
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let wide = match v {
+                    Value::Int(i) => *i,
+                    Value::UInt(u) => i64::try_from(*u).map_err(|_| {
+                        DeError::new(format!("{u} out of range for {}", stringify!($t)))
+                    })?,
+                    other => return Err(DeError::expected(stringify!($t), other)),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| DeError::new(format!(
+                        "{wide} out of range for {}", stringify!($t)
+                    )))
+            }
+        }
     )*};
 }
 
@@ -83,28 +242,68 @@ impl Serialize for bool {
         Value::Bool(*self)
     }
 }
-impl Deserialize for bool {}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other)),
+        }
+    }
+}
 
 impl Serialize for f32 {
     fn to_value(&self) -> Value {
         Value::Float(f64::from(*self))
     }
 }
-impl Deserialize for f32 {}
+impl Deserialize for f32 {
+    #[allow(clippy::cast_possible_truncation)]
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
 
 impl Serialize for f64 {
     fn to_value(&self) -> Value {
         Value::Float(*self)
     }
 }
-impl Deserialize for f64 {}
+impl Deserialize for f64 {
+    /// Accepts any numeric value; `null` maps to NaN, matching the default
+    /// JSON rendering of non-finite floats.
+    #[allow(clippy::cast_precision_loss)]
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Float(x) => Ok(*x),
+            Value::Int(i) => Ok(*i as f64),
+            Value::UInt(u) => Ok(*u as f64),
+            Value::Null => Ok(f64::NAN),
+            other => Err(DeError::expected("number", other)),
+        }
+    }
+}
 
 impl Serialize for char {
     fn to_value(&self) -> Value {
         Value::Str(self.to_string())
     }
 }
-impl Deserialize for char {}
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => {
+                let mut it = s.chars();
+                match (it.next(), it.next()) {
+                    (Some(c), None) => Ok(c),
+                    _ => Err(DeError::new(format!(
+                        "expected single-char string, got {s:?}"
+                    ))),
+                }
+            }
+            other => Err(DeError::expected("char", other)),
+        }
+    }
+}
 
 impl Serialize for str {
     fn to_value(&self) -> Value {
@@ -117,7 +316,14 @@ impl Serialize for String {
         Value::Str(self.clone())
     }
 }
-impl Deserialize for String {}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
 
 impl<T: Serialize + ?Sized> Serialize for &T {
     fn to_value(&self) -> Value {
@@ -130,7 +336,11 @@ impl<T: Serialize + ?Sized> Serialize for Box<T> {
         (**self).to_value()
     }
 }
-impl<T: Deserialize> Deserialize for Box<T> {}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
 
 impl<T: Serialize> Serialize for Option<T> {
     fn to_value(&self) -> Value {
@@ -140,7 +350,17 @@ impl<T: Serialize> Serialize for Option<T> {
         }
     }
 }
-impl<T: Deserialize> Deserialize for Option<T> {}
+impl<T: Deserialize> Deserialize for Option<T> {
+    /// `null` is `None`; anything else must deserialize as `T`. (A
+    /// round-trip caveat inherited from the untagged representation:
+    /// `Some(NaN)` serializes as `null` and comes back as `None`.)
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
 
 impl<T: Serialize> Serialize for [T] {
     fn to_value(&self) -> Value {
@@ -153,14 +373,29 @@ impl<T: Serialize, const N: usize> Serialize for [T; N] {
         Value::Array(self.iter().map(Serialize::to_value).collect())
     }
 }
-impl<T: Deserialize, const N: usize> Deserialize for [T; N] {}
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items = de::array(v, "fixed-size array", N)?;
+        let parsed: Vec<T> = items.iter().map(T::from_value).collect::<Result<_, _>>()?;
+        parsed
+            .try_into()
+            .map_err(|_| DeError::new("array length changed during deserialization"))
+    }
+}
 
 impl<T: Serialize> Serialize for Vec<T> {
     fn to_value(&self) -> Value {
         Value::Array(self.iter().map(Serialize::to_value).collect())
     }
 }
-impl<T: Deserialize> Deserialize for Vec<T> {}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::expected("array", other)),
+        }
+    }
+}
 
 macro_rules! ser_tuple {
     ($(($($n:tt $t:ident),+))*) => {$(
@@ -169,7 +404,13 @@ macro_rules! ser_tuple {
                 Value::Array(vec![$(self.$n.to_value()),+])
             }
         }
-        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {}
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                const LEN: usize = 0 $(+ { let _ = $n; 1 })+;
+                let items = de::array(v, "tuple", LEN)?;
+                Ok(($($t::from_value(&items[$n])?,)+))
+            }
+        }
     )*};
 }
 
@@ -190,7 +431,20 @@ impl<K: std::fmt::Display, V: Serialize> Serialize for BTreeMap<K, V> {
         )
     }
 }
-impl<K, V: Deserialize> Deserialize for BTreeMap<K, V> {}
+impl<K: std::str::FromStr + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let entries = de::object(v, "map")?;
+        entries
+            .iter()
+            .map(|(k, val)| {
+                let key = k
+                    .parse::<K>()
+                    .map_err(|_| DeError::new(format!("unparseable map key {k:?}")))?;
+                Ok((key, V::from_value(val)?))
+            })
+            .collect()
+    }
+}
 
 impl<K: std::fmt::Display, V: Serialize> Serialize for HashMap<K, V> {
     /// Hash maps serialize with keys sorted lexicographically so the output
@@ -204,14 +458,34 @@ impl<K: std::fmt::Display, V: Serialize> Serialize for HashMap<K, V> {
         Value::Object(entries)
     }
 }
-impl<K, V: Deserialize> Deserialize for HashMap<K, V> {}
+impl<K: std::str::FromStr + Eq + std::hash::Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let entries = de::object(v, "map")?;
+        entries
+            .iter()
+            .map(|(k, val)| {
+                let key = k
+                    .parse::<K>()
+                    .map_err(|_| DeError::new(format!("unparseable map key {k:?}")))?;
+                Ok((key, V::from_value(val)?))
+            })
+            .collect()
+    }
+}
 
 impl Serialize for () {
     fn to_value(&self) -> Value {
         Value::Null
     }
 }
-impl Deserialize for () {}
+impl Deserialize for () {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(()),
+            other => Err(DeError::expected("null", other)),
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -237,5 +511,66 @@ mod tests {
             vec![(1u32, 2.5f64)].to_value(),
             Value::Array(vec![Value::Array(vec![Value::UInt(1), Value::Float(2.5)])])
         );
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::from_value(&42u32.to_value()), Ok(42));
+        assert_eq!(i16::from_value(&(-7i16).to_value()), Ok(-7));
+        assert_eq!(bool::from_value(&true.to_value()), Ok(true));
+        assert_eq!(f64::from_value(&1.5f64.to_value()), Ok(1.5));
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()),
+            Ok("hi".to_string())
+        );
+        assert_eq!(char::from_value(&'x'.to_value()), Ok('x'));
+        assert_eq!(<()>::from_value(&().to_value()), Ok(()));
+    }
+
+    #[test]
+    fn numeric_range_checks() {
+        assert!(u8::from_value(&Value::UInt(256)).is_err());
+        assert!(u32::from_value(&Value::Int(-1)).is_err());
+        assert!(i8::from_value(&Value::Int(128)).is_err());
+        // Cross-kind integers are accepted when in range.
+        assert_eq!(u64::from_value(&Value::Int(3)), Ok(3));
+        assert_eq!(i64::from_value(&Value::UInt(3)), Ok(3));
+    }
+
+    #[test]
+    fn float_accepts_null_as_nan() {
+        assert!(f64::from_value(&Value::Null).unwrap().is_nan());
+        assert_eq!(f64::from_value(&Value::Int(-2)), Ok(-2.0));
+        assert!(f64::from_value(&Value::Bool(true)).is_err());
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::from_value(&v.to_value()), Ok(v));
+
+        let arr = [1.0f64, 2.0];
+        assert_eq!(<[f64; 2]>::from_value(&arr.to_value()), Ok(arr));
+        assert!(<[f64; 3]>::from_value(&arr.to_value()).is_err());
+
+        let tup = (1u32, "a".to_string(), 0.5f64);
+        assert_eq!(<(u32, String, f64)>::from_value(&tup.to_value()), Ok(tup));
+
+        assert_eq!(Option::<u32>::from_value(&Value::Null), Ok(None));
+        assert_eq!(Option::<u32>::from_value(&Value::UInt(9)), Ok(Some(9)));
+
+        let mut m = std::collections::BTreeMap::new();
+        m.insert(3u32, "x".to_string());
+        m.insert(1u32, "y".to_string());
+        assert_eq!(BTreeMap::<u32, String>::from_value(&m.to_value()), Ok(m));
+    }
+
+    #[test]
+    fn errors_carry_context() {
+        let obj = Value::Object(vec![("a".into(), Value::Str("nope".into()))]);
+        let err = de::field::<u32>(de::object(&obj, "T").unwrap(), "T", "a").unwrap_err();
+        assert!(err.message().contains("T.a"), "got: {err}");
+        let err = de::field::<u32>(de::object(&obj, "T").unwrap(), "T", "b").unwrap_err();
+        assert!(err.message().contains("missing field `b`"), "got: {err}");
     }
 }

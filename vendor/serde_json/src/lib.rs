@@ -1,28 +1,49 @@
-//! Offline stand-in for `serde_json`, rendering the vendored `serde`
-//! [`Value`] tree as JSON text.
+//! Offline stand-in for `serde_json`: renders the vendored `serde`
+//! [`Value`] tree as JSON text and parses JSON text back into values.
 //!
 //! Output is deterministic: float formatting is fixed (shortest round-trip
 //! via `{}` with a `.0` suffix for integral values), non-finite floats
 //! render as `null` (matching real serde_json), and map keys were already
 //! sorted by the vendored `serde` when the tree was built.
+//!
+//! For artifacts that must round-trip *exactly* — the content-addressed run
+//! cache — [`to_string_exact`] renders non-finite floats as the bare tokens
+//! `NaN` / `Infinity` / `-Infinity` instead of `null`, and the parser
+//! accepts those tokens, so `parse(render(x)) == x` bit-for-bit for every
+//! finite and non-finite `f64` (shortest round-trip formatting guarantees
+//! the finite case).
 
 use std::fmt;
 
-use serde::{Serialize, Value};
+use serde::{Deserialize, Serialize, Value};
 
-/// Serialization error. The vendored renderer is infallible, so this is
-/// only ever constructed by future fallible extensions; it exists to keep
-/// the `Result` signature of the real crate.
+/// Serialization or parse error.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Error(String);
 
+impl Error {
+    fn parse(msg: impl Into<String>, pos: usize) -> Self {
+        Error(format!("{} at byte {pos}", msg.into()))
+    }
+}
+
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "json serialization error: {}", self.0)
+        write!(f, "json error: {}", self.0)
     }
 }
 
 impl std::error::Error for Error {}
+
+/// How [`render`] writes a non-finite float.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum NonFinite {
+    /// `null`, matching real serde_json (information-losing).
+    Null,
+    /// Bare `NaN` / `Infinity` / `-Infinity` tokens (non-standard JSON,
+    /// but exactly invertible by this crate's parser).
+    Tokens,
+}
 
 /// Renders `value` as compact JSON.
 ///
@@ -32,7 +53,7 @@ impl std::error::Error for Error {}
 /// crate's signature.
 pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
     let mut out = String::new();
-    render(&value.to_value(), None, 0, &mut out);
+    render(&value.to_value(), None, 0, NonFinite::Null, &mut out);
     Ok(out)
 }
 
@@ -44,7 +65,7 @@ pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
 /// crate's signature.
 pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
     let mut out = String::new();
-    render(&value.to_value(), Some(2), 0, &mut out);
+    render(&value.to_value(), Some(2), 0, NonFinite::Null, &mut out);
     Ok(out)
 }
 
@@ -58,7 +79,55 @@ pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
     to_string(value).map(String::into_bytes)
 }
 
-fn render(value: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
+/// Renders `value` as compact JSON with *exactly invertible* floats:
+/// non-finite values come out as `NaN` / `Infinity` / `-Infinity` instead
+/// of `null`. Not standard JSON — use only for artifacts this crate itself
+/// parses back (e.g. the run cache).
+///
+/// # Errors
+///
+/// Never fails with the vendored renderer; the `Result` mirrors the real
+/// crate's signature.
+pub fn to_string_exact<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_value(), None, 0, NonFinite::Tokens, &mut out);
+    Ok(out)
+}
+
+/// Parses JSON text into a [`Value`] tree.
+///
+/// Accepts standard JSON plus the bare tokens `NaN` / `Infinity` /
+/// `-Infinity` emitted by [`to_string_exact`]. Numbers without a fraction
+/// or exponent parse as `Int`/`UInt`; everything else as `Float`.
+///
+/// # Errors
+///
+/// On malformed input, with the byte offset of the first problem.
+pub fn parse_value(text: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::parse("trailing characters", p.pos));
+    }
+    Ok(v)
+}
+
+/// Parses JSON text straight into a [`Deserialize`] type.
+///
+/// # Errors
+///
+/// On malformed JSON, or when the parsed tree does not match `T`.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let v = parse_value(text)?;
+    T::from_value(&v).map_err(|e| Error(e.message().to_string()))
+}
+
+fn render(value: &Value, indent: Option<usize>, depth: usize, nf: NonFinite, out: &mut String) {
     match value {
         Value::Null => out.push_str("null"),
         Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
@@ -74,7 +143,12 @@ fn render(value: &Value, indent: Option<usize>, depth: usize, out: &mut String) 
                     out.push_str(".0");
                 }
             } else {
-                out.push_str("null");
+                match nf {
+                    NonFinite::Null => out.push_str("null"),
+                    NonFinite::Tokens if x.is_nan() => out.push_str("NaN"),
+                    NonFinite::Tokens if *x > 0.0 => out.push_str("Infinity"),
+                    NonFinite::Tokens => out.push_str("-Infinity"),
+                }
             }
         }
         Value::Str(s) => escape_into(s, out),
@@ -89,7 +163,7 @@ fn render(value: &Value, indent: Option<usize>, depth: usize, out: &mut String) 
                     out.push(',');
                 }
                 newline_indent(indent, depth + 1, out);
-                render(item, indent, depth + 1, out);
+                render(item, indent, depth + 1, nf, out);
             }
             newline_indent(indent, depth, out);
             out.push(']');
@@ -110,7 +184,7 @@ fn render(value: &Value, indent: Option<usize>, depth: usize, out: &mut String) 
                 if indent.is_some() {
                     out.push(' ');
                 }
-                render(item, indent, depth + 1, out);
+                render(item, indent, depth + 1, nf, out);
             }
             newline_indent(indent, depth, out);
             out.push('}');
@@ -145,6 +219,246 @@ fn escape_into(s: &str, out: &mut String) {
     out.push('"');
 }
 
+/// Recursive-descent JSON parser over raw bytes (UTF-8 multibyte sequences
+/// only ever appear inside strings, where they are copied through intact).
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(Error::parse(format!("expected `{word}`"), self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'N') => self.literal("NaN", Value::Float(f64::NAN)),
+            Some(b'I') => self.literal("Infinity", Value::Float(f64::INFINITY)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(Error::parse(
+                format!("unexpected character `{}`", c as char),
+                self.pos,
+            )),
+            None => Err(Error::parse("unexpected end of input", self.pos)),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.pos += 1; // past '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::parse("expected `,` or `]`", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.pos += 1; // past '{'
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(Error::parse("expected string key", self.pos));
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            if self.peek() != Some(b':') {
+                return Err(Error::parse("expected `:`", self.pos));
+            }
+            self.pos += 1;
+            self.skip_ws();
+            entries.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(Error::parse("expected `,` or `}`", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.pos += 1; // past opening '"'
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Copy a maximal run of plain bytes in one slice operation.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| Error::parse("invalid UTF-8 in string", start))?;
+                out.push_str(chunk);
+            }
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    self.escape(&mut out)?;
+                }
+                Some(_) => return Err(Error::parse("control character in string", self.pos)),
+                None => return Err(Error::parse("unterminated string", self.pos)),
+            }
+        }
+    }
+
+    fn escape(&mut self, out: &mut String) -> Result<(), Error> {
+        let c = self
+            .peek()
+            .ok_or_else(|| Error::parse("unterminated escape", self.pos))?;
+        self.pos += 1;
+        match c {
+            b'"' => out.push('"'),
+            b'\\' => out.push('\\'),
+            b'/' => out.push('/'),
+            b'b' => out.push('\u{8}'),
+            b'f' => out.push('\u{c}'),
+            b'n' => out.push('\n'),
+            b'r' => out.push('\r'),
+            b't' => out.push('\t'),
+            b'u' => {
+                let hi = self.hex4()?;
+                let code = if (0xD800..0xDC00).contains(&hi) {
+                    // Surrogate pair: require a following \uXXXX low half.
+                    if self.peek() == Some(b'\\') && self.bytes.get(self.pos + 1) == Some(&b'u') {
+                        self.pos += 2;
+                        let lo = self.hex4()?;
+                        if !(0xDC00..0xE000).contains(&lo) {
+                            return Err(Error::parse("invalid low surrogate", self.pos));
+                        }
+                        0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                    } else {
+                        return Err(Error::parse("unpaired surrogate", self.pos));
+                    }
+                } else {
+                    hi
+                };
+                let ch = char::from_u32(code)
+                    .ok_or_else(|| Error::parse("invalid unicode escape", self.pos))?;
+                out.push(ch);
+            }
+            other => {
+                return Err(Error::parse(
+                    format!("invalid escape `\\{}`", other as char),
+                    self.pos - 1,
+                ))
+            }
+        }
+        Ok(())
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(Error::parse("truncated unicode escape", self.pos));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| Error::parse("invalid unicode escape", self.pos))?;
+        let v = u32::from_str_radix(hex, 16)
+            .map_err(|_| Error::parse("invalid unicode escape", self.pos))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    #[allow(clippy::cast_precision_loss)]
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+            // `-Infinity` from the exact rendering mode.
+            if self.peek() == Some(b'I') {
+                return self.literal("Infinity", Value::Float(f64::NEG_INFINITY));
+            }
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::parse("invalid number", start))?;
+        if is_float {
+            return text
+                .parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| Error::parse(format!("invalid number `{text}`"), start));
+        }
+        if let Some(digits) = text.strip_prefix('-') {
+            // Negative integer; fall back to f64 if it overflows i64.
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+            return digits
+                .parse::<f64>()
+                .map(|x| Value::Float(-x))
+                .map_err(|_| Error::parse(format!("invalid number `{text}`"), start));
+        }
+        if let Ok(u) = text.parse::<u64>() {
+            return Ok(Value::UInt(u));
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error::parse(format!("invalid number `{text}`"), start))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,5 +483,92 @@ mod tests {
     #[test]
     fn strings_escape_control_characters() {
         assert_eq!(to_string("a\"b\n").unwrap(), r#""a\"b\n""#);
+    }
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse_value("null").unwrap(), Value::Null);
+        assert_eq!(parse_value("true").unwrap(), Value::Bool(true));
+        assert_eq!(parse_value(" 42 ").unwrap(), Value::UInt(42));
+        assert_eq!(parse_value("-7").unwrap(), Value::Int(-7));
+        assert_eq!(parse_value("1.5").unwrap(), Value::Float(1.5));
+        assert_eq!(parse_value("1e3").unwrap(), Value::Float(1000.0));
+        assert_eq!(parse_value("\"hi\"").unwrap(), Value::Str("hi".into()));
+    }
+
+    #[test]
+    fn parses_structures() {
+        assert_eq!(
+            parse_value(r#"[1,[2,3],{"a":null}]"#).unwrap(),
+            Value::Array(vec![
+                Value::UInt(1),
+                Value::Array(vec![Value::UInt(2), Value::UInt(3)]),
+                Value::Object(vec![("a".into(), Value::Null)]),
+            ])
+        );
+        assert_eq!(parse_value(" [ ] ").unwrap(), Value::Array(vec![]));
+        assert_eq!(parse_value("{ }").unwrap(), Value::Object(vec![]));
+    }
+
+    #[test]
+    fn parses_string_escapes() {
+        assert_eq!(
+            parse_value(r#""a\"b\\c\nAé""#).unwrap(),
+            Value::Str("a\"b\\c\nAé".into())
+        );
+        // Surrogate pair: U+1F600.
+        assert_eq!(parse_value(r#""😀""#).unwrap(), Value::Str("😀".into()));
+        assert!(parse_value(r#""\ud83d""#).is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_value("").is_err());
+        assert!(parse_value("[1,]").is_err());
+        assert!(parse_value("{\"a\"}").is_err());
+        assert!(parse_value("1 2").is_err());
+        assert!(parse_value("\"unterminated").is_err());
+        assert!(parse_value("nul").is_err());
+    }
+
+    #[test]
+    fn exact_mode_round_trips_non_finite() {
+        let v = vec![f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.25];
+        let text = to_string_exact(&v).unwrap();
+        assert_eq!(text, "[NaN,Infinity,-Infinity,0.25]");
+        let Value::Array(items) = parse_value(&text).unwrap() else {
+            panic!("expected array");
+        };
+        assert!(matches!(items[0], Value::Float(x) if x.is_nan()));
+        assert_eq!(items[1], Value::Float(f64::INFINITY));
+        assert_eq!(items[2], Value::Float(f64::NEG_INFINITY));
+        assert_eq!(items[3], Value::Float(0.25));
+    }
+
+    #[test]
+    fn finite_floats_round_trip_exactly() {
+        // Shortest round-trip formatting (`{}`) guarantees parse() restores
+        // the identical bits for every finite f64; spot-check awkward ones.
+        for x in [
+            0.1,
+            1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            -2.2250738585072014e-308,
+            123456789.123456789,
+        ] {
+            let text = to_string_exact(&x).unwrap();
+            let back: f64 = from_str(&text).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "text was {text}");
+        }
+    }
+
+    #[test]
+    fn from_str_deserializes_typed() {
+        let v: Vec<u32> = from_str("[1,2,3]").unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+        let pair: (u32, f64) = from_str("[7,0.5]").unwrap();
+        assert_eq!(pair, (7, 0.5));
+        assert!(from_str::<Vec<u32>>("[1,-2]").is_err());
     }
 }
