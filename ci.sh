@@ -75,6 +75,9 @@ run_step test-workspace cargo test --workspace -q
 # Fault-injection smoke: small topology, 5% failures, fixed seed; asserts
 # packet conservation and run-to-run byte-identity, exits nonzero on drift.
 run_step fault-smoke cargo run --release -p baldur-bench --bin faults -- --smoke
+# Crash-recovery smoke: SIGKILL a sweep subprocess mid-run, resume it from
+# the completion journal, and require byte-identical figure output.
+run_step crash-recovery-smoke cargo test -q --test crash_recovery
 
 write_summary
 echo "=== OK (summary: ${summary})"

@@ -16,5 +16,7 @@ fn main() {
     g.bench_function("figure8_power_sweep", experiments::figure8);
     g.bench_function("figure10_cost_sweep", experiments::figure10);
     g.bench_function("figure5_circuit", experiments::figure5);
-    g.bench_function("reliability_100k", || experiments::reliability(100_000, 7));
+    g.bench_function("reliability_100k", || {
+        experiments::reliability(100_000, 7).expect("no faults injected here")
+    });
 }

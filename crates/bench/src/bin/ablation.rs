@@ -9,14 +9,14 @@
 //! (The third design knob, path multiplicity, is Table V: `--bin table5`.)
 
 use baldur::experiments::{backoff_ablation_on, wiring_ablation_on};
-use baldur_bench::{fmt_ns, header, print_sweep_summary, Args};
+use baldur_bench::{finish, fmt_ns, header, or_die, Args};
 
 fn main() {
     let args = Args::parse();
     let cfg = args.eval_config();
     let sw = args.sweep(&cfg);
 
-    let w = wiring_ablation_on(&sw, &cfg);
+    let w = or_die(&sw, wiring_ablation_on(&sw, &cfg));
     header(&format!(
         "Ablation 1: wiring randomization ({} nodes, {}, load 0.7)",
         cfg.nodes, w.pattern
@@ -48,7 +48,7 @@ fn main() {
     );
     println!("(expansion via randomization is what defuses structured permutations)");
 
-    let b = backoff_ablation_on(&sw, &cfg);
+    let b = or_die(&sw, backoff_ablation_on(&sw, &cfg));
     header(&format!(
         "Ablation 2: binary exponential backoff (m=2, transpose @ 0.9, {} nodes)",
         cfg.nodes
@@ -76,5 +76,5 @@ fn main() {
     );
 
     args.maybe_write_json(&(w, b));
-    print_sweep_summary(&sw);
+    finish(&sw);
 }

@@ -10,7 +10,7 @@ use std::fs;
 use std::path::Path;
 
 use baldur::experiments;
-use baldur_bench::{print_sweep_summary, Args};
+use baldur_bench::{finish, or_die, Args};
 
 fn write(path: &Path, contents: &str) {
     fs::write(path, contents).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
@@ -70,14 +70,14 @@ fn main() {
     json(
         dir,
         "reliability",
-        &experiments::reliability_on(&sw, 500_000, cfg.seed),
+        &or_die(&sw, experiments::reliability_on(&sw, 500_000, cfg.seed)),
     );
     json(dir, "awgr", &experiments::awgr_comparison());
     json(dir, "buffers", &experiments::buffer_sizing_on(&sw, &cfg));
     json(
         dir,
         "wiring_ablation",
-        &experiments::wiring_ablation_on(&sw, &cfg),
+        &or_die(&sw, experiments::wiring_ablation_on(&sw, &cfg)),
     );
     json(
         dir,
@@ -93,7 +93,7 @@ fn main() {
     write(&dir.join("fig8.gp"), FIG8_GP);
     write(&dir.join("saturation.gp"), SAT_GP);
 
-    print_sweep_summary(&sw);
+    finish(&sw);
     eprintln!("done: {}", dir.display());
 }
 

@@ -1,7 +1,7 @@
 //! Sec. IV-E: retransmission-buffer sizing at 0.7 load.
 
 use baldur::experiments::buffer_sizing_on;
-use baldur_bench::{header, print_sweep_summary, Args};
+use baldur_bench::{finish, header, Args};
 
 fn main() {
     let args = Args::parse();
@@ -21,5 +21,5 @@ fn main() {
     }
     println!("(paper: 536 KB sufficient; 1 MB provisioned)");
     args.maybe_write_json(&rows);
-    print_sweep_summary(&sw);
+    finish(&sw);
 }

@@ -3,7 +3,7 @@
 //! `--big` extends the sweep to 1M+ nodes (the paper's exascale check).
 
 use baldur::experiments::droptool_study_on;
-use baldur_bench::{header, print_sweep_summary, Args};
+use baldur_bench::{finish, header, Args};
 
 fn main() {
     let args = Args::parse();
@@ -36,5 +36,5 @@ fn main() {
     }
     println!("(paper: m=4 at 1K, m=5 sufficient for >1M)");
     args.maybe_write_json(&rows);
-    print_sweep_summary(&sw);
+    finish(&sw);
 }

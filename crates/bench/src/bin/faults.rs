@@ -20,7 +20,7 @@ use baldur::net::diagnosis::locate_faulty_switch;
 use baldur::net::driver::Driver;
 use baldur::prelude::*;
 use baldur::topo::multibutterfly::MultiButterfly;
-use baldur_bench::{fmt_ns, header, print_sweep_summary, Args};
+use baldur_bench::{finish, fmt_ns, header, Args};
 
 fn main() {
     let args = Args::parse();
@@ -37,10 +37,7 @@ fn main() {
 }
 
 fn fractions(args: &Args) -> Vec<f64> {
-    match args.get("fractions") {
-        Some(s) => s.split(',').map(|x| x.parse().expect("fraction")).collect(),
-        None => vec![0.0, 0.025, 0.05, 0.10, 0.15, 0.20],
-    }
+    args.get_f64_list("fractions", &[0.0, 0.025, 0.05, 0.10, 0.15, 0.20])
 }
 
 fn print_rows(rows: &[DegradationRow]) {
@@ -83,7 +80,7 @@ fn sweep(args: &Args, cfg: &EvalConfig) {
     let s = serde_json::to_string_pretty(&rows).expect("serialize results");
     std::fs::write(json_path, s).unwrap_or_else(|e| panic!("write {json_path}: {e}"));
     eprintln!("wrote {json_path}");
-    print_sweep_summary(&sw);
+    finish(&sw);
 }
 
 /// CI gate: small topology, 5% failures, fixed seed; conservation and

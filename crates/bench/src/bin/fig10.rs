@@ -2,7 +2,7 @@
 
 use baldur::cost::components::{FATTREE_2560_COST_PER_NODE, OCS_COST_PER_NODE};
 use baldur::experiments::figure10_on;
-use baldur_bench::{header, print_sweep_summary, Args};
+use baldur_bench::{finish, header, Args};
 
 fn main() {
     let args = Args::parse();
@@ -35,5 +35,5 @@ fn main() {
         eprintln!("wrote {path}");
     }
     args.maybe_write_json(&rows);
-    print_sweep_summary(&sw);
+    finish(&sw);
 }

@@ -2,15 +2,12 @@
 //! patterns x five networks.
 
 use baldur::experiments::figure6_on;
-use baldur_bench::{fmt_ns, header, print_sweep_summary, Args};
+use baldur_bench::{finish, fmt_ns, header, Args};
 
 fn main() {
     let args = Args::parse();
     let cfg = args.eval_config();
-    let loads: Vec<f64> = match args.get("loads") {
-        Some(s) => s.split(',').map(|x| x.parse().expect("load")).collect(),
-        None => vec![0.1, 0.3, 0.5, 0.7, 0.9],
-    };
+    let loads = args.get_f64_list("loads", &[0.1, 0.3, 0.5, 0.7, 0.9]);
     let sw = args.sweep(&cfg);
     let rows = figure6_on(&sw, &cfg, &loads);
     for pattern in [
@@ -36,15 +33,19 @@ fn main() {
             let cells: Vec<String> = loads
                 .iter()
                 .map(|&l| {
-                    let r = rows
+                    // A missing cell means that job failed and was
+                    // dropped by the sweep; render a hole, not a panic.
+                    match rows
                         .iter()
                         .find(|r| r.pattern == pattern && r.network == net && r.load == l)
-                        .expect("cell");
-                    format!(
-                        "{:>10}/{:>11}",
-                        fmt_ns(r.report.avg_ns),
-                        fmt_ns(r.report.p99_ns)
-                    )
+                    {
+                        Some(r) => format!(
+                            "{:>10}/{:>11}",
+                            fmt_ns(r.report.avg_ns),
+                            fmt_ns(r.report.p99_ns)
+                        ),
+                        None => format!("{:>10}/{:>11}", "-", "-"),
+                    }
                 })
                 .collect();
             println!("{net:>14} | {}", cells.join(" "));
@@ -56,5 +57,5 @@ fn main() {
         eprintln!("wrote {path}");
     }
     args.maybe_write_json(&rows);
-    print_sweep_summary(&sw);
+    finish(&sw);
 }

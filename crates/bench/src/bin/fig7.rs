@@ -1,7 +1,7 @@
 //! Figure 7: normalized latency for hotspot, ping-pong, and HPC traces.
 
 use baldur::experiments::{fig7_geomeans, figure7_on, normalize_fig7};
-use baldur_bench::{fmt_ns, header, print_sweep_summary, Args};
+use baldur_bench::{finish, fmt_ns, header, Args};
 
 fn main() {
     let args = Args::parse();
@@ -49,5 +49,5 @@ fn main() {
         eprintln!("wrote {path}");
     }
     args.maybe_write_json(&rows);
-    print_sweep_summary(&sw);
+    finish(&sw);
 }

@@ -2,7 +2,7 @@
 
 use baldur::experiments::figure8_on;
 use baldur::power::NetworkPower;
-use baldur_bench::{header, print_sweep_summary, Args};
+use baldur_bench::{finish, header, Args};
 
 fn main() {
     let args = Args::parse();
@@ -44,5 +44,5 @@ fn main() {
         eprintln!("wrote {path}");
     }
     args.maybe_write_json(&sweep);
-    print_sweep_summary(&sw);
+    finish(&sw);
 }

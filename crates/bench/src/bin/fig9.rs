@@ -2,7 +2,7 @@
 //! modelling error.
 
 use baldur::experiments::figure9_on;
-use baldur_bench::{header, print_sweep_summary, Args};
+use baldur_bench::{finish, header, Args};
 
 fn main() {
     let args = Args::parse();
@@ -21,5 +21,5 @@ fn main() {
     }
     println!("(paper pessimistic case: 5.1x / 8.2x / 14.7x vs dragonfly / fat-tree / MB)");
     args.maybe_write_json(&rows);
-    print_sweep_summary(&sw);
+    finish(&sw);
 }

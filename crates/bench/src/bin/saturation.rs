@@ -1,7 +1,7 @@
 //! Offered versus accepted load (the saturation companion to Figure 6).
 
 use baldur::experiments::saturation_on;
-use baldur_bench::{header, print_sweep_summary, Args};
+use baldur_bench::{finish, header, Args};
 
 fn main() {
     let args = Args::parse();
@@ -21,11 +21,12 @@ fn main() {
     for net in ["baldur", "electrical_mb", "dragonfly", "fattree", "ideal"] {
         print!("{net:>14}");
         for &l in &loads {
-            let r = rows
-                .iter()
-                .find(|r| r.network == net && r.offered == l)
-                .expect("cell");
-            print!("{:>7.2}", r.accepted);
+            // A missing cell means that job failed and was dropped by
+            // the sweep; render a hole, not a panic.
+            match rows.iter().find(|r| r.network == net && r.offered == l) {
+                Some(r) => print!("{:>7.2}", r.accepted),
+                None => print!("{:>7}", "-"),
+            }
         }
         println!();
     }
@@ -35,5 +36,5 @@ fn main() {
         eprintln!("wrote {path}");
     }
     args.maybe_write_json(&rows);
-    print_sweep_summary(&sw);
+    finish(&sw);
 }

@@ -1,7 +1,7 @@
 //! Table V: gates, latency, and drop rate versus path multiplicity.
 
 use baldur::experiments::table_v_on;
-use baldur_bench::{header, print_sweep_summary, Args};
+use baldur_bench::{finish, header, Args};
 
 fn main() {
     let args = Args::parse();
@@ -24,5 +24,5 @@ fn main() {
         eprintln!("wrote {path}");
     }
     args.maybe_write_json(&rows);
-    print_sweep_summary(&sw);
+    finish(&sw);
 }

@@ -3,7 +3,7 @@
 //! plus the value of randomization.
 
 use baldur::experiments::topology_comparison_on;
-use baldur_bench::{fmt_ns, header, print_sweep_summary, Args};
+use baldur_bench::{finish, fmt_ns, header, Args};
 
 fn main() {
     let args = Args::parse();
@@ -31,5 +31,5 @@ fn main() {
     println!("(uniform traffic: all three are near-identical — the paper's");
     println!(" isomorphism claim; transpose: only randomized wiring survives)");
     args.maybe_write_json(&rows);
-    print_sweep_summary(&sw);
+    finish(&sw);
 }

@@ -7,6 +7,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::error::{all_ok, BaldurError};
 use crate::net::config::BaldurParams;
 use crate::net::droptool;
 use crate::net::metrics::LatencyReport;
@@ -283,13 +284,19 @@ pub fn figure7_on(sw: &Sweep, cfg: &EvalConfig) -> Vec<Fig7Row> {
 
 /// Normalizes Figure 7 rows to Baldur per workload and returns
 /// `(workload, network, normalized_avg, normalized_p99)` tuples.
+///
+/// A workload whose Baldur baseline row is missing (its job failed and
+/// was dropped by the sweep) has no denominator, so its rows are skipped
+/// rather than panicking — partial sweeps render partial tables.
 pub fn normalize_fig7(rows: &[Fig7Row]) -> Vec<(String, String, f64, f64)> {
     let mut out = Vec::new();
     for row in rows {
-        let baldur = rows
+        let Some(baldur) = rows
             .iter()
             .find(|r| r.workload == row.workload && r.network == "baldur")
-            .expect("baldur row present");
+        else {
+            continue;
+        };
         out.push((
             row.workload.clone(),
             row.network.clone(),
@@ -495,34 +502,43 @@ pub struct ReliabilityReport {
     pub monte_carlo: Vec<(f64, f64, f64)>,
 }
 
-/// Regenerates the Sec. IV-F reliability analysis.
-pub fn reliability(samples: u64, seed: u64) -> ReliabilityReport {
+/// Regenerates the Sec. IV-F reliability analysis. Errs when any Monte
+/// Carlo job fails: a partial threshold table would silently misstate
+/// the tail comparison.
+pub fn reliability(samples: u64, seed: u64) -> Result<ReliabilityReport, BaldurError> {
     reliability_on(&Sweep::new(0), samples, seed)
 }
 
 /// [`reliability`] on a caller-provided [`Sweep`] — the Monte Carlo
 /// threshold points fan out (and cache) independently.
-pub fn reliability_on(sw: &Sweep, samples: u64, seed: u64) -> ReliabilityReport {
+pub fn reliability_on(
+    sw: &Sweep,
+    samples: u64,
+    seed: u64,
+) -> Result<ReliabilityReport, BaldurError> {
     let m = JitterModel::paper();
     let items: Vec<(f64, u64, u64)> = [1.0, 2.0, 3.0, 3.5]
         .into_iter()
         .map(|thr| (thr, samples, seed))
         .collect();
-    let monte_carlo = sw.map("reliability", items, |(thr, samples, seed)| {
-        let m = JitterModel::paper();
-        (
-            *thr,
-            m.monte_carlo_exceedance(*thr, *samples, *seed),
-            crate::tl::reliability::normal_tail(*thr),
-        )
-    });
-    ReliabilityReport {
+    let monte_carlo = all_ok(
+        "reliability",
+        sw.try_map("reliability", items, |(thr, samples, seed)| {
+            let m = JitterModel::paper();
+            (
+                *thr,
+                m.monte_carlo_exceedance(*thr, *samples, *seed),
+                crate::tl::reliability::normal_tail(*thr),
+            )
+        }),
+    )?;
+    Ok(ReliabilityReport {
         sigma_ps: m.sigma_ps(),
         margin_ps: m.margin_ps(),
         margin_sigmas: m.margin_sigmas(),
         analytic_error_probability: m.error_probability(),
         monte_carlo,
-    }
+    })
 }
 
 /// The Sec. VII AWGR comparison at 32 nodes.
@@ -787,14 +803,15 @@ pub struct WiringAblation {
 /// Runs the randomization ablation (paper Sec. IV-E: expansion makes the
 /// network immune to worst-case permutations; without it, structured
 /// permutations concentrate on a few internal paths).
-pub fn wiring_ablation(cfg: &EvalConfig) -> WiringAblation {
+pub fn wiring_ablation(cfg: &EvalConfig) -> Result<WiringAblation, BaldurError> {
     wiring_ablation_on(&cfg.sweep(), cfg)
 }
 
 /// [`wiring_ablation`] on a caller-provided [`Sweep`]: the two burst
 /// analyses and the two steady-state runs are four independent cached
-/// jobs.
-pub fn wiring_ablation_on(sw: &Sweep, cfg: &EvalConfig) -> WiringAblation {
+/// jobs. Errs when any of the four fails — the ablation is a paired
+/// comparison, meaningless with a side missing.
+pub fn wiring_ablation_on(sw: &Sweep, cfg: &EvalConfig) -> Result<WiringAblation, BaldurError> {
     use crate::topo::multibutterfly::Wiring;
     let pattern = Pattern::Transpose;
     let nodes = cfg.nodes.next_power_of_two();
@@ -802,9 +819,12 @@ pub fn wiring_ablation_on(sw: &Sweep, cfg: &EvalConfig) -> WiringAblation {
         .into_iter()
         .map(|w| (nodes, 4, pattern, cfg.seed, w))
         .collect();
-    let bursts = sw.map("wiring_burst", burst_items, |(n, m, p, seed, w)| {
-        droptool::worst_case_with_wiring(*n, *m, *p, *seed, *w).drop_rate
-    });
+    let bursts = all_ok(
+        "wiring_burst",
+        sw.try_map("wiring_burst", burst_items, |(n, m, p, seed, w)| {
+            droptool::worst_case_with_wiring(*n, *m, *p, *seed, *w).drop_rate
+        }),
+    )?;
     let sim_items: Vec<RunConfig> = [Wiring::Randomized, Wiring::Dilated]
         .into_iter()
         .map(|wiring| {
@@ -826,18 +846,23 @@ pub fn wiring_ablation_on(sw: &Sweep, cfg: &EvalConfig) -> WiringAblation {
             }
         })
         .collect();
-    let mut sims = sw.map("wiring_sim", sim_items, run);
+    let mut sims = all_ok("wiring_sim", sw.try_map("wiring_sim", sim_items, run))?;
     let (randomized, dilated) = match (sims.pop(), sims.pop()) {
         (Some(d), Some(r)) => (r, d),
-        _ => unreachable!("two wiring configs in, two reports out"),
+        _ => {
+            return Err(BaldurError::MissingResult {
+                label: "wiring_sim".to_string(),
+                what: "two wiring configs in, two reports out".to_string(),
+            })
+        }
     };
-    WiringAblation {
+    Ok(WiringAblation {
         pattern: pattern.name().into(),
         randomized_burst_drop: bursts[0],
         dilated_burst_drop: bursts[1],
         randomized,
         dilated,
-    }
+    })
 }
 
 /// The backoff ablation: binary exponential backoff on versus off under a
@@ -854,13 +879,14 @@ pub struct BackoffAblation {
 /// completable configuration (multiplicity 2, transpose at 0.9 load)
 /// where retransmission pressure is real and BEB's throttling shows up
 /// as fewer wasted traversals.
-pub fn backoff_ablation(cfg: &EvalConfig) -> BackoffAblation {
+pub fn backoff_ablation(cfg: &EvalConfig) -> Result<BackoffAblation, BaldurError> {
     backoff_ablation_on(&cfg.sweep(), cfg)
 }
 
 /// [`backoff_ablation`] on a caller-provided [`Sweep`] — the on/off runs
-/// are two independent cached jobs.
-pub fn backoff_ablation_on(sw: &Sweep, cfg: &EvalConfig) -> BackoffAblation {
+/// are two independent cached jobs. Errs when either side fails (a
+/// paired comparison).
+pub fn backoff_ablation_on(sw: &Sweep, cfg: &EvalConfig) -> Result<BackoffAblation, BaldurError> {
     let items: Vec<RunConfig> = [true, false]
         .into_iter()
         .map(|backoff| {
@@ -883,15 +909,20 @@ pub fn backoff_ablation_on(sw: &Sweep, cfg: &EvalConfig) -> BackoffAblation {
             }
         })
         .collect();
-    let mut reports = sw.map("backoff", items, run);
+    let mut reports = all_ok("backoff", sw.try_map("backoff", items, run))?;
     let (with_backoff, without_backoff) = match (reports.pop(), reports.pop()) {
         (Some(wo), Some(w)) => (w, wo),
-        _ => unreachable!("two backoff configs in, two reports out"),
+        _ => {
+            return Err(BaldurError::MissingResult {
+                label: "backoff".to_string(),
+                what: "two backoff configs in, two reports out".to_string(),
+            })
+        }
     };
-    BackoffAblation {
+    Ok(BackoffAblation {
         with_backoff,
         without_backoff,
-    }
+    })
 }
 
 // ------------------------------------------------------------- Figure 5
@@ -1002,7 +1033,7 @@ mod tests {
 
     #[test]
     fn reliability_is_1e_minus_9_class() {
-        let r = reliability(100_000, 1);
+        let r = reliability(100_000, 1).expect("no faults injected here");
         assert!(r.analytic_error_probability < 1e-8);
         for (_, mc, an) in &r.monte_carlo {
             if *an > 1e-3 {

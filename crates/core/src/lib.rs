@@ -58,8 +58,10 @@ pub use baldur_tl as tl;
 pub use baldur_topo as topo;
 
 pub mod csv;
+pub mod error;
 pub mod experiments;
 pub mod hash;
+pub mod supervise;
 pub mod sweep;
 
 pub use net::runner::{run, NetworkKind, RunConfig, Workload};

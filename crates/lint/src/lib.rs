@@ -33,6 +33,19 @@ use serde::Serialize;
 /// Crates whose sources fall under the determinism wall.
 pub const WALL_CRATES: &[&str] = &["sim", "net", "tl", "phy"];
 
+/// Files on the supervised job path: the code that runs *around* user
+/// jobs (scheduling, isolation, journaling, result plumbing). A panic
+/// here defeats panic isolation — the harness would die with the job it
+/// was supposed to contain — so these files get a zero-budget panic rule
+/// of their own, with no allowlist escape hatch in practice.
+pub const JOB_PATH_FILES: &[&str] = &[
+    "crates/sim/src/par.rs",
+    "crates/core/src/sweep.rs",
+    "crates/core/src/supervise.rs",
+    "crates/core/src/error.rs",
+    "crates/net/src/runner.rs",
+];
+
 /// Relative path (from the repo root) of the panic-budget allowlist.
 pub const ALLOWLIST_PATH: &str = "crates/lint/allowlist.txt";
 
@@ -57,6 +70,15 @@ pub enum Rule {
     /// so these sites get their own (empty) budget instead of sharing the
     /// general panic budget.
     FaultPathPanic,
+    /// `.unwrap()` / `.expect(...)` in a [`JOB_PATH_FILES`] source: the
+    /// supervised job path must stay panic-free, or the harness dies
+    /// with the very job whose panic it exists to contain.
+    JobPathPanic,
+    /// `std::process::exit` in library code. Exiting from a library
+    /// skips destructors, swallows the sweep summary, and robs callers
+    /// of the chance to report; only binaries (and the documented bench
+    /// helpers on the allowlist) get to choose the process exit code.
+    ProcessExit,
     /// `partial_cmp(..)` chained into `.unwrap()` / `.expect(...)`.
     FloatCmpPanic,
     /// `==` / `!=` against a float literal.
@@ -76,6 +98,8 @@ impl Rule {
         Rule::UnorderedCollection,
         Rule::PanicSite,
         Rule::FaultPathPanic,
+        Rule::JobPathPanic,
+        Rule::ProcessExit,
         Rule::FloatCmpPanic,
         Rule::FloatLiteralEq,
         Rule::StaleArtifact,
@@ -89,6 +113,8 @@ impl Rule {
             Rule::UnorderedCollection => "unordered-collection",
             Rule::PanicSite => "panic-site",
             Rule::FaultPathPanic => "fault-path-panic",
+            Rule::JobPathPanic => "job-path-panic",
+            Rule::ProcessExit => "process-exit",
             Rule::FloatCmpPanic => "float-cmp-panic",
             Rule::FloatLiteralEq => "float-literal-eq",
             Rule::StaleArtifact => "stale-artifact",
@@ -118,6 +144,14 @@ impl Rule {
             Rule::FaultPathPanic => {
                 "no .unwrap()/.expect() in crates/net fault-handling code; \
                  a panic there crashes the experiment mid-fault"
+            }
+            Rule::JobPathPanic => {
+                "no .unwrap()/.expect() on the supervised job path (par/sweep/supervise/\
+                 error/runner); a panic there defeats panic isolation"
+            }
+            Rule::ProcessExit => {
+                "no std::process::exit in library code; return an error and let the \
+                 binary choose the exit code"
             }
             Rule::FloatCmpPanic => {
                 "no partial_cmp().unwrap()/expect(); NaN panics — use f64::total_cmp"
@@ -336,6 +370,11 @@ pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
     // fault-state-touching line elsewhere in the crate.
     let net_crate = crate_name == Some("net");
     let fault_file = net_crate && rel_path.to_ascii_lowercase().contains("fault");
+    // The supervised job path gets its own zero-budget panic rule.
+    let job_path = JOB_PATH_FILES.contains(&rel_path);
+    // Library code must not choose the process exit code; binaries (and
+    // the bench CLI helpers on the allowlist) may.
+    let exit_scope = panic_scope && !rel_path.ends_with("/main.rs");
 
     let mut findings = Vec::new();
     for (idx, line) in scrubbed.lines().enumerate() {
@@ -394,7 +433,9 @@ pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
         if panic_scope && !cmp_panic {
             let fault_path =
                 fault_file || (net_crate && line.to_ascii_lowercase().contains("fault"));
-            let (rule, what) = if fault_path {
+            let (rule, what) = if job_path {
+                (Rule::JobPathPanic, "supervised job-path")
+            } else if fault_path {
                 (Rule::FaultPathPanic, "fault-handling")
             } else {
                 (Rule::PanicSite, "library")
@@ -409,6 +450,15 @@ pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
                 push(
                     rule,
                     format!("`.expect(..)` in {what} code; handle the None/Err or allowlist it"),
+                );
+            }
+        }
+        if exit_scope {
+            for _ in 0..line.matches("process::exit").count() {
+                push(
+                    Rule::ProcessExit,
+                    "`process::exit` in library code; return an error and let the binary exit"
+                        .to_string(),
                 );
             }
         }
@@ -988,5 +1038,30 @@ mod tests {
         let src = "fn main() { run().unwrap(); }\n";
         assert!(lint_source("crates/bench/src/bin/fig6.rs", src).is_empty());
         assert_eq!(lint_source("crates/bench/src/lib.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn job_path_files_get_the_stricter_panic_rule() {
+        let src = "fn f() { slot.take().unwrap(); cell.get().expect(\"set\"); }\n";
+        for file in JOB_PATH_FILES {
+            let fs = lint_source(file, src);
+            assert_eq!(fs.len(), 2, "{file}: {fs:?}");
+            assert!(fs.iter().all(|f| f.rule == "job-path-panic"), "{fs:?}");
+        }
+        // The same code elsewhere stays under the general budget.
+        let fs = lint_source("crates/core/src/experiments.rs", src);
+        assert!(fs.iter().all(|f| f.rule == "panic-site"), "{fs:?}");
+    }
+
+    #[test]
+    fn process_exit_banned_in_library_code_only() {
+        let src = "fn f() { std::process::exit(1); }\n";
+        let fs = lint_source("crates/bench/src/lib.rs", src);
+        assert_eq!(fs.len(), 1, "{fs:?}");
+        assert_eq!(fs[0].rule, "process-exit");
+        // Binaries, benches, and main.rs choose their own exit codes.
+        assert!(lint_source("crates/bench/src/bin/faults.rs", src).is_empty());
+        assert!(lint_source("crates/bench/benches/figures.rs", src).is_empty());
+        assert!(lint_source("crates/lint/src/main.rs", src).is_empty());
     }
 }

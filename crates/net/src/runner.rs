@@ -301,6 +301,26 @@ pub fn run_many(threads: usize, cfgs: Vec<RunConfig>) -> Vec<LatencyReport> {
     baldur_sim::par::par_map(baldur_sim::par::thread_count(threads), cfgs, run)
 }
 
+/// [`run_many`] with panic isolation: a configuration whose [`run`]
+/// panics (e.g. a malformed topology/pattern pairing) yields
+/// `Err(panic message)` in its input-order slot while every other
+/// configuration still completes. Never panics and never skips: the
+/// isolated pool runs with an unlimited failure budget, so the result is
+/// thread-count deterministic like [`run_many`] itself.
+pub fn try_run_many(threads: usize, cfgs: Vec<RunConfig>) -> Vec<Result<LatencyReport, String>> {
+    use baldur_sim::par::JobSlot;
+    let (slots, _aborted) =
+        baldur_sim::par::par_map_isolated(baldur_sim::par::thread_count(threads), cfgs, None, run);
+    slots
+        .into_iter()
+        .map(|slot| match slot {
+            JobSlot::Done(report) => Ok(report),
+            JobSlot::Panicked(msg) => Err(msg),
+            JobSlot::Skipped => Err("skipped".to_string()),
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -352,6 +372,33 @@ mod tests {
         let serial: Vec<LatencyReport> = cfgs.iter().map(run).collect();
         let batched = run_many(4, cfgs);
         assert_eq!(serial, batched);
+    }
+
+    #[test]
+    fn try_run_many_isolates_a_bad_config() {
+        // Transpose requires a power-of-two node count; 6 nodes panics —
+        // and must not take its siblings with it.
+        let bad = RunConfig::new(
+            6,
+            NetworkKind::Ideal,
+            Workload::Synthetic {
+                pattern: Pattern::Transpose,
+                load: 0.2,
+                packets_per_node: 5,
+            },
+        );
+        let good = RunConfig::new(64, NetworkKind::Ideal, synth(0.2, 5));
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = try_run_many(2, vec![good.clone(), bad, good.clone()]);
+        std::panic::set_hook(prev);
+        assert!(out[0].is_ok() && out[2].is_ok());
+        assert_eq!(out[0], out[2]);
+        assert!(out[1].is_err(), "bad config must surface its panic");
+        assert_eq!(
+            out[0].as_ref().ok().map(|r| r.delivered),
+            Some(run(&good).delivered)
+        );
     }
 
     #[test]

@@ -1,0 +1,146 @@
+//! Crash recovery: a sweep subprocess is SIGKILLed mid-run, then rerun
+//! with `--resume`; the resumed run must confirm prior completions from
+//! the journal and render byte-identical figure output.
+//!
+//! The child process is this same test binary re-executed with the
+//! `child_sweep_worker` test selected and `BALDUR_CRASH_RECOVERY_CHILD`
+//! set — the standard self-exec trick for subprocess tests without a
+//! helper binary. `ci.sh` runs this suite as the `crash-recovery-smoke`
+//! tier-1 gate.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+use baldur::experiments::{figure6_on, EvalConfig};
+use baldur::sweep::Sweep;
+
+const CHILD_ENV: &str = "BALDUR_CRASH_RECOVERY_CHILD";
+const CACHE_ENV: &str = "BALDUR_CRASH_CACHE_DIR";
+const RESUME_ENV: &str = "BALDUR_CRASH_RESUME";
+const CSV_ENV: &str = "BALDUR_CRASH_CSV_OUT";
+const STATS_ENV: &str = "BALDUR_CRASH_STATS_OUT";
+
+const LOADS: [f64; 2] = [0.3, 0.7];
+
+fn child_config() -> EvalConfig {
+    EvalConfig {
+        threads: 1,
+        ..EvalConfig::tiny()
+    }
+}
+
+/// Not a test of its own: the subprocess body. Without the guard env
+/// var (every ordinary `cargo test` run) it returns immediately.
+#[test]
+fn child_sweep_worker() {
+    if std::env::var(CHILD_ENV).is_err() {
+        return;
+    }
+    let cache_dir = std::env::var(CACHE_ENV).expect("child needs a cache dir");
+    let resume = std::env::var(RESUME_ENV).is_ok_and(|v| v == "1");
+    let cfg = child_config();
+    let sw = Sweep::new(cfg.threads)
+        .with_resume(resume)
+        .with_cache_dir(&cache_dir);
+    let rows = figure6_on(&sw, &cfg, &LOADS);
+    let (jobs, hits) = sw.totals();
+    std::fs::write(
+        std::env::var(CSV_ENV).expect("child needs a CSV path"),
+        baldur::csv::fig6(&rows),
+    )
+    .expect("write child CSV");
+    std::fs::write(
+        std::env::var(STATS_ENV).expect("child needs a stats path"),
+        format!("jobs={jobs}\nhits={hits}\nresumed={}\n", sw.resumed_total()),
+    )
+    .expect("write child stats");
+}
+
+/// Spawns the child with the given resume flag against `dir`.
+fn spawn_child(dir: &Path, resume: bool) -> std::process::Child {
+    Command::new(std::env::current_exe().expect("current test binary"))
+        .args(["child_sweep_worker", "--exact"])
+        .env(CHILD_ENV, "1")
+        .env(CACHE_ENV, dir.join("cache"))
+        .env(RESUME_ENV, if resume { "1" } else { "0" })
+        .env(CSV_ENV, dir.join("fig6.csv"))
+        .env(STATS_ENV, dir.join("stats.txt"))
+        .stdout(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn child sweep")
+}
+
+/// Counts completed cache entries (`*.json`; the journal is `.jsonl`
+/// and a torn in-flight temp file has a `.tmp.<pid>` suffix, so neither
+/// is counted).
+fn cache_entries(cache: &Path) -> usize {
+    let Ok(entries) = std::fs::read_dir(cache) else {
+        return 0;
+    };
+    entries
+        .filter_map(Result::ok)
+        .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
+        .count()
+}
+
+#[test]
+fn sigkill_mid_sweep_then_resume_is_byte_identical() {
+    let dir: PathBuf =
+        std::env::temp_dir().join(format!("baldur-crash-recovery-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir scratch");
+    let cache = dir.join("cache");
+
+    // Run A: kill it once a few jobs have landed in the cache. If the
+    // sweep outruns the poll and finishes first, that's fine too — the
+    // resume run below then confirms *every* job from the journal.
+    let mut a = spawn_child(&dir, false);
+    let deadline = Instant::now() + Duration::from_secs(300);
+    let mut finished_early = false;
+    while cache_entries(&cache) < 3 {
+        if let Some(status) = a.try_wait().expect("poll child A") {
+            assert!(status.success(), "child A failed: {status}");
+            finished_early = true;
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "child A produced <3 cache entries in 300s"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    if !finished_early {
+        a.kill().expect("SIGKILL child A");
+        a.wait().expect("reap child A");
+    }
+    let survivors = cache_entries(&cache);
+    assert!(
+        survivors >= 3 || finished_early,
+        "no progress to resume from"
+    );
+
+    // Run B resumes: it must succeed, confirm prior completions from
+    // the journal, and render exactly the reference bytes.
+    let status = spawn_child(&dir, true).wait().expect("run child B");
+    assert!(status.success(), "resumed child B failed: {status}");
+
+    let stats = std::fs::read_to_string(dir.join("stats.txt")).expect("child B stats");
+    let resumed: usize = stats
+        .lines()
+        .find_map(|l| l.strip_prefix("resumed="))
+        .expect("resumed= line")
+        .parse()
+        .expect("resumed count");
+    assert!(resumed > 0, "resume confirmed no journaled jobs:\n{stats}");
+
+    let cfg = child_config();
+    let reference = baldur::csv::fig6(&figure6_on(&Sweep::new(1), &cfg, &LOADS));
+    let resumed_csv = std::fs::read_to_string(dir.join("fig6.csv")).expect("child B CSV");
+    assert!(
+        resumed_csv == reference,
+        "resumed run rendered different CSV bytes than an uncached run"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -57,7 +57,7 @@ fn awgr_power_and_latency_claims() {
 
 #[test]
 fn reliability_error_probability_is_1e9_class() {
-    let r = experiments::reliability(200_000, 42);
+    let r = experiments::reliability(200_000, 42).expect("no faults injected here");
     assert!(r.analytic_error_probability < 1e-8);
     assert!(r.analytic_error_probability > 1e-10);
     assert!((r.margin_sigmas - 5.66).abs() < 0.02);

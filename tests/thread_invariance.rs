@@ -10,6 +10,16 @@
 use baldur::experiments::{figure6_on, EvalConfig};
 use baldur::sweep::Sweep;
 
+/// Runs `f` with the default panic hook replaced by a silent one, so
+/// deliberately-panicking jobs don't spray backtraces into test output.
+fn quietly<R>(f: impl FnOnce() -> R) -> R {
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let r = f();
+    std::panic::set_hook(hook);
+    r
+}
+
 /// The tiny Figure 6 sweep, rendered to CSV and JSON, at `threads`.
 fn fig6_bytes(threads: usize) -> (String, String) {
     let cfg = EvalConfig {
@@ -37,6 +47,33 @@ fn fig6_is_byte_identical_at_1_2_and_8_threads() {
             "fig6 JSON diverged between 1 and {threads} threads"
         );
     }
+}
+
+#[test]
+fn failed_slots_are_submission_ordered_at_any_thread_count() {
+    // Panic isolation must not cost determinism: with seeded panics in
+    // the job function, the full slot vector — `Ok` rows and `Err`
+    // rows alike — renders identically at 1, 2, and 8 workers.
+    fn slots_debug(threads: usize) -> String {
+        let sw = Sweep::new(threads);
+        let items: Vec<u64> = (0..24).collect();
+        let slots = sw.try_map("seeded-panics", items, |&x| {
+            assert!(x % 5 != 2, "seeded panic on item {x}");
+            x * x
+        });
+        format!("{slots:?}")
+    }
+    quietly(|| {
+        let base = slots_debug(1);
+        assert!(base.contains("seeded panic on item 2"), "{base}");
+        assert!(base.contains("Ok(0)") && base.contains("Ok(529)"), "{base}");
+        for threads in [2, 8] {
+            assert!(
+                slots_debug(threads) == base,
+                "failure slots diverged between 1 and {threads} threads"
+            );
+        }
+    });
 }
 
 #[test]
