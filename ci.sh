@@ -9,10 +9,13 @@ cd "$(dirname "$0")"
 export CARGO_NET_OFFLINE=true
 
 # `./ci.sh --bless` regenerates the golden snapshots under results/golden/
-# (see tests/golden_suite.rs) and exits; review the diff like any other.
+# (see tests/golden_suite.rs) and the registry-derived table in
+# EXPERIMENTS.md, then exits; review the diff like any other.
 if [ "${1:-}" = "--bless" ]; then
     echo "=== blessing golden snapshots (results/golden/)"
     BALDUR_BLESS=1 cargo test -q --test golden_suite
+    echo "=== blessing the EXPERIMENTS.md registry table"
+    BALDUR_BLESS=1 cargo test -q --test registry_suite experiments_md_table_matches_registry
     exit 0
 fi
 
@@ -72,6 +75,12 @@ run_step thread-invariance cargo test -q --test thread_invariance
 run_step golden cargo test -q --test golden_suite
 run_step test-validate cargo test --features validate -q
 run_step test-workspace cargo test --workspace -q
+# Registry gates: the runner must enumerate every registered experiment,
+# and the completeness suite enforces bin <-> spec bijection, golden (or
+# recorded exemption) coverage, descriptor round-trips, and a fresh
+# EXPERIMENTS.md table.
+run_step registry-smoke cargo run --release -p baldur-bench --bin all_figures -- --list
+run_step registry-completeness cargo test -q --test registry_suite
 # Fault-injection smoke: small topology, 5% failures, fixed seed; asserts
 # packet conservation and run-to-run byte-identity, exits nonzero on drift.
 run_step fault-smoke cargo run --release -p baldur-bench --bin faults -- --smoke

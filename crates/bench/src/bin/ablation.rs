@@ -1,80 +1,6 @@
-//! Design-choice ablations called out in DESIGN.md:
-//!
-//! 1. **Wiring randomization** — the expansion property (Sec. IV-E): the
-//!    randomized multi-butterfly versus a structured dilated butterfly
-//!    under the adversarial transpose permutation.
-//! 2. **Binary exponential backoff** — retransmission throttling under a
-//!    hotspot.
-//!
-//! (The third design knob, path multiplicity, is Table V: `--bin table5`.)
-
-use baldur::experiments::{backoff_ablation_on, wiring_ablation_on};
-use baldur_bench::{finish, fmt_ns, header, or_die, Args};
+//! Design-choice ablations: wiring randomization and binary exponential
+//! backoff.
 
 fn main() {
-    let args = Args::parse();
-    let cfg = args.eval_config();
-    let sw = args.sweep(&cfg);
-
-    let w = or_die(&sw, wiring_ablation_on(&sw, &cfg));
-    header(&format!(
-        "Ablation 1: wiring randomization ({} nodes, {}, load 0.7)",
-        cfg.nodes, w.pattern
-    ));
-    println!("{:>22} | {:>12} | {:>12}", "", "randomized", "dilated");
-    println!(
-        "{:>22} | {:>11.2}% | {:>11.2}%",
-        "worst-case burst drop",
-        w.randomized_burst_drop * 100.0,
-        w.dilated_burst_drop * 100.0
-    );
-    println!(
-        "{:>22} | {:>11.3}% | {:>11.3}%",
-        "steady-state drop",
-        w.randomized.drop_rate * 100.0,
-        w.dilated.drop_rate * 100.0
-    );
-    println!(
-        "{:>22} | {:>12} | {:>12}",
-        "avg latency",
-        fmt_ns(w.randomized.avg_ns),
-        fmt_ns(w.dilated.avg_ns)
-    );
-    println!(
-        "{:>22} | {:>12} | {:>12}",
-        "p99 latency",
-        fmt_ns(w.randomized.p99_ns),
-        fmt_ns(w.dilated.p99_ns)
-    );
-    println!("(expansion via randomization is what defuses structured permutations)");
-
-    let b = or_die(&sw, backoff_ablation_on(&sw, &cfg));
-    header(&format!(
-        "Ablation 2: binary exponential backoff (m=2, transpose @ 0.9, {} nodes)",
-        cfg.nodes
-    ));
-    println!("{:>22} | {:>12} | {:>12}", "", "with BEB", "without");
-    println!(
-        "{:>22} | {:>12} | {:>12}",
-        "retransmissions", b.with_backoff.retransmissions, b.without_backoff.retransmissions
-    );
-    println!(
-        "{:>22} | {:>11.2}% | {:>11.2}%",
-        "traversal drop rate",
-        b.with_backoff.drop_rate * 100.0,
-        b.without_backoff.drop_rate * 100.0
-    );
-    println!(
-        "{:>22} | {:>12} | {:>12}",
-        "avg latency",
-        fmt_ns(b.with_backoff.avg_ns),
-        fmt_ns(b.without_backoff.avg_ns)
-    );
-    println!(
-        "{:>22} | {:>12} | {:>12}",
-        "delivered", b.with_backoff.delivered, b.without_backoff.delivered
-    );
-
-    args.maybe_write_json(&(w, b));
-    finish(&sw);
+    baldur_bench::registry_main("ablation")
 }

@@ -1,129 +1,7 @@
-//! One-shot reproduction: runs every table/figure experiment at the
-//! configured scale and writes a results directory with JSON + CSV (and
-//! gnuplot scripts for the CSV figures).
-//!
-//! ```sh
-//! cargo run --release -p baldur-bench --bin all_figures -- --out results --nodes 256
-//! ```
-
-use std::fs;
-use std::path::Path;
-
-use baldur::experiments;
-use baldur_bench::{finish, or_die, Args};
-
-fn write(path: &Path, contents: &str) {
-    fs::write(path, contents).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
-    eprintln!("wrote {}", path.display());
-}
-
-fn json<T: serde::Serialize>(dir: &Path, name: &str, value: &T) {
-    let s = serde_json::to_string_pretty(value).expect("serialize");
-    write(&dir.join(format!("{name}.json")), &s);
-}
+//! One-shot reproduction: runs every registered experiment at the
+//! configured scale (`--out DIR`, default `results`) and writes the
+//! results directory with JSON + CSV and gnuplot scripts.
 
 fn main() {
-    let args = Args::parse();
-    let cfg = args.eval_config();
-    let dir_name = args.get("out").unwrap_or("results").to_string();
-    let dir = Path::new(&dir_name);
-    fs::create_dir_all(dir).expect("create output directory");
-
-    let sw = args.sweep(&cfg);
-    eprintln!(
-        "running the full figure set at {} nodes ({} worker threads)...",
-        cfg.nodes,
-        sw.threads()
-    );
-
-    let t5 = experiments::table_v_on(&sw, &cfg);
-    json(dir, "table5", &t5);
-    write(&dir.join("table5.csv"), &baldur::csv::table5(&t5));
-
-    let loads = [0.1, 0.3, 0.5, 0.7, 0.9];
-    let f6 = experiments::figure6_on(&sw, &cfg, &loads);
-    json(dir, "fig6", &f6);
-    write(&dir.join("fig6.csv"), &baldur::csv::fig6(&f6));
-
-    let f7 = experiments::figure7_on(&sw, &cfg);
-    json(dir, "fig7", &f7);
-    write(&dir.join("fig7.csv"), &baldur::csv::fig7(&f7));
-
-    let f8 = experiments::figure8_on(&sw);
-    json(dir, "fig8", &f8);
-    write(&dir.join("fig8.csv"), &baldur::csv::fig8(&f8));
-
-    let f9 = experiments::figure9_on(&sw);
-    json(dir, "fig9", &f9);
-
-    let f10 = experiments::figure10_on(&sw);
-    json(dir, "fig10", &f10);
-    write(&dir.join("fig10.csv"), &baldur::csv::fig10(&f10));
-
-    let sat = experiments::saturation_on(&sw, &cfg, &loads);
-    json(dir, "saturation", &sat);
-    write(&dir.join("saturation.csv"), &baldur::csv::saturation(&sat));
-
-    let (drops, required) = experiments::droptool_study_on(&sw, &[256, 1_024, 8_192], cfg.seed);
-    json(dir, "droptool", &(drops, required));
-
-    json(
-        dir,
-        "reliability",
-        &or_die(&sw, experiments::reliability_on(&sw, 500_000, cfg.seed)),
-    );
-    json(dir, "awgr", &experiments::awgr_comparison());
-    json(dir, "buffers", &experiments::buffer_sizing_on(&sw, &cfg));
-    json(
-        dir,
-        "wiring_ablation",
-        &or_die(&sw, experiments::wiring_ablation_on(&sw, &cfg)),
-    );
-    json(
-        dir,
-        "topologies",
-        &experiments::topology_comparison_on(&sw, &cfg),
-    );
-
-    let fig5 = experiments::figure5();
-    write(&dir.join("fig5.vcd"), &fig5.vcd);
-
-    // Gnuplot scripts for the CSV-backed figures.
-    write(&dir.join("fig6.gp"), FIG6_GP);
-    write(&dir.join("fig8.gp"), FIG8_GP);
-    write(&dir.join("saturation.gp"), SAT_GP);
-
-    finish(&sw);
-    eprintln!("done: {}", dir.display());
+    baldur_bench::all_figures_main()
 }
-
-const FIG6_GP: &str = r#"# gnuplot -e "pattern='random_permutation'" fig6.gp
-set datafile separator ','
-set logscale y
-set xlabel 'input load'
-set ylabel 'average latency (ns)'
-set key outside
-if (!exists("pattern")) pattern = 'random_permutation'
-set title sprintf('Figure 6: %s', pattern)
-plot for [net in "baldur electrical_mb dragonfly fattree ideal"] \
-  '< grep -E "^'.pattern.','.net.'," fig6.csv' using 3:4 with linespoints title net
-"#;
-
-const FIG8_GP: &str = r#"set datafile separator ','
-set logscale y
-set ylabel 'power per node (W)'
-set style data histogram
-set style fill solid
-set title 'Figure 8: power per node vs scale'
-plot for [net in "baldur electrical_mb dragonfly fattree"] \
-  '< grep ",'.net.'," fig8.csv' using 8:xtic(1) title net
-"#;
-
-const SAT_GP: &str = r#"set datafile separator ','
-set xlabel 'offered load'
-set ylabel 'accepted load'
-set key left top
-set title 'Saturation: accepted vs offered'
-plot for [net in "baldur electrical_mb dragonfly fattree ideal"] \
-  '< grep "^'.net.'," saturation.csv' using 2:3 with linespoints title net, x with lines dt 2 title 'ideal slope'
-"#;

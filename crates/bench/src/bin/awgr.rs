@@ -1,27 +1,6 @@
 //! Sec. VII: Baldur versus an AWGR optical-packet-switching network at 32
 //! nodes.
 
-use baldur::experiments::awgr_comparison;
-use baldur_bench::{header, Args};
-
 fn main() {
-    let args = Args::parse();
-    let c = awgr_comparison();
-    header("Sec. VII: Baldur (m=3) vs 32-radix AWGR, 32 nodes");
-    println!("power  (excl. common node xcvr/serdes):");
-    println!(
-        "  baldur {:>6.2} W/node   awgr {:>6.2} W/node   ({:.1}x)",
-        c.baldur_w,
-        c.awgr_w,
-        c.awgr_w / c.baldur_w
-    );
-    println!("per-hop processing latency:");
-    println!(
-        "  baldur {:>6.2} ns       awgr {:>6.1} ns      ({:.0}x)",
-        c.baldur_latency_ns,
-        c.awgr_latency_ns,
-        c.awgr_latency_ns / c.baldur_latency_ns
-    );
-    println!("(paper: 0.7 W vs 4.2 W; 90 ns electrical header processing)");
-    args.maybe_write_json(&c);
+    baldur_bench::registry_main("awgr")
 }

@@ -1,25 +1,5 @@
 //! Sec. IV-E: retransmission-buffer sizing at 0.7 load.
 
-use baldur::experiments::buffer_sizing_on;
-use baldur_bench::{finish, header, Args};
-
 fn main() {
-    let args = Args::parse();
-    let cfg = args.eval_config();
-    let sw = args.sweep(&cfg);
-    let rows = buffer_sizing_on(&sw, &cfg);
-    header(&format!(
-        "Retransmission-buffer high-water mark ({} nodes, load 0.7)",
-        cfg.nodes
-    ));
-    for (pattern, bytes) in &rows {
-        println!(
-            "{pattern:>20}: {:>9} bytes ({:.1} KB)",
-            bytes,
-            *bytes as f64 / 1024.0
-        );
-    }
-    println!("(paper: 536 KB sufficient; 1 MB provisioned)");
-    args.maybe_write_json(&rows);
-    finish(&sw);
+    baldur_bench::registry_main("buffers")
 }

@@ -1,40 +1,5 @@
 //! Sec. IV-E: the worst-case simultaneous-injection drop tool.
-//!
-//! `--big` extends the sweep to 1M+ nodes (the paper's exascale check).
-
-use baldur::experiments::droptool_study_on;
-use baldur_bench::{finish, header, Args};
 
 fn main() {
-    let args = Args::parse();
-    let seed = args.get_or("seed", 0xBA1Du64);
-    let mut scales: Vec<u32> = vec![256, 1_024, 8_192, 65_536];
-    if args.flag("big") {
-        scales.push(1 << 20);
-    }
-    let sw = args.sweep(&args.eval_config());
-    let (rows, required) = droptool_study_on(&sw, &scales, seed);
-    header("Worst-case burst drop rate (%)");
-    println!(
-        "{:>9} | {:>18} | m=1    m=2    m=3    m=4    m=5",
-        "nodes", "pattern"
-    );
-    let mut by_key: std::collections::BTreeMap<(u32, String), Vec<f64>> = Default::default();
-    for r in &rows {
-        by_key
-            .entry((r.nodes, r.pattern.clone()))
-            .or_default()
-            .push(r.drop_rate * 100.0);
-    }
-    for ((nodes, pattern), drops) in &by_key {
-        let cells: Vec<String> = drops.iter().map(|d| format!("{d:>6.2}")).collect();
-        println!("{nodes:>9} | {pattern:>18} | {}", cells.join(" "));
-    }
-    header("Required multiplicity for <1% worst-case burst drops");
-    for (nodes, m) in &required {
-        println!("{nodes:>9} nodes -> m = {m}");
-    }
-    println!("(paper: m=4 at 1K, m=5 sufficient for >1M)");
-    args.maybe_write_json(&rows);
-    finish(&sw);
+    baldur_bench::registry_main("droptool")
 }

@@ -1,190 +1,6 @@
-//! Fault injection and degradation curves.
-//!
-//! Default mode sweeps the failed-element fraction (0–20%) across Baldur
-//! and the electrical baselines and writes `results/faults.csv` plus a
-//! JSON summary — the kill sets nest, so goodput degrades monotonically
-//! in the fraction. Extra modes:
-//!
-//! * `--smoke` — CI gate: a small topology at 5% failures, run twice,
-//!   asserting packet conservation (delivered + abandoned = generated)
-//!   and byte-identical CSVs across the two runs; exits nonzero on any
-//!   violation.
-//! * `--diagnose` — the Sec. IV-F demo: one dead switch, path rotation
-//!   routing around it, then deterministic test-mode probing to isolate
-//!   it.
-//! * `--fractions a,b,c` — override the swept fractions.
-
-use baldur::experiments::{degradation, degradation_on, DegradationRow, EvalConfig};
-use baldur::net::baldur_net::simulate_with_faults;
-use baldur::net::diagnosis::locate_faulty_switch;
-use baldur::net::driver::Driver;
-use baldur::prelude::*;
-use baldur::topo::multibutterfly::MultiButterfly;
-use baldur_bench::{finish, fmt_ns, header, Args};
+//! Fault injection: degradation curves (default), `--smoke` CI gate, and
+//! the `--diagnose` dead-switch demo.
 
 fn main() {
-    let args = Args::parse();
-    let cfg = args.eval_config();
-    if args.flag("diagnose") {
-        diagnose(&args, &cfg);
-        return;
-    }
-    if args.flag("smoke") {
-        smoke(&cfg);
-        return;
-    }
-    sweep(&args, &cfg);
-}
-
-fn fractions(args: &Args) -> Vec<f64> {
-    args.get_f64_list("fractions", &[0.0, 0.025, 0.05, 0.10, 0.15, 0.20])
-}
-
-fn print_rows(rows: &[DegradationRow]) {
-    let mut networks: Vec<&str> = rows.iter().map(|r| r.network.as_str()).collect();
-    networks.dedup();
-    println!(
-        "{:>14} | {:>8} | {:>8} | {:>10} | {:>10} | {:>9} | {:>9}",
-        "network", "fraction", "goodput", "avg", "p99", "abandoned", "retx"
-    );
-    for net in networks {
-        for r in rows.iter().filter(|r| r.network == net) {
-            println!(
-                "{:>14} | {:>8.3} | {:>7.2}% | {:>10} | {:>10} | {:>9} | {:>9}",
-                r.network,
-                r.fraction,
-                r.report.delivery_ratio() * 100.0,
-                fmt_ns(r.report.avg_ns),
-                fmt_ns(r.report.p99_ns),
-                r.report.abandoned,
-                r.report.retransmissions
-            );
-        }
-    }
-}
-
-fn sweep(args: &Args, cfg: &EvalConfig) {
-    let fracs = fractions(args);
-    header(&format!(
-        "Degradation curves: failed-element fraction sweep ({} nodes, {} pkts/node)",
-        cfg.nodes, cfg.packets_per_node
-    ));
-    let sw = args.sweep(cfg);
-    let rows = degradation_on(&sw, cfg, &fracs);
-    print_rows(&rows);
-    std::fs::create_dir_all("results").expect("create results/");
-    let csv_path = args.get("csv").unwrap_or("results/faults.csv");
-    std::fs::write(csv_path, baldur::csv::faults(&rows)).expect("write CSV");
-    eprintln!("wrote {csv_path}");
-    let json_path = args.get("json").unwrap_or("results/faults.json");
-    let s = serde_json::to_string_pretty(&rows).expect("serialize results");
-    std::fs::write(json_path, s).unwrap_or_else(|e| panic!("write {json_path}: {e}"));
-    eprintln!("wrote {json_path}");
-    finish(&sw);
-}
-
-/// CI gate: small topology, 5% failures, fixed seed; conservation and
-/// run-to-run determinism must hold exactly.
-fn smoke(cfg: &EvalConfig) {
-    let small = EvalConfig {
-        nodes: cfg.nodes.min(64),
-        packets_per_node: cfg.packets_per_node.min(40),
-        ..*cfg
-    };
-    let fracs = [0.0, 0.05];
-    header(&format!(
-        "Fault smoke: {} nodes, {} pkts/node, 5% failures, seed {}",
-        small.nodes, small.packets_per_node, small.seed
-    ));
-    let first = degradation(&small, &fracs);
-    let second = degradation(&small, &fracs);
-    let csv_a = baldur::csv::faults(&first);
-    let csv_b = baldur::csv::faults(&second);
-    let mut failed = false;
-    if csv_a != csv_b {
-        eprintln!("FAIL: same-seed runs are not byte-identical");
-        failed = true;
-    }
-    for r in &first {
-        let accounted = r.report.delivered + r.report.abandoned;
-        if accounted != r.report.generated {
-            eprintln!(
-                "FAIL: {} at fraction {}: delivered {} + abandoned {} != generated {}",
-                r.network, r.fraction, r.report.delivered, r.report.abandoned, r.report.generated
-            );
-            failed = true;
-        }
-        if r.fraction <= 0.0 && r.report.abandoned != 0 {
-            eprintln!(
-                "FAIL: {} abandoned {} packets with no faults injected",
-                r.network, r.report.abandoned
-            );
-            failed = true;
-        }
-    }
-    print_rows(&first);
-    if failed {
-        std::process::exit(1);
-    }
-    println!("fault smoke OK: conservation + determinism hold");
-}
-
-/// The original Sec. IV-F demo: dead switch, rotation, diagnosis.
-fn diagnose(args: &Args, cfg: &EvalConfig) {
-    let nodes = cfg.nodes.next_power_of_two();
-    let stages = nodes.trailing_zeros();
-    let fault = (stages / 2, nodes / 4); // somewhere mid-network
-    let params = BaldurParams {
-        path_rotation: true,
-        ..BaldurParams::paper_for(u64::from(nodes))
-    };
-
-    header(&format!(
-        "Fault tolerance: dead switch at stage {} index {} ({} nodes)",
-        fault.0, fault.1, nodes
-    ));
-    for (label, faults) in [("healthy", vec![]), ("faulty", vec![fault])] {
-        let d = Driver::open_loop(
-            nodes,
-            Pattern::RandomPermutation,
-            0.5,
-            cfg.packets_per_node,
-            &LinkParams::paper(),
-            cfg.seed,
-        );
-        let r = simulate_with_faults(
-            nodes,
-            params,
-            LinkParams::paper(),
-            d,
-            cfg.seed,
-            None,
-            &faults,
-        );
-        println!(
-            "{label:>8}: delivered {:>6.2}% | avg {:>10} | retransmissions {:>7} | drops {:>7}",
-            r.delivery_ratio() * 100.0,
-            fmt_ns(r.avg_ns),
-            r.retransmissions,
-            r.drop_attempts
-        );
-    }
-
-    header("Diagnosis: isolating the dead switch with test-mode probes");
-    let topo = MultiButterfly::new(nodes, params.multiplicity, cfg.seed);
-    let result = locate_faulty_switch(&topo, &|loc| loc == fault, cfg.seed, 100_000);
-    match result.suspect {
-        Some(loc) => println!(
-            "isolated switch (stage {}, index {}) after {} probes — {}",
-            loc.0,
-            loc.1,
-            result.probes_used,
-            if loc == fault { "CORRECT" } else { "WRONG" }
-        ),
-        None => println!(
-            "not isolated within budget ({} candidates left)",
-            result.candidates_left
-        ),
-    }
-    args.maybe_write_json(&result);
+    baldur_bench::registry_main("faults")
 }

@@ -1,39 +1,5 @@
-//! Figure 10: Baldur cost per server node versus scale.
-
-use baldur::cost::components::{FATTREE_2560_COST_PER_NODE, OCS_COST_PER_NODE};
-use baldur::experiments::figure10_on;
-use baldur_bench::{finish, header, Args};
+//! Figure 10: per-node network cost versus scale.
 
 fn main() {
-    let args = Args::parse();
-    let sw = args.sweep(&args.eval_config());
-    let rows = figure10_on(&sw);
-    header("Figure 10: cost per node (USD)");
-    println!(
-        "{:>10} | {:>12} {:>8} {:>8} {:>8} {:>8} | {:>9} | dominant",
-        "scale", "interposers", "fibers", "faus", "rfecs", "xcvrs", "total"
-    );
-    for r in &rows {
-        let b = &r.breakdown;
-        println!(
-            "{:>10} | {:>12.0} {:>8.0} {:>8.0} {:>8.0} {:>8.0} | {:>9.0} | {}",
-            r.label,
-            b.interposers,
-            b.fibers,
-            b.faus,
-            b.rfecs,
-            b.transceivers,
-            b.total(),
-            b.dominant()
-        );
-    }
-    println!(
-        "(anchors: paper Baldur ~523 USD/node at 1K-2K; fat-tree {FATTREE_2560_COST_PER_NODE:.0}; OCS {OCS_COST_PER_NODE:.0})"
-    );
-    if let Some(path) = args.get("csv") {
-        std::fs::write(path, baldur::csv::fig10(&rows)).expect("write CSV");
-        eprintln!("wrote {path}");
-    }
-    args.maybe_write_json(&rows);
-    finish(&sw);
+    baldur_bench::registry_main("fig10")
 }

@@ -1,20 +1,5 @@
 //! Figure 5: the 2x2 switch waveform, reproduced at gate level.
-//!
-//! Prints an ASCII timing diagram and (with `--vcd PATH`) writes a VCD
-//! file for a waveform viewer.
-
-use baldur::experiments::figure5;
-use baldur_bench::{header, Args};
 
 fn main() {
-    let args = Args::parse();
-    let f = figure5();
-    header("Figure 5: switch simulation waveform (routing bit 0 -> output 0)");
-    print!("{}", f.ascii);
-    println!("\npacket exited on output port {}", f.output_port);
-    if let Some(path) = args.get("vcd") {
-        std::fs::write(path, &f.vcd).expect("write VCD");
-        eprintln!("wrote {path}");
-    }
-    args.maybe_write_json(&f.output_port);
+    baldur_bench::registry_main("fig5")
 }

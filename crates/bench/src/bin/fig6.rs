@@ -1,61 +1,6 @@
 //! Figure 6: average and tail latency versus input load, four synthetic
 //! patterns x five networks.
 
-use baldur::experiments::figure6_on;
-use baldur_bench::{finish, fmt_ns, header, Args};
-
 fn main() {
-    let args = Args::parse();
-    let cfg = args.eval_config();
-    let loads = args.get_f64_list("loads", &[0.1, 0.3, 0.5, 0.7, 0.9]);
-    let sw = args.sweep(&cfg);
-    let rows = figure6_on(&sw, &cfg, &loads);
-    for pattern in [
-        "random_permutation",
-        "transpose",
-        "bisection",
-        "group_permutation",
-    ] {
-        header(&format!(
-            "Figure 6: {pattern} ({} nodes, {} pkts/node)",
-            cfg.nodes, cfg.packets_per_node
-        ));
-        println!(
-            "{:>14} | {}",
-            "network",
-            loads
-                .iter()
-                .map(|l| format!("{l:>22.2}"))
-                .collect::<Vec<_>>()
-                .join(" ")
-        );
-        for net in ["baldur", "electrical_mb", "dragonfly", "fattree", "ideal"] {
-            let cells: Vec<String> = loads
-                .iter()
-                .map(|&l| {
-                    // A missing cell means that job failed and was
-                    // dropped by the sweep; render a hole, not a panic.
-                    match rows
-                        .iter()
-                        .find(|r| r.pattern == pattern && r.network == net && r.load == l)
-                    {
-                        Some(r) => format!(
-                            "{:>10}/{:>11}",
-                            fmt_ns(r.report.avg_ns),
-                            fmt_ns(r.report.p99_ns)
-                        ),
-                        None => format!("{:>10}/{:>11}", "-", "-"),
-                    }
-                })
-                .collect();
-            println!("{net:>14} | {}", cells.join(" "));
-        }
-        println!("(cells are avg/p99 latency)");
-    }
-    if let Some(path) = args.get("csv") {
-        std::fs::write(path, baldur::csv::fig6(&rows)).expect("write CSV");
-        eprintln!("wrote {path}");
-    }
-    args.maybe_write_json(&rows);
-    finish(&sw);
+    baldur_bench::registry_main("fig6")
 }

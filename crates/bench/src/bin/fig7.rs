@@ -1,53 +1,5 @@
-//! Figure 7: normalized latency for hotspot, ping-pong, and HPC traces.
-
-use baldur::experiments::{fig7_geomeans, figure7_on, normalize_fig7};
-use baldur_bench::{finish, fmt_ns, header, Args};
+//! Figure 7: application benchmarks, absolute and normalized to Baldur.
 
 fn main() {
-    let args = Args::parse();
-    let cfg = args.eval_config();
-    let sw = args.sweep(&cfg);
-    let rows = figure7_on(&sw, &cfg);
-    let workloads = [
-        "hotspot",
-        "ping_pong1",
-        "ping_pong2",
-        "AMG",
-        "CR",
-        "FB",
-        "MG",
-    ];
-    header(&format!("Figure 7: absolute latency ({} nodes)", cfg.nodes));
-    println!(
-        "{:>12} | {:>14} | {:>12} | {:>12}",
-        "workload", "network", "avg", "p99"
-    );
-    for w in &workloads {
-        for r in rows.iter().filter(|r| r.workload == *w) {
-            println!(
-                "{:>12} | {:>14} | {:>12} | {:>12}",
-                r.workload,
-                r.network,
-                fmt_ns(r.report.avg_ns),
-                fmt_ns(r.report.p99_ns)
-            );
-        }
-    }
-    header("Figure 7: normalized to Baldur (avg / p99)");
-    let norm = normalize_fig7(&rows);
-    for w in &workloads {
-        for (wl, net, a, p) in norm.iter().filter(|r| r.0 == *w) {
-            println!("{wl:>12} | {net:>14} | {a:>8.2}x | {p:>8.2}x");
-        }
-    }
-    header("Geomean normalized latency per network (paper Sec. V-B)");
-    for (net, a, p) in fig7_geomeans(&rows) {
-        println!("{net:>14} | avg {a:>7.2}x | p99 {p:>7.2}x");
-    }
-    if let Some(path) = args.get("csv") {
-        std::fs::write(path, baldur::csv::fig7(&rows)).expect("write CSV");
-        eprintln!("wrote {path}");
-    }
-    args.maybe_write_json(&rows);
-    finish(&sw);
+    baldur_bench::registry_main("fig7")
 }

@@ -1,48 +1,5 @@
 //! Figure 8: power per server node versus network scale.
 
-use baldur::experiments::figure8_on;
-use baldur::power::NetworkPower;
-use baldur_bench::{finish, header, Args};
-
 fn main() {
-    let args = Args::parse();
-    let sw = args.sweep(&args.eval_config());
-    let sweep = figure8_on(&sw);
-    header("Figure 8: power per node (W)");
-    println!(
-        "{:>10} | {:>10} {:>14} {:>10} {:>10} | min..max improvement",
-        "scale", "baldur", "electrical_mb", "dragonfly", "fattree"
-    );
-    for p in &sweep {
-        let b = p.total_w(NetworkPower::Baldur);
-        let mb = p.total_w(NetworkPower::ElectricalMultiButterfly);
-        let df = p.total_w(NetworkPower::Dragonfly);
-        let ft = p.total_w(NetworkPower::FatTree);
-        let imps = [mb / b, df / b, ft / b];
-        let lo = imps.iter().cloned().fold(f64::MAX, f64::min);
-        let hi = imps.iter().cloned().fold(0.0f64, f64::max);
-        println!(
-            "{:>10} | {b:>10.2} {mb:>14.1} {df:>10.1} {ft:>10.1} | {lo:.1}x .. {hi:.1}x",
-            p.label
-        );
-    }
-    println!("(paper: 3.2x-26.4x at 1K-2K, 14.6x-31.0x at 1M-1.4M)");
-    header("Component breakdown at 1K-2K and 1M-1.4M");
-    for idx in [0, sweep.len() - 1] {
-        let p = &sweep[idx];
-        println!("-- {}", p.label);
-        for (n, size, b) in &p.entries {
-            println!(
-                "{:>14} ({:>9} nodes): xcvr {:>6.2} serdes {:>6.2} buf {:>7.2} switch {:>8.2} = {:>8.2} W",
-                n.name(), size, b.transceivers_w, b.serdes_w, b.buffers_w, b.switching_w,
-                b.total_w()
-            );
-        }
-    }
-    if let Some(path) = args.get("csv") {
-        std::fs::write(path, baldur::csv::fig8(&sweep)).expect("write CSV");
-        eprintln!("wrote {path}");
-    }
-    args.maybe_write_json(&sweep);
-    finish(&sw);
+    baldur_bench::registry_main("fig8")
 }

@@ -1,25 +1,5 @@
-//! Figure 9: sensitivity of the 1M-scale power comparison to switch-power
-//! modelling error.
-
-use baldur::experiments::figure9_on;
-use baldur_bench::{finish, header, Args};
+//! Figure 9: sensitivity of the power comparison to component scenarios.
 
 fn main() {
-    let args = Args::parse();
-    let sw = args.sweep(&args.eval_config());
-    let rows = figure9_on(&sw);
-    header("Figure 9: switch-power sensitivity at the 1M-1.4M scale");
-    for row in &rows {
-        println!("-- {}", row.scenario);
-        for (net, w, imp) in &row.entries {
-            if net == "baldur" {
-                println!("{net:>14}: {w:>8.1} W/node");
-            } else {
-                println!("{net:>14}: {w:>8.1} W/node   Baldur wins {imp:>5.1}x");
-            }
-        }
-    }
-    println!("(paper pessimistic case: 5.1x / 8.2x / 14.7x vs dragonfly / fat-tree / MB)");
-    args.maybe_write_json(&rows);
-    finish(&sw);
+    baldur_bench::registry_main("fig9")
 }

@@ -1,33 +1,6 @@
 //! Sec. IV-G: cabinets, PCBs, interposers under fiber-pitch and power
 //! constraints.
 
-use baldur::cost::packaging_for;
-use baldur_bench::{header, Args};
-
 fn main() {
-    let args = Args::parse();
-    header("Sec. IV-G packaging");
-    println!(
-        "{:>10} | m | stages | {:>11} | {:>7} | fiber-lim | power-lim | cabinets | TL area",
-        "nodes", "interposers", "pcbs"
-    );
-    let mut rows = Vec::new();
-    for nodes in [1_024u64, 16_384, 131_072, 1 << 20] {
-        let p = packaging_for(nodes);
-        println!(
-            "{:>10} | {} | {:>6} | {:>11} | {:>7} | {:>9} | {:>9} | {:>8} | {:>6.2}%",
-            p.nodes,
-            p.multiplicity,
-            p.stages,
-            p.interposers,
-            p.pcbs,
-            p.cabinets_fiber_limited,
-            p.cabinets_power_limited,
-            p.cabinets(),
-            p.tl_area_fraction * 100.0
-        );
-        rows.push(p);
-    }
-    println!("(paper: 1 cabinet at 1K; 752 at 1M with fiber pitch binding, 176 power-only)");
-    args.maybe_write_json(&rows);
+    baldur_bench::registry_main("packaging")
 }

@@ -1,28 +1,5 @@
 //! Sec. IV-F: timing-jitter reliability analysis.
 
-use baldur::experiments::reliability_on;
-use baldur_bench::{finish, header, or_die, Args};
-
 fn main() {
-    let args = Args::parse();
-    let samples = args.get_or("samples", 2_000_000u64);
-    let sw = args.sweep(&args.eval_config());
-    let r = or_die(&sw, reliability_on(&sw, samples, args.get_or("seed", 7u64)));
-    header("Sec. IV-F reliability (jitter N(0, 1.53 ps^2), margin 0.42T)");
-    println!("sigma                 {:>10.3} ps", r.sigma_ps);
-    println!(
-        "margin                {:>10.3} ps ({:.2} sigma)",
-        r.margin_ps, r.margin_sigmas
-    );
-    println!(
-        "analytic P(error)     {:>10.2e}  (paper: ~1e-9)",
-        r.analytic_error_probability
-    );
-    println!("\nMonte Carlo validation ({samples} samples):");
-    println!("threshold | measured   | analytic");
-    for (thr, mc, an) in &r.monte_carlo {
-        println!("{thr:>8.1}s | {mc:>10.3e} | {an:>10.3e}");
-    }
-    args.maybe_write_json(&r);
-    finish(&sw);
+    baldur_bench::registry_main("reliability")
 }

@@ -1,40 +1,5 @@
-//! Offered versus accepted load (the saturation companion to Figure 6).
-
-use baldur::experiments::saturation_on;
-use baldur_bench::{finish, header, Args};
+//! Saturation sweep: accepted versus offered load per network.
 
 fn main() {
-    let args = Args::parse();
-    let cfg = args.eval_config();
-    let loads = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
-    let sw = args.sweep(&cfg);
-    let rows = saturation_on(&sw, &cfg, &loads);
-    header(&format!(
-        "Saturation: accepted load vs offered (uniform random, {} nodes)",
-        cfg.nodes
-    ));
-    print!("{:>14}", "network");
-    for l in loads {
-        print!("{l:>7.1}");
-    }
-    println!();
-    for net in ["baldur", "electrical_mb", "dragonfly", "fattree", "ideal"] {
-        print!("{net:>14}");
-        for &l in &loads {
-            // A missing cell means that job failed and was dropped by
-            // the sweep; render a hole, not a panic.
-            match rows.iter().find(|r| r.network == net && r.offered == l) {
-                Some(r) => print!("{:>7.2}", r.accepted),
-                None => print!("{:>7}", "-"),
-            }
-        }
-        println!();
-    }
-    println!("(a network saturates where accepted stops tracking offered)");
-    if let Some(path) = args.get("csv") {
-        std::fs::write(path, baldur::csv::saturation(&rows)).expect("write CSV");
-        eprintln!("wrote {path}");
-    }
-    args.maybe_write_json(&rows);
-    finish(&sw);
+    baldur_bench::registry_main("saturation")
 }

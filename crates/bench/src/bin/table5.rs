@@ -1,28 +1,5 @@
-//! Table V: gates, latency, and drop rate versus path multiplicity.
-
-use baldur::experiments::table_v_on;
-use baldur_bench::{finish, header, Args};
+//! Table V: drop rate and hardware cost versus path multiplicity.
 
 fn main() {
-    let args = Args::parse();
-    let cfg = args.eval_config();
-    let sw = args.sweep(&cfg);
-    let rows = table_v_on(&sw, &cfg);
-    header(&format!(
-        "Table V (transpose @ 0.7 load, {} nodes, {} pkts/node)",
-        cfg.nodes, cfg.packets_per_node
-    ));
-    println!("multiplicity | gates | latency (ns) | drop % (paper @1K) | drop % (measured)");
-    for r in &rows {
-        println!(
-            "{:>12} | {:>5} | {:>12.2} | {:>18.2} | {:>17.3}",
-            r.multiplicity, r.gates, r.latency_ns, r.paper_drop_pct, r.measured_drop_pct
-        );
-    }
-    if let Some(path) = args.get("csv") {
-        std::fs::write(path, baldur::csv::table5(&rows)).expect("write CSV");
-        eprintln!("wrote {path}");
-    }
-    args.maybe_write_json(&rows);
-    finish(&sw);
+    baldur_bench::registry_main("table5")
 }

@@ -1,43 +1,5 @@
 //! Tables III/IV + the Sec. IV-B encoding-overhead analysis.
 
-use baldur::phy::overhead::length_code_overhead;
-use baldur::tl::device::{TlDevice, TlGate};
-use baldur_bench::header;
-
 fn main() {
-    header("Table III: TL device parameters");
-    let d = TlDevice::PAPER;
-    println!(
-        "junction capacitance     {:>8.1} fF",
-        d.junction_capacitance_ff
-    );
-    println!(
-        "recombination lifetime   {:>8.1} ps",
-        d.recombination_lifetime_ps
-    );
-    println!("photon lifetime          {:>8.2} ps", d.photon_lifetime_ps);
-    println!("wavelength               {:>8.0} nm", d.wavelength_nm);
-    println!(
-        "threshold current        {:>8.1} mA",
-        d.threshold_current_ma
-    );
-    println!("bias current             {:>8.1} mA", d.bias_current_ma);
-
-    header("Table IV: TL gate figures of merit");
-    let g = TlGate::PAPER;
-    println!(
-        "area {:>5.0} um^2 | rise/fall {:>4.1} ps | delay {:>5.2} ps | power {:>6.3} mW | {:>3.0} Gbps | {:.2} fJ/bit",
-        g.area_um2, g.rise_fall_ps, g.delay_ps, g.power_mw, g.data_rate_gbps,
-        g.energy_per_bit_fj()
-    );
-
-    header("Sec. IV-B: length-code bandwidth overhead");
-    for (bits, payload) in [(8u64, 512u64), (10, 512), (20, 512), (8, 64)] {
-        let o = length_code_overhead(bits, payload);
-        println!(
-            "{bits:>3} routing bits + {payload:>4} B payload -> {:>6.3}% overhead",
-            o.fraction * 100.0
-        );
-    }
-    println!("(paper quotes ~0.34% for 8 routing bits + 512 B)");
+    baldur_bench::registry_main("tables34")
 }

@@ -1,35 +1,6 @@
-//! Staged-topology comparison: the paper's isomorphism claim ("we expect
-//! Baldur to achieve similar results with other multi-stage topologies")
-//! plus the value of randomization.
-
-use baldur::experiments::topology_comparison_on;
-use baldur_bench::{finish, fmt_ns, header, Args};
+//! Staged-topology comparison: the paper's isomorphism claim plus the
+//! value of randomization.
 
 fn main() {
-    let args = Args::parse();
-    let cfg = args.eval_config();
-    let sw = args.sweep(&cfg);
-    let rows = topology_comparison_on(&sw, &cfg);
-    header(&format!(
-        "Baldur on three staged topologies ({} nodes, load 0.6)",
-        cfg.nodes
-    ));
-    println!(
-        "{:>18} | {:>16} | {:>10} | {:>10} | {:>8}",
-        "topology", "pattern", "avg", "p99", "drop %"
-    );
-    for r in &rows {
-        println!(
-            "{:>18} | {:>16} | {:>10} | {:>10} | {:>8.3}",
-            r.topology,
-            r.pattern,
-            fmt_ns(r.report.avg_ns),
-            fmt_ns(r.report.p99_ns),
-            r.report.drop_rate * 100.0
-        );
-    }
-    println!("(uniform traffic: all three are near-identical — the paper's");
-    println!(" isomorphism claim; transpose: only randomized wiring survives)");
-    args.maybe_write_json(&rows);
-    finish(&sw);
+    baldur_bench::registry_main("topologies")
 }

@@ -1,7 +1,12 @@
-//! Shared helpers for the figure/table harness binaries.
+//! The figure/table harness: one registry-driven runner behind every
+//! binary in `src/bin/`.
 //!
-//! Every binary in `src/bin/` regenerates one table or figure of the
-//! paper. Common flags:
+//! Each binary regenerates one table or figure of the paper by calling
+//! [`registry_main`] with its experiment's registry name; `all_figures`
+//! calls [`all_figures_main`]. Experiment-specific knobs are declared as
+//! axes/flags/modes on the spec in `baldur::registry` and surface
+//! automatically as `--<axis> VALUES`, `--<flag>`, `--set axis=VALUES`,
+//! `--list`, and `--describe`. Common flags:
 //!
 //! * `--nodes N` — active server nodes (default: quick-config 256),
 //! * `--packets N` — packets per node for open-loop runs,
@@ -9,7 +14,7 @@
 //! * `--seed N` — master seed,
 //! * `--threads N` — worker threads (default: `BALDUR_THREADS`, then
 //!   all cores),
-//! * `--json PATH` — also write the structured results as JSON,
+//! * `--csv PATH` / `--json PATH` — also write the structured results,
 //! * `--cache-dir DIR` — run-cache directory (default `results/cache`),
 //! * `--no-cache` — recompute every run, bypassing the cache,
 //! * `--resume` — replay jobs the completion journal confirms finished
@@ -25,269 +30,16 @@
 //! * `--paper` — use the paper's full scale (1,024 nodes × 10,000
 //!   packets; slow).
 //!
-//! Malformed flags produce a usage message on stderr and exit code 2;
-//! job failures produce a per-job status table on stderr and exit code
-//! 1 *only* when a failure budget was exhausted (otherwise the partial
-//! tables render and the binary exits 0, matching the sweep's
-//! drop-failed-rows semantics).
+//! Malformed flags and bad axis overrides produce a usage message on
+//! stderr and exit code 2; job failures produce a per-job status table
+//! on stderr and exit code 1 *only* when a failure budget was exhausted
+//! (otherwise the partial tables render and the binary exits 0, matching
+//! the sweep's drop-failed-rows semantics).
 
-use std::collections::HashMap;
-use std::time::Duration;
-
-use baldur::experiments::EvalConfig;
-use baldur::supervise::Policy;
-use baldur::sweep::{Sweep, DEFAULT_CACHE_DIR};
-
+pub mod cli;
+pub mod runner;
 pub mod timing;
 
-/// Renders the shared flag reference for usage errors.
-pub fn usage() -> String {
-    "common flags:\n\
-     --nodes N            active server nodes\n\
-     --packets N          packets per node (open-loop runs)\n\
-     --rounds N           ping-pong rounds\n\
-     --seed N             master seed\n\
-     --threads N          worker threads (0 = all cores)\n\
-     --json PATH          also write structured results as JSON\n\
-     --cache-dir DIR      run-cache directory (default results/cache)\n\
-     --no-cache           recompute every run\n\
-     --resume             replay journal-confirmed jobs after a crash\n\
-     --job-timeout SECS   per-attempt watchdog deadline (default off)\n\
-     --timeout-retries N  extra attempts for a timed-out job (default 2)\n\
-     --fail-budget N      tolerated failures before aborting the sweep\n\
-     --paper              full paper scale (slow)"
-        .to_string()
-}
-
-/// Reports a usage error on stderr and exits with code 2 (the
-/// conventional bad-invocation code, distinct from exit 1 = sweep
-/// aborted). Bench binaries are exempt from the library-side
-/// `process-exit` lint precisely for this path.
-pub fn usage_error(msg: &str) -> ! {
-    eprintln!("error: {msg}\n\n{}", usage());
-    std::process::exit(2);
-}
-
-/// Minimal `--key value` argument parser (plus boolean `--flag`s).
-#[derive(Debug, Clone, Default)]
-pub struct Args {
-    map: HashMap<String, String>,
-    flags: Vec<String>,
-}
-
-impl Args {
-    /// Parses the process arguments. An argument that is not
-    /// `--key [value]` is a usage error (exit 2), not a panic.
-    pub fn parse() -> Self {
-        let mut map = HashMap::new();
-        let mut flags = Vec::new();
-        let argv: Vec<String> = std::env::args().skip(1).collect();
-        let mut i = 0;
-        while i < argv.len() {
-            let Some(key) = argv[i].strip_prefix("--") else {
-                usage_error(&format!("unexpected argument `{}`", argv[i]));
-            };
-            let key = key.to_string();
-            if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
-                map.insert(key, argv[i + 1].clone());
-                i += 2;
-            } else {
-                flags.push(key);
-                i += 1;
-            }
-        }
-        Args { map, flags }
-    }
-
-    /// True if `--name` was passed as a flag.
-    pub fn flag(&self, name: &str) -> bool {
-        self.flags.iter().any(|f| f == name)
-    }
-
-    /// String value of `--name`.
-    pub fn get(&self, name: &str) -> Option<&str> {
-        self.map.get(name).map(String::as_str)
-    }
-
-    /// Parsed value of `--name`, or `default`. A value that does not
-    /// parse is a usage error (exit 2), not a panic.
-    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> T
-    where
-        T::Err: std::fmt::Debug,
-    {
-        match self.get(name) {
-            Some(v) => v
-                .parse()
-                .unwrap_or_else(|e| usage_error(&format!("--{name}: `{v}` did not parse: {e:?}"))),
-            None => default,
-        }
-    }
-
-    /// Parses `--name` as a comma-separated list of floats (e.g.
-    /// `--loads 0.1,0.3,0.5`), or returns `default`. A malformed entry
-    /// is a usage error (exit 2) naming the offending piece.
-    pub fn get_f64_list(&self, name: &str, default: &[f64]) -> Vec<f64> {
-        match self.get(name) {
-            None => default.to_vec(),
-            Some(raw) => raw
-                .split(',')
-                .map(|piece| {
-                    piece.trim().parse::<f64>().unwrap_or_else(|_| {
-                        usage_error(&format!(
-                            "--{name}: `{piece}` is not a number (expected e.g. 0.1,0.3,0.5)"
-                        ))
-                    })
-                })
-                .collect(),
-        }
-    }
-
-    /// Builds an [`EvalConfig`] from the common flags.
-    pub fn eval_config(&self) -> EvalConfig {
-        let base = if self.flag("paper") {
-            EvalConfig::paper()
-        } else {
-            EvalConfig::quick()
-        };
-        EvalConfig {
-            nodes: self.get_or("nodes", base.nodes),
-            packets_per_node: self.get_or("packets", base.packets_per_node),
-            pingpong_rounds: self.get_or("rounds", base.pingpong_rounds),
-            seed: self.get_or("seed", base.seed),
-            threads: self.get_or("threads", base.threads),
-        }
-    }
-
-    /// Builds the supervision [`Policy`] from `--job-timeout` (seconds),
-    /// `--timeout-retries`, and `--fail-budget`.
-    pub fn policy(&self) -> Policy {
-        let job_timeout = self.get("job-timeout").map(|raw| {
-            let secs: f64 = raw.parse().unwrap_or_else(|_| {
-                usage_error(&format!(
-                    "--job-timeout: `{raw}` is not a number of seconds"
-                ))
-            });
-            if !(secs > 0.0 && secs.is_finite()) {
-                usage_error(&format!(
-                    "--job-timeout: `{raw}` must be a positive deadline"
-                ));
-            }
-            Duration::from_secs_f64(secs)
-        });
-        Policy {
-            job_timeout,
-            timeout_retries: self.get_or("timeout-retries", Policy::default().timeout_retries),
-            fail_budget: self.get("fail-budget").map(|raw| {
-                raw.parse().unwrap_or_else(|_| {
-                    usage_error(&format!("--fail-budget: `{raw}` is not a failure count"))
-                })
-            }),
-        }
-    }
-
-    /// Builds the [`Sweep`] runner for this invocation: cached into
-    /// `--cache-dir` (default [`DEFAULT_CACHE_DIR`]) unless `--no-cache`
-    /// was passed; worker count follows `--threads` / `BALDUR_THREADS`;
-    /// supervision follows `--job-timeout` / `--timeout-retries` /
-    /// `--fail-budget`; `--resume` replays the completion journal.
-    pub fn sweep(&self, cfg: &EvalConfig) -> Sweep {
-        let sw = Sweep::new(cfg.threads)
-            .with_policy(self.policy())
-            .with_resume(self.flag("resume"));
-        if self.flag("no-cache") {
-            sw
-        } else {
-            sw.with_cache_dir(self.get("cache-dir").unwrap_or(DEFAULT_CACHE_DIR))
-        }
-    }
-
-    /// Writes `value` as JSON to the `--json` path, if given.
-    ///
-    /// # Panics
-    ///
-    /// Panics if serialization or the write fails.
-    pub fn maybe_write_json<T: serde::Serialize>(&self, value: &T) {
-        if let Some(path) = self.get("json") {
-            let s = serde_json::to_string_pretty(value).expect("serialize results");
-            std::fs::write(path, s).unwrap_or_else(|e| panic!("write {path}: {e}"));
-            eprintln!("wrote {path}");
-        }
-    }
-}
-
-/// Formats a nanosecond value the way the paper's figures read.
-pub fn fmt_ns(ns: f64) -> String {
-    if !ns.is_finite() {
-        "-".into()
-    } else if ns >= 1e6 {
-        format!("{:.2} ms", ns / 1e6)
-    } else if ns >= 1e3 {
-        format!("{:.2} us", ns / 1e3)
-    } else {
-        format!("{ns:.1} ns")
-    }
-}
-
-/// Prints a section header.
-pub fn header(title: &str) {
-    println!("\n=== {title} ===");
-}
-
-/// Prints the per-sweep wall-clock and cache-hit counters to stderr, so
-/// result tables on stdout stay clean and diffable.
-pub fn print_sweep_summary(sw: &Sweep) {
-    eprint!("\n{}", sw.summary());
-}
-
-/// The standard harness epilogue: sweep summary, then the per-job
-/// failure status table (if any job failed), then — exactly when a
-/// failure budget aborted a sweep — exit 1. Partial failures under an
-/// unlimited budget report but exit 0: every completed row was already
-/// rendered, and reruns replay them from the cache.
-pub fn finish(sw: &Sweep) {
-    print_sweep_summary(sw);
-    if let Some(table) = sw.status_table() {
-        eprint!("\n{table}");
-    }
-    if sw.aborted() {
-        std::process::exit(1);
-    }
-}
-
-/// Unwraps a library-side experiment result, or renders the failure
-/// (plus the sweep's status table, which names the job that sank it)
-/// and exits 1. For the aggregate experiments whose output is
-/// meaningless with a job missing — ablation pairs, reliability tables.
-pub fn or_die<T, E: std::fmt::Display>(sw: &Sweep, result: Result<T, E>) -> T {
-    match result {
-        Ok(v) => v,
-        Err(e) => {
-            eprintln!("error: {e}");
-            print_sweep_summary(sw);
-            if let Some(table) = sw.status_table() {
-                eprint!("\n{table}");
-            }
-            std::process::exit(1);
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn fmt_ns_scales() {
-        assert_eq!(fmt_ns(250.0), "250.0 ns");
-        assert_eq!(fmt_ns(2_500.0), "2.50 us");
-        assert_eq!(fmt_ns(2_500_000.0), "2.50 ms");
-    }
-
-    #[test]
-    fn default_policy_flags_are_permissive() {
-        let args = Args::default();
-        let p = args.policy();
-        assert_eq!(p, Policy::default());
-        assert_eq!(args.get_f64_list("loads", &[0.1, 0.9]), vec![0.1, 0.9]);
-    }
-}
+pub use baldur::registry::fmt_ns;
+pub use cli::{finish, header, or_die, print_sweep_summary, usage, usage_error, Args};
+pub use runner::{all_figures_main, registry_main};

@@ -99,6 +99,25 @@ pub enum BaldurError {
         /// What was missing.
         what: String,
     },
+    /// A registry parameter override failed validation (unknown axis,
+    /// unparsable value, unknown network name). The registry runner maps
+    /// this onto the usage-error path (exit 2) rather than the
+    /// sweep-failure path (exit 1).
+    InvalidParam {
+        /// The axis or flag that failed.
+        param: String,
+        /// Why it was rejected.
+        message: String,
+    },
+    /// An experiment-level failure outside any single sweep job: a
+    /// violated self-check (the fault smoke's conservation/determinism
+    /// assertions) or a rendering/serialization fault.
+    Experiment {
+        /// The registry spec name.
+        name: String,
+        /// What went wrong.
+        message: String,
+    },
 }
 
 impl fmt::Display for BaldurError {
@@ -111,6 +130,12 @@ impl fmt::Display for BaldurError {
             } => write!(f, "sweep '{label}': job {index} {error}"),
             BaldurError::MissingResult { label, what } => {
                 write!(f, "sweep '{label}': missing result: {what}")
+            }
+            BaldurError::InvalidParam { param, message } => {
+                write!(f, "parameter '{param}': {message}")
+            }
+            BaldurError::Experiment { name, message } => {
+                write!(f, "experiment '{name}': {message}")
             }
         }
     }

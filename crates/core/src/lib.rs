@@ -61,6 +61,7 @@ pub mod csv;
 pub mod error;
 pub mod experiments;
 pub mod hash;
+pub mod registry;
 pub mod supervise;
 pub mod sweep;
 

@@ -56,9 +56,16 @@ use serde::{Deserialize, Serialize};
 use crate::error::JobError;
 use crate::supervise::{self, Policy};
 
-/// Bump when the meaning of cached payloads changes (e.g. a report field
-/// is added): every key changes, so stale entries are never replayed.
-const CACHE_SCHEMA: u32 = 1;
+/// Workspace-wide cache-schema baseline, and the default per-experiment
+/// cache version for [`Sweep::map`] / [`Sweep::try_map`].
+///
+/// Experiments registered in [`crate::registry`] carry their own
+/// `version` (hashed into every job key via [`Sweep::map_versioned`]);
+/// bumping a spec's version invalidates only that experiment's entries.
+/// Bump *this* constant only when the meaning of cached payloads changes
+/// globally (e.g. the journal format): every key changes, so stale
+/// entries are never replayed.
+pub const CACHE_SCHEMA: u32 = 1;
 
 /// Default cache directory, relative to the working directory.
 pub const DEFAULT_CACHE_DIR: &str = "results/cache";
@@ -299,7 +306,23 @@ impl Sweep {
         R: Serialize + Deserialize + Send,
         F: Fn(&T) -> R + Sync,
     {
-        self.try_map(label, items, f)
+        self.map_versioned(label, CACHE_SCHEMA, items, f)
+    }
+
+    /// [`Sweep::map`] with an explicit per-experiment cache version.
+    ///
+    /// The version is hashed into every job's content address, so a spec
+    /// that bumps its `version` (because its payload semantics changed)
+    /// invalidates exactly its own entries while every other experiment's
+    /// cache stays warm. `version == CACHE_SCHEMA` reproduces the keys
+    /// [`Sweep::map`] has always written.
+    pub fn map_versioned<T, R, F>(&self, label: &str, version: u32, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Serialize + Send + Sync,
+        R: Serialize + Deserialize + Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        self.try_map_versioned(label, version, items, f)
             .into_iter()
             .filter_map(Result::ok)
             .collect()
@@ -317,10 +340,27 @@ impl Sweep {
         R: Serialize + Deserialize + Send,
         F: Fn(&T) -> R + Sync,
     {
+        self.try_map_versioned(label, CACHE_SCHEMA, items, f)
+    }
+
+    /// [`Sweep::try_map`] with an explicit per-experiment cache version
+    /// (see [`Sweep::map_versioned`] for the key-derivation contract).
+    pub fn try_map_versioned<T, R, F>(
+        &self,
+        label: &str,
+        version: u32,
+        items: Vec<T>,
+        f: F,
+    ) -> Vec<Result<R, JobError>>
+    where
+        T: Serialize + Send + Sync,
+        R: Serialize + Deserialize + Send,
+        F: Fn(&T) -> R + Sync,
+    {
         let start = Instant::now();
         let n = items.len();
         let hexes: Vec<Option<String>> = match self.cache_dir {
-            Some(_) => items.iter().map(|it| key_hex(label, it)).collect(),
+            Some(_) => items.iter().map(|it| key_hex(label, version, it)).collect(),
             None => vec![None; n],
         };
         let paths: Vec<Option<PathBuf>> = hexes
@@ -605,14 +645,19 @@ impl Sweep {
     }
 }
 
-/// The hex cache key for one `(label, item)` job, or `None` when the
-/// item fails to serialize — that job simply runs uncached.
-fn key_hex<T: Serialize>(label: &str, item: &T) -> Option<String> {
+/// The hex cache key for one `(label, version, item)` job, or `None`
+/// when the item fails to serialize — that job simply runs uncached.
+///
+/// `version` is the experiment's cache version from its
+/// [`crate::registry::ExperimentSpec`] (or [`CACHE_SCHEMA`] for sweeps
+/// run outside the registry); hashing it here is what makes per-spec
+/// invalidation possible without touching other experiments' keys.
+fn key_hex<T: Serialize>(label: &str, version: u32, item: &T) -> Option<String> {
     let payload = serde_json::to_string_exact(item).ok()?;
     let mut h = crate::hash::Sha256::new();
     h.update(label.as_bytes());
     h.update(b"|");
-    h.update(&CACHE_SCHEMA.to_le_bytes());
+    h.update(&version.to_le_bytes());
     h.update(b"|");
     h.update(env!("CARGO_PKG_VERSION").as_bytes());
     h.update(b"|");
@@ -733,6 +778,43 @@ mod tests {
         assert_eq!((a[0], b[0]), (42, 63));
         let (jobs, hits) = sw.totals();
         assert_eq!((jobs, hits), (2, 0), "same item, different label: no hit");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn version_bump_invalidates_only_its_own_label() {
+        let dir = temp_dir("versions");
+        let sw = Sweep::new(1).with_cache_dir(&dir);
+        sw.map_versioned("fig_a", 1, vec![5u64], |&x| x + 1);
+        sw.map_versioned("fig_b", 1, vec![5u64], |&x| x + 2);
+
+        // fig_a bumps its spec version: its entry goes cold, fig_b's
+        // entry (same item, untouched version) stays warm.
+        let sw2 = Sweep::new(1).with_cache_dir(&dir);
+        sw2.map_versioned("fig_a", 2, vec![5u64], |&x| x + 1);
+        sw2.map_versioned("fig_b", 1, vec![5u64], |&x| x + 2);
+        let stats = sw2.stats();
+        assert_eq!(stats[0].cache_hits, 0, "bumped version must miss");
+        assert_eq!(stats[1].cache_hits, 1, "other experiment stays warm");
+
+        // Version 1 of fig_a is still addressable — old entries are
+        // orphaned, not destroyed.
+        let sw3 = Sweep::new(1).with_cache_dir(&dir);
+        sw3.map_versioned("fig_a", 1, vec![5u64], |&x| x + 1);
+        assert_eq!(sw3.stats()[0].cache_hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn default_map_keys_match_versioned_at_schema_baseline() {
+        let dir = temp_dir("baseline-keys");
+        let sw = Sweep::new(1).with_cache_dir(&dir);
+        sw.map("base", vec![9u64], |&x| x * 2);
+        // map_versioned at CACHE_SCHEMA replays the plain-map entry:
+        // the registry's default spec version preserves historical keys.
+        let sw2 = Sweep::new(1).with_cache_dir(&dir);
+        sw2.map_versioned("base", CACHE_SCHEMA, vec![9u64], |&x| x * 2);
+        assert_eq!(sw2.stats()[0].cache_hits, 1);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

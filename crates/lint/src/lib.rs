@@ -79,6 +79,14 @@ pub enum Rule {
     /// of the chance to report; only binaries (and the documented bench
     /// helpers on the allowlist) get to choose the process exit code.
     ProcessExit,
+    /// Ad-hoc harness code in a bench binary: `env::args`, `Args::parse`,
+    /// or direct `Sweep` construction in `crates/bench/src/bin/*`. Every
+    /// binary must stay a thin wrapper over the experiment registry
+    /// (`registry_main` / `all_figures_main`) so flags, caching, and
+    /// supervision behave identically everywhere; a bin that parses its
+    /// own arguments or builds its own sweep forks that contract. No
+    /// allowlist escape: move the logic into a spec or the shared runner.
+    AdHocBin,
     /// `partial_cmp(..)` chained into `.unwrap()` / `.expect(...)`.
     FloatCmpPanic,
     /// `==` / `!=` against a float literal.
@@ -100,6 +108,7 @@ impl Rule {
         Rule::FaultPathPanic,
         Rule::JobPathPanic,
         Rule::ProcessExit,
+        Rule::AdHocBin,
         Rule::FloatCmpPanic,
         Rule::FloatLiteralEq,
         Rule::StaleArtifact,
@@ -115,6 +124,7 @@ impl Rule {
             Rule::FaultPathPanic => "fault-path-panic",
             Rule::JobPathPanic => "job-path-panic",
             Rule::ProcessExit => "process-exit",
+            Rule::AdHocBin => "ad-hoc-bin",
             Rule::FloatCmpPanic => "float-cmp-panic",
             Rule::FloatLiteralEq => "float-literal-eq",
             Rule::StaleArtifact => "stale-artifact",
@@ -152,6 +162,10 @@ impl Rule {
             Rule::ProcessExit => {
                 "no std::process::exit in library code; return an error and let the \
                  binary choose the exit code"
+            }
+            Rule::AdHocBin => {
+                "no env::args/Args::parse/Sweep construction in bench binaries; \
+                 route through registry_main so every bin shares one CLI contract"
             }
             Rule::FloatCmpPanic => {
                 "no partial_cmp().unwrap()/expect(); NaN panics — use f64::total_cmp"
@@ -375,6 +389,8 @@ pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
     // Library code must not choose the process exit code; binaries (and
     // the bench CLI helpers on the allowlist) may.
     let exit_scope = panic_scope && !rel_path.ends_with("/main.rs");
+    // Bench binaries must stay thin registry wrappers.
+    let bin_harness = rel_path.contains("crates/bench/src/bin/");
 
     let mut findings = Vec::new();
     for (idx, line) in scrubbed.lines().enumerate() {
@@ -460,6 +476,19 @@ pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
                     "`process::exit` in library code; return an error and let the binary exit"
                         .to_string(),
                 );
+            }
+        }
+        if bin_harness {
+            for pat in ["env::args", "Args::parse", "Sweep::"] {
+                for _ in line.matches(pat) {
+                    push(
+                        Rule::AdHocBin,
+                        format!(
+                            "`{pat}` in a bench binary; bins are thin wrappers — declare \
+                             the knob on the experiment spec and call registry_main"
+                        ),
+                    );
+                }
             }
         }
         if let Some(op) = float_literal_cmp(line) {
@@ -1038,6 +1067,22 @@ mod tests {
         let src = "fn main() { run().unwrap(); }\n";
         assert!(lint_source("crates/bench/src/bin/fig6.rs", src).is_empty());
         assert_eq!(lint_source("crates/bench/src/lib.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn ad_hoc_bin_rule_bans_harness_code_in_bins() {
+        let src = "fn main() {\n    let a: Vec<String> = std::env::args().collect();\n    \
+                   let args = Args::parse();\n    let sw = Sweep::new(0);\n}\n";
+        let fs = lint_source("crates/bench/src/bin/fig6.rs", src);
+        assert_eq!(fs.len(), 3, "{fs:?}");
+        assert!(fs.iter().all(|f| f.rule == "ad-hoc-bin"), "{fs:?}");
+        // The shared cli/runner modules are the sanctioned home.
+        assert!(lint_source("crates/bench/src/cli.rs", src)
+            .iter()
+            .all(|f| f.rule != "ad-hoc-bin"));
+        // A conforming wrapper is clean.
+        let ok = "fn main() {\n    baldur_bench::registry_main(\"fig6\")\n}\n";
+        assert!(lint_source("crates/bench/src/bin/fig6.rs", ok).is_empty());
     }
 
     #[test]

@@ -78,6 +78,55 @@ impl NetworkKind {
         ]
     }
 
+    /// Resolves one lineup entry from its stable display name (the
+    /// strings [`NetworkKind::name`] returns), at the paper's defaults
+    /// for `nodes` servers. This is the spec-facing entry point behind
+    /// the experiment registry's `networks` axis; `dragonfly_minimal`
+    /// (the routing ablation) is resolvable here even though the paper
+    /// lineup omits it.
+    pub fn by_name(name: &str, nodes: u32) -> Option<NetworkKind> {
+        match name {
+            "baldur" => Some(NetworkKind::Baldur(BaldurParams::paper_for(u64::from(
+                nodes,
+            )))),
+            "electrical_mb" => Some(NetworkKind::ElectricalMultiButterfly {
+                multiplicity: 4,
+                router: RouterParams::paper(),
+            }),
+            "dragonfly" => Some(NetworkKind::Dragonfly {
+                router: RouterParams::paper(),
+            }),
+            "dragonfly_minimal" => Some(NetworkKind::DragonflyMinimal {
+                router: RouterParams::paper(),
+            }),
+            "fattree" => Some(NetworkKind::FatTree {
+                router: RouterParams::paper(),
+            }),
+            "ideal" => Some(NetworkKind::Ideal),
+            _ => None,
+        }
+    }
+
+    /// Builds a named lineup (the shape [`NetworkKind::paper_lineup`]
+    /// returns) from a list of display names, preserving order. An
+    /// unknown name errs with the valid choices, so the registry runner
+    /// can surface it as a usage error instead of a panic.
+    pub fn lineup_named(
+        nodes: u32,
+        names: &[String],
+    ) -> Result<Vec<(String, NetworkKind)>, String> {
+        names
+            .iter()
+            .map(|name| match NetworkKind::by_name(name, nodes) {
+                Some(net) => Ok((name.clone(), net)),
+                None => Err(format!(
+                    "unknown network `{name}` (choose from: baldur, electrical_mb, \
+                     dragonfly, dragonfly_minimal, fattree, ideal)"
+                )),
+            })
+            .collect()
+    }
+
     /// Short display name.
     pub fn name(&self) -> &'static str {
         match self {
@@ -324,6 +373,23 @@ pub fn try_run_many(threads: usize, cfgs: Vec<RunConfig>) -> Vec<Result<LatencyR
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn by_name_reconstructs_the_paper_lineup() {
+        for (name, net) in NetworkKind::paper_lineup(128) {
+            assert_eq!(NetworkKind::by_name(&name, 128), Some(net), "{name}");
+        }
+        assert!(NetworkKind::by_name("dragonfly_minimal", 128).is_some());
+        assert!(NetworkKind::by_name("token_ring", 128).is_none());
+        let names: Vec<String> = ["baldur", "ideal"].iter().map(|s| s.to_string()).collect();
+        let lineup = NetworkKind::lineup_named(64, &names).expect("known names resolve");
+        assert_eq!(lineup.len(), 2);
+        assert_eq!(lineup[1].1, NetworkKind::Ideal);
+        let bad = vec!["baldur".to_string(), "token_ring".to_string()];
+        assert!(NetworkKind::lineup_named(64, &bad)
+            .expect_err("unknown name errs")
+            .contains("token_ring"));
+    }
 
     fn synth(load: f64, ppn: u32) -> Workload {
         Workload::Synthetic {

@@ -8,6 +8,7 @@
 //! a tier-1 gate.
 
 use baldur::experiments::{figure6_on, EvalConfig};
+use baldur::registry::{self, Params};
 use baldur::sweep::Sweep;
 
 /// Runs `f` with the default panic hook replaced by a silent one, so
@@ -20,17 +21,25 @@ fn quietly<R>(f: impl FnOnce() -> R) -> R {
     r
 }
 
-/// The tiny Figure 6 sweep, rendered to CSV and JSON, at `threads`.
+/// The tiny Figure 6 sweep, rendered to CSV and JSON, at `threads` —
+/// resolved through the experiment registry by name, so this gate covers
+/// the exact code path the bench binaries run.
 fn fig6_bytes(threads: usize) -> (String, String) {
+    let spec = registry::get("fig6").expect("fig6 is registered");
     let cfg = EvalConfig {
         threads,
         ..EvalConfig::tiny()
     };
+    let mut params = Params::for_spec(spec, cfg);
+    params
+        .set(spec, "loads", "0.3,0.7")
+        .expect("loads is a declared fig6 axis");
     let sw = Sweep::new(threads);
-    let rows = figure6_on(&sw, &cfg, &[0.3, 0.7]);
-    let csv = baldur::csv::fig6(&rows);
-    let json = serde_json::to_string_pretty(&rows).expect("serialize fig6 rows");
-    (csv, json)
+    let out = (spec.run)(&sw, &params).expect("fig6 sweep succeeds");
+    (
+        out.csv.expect("fig6 renders CSV"),
+        out.json.expect("fig6 renders JSON"),
+    )
 }
 
 #[test]
