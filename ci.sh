@@ -16,6 +16,8 @@ if [ "${1:-}" = "--bless" ]; then
     BALDUR_BLESS=1 cargo test -q --test golden_suite
     echo "=== blessing the EXPERIMENTS.md registry table"
     BALDUR_BLESS=1 cargo test -q --test registry_suite experiments_md_table_matches_registry
+    echo "=== blessing the lint report snapshot (results/golden/lint.json)"
+    BALDUR_BLESS=1 cargo test -q --test lint_wall lint_json_snapshot_is_fresh
     exit 0
 fi
 
@@ -66,6 +68,11 @@ write_summary() {
 
 run_step fmt cargo fmt --all --check
 run_step lint cargo run --release -p baldur-lint
+# The lint crate holds itself to the strictest bar: every rule, zero
+# allowlist entries. A machine-readable report lands in results/lint.json
+# on the ordinary run above; the snapshot test pins its shape.
+run_step lint-self cargo run --release -p baldur-lint -- --self-check
+run_step lint-json-smoke cargo test -q --test lint_wall lint_json_snapshot_is_fresh
 run_step build cargo build --release
 run_step test cargo test -q
 # Explicit tier-1 gates for the sweep engine (both also run under `cargo

@@ -1,16 +1,20 @@
-//! `baldur-lint`: determinism/panic/float static analysis for this repo.
+//! `baldur-lint`: determinism/panic/unit/overflow static analysis.
 //!
-//! Usage: `cargo run -p baldur-lint [-- --root <repo-root>]`
+//! Usage: `cargo run -p baldur-lint [-- --root <repo-root>] [--self-check]`
 //!
-//! Scans `crates/*/src`, prints `file:line` diagnostics for every
-//! violation, writes a JSON report to `results/lint_report.json`, and
-//! exits nonzero when the tree is not clean.
+//! Scans `crates/*/src` with the token-level engine, prints `file:line`
+//! diagnostics for every violation, writes a JSON report to
+//! `results/lint.json`, and exits nonzero when the tree is not clean.
+//! `--self-check` instead lints `crates/lint` itself with an empty
+//! allowlist (the analyzer obeys every rule it enforces) and writes no
+//! report.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
+    let mut self_check = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -21,8 +25,9 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--self-check" => self_check = true,
             "--help" | "-h" => {
-                println!("usage: baldur-lint [--root <repo-root>]");
+                println!("usage: baldur-lint [--root <repo-root>] [--self-check]");
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -32,7 +37,12 @@ fn main() -> ExitCode {
         }
     }
 
-    let outcome = match baldur_lint::lint_repo(&root) {
+    let result = if self_check {
+        baldur_lint::lint_self(&root)
+    } else {
+        baldur_lint::lint_repo(&root)
+    };
+    let outcome = match result {
         Ok(outcome) => outcome,
         Err(e) => {
             eprintln!("baldur-lint: {e}");
@@ -40,35 +50,37 @@ fn main() -> ExitCode {
         }
     };
 
-    let report_path = root.join(baldur_lint::REPORT_PATH);
-    if let Some(parent) = report_path.parent() {
-        if let Err(e) = std::fs::create_dir_all(parent) {
-            eprintln!("baldur-lint: create {}: {e}", parent.display());
+    if !self_check {
+        let report_path = root.join(baldur_lint::REPORT_PATH);
+        if let Some(parent) = report_path.parent() {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!("baldur-lint: create {}: {e}", parent.display());
+                return ExitCode::from(2);
+            }
+        }
+        let json = match serde_json::to_string_pretty(&outcome.report) {
+            Ok(json) => json,
+            Err(e) => {
+                eprintln!("baldur-lint: serialize report: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if let Err(e) = std::fs::write(&report_path, json + "\n") {
+            eprintln!("baldur-lint: write {}: {e}", report_path.display());
             return ExitCode::from(2);
         }
-    }
-    let json = match serde_json::to_string_pretty(&outcome.report) {
-        Ok(json) => json,
-        Err(e) => {
-            eprintln!("baldur-lint: serialize report: {e}");
-            return ExitCode::from(2);
-        }
-    };
-    if let Err(e) = std::fs::write(&report_path, json + "\n") {
-        eprintln!("baldur-lint: write {}: {e}", report_path.display());
-        return ExitCode::from(2);
     }
 
     for finding in &outcome.report.violations {
         eprintln!("{finding}");
     }
     let budgeted: usize = outcome.report.allowlisted.iter().map(|a| a.found).sum();
+    let what = if self_check { "self-check: " } else { "" };
     eprintln!(
-        "baldur-lint: {} files scanned, {} violations, {} allowlisted panic-budget sites; report: {}",
+        "baldur-lint: {what}{} files scanned, {} violations, {} allowlisted sites",
         outcome.report.files_scanned,
         outcome.report.violations.len(),
         budgeted,
-        report_path.display()
     );
     if outcome.is_clean() {
         ExitCode::SUCCESS

@@ -1,0 +1,60 @@
+//! Adversarial-but-clean fixture: every construct here defeated (or
+//! nearly defeated) the old line-regex engine's scrubber, and none of it
+//! is a real violation. The token engine must report ZERO findings.
+
+/// Raw string carrying panic-looking text: `unwrap(` inside an `r#""#`
+/// literal is data, not code. The old scrubber special-cased this with a
+/// hand-rolled hash counter; the lexer gets it for free.
+pub const HELP: &str = r#"call x.unwrap() and y.expect("msg") at your peril"#;
+
+/// Raw string whose hashes nest around a quote-hash sequence.
+pub const TRICKY: &str = r##"ends with "# but not here"##;
+
+/* A nested /* block comment */ mentioning Instant::now() and HashMap,
+   still inside the outer comment. */
+
+/// Char literal next to a lifetime: `'a` must lex as a lifetime, `'x'`
+/// as a char, and neither may desynchronise the quote tracking that
+/// follows (a desync would make the `unwrap` below look like a string).
+pub fn choose<'a>(s: &'a str, c: char) -> &'a str {
+    if c == 'x' {
+        s
+    } else {
+        "fallback"
+    }
+}
+
+/// Escaped char literals with multi-byte escapes.
+pub const NL: char = '\n';
+pub const TAB: char = '\u{9}';
+
+/// Tuple indexing: `t.0` is an integer field access, not a float literal
+/// `0.` — a float-hungry lexer would mis-tokenize and shift every
+/// span after it.
+pub fn first(t: (u64, u64)) -> u64 {
+    t.0
+}
+
+/// Braces inside a string: the old character-walking test mask could be
+/// desynchronised by these; token-based brace matching cannot.
+pub const BRACES: &str = "}}}{{{";
+
+/// `expect_err` is not `expect`: exact-identifier matching must not
+/// count it against the panic budget (the regex needed a subtraction
+/// hack for this).
+pub fn invert(r: Result<(), u64>) -> u64 {
+    r.expect_err("must be the error arm")
+}
+
+#[cfg(test)]
+mod tests {
+    /// Inside a test region every rule is off: panics, clocks, and
+    /// unordered maps are legitimate test machinery.
+    #[test]
+    fn violations_are_fine_in_tests() {
+        let m: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+        assert!(m.get(&0).is_none());
+        let x: Option<u32> = Some(1);
+        assert_eq!(x.unwrap(), 1);
+    }
+}

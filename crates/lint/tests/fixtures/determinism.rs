@@ -1,0 +1,30 @@
+//! Determinism-family fixture (linted as a `crates/sim` source).
+//!
+//! The `env-read` sites are the family's regex-era miss: the old engine
+//! had NO rule for environment reads at all, so a walled crate could
+//! silently fork its behaviour on a shell variable. The remaining sites
+//! reproduce the legacy wall rules through the token engine.
+
+use std::collections::HashMap; // finding: unordered-collection (line 8)
+
+pub fn clock() -> u64 {
+    let _t = std::time::Instant::now(); // finding: wall-clock (line 11)
+    let _s = std::time::SystemTime::now(); // finding: wall-clock (line 12)
+    0
+}
+
+pub fn entropy() -> u64 {
+    let _r = thread_rng(); // finding: ambient-random (line 17)
+    0
+}
+
+pub fn shell_fork() -> Option<String> {
+    // The old regex engine had no env rule: this compiled, linted clean,
+    // and made "deterministic" sweeps depend on the invoking shell.
+    std::env::var("BALDUR_SECRET_KNOB").ok() // finding: env-read (line 24)
+}
+
+pub fn tables() {
+    let _m: HashMap<u32, u32> = HashMap::new(); // findings: unordered-collection x2 (line 28)
+    let _s = std::collections::HashSet::<u32>::new(); // finding: unordered-collection (line 29)
+}

@@ -1,0 +1,41 @@
+//! Narrowing-cast fixture (linted as a `crates/sim` source).
+//!
+//! Another rule with no regex-era counterpart: the old engine could not
+//! tell `x as u32` on an opaque byte from `event_time as u32` on a
+//! picosecond clock. At the paper's 1K-endpoint scale these casts are
+//! latent (2^32 ps = 4.3 ms of simulated time is never exceeded); at the
+//! ROADMAP's 1M-endpoint scale they go live. The rule keys on the
+//! identifier vocabulary of the cast-ee expression.
+
+/// Casting a time value down to u32 truncates after 4.3 ms.
+pub fn bucket(event_time: u64) -> u32 {
+    event_time as u32 // finding: narrowing-cast (line 12)
+}
+
+/// Event counts overflow u32 after 4 billion events.
+pub fn as_index(event_count: u64) -> usize {
+    event_count as usize // finding: narrowing-cast (line 17)
+}
+
+/// A tick index cast into i32 can go negative past 2^31.
+pub fn signed_tick(tick: u64) -> i32 {
+    tick as i32 // finding: narrowing-cast (line 22)
+}
+
+/// An opaque byte-ish value carries no kernel vocabulary: clean.
+pub fn low_byte(word: u64) -> u32 {
+    word as u32
+}
+
+/// Widening casts never truncate: clean in any vocabulary.
+pub fn widen(event_time: u32) -> u64 {
+    u64::from(event_time)
+}
+
+/// Mask-before-cast bounds the value below the target width; binding the
+/// masked value first keeps the final cast outside the flagged window
+/// (this is the sanctioned fix shape, used by `sim::calendar`).
+pub fn wheel_slot(at_ps: u64, buckets: u64) -> usize {
+    let wheel = at_ps & (buckets - 1);
+    wheel as usize
+}

@@ -1,0 +1,45 @@
+//! Panic-surface-v2 fixture (linted as the job-path source
+//! `crates/net/src/runner.rs`).
+//!
+//! Every site here is invisible to the old regex engine, which matched
+//! the literal substrings `.unwrap()` and `.expect(` per line: no line
+//! below contains either substring, yet all four functions can panic.
+//! The engine test proves the miss by running the legacy substring scan
+//! over this file and asserting zero hits.
+
+/// Slice indexing panics on out-of-range exactly like `.unwrap()`. The
+/// regex engine had no rule for `xs[i]` at all.
+pub fn pick(xs: &[u64], i: usize) -> u64 {
+    xs[i] // finding: slice-index (line 13)
+}
+
+/// A panicking closure behind `unwrap_or_else`: same abort, different
+/// spelling. The substring `.unwrap()` never appears.
+pub fn must(x: Option<u64>) -> u64 {
+    x.unwrap_or_else(|| panic!("missing")) // finding: panic-indirect (line 19)
+}
+
+/// `map_or_else` reaching `unreachable!` through the error arm.
+pub fn or_bust(x: Result<u64, u64>) -> u64 {
+    x.map_or_else(|_| unreachable!("no error arm"), |v| v) // finding: panic-indirect (line 24)
+}
+
+/// `.expect` split across lines: the method name and its argument list
+/// land on different lines, so the per-line `.expect(` substring scan
+/// never fired. Tokens have no line boundaries.
+pub fn spaced(x: Option<u64>) -> u64 {
+    x.expect
+        // finding: job-path-panic (line 31, reported at `expect`)
+        ("present")
+}
+
+/// Non-panicking fallbacks stay clean: the closure matters, not the
+/// adaptor name.
+pub fn safe(x: Option<u64>) -> u64 {
+    x.unwrap_or_else(|| 0)
+}
+
+/// `.get()` is the sanctioned indexing shape.
+pub fn pick_safe(xs: &[u64], i: usize) -> u64 {
+    xs.get(i).copied().unwrap_or_default()
+}

@@ -1,0 +1,43 @@
+//! Unit-safety fixture (linted as a `crates/phy` source).
+//!
+//! Both rules in this family are regex-era misses: the old engine had no
+//! notion of signatures or expressions, so a dimensionally ambiguous
+//! `f64` parameter or an ns-plus-ps addition linted clean. The token
+//! engine parses parameter lists and expression neighbourhoods.
+
+/// A bare `f64` named like a physical quantity: the caller cannot tell
+/// ns from us at the call site.
+pub fn set_latency(latency: f64) -> f64 {
+    latency // finding: unit-f64-param (line 10, param `latency`)
+}
+
+/// Unit-suffixed parameters are self-describing and clean.
+pub fn set_latency_ns(latency_ns: f64) -> f64 {
+    latency_ns
+}
+
+/// A newtype-style integer carries its unit in the type, also clean.
+pub fn set_guard(guard: u64) -> u64 {
+    guard
+}
+
+/// Mixing `_ns` and `_ps` additively is a latent off-by-1000.
+pub fn window(guard_ns: u64, settle_ps: u64) -> u64 {
+    guard_ns + settle_ps // finding: mixed-unit (line 26)
+}
+
+/// Comparing mismatched units is the same bug in disguise.
+pub fn overdue(timeout_us: u64, budget_ms: u64) -> bool {
+    timeout_us > budget_ms // finding: mixed-unit (line 31)
+}
+
+/// Same-unit arithmetic is clean.
+pub fn total(first_ns: u64, second_ns: u64) -> u64 {
+    first_ns + second_ns
+}
+
+/// Multiplication/division are dimensional arithmetic, exempt by design:
+/// `pj * bits` legitimately changes the unit.
+pub fn energy(pj: u64, bits: u64) -> u64 {
+    pj * bits
+}

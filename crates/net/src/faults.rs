@@ -233,7 +233,9 @@ pub fn nested_kill_set(seed: u64, total: u32, fraction: f64) -> Vec<bool> {
     }
     let mut rng = StreamRng::named(seed, "faultset", 0);
     for idx in rng.permutation(total as usize).into_iter().take(kill) {
-        dead[idx] = true;
+        if let Some(slot) = dead.get_mut(idx) {
+            *slot = true;
+        }
     }
     dead
 }
@@ -324,9 +326,12 @@ impl FaultState {
     }
 
     fn set_switch(&mut self, stage: u32, switch: u32, down: bool) {
-        if let Some(i) = self.switch_index(stage, switch) {
-            if self.switch_down[i] != down {
-                self.switch_down[i] = down;
+        let Some(i) = self.switch_index(stage, switch) else {
+            return;
+        };
+        if let Some(slot) = self.switch_down.get_mut(i) {
+            if *slot != down {
+                *slot = down;
                 if down {
                     self.dead_switches += 1;
                 } else {
@@ -353,7 +358,7 @@ impl FaultState {
     #[inline]
     pub fn switch_is_down(&self, stage: u32, switch: u32) -> bool {
         match self.switch_index(stage, switch) {
-            Some(i) => self.switch_down[i],
+            Some(i) => self.switch_down.get(i).copied().unwrap_or(false),
             None => false,
         }
     }

@@ -72,7 +72,11 @@ impl<E> CalendarQueue<E> {
     }
 
     fn bucket_of(&self, at: u64) -> usize {
-        ((at / self.width) as usize) & (self.buckets.len() - 1)
+        // Mask in u64 *before* narrowing: the masked value is < the bucket
+        // count (a usize), so the cast can never truncate — even on a
+        // 32-bit host where `at / width` alone would not fit.
+        let wheel = (at / self.width) & (self.buckets.len() as u64 - 1);
+        wheel as usize
     }
 
     /// Enqueues an event.

@@ -1,17 +1,23 @@
 //! Tier-1 gate: the repo's own static-analysis wall must hold.
 //!
 //! `baldur-lint` (crates/lint) checks the determinism wall (no ambient
-//! randomness, wall-clock reads, or unordered maps in result-producing
-//! crates), the shrink-only panic budget, and float hazards. This test
-//! runs the analyzer in-process over the working tree, so `cargo test`
-//! fails the moment a violation lands.
+//! randomness, wall-clock/env reads, or unordered maps in result-producing
+//! crates), the shrink-only panic budget (direct, indirect, and indexing
+//! surfaces), unit-safety and narrowing-cast rules, and float hazards.
+//! These tests run the analyzer in-process over the working tree, so
+//! `cargo test` fails the moment a violation lands; the JSON report is
+//! also pinned to a golden snapshot (re-bless with `./ci.sh --bless`) and
+//! proven byte-identical across thread counts.
 
 use std::path::Path;
 
+fn repo_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
 #[test]
 fn repository_passes_baldur_lint() {
-    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
-    let outcome = baldur_lint::lint_repo(root).expect("lint walks the tree");
+    let outcome = baldur_lint::lint_repo(repo_root()).expect("lint walks the tree");
     assert!(
         outcome.report.files_scanned > 50,
         "suspiciously few files scanned: {}",
@@ -27,5 +33,71 @@ fn repository_passes_baldur_lint() {
             .map(|f| format!("  {f}"))
             .collect::<Vec<_>>()
             .join("\n")
+    );
+}
+
+#[test]
+fn lint_crate_passes_its_own_rules_with_zero_allowlist() {
+    let outcome = baldur_lint::lint_self(repo_root()).expect("self-check walks the tree");
+    assert!(
+        outcome.is_clean(),
+        "baldur-lint self-check violations:\n{}",
+        outcome
+            .report
+            .violations
+            .iter()
+            .map(|f| format!("  {f}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        outcome.report.allowlisted.is_empty(),
+        "self-check must consume zero allowlist budget: {:?}",
+        outcome.report.allowlisted
+    );
+}
+
+/// Renders the repo's lint report exactly as the binary writes it.
+fn rendered_report(threads: usize) -> String {
+    let outcome =
+        baldur_lint::lint_repo_with_threads(repo_root(), threads).expect("lint walks the tree");
+    let json = serde_json::to_string_pretty(&outcome.report).expect("report serializes");
+    json + "\n"
+}
+
+#[test]
+fn lint_json_snapshot_is_fresh() {
+    let golden_path = repo_root().join("results/golden/lint.json");
+    let rendered = rendered_report(0);
+    if std::env::var_os("BALDUR_BLESS").is_some() {
+        std::fs::create_dir_all(golden_path.parent().expect("golden dir has a parent"))
+            .expect("create results/golden/");
+        std::fs::write(&golden_path, &rendered).expect("bless lint.json");
+        eprintln!("blessed {}", golden_path.display());
+        return;
+    }
+    let golden = std::fs::read_to_string(&golden_path).unwrap_or_else(|e| {
+        panic!(
+            "read golden snapshot {}: {e}\n\
+             create it with `./ci.sh --bless`",
+            golden_path.display()
+        )
+    });
+    assert!(
+        rendered == golden,
+        "results/golden/lint.json drifted from the live lint report \
+         (rules, counts, or allowlist changed); if intentional, re-bless \
+         with `./ci.sh --bless` and review the diff"
+    );
+}
+
+#[test]
+fn lint_report_is_byte_identical_across_thread_counts() {
+    let serial = rendered_report(1);
+    let parallel = rendered_report(8);
+    assert!(
+        serial == parallel,
+        "lint report differs between BALDUR_THREADS=1 and 8 — \
+         the par_map fan-out leaked ordering into the findings"
     );
 }
