@@ -94,6 +94,10 @@ run_step fault-smoke cargo run --release -p baldur-bench --bin faults -- --smoke
 # Crash-recovery smoke: SIGKILL a sweep subprocess mid-run, resume it from
 # the completion journal, and require byte-identical figure output.
 run_step crash-recovery-smoke cargo test -q --test crash_recovery
+# Chaos smoke: seeded fail/repair schedules with the runtime invariant
+# oracle on; asserts zero violations, byte-identical repeat runs, and the
+# recovery-time bound, and prints a minimized reproduction on failure.
+run_step chaos-smoke cargo run --release -p baldur-bench --bin chaos -- --smoke
 
 write_summary
 echo "=== OK (summary: ${summary})"

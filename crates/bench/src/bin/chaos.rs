@@ -1,0 +1,6 @@
+//! Chaos convergence: seeded fault/repair schedules (default), `--smoke`
+//! CI gate, and the `--shrink-demo` plan minimizer.
+
+fn main() {
+    baldur_bench::registry_main("chaos")
+}

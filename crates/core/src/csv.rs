@@ -5,7 +5,9 @@
 
 use std::fmt::Write as _;
 
-use crate::experiments::{DegradationRow, Fig10Row, Fig6Row, Fig7Row, SaturationRow, TableVRow};
+use crate::experiments::{
+    ChaosRow, DegradationRow, Fig10Row, Fig6Row, Fig7Row, SaturationRow, TableVRow,
+};
 use crate::power::scaling::ScalePoint;
 
 /// `pattern,network,load,avg_ns,p99_ns,drop_rate,delivered,generated`.
@@ -131,6 +133,33 @@ pub fn faults(rows: &[DegradationRow]) -> String {
             r.report.abandoned,
             r.report.generated,
             r.report.retransmissions
+        );
+    }
+    out
+}
+
+/// `network,seed,events,repairs,violations,recovered,max_ttr_ns,stranded,flap_amp,delivered,abandoned,generated`.
+pub fn chaos(rows: &[ChaosRow]) -> String {
+    let mut out = String::from(
+        "network,seed,events,repairs,violations,recovered,max_ttr_ns,stranded,flap_amp,delivered,abandoned,generated\n",
+    );
+    for r in rows {
+        let recovered = r.report.recoveries.iter().filter(|x| x.recovered()).count();
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{},{},{}",
+            r.network,
+            r.seed,
+            r.events,
+            r.report.recoveries.len(),
+            r.report.oracle.total(),
+            recovered,
+            r.report.max_recovery_ns().unwrap_or(-1.0),
+            r.report.stranded,
+            r.report.flap_amplification(),
+            r.report.delivered,
+            r.report.abandoned,
+            r.report.generated
         );
     }
     out

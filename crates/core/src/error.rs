@@ -118,6 +118,16 @@ pub enum BaldurError {
         /// What went wrong.
         message: String,
     },
+    /// The runtime invariant oracle fired during a run: the structured
+    /// report carries the violation kind, sim time, fault-epoch index,
+    /// and a window of recent events; `context` names the run (network,
+    /// seed, plan) so the failure is reproducible.
+    Oracle {
+        /// Which run tripped the oracle (network, seed, plan summary).
+        context: String,
+        /// The first structured violation report from that run.
+        report: crate::net::oracle::OracleReport,
+    },
 }
 
 impl fmt::Display for BaldurError {
@@ -136,6 +146,9 @@ impl fmt::Display for BaldurError {
             }
             BaldurError::Experiment { name, message } => {
                 write!(f, "experiment '{name}': {message}")
+            }
+            BaldurError::Oracle { context, report } => {
+                write!(f, "oracle violation in {context}: {report}")
             }
         }
     }

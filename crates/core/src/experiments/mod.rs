@@ -20,6 +20,7 @@ use crate::sweep::Sweep;
 pub(crate) mod ablation;
 pub(crate) mod awgr;
 pub(crate) mod buffers;
+pub(crate) mod chaos;
 pub(crate) mod droptool;
 pub(crate) mod faults;
 pub(crate) mod fig10;
@@ -41,6 +42,7 @@ pub use ablation::{
 };
 pub use awgr::{awgr_comparison, AwgrComparison};
 pub use buffers::{buffer_sizing, buffer_sizing_on};
+pub use chaos::{chaos, chaos_on, ChaosRow};
 pub use droptool::{droptool_study, droptool_study_on, DropRow};
 pub use faults::{degradation, degradation_lineup_on, degradation_on, DegradationRow};
 pub use fig10::{figure10, figure10_on, Fig10Row};

@@ -108,7 +108,8 @@ impl<'a> FileCtx<'a> {
             crate_name.is_some_and(|c| WALL_CRATES.contains(&c)) || WALL_FILES.contains(&rel);
         let panic_scope = !rel.contains("/src/bin/") && !rel.contains("/benches/");
         let net_crate = is("net");
-        let fault_file = net_crate && rel.to_ascii_lowercase().contains("fault");
+        let lower = rel.to_ascii_lowercase();
+        let fault_file = net_crate && (lower.contains("fault") || lower.contains("oracle"));
         let job_path = JOB_PATH_FILES.contains(&rel);
         FileCtx {
             rel,

@@ -149,6 +149,12 @@ fn slice_index_scope_is_job_path_and_fault_files_only() {
         found("crates/net/src/faults.rs", src),
         vec![("slice-index".to_string(), 1)]
     );
+    // The runtime invariant oracle sits on the fault path too: a checker
+    // that panics while reporting a violation defeats its purpose.
+    assert_eq!(
+        found("crates/net/src/oracle.rs", src),
+        vec![("slice-index".to_string(), 1)]
+    );
     assert_eq!(
         found("crates/sim/src/par.rs", src),
         vec![("slice-index".to_string(), 1)]

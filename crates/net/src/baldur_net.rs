@@ -24,7 +24,8 @@ use baldur_topo::staged::Staged;
 use crate::config::{BaldurParams, LinkParams};
 use crate::driver::Driver;
 use crate::faults::{jittered_timeout_ps, FaultKind, FaultPlan, FaultState};
-use crate::metrics::{Collector, DeliveryOutcome, LatencyReport};
+use crate::metrics::{Collector, DeliveryOutcome, LatencyReport, RecoverySpec};
+use crate::oracle::{Oracle, OracleConfig, Violation};
 
 /// Index into the packet table.
 type PktId = u32;
@@ -37,6 +38,12 @@ struct PacketState {
     attempts: u32,
     outcome: DeliveryOutcome,
     acked: bool,
+    /// The retransmission-buffer slot was given back (first ACK or retry
+    /// exhaustion — whichever comes first). Guards the `outstanding`
+    /// decrement so a repair racing a backoff retry (ACK arriving after
+    /// the source already gave up, or after a delivered packet's timers
+    /// exhausted) cannot release the same slot twice.
+    released: bool,
     /// For ACK packets, the data packet being acknowledged.
     acks: Option<PktId>,
 }
@@ -147,6 +154,9 @@ pub struct BaldurNet {
     /// For combined ACK packets: every data packet they acknowledge.
     /// Ordered for the same determinism reason as `pending_acks`.
     ack_refs: BTreeMap<PktId, Vec<PktId>>,
+    /// The always-on invariant oracle (release builds included); its
+    /// summary rides on the run's report.
+    oracle: Oracle,
 }
 
 impl BaldurNet {
@@ -188,6 +198,7 @@ impl BaldurNet {
             seed,
             fault_rng: StreamRng::named(seed, "biterror", 0),
             ack_refs: BTreeMap::new(),
+            oracle: Oracle::new(OracleConfig::default()),
         }
     }
 
@@ -254,6 +265,7 @@ impl BaldurNet {
                     attempts: 0,
                     outcome: DeliveryOutcome::Pending,
                     acked: false,
+                    released: false,
                     acks: None,
                 });
                 self.metrics.on_generated(now);
@@ -286,6 +298,7 @@ impl BaldurNet {
             attempts: 0,
             outcome: DeliveryOutcome::Pending,
             acked: false,
+            released: false,
             acks: Some(first),
         });
         if batch.len() > 1 {
@@ -294,14 +307,39 @@ impl BaldurNet {
         self.enqueue(now, node, ack, sched);
     }
 
-    /// Takes a packet out of flight (delivery or drop).
-    fn dec_in_flight(&mut self) {
+    /// Takes a packet out of flight (delivery or drop). An underflow is
+    /// recorded as an oracle violation (and the decrement skipped)
+    /// instead of wrapping.
+    fn dec_in_flight(&mut self, now: Time) {
         #[cfg(feature = "validate")]
         debug_assert!(
             self.in_flight > 0,
             "in_flight underflow: drop/arrive without inject"
         );
+        if self.in_flight == 0 {
+            self.oracle.record(
+                now.as_ps(),
+                Violation::CounterUnderflow {
+                    counter: "in_flight".into(),
+                },
+            );
+            return;
+        }
         self.in_flight -= 1;
+    }
+
+    /// Gives `node`'s retransmission-buffer slot for one packet back,
+    /// with oracle-checked (never wrapping) arithmetic.
+    fn release_outstanding(&mut self, now: Time, node: u32) {
+        match self.nics.get_mut(node as usize) {
+            Some(nic) if nic.outstanding > 0 => nic.outstanding -= 1,
+            _ => self.oracle.record(
+                now.as_ps(),
+                Violation::CounterUnderflow {
+                    counter: "outstanding".into(),
+                },
+            ),
+        }
     }
 
     /// Packet-conservation check, valid only once the event queue has
@@ -366,7 +404,115 @@ impl BaldurNet {
 
     /// Finishes the run and reports.
     pub fn into_report(self, end: Time) -> LatencyReport {
-        self.metrics.report(end)
+        let mut r = self.metrics.report(end);
+        r.oracle = self.oracle.summary();
+        r
+    }
+
+    /// Periodic oracle tick driven by the engine's observer hook: feeds
+    /// the stuck-flow detector with the number of packets still owed a
+    /// terminal outcome. Returns `true` when the run should abort.
+    fn oracle_tick(&mut self, now: Time) -> bool {
+        let outstanding: u64 = self
+            .nics
+            .iter()
+            .map(|n| u64::from(n.outstanding))
+            .sum::<u64>()
+            + u64::from(self.in_flight);
+        self.oracle.check_stall(now.as_ps(), outstanding)
+    }
+
+    /// Release-build drain audit mirroring [`Self::debug_validate_drained`]:
+    /// discrepancies become structured oracle violations on the report
+    /// instead of debug assertions, so chaos sweeps catch them in
+    /// `--release` too.
+    fn oracle_check_drained(&mut self, end: Time) {
+        let at = end.as_ps();
+        if self.in_flight > 0 {
+            let count = u64::from(self.in_flight);
+            self.oracle.record(
+                at,
+                Violation::ResidualState {
+                    what: "in_flight".into(),
+                    count,
+                },
+            );
+        }
+        let queued = self.nics.iter().filter(|n| !n.is_empty()).count() as u64;
+        if queued > 0 {
+            self.oracle.record(
+                at,
+                Violation::ResidualState {
+                    what: "nic_queue".into(),
+                    count: queued,
+                },
+            );
+        }
+        let outstanding: u64 = self.nics.iter().map(|n| u64::from(n.outstanding)).sum();
+        if outstanding > 0 {
+            self.oracle.record(
+                at,
+                Violation::ResidualState {
+                    what: "outstanding".into(),
+                    count: outstanding,
+                },
+            );
+        }
+        let owed: u64 = self.nics.iter().map(|n| n.pending_acks.len() as u64).sum();
+        if owed > 0 {
+            self.oracle.record(
+                at,
+                Violation::ResidualState {
+                    what: "pending_acks".into(),
+                    count: owed,
+                },
+            );
+        }
+        if !self.ack_refs.is_empty() {
+            let count = self.ack_refs.len() as u64;
+            self.oracle.record(
+                at,
+                Violation::ResidualState {
+                    what: "ack_refs".into(),
+                    count,
+                },
+            );
+        }
+        let mut delivered = 0u64;
+        let mut gave_up = 0u64;
+        let mut pending = 0u64;
+        for st in self.packets.iter().filter(|p| p.acks.is_none()) {
+            match st.outcome {
+                DeliveryOutcome::Delivered => delivered += 1,
+                DeliveryOutcome::GaveUp => gave_up += 1,
+                DeliveryOutcome::Pending => pending += 1,
+            }
+        }
+        if pending > 0 {
+            self.oracle.record(
+                at,
+                Violation::ResidualState {
+                    what: "pending_packets".into(),
+                    count: pending,
+                },
+            );
+        }
+        let generated = self.metrics.generated();
+        if generated != delivered + gave_up
+            || self.metrics.delivered() != delivered
+            || self.metrics.abandoned() != gave_up
+        {
+            let stranded = generated.saturating_sub(delivered).saturating_sub(gave_up);
+            self.oracle.record(
+                at,
+                Violation::Conservation {
+                    generated,
+                    delivered: self.metrics.delivered(),
+                    abandoned: self.metrics.abandoned(),
+                    stranded,
+                },
+            );
+        }
     }
 }
 
@@ -422,6 +568,8 @@ impl Model for BaldurNet {
                 // enters the fabric.
                 if !self.fstate.is_all_healthy() && self.fstate.laser_is_down(node) {
                     self.metrics.on_laser_loss();
+                    self.oracle
+                        .note(now.as_ps(), "drop:laser", u64::from(pkt), u64::from(node));
                     self.ack_refs.remove(&pkt);
                     return;
                 }
@@ -443,7 +591,9 @@ impl Model for BaldurNet {
                 let healthy = self.fstate.is_all_healthy();
                 if !healthy && self.fstate.switch_is_down(stage, switch) {
                     self.metrics.on_forward_attempt(true);
-                    self.dec_in_flight();
+                    self.oracle
+                        .note(now.as_ps(), "drop:switch", u64::from(pkt), u64::from(stage));
+                    self.dec_in_flight(now);
                     // ACKs are never retransmitted, so a dropped combined
                     // ACK must release its batch references here.
                     self.ack_refs.remove(&pkt);
@@ -487,7 +637,13 @@ impl Model for BaldurNet {
                 match claimed {
                     None => {
                         self.metrics.on_forward_attempt(true);
-                        self.dec_in_flight();
+                        self.oracle.note(
+                            now.as_ps(),
+                            "drop:port",
+                            u64::from(pkt),
+                            u64::from(stage),
+                        );
+                        self.dec_in_flight(now);
                         self.ack_refs.remove(&pkt);
                         // Dropped: the source's timeout handles recovery.
                     }
@@ -501,7 +657,13 @@ impl Model for BaldurNet {
                             if p > 0.0 && self.fault_rng.gen_bool(p) {
                                 self.metrics.on_corrupted();
                                 self.metrics.on_forward_attempt(true);
-                                self.dec_in_flight();
+                                self.oracle.note(
+                                    now.as_ps(),
+                                    "drop:crc",
+                                    u64::from(pkt),
+                                    u64::from(stage),
+                                );
+                                self.dec_in_flight(now);
                                 self.ack_refs.remove(&pkt);
                                 return;
                             }
@@ -527,7 +689,7 @@ impl Model for BaldurNet {
                             // aborting the run.
                             let Some(target) = self.topo.target(stage, switch, dir, path) else {
                                 debug_assert!(false, "inner stage {stage} has no target");
-                                self.dec_in_flight();
+                                self.dec_in_flight(now);
                                 self.ack_refs.remove(&pkt);
                                 return;
                             };
@@ -544,7 +706,7 @@ impl Model for BaldurNet {
                 }
             }
             Ev::Arrive { pkt } => {
-                self.dec_in_flight();
+                self.dec_in_flight(now);
                 let (is_ack, dst, src) = {
                     let st = &self.packets[pkt as usize];
                     (st.acks, st.dst, st.src)
@@ -558,10 +720,20 @@ impl Model for BaldurNet {
                             let data = &mut self.packets[data_pkt as usize];
                             if !data.acked {
                                 data.acked = true;
-                                let src_nic = &mut self.nics[dst.0 as usize];
-                                src_nic.outstanding = src_nic.outstanding.saturating_sub(1);
-                                // Successful round trip relaxes the backoff.
-                                src_nic.backoff_exp = src_nic.backoff_exp.saturating_sub(1);
+                                // A slot already given back by retry
+                                // exhaustion (repair racing a backoff
+                                // retry: the packet gave up, then a late
+                                // copy delivered and this ACK returned)
+                                // must not be released twice.
+                                let release = !data.released;
+                                data.released = true;
+                                if release {
+                                    self.release_outstanding(now, dst.0);
+                                    // Successful round trip relaxes the
+                                    // backoff.
+                                    let src_nic = &mut self.nics[dst.0 as usize];
+                                    src_nic.backoff_exp = src_nic.backoff_exp.saturating_sub(1);
+                                }
                             }
                         }
                     }
@@ -571,6 +743,13 @@ impl Model for BaldurNet {
                             self.packets[pkt as usize].outcome = DeliveryOutcome::Delivered;
                             let latency = now.since(self.packets[pkt as usize].generated_at);
                             self.metrics.on_delivered(latency, now);
+                            self.oracle.note(
+                                now.as_ps(),
+                                "deliver",
+                                u64::from(pkt),
+                                u64::from(dst.0),
+                            );
+                            self.oracle.progress(now.as_ps());
                             let out = self.driver.delivered(dst.0, now.as_ps());
                             self.apply_driver_output(now, dst.0, out, sched);
                         }
@@ -621,9 +800,23 @@ impl Model for BaldurNet {
                     if st.outcome != DeliveryOutcome::Delivered {
                         self.packets[pkt as usize].outcome = DeliveryOutcome::GaveUp;
                         self.metrics.on_abandoned(now);
+                        self.oracle.note(
+                            now.as_ps(),
+                            "giveup",
+                            u64::from(pkt),
+                            u64::from(st.src.0),
+                        );
+                        self.oracle.progress(now.as_ps());
                     }
-                    let nic = &mut self.nics[st.src.0 as usize];
-                    nic.outstanding = nic.outstanding.saturating_sub(1);
+                    // Give the buffer slot back exactly once: a late ACK
+                    // for a delivered-but-timer-exhausted packet must not
+                    // release it again (see released in Ev::Arrive).
+                    if !st.released {
+                        if let Some(p) = self.packets.get_mut(pkt as usize) {
+                            p.released = true;
+                        }
+                        self.release_outstanding(now, st.src.0);
+                    }
                     return;
                 }
                 self.metrics.on_retransmit();
@@ -637,6 +830,7 @@ impl Model for BaldurNet {
             Ev::Fault(idx) => {
                 if let Some(ev) = self.plan.events.get(idx as usize).copied() {
                     self.fstate.apply(self.plan.seed, now.as_ps(), &ev.kind);
+                    self.oracle.note(now.as_ps(), "fault", u64::from(idx), 0);
                 }
             }
         }
@@ -678,6 +872,7 @@ pub fn simulate_with_faults(
         horizon_ns,
         faults,
         &FaultPlan::new(seed),
+        OracleConfig::default(),
     )
 }
 
@@ -702,6 +897,34 @@ pub fn simulate_plan(
         horizon_ns,
         &[],
         plan,
+        OracleConfig::default(),
+    )
+}
+
+/// [`simulate_plan`] with an explicit [`OracleConfig`]: the chaos
+/// experiment tightens the stall deadline, and the shrinker fixture
+/// deliberately mis-tunes it to demonstrate plan minimization.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_chaos(
+    active_nodes: u32,
+    params: BaldurParams,
+    link: LinkParams,
+    driver: Driver,
+    seed: u64,
+    horizon_ns: Option<u64>,
+    plan: &FaultPlan,
+    oracle_cfg: OracleConfig,
+) -> LatencyReport {
+    simulate_impl(
+        active_nodes,
+        params,
+        link,
+        driver,
+        seed,
+        horizon_ns,
+        &[],
+        plan,
+        oracle_cfg,
     )
 }
 
@@ -715,12 +938,30 @@ fn simulate_impl(
     horizon_ns: Option<u64>,
     faults: &[(u32, u32)],
     plan: &FaultPlan,
+    oracle_cfg: OracleConfig,
 ) -> LatencyReport {
     let total = driver.total_to_send();
     let sample_cap = (total.min(2_000_000)) as usize + 16;
     let mut model = BaldurNet::new(active_nodes, params, link, driver, seed, sample_cap);
+    model.oracle = Oracle::new(oracle_cfg);
     if !plan.is_empty() {
-        model.metrics = Collector::with_epochs(sample_cap, plan.epoch_boundaries());
+        let repairs = plan.repair_times();
+        let recovery = match (
+            repairs.is_empty(),
+            plan.events.iter().map(|e| e.at_ps).min(),
+        ) {
+            (false, Some(first_fault_ps)) => Some(RecoverySpec {
+                // 1 us bins resolve recovery on CI-scale runs while a
+                // 1 M-bin cap keeps long sweeps bounded.
+                bin_ps: 1_000_000,
+                frac: 0.5,
+                first_fault_ps,
+                repairs_ps: repairs,
+            }),
+            _ => None,
+        };
+        model.metrics = Collector::with_recovery(sample_cap, plan.epoch_boundaries(), recovery);
+        model.oracle.set_boundaries(plan.epoch_boundaries());
         model.plan = plan.clone();
     }
     if !faults.is_empty() {
@@ -742,13 +983,21 @@ fn simulate_impl(
         let per_node = total / u64::from(sim.model().active_nodes.max(1)) + 1;
         50 * per_node * link.packet_time().as_ps() / 1_000 + 10_000_000
     }));
-    let _stop = sim.run_until(horizon, u64::MAX);
+    // Every 8192 executed events (a deterministic cadence, independent of
+    // wall clock and thread count) the oracle's stuck-flow detector gets a
+    // look; a latched stall aborts the run so livelocks surface as a
+    // violation instead of burning the horizon.
+    let stop = sim.run_until_observed(horizon, u64::MAX, 8192, |m, now| !m.oracle_tick(now));
     #[cfg(feature = "validate")]
-    if _stop == baldur_sim::StopReason::Drained {
+    if stop == baldur_sim::StopReason::Drained {
         sim.model().debug_validate_drained();
     }
     let end = sim.scheduler().now();
-    sim.into_model().into_report(end)
+    let mut model = sim.into_model();
+    if stop == baldur_sim::StopReason::Drained {
+        model.oracle_check_drained(end);
+    }
+    model.into_report(end)
 }
 
 #[cfg(test)]
@@ -1015,5 +1264,85 @@ mod tests {
         let b = mk();
         assert_eq!(a.avg_ns.to_bits(), b.avg_ns.to_bits());
         assert_eq!(a.drop_attempts, b.drop_attempts);
+    }
+
+    #[test]
+    fn late_ack_after_giveup_releases_the_slot_exactly_once() {
+        // The repair/backoff race distilled: a 10 us fiber makes every
+        // ACK round trip vastly outlive a 100 ns timeout with a zero
+        // retry budget, so each packet gives up (slot released) while its
+        // copy is still in flight. The copy then delivers and its ACK
+        // returns to a source that already released the slot — without
+        // the `released` guard that second release underflows
+        // `outstanding`, which the oracle would report.
+        let params = BaldurParams {
+            link_delay_ps: 10_000_000,
+            base_timeout_ps: 100_000,
+            max_retries: 0,
+            ..BaldurParams::paper_for(16)
+        };
+        let d = Driver::open_loop(16, Pattern::RandomPermutation, 0.05, 4, &link(), 31);
+        let r = simulate(16, params, link(), d, 31, None);
+        assert_eq!(r.generated, r.delivered + r.abandoned, "conservation");
+        assert!(r.abandoned > 0, "the race needs exhausted packets");
+        assert!(
+            r.oracle.is_clean(),
+            "no counter may underflow: {:?}",
+            r.oracle
+        );
+    }
+
+    #[test]
+    fn livelock_detector_fires_on_a_wedged_fabric() {
+        // Every switch dead and a huge retry budget: sources retransmit
+        // forever, nothing ever delivers. The stuck-flow watermark must
+        // fire (and abort the run) instead of burning the whole horizon.
+        let params = BaldurParams {
+            max_retries: 100_000,
+            ..BaldurParams::paper_for(16)
+        };
+        let plan = FaultPlan::new(5).at(0, FaultKind::FailFraction { fraction: 1.0 });
+        let cfg = crate::oracle::OracleConfig {
+            stall_ps: 1_000_000, // 1 us of silence is already damning here
+            ..crate::oracle::OracleConfig::default()
+        };
+        let d = Driver::open_loop(16, Pattern::RandomPermutation, 0.3, 10, &link(), 5);
+        let r = simulate_chaos(16, params, link(), d, 5, None, &plan, cfg);
+        assert_eq!(r.delivered, 0);
+        assert!(
+            r.oracle
+                .reports
+                .iter()
+                .any(|rep| matches!(rep.violation, Violation::StuckFlow { .. })),
+            "expected a StuckFlow violation, got {:?}",
+            r.oracle
+        );
+    }
+
+    #[test]
+    fn chaos_staged_plan_drains_clean_with_recovery_metrics() {
+        use crate::faults::{ChaosProfile, ChaosShape};
+        // A mixed link/switch/laser chaos schedule over the staged fabric
+        // must drain with conservation intact, a quiet oracle, and one
+        // recovery measurement per repair.
+        let shape = ChaosShape {
+            stages: 3,
+            width: 8,
+            m: 4,
+            nodes: 64,
+            routers: 0,
+        };
+        let profile = ChaosProfile {
+            warmup_ps: 2_000_000,
+            last_repair_ps: 40_000_000,
+            pairs: 6,
+        };
+        let plan = FaultPlan::chaos(19, &shape, &profile);
+        let d = Driver::open_loop(64, Pattern::RandomPermutation, 0.3, 40, &link(), 19);
+        let r = simulate_plan(64, BaldurParams::paper_for(64), link(), d, 19, None, &plan);
+        assert_eq!(r.generated, r.delivered + r.abandoned, "conservation");
+        assert!(r.oracle.is_clean(), "oracle: {:?}", r.oracle);
+        assert_eq!(r.recoveries.len(), plan.repair_times().len());
+        assert!(r.flap_amplification() >= 1.0);
     }
 }

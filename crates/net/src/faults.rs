@@ -88,6 +88,21 @@ pub enum FaultKind {
         /// The node whose transmitter recovers.
         node: u32,
     },
+    /// An electrical router dies (electrical baselines only): its queues
+    /// flush with upstream credit refunds and arriving packets are
+    /// dropped-and-refunded until repair. The staged (Baldur) model
+    /// ignores this kind.
+    RouterDown {
+        /// The router index in the electrical topology.
+        router: u32,
+    },
+    /// A dead router returns to service (repair). Credit state needs no
+    /// reconstruction: credits kept flowing back to the dead router while
+    /// it was down, so clearing the down flag restores service exactly.
+    RouterUp {
+        /// The router index in the electrical topology.
+        router: u32,
+    },
     /// Kill the seeded nested fraction of elements: staged switches in
     /// the Baldur model, routers in the electrical models. Fractions are
     /// cumulative per plan seed — the set at 0.10 contains the set at
@@ -110,6 +125,53 @@ pub enum FaultKind {
         /// Per-traversal corruption probability in `[0, 1]`.
         corruption_prob: f64,
     },
+}
+
+impl FaultKind {
+    /// The matched repair event for a failure kind, or `None` for kinds
+    /// that are not a single-element outage (fraction kills, revives,
+    /// bursts — a burst expires on its own clock). This is what fault
+    /// lifecycles (flapping, maintenance waves, chaos schedules) pair
+    /// each failure with so the post-repair state is exactly the
+    /// pre-failure state.
+    pub fn repair(&self) -> Option<FaultKind> {
+        match *self {
+            FaultKind::SwitchDown { stage, switch } => Some(FaultKind::SwitchUp { stage, switch }),
+            FaultKind::LinkDown {
+                stage,
+                switch,
+                dir,
+                path,
+            } => Some(FaultKind::LinkUp {
+                stage,
+                switch,
+                dir,
+                path,
+            }),
+            FaultKind::LaserDown { node } => Some(FaultKind::LaserUp { node }),
+            FaultKind::RouterDown { router } => Some(FaultKind::RouterUp { router }),
+            FaultKind::SwitchUp { .. }
+            | FaultKind::LinkUp { .. }
+            | FaultKind::LaserUp { .. }
+            | FaultKind::RouterUp { .. }
+            | FaultKind::FailFraction { .. }
+            | FaultKind::ReviveAll
+            | FaultKind::BitErrorBurst { .. } => None,
+        }
+    }
+
+    /// True for events that restore service (the repair side of a
+    /// lifecycle): the per-element `*Up` kinds and [`FaultKind::ReviveAll`].
+    pub fn is_repair(&self) -> bool {
+        matches!(
+            self,
+            FaultKind::SwitchUp { .. }
+                | FaultKind::LinkUp { .. }
+                | FaultKind::LaserUp { .. }
+                | FaultKind::RouterUp { .. }
+                | FaultKind::ReviveAll
+        )
+    }
 }
 
 /// One scheduled fault event.
@@ -212,6 +274,191 @@ impl FaultPlan {
         out.sort_unstable();
         out.dedup();
         out
+    }
+
+    /// The distinct times at which something is repaired (per-element
+    /// `*Up` events and [`FaultKind::ReviveAll`]), ascending — the
+    /// instants recovery metrics measure time-to-recover from.
+    pub fn repair_times(&self) -> Vec<u64> {
+        let mut out: Vec<u64> = self
+            .events
+            .iter()
+            .filter(|e| e.kind.is_repair())
+            .map(|e| e.at_ps)
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Adds a matched fail→repair pair: `kind` (a `*Down` event) at
+    /// `at_ps` and its [`FaultKind::repair`] at `at_ps + outage_ps`.
+    /// Kinds without a matched repair are ignored.
+    pub fn outage(self, at_ps: u64, outage_ps: u64, kind: FaultKind) -> Self {
+        match kind.repair() {
+            Some(up) => self.at(at_ps, kind).at(at_ps.saturating_add(outage_ps), up),
+            None => self,
+        }
+    }
+
+    /// A flapping element: `cycles` down/up duty cycles of `kind`
+    /// starting at `start_ps`, each `down_ps` down then `up_ps` up.
+    /// Kinds without a matched repair are ignored. The last cycle's
+    /// repair lands at `start_ps + cycles*down_ps + (cycles-1)*up_ps`,
+    /// so the plan ends with the element in service.
+    pub fn flapping(
+        mut self,
+        kind: FaultKind,
+        start_ps: u64,
+        down_ps: u64,
+        up_ps: u64,
+        cycles: u32,
+    ) -> Self {
+        if kind.repair().is_none() {
+            return self;
+        }
+        let period = down_ps.saturating_add(up_ps);
+        for k in 0..u64::from(cycles) {
+            let at = start_ps.saturating_add(k.saturating_mul(period));
+            self = self.outage(at, down_ps, kind);
+        }
+        self
+    }
+
+    /// A rolling maintenance wave over every switch of a staged fabric:
+    /// switch `(stage, switch)` is taken down for `outage_ps` starting at
+    /// `start_ps + (stage*width + switch) * stride_ps`, row-major, one
+    /// matched repair per outage. With `stride_ps >= outage_ps` at most
+    /// one switch is ever out — the planned-maintenance regime the laser
+    /// co-design work treats as normal operation.
+    pub fn rolling_maintenance(
+        mut self,
+        start_ps: u64,
+        outage_ps: u64,
+        stride_ps: u64,
+        stages: u32,
+        width: u32,
+    ) -> Self {
+        for stage in 0..stages {
+            for switch in 0..width {
+                let i = u64::from(stage) * u64::from(width) + u64::from(switch);
+                let at = start_ps.saturating_add(i.saturating_mul(stride_ps));
+                self = self.outage(at, outage_ps, FaultKind::SwitchDown { stage, switch });
+            }
+        }
+        self
+    }
+
+    /// A seeded random chaos schedule: `profile.pairs` matched
+    /// fail→repair pairs over the elements of `shape`, every repair
+    /// landing at or before `profile.last_repair_ps` so the plan ends
+    /// with the fabric fully healthy. A pure function of
+    /// `(seed, shape, profile)` — same inputs, same plan.
+    pub fn chaos(seed: u64, shape: &ChaosShape, profile: &ChaosProfile) -> Self {
+        let mut plan = FaultPlan::new(seed);
+        let window = profile
+            .last_repair_ps
+            .saturating_sub(profile.warmup_ps)
+            .max(2);
+        for i in 0..u64::from(profile.pairs) {
+            let mut rng = StreamRng::named(seed, "chaospln", i);
+            let kind = chaos_kind(&mut rng, shape);
+            // Start anywhere in the window's first half; hold for up to
+            // half the window so the repair stays inside it.
+            let start = profile.warmup_ps + rng.gen_range(0..window / 2);
+            let outage = 1 + rng.gen_range(0..window / 2);
+            plan = plan.outage(start, outage, kind);
+        }
+        plan
+    }
+}
+
+/// How many of each element a [`FaultPlan::chaos`] schedule can hit.
+/// With `routers > 0` the schedule targets the electrical model
+/// (router outages); otherwise the staged fabric (switches, links,
+/// transmit lasers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChaosShape {
+    /// Stages in the staged fabric.
+    pub stages: u32,
+    /// Switches per stage.
+    pub width: u32,
+    /// Path multiplicity (output ports per direction).
+    pub m: u32,
+    /// Server count (transmit lasers).
+    pub nodes: u32,
+    /// Router count for electrical targets (0 = staged fabric).
+    pub routers: u32,
+}
+
+/// Timing envelope of a [`FaultPlan::chaos`] schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChaosProfile {
+    /// No fault fires before this (the pre-fault baseline window the
+    /// recovery metrics measure goodput against).
+    pub warmup_ps: u64,
+    /// Every repair lands at or before this.
+    pub last_repair_ps: u64,
+    /// Matched fail→repair pairs to draw.
+    pub pairs: u32,
+}
+
+fn chaos_kind(rng: &mut StreamRng, shape: &ChaosShape) -> FaultKind {
+    if shape.routers > 0 {
+        return FaultKind::RouterDown {
+            router: rng.gen_range(0..shape.routers),
+        };
+    }
+    let stage = rng.gen_range(0..shape.stages.max(1));
+    let switch = rng.gen_range(0..shape.width.max(1));
+    match rng.gen_range(0u32..4) {
+        // Half the pairs are link outages: the mildest fault (traffic
+        // shifts to the other m-1 paths), so chaos exercises partial as
+        // well as total element loss.
+        0 | 1 => FaultKind::LinkDown {
+            stage,
+            switch,
+            dir: rng.gen_range(0u32..2),
+            path: rng.gen_range(0..shape.m.max(1)),
+        },
+        2 => FaultKind::SwitchDown { stage, switch },
+        _ => FaultKind::LaserDown {
+            node: rng.gen_range(0..shape.nodes.max(1)),
+        },
+    }
+}
+
+/// Greedy delta-debugging over a failing fault plan: repeatedly try
+/// dropping each event and keep the removal whenever `fails` still
+/// returns true, looping until no single removal preserves the failure.
+/// The result is 1-minimal — removing any one remaining event makes the
+/// failure disappear — which is what the chaos harness prints as a
+/// reproduction when an oracle violation shows up.
+///
+/// `fails` must be deterministic (a pure function of the plan); it is
+/// called O(n²) times in the worst case for an n-event plan.
+pub fn shrink_plan(plan: &FaultPlan, mut fails: impl FnMut(&FaultPlan) -> bool) -> FaultPlan {
+    let mut current = plan.clone();
+    if !fails(&current) {
+        return current;
+    }
+    loop {
+        let mut shrunk = false;
+        let mut i = 0;
+        while i < current.events.len() {
+            let mut candidate = current.clone();
+            candidate.events.remove(i);
+            if fails(&candidate) {
+                current = candidate;
+                shrunk = true;
+                // Same index now holds the next event; retry it.
+            } else {
+                i += 1;
+            }
+        }
+        if !shrunk {
+            return current;
+        }
     }
 }
 
@@ -388,6 +635,35 @@ impl FaultState {
         }
     }
 
+    /// The live inter-stage link mask (for exact-repair comparisons:
+    /// after a matched fail→repair plan this must equal a never-faulted
+    /// state's mask).
+    pub fn links(&self) -> &EdgeMask {
+        &self.links
+    }
+
+    /// How many switches are currently dead.
+    pub fn dead_switch_count(&self) -> usize {
+        self.dead_switches
+    }
+
+    /// How many transmit lasers are currently dead.
+    pub fn dead_laser_count(&self) -> usize {
+        self.dead_lasers
+    }
+
+    /// The [`SwitchHealth`] the fault layer implies for `(stage, switch)`
+    /// — `Dead` while the switch is down, `Healthy` otherwise. This is
+    /// the `tl::health` view of the fault state, and the value
+    /// exact-repair tests compare against a never-faulted fabric.
+    pub fn switch_health(&self, stage: u32, switch: u32) -> SwitchHealth {
+        if self.switch_is_down(stage, switch) {
+            SwitchHealth::Dead
+        } else {
+            SwitchHealth::Healthy
+        }
+    }
+
     /// Applies one fault event (at simulation time `now_ps`, using the
     /// plan `seed` for [`FaultKind::FailFraction`] resolution).
     pub fn apply(&mut self, seed: u64, now_ps: u64, kind: &FaultKind) {
@@ -412,6 +688,9 @@ impl FaultState {
                 .restore(stage, switch * 2 * self.m + dir * self.m + path),
             FaultKind::LaserDown { node } => self.set_laser(node, true),
             FaultKind::LaserUp { node } => self.set_laser(node, false),
+            // Router lifecycles target the electrical models; the staged
+            // fabric has no routers.
+            FaultKind::RouterDown { .. } | FaultKind::RouterUp { .. } => {}
             FaultKind::FailFraction { fraction } => {
                 let dead = nested_kill_set(seed, self.stages * self.width, fraction);
                 for (i, &d) in dead.iter().enumerate() {
@@ -588,6 +867,174 @@ mod tests {
         };
         assert!(prob(&severe) > prob(&mild));
         assert!(prob(&mild) > 0.0 && prob(&severe) < 1.0);
+    }
+
+    #[test]
+    fn repair_pairs_cover_every_outage_kind() {
+        let down = [
+            FaultKind::SwitchDown {
+                stage: 1,
+                switch: 2,
+            },
+            FaultKind::LinkDown {
+                stage: 0,
+                switch: 1,
+                dir: 1,
+                path: 0,
+            },
+            FaultKind::LaserDown { node: 5 },
+            FaultKind::RouterDown { router: 3 },
+        ];
+        for kind in down {
+            let up = kind.repair().expect("every outage kind has a repair");
+            assert!(up.is_repair());
+            assert!(!kind.is_repair());
+            assert_eq!(up.repair(), None, "repairs have no repair");
+        }
+        assert_eq!(FaultKind::ReviveAll.repair(), None);
+        assert_eq!(FaultKind::FailFraction { fraction: 0.1 }.repair(), None);
+        assert!(FaultKind::ReviveAll.is_repair());
+    }
+
+    #[test]
+    fn flapping_builds_matched_duty_cycles() {
+        let plan = FaultPlan::new(1).flapping(FaultKind::LaserDown { node: 2 }, 1_000, 300, 700, 3);
+        let times: Vec<u64> = plan.events.iter().map(|e| e.at_ps).collect();
+        assert_eq!(times, vec![1_000, 1_300, 2_000, 2_300, 3_000, 3_300]);
+        assert_eq!(plan.repair_times(), vec![1_300, 2_300, 3_300]);
+        // Unrepairable kinds are ignored, not half-scheduled.
+        let noop = FaultPlan::new(1).flapping(FaultKind::ReviveAll, 0, 10, 10, 4);
+        assert!(noop.is_empty());
+    }
+
+    #[test]
+    fn rolling_maintenance_waves_end_healthy() {
+        let plan = FaultPlan::new(3).rolling_maintenance(500, 100, 250, 2, 3);
+        assert_eq!(plan.events.len(), 2 * 3 * 2);
+        let mut st = FaultState::healthy(2, 3, 2, 8);
+        for e in &plan.events {
+            st.apply(plan.seed, e.at_ps, &e.kind);
+        }
+        assert!(st.is_all_healthy());
+        // stride > outage: at most one switch is down at any instant.
+        let mut st = FaultState::healthy(2, 3, 2, 8);
+        let mut i = 0;
+        while i < plan.events.len() {
+            let t = plan.events[i].at_ps;
+            while i < plan.events.len() && plan.events[i].at_ps == t {
+                st.apply(plan.seed, t, &plan.events[i].kind);
+                i += 1;
+            }
+            assert!(st.dead_switch_count() <= 1, "at t={t}");
+        }
+    }
+
+    #[test]
+    fn chaos_plans_are_matched_seeded_and_bounded() {
+        let shape = ChaosShape {
+            stages: 3,
+            width: 8,
+            m: 3,
+            nodes: 16,
+            routers: 0,
+        };
+        let profile = ChaosProfile {
+            warmup_ps: 10_000,
+            last_repair_ps: 90_000,
+            pairs: 12,
+        };
+        let plan = FaultPlan::chaos(42, &shape, &profile);
+        assert_eq!(plan, FaultPlan::chaos(42, &shape, &profile));
+        assert_ne!(plan, FaultPlan::chaos(43, &shape, &profile));
+        assert_eq!(plan.events.len(), 24, "every pair lands both halves");
+        for e in &plan.events {
+            assert!(e.at_ps >= profile.warmup_ps);
+            assert!(e.at_ps <= profile.last_repair_ps);
+        }
+        // Router-shaped chaos only draws router lifecycles.
+        let rshape = ChaosShape {
+            routers: 6,
+            ..shape
+        };
+        let rplan = FaultPlan::chaos(7, &rshape, &profile);
+        assert!(rplan.events.iter().all(|e| matches!(
+            e.kind,
+            FaultKind::RouterDown { .. } | FaultKind::RouterUp { .. }
+        )));
+    }
+
+    #[test]
+    fn matched_plans_restore_fault_state_byte_identically() {
+        let shape = ChaosShape {
+            stages: 3,
+            width: 8,
+            m: 3,
+            nodes: 16,
+            routers: 0,
+        };
+        let profile = ChaosProfile {
+            warmup_ps: 5_000,
+            last_repair_ps: 200_000,
+            pairs: 20,
+        };
+        let fresh = FaultState::healthy(shape.stages, shape.width, shape.m, shape.nodes);
+        for seed in 0..32 {
+            let plan = FaultPlan::chaos(seed, &shape, &profile);
+            let mut st = FaultState::healthy(shape.stages, shape.width, shape.m, shape.nodes);
+            for e in &plan.events {
+                st.apply(plan.seed, e.at_ps, &e.kind);
+            }
+            // EdgeMask, switch health, and laser state all restored
+            // exactly; the Debug rendering covers every field, so equal
+            // strings is byte-identical state.
+            assert!(st.is_all_healthy(), "seed {seed}");
+            assert_eq!(st.links(), fresh.links(), "seed {seed}");
+            for stage in 0..shape.stages {
+                for switch in 0..shape.width {
+                    assert_eq!(
+                        st.switch_health(stage, switch),
+                        SwitchHealth::Healthy,
+                        "seed {seed}"
+                    );
+                }
+            }
+            assert_eq!(format!("{st:?}"), format!("{fresh:?}"), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn shrink_finds_the_one_guilty_event() {
+        // A synthetic predicate: the "violation" persists exactly while
+        // the plan still contains LaserDown{99} (a node index chaos can
+        // never draw, so only the appended event matches). The shrinker must strip
+        // all 15 innocent events and keep that one.
+        let shape = ChaosShape {
+            stages: 3,
+            width: 8,
+            m: 3,
+            nodes: 16,
+            routers: 0,
+        };
+        let profile = ChaosProfile {
+            warmup_ps: 1_000,
+            last_repair_ps: 50_000,
+            pairs: 7,
+        };
+        let plan =
+            FaultPlan::chaos(11, &shape, &profile).at(2_500, FaultKind::LaserDown { node: 99 });
+        let guilty = |p: &FaultPlan| {
+            p.events
+                .iter()
+                .any(|e| e.kind == FaultKind::LaserDown { node: 99 })
+        };
+        assert!(plan.events.len() > 1);
+        let shrunk = shrink_plan(&plan, guilty);
+        assert_eq!(shrunk.events.len(), 1);
+        assert_eq!(shrunk.events[0].kind, FaultKind::LaserDown { node: 99 });
+        assert_eq!(shrunk.seed, plan.seed);
+        // A plan that never fails comes back untouched.
+        let healthy = FaultPlan::chaos(11, &shape, &profile);
+        assert_eq!(shrink_plan(&healthy, guilty), healthy);
     }
 
     #[test]

@@ -23,6 +23,9 @@
 //!   switch/link/laser kill-and-revive schedules and jitter-model-derived
 //!   bit-error bursts, threaded through both network models for
 //!   degradation curves,
+//! * [`oracle`] — the always-on runtime invariant oracle (packet
+//!   conservation, credit balance, stuck-flow detection) whose structured
+//!   violation reports ride on every [`metrics::LatencyReport`],
 //! * [`runner`] — one entry point that builds any of the networks, applies
 //!   any workload, and returns a [`metrics::LatencyReport`].
 
@@ -34,6 +37,7 @@ pub mod droptool;
 pub mod faults;
 pub mod ideal_net;
 pub mod metrics;
+pub mod oracle;
 pub mod router_net;
 pub mod routing;
 pub mod runner;
@@ -43,4 +47,5 @@ pub mod workloads;
 pub use config::LinkParams;
 pub use faults::{FaultKind, FaultPlan};
 pub use metrics::LatencyReport;
+pub use oracle::{OracleReport, OracleSummary};
 pub use runner::{run, NetworkKind, RunConfig, Workload};

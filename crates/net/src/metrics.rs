@@ -1,8 +1,136 @@
 //! Latency and drop accounting shared by all network models.
 
+use crate::oracle::OracleSummary;
 use baldur_sim::stats::{Reservoir, Streaming};
 use baldur_sim::{Duration, Time};
 use serde::{Deserialize, Serialize};
+
+/// Hard cap on recovery-histogram bins (bins are `bin_ps` wide, so this
+/// covers `MAX_BINS * bin_ps` of simulated time; deliveries beyond it
+/// still count toward totals, just not toward recovery curves).
+const MAX_BINS: usize = 1 << 20;
+
+/// What the recovery tracker needs to know up front: when the fault
+/// story starts (the baseline window), when repairs land, and what
+/// "recovered" means.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoverySpec {
+    /// Delivery-histogram bin width, ps.
+    pub bin_ps: u64,
+    /// Goodput fraction of the pre-fault baseline that counts as
+    /// recovered.
+    pub frac: f64,
+    /// When the first fault fires (the baseline window is `[0, this)`).
+    pub first_fault_ps: u64,
+    /// Repair instants (ascending, ps) to measure recovery from.
+    pub repairs_ps: Vec<u64>,
+}
+
+/// Per-repair recovery measurement (tentpole metric 3): how long after
+/// the repair goodput climbed back to `frac` of the pre-fault baseline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryReport {
+    /// The repair instant, ns.
+    pub repair_at_ns: f64,
+    /// Time from the repair until the first full histogram bin at or
+    /// above the recovery threshold, ns; `-1` when goodput never got
+    /// back within the observed window.
+    pub time_to_recover_ns: f64,
+    /// Deliveries observed after the repair (0 means the run had drained
+    /// already — an unrecovered verdict would be meaningless).
+    pub deliveries_after: u64,
+    /// The pre-fault baseline delivery rate, packets per µs.
+    pub baseline_per_us: f64,
+}
+
+impl RecoveryReport {
+    /// True when goodput provably returned to the threshold.
+    pub fn recovered(&self) -> bool {
+        self.time_to_recover_ns >= 0.0
+    }
+}
+
+/// Internal per-run recovery accumulator.
+#[derive(Debug, Clone)]
+struct RecoveryTrack {
+    spec: RecoverySpec,
+    baseline: u64,
+    bins: Vec<u32>,
+}
+
+impl RecoveryTrack {
+    fn new(spec: RecoverySpec) -> Self {
+        RecoveryTrack {
+            spec,
+            baseline: 0,
+            bins: Vec::new(),
+        }
+    }
+
+    fn on_delivered(&mut self, now: Time) {
+        let at = now.as_ps();
+        if at < self.spec.first_fault_ps {
+            self.baseline += 1;
+        }
+        let idx = (at / self.spec.bin_ps.max(1)) as usize;
+        if idx >= MAX_BINS {
+            return;
+        }
+        if idx >= self.bins.len() {
+            self.bins.resize(idx + 1, 0);
+        }
+        if let Some(bin) = self.bins.get_mut(idx) {
+            *bin += 1;
+        }
+    }
+
+    fn reports(&self) -> Vec<RecoveryReport> {
+        let bin_ps = self.spec.bin_ps.max(1);
+        let baseline_rate = if self.spec.first_fault_ps > 0 {
+            self.baseline as f64 / self.spec.first_fault_ps as f64
+        } else {
+            0.0
+        };
+        let threshold = self.spec.frac * baseline_rate * bin_ps as f64;
+        self.spec
+            .repairs_ps
+            .iter()
+            .map(|&repair_ps| {
+                // First full bin strictly after the repair instant.
+                let start = (repair_ps / bin_ps) as usize + 1;
+                let after: u64 = self
+                    .bins
+                    .get(start..)
+                    .unwrap_or(&[])
+                    .iter()
+                    .map(|&b| u64::from(b))
+                    .sum();
+                let recovered_bin = self
+                    .bins
+                    .get(start..)
+                    .unwrap_or(&[])
+                    .iter()
+                    .position(|&b| f64::from(b) >= threshold)
+                    .map(|off| start + off);
+                let time_to_recover_ns = match recovered_bin {
+                    // No pre-fault traffic: nothing to recover to.
+                    _ if baseline_rate <= 0.0 => 0.0,
+                    Some(idx) => {
+                        let end_ps = (idx as u64 + 1).saturating_mul(bin_ps);
+                        Time::from_ps(end_ps.saturating_sub(repair_ps)).as_ns_f64()
+                    }
+                    None => -1.0,
+                };
+                RecoveryReport {
+                    repair_at_ns: Time::from_ps(repair_ps).as_ns_f64(),
+                    time_to_recover_ns,
+                    deliveries_after: after,
+                    baseline_per_us: baseline_rate * 1e6,
+                }
+            })
+            .collect()
+    }
+}
 
 /// The terminal state of one data packet's delivery attempt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -46,6 +174,7 @@ pub struct Collector {
     /// and zero per-epoch bookkeeping.
     boundaries: Vec<u64>,
     epochs: Vec<EpochAcc>,
+    recovery: Option<RecoveryTrack>,
 }
 
 impl Collector {
@@ -61,6 +190,18 @@ impl Collector {
     /// epoch containing its event time, giving per-epoch degradation
     /// curves across a staircase fault plan.
     pub fn with_epochs(sample_cap: usize, boundaries_ps: Vec<u64>) -> Self {
+        Collector::with_recovery(sample_cap, boundaries_ps, None)
+    }
+
+    /// [`Collector::with_epochs`], additionally measuring per-repair
+    /// recovery time against `recovery` (when given): deliveries are
+    /// histogrammed in `bin_ps` windows and each repair instant is
+    /// scanned for the first bin back at the threshold goodput.
+    pub fn with_recovery(
+        sample_cap: usize,
+        boundaries_ps: Vec<u64>,
+        recovery: Option<RecoverySpec>,
+    ) -> Self {
         let epochs = if boundaries_ps.is_empty() {
             Vec::new()
         } else {
@@ -82,6 +223,7 @@ impl Collector {
             end: Time::ZERO,
             boundaries: boundaries_ps,
             epochs,
+            recovery: recovery.map(RecoveryTrack::new),
         }
     }
 
@@ -111,6 +253,9 @@ impl Collector {
         if let Some(e) = self.epoch_mut(now) {
             e.delivered += 1;
             e.latency_sum_ns += ns;
+        }
+        if let Some(t) = &mut self.recovery {
+            t.on_delivered(now);
         }
     }
 
@@ -200,6 +345,16 @@ impl Collector {
             laser_losses: self.laser_losses,
             max_retx_buffer_bytes: self.max_retx_buffer_bytes,
             sim_end_ns: sim_end.as_ns_f64(),
+            stranded: self
+                .generated
+                .saturating_sub(self.delivered)
+                .saturating_sub(self.abandoned),
+            recoveries: self
+                .recovery
+                .as_ref()
+                .map(RecoveryTrack::reports)
+                .unwrap_or_default(),
+            oracle: OracleSummary::default(),
             epochs: self
                 .epochs
                 .iter()
@@ -292,6 +447,16 @@ pub struct LatencyReport {
     pub max_retx_buffer_bytes: u64,
     /// Simulated time at the last delivery, ns.
     pub sim_end_ns: f64,
+    /// Packets with no terminal outcome at the end of the run:
+    /// `generated - delivered - abandoned`. Zero whenever the run
+    /// drained; nonzero means the horizon (or a stuck-flow abort) cut
+    /// packets off mid-flight.
+    pub stranded: u64,
+    /// Per-repair recovery measurements (empty unless the run had a
+    /// fault plan with repair events).
+    pub recoveries: Vec<RecoveryReport>,
+    /// What the always-on invariant oracle observed (clean by default).
+    pub oracle: OracleSummary,
     /// Per-fault-epoch breakdown (empty unless the run had a fault plan
     /// with nonzero event times).
     pub epochs: Vec<EpochReport>,
@@ -304,6 +469,28 @@ impl LatencyReport {
             return 1.0;
         }
         self.delivered as f64 / self.generated as f64
+    }
+
+    /// Flap-amplification factor: transmission attempts per generated
+    /// packet, `(generated + retransmissions) / generated`. A flapping
+    /// element amplifies offered load through the retry machinery; 1.0
+    /// is the no-retransmission floor (and the electrical models, which
+    /// never retransmit).
+    pub fn flap_amplification(&self) -> f64 {
+        if self.generated == 0 {
+            return 1.0;
+        }
+        (self.generated + self.retransmissions) as f64 / self.generated as f64
+    }
+
+    /// The longest observed time-to-recover across this run's repairs,
+    /// ns; `None` when no repair recovered (or none was measured).
+    pub fn max_recovery_ns(&self) -> Option<f64> {
+        self.recoveries
+            .iter()
+            .filter(|r| r.recovered())
+            .map(|r| r.time_to_recover_ns)
+            .max_by(f64::total_cmp)
     }
 
     /// Accepted load: delivered bandwidth per node as a fraction of the
@@ -396,6 +583,82 @@ mod tests {
         assert_eq!(r.generated, 3);
         assert_eq!(r.delivered, 2);
         assert_eq!(r.abandoned, 1);
+    }
+
+    #[test]
+    fn recovery_tracker_measures_time_to_recover() {
+        let spec = RecoverySpec {
+            bin_ps: 1_000_000,
+            frac: 0.5,
+            first_fault_ps: 10_000_000,
+            repairs_ps: vec![20_000_000],
+        };
+        let mut c = Collector::with_recovery(64, vec![10_000_000, 20_000_000], Some(spec));
+        // Baseline: 1 delivery/µs for the 10 µs before the fault.
+        for i in 0..10u64 {
+            c.on_delivered(
+                Duration::from_ns(100),
+                Time::from_ps(i * 1_000_000 + 500_000),
+            );
+        }
+        // Outage 10–20 µs: silence. Repair at 20 µs; goodput returns at
+        // 25 µs.
+        for i in 25..30u64 {
+            c.on_delivered(
+                Duration::from_ns(100),
+                Time::from_ps(i * 1_000_000 + 500_000),
+            );
+        }
+        let r = c.report(Time::from_us(30));
+        assert_eq!(r.recoveries.len(), 1);
+        let rec = &r.recoveries[0];
+        assert!(rec.recovered());
+        // First ≥-threshold bin after the repair is [25, 26) µs → ends
+        // 6 µs after the 20 µs repair.
+        assert!((rec.time_to_recover_ns - 6_000.0).abs() < 1e-9);
+        assert_eq!(rec.deliveries_after, 5);
+        assert!((rec.baseline_per_us - 1.0).abs() < 1e-9);
+        assert_eq!(r.max_recovery_ns(), Some(rec.time_to_recover_ns));
+        assert_eq!(r.stranded, 0, "delivered-only run strands nothing");
+    }
+
+    #[test]
+    fn unrecovered_repairs_report_minus_one() {
+        let spec = RecoverySpec {
+            bin_ps: 1_000_000,
+            frac: 0.5,
+            first_fault_ps: 5_000_000,
+            repairs_ps: vec![10_000_000],
+        };
+        let mut c = Collector::with_recovery(64, Vec::new(), Some(spec));
+        for i in 0..5u64 {
+            c.on_delivered(
+                Duration::from_ns(100),
+                Time::from_ps(i * 1_000_000 + 500_000),
+            );
+        }
+        let r = c.report(Time::from_us(20));
+        assert_eq!(r.recoveries.len(), 1);
+        assert!(!r.recoveries[0].recovered());
+        assert_eq!(r.recoveries[0].time_to_recover_ns, -1.0);
+        assert_eq!(r.recoveries[0].deliveries_after, 0);
+        assert_eq!(r.max_recovery_ns(), None);
+    }
+
+    #[test]
+    fn flap_amplification_and_stranded_accounting() {
+        let mut c = Collector::new(16);
+        for _ in 0..4 {
+            c.on_generated(Time::from_ns(1));
+        }
+        c.on_delivered(Duration::from_ns(10), Time::from_ns(2));
+        c.on_abandoned(Time::from_ns(3));
+        c.on_retransmit();
+        c.on_retransmit();
+        let r = c.report(Time::from_ns(10));
+        assert!((r.flap_amplification() - 1.5).abs() < 1e-12);
+        assert_eq!(r.stranded, 2, "two packets never reached an outcome");
+        assert!(r.oracle.is_clean(), "reports default to a clean oracle");
     }
 
     #[test]

@@ -17,7 +17,8 @@ use baldur_topo::graph::{Endpoint, NodeId, RouterGraph};
 use crate::config::{LinkParams, RouterParams};
 use crate::driver::Driver;
 use crate::faults::{nested_kill_set, FaultKind, FaultPlan};
-use crate::metrics::{Collector, LatencyReport};
+use crate::metrics::{Collector, LatencyReport, RecoverySpec};
+use crate::oracle::{Oracle, OracleConfig, Violation};
 use crate::routing::{RouteState, RoutingAlg};
 
 type PktId = u32;
@@ -111,9 +112,13 @@ pub struct RouterNet {
     any_router_down: bool,
     /// The fault schedule this run executes (empty by default). Only
     /// router-granularity kinds apply here ([`FaultKind::FailFraction`],
+    /// [`FaultKind::RouterDown`]/[`FaultKind::RouterUp`],
     /// [`FaultKind::ReviveAll`]); element-level kinds are Baldur-specific
     /// and ignored.
     plan: FaultPlan,
+    /// Always-on runtime invariant oracle (credit balance, bounded
+    /// queues, stuck-flow, drain conservation).
+    oracle: Oracle,
 }
 
 impl RouterNet {
@@ -166,6 +171,7 @@ impl RouterNet {
             router_down: vec![false; router_count as usize],
             any_router_down: false,
             plan: FaultPlan::new(seed),
+            oracle: Oracle::new(OracleConfig::default()),
         }
     }
 
@@ -206,24 +212,67 @@ impl RouterNet {
     /// loss (credits refunded upstream) and everything arriving later is
     /// dropped on arrival.
     fn kill_router(&mut self, now: Time, router: u32, sched: &mut Scheduler<Ev>) {
-        if self.router_down[router as usize] {
+        // A fault plan is external input; a router index outside this
+        // topology is ignored rather than trusted to index.
+        let Some(down) = self.router_down.get_mut(router as usize) else {
+            return;
+        };
+        if *down {
             return;
         }
-        self.router_down[router as usize] = true;
+        *down = true;
         self.any_router_down = true;
-        let vcs = self.rp.vcs;
-        let nq = self.routers[router as usize].queues.len();
+        let vcs = self.rp.vcs.max(1);
+        let nq = self
+            .routers
+            .get(router as usize)
+            .map_or(0, |r| r.queues.len());
         for qi in 0..nq {
-            while let Some(pkt) = self.routers[router as usize].queues[qi].pop_front() {
-                let out = self.packets[pkt as usize].decision.0;
-                self.routers[router as usize].out_pending[out as usize] -= 1;
+            loop {
+                let Some(pkt) = self
+                    .routers
+                    .get_mut(router as usize)
+                    .and_then(|r| r.queues.get_mut(qi))
+                    .and_then(|q| q.pop_front())
+                else {
+                    break;
+                };
+                let out = self.packets.get(pkt as usize).map(|p| p.decision.0);
+                match out.and_then(|o| {
+                    self.routers
+                        .get_mut(router as usize)
+                        .and_then(|r| r.out_pending.get_mut(o as usize))
+                }) {
+                    Some(p) if *p > 0 => *p -= 1,
+                    _ => self.oracle.record(
+                        now.as_ps(),
+                        Violation::CounterUnderflow {
+                            counter: "out_pending".into(),
+                        },
+                    ),
+                }
                 self.metrics.on_forward_attempt(true);
                 self.metrics.on_abandoned(now);
+                self.oracle
+                    .note(now.as_ps(), "drop:kill", u64::from(pkt), u64::from(router));
+                self.oracle.progress(now.as_ps());
                 let in_port = qi as u32 / vcs;
                 let in_vc = qi as u32 % vcs;
                 self.refund_credit(now, router, in_port, in_vc, sched);
             }
         }
+    }
+
+    /// Revives `router`. Its queues were flushed at kill time and credit
+    /// returns kept flowing to it while it was down ([`Ev::Credit`]
+    /// increments regardless of health), so repair is exactly "clear the
+    /// down flag": no credit reconstruction and no arbitration kick —
+    /// the next arrival schedules arbitration as usual.
+    fn revive_router(&mut self, router: u32) {
+        if let Some(down) = self.router_down.get_mut(router as usize) {
+            *down = false;
+        }
+        self.any_router_down = self.router_down.iter().any(|&d| d);
     }
 
     /// Applies one fault-plan event. Only router-granularity kinds act on
@@ -238,6 +287,8 @@ impl RouterNet {
                     }
                 }
             }
+            FaultKind::RouterDown { router } => self.kill_router(now, router, sched),
+            FaultKind::RouterUp { router } => self.revive_router(router),
             FaultKind::ReviveAll => {
                 self.router_down.iter_mut().for_each(|d| *d = false);
                 self.any_router_down = false;
@@ -328,7 +379,19 @@ impl RouterNet {
                         self.routers[router as usize].credits[self.qidx(out_port, dvc)] > 0
                     }
                     Endpoint::Node(_) => true, // nodes always sink
-                    Endpoint::Unused => panic!("routing chose an unused port"),
+                    Endpoint::Unused => {
+                        // Can't happen with a correct routing table; record
+                        // instead of panicking and let the stall detector
+                        // surface the wedged flow.
+                        self.oracle.record(
+                            now.as_ps(),
+                            Violation::ResidualState {
+                                what: "route_to_unused_port".into(),
+                                count: u64::from(router),
+                            },
+                        );
+                        false
+                    }
                 };
                 if !has_credit {
                     continue;
@@ -388,7 +451,7 @@ impl RouterNet {
                     Endpoint::Node(n) => {
                         sched.schedule_at(now + hop + ser, Ev::Deliver { pkt, node: n.0 });
                     }
-                    Endpoint::Unused => unreachable!(),
+                    Endpoint::Unused => {} // filtered by has_credit above
                 }
                 granted = true;
                 break;
@@ -407,7 +470,98 @@ impl RouterNet {
 
     /// Finalizes the run.
     pub fn into_report(self, end: Time) -> LatencyReport {
-        self.metrics.report(end)
+        let mut r = self.metrics.report(end);
+        r.oracle = self.oracle.summary();
+        r
+    }
+
+    /// Periodic oracle tick from the engine's observer hook: the number
+    /// of packets still owed a terminal outcome feeds the stuck-flow
+    /// detector. Returns `true` when the run should abort.
+    fn oracle_tick(&mut self, now: Time) -> bool {
+        let outstanding = self
+            .metrics
+            .generated()
+            .saturating_sub(self.metrics.delivered())
+            .saturating_sub(self.metrics.abandoned());
+        self.oracle.check_stall(now.as_ps(), outstanding)
+    }
+
+    /// Release-build drain audit: with the event queue empty every packet
+    /// must have a terminal outcome, every queue must be empty, and every
+    /// credit counter must be back at capacity — including after
+    /// kill/revive cycles, because kills flush queues with upstream
+    /// refunds and credits keep returning to dead routers.
+    fn oracle_check_drained(&mut self, end: Time) {
+        let at = end.as_ps();
+        let generated = self.metrics.generated();
+        let delivered = self.metrics.delivered();
+        let abandoned = self.metrics.abandoned();
+        if generated != delivered + abandoned {
+            self.oracle.record(
+                at,
+                Violation::Conservation {
+                    generated,
+                    delivered,
+                    abandoned,
+                    stranded: generated
+                        .saturating_sub(delivered)
+                        .saturating_sub(abandoned),
+                },
+            );
+        }
+        let cap = self.vc_cap;
+        for (r, router) in self.routers.iter().enumerate() {
+            let queued: u64 = router.queues.iter().map(|q| q.len() as u64).sum();
+            if queued > 0 {
+                self.oracle.record(
+                    at,
+                    Violation::ResidualState {
+                        what: format!("router[{r}].queues"),
+                        count: queued,
+                    },
+                );
+            }
+            for (idx, &c) in router.credits.iter().enumerate() {
+                if c != cap {
+                    self.oracle.record(
+                        at,
+                        Violation::CreditLeak {
+                            element: "router".into(),
+                            index: r as u32,
+                            port: idx as u32,
+                            credits: c,
+                            cap,
+                        },
+                    );
+                }
+            }
+        }
+        for (n, nic) in self.nics.iter().enumerate() {
+            if !nic.queue.is_empty() {
+                self.oracle.record(
+                    at,
+                    Violation::ResidualState {
+                        what: format!("nic[{n}].queue"),
+                        count: nic.queue.len() as u64,
+                    },
+                );
+            }
+            for (vc, &c) in nic.credits.iter().enumerate() {
+                if c != cap {
+                    self.oracle.record(
+                        at,
+                        Violation::CreditLeak {
+                            element: "nic".into(),
+                            index: n as u32,
+                            port: vc as u32,
+                            credits: c,
+                            cap,
+                        },
+                    );
+                }
+            }
+        }
     }
 }
 
@@ -480,6 +634,9 @@ impl Model for RouterNet {
                 if self.is_down(router) {
                     self.metrics.on_forward_attempt(true);
                     self.metrics.on_abandoned(now);
+                    self.oracle
+                        .note(now.as_ps(), "drop:dead", u64::from(pkt), u64::from(router));
+                    self.oracle.progress(now.as_ps());
                     self.refund_credit(now, router, port, vc, sched);
                     return;
                 }
@@ -501,6 +658,20 @@ impl Model for RouterNet {
                 self.packets[pkt as usize].decision = decision;
                 let qi = self.qidx(port, vc);
                 self.routers[router as usize].queues[qi].push_back(pkt);
+                // Credit flow control bounds every input queue by the VC
+                // capacity; growth past it means a credit was minted.
+                let len = self.routers[router as usize].queues[qi].len() as u64;
+                if len > u64::from(self.vc_cap) {
+                    self.oracle.record(
+                        now.as_ps(),
+                        Violation::QueueOverflow {
+                            router,
+                            queue: qi as u32,
+                            len,
+                            bound: u64::from(self.vc_cap),
+                        },
+                    );
+                }
                 self.routers[router as usize].out_pending[decision.0 as usize] += 1;
                 self.metrics.on_forward_attempt(false);
                 self.schedule_arb(router, now, sched);
@@ -513,29 +684,84 @@ impl Model for RouterNet {
                 self.arbitrate(now, router, sched);
             }
             Ev::Credit { router, port, vc } => {
+                let cap = self.vc_cap;
                 if router == u32::MAX {
                     let node = port;
-                    self.nics[node as usize].credits[vc as usize] += 1;
-                    if !self.nics[node as usize].queue.is_empty() {
+                    match self
+                        .nics
+                        .get_mut(node as usize)
+                        .and_then(|n| n.credits.get_mut(vc as usize))
+                    {
+                        Some(c) if *c < cap => *c += 1,
+                        Some(c) => {
+                            // A credit beyond capacity was minted somewhere:
+                            // cap it (keeps the run live) and report.
+                            let credits = c.saturating_add(1);
+                            self.oracle.record(
+                                now.as_ps(),
+                                Violation::CreditOverflow {
+                                    router: u32::MAX,
+                                    port: node,
+                                    credits,
+                                    cap,
+                                },
+                            );
+                        }
+                        None => self.oracle.record(
+                            now.as_ps(),
+                            Violation::CounterUnderflow {
+                                counter: "nic_credit_target".into(),
+                            },
+                        ),
+                    }
+                    if self
+                        .nics
+                        .get(node as usize)
+                        .is_some_and(|n| !n.queue.is_empty())
+                    {
                         self.schedule_nic(node, now, sched);
                     }
                 } else {
                     let idx = self.qidx(port, vc);
-                    let r = &mut self.routers[router as usize];
-                    r.credits[idx] += 1;
-                    debug_assert!(r.credits[idx] <= self.vc_cap);
+                    match self
+                        .routers
+                        .get_mut(router as usize)
+                        .and_then(|r| r.credits.get_mut(idx))
+                    {
+                        Some(c) if *c < cap => *c += 1,
+                        Some(c) => {
+                            let credits = c.saturating_add(1);
+                            self.oracle.record(
+                                now.as_ps(),
+                                Violation::CreditOverflow {
+                                    router,
+                                    port,
+                                    credits,
+                                    cap,
+                                },
+                            );
+                        }
+                        None => self.oracle.record(
+                            now.as_ps(),
+                            Violation::CounterUnderflow {
+                                counter: "router_credit_target".into(),
+                            },
+                        ),
+                    }
                     self.schedule_arb(router, now, sched);
                 }
             }
             Ev::Deliver { pkt, node } => {
                 let latency = now.since(self.packets[pkt as usize].generated_at);
                 self.metrics.on_delivered(latency, now);
+                self.oracle.progress(now.as_ps());
                 let out = self.driver.delivered(node, now.as_ps());
                 self.apply_driver_output(now, node, out, sched);
             }
             Ev::Fault(idx) => {
                 if let Some(ev) = self.plan.events.get(idx as usize).copied() {
                     self.apply_fault(now, ev.kind, sched);
+                    self.oracle.note(now.as_ps(), "fault", u64::from(idx), 0);
                 }
             }
         }
@@ -580,12 +806,56 @@ pub fn simulate_plan(
     horizon_ns: Option<u64>,
     plan: &FaultPlan,
 ) -> LatencyReport {
+    simulate_chaos(
+        graph,
+        alg,
+        link,
+        rp,
+        driver,
+        seed,
+        horizon_ns,
+        plan,
+        OracleConfig::default(),
+    )
+}
+
+/// [`simulate_plan`] with an explicit [`OracleConfig`] (the chaos
+/// experiment tightens the stall deadline).
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_chaos(
+    graph: RouterGraph,
+    alg: RoutingAlg,
+    link: LinkParams,
+    rp: RouterParams,
+    driver: Driver,
+    seed: u64,
+    horizon_ns: Option<u64>,
+    plan: &FaultPlan,
+    oracle_cfg: OracleConfig,
+) -> LatencyReport {
     let total = driver.total_to_send();
     let nodes = driver.nodes().max(1);
     let sample_cap = (total.min(2_000_000)) as usize + 16;
     let mut model = RouterNet::new(graph, alg, link, rp, driver, seed, sample_cap);
+    model.oracle = Oracle::new(oracle_cfg);
     if !plan.is_empty() {
-        model.metrics = Collector::with_epochs(sample_cap, plan.epoch_boundaries());
+        let repairs = plan.repair_times();
+        let recovery = match (
+            repairs.is_empty(),
+            plan.events.iter().map(|e| e.at_ps).min(),
+        ) {
+            (false, Some(first_fault_ps)) => Some(RecoverySpec {
+                // 1 us bins resolve recovery on CI-scale runs while a
+                // 1 M-bin cap keeps long sweeps bounded.
+                bin_ps: 1_000_000,
+                frac: 0.5,
+                first_fault_ps,
+                repairs_ps: repairs,
+            }),
+            _ => None,
+        };
+        model.metrics = Collector::with_recovery(sample_cap, plan.epoch_boundaries(), recovery);
+        model.oracle.set_boundaries(plan.epoch_boundaries());
         model.plan = plan.clone();
     }
     let initial_driver: Vec<(u32, u64)> = model.driver.initial();
@@ -602,9 +872,15 @@ pub fn simulate_plan(
         let per_node = total / u64::from(nodes) + 1;
         100 * per_node * link.packet_time().as_ps() / 1_000 + 50_000_000
     }));
-    sim.run_until(horizon, u64::MAX);
+    // Deterministic event-count cadence for the stuck-flow detector; a
+    // latched stall aborts instead of burning the horizon.
+    let stop = sim.run_until_observed(horizon, u64::MAX, 8192, |m, now| !m.oracle_tick(now));
     let end = sim.scheduler().now();
-    sim.into_model().into_report(end)
+    let mut model = sim.into_model();
+    if stop == baldur_sim::StopReason::Drained {
+        model.oracle_check_drained(end);
+    }
+    model.into_report(end)
 }
 
 #[cfg(test)]
@@ -799,6 +1075,106 @@ mod tests {
             r.delivered + r.abandoned,
             r.generated,
             "every packet must be delivered or counted lost"
+        );
+    }
+
+    /// Runs a fat-tree load to drain under `plan` and hands back the
+    /// final model so tests can inspect private credit/queue state.
+    fn run_to_drain(plan: &FaultPlan) -> RouterNet {
+        let ft = FatTree::new(4);
+        let g = ft.build_graph(10_000, 50_000, 100_000);
+        let d = Driver::open_loop(16, Pattern::RandomPermutation, 0.3, 30, &link(), 21);
+        let mut model = RouterNet::new(
+            g,
+            RoutingAlg::FatTree(ft),
+            link(),
+            RouterParams::paper(),
+            d,
+            21,
+            4096,
+        );
+        model.plan = plan.clone();
+        let initial = model.driver.initial();
+        let mut sim = Simulation::new(model);
+        for (node, t) in initial {
+            sim.scheduler_mut()
+                .schedule_at(Time::from_ps(t), Ev::Wake(node));
+        }
+        for (idx, ev) in plan.events.iter().enumerate() {
+            sim.scheduler_mut()
+                .schedule_at(Time::from_ps(ev.at_ps), Ev::Fault(idx as u32));
+        }
+        let stop = sim.run_until(Time::from_ns(500_000_000), u64::MAX);
+        assert_eq!(stop, baldur_sim::StopReason::Drained, "load must drain");
+        sim.into_model()
+    }
+
+    #[test]
+    fn matched_plan_restores_router_state_byte_identically() {
+        // Two routers go down mid-run and come back; at drain, health,
+        // every credit counter, and every queue must match a run that
+        // never saw a fault — repair is exact, not approximate.
+        let plan = FaultPlan::new(77)
+            .outage(2_000_000, 3_000_000, FaultKind::RouterDown { router: 2 })
+            .outage(4_000_000, 2_500_000, FaultKind::RouterDown { router: 7 });
+        let mut faulted = run_to_drain(&plan);
+        let fresh = run_to_drain(&FaultPlan::new(77));
+        assert!(!faulted.any_router_down);
+        assert_eq!(faulted.router_down, fresh.router_down);
+        for (a, b) in faulted.routers.iter().zip(fresh.routers.iter()) {
+            assert_eq!(a.credits, b.credits, "router credit state must match");
+            assert!(a.queues.iter().all(|q| q.is_empty()));
+            assert_eq!(a.out_pending, b.out_pending);
+        }
+        for (a, b) in faulted.nics.iter().zip(fresh.nics.iter()) {
+            assert_eq!(a.credits, b.credits, "NIC credit state must match");
+            assert!(a.queue.is_empty());
+        }
+        // The release drain audit agrees nothing leaked.
+        faulted.oracle_check_drained(Time::from_ns(500_000_000));
+        assert!(
+            faulted.oracle.is_clean(),
+            "oracle: {:?}",
+            faulted.oracle.summary()
+        );
+    }
+
+    #[test]
+    fn chaos_router_plan_drains_clean_with_recovery_metrics() {
+        use crate::faults::{ChaosProfile, ChaosShape};
+        let shape = ChaosShape {
+            stages: 0,
+            width: 0,
+            m: 0,
+            nodes: 16,
+            routers: 8,
+        };
+        let profile = ChaosProfile {
+            warmup_ps: 2_000_000,
+            last_repair_ps: 30_000_000,
+            pairs: 4,
+        };
+        let plan = FaultPlan::chaos(33, &shape, &profile);
+        let ft = FatTree::new(4);
+        let g = ft.build_graph(10_000, 50_000, 100_000);
+        let d = Driver::open_loop(16, Pattern::RandomPermutation, 0.3, 40, &link(), 33);
+        let r = simulate_chaos(
+            g,
+            RoutingAlg::FatTree(ft),
+            link(),
+            RouterParams::paper(),
+            d,
+            33,
+            None,
+            &plan,
+            OracleConfig::default(),
+        );
+        assert!(r.oracle.is_clean(), "oracle: {:?}", r.oracle);
+        assert_eq!(r.delivered + r.abandoned, r.generated, "conservation");
+        assert_eq!(
+            r.recoveries.len(),
+            plan.repair_times().len(),
+            "one recovery measurement per repair event"
         );
     }
 

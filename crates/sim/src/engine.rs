@@ -226,6 +226,10 @@ pub enum StopReason {
     Horizon,
     /// The event-count budget was exhausted.
     Budget,
+    /// The [`Simulation::run_until_observed`] observer asked to stop
+    /// (e.g. a runtime oracle detected livelock — continuing would only
+    /// spin to the horizon).
+    Stopped,
 }
 
 impl<M: Model> Simulation<M> {
@@ -297,7 +301,29 @@ impl<M: Model> Simulation<M> {
     /// Runs until the queue drains, `horizon` is passed, or `max_events`
     /// events have executed in this call.
     pub fn run_until(&mut self, horizon: Time, max_events: u64) -> StopReason {
+        self.run_until_observed(horizon, max_events, u64::MAX, |_, _| true)
+    }
+
+    /// [`Simulation::run_until`] with a periodic observation hook: after
+    /// every `every` events executed in this call, `observe` sees the
+    /// model and the clock. Returning `false` stops the run
+    /// ([`StopReason::Stopped`]).
+    ///
+    /// This is how release-mode runtime oracles (stuck-flow watermarks,
+    /// invariant sweeps) get scheduled without an event-queue presence:
+    /// the cadence is in executed events, not simulated time, so the
+    /// hook is deterministic — the same run observes at the same points
+    /// regardless of wall clock, thread count, or queue backend.
+    pub fn run_until_observed(
+        &mut self,
+        horizon: Time,
+        max_events: u64,
+        every: u64,
+        mut observe: impl FnMut(&mut M, Time) -> bool,
+    ) -> StopReason {
         let mut budget = max_events;
+        let every = every.max(1);
+        let mut until_observe = every;
         loop {
             match self.sched.peek_time() {
                 None => return StopReason::Drained,
@@ -309,6 +335,13 @@ impl<M: Model> Simulation<M> {
             }
             budget -= 1;
             self.step();
+            until_observe -= 1;
+            if until_observe == 0 {
+                until_observe = every;
+                if !observe(&mut self.model, self.sched.now()) {
+                    return StopReason::Stopped;
+                }
+            }
         }
     }
 }
@@ -376,6 +409,29 @@ mod tests {
         let r = sim.run_until(Time::MAX, 7);
         assert_eq!(r, StopReason::Budget);
         assert_eq!(sim.scheduler().events_executed(), 7);
+    }
+
+    #[test]
+    fn observer_fires_on_cadence_and_can_stop() {
+        struct Ticker;
+        impl Model for Ticker {
+            type Event = ();
+            fn handle(&mut self, _n: Time, _e: (), s: &mut Scheduler<()>) {
+                s.schedule_in(Duration::from_ns(1), ());
+            }
+        }
+        let mut sim = Simulation::new(Ticker);
+        sim.scheduler_mut().schedule_at(Time::ZERO, ());
+        let mut seen: Vec<u64> = Vec::new();
+        let r = sim.run_until_observed(Time::MAX, u64::MAX, 3, |_, now| {
+            seen.push(now.as_ps());
+            seen.len() < 2
+        });
+        assert_eq!(r, StopReason::Stopped);
+        // Observed after events 3 and 6 (t = 2 ns and 5 ns: the first
+        // event runs at t=0).
+        assert_eq!(sim.scheduler().events_executed(), 6);
+        assert_eq!(seen, vec![2_000, 5_000]);
     }
 
     #[test]

@@ -90,6 +90,14 @@ fn golden_faults_csv() {
 }
 
 #[test]
+fn golden_chaos_csv() {
+    // Two seeded fail/repair schedules per network: pins the chaos
+    // schedule generator, the oracle summary, and the recovery metrics.
+    let rows = experiments::chaos(&tiny(), 2, 3);
+    check("chaos.csv", &baldur::csv::chaos(&rows));
+}
+
+#[test]
 fn golden_table5_csv() {
     let rows = experiments::table_v(&tiny());
     check("table5.csv", &baldur::csv::table5(&rows));
