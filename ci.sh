@@ -18,6 +18,8 @@ if [ "${1:-}" = "--bless" ]; then
     BALDUR_BLESS=1 cargo test -q --test registry_suite experiments_md_table_matches_registry
     echo "=== blessing the lint report snapshot (results/golden/lint.json)"
     BALDUR_BLESS=1 cargo test -q --test lint_wall lint_json_snapshot_is_fresh
+    echo "=== blessing the perf work-counter snapshot (results/golden/perf_ops.json)"
+    BALDUR_BLESS=1 cargo test -q --test perf_suite perf_ops_golden_is_fresh
     exit 0
 fi
 
@@ -98,6 +100,12 @@ run_step crash-recovery-smoke cargo test -q --test crash_recovery
 # oracle on; asserts zero violations, byte-identical repeat runs, and the
 # recovery-time bound, and prints a minimized reproduction on failure.
 run_step chaos-smoke cargo run --release -p baldur-bench --bin chaos -- --smoke
+# Perf smoke: the hot-path benchmark workloads re-run their exact work
+# counters (events popped, symbols coded, packets delivered) and gate
+# them against results/golden/perf_ops.json — byte-identical at one
+# worker thread and at eight; wall-clock numbers stay advisory.
+run_step perf-smoke-1t env BALDUR_THREADS=1 cargo run --release -p baldur-bench --bin perf -- --smoke
+run_step perf-smoke-8t env BALDUR_THREADS=8 cargo run --release -p baldur-bench --bin perf -- --smoke
 
 write_summary
 echo "=== OK (summary: ${summary})"

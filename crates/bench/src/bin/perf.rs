@@ -1,0 +1,6 @@
+//! Hot-path microbenchmarks: exact work counters, wall-clock
+//! statistics, and the `BENCH_8.json` perf-trajectory artifact.
+
+fn main() {
+    baldur_bench::registry_main("perf")
+}

@@ -37,6 +37,7 @@
 //! the sweep's drop-failed-rows semantics).
 
 pub mod cli;
+pub mod perf;
 pub mod runner;
 pub mod timing;
 

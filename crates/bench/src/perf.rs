@@ -1,0 +1,201 @@
+//! The wall-clock side of the perf subsystem.
+//!
+//! This module is the **only** place in the repository allowed to read
+//! `std::time::Instant` (the repo-wide determinism lint enforces it).
+//! The measurement engine itself lives in `baldur::experiments::perf`,
+//! clock-free; this module supplies the monotonic nanosecond source via
+//! [`baldur::experiments::install_wall_clock`], validates the
+//! `BALDUR_BENCH_SAMPLES` override (a malformed or zero value is a
+//! usage error, exit 2 — not a silent clamp), and hosts the [`Group`]
+//! micro-harness the `benches/` targets use.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use baldur::experiments::{WallStats, MIN_SAMPLES};
+
+/// Default timed samples per benchmark when `BALDUR_BENCH_SAMPLES` is
+/// unset and no `--samples`/`sample_size` override applies.
+pub const DEFAULT_SAMPLES: usize = 10;
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Monotonic nanoseconds since the first call (the process epoch).
+///
+/// This is the function pointer handed to the clock-free measurement
+/// engine; only deltas are ever meaningful.
+pub fn monotonic_ns() -> u64 {
+    let epoch = EPOCH.get_or_init(Instant::now);
+    u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Parses a sample-count override (`BALDUR_BENCH_SAMPLES` or an
+/// explicit harness value).
+///
+/// - `None` → [`DEFAULT_SAMPLES`];
+/// - non-numeric → `Err` (usage error at the caller);
+/// - `0` → `Err` — zero samples would measure nothing, and the old
+///   harness silently clamping it to 3 hid exactly the misconfiguration
+///   the variable exists to express;
+/// - `1`/`2` → clamped up to [`MIN_SAMPLES`] (documented: a median of
+///   fewer than three samples is noise, but the intent is clear).
+pub fn parse_samples(raw: Option<&str>) -> Result<usize, String> {
+    let Some(raw) = raw else {
+        return Ok(DEFAULT_SAMPLES);
+    };
+    let raw = raw.trim();
+    let n: usize = raw
+        .parse()
+        .map_err(|_| format!("BALDUR_BENCH_SAMPLES: `{raw}` is not an unsigned integer"))?;
+    if n == 0 {
+        return Err(
+            "BALDUR_BENCH_SAMPLES: 0 would measure nothing (use >= 1; values below 3 clamp to 3)"
+                .to_string(),
+        );
+    }
+    Ok(n.max(MIN_SAMPLES))
+}
+
+/// Reads and validates `BALDUR_BENCH_SAMPLES` from the environment.
+/// `Ok(None)` when unset, `Ok(Some(n))` when valid, `Err` when set but
+/// malformed or zero.
+pub fn samples_from_env() -> Result<Option<usize>, String> {
+    match std::env::var("BALDUR_BENCH_SAMPLES") {
+        Ok(v) => parse_samples(Some(&v)).map(Some),
+        Err(_) => Ok(None),
+    }
+}
+
+/// Arms the clock-free measurement engine for a bench-binary run:
+/// installs [`monotonic_ns`] as the wall-clock source and forwards a
+/// validated `BALDUR_BENCH_SAMPLES` override. A malformed override is a
+/// usage error (exit 2) — before any work runs.
+pub fn install_for_registry() {
+    baldur::experiments::install_wall_clock(monotonic_ns);
+    match samples_from_env() {
+        Ok(Some(n)) => baldur::experiments::override_samples(n),
+        Ok(None) => {}
+        Err(msg) => crate::cli::usage_error(&msg),
+    }
+}
+
+/// A named benchmark group printing one line per measured function.
+///
+/// The `benches/` targets use this plain harness (the build environment
+/// has no `criterion`): a fixed warmup, `samples` timed runs, and a
+/// robust median/min/MAD report with outlier rejection (shared with the
+/// registry's `perf` experiment via [`WallStats`]).
+pub struct Group {
+    name: String,
+    samples: usize,
+    warmup: usize,
+}
+
+impl Group {
+    /// Creates a group. The sample count comes from
+    /// `BALDUR_BENCH_SAMPLES` when set (malformed or zero values are a
+    /// usage error, exit 2), else [`DEFAULT_SAMPLES`].
+    pub fn new(name: &str) -> Self {
+        let samples = match samples_from_env() {
+            Ok(n) => n.unwrap_or(DEFAULT_SAMPLES),
+            Err(msg) => crate::cli::usage_error(&msg),
+        };
+        Group {
+            name: name.to_string(),
+            samples,
+            warmup: 1,
+        }
+    }
+
+    /// Overrides the per-benchmark sample count (clamped to
+    /// [`MIN_SAMPLES`]). The environment override wins: an explicit
+    /// `BALDUR_BENCH_SAMPLES` is the operator speaking.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        match samples_from_env() {
+            Ok(Some(_)) => {} // operator override outranks the harness default
+            Ok(None) => self.samples = samples.max(MIN_SAMPLES),
+            Err(msg) => crate::cli::usage_error(&msg),
+        }
+        self
+    }
+
+    /// Times `f` and prints `group/name: median (min .., mad ..)`. The
+    /// closure's return value is consumed with [`std::hint::black_box`]
+    /// so the work is not optimized away.
+    pub fn bench_function<R>(&mut self, name: &str, mut f: impl FnMut() -> R) -> &mut Self {
+        for _ in 0..self.warmup {
+            std::hint::black_box(f());
+        }
+        let mut times_ns: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = monotonic_ns();
+            std::hint::black_box(f());
+            times_ns.push(monotonic_ns().saturating_sub(start) as f64);
+        }
+        let stats = WallStats::from_samples(&times_ns);
+        println!(
+            "{}/{name}: {} (min {} .. mad {}) over {} samples ({} rejected)",
+            self.name,
+            crate::fmt_ns(stats.median_ns),
+            crate::fmt_ns(stats.min_ns),
+            crate::fmt_ns(stats.mad_ns),
+            stats.samples,
+            stats.rejected
+        );
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut g = Group {
+            name: "test".to_string(),
+            samples: DEFAULT_SAMPLES,
+            warmup: 1,
+        };
+        let mut calls = 0u32;
+        g.sample_size(3).bench_function("noop", || {
+            calls += 1;
+            calls
+        });
+        // 1 warmup + 3 samples (no env override in the test harness).
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn monotonic_ns_is_nondecreasing() {
+        let a = monotonic_ns();
+        let b = monotonic_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn parse_samples_default_when_unset() {
+        assert_eq!(parse_samples(None), Ok(DEFAULT_SAMPLES));
+    }
+
+    #[test]
+    fn parse_samples_rejects_zero() {
+        let err = parse_samples(Some("0")).unwrap_err();
+        assert!(err.contains("measure nothing"), "{err}");
+    }
+
+    #[test]
+    fn parse_samples_rejects_garbage() {
+        assert!(parse_samples(Some("many")).is_err());
+        assert!(parse_samples(Some("-3")).is_err());
+        assert!(parse_samples(Some("")).is_err());
+    }
+
+    #[test]
+    fn parse_samples_clamps_tiny_counts_up() {
+        assert_eq!(parse_samples(Some("1")), Ok(MIN_SAMPLES));
+        assert_eq!(parse_samples(Some("2")), Ok(MIN_SAMPLES));
+        assert_eq!(parse_samples(Some("3")), Ok(3));
+        assert_eq!(parse_samples(Some(" 25 ")), Ok(25));
+    }
+}

@@ -98,6 +98,7 @@ fn run_checked(sw: &Sweep, params: &Params, hook: RunHook) -> Output {
 /// by the registry completeness test) or when writing an output file
 /// fails.
 pub fn registry_main(name: &str) {
+    crate::perf::install_for_registry();
     let args = Args::parse();
     if args.flag("list") {
         print!("{}", registry::list_table());
@@ -150,6 +151,7 @@ pub fn registry_main(name: &str) {
 ///
 /// Panics when an output file cannot be written.
 pub fn all_figures_main() {
+    crate::perf::install_for_registry();
     let args = Args::parse();
     if args.flag("list") {
         print!("{}", registry::list_table());

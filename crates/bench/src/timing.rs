@@ -1,84 +1,5 @@
-//! Minimal `std::time::Instant` benchmark harness.
-//!
-//! The build environment has no `criterion`, so the `benches/` targets use
-//! this plain timing loop instead: a fixed warmup, a fixed sample count,
-//! and a median/min/mean report per benchmark. Wall-clock use is confined
-//! to this crate — the determinism wall (`baldur-lint`) forbids it in the
-//! result-producing crates, and benchmarks never feed simulation results.
+//! Back-compat shim: the timing harness moved to [`crate::perf`], the
+//! one module the repo-wide wall-clock lint exempts. The `benches/`
+//! targets keep importing `baldur_bench::timing::Group` unchanged.
 
-use std::time::Instant;
-
-/// A named benchmark group printing one line per measured function.
-pub struct Group {
-    name: String,
-    samples: usize,
-    warmup: usize,
-}
-
-impl Group {
-    /// Creates a group with default sample counts (taken from
-    /// `BALDUR_BENCH_SAMPLES`, default 10, minimum 3).
-    pub fn new(name: &str) -> Self {
-        let samples = std::env::var("BALDUR_BENCH_SAMPLES")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(10usize)
-            .max(3);
-        Group {
-            name: name.to_string(),
-            samples,
-            warmup: 1,
-        }
-    }
-
-    /// Overrides the per-benchmark sample count.
-    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
-        self.samples = samples.max(3);
-        self
-    }
-
-    /// Times `f` and prints `group/name: median (min .. mean)`. The
-    /// closure's return value is consumed with [`std::hint::black_box`] so
-    /// the work is not optimized away.
-    pub fn bench_function<R>(&mut self, name: &str, mut f: impl FnMut() -> R) -> &mut Self {
-        for _ in 0..self.warmup {
-            std::hint::black_box(f());
-        }
-        let mut times_ns: Vec<f64> = Vec::with_capacity(self.samples);
-        for _ in 0..self.samples {
-            let start = Instant::now();
-            std::hint::black_box(f());
-            times_ns.push(start.elapsed().as_nanos() as f64);
-        }
-        times_ns.sort_by(f64::total_cmp);
-        let median = times_ns[times_ns.len() / 2];
-        let min = times_ns[0];
-        let mean = times_ns.iter().sum::<f64>() / times_ns.len() as f64;
-        println!(
-            "{}/{name}: {} (min {} .. mean {}) over {} samples",
-            self.name,
-            crate::fmt_ns(median),
-            crate::fmt_ns(min),
-            crate::fmt_ns(mean),
-            self.samples
-        );
-        self
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn bench_function_runs_and_reports() {
-        let mut g = Group::new("test");
-        let mut calls = 0u32;
-        g.sample_size(3).bench_function("noop", || {
-            calls += 1;
-            calls
-        });
-        // 1 warmup + 3 samples.
-        assert_eq!(calls, 4);
-    }
-}
+pub use crate::perf::Group;

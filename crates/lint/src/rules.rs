@@ -8,7 +8,7 @@
 
 use crate::lexer::Kind;
 use crate::scope::{Scopes, Sig};
-use crate::{Finding, Rule, JOB_PATH_FILES, WALL_CRATES, WALL_FILES};
+use crate::{Finding, Rule, JOB_PATH_FILES, WALL_CLOCK_EXEMPT_FILES, WALL_CRATES, WALL_FILES};
 
 /// Rust keywords, used to tell `ident[expr]` indexing apart from array
 /// patterns/literals after keywords (`let [a, b] = …`, `for x in [1, 2]`).
@@ -76,6 +76,9 @@ pub struct FileCtx<'a> {
     pub crate_name: Option<&'a str>,
     /// Determinism wall applies (wall crate, or an extra wall file).
     pub in_wall: bool,
+    /// Wall-clock reads are banned (repo-wide, minus the injected-clock
+    /// perf harness in [`WALL_CLOCK_EXEMPT_FILES`]).
+    pub clock_scope: bool,
     /// Panic rules apply (library code: not `src/bin/`, not `benches/`).
     pub panic_scope: bool,
     /// File lives in `crates/net`.
@@ -115,6 +118,7 @@ impl<'a> FileCtx<'a> {
             rel,
             crate_name,
             in_wall,
+            clock_scope: !WALL_CLOCK_EXEMPT_FILES.contains(&rel),
             panic_scope,
             net_crate,
             fault_file,
@@ -262,10 +266,13 @@ pub fn run_passes(ctx: FileCtx<'_>, sig: &[Sig<'_>], scopes: &Scopes, out: &mut 
     float_literal_pass(&mut p);
 }
 
-/// Determinism family: wall-clock reads, ambient randomness, environment
+/// Determinism family: wall-clock reads (repo-wide, minus the
+/// injected-clock perf harness), plus ambient randomness, environment
 /// reads, and unordered collections inside the wall.
 fn determinism_pass(p: &mut Pass<'_, '_>) {
-    if !p.ctx.in_wall {
+    let wall = p.ctx.in_wall;
+    let clock = p.ctx.clock_scope;
+    if !wall && !clock {
         return;
     }
     let env_exempt = ENV_HARNESS_FILES.contains(&p.ctx.rel);
@@ -278,28 +285,31 @@ fn determinism_pass(p: &mut Pass<'_, '_>) {
             .fn_name(i)
             .map_or(String::new(), |f| format!(" (in fn `{f}`)"));
         match p.text(i) {
-            "Instant" if p.text(i + 1) == "::" && p.is_ident(i + 2, "now") => {
+            "Instant" if clock && p.text(i + 1) == "::" && p.is_ident(i + 2, "now") => {
                 p.emit(
                     Rule::WallClock,
                     i,
-                    format!("wall-clock read `Instant::now` breaks reproducibility{in_fn}"),
+                    format!(
+                        "wall-clock read `Instant::now` outside the injected-clock \
+                         perf harness{in_fn}"
+                    ),
                 );
             }
-            "SystemTime" => {
+            "SystemTime" if clock => {
                 p.emit(
                     Rule::WallClock,
                     i,
-                    format!("`SystemTime` has no deterministic use in a walled crate{in_fn}"),
+                    format!("`SystemTime` has no place outside the perf harness{in_fn}"),
                 );
             }
-            "thread_rng" => {
+            "thread_rng" if wall => {
                 p.emit(
                     Rule::AmbientRandom,
                     i,
                     format!("ambient randomness `thread_rng`; derive a StreamRng instead{in_fn}"),
                 );
             }
-            "rand" if p.text(i + 1) == "::" && p.is_ident(i + 2, "random") => {
+            "rand" if wall && p.text(i + 1) == "::" && p.is_ident(i + 2, "random") => {
                 p.emit(
                     Rule::AmbientRandom,
                     i,
@@ -307,7 +317,8 @@ fn determinism_pass(p: &mut Pass<'_, '_>) {
                 );
             }
             "env"
-                if !env_exempt
+                if wall
+                    && !env_exempt
                     && p.text(i + 1) == "::"
                     && (p.is_ident(i + 2, "var") || p.is_ident(i + 2, "var_os")) =>
             {
@@ -321,7 +332,7 @@ fn determinism_pass(p: &mut Pass<'_, '_>) {
                     ),
                 );
             }
-            t @ ("HashMap" | "HashSet") => {
+            t @ ("HashMap" | "HashSet") if wall => {
                 p.emit(
                     Rule::UnorderedCollection,
                     i,

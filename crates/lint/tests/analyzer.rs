@@ -73,11 +73,37 @@ fn seeded_violations_are_found_with_file_and_line() {
 }
 
 #[test]
-fn wall_rules_do_not_apply_outside_wall_crates() {
+fn wall_clock_applies_repo_wide_but_other_wall_rules_do_not() {
+    // The wall-clock rule is repo-wide: a non-wall crate reading
+    // `Instant::now` is a violation (only crates/bench/src/perf.rs is
+    // exempt)...
     let repo = TempRepo::new("lint-nonwall");
     repo.write(
         "crates/power/src/lib.rs",
         "pub fn now() -> std::time::Instant { std::time::Instant::now() }\n",
+    );
+    let outcome = baldur_lint::lint_repo(&repo.root).expect("lint runs");
+    assert!(!outcome.is_clean());
+    assert!(outcome
+        .report
+        .violations
+        .iter()
+        .all(|f| f.rule == "wall-clock"));
+
+    // ...while the rest of the determinism family stays wall-scoped.
+    let repo = TempRepo::new("lint-nonwall-hash");
+    repo.write(
+        "crates/power/src/lib.rs",
+        "pub fn f() -> HashMap<u32, u32> { std::env::var(\"X\").ok(); HashMap::new() }\n",
+    );
+    let outcome = baldur_lint::lint_repo(&repo.root).expect("lint runs");
+    assert!(outcome.is_clean(), "{:?}", outcome.report.violations);
+
+    // The perf harness is the one sanctioned clock reader.
+    let repo = TempRepo::new("lint-perf-exempt");
+    repo.write(
+        "crates/bench/src/perf.rs",
+        "pub fn now_ns() -> u64 { let _ = std::time::Instant::now(); 0 }\n",
     );
     let outcome = baldur_lint::lint_repo(&repo.root).expect("lint runs");
     assert!(outcome.is_clean(), "{:?}", outcome.report.violations);

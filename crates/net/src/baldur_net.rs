@@ -993,11 +993,14 @@ fn simulate_impl(
         sim.model().debug_validate_drained();
     }
     let end = sim.scheduler().now();
+    let events = sim.scheduler().events_executed();
     let mut model = sim.into_model();
     if stop == baldur_sim::StopReason::Drained {
         model.oracle_check_drained(end);
     }
-    model.into_report(end)
+    let mut report = model.into_report(end);
+    report.events = events;
+    report
 }
 
 #[cfg(test)]

@@ -89,7 +89,10 @@ pub fn simulate(driver: Driver, latency_ns: Option<u64>) -> LatencyReport {
     }
     sim.run();
     let end = sim.scheduler().now();
-    sim.into_model().metrics.report(end)
+    let events = sim.scheduler().events_executed();
+    let mut report = sim.into_model().metrics.report(end);
+    report.events = events;
+    report
 }
 
 #[cfg(test)]

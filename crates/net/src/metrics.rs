@@ -345,6 +345,9 @@ impl Collector {
             laser_losses: self.laser_losses,
             max_retx_buffer_bytes: self.max_retx_buffer_bytes,
             sim_end_ns: sim_end.as_ns_f64(),
+            // The collector never sees the scheduler; each simulator
+            // overwrites this with `events_executed()` before returning.
+            events: 0,
             stranded: self
                 .generated
                 .saturating_sub(self.delivered)
@@ -447,6 +450,11 @@ pub struct LatencyReport {
     pub max_retx_buffer_bytes: u64,
     /// Simulated time at the last delivery, ns.
     pub sim_end_ns: f64,
+    /// Discrete events executed by the simulation kernel over the whole
+    /// run — a deterministic, machine-independent work count (identical
+    /// for identical configs at any thread count). The perf harness
+    /// gates on this instead of trusting the wall clock.
+    pub events: u64,
     /// Packets with no terminal outcome at the end of the run:
     /// `generated - delivered - abandoned`. Zero whenever the run
     /// drained; nonzero means the horizon (or a stuck-flow abort) cut

@@ -876,11 +876,14 @@ pub fn simulate_chaos(
     // latched stall aborts instead of burning the horizon.
     let stop = sim.run_until_observed(horizon, u64::MAX, 8192, |m, now| !m.oracle_tick(now));
     let end = sim.scheduler().now();
+    let events = sim.scheduler().events_executed();
     let mut model = sim.into_model();
     if stop == baldur_sim::StopReason::Drained {
         model.oracle_check_drained(end);
     }
-    model.into_report(end)
+    let mut report = model.into_report(end);
+    report.events = events;
+    report
 }
 
 #[cfg(test)]

@@ -198,21 +198,302 @@ pub const VALID_CONTROL: [u8; 12] = [
 /// The comma character K.28.5, used as a packet delimiter in our tests.
 pub const K28_5: u8 = 0xBC;
 
-fn six_disparity(code: u8) -> i8 {
+const fn six_disparity(code: u8) -> i8 {
     (code & 0x3F).count_ones() as i8 * 2 - 6
 }
 
-fn four_disparity(code: u8) -> i8 {
+const fn four_disparity(code: u8) -> i8 {
     (code & 0x0F).count_ones() as i8 * 2 - 4
 }
 
-fn complement6(code: u8) -> u8 {
+const fn complement6(code: u8) -> u8 {
     !code & 0x3F
 }
 
-fn complement4(code: u8) -> u8 {
+const fn complement4(code: u8) -> u8 {
     !code & 0x0F
 }
+
+// ---------------------------------------------------------------------------
+// Table-driven fast path.
+//
+// `encode_data` and `decode` are the hottest per-symbol operations in the
+// repo (every simulated packet body flows through them), and the original
+// implementations recomputed the sub-block selection — including linear
+// scans of the 5b/6b and 3b/4b tables on decode — on every call. Since a
+// stateful codec step is a pure function of (running disparity, input),
+// the whole step is precomputed here into compile-time tables: 2×256
+// entries for the encoder, 2×1024 for the decoder (~9 KiB total). The
+// const builders below replicate the branchy reference implementations,
+// which are retained as `encode_data_baseline`/`decode_baseline` — they
+// serve as the perf baseline for BENCH_8.json deltas and as the oracle
+// for the exhaustive equivalence tests in this module.
+
+/// One precomputed encoder step: the emitted group and the RD it leaves.
+#[derive(Clone, Copy)]
+struct EncEntry {
+    code: u16,
+    rd_pos: bool,
+}
+
+/// One precomputed decoder step. `sym` packs the outcome: the high nibble
+/// tags the variant ([`DEC_DATA`] &c.), the low byte carries the payload
+/// (octet or offending sub-block). `rd_pos` is the RD after the step —
+/// equal to the input RD for error entries, which never advance state.
+#[derive(Clone, Copy)]
+struct DecEntry {
+    sym: u16,
+    rd_pos: bool,
+}
+
+const DEC_DATA: u16 = 0x000;
+const DEC_CTRL: u16 = 0x100;
+const DEC_BAD6: u16 = 0x200;
+const DEC_BAD4: u16 = 0x300;
+const DEC_RDVIOL: u16 = 0x400;
+
+/// RD stepping shared by the const builders: applies one sub-block's
+/// disparity `d` to the current RD. Returns 0 (RD−), 1 (RD+), or −1 for
+/// a running-disparity violation.
+const fn rd_after(d: i8, rd_pos: bool) -> i8 {
+    if d == 0 {
+        rd_pos as i8
+    } else if d == 2 && !rd_pos {
+        1
+    } else if d == -2 && rd_pos {
+        0
+    } else {
+        -1
+    }
+}
+
+/// Const replica of [`Encoder::encode_data_baseline`]: `(RD, byte)` →
+/// `(code, RD′)`, with RD as a bool (`true` = RD+).
+const fn encode_data_step(rd_pos: bool, byte: u8) -> (u16, bool) {
+    let x = (byte & 0x1F) as usize; // EDCBA
+    let y = (byte >> 5) as usize; // HGF
+
+    let six_neg = FIVE_SIX_NEG[x];
+    let six = if six_disparity(six_neg) == 0 {
+        // Balanced, but D.07 alternates by rule.
+        if x == 7 && rd_pos {
+            complement6(six_neg)
+        } else {
+            six_neg
+        }
+    } else if rd_pos {
+        complement6(six_neg)
+    } else {
+        six_neg
+    };
+    let mut rd = rd_pos;
+    if six_disparity(six) != 0 {
+        rd = !rd;
+    }
+
+    // 3b/4b sub-block; pick A7 where P7 would create a run of five.
+    let four = if y == 7 {
+        let use_a7 = if rd {
+            x == 11 || x == 13 || x == 14
+        } else {
+            x == 17 || x == 18 || x == 20
+        };
+        let neg = if use_a7 { A7_NEG } else { THREE_FOUR_NEG[7] };
+        if rd {
+            complement4(neg)
+        } else {
+            neg
+        }
+    } else {
+        let neg = THREE_FOUR_NEG[y];
+        if four_disparity(neg) == 0 {
+            // D.x.3 (1100) alternates: transmitted as 0011 at RD+.
+            if y == 3 && rd {
+                complement4(neg)
+            } else {
+                neg
+            }
+        } else if rd {
+            complement4(neg)
+        } else {
+            neg
+        }
+    };
+    if four_disparity(four) != 0 {
+        rd = !rd;
+    }
+    (((six as u16) << 4) | four as u16, rd)
+}
+
+/// Const replica of the reference 5b/6b reverse scan ([`decode_six`]);
+/// −1 for an unrecognized block.
+const fn decode_six_step(six: u8) -> i16 {
+    let mut x = 0;
+    while x < 32 {
+        let neg = FIVE_SIX_NEG[x];
+        if six == neg {
+            return x as i16;
+        }
+        if (six_disparity(neg) != 0 || x == 7) && six == complement6(neg) {
+            return x as i16;
+        }
+        x += 1;
+    }
+    -1
+}
+
+/// Const replica of [`decode_four`]; −1 for an unrecognized block.
+const fn decode_four_step(four: u8) -> i16 {
+    if four == A7_NEG || four == complement4(A7_NEG) {
+        return 7;
+    }
+    let mut y = 0;
+    while y < 8 {
+        let neg = THREE_FOUR_NEG[y];
+        if four == neg {
+            return y as i16;
+        }
+        if (four_disparity(neg) != 0 || y == 3) && four == complement4(neg) {
+            return y as i16;
+        }
+        y += 1;
+    }
+    -1
+}
+
+/// Const replica of [`decode_k_four`]; −1 for an unrecognized block.
+const fn decode_k_four_step(four: u8, rd_mid_pos: bool) -> i16 {
+    let mut y = 0;
+    while y < 8 {
+        let neg = K_THREE_FOUR_NEG[y];
+        let expected = if rd_mid_pos { complement4(neg) } else { neg };
+        if four == expected {
+            return y as i16;
+        }
+        y += 1;
+    }
+    -1
+}
+
+/// Const replica of [`Decoder::decode_baseline`], preserving its exact
+/// error precedence (invalid 6b → 6b disparity → invalid 4b → 4b
+/// disparity) so the equivalence test can compare all 2×1024 cells.
+const fn decode_step(rd_pos: bool, code: u16) -> DecEntry {
+    let six = ((code >> 4) & 0x3F) as u8;
+    let four = (code & 0x0F) as u8;
+
+    let is_k28 = six == K28_SIX_NEG || six == complement6(K28_SIX_NEG);
+    let data_x = decode_six_step(six);
+    if !is_k28 && data_x < 0 {
+        return DecEntry {
+            sym: DEC_BAD6 | six as u16,
+            rd_pos,
+        };
+    }
+
+    let rd_mid = rd_after(six_disparity(six), rd_pos);
+    if rd_mid < 0 {
+        return DecEntry {
+            sym: DEC_RDVIOL,
+            rd_pos,
+        };
+    }
+    let rd_mid_pos = rd_mid == 1;
+    let rd_fin = rd_after(four_disparity(four), rd_mid_pos);
+
+    if is_k28 {
+        let y = decode_k_four_step(four, rd_mid_pos);
+        if y < 0 {
+            return DecEntry {
+                sym: DEC_BAD4 | four as u16,
+                rd_pos,
+            };
+        }
+        if rd_fin < 0 {
+            return DecEntry {
+                sym: DEC_RDVIOL,
+                rd_pos,
+            };
+        }
+        return DecEntry {
+            sym: DEC_CTRL | ((y as u16) << 5) | 28,
+            rd_pos: rd_fin == 1,
+        };
+    }
+
+    let x = data_x as u16;
+    if (x == 23 || x == 27 || x == 29 || x == 30) && (four == A7_NEG || four == complement4(A7_NEG))
+    {
+        if rd_fin < 0 {
+            return DecEntry {
+                sym: DEC_RDVIOL,
+                rd_pos,
+            };
+        }
+        return DecEntry {
+            sym: DEC_CTRL | (7 << 5) | x,
+            rd_pos: rd_fin == 1,
+        };
+    }
+    let y = decode_four_step(four);
+    if y < 0 {
+        return DecEntry {
+            sym: DEC_BAD4 | four as u16,
+            rd_pos,
+        };
+    }
+    if rd_fin < 0 {
+        return DecEntry {
+            sym: DEC_RDVIOL,
+            rd_pos,
+        };
+    }
+    DecEntry {
+        sym: DEC_DATA | ((y as u16) << 5) | x,
+        rd_pos: rd_fin == 1,
+    }
+}
+
+const fn build_enc_lut() -> [[EncEntry; 256]; 2] {
+    let mut t = [[EncEntry {
+        code: 0,
+        rd_pos: false,
+    }; 256]; 2];
+    let mut rd = 0;
+    while rd < 2 {
+        let mut b = 0;
+        while b < 256 {
+            let (code, rd_pos) = encode_data_step(rd == 1, b as u8);
+            t[rd][b] = EncEntry { code, rd_pos };
+            b += 1;
+        }
+        rd += 1;
+    }
+    t
+}
+
+const fn build_dec_lut() -> [[DecEntry; 1024]; 2] {
+    let mut t = [[DecEntry {
+        sym: 0,
+        rd_pos: false,
+    }; 1024]; 2];
+    let mut rd = 0;
+    while rd < 2 {
+        let mut c = 0;
+        while c < 1024 {
+            t[rd][c] = decode_step(rd == 1, c as u16);
+            c += 1;
+        }
+        rd += 1;
+    }
+    t
+}
+
+/// Indexed `[RD][byte]`; RD− is row 0.
+static ENC_LUT: [[EncEntry; 256]; 2] = build_enc_lut();
+
+/// Indexed `[RD][code & 0x3FF]`; RD− is row 0.
+static DEC_LUT: [[DecEntry; 1024]; 2] = build_dec_lut();
 
 /// Stateful 8b/10b encoder tracking running disparity.
 #[derive(Debug, Clone)]
@@ -234,7 +515,25 @@ impl Encoder {
     }
 
     /// Encodes a data octet (D.x.y).
+    ///
+    /// One lookup into a compile-time `(RD, byte)` table; see the module
+    /// notes on the table-driven fast path. Exhaustively equivalent to
+    /// [`Encoder::encode_data_baseline`].
+    #[inline]
     pub fn encode_data(&mut self, byte: u8) -> Code10 {
+        let e = &ENC_LUT[(self.rd == Disparity::Positive) as usize][byte as usize];
+        self.rd = if e.rd_pos {
+            Disparity::Positive
+        } else {
+            Disparity::Negative
+        };
+        Code10(e.code)
+    }
+
+    /// The pre-LUT reference encoder, retained verbatim: the perf
+    /// baseline for the BENCH_8.json before/after delta and the oracle
+    /// for the table-equivalence test.
+    pub fn encode_data_baseline(&mut self, byte: u8) -> Code10 {
         let x = (byte & 0x1F) as usize; // EDCBA
         let y = (byte >> 5) as usize; // HGF
 
@@ -367,11 +666,43 @@ impl Decoder {
 
     /// Decodes one 10-bit code group.
     ///
+    /// One lookup into a compile-time `(RD, code)` table; see the module
+    /// notes on the table-driven fast path. Exhaustively equivalent to
+    /// [`Decoder::decode_baseline`], including error precedence. Errors
+    /// leave the running disparity unchanged.
+    ///
     /// # Errors
     ///
     /// Returns [`DecodeError`] for invalid sub-blocks or running-disparity
     /// violations.
+    #[inline]
     pub fn decode(&mut self, code: Code10) -> Result<Symbol, DecodeError> {
+        let e = &DEC_LUT[(self.rd == Disparity::Positive) as usize][(code.0 & 0x3FF) as usize];
+        // Error entries carry the incoming RD, so the unconditional store
+        // preserves "errors never advance state".
+        self.rd = if e.rd_pos {
+            Disparity::Positive
+        } else {
+            Disparity::Negative
+        };
+        match e.sym & 0xF00 {
+            DEC_DATA => Ok(Symbol::Data(e.sym as u8)),
+            DEC_CTRL => Ok(Symbol::Control(e.sym as u8)),
+            DEC_BAD6 => Err(DecodeError::InvalidSixBit(e.sym as u8)),
+            DEC_BAD4 => Err(DecodeError::InvalidFourBit(e.sym as u8)),
+            _ => Err(DecodeError::DisparityViolation),
+        }
+    }
+
+    /// The pre-LUT reference decoder, retained verbatim: the perf
+    /// baseline for the BENCH_8.json before/after delta and the oracle
+    /// for the table-equivalence test.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] for invalid sub-blocks or running-disparity
+    /// violations.
+    pub fn decode_baseline(&mut self, code: Code10) -> Result<Symbol, DecodeError> {
         let six = ((code.0 >> 4) & 0x3F) as u8;
         let four = (code.0 & 0x0F) as u8;
 
@@ -608,6 +939,45 @@ mod tests {
     #[should_panic(expected = "invalid control character")]
     fn bad_control_panics() {
         Encoder::new().encode_control(0x00);
+    }
+
+    #[test]
+    fn lut_encoder_matches_baseline_exhaustively() {
+        // Every (running disparity, byte) cell of the compile-time
+        // encoder table must agree with the retained reference
+        // implementation — same code group, same exit disparity.
+        for rd in [Disparity::Negative, Disparity::Positive] {
+            for byte in 0u16..=255 {
+                let byte = byte as u8;
+                let mut fast = Encoder { rd };
+                let mut slow = Encoder { rd };
+                assert_eq!(
+                    fast.encode_data(byte),
+                    slow.encode_data_baseline(byte),
+                    "{rd:?} D{byte:#04x}"
+                );
+                assert_eq!(fast.disparity(), slow.disparity(), "{rd:?} D{byte:#04x}");
+            }
+        }
+    }
+
+    #[test]
+    fn lut_decoder_matches_baseline_exhaustively() {
+        // All 2×1024 decoder cells: identical Ok/Err outcome (including
+        // which error, with the reference's precedence) and identical
+        // exit disparity — errors must leave RD untouched in both.
+        for rd in [Disparity::Negative, Disparity::Positive] {
+            for code in 0u16..1024 {
+                let mut fast = Decoder { rd };
+                let mut slow = Decoder { rd };
+                assert_eq!(
+                    fast.decode(Code10(code)),
+                    slow.decode_baseline(Code10(code)),
+                    "{rd:?} {code:#05x}"
+                );
+                assert_eq!(fast.rd, slow.rd, "{rd:?} {code:#05x}");
+            }
+        }
     }
 
     #[test]

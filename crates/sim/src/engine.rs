@@ -181,8 +181,14 @@ impl<E> Scheduler<E> {
         self.queue.peek_time()
     }
 
-    fn pop(&mut self) -> Option<(Time, E)> {
-        let (at, _seq, event) = self.queue.pop()?;
+    /// Pops the next event, returning its timestamp, tie-break sequence
+    /// number, and payload, and advancing the clock.
+    ///
+    /// Exposing the sequence number lets differential tests (and the
+    /// scheduler microbenchmarks) compare the *exact* delivery order of
+    /// the two queue backends rather than just the timestamps.
+    pub fn pop_scheduled(&mut self) -> Option<(Time, u64, E)> {
+        let (at, seq, event) = self.queue.pop()?;
         #[cfg(feature = "validate")]
         {
             debug_assert!(
@@ -192,15 +198,19 @@ impl<E> Scheduler<E> {
             if let Some((last_at, last_seq)) = self.last_pop {
                 debug_assert!(at >= last_at, "popped times must be non-decreasing");
                 debug_assert!(
-                    at > last_at || _seq > last_seq,
+                    at > last_at || seq > last_seq,
                     "same-time events must pop in FIFO (scheduling) order"
                 );
             }
-            self.last_pop = Some((at, _seq));
+            self.last_pop = Some((at, seq));
         }
         self.now = at;
         self.executed += 1;
-        Some((at, event))
+        Some((at, seq, event))
+    }
+
+    fn pop(&mut self) -> Option<(Time, E)> {
+        self.pop_scheduled().map(|(at, _seq, event)| (at, event))
     }
 }
 

@@ -350,7 +350,244 @@ struct Pending {
     seq: u64,
 }
 
+// ---------------------------------------------------------------------------
+// Compiled event loop.
+//
+// The gate-level loop is one of the repo's hottest paths (every packet
+// waveform through a switch is thousands of Drive/GateFire events), and
+// the original model paid for three pointer chases per event: a nested
+// `Vec<Vec<CompId>>` fanout, a `Vec<Component>` whose Transport arms each
+// own a heap-allocated input list, and a `BTreeMap` probe lookup on every
+// wire change. `compile` flattens all of that once per run into
+// contiguous arrays — CSR fanout, `Copy` component records with transport
+// inputs concatenated into one slice, and an O(1) probe-slot vector.
+// The event *sequence* is bit-identical to the original model (same
+// touch order, same pending seq allocation, same scheduler calls), which
+// is proven against the retained [`ReferenceModel`] by the equivalence
+// tests below; the reference also serves as the perf baseline for the
+// BENCH_8.json before/after delta.
+
+/// A component flattened for the hot loop. Wire ids are raw indices;
+/// `u32::MAX` marks an absent gate input b. Transport inputs live in
+/// [`CircuitModel::tr_inputs`] at `lo..hi`.
+#[derive(Debug, Clone, Copy)]
+enum CompiledComp {
+    Gate {
+        kind: GateKind,
+        a: u32,
+        b: u32,
+        out: u32,
+        delay: Fs,
+    },
+    Transport {
+        lo: u32,
+        hi: u32,
+        out: u32,
+        delay: Fs,
+    },
+}
+
+impl CompiledComp {
+    fn out(self) -> WireId {
+        match self {
+            CompiledComp::Gate { out, .. } | CompiledComp::Transport { out, .. } => WireId(out),
+        }
+    }
+}
+
 struct CircuitModel {
+    comps: Vec<CompiledComp>,
+    /// Concatenated transport input wires (CSR payload for `Transport`).
+    tr_inputs: Vec<u32>,
+    /// CSR fanout: wire `w` touches `fanout_dat[fanout_off[w]..fanout_off[w+1]]`.
+    fanout_off: Vec<u32>,
+    fanout_dat: Vec<u32>,
+    values: Vec<bool>,
+    pending: Vec<Option<Pending>>,
+    next_seq: u64,
+    /// Per-wire probe slot (`u32::MAX` = unprobed), replacing a per-event
+    /// `BTreeMap` lookup with an indexed load.
+    probe_slot: Vec<u32>,
+    /// Traces indexed by probe slot, in probe insertion order.
+    traces: Vec<Vec<(Fs, bool)>>,
+}
+
+impl CircuitModel {
+    fn compile(netlist: &Netlist, probes: &[WireId]) -> Self {
+        let nested = netlist.fanout();
+        let mut fanout_off = Vec::with_capacity(nested.len() + 1);
+        let mut fanout_dat = Vec::with_capacity(nested.iter().map(Vec::len).sum());
+        fanout_off.push(0u32);
+        for row in &nested {
+            fanout_dat.extend(row.iter().map(|c| c.0));
+            fanout_off.push(fanout_dat.len() as u32);
+        }
+
+        let mut tr_inputs = Vec::new();
+        let comps = netlist
+            .comps
+            .iter()
+            .map(|comp| match comp {
+                Component::Gate {
+                    kind,
+                    a,
+                    b,
+                    out,
+                    delay,
+                } => CompiledComp::Gate {
+                    kind: *kind,
+                    a: a.0,
+                    b: b.map_or(u32::MAX, |w| w.0),
+                    out: out.0,
+                    delay: *delay,
+                },
+                Component::Transport { inputs, out, delay } => {
+                    let lo = tr_inputs.len() as u32;
+                    tr_inputs.extend(inputs.iter().map(|w| w.0));
+                    CompiledComp::Transport {
+                        lo,
+                        hi: tr_inputs.len() as u32,
+                        out: out.0,
+                        delay: *delay,
+                    }
+                }
+            })
+            .collect();
+
+        let mut probe_slot = vec![u32::MAX; netlist.initial.len()];
+        for (slot, &w) in probes.iter().enumerate() {
+            probe_slot[w.0 as usize] = slot as u32;
+        }
+
+        CircuitModel {
+            comps,
+            tr_inputs,
+            fanout_off,
+            fanout_dat,
+            values: netlist.initial.clone(),
+            pending: vec![None; netlist.comps.len()],
+            next_seq: 0,
+            probe_slot,
+            traces: vec![Vec::new(); probes.len()],
+        }
+    }
+
+    fn set_wire(
+        &mut self,
+        now: Time,
+        wire: WireId,
+        value: bool,
+        sched: &mut Scheduler<CircuitEvent>,
+    ) {
+        let idx = wire.0 as usize;
+        if self.values[idx] == value {
+            return;
+        }
+        self.values[idx] = value;
+        let slot = self.probe_slot[idx];
+        if slot != u32::MAX {
+            self.traces[slot as usize].push((now.as_ps(), value));
+        }
+        let lo = self.fanout_off[idx] as usize;
+        let hi = self.fanout_off[idx + 1] as usize;
+        for i in lo..hi {
+            let comp = CompId(self.fanout_dat[i]);
+            self.touch(now, comp, sched);
+        }
+    }
+
+    fn touch(&mut self, now: Time, comp: CompId, sched: &mut Scheduler<CircuitEvent>) {
+        let c = comp.0 as usize;
+        match self.comps[c] {
+            CompiledComp::Gate {
+                kind,
+                a,
+                b,
+                out,
+                delay,
+            } => {
+                let va = self.values[a as usize];
+                let vb = b != u32::MAX && self.values[b as usize];
+                let v = kind.eval(va, vb);
+                let cur = self.values[out as usize];
+                match self.pending[c] {
+                    Some(p) if p.value == v => {}
+                    Some(_) => {
+                        self.pending[c] = None;
+                        if v != cur {
+                            self.schedule_gate(comp, v, delay, sched);
+                        }
+                    }
+                    None => {
+                        if v != cur {
+                            self.schedule_gate(comp, v, delay, sched);
+                        }
+                    }
+                }
+                let _ = now;
+            }
+            CompiledComp::Transport { lo, hi, out, delay } => {
+                let mut v = false;
+                for &w in &self.tr_inputs[lo as usize..hi as usize] {
+                    v |= self.values[w as usize];
+                }
+                sched.schedule_in(
+                    baldur_sim::Duration::from_ps(delay),
+                    CircuitEvent::Drive {
+                        wire: WireId(out),
+                        value: v,
+                    },
+                );
+            }
+        }
+    }
+
+    fn schedule_gate(
+        &mut self,
+        comp: CompId,
+        value: bool,
+        delay: Fs,
+        sched: &mut Scheduler<CircuitEvent>,
+    ) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.pending[comp.0 as usize] = Some(Pending { value, seq });
+        sched.schedule_in(
+            baldur_sim::Duration::from_ps(delay),
+            CircuitEvent::GateFire { comp, seq },
+        );
+    }
+}
+
+impl Model for CircuitModel {
+    type Event = CircuitEvent;
+
+    fn handle(&mut self, now: Time, event: CircuitEvent, sched: &mut Scheduler<CircuitEvent>) {
+        match event {
+            CircuitEvent::Drive { wire, value } => self.set_wire(now, wire, value, sched),
+            CircuitEvent::GateFire { comp, seq } => {
+                let c = comp.0 as usize;
+                if let Some(p) = self.pending[c] {
+                    if p.seq == seq {
+                        self.pending[c] = None;
+                        let out = self.comps[c].out();
+                        self.set_wire(now, out, p.value, sched);
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reference event loop (pre-optimization), retained verbatim.
+
+/// The original interpreted circuit model: nested-`Vec` fanout, enum
+/// components holding their own input vectors, and `BTreeMap` probes.
+/// Kept as the perf baseline measured into BENCH_8.json and as the
+/// differential oracle proving the compiled loop replays the exact same
+/// event sequence.
+struct ReferenceModel {
     netlist: Netlist,
     fanout: Vec<Vec<CompId>>,
     values: Vec<bool>,
@@ -359,7 +596,7 @@ struct CircuitModel {
     probes: BTreeMap<WireId, Vec<(Fs, bool)>>,
 }
 
-impl CircuitModel {
+impl ReferenceModel {
     fn set_wire(
         &mut self,
         now: Time,
@@ -443,7 +680,7 @@ impl CircuitModel {
     }
 }
 
-impl Model for CircuitModel {
+impl Model for ReferenceModel {
     type Event = CircuitEvent;
 
     fn handle(&mut self, now: Time, event: CircuitEvent, sched: &mut Scheduler<CircuitEvent>) {
@@ -461,6 +698,19 @@ impl Model for CircuitModel {
             }
         }
     }
+}
+
+/// Everything a [`CircuitSim::run_reference`] run observes, for
+/// comparison against the compiled loop's accessors.
+pub struct ReferenceRun {
+    /// Settled-or-active outcome, as [`CircuitSim::run`] would return.
+    pub outcome: RunOutcome,
+    /// Final level of every wire.
+    pub values: Vec<bool>,
+    /// Probe traces in probe insertion order.
+    pub traces: Vec<Vec<(Fs, bool)>>,
+    /// Events executed by the kernel.
+    pub events: u64,
 }
 
 /// Result of a circuit run.
@@ -541,40 +791,27 @@ impl CircuitSim {
     ///
     /// Panics if called twice.
     pub fn run(&mut self, horizon: Fs) -> RunOutcome {
-        let netlist = self.netlist.take().expect("run() may only be called once");
-        let fanout = netlist.fanout();
-        let values = netlist.initial.clone();
-        let pending = vec![None; netlist.comps.len()];
-        let mut probes = BTreeMap::new();
-        for &w in &self.probes {
-            probes.insert(w, Vec::new());
-        }
-        let model = CircuitModel {
-            netlist,
-            fanout,
-            values,
-            pending,
-            next_seq: 0,
-            probes,
-        };
+        assert!(self.sim.is_none(), "run() may only be called once");
+        let netlist = self.netlist.as_ref().expect("netlist present");
+        let model = CircuitModel::compile(netlist, &self.probes);
+        let n = netlist.comps.len();
         let mut sim = Simulation::new(model);
         // Settle phase: evaluate every component once at t = 0 so outputs
         // that were initialized inconsistently (deliberately or not)
         // converge before the first stimulus.
         {
-            let n = sim.model().netlist.comps.len();
             let (model, sched) = sim.split();
             for i in 0..n {
                 model.touch(Time::ZERO, CompId(i as u32), sched);
             }
         }
-        for (wire, wave) in self.staged_drives.drain(..) {
+        for (wire, wave) in &self.staged_drives {
             let sched = sim.scheduler_mut();
             for (i, &t) in wave.transitions().iter().enumerate() {
                 sched.schedule_at(
                     Time::from_ps(t),
                     CircuitEvent::Drive {
-                        wire,
+                        wire: *wire,
                         value: i % 2 == 0,
                     },
                 );
@@ -590,6 +827,69 @@ impl CircuitSim {
         outcome
     }
 
+    /// Runs a copy of the circuit (same probes and staged drives) on the
+    /// retained pre-optimization [`ReferenceModel`] and returns what it
+    /// observed. Does not consume or disturb the staged [`CircuitSim::run`],
+    /// so both can execute on one `CircuitSim` and be compared — that is
+    /// exactly what the equivalence tests and the `tl_loop` perf baseline
+    /// benchmark do.
+    pub fn run_reference(&self, horizon: Fs) -> ReferenceRun {
+        let netlist = self.netlist.clone().expect("netlist present");
+        let fanout = netlist.fanout();
+        let values = netlist.initial.clone();
+        let pending = vec![None; netlist.comps.len()];
+        let mut probes = BTreeMap::new();
+        for &w in &self.probes {
+            probes.insert(w, Vec::new());
+        }
+        let n = netlist.comps.len();
+        let model = ReferenceModel {
+            netlist,
+            fanout,
+            values,
+            pending,
+            next_seq: 0,
+            probes,
+        };
+        let mut sim = Simulation::new(model);
+        {
+            let (model, sched) = sim.split();
+            for i in 0..n {
+                model.touch(Time::ZERO, CompId(i as u32), sched);
+            }
+        }
+        for (wire, wave) in &self.staged_drives {
+            let sched = sim.scheduler_mut();
+            for (i, &t) in wave.transitions().iter().enumerate() {
+                sched.schedule_at(
+                    Time::from_ps(t),
+                    CircuitEvent::Drive {
+                        wire: *wire,
+                        value: i % 2 == 0,
+                    },
+                );
+            }
+        }
+        let outcome = match sim.run_until(Time::from_ps(horizon), u64::MAX) {
+            baldur_sim::engine::StopReason::Drained => RunOutcome::Settled {
+                at: sim.scheduler().now().as_ps(),
+            },
+            _ => RunOutcome::ActiveAtHorizon,
+        };
+        let events = sim.scheduler().events_executed();
+        let mut model = sim.into_model();
+        ReferenceRun {
+            outcome,
+            values: std::mem::take(&mut model.values),
+            traces: self
+                .probes
+                .iter()
+                .map(|w| model.probes.remove(w).expect("probe trace present"))
+                .collect(),
+            events,
+        }
+    }
+
     fn model(&self) -> &CircuitModel {
         self.sim.as_ref().expect("simulation has not run").model()
     }
@@ -602,39 +902,41 @@ impl CircuitSim {
         }
     }
 
+    /// Slot-indexed trace of a probed wire.
+    fn trace_of(&self, wire: WireId) -> &[(Fs, bool)] {
+        let model = self.model();
+        let slot = model
+            .probe_slot
+            .get(wire.0 as usize)
+            .copied()
+            .unwrap_or(u32::MAX);
+        assert!(slot != u32::MAX, "wire was not probed");
+        model.traces[slot as usize].as_slice()
+    }
+
     /// The recorded waveform of a probed wire (post-run).
     ///
     /// # Panics
     ///
     /// Panics if `wire` was not probed or the simulation has not run.
     pub fn probed(&self, wire: WireId) -> Waveform {
-        let trace = self.model().probes.get(&wire).expect("wire was not probed");
+        let trace = self.trace_of(wire);
         Waveform::from_transitions(trace.iter().map(|&(t, _)| t).collect())
     }
 
     /// Raw probe trace: `(time_fs, new_level)` pairs.
     pub fn probe_trace(&self, wire: WireId) -> &[(Fs, bool)] {
-        self.model()
-            .probes
-            .get(&wire)
-            .expect("wire was not probed")
-            .as_slice()
+        self.trace_of(wire)
     }
 
     /// Access to the netlist.
     pub fn netlist(&self) -> &Netlist {
-        match &self.sim {
-            Some(sim) => &sim.model().netlist,
-            None => self.netlist.as_ref().expect("netlist present"),
-        }
+        self.netlist.as_ref().expect("netlist present")
     }
 
     /// All probed wires with their traces, for VCD export.
     pub fn probe_iter(&self) -> impl Iterator<Item = (WireId, &[(Fs, bool)])> {
-        let model = self.model();
-        self.probes
-            .iter()
-            .map(move |&w| (w, model.probes[&w].as_slice()))
+        self.probes.iter().map(move |&w| (w, self.trace_of(w)))
     }
 
     /// Number of events executed (simulator throughput metric).
@@ -740,6 +1042,71 @@ mod tests {
         assert_eq!(trs.len(), 2, "one set and one reset: {trs:?}");
         assert!(trs[0] > 50_000 && trs[0] < 60_000, "{trs:?}");
         assert!(trs[1] > 150_000 && trs[1] < 160_000, "{trs:?}");
+    }
+
+    /// Asserts the compiled loop and the retained reference loop observe
+    /// the same run: outcome, executed-event count (the perf harness ops
+    /// counter), every wire level, and every probe trace byte-for-byte.
+    fn assert_matches_reference(mut sim: CircuitSim, probes: &[WireId], horizon: Fs) {
+        let reference = sim.run_reference(horizon);
+        let outcome = sim.run(horizon);
+        assert_eq!(outcome, reference.outcome);
+        assert_eq!(sim.events_executed(), reference.events);
+        for w in 0..sim.netlist().wire_count() {
+            assert_eq!(
+                sim.level(WireId(w as u32)),
+                reference.values[w],
+                "wire {w} level"
+            );
+        }
+        for (slot, &w) in probes.iter().enumerate() {
+            assert_eq!(
+                sim.probe_trace(w),
+                reference.traces[slot].as_slice(),
+                "probe {slot} trace"
+            );
+        }
+    }
+
+    #[test]
+    fn compiled_loop_matches_reference_on_latch() {
+        let mut n = Netlist::new();
+        let s = n.wire();
+        let r = n.wire();
+        let q = n.wire_with(false);
+        let qb = n.wire_with(true);
+        n.gate_into(GateKind::Nor2, r, Some(qb), q, 1_930);
+        n.gate_into(GateKind::Nor2, s, Some(q), qb, 1_990);
+        let dq = n.waveguide(q, 132_000);
+        let c = n.combiner(&[dq, s]);
+        let mut sim = CircuitSim::new(n);
+        sim.probe(q);
+        sim.probe(c);
+        sim.drive(s, &Waveform::from_pulses([(50_000, 60_000)]));
+        sim.drive(r, &Waveform::from_pulses([(150_000, 160_000)]));
+        assert_matches_reference(sim, &[q, c], 1_000_000);
+    }
+
+    #[test]
+    fn compiled_loop_matches_reference_on_switch_packets() {
+        use crate::switch::{build_switch, SwitchParams};
+        use baldur_phy::length_code::LengthCode;
+        use baldur_phy::packet_wave::assemble;
+        use baldur_phy::waveform::BIT_PERIOD_FS;
+
+        let code = LengthCode::paper();
+        let mut n = Netlist::new();
+        let sw = build_switch(&mut n, SwitchParams::paper());
+        let mut sim = CircuitSim::new(n);
+        sim.probe(sw.outputs[0]);
+        sim.probe(sw.outputs[1]);
+        let p0 = assemble(&code, &[false, true], b"REF", 10 * BIT_PERIOD_FS);
+        let p1 = assemble(&code, &[false, false], b"EQV", 12 * BIT_PERIOD_FS);
+        sim.drive(sw.inputs[0], &p0.wave);
+        sim.drive(sw.inputs[1], &p1.wave);
+        let horizon = p0.end.max(p1.end) + 3_000_000;
+        let probes = [sw.outputs[0], sw.outputs[1]];
+        assert_matches_reference(sim, &probes, horizon);
     }
 
     #[test]

@@ -447,3 +447,66 @@ fn backoff_schedule_is_monotone_capped_and_reproducible() {
         assert_eq!(last_base, cap, "case {case}: schedule never reached cap");
     }
 }
+
+/// The two scheduler backends (binary heap and calendar queue) deliver
+/// byte-identical `(time, seq, event)` pop sequences on any workload —
+/// including bursty waves, tight same-timestamp clusters, and the
+/// adversarial all-ties case that stresses the FIFO tie-break.
+#[test]
+fn scheduler_backends_pop_identically() {
+    use baldur::sim::{Scheduler, Time};
+
+    for case in 0..CASES {
+        let mut rng = case_rng("schddiff", case);
+        // Three workload shapes, cycled across cases: bursty (wide
+        // random offsets), clustered (tiny offset range, heavy ties),
+        // and adversarial (every event at the same instant).
+        let shape = case % 3;
+        let mut heap = Scheduler::<u64>::new();
+        let mut cal = Scheduler::<u64>::new_calendar();
+        let mut payload = 0u64;
+        let mut interleave = |heap: &mut Scheduler<u64>,
+                              cal: &mut Scheduler<u64>,
+                              rng: &mut StreamRng,
+                              pops: usize,
+                              pushes: usize| {
+            let base = heap.now().as_ps();
+            for _ in 0..pushes {
+                let offset = match shape {
+                    0 => rng.gen_range(0u64..1_000_000),
+                    1 => rng.gen_range(0u64..8),
+                    _ => 0,
+                };
+                let at = Time::from_ps(base + offset);
+                heap.schedule_at(at, payload);
+                cal.schedule_at(at, payload);
+                payload += 1;
+            }
+            for _ in 0..pops {
+                let h = heap.pop_scheduled();
+                let c = cal.pop_scheduled();
+                assert_eq!(
+                    h, c,
+                    "case {case} shape {shape}: backends diverged mid-drain"
+                );
+            }
+        };
+        for wave in 0..4 {
+            let pushes = 50 + (case as usize * 7 + wave * 13) % 150;
+            interleave(&mut heap, &mut cal, &mut rng, pushes / 2, pushes);
+        }
+        loop {
+            let h = heap.pop_scheduled();
+            let c = cal.pop_scheduled();
+            assert_eq!(
+                h, c,
+                "case {case} shape {shape}: backends diverged at drain"
+            );
+            if h.is_none() {
+                break;
+            }
+        }
+        assert_eq!(heap.events_executed(), cal.events_executed(), "case {case}");
+        assert_eq!(heap.now(), cal.now(), "case {case}");
+    }
+}

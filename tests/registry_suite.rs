@@ -28,12 +28,13 @@ const GOLDEN_EXEMPT: &[&str] = &[
     "fig5",
     "tables34",
     "packaging",
+    "perf",
 ];
 
 /// Snapshots under `results/golden/` owned by repo tooling rather than a
 /// registered experiment. Each must be pinned by its own freshness test
 /// (the lint report by `tests/lint_wall.rs::lint_json_snapshot_is_fresh`).
-const TOOL_GOLDENS: &[&str] = &["lint.json"];
+const TOOL_GOLDENS: &[&str] = &["lint.json", "perf_ops.json"];
 
 fn repo_path(rel: &str) -> std::path::PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join(rel)
