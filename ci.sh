@@ -100,6 +100,11 @@ run_step crash-recovery-smoke cargo test -q --test crash_recovery
 # oracle on; asserts zero violations, byte-identical repeat runs, and the
 # recovery-time bound, and prints a minimized reproduction on failure.
 run_step chaos-smoke cargo run --release -p baldur-bench --bin chaos -- --smoke
+# Overload smoke: incast/hotcast storms at 0.5x-4x load with the
+# admission/pacing/deadline controls on; asserts the graceful-degradation
+# floor, a quiet starvation/occupancy oracle, exact packet conservation,
+# and byte-identical repeat runs.
+run_step overload-smoke cargo run --release -p baldur-bench --bin overload -- --smoke
 # Perf smoke: the hot-path benchmark workloads re-run their exact work
 # counters (events popped, symbols coded, packets delivered) and gate
 # them against results/golden/perf_ops.json — byte-identical at one

@@ -1,0 +1,7 @@
+//! Overload storms: incast/hotcast at 0.5x-4x load with admission
+//! control, delivery deadlines, and a graceful-degradation gate
+//! (default), plus the `--smoke` CI gate.
+
+fn main() {
+    baldur_bench::registry_main("overload")
+}

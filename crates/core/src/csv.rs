@@ -6,7 +6,7 @@
 use std::fmt::Write as _;
 
 use crate::experiments::{
-    ChaosRow, DegradationRow, Fig10Row, Fig6Row, Fig7Row, SaturationRow, TableVRow,
+    ChaosRow, DegradationRow, Fig10Row, Fig6Row, Fig7Row, OverloadRow, SaturationRow, TableVRow,
 };
 use crate::power::scaling::ScalePoint;
 
@@ -160,6 +160,36 @@ pub fn chaos(rows: &[ChaosRow]) -> String {
             r.report.delivered,
             r.report.abandoned,
             r.report.generated
+        );
+    }
+    out
+}
+
+/// `network,pattern,load,generated,delivered,expired,ingress_drops,abandoned,goodput_pkt_per_us,flows,jain,min_delivered,max_delivered,p99_ns,p999_ns,violations`.
+pub fn overload(rows: &[OverloadRow]) -> String {
+    let mut out = String::from(
+        "network,pattern,load,generated,delivered,expired,ingress_drops,abandoned,goodput_pkt_per_us,flows,jain,min_delivered,max_delivered,p99_ns,p999_ns,violations\n",
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            r.network,
+            r.pattern,
+            r.load,
+            r.report.generated,
+            r.report.delivered,
+            r.report.expired,
+            r.report.ingress_drops,
+            r.report.abandoned,
+            r.goodput_pkt_per_us(),
+            r.report.fairness.flows,
+            r.report.fairness.jain,
+            r.report.fairness.min_delivered,
+            r.report.fairness.max_delivered,
+            r.report.p99_ns,
+            r.report.p999_ns,
+            r.report.oracle.total()
         );
     }
     out

@@ -272,15 +272,15 @@ fn gate(rows: &[ChaosRow]) -> Vec<String> {
             ));
         }
         for rec in &r.report.recoveries {
-            if rec.recovered() {
+            if let Some(ttr_ns) = rec.time_to_recover_ns {
                 any_recovered = true;
-                if rec.time_to_recover_ns > RECOVERY_BOUND_NS {
+                if ttr_ns > RECOVERY_BOUND_NS {
                     complaints.push(format!(
                         "{} seed {}: repair at {} recovered in {} (> bound {})",
                         r.network,
                         r.seed,
                         fmt_ns(rec.repair_at_ns),
-                        fmt_ns(rec.time_to_recover_ns),
+                        fmt_ns(ttr_ns),
                         fmt_ns(RECOVERY_BOUND_NS)
                     ));
                 }

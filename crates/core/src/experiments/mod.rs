@@ -29,6 +29,7 @@ pub(crate) mod fig6;
 pub(crate) mod fig7;
 pub(crate) mod fig8;
 pub(crate) mod fig9;
+pub(crate) mod overload;
 pub(crate) mod packaging;
 pub(crate) mod perf;
 pub(crate) mod reliability;
@@ -52,6 +53,7 @@ pub use fig6::{figure6, figure6_lineup_on, figure6_on, Fig6Row};
 pub use fig7::{fig7_geomeans, figure7, figure7_on, normalize_fig7, Fig7Row};
 pub use fig8::{figure8, figure8_on};
 pub use fig9::{figure9, figure9_on, Fig9Row};
+pub use overload::{overload, overload_network, overload_on, storm_pattern, OverloadRow};
 pub use perf::{
     bench_report, install_wall_clock, ops_report, override_samples, wall_clock_installed,
     BenchRecord, BenchReport, Counters, DeltaRecord, OpsReport, OpsRow, WallStats, MIN_SAMPLES,

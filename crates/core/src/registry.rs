@@ -450,7 +450,7 @@ pub fn describe(spec: &ExperimentSpec) -> Descriptor {
 /// unreachable from the bench binaries, `all_figures`, the docs table,
 /// and the completeness test — which is exactly what the test checks.
 pub fn all() -> &'static [&'static ExperimentSpec] {
-    static ALL: [&ExperimentSpec; 19] = [
+    static ALL: [&ExperimentSpec; 20] = [
         &experiments::table5::SPEC,
         &experiments::fig6::SPEC,
         &experiments::fig7::SPEC,
@@ -466,6 +466,7 @@ pub fn all() -> &'static [&'static ExperimentSpec] {
         &experiments::topologies::SPEC,
         &experiments::faults::SPEC,
         &experiments::chaos::SPEC,
+        &experiments::overload::SPEC,
         &experiments::fig5::SPEC,
         &experiments::tables34::SPEC,
         &experiments::packaging::SPEC,

@@ -70,13 +70,17 @@ pub const WALL_CLOCK_EXEMPT_FILES: &[&str] = &["crates/bench/src/perf.rs"];
 /// jobs (scheduling, isolation, journaling, result plumbing). A panic
 /// here defeats panic isolation — the harness would die with the job it
 /// was supposed to contain — so these files get a zero-budget panic rule
-/// of their own, with no allowlist escape hatch.
+/// of their own, with no allowlist escape hatch. The overload experiment
+/// rides along: its storm grid is built and gated around supervised
+/// sweep jobs, and a panic while shedding load is exactly the failure
+/// mode the overload controls exist to avoid.
 pub const JOB_PATH_FILES: &[&str] = &[
     "crates/sim/src/par.rs",
     "crates/core/src/sweep.rs",
     "crates/core/src/supervise.rs",
     "crates/core/src/error.rs",
     "crates/net/src/runner.rs",
+    "crates/core/src/experiments/overload.rs",
 ];
 
 /// Relative path (from the repo root) of the panic-budget allowlist.
@@ -865,6 +869,21 @@ mod tests {
         // A conforming wrapper is clean.
         let ok = "fn main() {\n    baldur_bench::registry_main(\"fig6\")\n}\n";
         assert!(lint_source("crates/bench/src/bin/fig6.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn overload_control_lines_get_the_fault_path_rule() {
+        // A panic on an overload-control line in `crates/net` (admission,
+        // deadline expiry, starvation accounting) classifies as
+        // fault-path, same as fault-handling lines.
+        let src = "fn f(q: &Q) {\n    if q.len() >= ingress_cap { q.pop().unwrap(); }\n    \
+                   let d = deadline_ps.checked_sub(age).expect(\"stale\");\n}\n";
+        let fs = lint_source("crates/net/src/baldur_net.rs", src);
+        assert_eq!(fs.len(), 2, "{fs:?}");
+        assert!(fs.iter().all(|f| f.rule == "fault-path-panic"), "{fs:?}");
+        // The same code outside `crates/net` stays in the general budget.
+        let fs = lint_source("crates/power/src/model.rs", src);
+        assert!(fs.iter().all(|f| f.rule == "panic-site"), "{fs:?}");
     }
 
     #[test]

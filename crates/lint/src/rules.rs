@@ -242,8 +242,22 @@ fn unit_of(ident: &str) -> Option<&'static str> {
 /// Runs every rule pass over one file, appending findings in token order.
 pub fn run_passes(ctx: FileCtx<'_>, sig: &[Sig<'_>], scopes: &Scopes, out: &mut Vec<Finding>) {
     let fault_lines = if ctx.net_crate && !ctx.fault_file {
+        // Fault-handling *and* overload-control lines: a panic while
+        // shedding load (admission refusal, deadline expiry, starvation
+        // accounting) is as bad as one while handling a fault — both run
+        // exactly when the system is least able to afford it.
         sig.iter()
-            .filter(|t| t.kind == Kind::Ident && t.text.to_ascii_lowercase().contains("fault"))
+            .filter(|t| {
+                t.kind == Kind::Ident && {
+                    let l = t.text.to_ascii_lowercase();
+                    l.contains("fault")
+                        || l.contains("overload")
+                        || l.contains("ingress")
+                        || l.contains("deadline")
+                        || l.contains("expire")
+                        || l.contains("starv")
+                }
+            })
             .map(|t| t.line)
             .collect()
     } else {

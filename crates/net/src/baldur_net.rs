@@ -58,6 +58,11 @@ struct Nic {
     try_scheduled: bool,
     outstanding: u32,
     backoff_exp: u32,
+    /// Packets injected and awaiting their first buffer-slot release
+    /// (ACK, give-up, or expiry). Source-side admission pacing defers
+    /// *first* injections while this reaches
+    /// `BaldurParams::pacing_window`; maintained only when pacing is on.
+    in_window: u32,
     /// ACK coalescing: per source, data packets awaiting a combined ACK
     /// (the bool marks a pending flush event). Ordered so no iteration
     /// order can leak into results.
@@ -73,6 +78,7 @@ impl Nic {
             try_scheduled: false,
             outstanding: 0,
             backoff_exp: 0,
+            in_window: 0,
             pending_acks: BTreeMap::new(),
         }
     }
@@ -255,8 +261,23 @@ impl BaldurNet {
         out: crate::driver::DriverOutput,
         sched: &mut Scheduler<Ev>,
     ) {
+        let cap = self.params.ingress_cap;
         for cmd in out.sends {
             for _ in 0..cmd.count {
+                // Admission control: a bounded ingress queue refuses new
+                // packets while the source already holds `ingress_cap`
+                // unreleased packets (queued or unACKed — every queued
+                // data packet is unreleased, so this bounds the queue
+                // too). Refused packets are counted, never stored: they
+                // take no table slot, no buffer slot, no timer.
+                if cap > 0 && self.nics[node as usize].outstanding >= cap {
+                    self.metrics.on_generated(now);
+                    self.metrics.note_flow_generated(node);
+                    self.metrics.on_ingress_drop(now);
+                    self.oracle
+                        .note(now.as_ps(), "drop:ingress", u64::from(node), 0);
+                    continue;
+                }
                 let pkt = self.packets.len() as PktId;
                 self.packets.push(PacketState {
                     src: NodeId(node),
@@ -269,9 +290,13 @@ impl BaldurNet {
                     acks: None,
                 });
                 self.metrics.on_generated(now);
+                self.metrics.note_flow_generated(node);
                 self.nics[node as usize].outstanding += 1;
                 self.note_buffer(node);
                 self.enqueue(now, node, pkt, sched);
+                let len = self.nics[node as usize].data_queue.len() as u64;
+                self.oracle
+                    .check_occupancy(now.as_ps(), node, len, u64::from(cap));
             }
         }
         if let Some(t) = out.wake_at_ps {
@@ -342,6 +367,18 @@ impl BaldurNet {
         }
     }
 
+    /// Closes one admission-pacing window slot for `node` (the packet's
+    /// first buffer-slot release: ACK, give-up, or expiry). No-op when
+    /// pacing is off, so the counter costs nothing on the paper path.
+    fn release_window(&mut self, node: u32) {
+        if self.params.pacing_window == 0 {
+            return;
+        }
+        if let Some(nic) = self.nics.get_mut(node as usize) {
+            nic.in_window = nic.in_window.saturating_sub(1);
+        }
+    }
+
     /// Packet-conservation check, valid only once the event queue has
     /// drained: every generated packet was then delivered, dropped and
     /// retransmitted to completion, or abandoned — so nothing is in
@@ -375,24 +412,25 @@ impl BaldurNet {
         // fault plans that killed switches, links, or lasers mid-run).
         let mut delivered = 0u64;
         let mut gave_up = 0u64;
+        let mut expired = 0u64;
         for st in self.packets.iter().filter(|p| p.acks.is_none()) {
             match st.outcome {
                 DeliveryOutcome::Delivered => delivered += 1,
                 DeliveryOutcome::GaveUp => gave_up += 1,
+                DeliveryOutcome::Expired => expired += 1,
                 DeliveryOutcome::Pending => {
-                    debug_assert!(
-                        false,
-                        "packet leaked: neither delivered nor GaveUp at drain"
-                    )
+                    debug_assert!(false, "packet leaked: no terminal outcome at drain")
                 }
             }
         }
         debug_assert_eq!(self.metrics.delivered(), delivered, "delivered count drift");
         debug_assert_eq!(self.metrics.abandoned(), gave_up, "abandoned count drift");
+        debug_assert_eq!(self.metrics.expired(), expired, "expired count drift");
         debug_assert_eq!(
             self.metrics.generated(),
-            delivered + gave_up,
-            "conservation violated: generated != delivered + abandoned"
+            delivered + gave_up + expired + self.metrics.ingress_drops(),
+            "conservation violated: generated != delivered + abandoned + \
+             expired + ingress drops"
         );
     }
 
@@ -413,12 +451,13 @@ impl BaldurNet {
     /// the stuck-flow detector with the number of packets still owed a
     /// terminal outcome. Returns `true` when the run should abort.
     fn oracle_tick(&mut self, now: Time) -> bool {
-        let outstanding: u64 = self
-            .nics
-            .iter()
-            .map(|n| u64::from(n.outstanding))
-            .sum::<u64>()
-            + u64::from(self.in_flight);
+        let per_nic: Vec<u64> = self.nics.iter().map(|n| u64::from(n.outstanding)).collect();
+        let outstanding: u64 = per_nic.iter().sum::<u64>() + self.in_flight;
+        // Each tick is one starvation observation window: a flow (source
+        // node) with work outstanding and zero deliveries for N windows
+        // while the rest of the machine progresses is starved.
+        self.oracle
+            .check_starvation(now.as_ps(), self.metrics.flow_delivered_counts(), &per_nic);
         self.oracle.check_stall(now.as_ps(), outstanding)
     }
 
@@ -480,11 +519,13 @@ impl BaldurNet {
         }
         let mut delivered = 0u64;
         let mut gave_up = 0u64;
+        let mut expired = 0u64;
         let mut pending = 0u64;
         for st in self.packets.iter().filter(|p| p.acks.is_none()) {
             match st.outcome {
                 DeliveryOutcome::Delivered => delivered += 1,
                 DeliveryOutcome::GaveUp => gave_up += 1,
+                DeliveryOutcome::Expired => expired += 1,
                 DeliveryOutcome::Pending => pending += 1,
             }
         }
@@ -497,12 +538,20 @@ impl BaldurNet {
                 },
             );
         }
+        // Overload-shed packets (expired + refused at ingress) are part
+        // of the ledger: generated must equal delivered + abandoned +
+        // expired + ingress drops, exactly.
         let generated = self.metrics.generated();
-        if generated != delivered + gave_up
+        let shed = expired + self.metrics.ingress_drops();
+        if generated != delivered + gave_up + shed
             || self.metrics.delivered() != delivered
             || self.metrics.abandoned() != gave_up
+            || self.metrics.expired() != expired
         {
-            let stranded = generated.saturating_sub(delivered).saturating_sub(gave_up);
+            let stranded = generated
+                .saturating_sub(delivered)
+                .saturating_sub(gave_up)
+                .saturating_sub(shed);
             self.oracle.record(
                 at,
                 Violation::Conservation {
@@ -539,7 +588,67 @@ impl Model for BaldurNet {
                 }
                 // `is_empty` was just checked, so the pop always succeeds;
                 // the else arm keeps the handler panic-free regardless.
-                let Some(pkt) = nic.pop() else { return };
+                let Some(mut pkt) = nic.pop() else { return };
+                // Deadline check at the head of the queue: a data packet
+                // that aged out while waiting for its (first or retry)
+                // injection slot expires here, without burning the slot —
+                // queue wait is the dominant staleness under overload and
+                // carries no retry timer that could catch it.
+                let deadline = self.params.deadline_ps;
+                if deadline > 0
+                    && self.packets[pkt as usize].acks.is_none()
+                    && self.packets[pkt as usize].outcome == DeliveryOutcome::Pending
+                    && now.since(self.packets[pkt as usize].generated_at).as_ps() >= deadline
+                {
+                    let src = self.packets[pkt as usize].src.0;
+                    let in_window = self.packets[pkt as usize].attempts > 0;
+                    self.packets[pkt as usize].outcome = DeliveryOutcome::Expired;
+                    self.metrics.on_expired(now);
+                    self.oracle
+                        .note(now.as_ps(), "expire", u64::from(pkt), u64::from(src));
+                    self.oracle.progress(now.as_ps());
+                    if !self.packets[pkt as usize].released {
+                        self.packets[pkt as usize].released = true;
+                        self.release_outstanding(now, src);
+                        if in_window {
+                            self.release_window(src);
+                        }
+                    }
+                    let nic = &mut self.nics[node as usize];
+                    if !nic.is_empty() {
+                        nic.try_scheduled = true;
+                        sched.schedule_at(now, Ev::TryInject(node));
+                    }
+                    return;
+                }
+                // Source-side admission pacing: a *first* injection waits
+                // while `pacing_window` packets are already out awaiting
+                // their first release. Retransmissions and ACKs bypass
+                // (they are the recovery path), and every in-window
+                // packet carries a timer, so the poll always terminates.
+                let pw = self.params.pacing_window;
+                if pw > 0
+                    && self.packets[pkt as usize].acks.is_none()
+                    && self.packets[pkt as usize].attempts == 0
+                    && self.nics[node as usize].in_window >= pw
+                {
+                    // A queued retransmission must jump a deferred head:
+                    // it is what releases the window, so parking it behind
+                    // the deferral would deadlock the NIC.
+                    let bypass = self.nics[node as usize].data_queue.iter().position(|&q| {
+                        self.packets.get(q as usize).is_some_and(|p| p.attempts > 0)
+                    });
+                    let nic = &mut self.nics[node as usize];
+                    nic.data_queue.push_front(pkt);
+                    match bypass.and_then(|pos| nic.data_queue.remove(pos + 1)) {
+                        Some(retx) => pkt = retx,
+                        None => {
+                            nic.try_scheduled = true;
+                            sched.schedule_at(now + self.link.packet_time(), Ev::TryInject(node));
+                            return;
+                        }
+                    }
+                }
                 let dur = self.duration_of(pkt);
                 let nic = &mut self.nics[node as usize];
                 nic.tx_busy_until = now + dur;
@@ -552,6 +661,9 @@ impl Model for BaldurNet {
                 if st.acks.is_none() {
                     st.attempts += 1;
                     let attempt = st.attempts;
+                    if attempt == 1 && self.params.pacing_window > 0 {
+                        self.nics[node as usize].in_window += 1;
+                    }
                     let backoff = self.nics[node as usize].backoff_exp;
                     let to = Duration::from_ps(jittered_timeout_ps(
                         &self.params,
@@ -729,6 +841,7 @@ impl Model for BaldurNet {
                                 data.released = true;
                                 if release {
                                     self.release_outstanding(now, dst.0);
+                                    self.release_window(dst.0);
                                     // Successful round trip relaxes the
                                     // backoff.
                                     let src_nic = &mut self.nics[dst.0 as usize];
@@ -743,6 +856,7 @@ impl Model for BaldurNet {
                             self.packets[pkt as usize].outcome = DeliveryOutcome::Delivered;
                             let latency = now.since(self.packets[pkt as usize].generated_at);
                             self.metrics.on_delivered(latency, now);
+                            self.metrics.note_flow_delivered(src.0);
                             self.oracle.note(
                                 now.as_ps(),
                                 "deliver",
@@ -792,6 +906,33 @@ impl Model for BaldurNet {
                 if st.acked || st.attempts != attempt || st.acks.is_some() {
                     return; // stale timer
                 }
+                // Deadline-aware retransmission: a retry whose packet has
+                // outlived its age budget expires instead of retrying —
+                // under overload, stale work is shed rather than
+                // amplified. Delivered-but-unACKed packets only drop
+                // their buffer slot (they are not a loss).
+                let deadline = self.params.deadline_ps;
+                if deadline > 0 && now.since(st.generated_at).as_ps() >= deadline {
+                    if st.outcome != DeliveryOutcome::Delivered {
+                        self.packets[pkt as usize].outcome = DeliveryOutcome::Expired;
+                        self.metrics.on_expired(now);
+                        self.oracle.note(
+                            now.as_ps(),
+                            "expire",
+                            u64::from(pkt),
+                            u64::from(st.src.0),
+                        );
+                        self.oracle.progress(now.as_ps());
+                    }
+                    if !st.released {
+                        if let Some(p) = self.packets.get_mut(pkt as usize) {
+                            p.released = true;
+                        }
+                        self.release_outstanding(now, st.src.0);
+                        self.release_window(st.src.0);
+                    }
+                    return;
+                }
                 // Retry budget exhausted: the source gives up instead of
                 // retrying forever. A packet that was delivered but whose
                 // ACKs all died is only dropped from the buffer — it is
@@ -816,6 +957,7 @@ impl Model for BaldurNet {
                             p.released = true;
                         }
                         self.release_outstanding(now, st.src.0);
+                        self.release_window(st.src.0);
                     }
                     return;
                 }
@@ -1320,6 +1462,99 @@ mod tests {
             "expected a StuckFlow violation, got {:?}",
             r.oracle
         );
+    }
+
+    #[test]
+    fn ingress_cap_sheds_load_with_exact_conservation() {
+        // A 16-to-1 incast at 4x saturation with a small admission cap:
+        // the cap must refuse packets (counted, not stored) and the
+        // ledger must still balance exactly.
+        let params = BaldurParams {
+            ingress_cap: 8,
+            deadline_ps: 0,
+            ..BaldurParams::paper_for(32)
+        };
+        let d = Driver::storm(32, Pattern::Incast { fanin: 16 }, 4.0, 40, &link(), 7);
+        let r = simulate(32, params, link(), d, 7, None);
+        assert!(r.ingress_drops > 0, "4x incast must trip admission control");
+        assert_eq!(
+            r.generated,
+            r.delivered + r.abandoned + r.expired + r.ingress_drops,
+            "conservation with load shedding"
+        );
+        assert!(r.delivered > 0, "shedding must not collapse goodput");
+        assert!(r.oracle.is_clean(), "oracle: {:?}", r.oracle);
+    }
+
+    #[test]
+    fn deadline_expires_stale_packets_instead_of_retrying_forever() {
+        // A fully dead fabric with a generous retry budget but a tight
+        // deadline: packets expire at the age budget instead of burning
+        // the whole retry budget.
+        let params = BaldurParams {
+            max_retries: 100_000,
+            base_timeout_ps: 500_000,
+            deadline_ps: 3_000_000, // 3 us age budget
+            ..BaldurParams::paper_for(16)
+        };
+        let plan = FaultPlan::degradation(11, 1.0);
+        let d = Driver::open_loop(16, Pattern::UniformRandom, 0.3, 10, &link(), 11);
+        let r = simulate_plan(16, params, link(), d, 11, None, &plan);
+        assert_eq!(r.delivered, 0, "nothing crosses a dead fabric");
+        assert_eq!(r.expired, r.generated, "every packet expires at deadline");
+        assert_eq!(r.abandoned, 0, "deadline fires before the retry budget");
+        assert!(
+            r.retransmissions < 16 * r.generated,
+            "the deadline bounds retry amplification: {} retries",
+            r.retransmissions
+        );
+        assert_eq!(
+            r.generated,
+            r.delivered + r.abandoned + r.expired + r.ingress_drops
+        );
+    }
+
+    #[test]
+    fn pacing_defers_injections_without_losing_anything() {
+        let base = BaldurParams::paper_for(64);
+        let run = |pacing_window: u32| {
+            let params = BaldurParams {
+                pacing_window,
+                ..base
+            };
+            // An incast storm guarantees wavelength contention at the
+            // victim, so the unpaced run sees real fabric drops.
+            let d = Driver::storm(64, Pattern::Incast { fanin: 8 }, 2.0, 30, &link(), 13);
+            simulate(64, params, link(), d, 13, None)
+        };
+        let unpaced = run(0);
+        let paced = run(2);
+        assert!(unpaced.drop_attempts > 0, "storm must contend");
+        // Contention past the retry budget legitimately gives up, so the
+        // guarantee is exact conservation, not universal delivery.
+        assert_eq!(
+            paced.generated,
+            paced.delivered + paced.abandoned + paced.expired + paced.ingress_drops
+        );
+        assert!(paced.oracle.is_clean(), "oracle: {:?}", paced.oracle);
+        // Pacing throttles the offered burst, so fabric drops fall.
+        assert!(
+            paced.drop_attempts < unpaced.drop_attempts,
+            "paced {} vs unpaced {}",
+            paced.drop_attempts,
+            unpaced.drop_attempts
+        );
+    }
+
+    #[test]
+    fn hotcast_storm_delivers_and_reports_fairness() {
+        let d = Driver::storm(32, Pattern::Hotcast, 0.6, 30, &link(), 3);
+        let r = simulate(32, BaldurParams::paper_for(32), link(), d, 3, None);
+        assert_eq!(r.generated, 32 * 30);
+        assert!(r.delivery_ratio() > 0.99, "{}", r.delivery_ratio());
+        assert_eq!(r.fairness.flows, 32, "every node offers traffic");
+        assert!(r.fairness.jain > 0.0 && r.fairness.jain <= 1.0);
+        assert!(r.p999_ns >= r.p99_ns && r.p99_ns > 0.0);
     }
 
     #[test]

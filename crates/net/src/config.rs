@@ -47,6 +47,19 @@ impl LinkParams {
         assert!(load > 0.0 && load <= 1.0, "load must be in (0, 1]");
         self.packet_time().as_ps() as f64 / load
     }
+
+    /// [`Self::mean_interarrival_ps`] without the unit-load ceiling, for
+    /// deliberately super-saturating overload sources (offered load past
+    /// 1× is the admission-control stress fixture, not a paper operating
+    /// point).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `load > 0`.
+    pub fn overload_interarrival_ps(&self, load: f64) -> f64 {
+        assert!(load > 0.0, "load must be positive");
+        self.packet_time().as_ps() as f64 / load
+    }
 }
 
 impl Default for LinkParams {
@@ -105,6 +118,22 @@ pub struct BaldurParams {
     /// the ACKs it owes each source and flushes one combined ACK after
     /// this window (ps). Must stay well below the retransmission timeout.
     pub ack_coalesce_ps: u64,
+    /// Overload control (0 = unbounded = paper-faithful): cap on the
+    /// packets a source NIC queues awaiting first injection. Arrivals
+    /// beyond the cap are refused at admission and counted as
+    /// `ingress_drops` — an explicit drop policy instead of silent
+    /// unbounded queue growth under storm loads.
+    pub ingress_cap: u32,
+    /// Overload control (0 = off): source-side admission pacing — the
+    /// NIC defers *first* injections while this many of its packets are
+    /// already in the network awaiting their first ACK. Retransmissions
+    /// bypass the window (they already hold buffer slots).
+    pub pacing_window: u32,
+    /// Overload control (0 = off): delivery deadline as a packet age
+    /// budget, ps. At a retransmission timeout a packet older than this
+    /// expires (`DeliveryOutcome::Expired`) instead of retrying — stale
+    /// retries only amplify congestion past saturation.
+    pub deadline_ps: u64,
 }
 
 impl BaldurParams {
@@ -127,6 +156,9 @@ impl BaldurParams {
             backoff: true,
             path_rotation: false,
             ack_coalesce_ps: 0,
+            ingress_cap: 0,
+            pacing_window: 0,
+            deadline_ps: 0,
         }
     }
 
@@ -202,6 +234,18 @@ pub struct RouterParams {
     pub buffer_bytes: u32,
     /// Virtual channels per port (paper: 3).
     pub vcs: u32,
+    /// Overload control (0 = unbounded = paper-faithful): cap on the
+    /// packets a source NIC queues while waiting for injection credits.
+    /// Arrivals beyond the cap are refused at admission and counted as
+    /// `ingress_drops` instead of growing the queue without bound.
+    pub nic_queue_cap: u32,
+    /// Overload control (0 = off = paper-faithful): delivery deadline as
+    /// a packet age budget, ps. A NIC-queued packet older than this at
+    /// its injection attempt expires (`DeliveryOutcome::Expired`)
+    /// instead of being transmitted — under sustained overload the
+    /// bounded queues otherwise hoard stale work and spend post-storm
+    /// bandwidth delivering packets nobody is waiting for anymore.
+    pub deadline_ps: u64,
 }
 
 impl RouterParams {
@@ -211,6 +255,8 @@ impl RouterParams {
             switch_latency_ps: 90_000,
             buffer_bytes: 24 * 1024,
             vcs: 3,
+            nic_queue_cap: 0,
+            deadline_ps: 0,
         }
     }
 

@@ -64,6 +64,13 @@ enum NodeSource {
         remaining: u32,
         mean_ps: f64,
     },
+    Burst {
+        remaining: u32,
+        in_burst: u32,
+        burst_len: u32,
+        spacing_ps: f64,
+        gap_mean_ps: f64,
+    },
     PingPong {
         partner: u32,
         remaining_sends: u32,
@@ -113,6 +120,75 @@ impl Driver {
             total_to_send: u64::from(nodes) * u64::from(packets_per_node),
         }
     }
+
+    /// An overload-storm driver: destinations from a storm [`Pattern`]
+    /// at an offered `load` that may exceed saturation (`load > 1` is
+    /// allowed — arrivals then outpace the line rate on purpose). Only
+    /// the pattern's active senders transmit
+    /// ([`crate::traffic::storm_senders`]); [`Pattern::Hotcast`] sources
+    /// are bursty on/off (bursts of [`Driver::BURST_LEN`] back-to-back
+    /// packets separated by exponential off gaps sized so the long-run
+    /// offered load still equals `load`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on configurations [`Assignment::try_build`] rejects and
+    /// if `load <= 0`.
+    pub fn storm(
+        nodes: u32,
+        pattern: Pattern,
+        load: f64,
+        packets_per_node: u32,
+        link: &LinkParams,
+        seed: u64,
+    ) -> Driver {
+        let assignment = Assignment::build(pattern, nodes, seed);
+        let mean_ps = link.overload_interarrival_ps(load);
+        let packet_ps = link.packet_time().as_ps() as f64;
+        // On/off shape: within a burst packets are back-to-back at the
+        // offered rate (or line rate if load < 1); the off gap carries
+        // the rest of the idle time so the average still matches.
+        let burst_len = Self::BURST_LEN;
+        let (spacing_ps, gap_mean_ps) = if load >= 1.0 {
+            (packet_ps / load, 0.0)
+        } else {
+            (
+                packet_ps,
+                f64::from(burst_len) * packet_ps * (1.0 - load) / load,
+            )
+        };
+        let bursty = pattern == Pattern::Hotcast;
+        let senders = crate::traffic::storm_senders(pattern, nodes, seed);
+        let active = |n: u32| senders.as_ref().map_or(true, |s| s.contains(&n));
+        let mut total = 0u64;
+        let sources = (0..nodes)
+            .map(|n| {
+                let remaining = if active(n) { packets_per_node } else { 0 };
+                total += u64::from(remaining);
+                if bursty {
+                    NodeSource::Burst {
+                        remaining,
+                        in_burst: 0,
+                        burst_len,
+                        spacing_ps,
+                        gap_mean_ps,
+                    }
+                } else {
+                    NodeSource::OpenLoop { remaining, mean_ps }
+                }
+            })
+            .collect();
+        Driver {
+            nodes,
+            sources,
+            assignment: Some(assignment),
+            rng: StreamRng::named(seed, "driver", 3),
+            total_to_send: total,
+        }
+    }
+
+    /// Packets per on-phase burst for [`Driver::storm`] hotcast sources.
+    pub const BURST_LEN: u32 = 8;
 
     /// A ping-pong driver over explicit mutual `pairs` (each entry is the
     /// partner of its index). Each initiator plays `rounds` rounds; one
@@ -199,6 +275,19 @@ impl Driver {
                     let t = self.rng.gen_exp(*mean_ps) as u64;
                     out.push((n, t));
                 }
+                NodeSource::Burst {
+                    remaining,
+                    burst_len,
+                    spacing_ps,
+                    gap_mean_ps,
+                    ..
+                } if *remaining > 0 => {
+                    // Stagger starts by the long-run mean inter-arrival so
+                    // bursts don't all fire in phase at t=0.
+                    let mean = *spacing_ps + *gap_mean_ps / f64::from(*burst_len);
+                    let t = self.rng.gen_exp(mean) as u64;
+                    out.push((n, t));
+                }
                 NodeSource::PingPong {
                     initiator: true,
                     remaining_sends,
@@ -213,23 +302,53 @@ impl Driver {
 
     /// A scheduled wakeup for `node` fired at `now_ps`.
     pub fn wakeup(&mut self, node: u32, now_ps: u64) -> DriverOutput {
-        match &mut self.sources[node as usize] {
+        // The generating sources (open-loop and burst) update their state
+        // in the match, then fall through to a shared destination draw —
+        // every generating constructor installs an assignment, and one
+        // shared lookup keeps that invariant in one place. RNG order is
+        // part of the determinism contract: the destination draw comes
+        // first, the timing draw second, exactly as each arm did inline.
+        enum Timing {
+            // `gen_exp(mean)` after the destination draw.
+            Open { mean: f64 },
+            // Fixed spacing plus `gen_exp(gap_mean)` when a burst ended.
+            Burst { spacing: f64, gap_mean: f64 },
+        }
+        let (timing, more) = match &mut self.sources[node as usize] {
             NodeSource::OpenLoop { remaining, mean_ps } => {
                 if *remaining == 0 {
                     return DriverOutput::default();
                 }
                 *remaining -= 1;
-                let mean = *mean_ps;
-                let more = *remaining > 0;
-                let dst = self
-                    .assignment
-                    .as_ref()
-                    .expect("open loop has an assignment")
-                    .destination(NodeId(node), &mut self.rng, self.nodes);
-                DriverOutput {
-                    sends: vec![SendCmd { dst, count: 1 }],
-                    wake_at_ps: more.then(|| now_ps + self.rng.gen_exp(mean) as u64),
+                (Timing::Open { mean: *mean_ps }, *remaining > 0)
+            }
+            NodeSource::Burst {
+                remaining,
+                in_burst,
+                burst_len,
+                spacing_ps,
+                gap_mean_ps,
+            } => {
+                if *remaining == 0 {
+                    return DriverOutput::default();
                 }
+                *remaining -= 1;
+                *in_burst += 1;
+                // End of a burst: add the exponential off gap and start
+                // the next burst fresh.
+                let gap_mean = if *in_burst >= *burst_len {
+                    *in_burst = 0;
+                    *gap_mean_ps
+                } else {
+                    0.0
+                };
+                (
+                    Timing::Burst {
+                        spacing: *spacing_ps,
+                        gap_mean,
+                    },
+                    *remaining > 0,
+                )
             }
             NodeSource::PingPong {
                 partner,
@@ -238,7 +357,7 @@ impl Driver {
             } => {
                 // Only the initiator's t=0 wakeup sends; everything else is
                 // delivery-driven.
-                if *initiator && *remaining_sends > 0 && now_ps == 0 {
+                return if *initiator && *remaining_sends > 0 && now_ps == 0 {
                     *remaining_sends -= 1;
                     DriverOutput {
                         sends: vec![SendCmd {
@@ -249,9 +368,29 @@ impl Driver {
                     }
                 } else {
                     DriverOutput::default()
-                }
+                };
             }
-            NodeSource::Trace { .. } => self.advance_trace(node, now_ps),
+            NodeSource::Trace { .. } => return self.advance_trace(node, now_ps),
+        };
+        let dst = self
+            .assignment
+            .as_ref()
+            .expect("generating source has an assignment")
+            .destination(NodeId(node), &mut self.rng, self.nodes);
+        let wake_at_ps = more.then(|| match timing {
+            Timing::Open { mean } => now_ps + self.rng.gen_exp(mean) as u64,
+            Timing::Burst { spacing, gap_mean } => {
+                let gap = if gap_mean > 0.0 {
+                    self.rng.gen_exp(gap_mean) as u64
+                } else {
+                    0
+                };
+                now_ps + spacing as u64 + gap
+            }
+        });
+        DriverOutput {
+            sends: vec![SendCmd { dst, count: 1 }],
+            wake_at_ps,
         }
     }
 
@@ -448,5 +587,37 @@ mod tests {
     #[should_panic(expected = "mutual")]
     fn asymmetric_pairs_rejected() {
         Driver::ping_pong(vec![1, 2, 0], 1, 0);
+    }
+
+    fn drain_storm(d: &mut Driver) -> u32 {
+        let mut sent = 0;
+        let mut queue: Vec<(u32, u64)> = d.initial();
+        while let Some((node, t)) = queue.pop() {
+            let out = d.wakeup(node, t);
+            sent += out.sends.iter().map(|s| s.count).sum::<u32>();
+            if let Some(next) = out.wake_at_ps {
+                assert!(next > t, "storm wakeups must advance time");
+                queue.push((node, next));
+            }
+        }
+        sent
+    }
+
+    #[test]
+    fn incast_storm_only_senders_transmit() {
+        let link = LinkParams::paper();
+        let mut d = Driver::storm(16, Pattern::Incast { fanin: 5 }, 2.0, 7, &link, 9);
+        assert_eq!(d.total_to_send(), 35, "5 senders x 7 packets");
+        assert_eq!(d.initial().len(), 5, "idle nodes never wake");
+        assert_eq!(drain_storm(&mut d), 35);
+    }
+
+    #[test]
+    fn hotcast_storm_sends_exactly_n_packets_even_past_saturation() {
+        let link = LinkParams::paper();
+        let mut d = Driver::storm(8, Pattern::Hotcast, 4.0, 20, &link, 9);
+        assert_eq!(d.total_to_send(), 160);
+        assert_eq!(d.initial().len(), 8, "hotcast keeps every node active");
+        assert_eq!(drain_storm(&mut d), 160);
     }
 }

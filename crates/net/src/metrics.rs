@@ -33,20 +33,27 @@ pub struct RecoveryReport {
     /// The repair instant, ns.
     pub repair_at_ns: f64,
     /// Time from the repair until the first full histogram bin at or
-    /// above the recovery threshold, ns; `-1` when goodput never got
-    /// back within the observed window.
-    pub time_to_recover_ns: f64,
+    /// above the recovery threshold, ns; `None` when goodput never got
+    /// back within the observed window, or when no pre-fault baseline
+    /// exists to recover to (see [`Self::baseline_defined`]). A typed
+    /// absence instead of a `-1.0`/NaN sentinel keeps CSV renderings
+    /// honest.
+    pub time_to_recover_ns: Option<f64>,
     /// Deliveries observed after the repair (0 means the run had drained
     /// already — an unrecovered verdict would be meaningless).
     pub deliveries_after: u64,
     /// The pre-fault baseline delivery rate, packets per µs.
     pub baseline_per_us: f64,
+    /// False when the pre-fault window delivered nothing (zero-goodput
+    /// baseline): the recovery threshold is then degenerate and no
+    /// recovery verdict — positive or negative — is meaningful.
+    pub baseline_defined: bool,
 }
 
 impl RecoveryReport {
     /// True when goodput provably returned to the threshold.
     pub fn recovered(&self) -> bool {
-        self.time_to_recover_ns >= 0.0
+        self.time_to_recover_ns.is_some()
     }
 }
 
@@ -113,19 +120,23 @@ impl RecoveryTrack {
                     .position(|&b| f64::from(b) >= threshold)
                     .map(|off| start + off);
                 let time_to_recover_ns = match recovered_bin {
-                    // No pre-fault traffic: nothing to recover to.
-                    _ if baseline_rate <= 0.0 => 0.0,
+                    // No pre-fault traffic: the threshold is degenerate
+                    // (any bin — even an empty one — would "recover"), so
+                    // no verdict is reported rather than a fake instant
+                    // recovery.
+                    _ if baseline_rate <= 0.0 => None,
                     Some(idx) => {
                         let end_ps = (idx as u64 + 1).saturating_mul(bin_ps);
-                        Time::from_ps(end_ps.saturating_sub(repair_ps)).as_ns_f64()
+                        Some(Time::from_ps(end_ps.saturating_sub(repair_ps)).as_ns_f64())
                     }
-                    None => -1.0,
+                    None => None,
                 };
                 RecoveryReport {
                     repair_at_ns: Time::from_ps(repair_ps).as_ns_f64(),
                     time_to_recover_ns,
                     deliveries_after: after,
                     baseline_per_us: baseline_rate * 1e6,
+                    baseline_defined: baseline_rate > 0.0,
                 }
             })
             .collect()
@@ -143,6 +154,11 @@ pub enum DeliveryOutcome {
     /// The source exhausted its retry budget and gave up — the terminal
     /// state fault scenarios produce instead of retrying forever.
     GaveUp,
+    /// The packet outlived its delivery deadline (`deadline_ps` age
+    /// budget) while awaiting retransmission — the overload-control
+    /// terminal state: under storm loads a stale retry only amplifies
+    /// congestion, so the source expires it instead.
+    Expired,
 }
 
 /// Per-fault-epoch accumulator (internal to [`Collector`]).
@@ -162,6 +178,13 @@ pub struct Collector {
     generated: u64,
     delivered: u64,
     abandoned: u64,
+    expired: u64,
+    ingress_drops: u64,
+    /// Per-source-flow generation/delivery tallies (lazily grown; empty
+    /// unless a model opts into flow accounting via the `note_flow_*`
+    /// hooks). Feeds the fairness index and the starvation oracle.
+    flow_generated: Vec<u64>,
+    flow_delivered: Vec<u64>,
     drop_attempts: u64,
     forward_attempts: u64,
     injections: u64,
@@ -213,6 +236,10 @@ impl Collector {
             generated: 0,
             delivered: 0,
             abandoned: 0,
+            expired: 0,
+            ingress_drops: 0,
+            flow_generated: Vec::new(),
+            flow_delivered: Vec::new(),
             drop_attempts: 0,
             forward_attempts: 0,
             injections: 0,
@@ -267,6 +294,60 @@ impl Collector {
         }
     }
 
+    /// A packet outlived its delivery deadline at `now` and was expired
+    /// by its source (terminal, like abandonment; bucketed with the
+    /// epoch's abandonments since both are load-shedding losses).
+    pub fn on_expired(&mut self, now: Time) {
+        self.expired += 1;
+        if let Some(e) = self.epoch_mut(now) {
+            e.abandoned += 1;
+        }
+    }
+
+    /// A packet was refused at its source's bounded ingress queue
+    /// (admission control; terminal, counted — never silent).
+    pub fn on_ingress_drop(&mut self, now: Time) {
+        self.ingress_drops += 1;
+        if let Some(e) = self.epoch_mut(now) {
+            e.abandoned += 1;
+        }
+    }
+
+    /// Attributes one generated packet to source flow `src` (opt-in
+    /// per-flow accounting for the fairness index and starvation oracle).
+    pub fn note_flow_generated(&mut self, src: u32) {
+        let idx = src as usize;
+        if idx >= self.flow_generated.len() {
+            self.flow_generated.resize(idx + 1, 0);
+        }
+        if let Some(f) = self.flow_generated.get_mut(idx) {
+            *f += 1;
+        }
+    }
+
+    /// Attributes one delivery to source flow `src`.
+    pub fn note_flow_delivered(&mut self, src: u32) {
+        let idx = src as usize;
+        if idx >= self.flow_delivered.len() {
+            self.flow_delivered.resize(idx + 1, 0);
+        }
+        if let Some(f) = self.flow_delivered.get_mut(idx) {
+            *f += 1;
+        }
+    }
+
+    /// Per-flow delivery tallies observed so far (indexed by source;
+    /// empty unless flow accounting is in use). The starvation oracle
+    /// samples this between observation windows.
+    pub fn flow_delivered_counts(&self) -> &[u64] {
+        &self.flow_delivered
+    }
+
+    /// Per-flow generation tallies observed so far.
+    pub fn flow_generated_counts(&self) -> &[u64] {
+        &self.flow_generated
+    }
+
     /// A packet was corrupted in flight by a bit-error burst (and
     /// dropped; also counted as a drop via [`Collector::on_forward_attempt`]).
     pub fn on_corrupted(&mut self) {
@@ -317,14 +398,62 @@ impl Collector {
         self.abandoned
     }
 
+    /// Packets expired past their deadline so far.
+    pub fn expired(&self) -> u64 {
+        self.expired
+    }
+
+    /// Packets refused at a bounded ingress queue so far.
+    pub fn ingress_drops(&self) -> u64 {
+        self.ingress_drops
+    }
+
+    /// Fairness over the flows that generated traffic: Jain's index of
+    /// their delivered counts, plus the distribution extremes. Neutral
+    /// ([`FlowStats::default`]) when flow accounting was not in use.
+    fn flow_stats(&self) -> FlowStats {
+        let mut xs: Vec<f64> = Vec::new();
+        for (src, &gen) in self.flow_generated.iter().enumerate() {
+            if gen == 0 {
+                continue;
+            }
+            let d = self.flow_delivered.get(src).copied().unwrap_or(0);
+            xs.push(d as f64);
+        }
+        if xs.is_empty() {
+            return FlowStats::default();
+        }
+        let n = xs.len() as f64;
+        let sum: f64 = xs.iter().sum();
+        let sumsq: f64 = xs.iter().map(|x| x * x).sum();
+        // All-zero deliveries: maximally uniform (every flow equally
+        // starved), so Jain is 1 by convention rather than 0/0.
+        let jain = if sumsq <= 0.0 {
+            1.0
+        } else {
+            sum * sum / (n * sumsq)
+        };
+        let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().copied().fold(0.0f64, f64::max);
+        FlowStats {
+            flows: xs.len() as u64,
+            min_delivered: min as u64,
+            max_delivered: max as u64,
+            jain,
+        }
+    }
+
     /// Finalizes into a [`LatencyReport`].
     pub fn report(&self, sim_end: Time) -> LatencyReport {
         LatencyReport {
             generated: self.generated,
             delivered: self.delivered,
             abandoned: self.abandoned,
+            expired: self.expired,
+            ingress_drops: self.ingress_drops,
             avg_ns: self.latency.mean(),
             p99_ns: self.tail.quantile(0.99),
+            p999_ns: self.tail.quantile(0.999),
             max_ns: self.latency.max(),
             min_ns: self.latency.min(),
             drop_attempts: self.drop_attempts,
@@ -345,13 +474,17 @@ impl Collector {
             laser_losses: self.laser_losses,
             max_retx_buffer_bytes: self.max_retx_buffer_bytes,
             sim_end_ns: sim_end.as_ns_f64(),
+            last_delivery_ns: self.end.as_ns_f64(),
             // The collector never sees the scheduler; each simulator
             // overwrites this with `events_executed()` before returning.
             events: 0,
             stranded: self
                 .generated
                 .saturating_sub(self.delivered)
-                .saturating_sub(self.abandoned),
+                .saturating_sub(self.abandoned)
+                .saturating_sub(self.expired)
+                .saturating_sub(self.ingress_drops),
+            fairness: self.flow_stats(),
             recoveries: self
                 .recovery
                 .as_ref()
@@ -410,6 +543,33 @@ impl EpochReport {
     }
 }
 
+/// Per-flow goodput distribution summary: how evenly the delivered
+/// packets were spread over the flows that offered traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlowStats {
+    /// Flows that generated at least one packet (0 = flow accounting was
+    /// not in use; the other fields are then the neutral defaults).
+    pub flows: u64,
+    /// Fewest deliveries of any offering flow.
+    pub min_delivered: u64,
+    /// Most deliveries of any offering flow.
+    pub max_delivered: u64,
+    /// Jain's fairness index over per-flow delivered counts:
+    /// `(Σx)² / (n·Σx²)`, in `(0, 1]` with 1 = perfectly even.
+    pub jain: f64,
+}
+
+impl Default for FlowStats {
+    fn default() -> Self {
+        FlowStats {
+            flows: 0,
+            min_delivered: 0,
+            max_delivered: 0,
+            jain: 1.0,
+        }
+    }
+}
+
 /// The summary of one simulation run — the row a figure harness prints.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LatencyReport {
@@ -419,11 +579,19 @@ pub struct LatencyReport {
     pub delivered: u64,
     /// Packets abandoned after the retry limit (Baldur only).
     pub abandoned: u64,
+    /// Packets expired past their delivery deadline instead of being
+    /// retried (overload control; zero unless a deadline budget is set).
+    pub expired: u64,
+    /// Packets refused at a bounded source ingress queue (admission
+    /// control; zero unless an ingress cap is set).
+    pub ingress_drops: u64,
     /// Mean packet latency, ns (generation to first delivery, including
     /// queueing and retransmissions).
     pub avg_ns: f64,
     /// 99th-percentile ("tail") latency, ns.
     pub p99_ns: f64,
+    /// 99.9th-percentile latency, ns (the storm-visible tail).
+    pub p999_ns: f64,
     /// Worst observed latency, ns.
     pub max_ns: f64,
     /// Best observed latency, ns.
@@ -448,18 +616,27 @@ pub struct LatencyReport {
     pub laser_losses: u64,
     /// High-water mark of any node's retransmission buffer, bytes.
     pub max_retx_buffer_bytes: u64,
-    /// Simulated time at the last delivery, ns.
+    /// Simulated time when the run ended (drained or hit the horizon) —
+    /// includes trailing timer events after the last delivery, ns.
     pub sim_end_ns: f64,
+    /// Simulated time of the last delivery, ns (0 when nothing was
+    /// delivered). The accepted-goodput denominator: unlike
+    /// [`LatencyReport::sim_end_ns`] it excludes the dead air of stale
+    /// retry timers draining after traffic already finished.
+    pub last_delivery_ns: f64,
     /// Discrete events executed by the simulation kernel over the whole
     /// run — a deterministic, machine-independent work count (identical
     /// for identical configs at any thread count). The perf harness
     /// gates on this instead of trusting the wall clock.
     pub events: u64,
     /// Packets with no terminal outcome at the end of the run:
-    /// `generated - delivered - abandoned`. Zero whenever the run
-    /// drained; nonzero means the horizon (or a stuck-flow abort) cut
-    /// packets off mid-flight.
+    /// `generated - delivered - abandoned - expired - ingress_drops`.
+    /// Zero whenever the run drained; nonzero means the horizon (or a
+    /// stuck-flow abort) cut packets off mid-flight.
     pub stranded: u64,
+    /// Per-flow goodput distribution and Jain's fairness index (neutral
+    /// default unless the model attributed packets to flows).
+    pub fairness: FlowStats,
     /// Per-repair recovery measurements (empty unless the run had a
     /// fault plan with repair events).
     pub recoveries: Vec<RecoveryReport>,
@@ -496,8 +673,7 @@ impl LatencyReport {
     pub fn max_recovery_ns(&self) -> Option<f64> {
         self.recoveries
             .iter()
-            .filter(|r| r.recovered())
-            .map(|r| r.time_to_recover_ns)
+            .filter_map(|r| r.time_to_recover_ns)
             .max_by(f64::total_cmp)
     }
 
@@ -621,17 +797,19 @@ mod tests {
         assert_eq!(r.recoveries.len(), 1);
         let rec = &r.recoveries[0];
         assert!(rec.recovered());
+        assert!(rec.baseline_defined);
         // First ≥-threshold bin after the repair is [25, 26) µs → ends
         // 6 µs after the 20 µs repair.
-        assert!((rec.time_to_recover_ns - 6_000.0).abs() < 1e-9);
+        let ttr = rec.time_to_recover_ns.expect("recovered");
+        assert!((ttr - 6_000.0).abs() < 1e-9);
         assert_eq!(rec.deliveries_after, 5);
         assert!((rec.baseline_per_us - 1.0).abs() < 1e-9);
-        assert_eq!(r.max_recovery_ns(), Some(rec.time_to_recover_ns));
+        assert_eq!(r.max_recovery_ns(), Some(ttr));
         assert_eq!(r.stranded, 0, "delivered-only run strands nothing");
     }
 
     #[test]
-    fn unrecovered_repairs_report_minus_one() {
+    fn unrecovered_repairs_report_no_recovery_time() {
         let spec = RecoverySpec {
             bin_ps: 1_000_000,
             frac: 0.5,
@@ -648,9 +826,43 @@ mod tests {
         let r = c.report(Time::from_us(20));
         assert_eq!(r.recoveries.len(), 1);
         assert!(!r.recoveries[0].recovered());
-        assert_eq!(r.recoveries[0].time_to_recover_ns, -1.0);
+        assert!(r.recoveries[0].baseline_defined);
+        assert_eq!(r.recoveries[0].time_to_recover_ns, None);
         assert_eq!(r.recoveries[0].deliveries_after, 0);
         assert_eq!(r.max_recovery_ns(), None);
+    }
+
+    #[test]
+    fn zero_goodput_baseline_yields_typed_absence_not_nan() {
+        // Regression (overload PR): a pre-fault window with zero
+        // deliveries used to claim an instant (0 ns) recovery. It must
+        // instead report an undefined baseline and no recovery verdict,
+        // and no NaN/inf may reach the numeric fields.
+        let spec = RecoverySpec {
+            bin_ps: 1_000_000,
+            frac: 0.5,
+            first_fault_ps: 5_000_000,
+            repairs_ps: vec![10_000_000],
+        };
+        let mut c = Collector::with_recovery(64, Vec::new(), Some(spec));
+        // Deliveries only *after* the repair; the baseline window is dark.
+        for i in 12..18u64 {
+            c.on_delivered(
+                Duration::from_ns(100),
+                Time::from_ps(i * 1_000_000 + 500_000),
+            );
+        }
+        let r = c.report(Time::from_us(20));
+        assert_eq!(r.recoveries.len(), 1);
+        let rec = &r.recoveries[0];
+        assert!(!rec.baseline_defined, "dark baseline must be flagged");
+        assert!(!rec.recovered());
+        assert_eq!(rec.time_to_recover_ns, None);
+        assert_eq!(rec.deliveries_after, 6);
+        assert!(rec.baseline_per_us.is_finite());
+        assert_eq!(rec.baseline_per_us, 0.0);
+        assert_eq!(r.max_recovery_ns(), None);
+        assert!(r.flap_amplification().is_finite());
     }
 
     #[test]
@@ -673,5 +885,70 @@ mod tests {
     fn delivery_outcome_default_is_pending() {
         assert_eq!(DeliveryOutcome::default(), DeliveryOutcome::Pending);
         assert_ne!(DeliveryOutcome::Delivered, DeliveryOutcome::GaveUp);
+        assert_ne!(DeliveryOutcome::GaveUp, DeliveryOutcome::Expired);
+    }
+
+    #[test]
+    fn expired_and_ingress_drops_are_terminal_outcomes() {
+        let mut c = Collector::new(16);
+        for _ in 0..6 {
+            c.on_generated(Time::from_ns(1));
+        }
+        c.on_delivered(Duration::from_ns(10), Time::from_ns(2));
+        c.on_abandoned(Time::from_ns(3));
+        c.on_expired(Time::from_ns(4));
+        c.on_expired(Time::from_ns(5));
+        c.on_ingress_drop(Time::from_ns(6));
+        let r = c.report(Time::from_ns(10));
+        assert_eq!(r.expired, 2);
+        assert_eq!(r.ingress_drops, 1);
+        assert_eq!(
+            r.stranded, 1,
+            "one packet remains without a terminal outcome"
+        );
+        assert_eq!(
+            r.generated,
+            r.delivered + r.abandoned + r.expired + r.ingress_drops + r.stranded
+        );
+    }
+
+    #[test]
+    fn flow_stats_compute_jain_over_offering_flows() {
+        let mut c = Collector::new(16);
+        // Three offering flows (0, 1, 3) and one silent node (2).
+        for (src, gen, del) in [(0u32, 4u64, 4u64), (1, 4, 2), (3, 4, 0)] {
+            for _ in 0..gen {
+                c.on_generated(Time::from_ns(1));
+                c.note_flow_generated(src);
+            }
+            for _ in 0..del {
+                c.on_delivered(Duration::from_ns(10), Time::from_ns(2));
+                c.note_flow_delivered(src);
+            }
+        }
+        let r = c.report(Time::from_ns(10));
+        let f = r.fairness;
+        assert_eq!(f.flows, 3, "silent node 2 must not count");
+        assert_eq!(f.min_delivered, 0);
+        assert_eq!(f.max_delivered, 4);
+        // Jain((4, 2, 0)) = 36 / (3 * 20) = 0.6.
+        assert!((f.jain - 0.6).abs() < 1e-12, "jain {}", f.jain);
+        // A collector without flow accounting reports the neutral default.
+        let plain = Collector::new(4).report(Time::from_ns(1));
+        assert_eq!(plain.fairness, FlowStats::default());
+        assert_eq!(plain.fairness.jain, 1.0);
+    }
+
+    #[test]
+    fn all_flows_starved_is_uniformly_fair() {
+        let mut c = Collector::new(4);
+        for src in 0..3u32 {
+            c.on_generated(Time::from_ns(1));
+            c.note_flow_generated(src);
+        }
+        let f = c.report(Time::from_ns(5)).fairness;
+        assert_eq!(f.flows, 3);
+        assert_eq!((f.min_delivered, f.max_delivered), (0, 0));
+        assert_eq!(f.jain, 1.0, "0/0 must resolve to uniform, not NaN");
     }
 }

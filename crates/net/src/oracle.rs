@@ -50,6 +50,15 @@ pub struct OracleConfig {
     /// Reports kept verbatim; further violations only bump
     /// [`OracleSummary::suppressed`].
     pub max_reports: usize,
+    /// Consecutive *fair-share rounds* a flow may make zero progress —
+    /// while it has work outstanding and *other* flows deliver — before
+    /// the starvation watermark fires. An observation window only counts
+    /// as a round when the network delivered at least one packet per
+    /// contending flow in it, so the budget is denominated in missed
+    /// fair shares, not wall-clock windows, and is invariant to both the
+    /// oracle-tick cadence and the contention level. 0 disables the
+    /// checker.
+    pub starvation_windows: u32,
 }
 
 impl Default for OracleConfig {
@@ -58,6 +67,7 @@ impl Default for OracleConfig {
             // 50 ms of simulated silence with work outstanding.
             stall_ps: 50_000_000_000,
             max_reports: 8,
+            starvation_windows: 16,
         }
     }
 }
@@ -135,6 +145,30 @@ pub enum Violation {
         idle_ps: u64,
         /// Work items outstanding when the detector fired.
         outstanding: u64,
+    },
+    /// One flow made zero delivery progress for
+    /// [`OracleConfig::starvation_windows`] consecutive fair-share
+    /// rounds — windows in which the network delivered at least one
+    /// packet per contending flow — while it had work outstanding:
+    /// per-flow starvation, not a global stall and not fair-share
+    /// queueing under contention.
+    Starvation {
+        /// The starved source node / flow index.
+        flow: u32,
+        /// Consecutive zero-progress fair-share rounds observed.
+        windows: u32,
+        /// The flow's outstanding work when the watermark fired.
+        outstanding: u64,
+    },
+    /// A bounded ingress queue was observed deeper than its configured
+    /// cap: the admission-control drop policy is not being enforced.
+    OccupancyBound {
+        /// The node whose ingress queue overflowed.
+        node: u32,
+        /// Observed queue depth.
+        len: u64,
+        /// The configured cap it must stay within.
+        bound: u64,
     },
 }
 
@@ -214,6 +248,21 @@ pub struct Oracle {
     suppressed: u64,
     last_progress_ps: u64,
     stall_latched: bool,
+    flows: Vec<FlowWatch>,
+    starve_total: u64,
+}
+
+/// Per-flow starvation-watermark state.
+#[derive(Debug, Clone, Copy, Default)]
+struct FlowWatch {
+    /// Delivered count at the last observation window.
+    last: u64,
+    /// Consecutive zero-progress fair-share rounds (with work
+    /// outstanding, while the network delivered at least a packet per
+    /// contending flow).
+    stalled: u32,
+    /// Fired already; re-arms on the flow's next delivery.
+    latched: bool,
 }
 
 impl Oracle {
@@ -228,6 +277,8 @@ impl Oracle {
             suppressed: 0,
             last_progress_ps: 0,
             stall_latched: false,
+            flows: Vec::new(),
+            starve_total: 0,
         }
     }
 
@@ -299,6 +350,81 @@ impl Oracle {
         true
     }
 
+    /// The per-flow starvation watermark. Call once per observation
+    /// window (the models' oracle-tick cadence) with each flow's
+    /// cumulative delivered count and its currently outstanding work. A
+    /// flow that makes zero progress for
+    /// [`OracleConfig::starvation_windows`] consecutive *fair-share
+    /// rounds* — while it has work outstanding — records a
+    /// [`Violation::Starvation`] once, re-arming on the flow's next
+    /// delivery. A window counts as a round only when the network
+    /// delivered at least one packet per flow that had work outstanding:
+    /// under heavy contention (an incast sink shared by hundreds of
+    /// senders) a flow legitimately waits many windows for its fair
+    /// share, and that wait must not read as starvation at one topology
+    /// scale and not another. A globally stalled network is *not*
+    /// starvation either (that is [`Oracle::check_stall`]'s job), so
+    /// windows without global progress also leave the counters
+    /// untouched.
+    pub fn check_starvation(
+        &mut self,
+        now_ps: u64,
+        flow_delivered: &[u64],
+        flow_outstanding: &[u64],
+    ) {
+        let windows = self.cfg.starvation_windows;
+        if windows == 0 {
+            return;
+        }
+        let total: u64 = flow_delivered.iter().sum();
+        let delta = total.saturating_sub(self.starve_total);
+        self.starve_total = total;
+        let contenders = flow_outstanding.iter().filter(|&&o| o > 0).count() as u64;
+        let fair_round = delta >= contenders.max(1);
+        let tracked = flow_delivered.len().max(flow_outstanding.len());
+        if self.flows.len() < tracked {
+            self.flows.resize(tracked, FlowWatch::default());
+        }
+        let mut fired: Vec<(u32, u32, u64)> = Vec::new();
+        for (i, w) in self.flows.iter_mut().enumerate() {
+            let d = flow_delivered.get(i).copied().unwrap_or(0);
+            let outstanding = flow_outstanding.get(i).copied().unwrap_or(0);
+            if d > w.last {
+                w.last = d;
+                w.stalled = 0;
+                w.latched = false;
+            } else if outstanding == 0 {
+                w.stalled = 0;
+            } else if fair_round {
+                w.stalled = w.stalled.saturating_add(1);
+                if w.stalled >= windows && !w.latched {
+                    w.latched = true;
+                    fired.push((i as u32, w.stalled, outstanding));
+                }
+            }
+        }
+        for (flow, stalled, outstanding) in fired {
+            self.record(
+                now_ps,
+                Violation::Starvation {
+                    flow,
+                    windows: stalled,
+                    outstanding,
+                },
+            );
+        }
+    }
+
+    /// The bounded-queue occupancy checker: records a violation when an
+    /// ingress queue is observed deeper than its cap (`bound == 0`
+    /// means unbounded / unchecked).
+    pub fn check_occupancy(&mut self, at_ps: u64, node: u32, len: u64, bound: u64) {
+        if bound == 0 || len <= bound {
+            return;
+        }
+        self.record(at_ps, Violation::OccupancyBound { node, len, bound });
+    }
+
     /// True when nothing has been reported.
     pub fn is_clean(&self) -> bool {
         self.reports.is_empty() && self.suppressed == 0
@@ -355,6 +481,7 @@ mod tests {
         let mut o = Oracle::new(OracleConfig {
             stall_ps: 1,
             max_reports: 2,
+            ..OracleConfig::default()
         });
         o.set_boundaries(vec![1_000, 2_000]);
         for i in 0..40u64 {
@@ -396,10 +523,135 @@ mod tests {
     }
 
     #[test]
+    fn starvation_fires_only_when_others_progress() {
+        let mut o = Oracle::new(OracleConfig {
+            starvation_windows: 3,
+            ..OracleConfig::default()
+        });
+        // Flow 1 is stuck with outstanding work while flow 0 delivers.
+        let outstanding = [0u64, 5];
+        let mut delivered = [0u64, 0];
+        for tick in 1..=2u64 {
+            delivered[0] = tick;
+            o.check_starvation(tick * 1_000, &delivered, &outstanding);
+        }
+        assert!(o.is_clean(), "two stalled windows are under the budget");
+        delivered[0] = 3;
+        o.check_starvation(3_000, &delivered, &outstanding);
+        let s = o.summary();
+        assert_eq!(s.reports.len(), 1, "third window fires");
+        match &s.reports[0].violation {
+            Violation::Starvation {
+                flow,
+                windows,
+                outstanding,
+            } => {
+                assert_eq!(*flow, 1);
+                assert_eq!(*windows, 3);
+                assert_eq!(*outstanding, 5);
+            }
+            other => panic!("wrong violation: {other:?}"),
+        }
+        // Latched: more stalled windows don't re-fire...
+        delivered[0] = 4;
+        o.check_starvation(4_000, &delivered, &outstanding);
+        assert_eq!(o.summary().total(), 1);
+        // ...until the starved flow finally delivers, which re-arms it.
+        delivered[1] = 1;
+        o.check_starvation(5_000, &delivered, &outstanding);
+        for tick in 6..=8u64 {
+            delivered[0] += 1;
+            o.check_starvation(tick * 1_000, &delivered, &outstanding);
+        }
+        assert_eq!(o.summary().total(), 2, "re-armed after progress");
+    }
+
+    #[test]
+    fn fair_share_waiting_is_not_starvation() {
+        let mut o = Oracle::new(OracleConfig {
+            starvation_windows: 2,
+            ..OracleConfig::default()
+        });
+        // Three contenders share a slow sink: one delivery per window is
+        // less than one fair-share round, so no window counts against
+        // flow 2 no matter how many pass.
+        let outstanding = [5u64, 5, 5];
+        let mut delivered = [0u64, 0, 0];
+        for tick in 1..=20u64 {
+            delivered[(tick % 2) as usize] += 1;
+            o.check_starvation(tick * 1_000, &delivered, &outstanding);
+        }
+        assert!(o.is_clean(), "fair-share waiting under contention");
+        // When the sink serves a full round per window and flow 2 still
+        // gets nothing, that IS starvation.
+        for tick in 21..=22u64 {
+            delivered[0] += 2;
+            delivered[1] += 1;
+            o.check_starvation(tick * 1_000, &delivered, &outstanding);
+        }
+        let s = o.summary();
+        assert_eq!(s.reports.len(), 1);
+        match &s.reports[0].violation {
+            Violation::Starvation {
+                flow, outstanding, ..
+            } => {
+                assert_eq!(*flow, 2);
+                assert_eq!(*outstanding, 5);
+            }
+            other => panic!("wrong violation: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn global_stall_is_not_starvation() {
+        let mut o = Oracle::new(OracleConfig {
+            starvation_windows: 2,
+            ..OracleConfig::default()
+        });
+        // Nobody delivers: every flow is stuck, so no flow is starved.
+        let outstanding = [4u64, 4];
+        let delivered = [1u64, 1];
+        o.check_starvation(1_000, &delivered, &outstanding);
+        for tick in 2..=10u64 {
+            o.check_starvation(tick * 1_000, &delivered, &outstanding);
+        }
+        assert!(o.is_clean());
+        // A flow with no outstanding work is idle, not starved.
+        let outstanding = [0u64, 4];
+        let mut d = delivered;
+        for tick in 11..=20u64 {
+            d[1] += 1;
+            o.check_starvation(tick * 1_000, &d, &outstanding);
+        }
+        assert!(o.is_clean());
+    }
+
+    #[test]
+    fn occupancy_bound_checks_only_bounded_queues() {
+        let mut o = Oracle::default();
+        o.check_occupancy(100, 3, 1_000, 0);
+        assert!(o.is_clean(), "bound 0 = unbounded, never flagged");
+        o.check_occupancy(100, 3, 8, 8);
+        assert!(o.is_clean(), "at the cap is within bounds");
+        o.check_occupancy(200, 3, 9, 8);
+        let s = o.summary();
+        assert_eq!(s.reports.len(), 1);
+        assert_eq!(
+            s.reports[0].violation,
+            Violation::OccupancyBound {
+                node: 3,
+                len: 9,
+                bound: 8
+            }
+        );
+    }
+
+    #[test]
     fn stall_fires_once_and_rearms_on_progress() {
         let mut o = Oracle::new(OracleConfig {
             stall_ps: 100,
             max_reports: 8,
+            ..OracleConfig::default()
         });
         o.progress(50);
         assert!(!o.check_stall(100, 3), "within budget");

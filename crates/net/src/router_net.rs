@@ -25,6 +25,7 @@ type PktId = u32;
 
 #[derive(Debug, Clone, Copy)]
 struct RPacket {
+    src: NodeId,
     dst: NodeId,
     generated_at: Time,
     route: RouteState,
@@ -119,6 +120,10 @@ pub struct RouterNet {
     /// Always-on runtime invariant oracle (credit balance, bounded
     /// queues, stuck-flow, drain conservation).
     oracle: Oracle,
+    /// Per-source packets still owed a terminal outcome (admitted, not
+    /// yet delivered or lost) — the starvation watermark's outstanding
+    /// signal.
+    flow_pending: Vec<u64>,
 }
 
 impl RouterNet {
@@ -156,6 +161,7 @@ impl RouterNet {
             })
             .collect();
         let router_count = graph.router_count();
+        let nodes = driver.nodes() as usize;
         RouterNet {
             graph,
             alg,
@@ -172,6 +178,15 @@ impl RouterNet {
             any_router_down: false,
             plan: FaultPlan::new(seed),
             oracle: Oracle::new(OracleConfig::default()),
+            flow_pending: vec![0; nodes],
+        }
+    }
+
+    /// One admitted packet of `src` reached a terminal outcome
+    /// (delivered or lost): retire it from the starvation signal.
+    fn flow_done(&mut self, src: u32) {
+        if let Some(p) = self.flow_pending.get_mut(src as usize) {
+            *p = p.saturating_sub(1);
         }
     }
 
@@ -253,6 +268,9 @@ impl RouterNet {
                 }
                 self.metrics.on_forward_attempt(true);
                 self.metrics.on_abandoned(now);
+                if let Some(src) = self.packets.get(pkt as usize).map(|p| p.src.0) {
+                    self.flow_done(src);
+                }
                 self.oracle
                     .note(now.as_ps(), "drop:kill", u64::from(pkt), u64::from(router));
                 self.oracle.progress(now.as_ps());
@@ -324,17 +342,49 @@ impl RouterNet {
         out: crate::driver::DriverOutput,
         sched: &mut Scheduler<Ev>,
     ) {
+        let cap = self.rp.nic_queue_cap;
         for cmd in out.sends {
             for _ in 0..cmd.count {
+                self.metrics.on_generated(now);
+                self.metrics.note_flow_generated(node);
+                if cap > 0 && self.nics[node as usize].queue.len() >= cap as usize {
+                    // Admission control: the NIC queue is full, so the packet
+                    // is refused at the edge and counted as an ingress drop.
+                    self.metrics.on_ingress_drop(now);
+                    self.oracle
+                        .note(now.as_ps(), "drop:ingress", u64::from(node), 0);
+                    self.oracle.progress(now.as_ps());
+                    continue;
+                }
                 let pkt = self.packets.len() as PktId;
                 self.packets.push(RPacket {
+                    src: NodeId(node),
                     dst: cmd.dst,
                     generated_at: now,
                     route: RouteState::default(),
                     decision: (0, 0),
                 });
-                self.metrics.on_generated(now);
+                if let Some(p) = self.flow_pending.get_mut(node as usize) {
+                    *p += 1;
+                }
                 self.nics[node as usize].queue.push_back(pkt);
+                if self.rp.deadline_ps > 0 {
+                    // Eager expiry: revisit the queue when this packet's
+                    // age budget runs out, so the deadline is enforced
+                    // even if no injection credit ever arrives to
+                    // trigger an attempt. The handler is idempotent —
+                    // a live head just retries injection.
+                    sched.schedule_at(
+                        now + Duration::from_ps(self.rp.deadline_ps),
+                        Ev::NicTry(node),
+                    );
+                }
+                self.oracle.check_occupancy(
+                    now.as_ps(),
+                    node,
+                    self.nics[node as usize].queue.len() as u64,
+                    u64::from(cap),
+                );
             }
         }
         if !self.nics[node as usize].queue.is_empty() {
@@ -483,7 +533,14 @@ impl RouterNet {
             .metrics
             .generated()
             .saturating_sub(self.metrics.delivered())
-            .saturating_sub(self.metrics.abandoned());
+            .saturating_sub(self.metrics.abandoned())
+            .saturating_sub(self.metrics.expired())
+            .saturating_sub(self.metrics.ingress_drops());
+        self.oracle.check_starvation(
+            now.as_ps(),
+            self.metrics.flow_delivered_counts(),
+            &self.flow_pending,
+        );
         self.oracle.check_stall(now.as_ps(), outstanding)
     }
 
@@ -497,7 +554,8 @@ impl RouterNet {
         let generated = self.metrics.generated();
         let delivered = self.metrics.delivered();
         let abandoned = self.metrics.abandoned();
-        if generated != delivered + abandoned {
+        let shed = self.metrics.expired() + self.metrics.ingress_drops();
+        if generated != delivered + abandoned + shed {
             self.oracle.record(
                 at,
                 Violation::Conservation {
@@ -506,7 +564,8 @@ impl RouterNet {
                     abandoned,
                     stranded: generated
                         .saturating_sub(delivered)
-                        .saturating_sub(abandoned),
+                        .saturating_sub(abandoned)
+                        .saturating_sub(shed),
                 },
             );
         }
@@ -576,6 +635,31 @@ impl Model for RouterNet {
             }
             Ev::NicTry(node) => {
                 self.nics[node as usize].try_scheduled = false;
+                // Deadline check at the head of the queue: the NIC FIFO
+                // is ordered by admission time, so stale heads are shed
+                // here — expiring a packet burns no transmit slot, and
+                // under sustained overload it keeps the bounded queue
+                // from hoarding work nobody is waiting for anymore.
+                let deadline = self.rp.deadline_ps;
+                if deadline > 0 {
+                    while let Some(&head) = self.nics[node as usize].queue.front() {
+                        let age = now.since(self.packets[head as usize].generated_at);
+                        if age.as_ps() < deadline {
+                            break;
+                        }
+                        self.nics[node as usize].queue.pop_front();
+                        let src = self.packets[head as usize].src.0;
+                        self.metrics.on_expired(now);
+                        self.flow_done(src);
+                        self.oracle.note(
+                            now.as_ps(),
+                            "expire:nic",
+                            u64::from(head),
+                            u64::from(src),
+                        );
+                        self.oracle.progress(now.as_ps());
+                    }
+                }
                 let Some(&pkt) = self.nics[node as usize].queue.front() else {
                     return;
                 };
@@ -634,8 +718,33 @@ impl Model for RouterNet {
                 if self.is_down(router) {
                     self.metrics.on_forward_attempt(true);
                     self.metrics.on_abandoned(now);
+                    if let Some(src) = self.packets.get(pkt as usize).map(|p| p.src.0) {
+                        self.flow_done(src);
+                    }
                     self.oracle
                         .note(now.as_ps(), "drop:dead", u64::from(pkt), u64::from(router));
+                    self.oracle.progress(now.as_ps());
+                    self.refund_credit(now, router, port, vc, sched);
+                    return;
+                }
+                // Deadline check on arrival: a packet whose age passed
+                // the budget expires at the next router it reaches (the
+                // same credit-refund path a dead-router drop takes), so
+                // in-network staleness is bounded by one hop time. The
+                // drained buffer slot goes back upstream; without this,
+                // a storm's backlog spends post-storm bandwidth
+                // delivering packets nobody is waiting for anymore.
+                let deadline = self.rp.deadline_ps;
+                if deadline > 0
+                    && now.since(self.packets[pkt as usize].generated_at).as_ps() >= deadline
+                {
+                    self.metrics.on_forward_attempt(true);
+                    self.metrics.on_expired(now);
+                    if let Some(src) = self.packets.get(pkt as usize).map(|p| p.src.0) {
+                        self.flow_done(src);
+                    }
+                    self.oracle
+                        .note(now.as_ps(), "expire:hop", u64::from(pkt), u64::from(router));
                     self.oracle.progress(now.as_ps());
                     self.refund_credit(now, router, port, vc, sched);
                     return;
@@ -754,6 +863,9 @@ impl Model for RouterNet {
             Ev::Deliver { pkt, node } => {
                 let latency = now.since(self.packets[pkt as usize].generated_at);
                 self.metrics.on_delivered(latency, now);
+                let src = self.packets[pkt as usize].src.0;
+                self.metrics.note_flow_delivered(src);
+                self.flow_done(src);
                 self.oracle.progress(now.as_ps());
                 let out = self.driver.delivered(node, now.as_ps());
                 self.apply_driver_output(now, node, out, sched);
@@ -1179,6 +1291,67 @@ mod tests {
             plan.repair_times().len(),
             "one recovery measurement per repair event"
         );
+    }
+
+    #[test]
+    fn bounded_nic_queue_sheds_storm_overload_with_conservation() {
+        // A capped NIC injection queue refuses excess incast arrivals at
+        // the edge instead of queueing without bound. Everything admitted
+        // still lands (the fabric stays lossless under credits), so the
+        // shed packets are exactly the conservation gap.
+        let ft = FatTree::new(4);
+        let g = ft.build_graph(10_000, 50_000, 100_000);
+        let d = Driver::storm(16, Pattern::Incast { fanin: 4 }, 3.0, 40, &link(), 9);
+        let rp = RouterParams {
+            nic_queue_cap: 4,
+            ..RouterParams::paper()
+        };
+        let r = simulate(g, RoutingAlg::FatTree(ft), link(), rp, d, 9, None);
+        assert_eq!(r.generated, 4 * 40);
+        assert!(r.ingress_drops > 0, "storm must overflow the capped queue");
+        assert_eq!(r.delivered + r.ingress_drops, r.generated);
+        assert_eq!(r.abandoned, 0, "admitted packets are never lost");
+        assert_eq!(r.fairness.flows, 4, "only the senders offer traffic");
+        assert!(r.fairness.jain > 0.0 && r.fairness.jain <= 1.0);
+        assert!(r.oracle.is_clean(), "oracle: {:?}", r.oracle);
+    }
+
+    #[test]
+    fn nic_deadline_expires_stale_queued_packets_with_conservation() {
+        // A hard incast with a deep NIC queue and a deadline shorter
+        // than the queue wait: stale heads expire at their injection
+        // attempt instead of being transmitted, every packet still has
+        // exactly one terminal outcome, and the oracle stays clean.
+        let ft = FatTree::new(4);
+        let g = ft.build_graph(10_000, 50_000, 100_000);
+        let d = Driver::storm(16, Pattern::Incast { fanin: 8 }, 4.0, 60, &link(), 11);
+        let rp = RouterParams {
+            nic_queue_cap: 32,
+            deadline_ps: 2_000_000, // 2 us age budget
+            ..RouterParams::paper()
+        };
+        let r = simulate(g, RoutingAlg::FatTree(ft), link(), rp, d, 11, None);
+        assert_eq!(r.generated, 8 * 60);
+        assert!(r.expired > 0, "queue wait past the deadline must shed");
+        assert_eq!(
+            r.delivered + r.expired + r.ingress_drops,
+            r.generated,
+            "conservation with expiries"
+        );
+        assert_eq!(r.abandoned, 0, "admitted packets are never lost");
+        assert!(r.oracle.is_clean(), "oracle: {:?}", r.oracle);
+
+        // Deadline off (0) is the paper-faithful default: nothing expires.
+        let ft2 = FatTree::new(4);
+        let g2 = ft2.build_graph(10_000, 50_000, 100_000);
+        let d2 = Driver::storm(16, Pattern::Incast { fanin: 8 }, 4.0, 60, &link(), 11);
+        let rp2 = RouterParams {
+            nic_queue_cap: 32,
+            ..RouterParams::paper()
+        };
+        let r2 = simulate(g2, RoutingAlg::FatTree(ft2), link(), rp2, d2, 11, None);
+        assert_eq!(r2.expired, 0, "deadline 0 never expires");
+        assert_eq!(r2.delivered + r2.ingress_drops, r2.generated);
     }
 
     #[test]

@@ -170,6 +170,20 @@ pub enum Workload {
         /// Trace scale knobs.
         params: TraceParams,
     },
+    /// Overload storm: open-loop arrivals at an offered load that may
+    /// exceed saturation (`load > 1` is allowed), destinations from a
+    /// storm [`Pattern`]. Incast wakes only the pattern's sender set;
+    /// hotcast sources are bursty on/off.
+    Storm {
+        /// Storm traffic pattern (usually `Incast`/`Hotcast`; any
+        /// pattern works).
+        pattern: Pattern,
+        /// Offered load relative to line rate, `> 0` (4.0 = 4x
+        /// saturation).
+        load: f64,
+        /// Packets injected per active sender.
+        packets_per_node: u32,
+    },
 }
 
 /// A complete run configuration.
@@ -239,6 +253,18 @@ fn build_driver(cfg: &RunConfig) -> Driver {
         }
         Workload::Hpc { app, params } => Driver::trace(
             workloads::generate(app, cfg.nodes, params, cfg.seed),
+            cfg.seed,
+        ),
+        Workload::Storm {
+            pattern,
+            load,
+            packets_per_node,
+        } => Driver::storm(
+            cfg.nodes,
+            pattern,
+            load,
+            packets_per_node,
+            &cfg.link,
             cfg.seed,
         ),
     }

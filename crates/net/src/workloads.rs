@@ -24,6 +24,7 @@ use baldur_topo::dragonfly::Dragonfly;
 use serde::{Deserialize, Serialize};
 
 use crate::driver::Op;
+use crate::traffic::Pattern;
 
 /// The four Design Forward applications.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -417,9 +418,42 @@ pub fn ping_pong2_pairs(nodes: u32) -> Vec<u32> {
         .collect()
 }
 
+/// The overload-storm workload family (ROADMAP item 3), in sweep order:
+/// uniform background load, k-to-1 incast at the machine's default
+/// fan-in, and the bursty skewed hotcast. These are the three columns of
+/// the `overload` experiment.
+pub fn storm_patterns(nodes: u32) -> Vec<Pattern> {
+    vec![
+        Pattern::UniformRandom,
+        Pattern::Incast {
+            fanin: incast_fanin(nodes),
+        },
+        Pattern::Hotcast,
+    ]
+}
+
+/// Default incast fan-in: a quarter of the machine converging on one
+/// victim, clamped to the `1..nodes` range [`Pattern::Incast`] accepts.
+pub fn incast_fanin(nodes: u32) -> u32 {
+    (nodes / 4).clamp(1, nodes.saturating_sub(1).max(1))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn storm_family_builds_at_every_scale() {
+        for nodes in [2u32, 3, 8, 64, 1_024] {
+            for p in storm_patterns(nodes) {
+                assert!(
+                    crate::traffic::Assignment::try_build(p, nodes, 7).is_ok(),
+                    "{} invalid at {nodes} nodes",
+                    p.name()
+                );
+            }
+        }
+    }
 
     #[test]
     fn grid3d_is_balanced() {

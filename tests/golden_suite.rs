@@ -98,6 +98,15 @@ fn golden_chaos_csv() {
 }
 
 #[test]
+fn golden_overload_csv() {
+    // Storms at 0.5x/1x/4x with the overload controls on: pins the
+    // admission/pacing/deadline dynamics, the per-flow fairness
+    // distribution, and the oracle summary.
+    let rows = experiments::overload(&tiny(), &[0.5, 1.0, 4.0]).expect("default storm lineup");
+    check("overload.csv", &baldur::csv::overload(&rows));
+}
+
+#[test]
 fn golden_table5_csv() {
     let rows = experiments::table_v(&tiny());
     check("table5.csv", &baldur::csv::table5(&rows));

@@ -448,6 +448,87 @@ fn backoff_schedule_is_monotone_capped_and_reproducible() {
     }
 }
 
+/// Overload robustness: for any draw of storm pattern, offered load,
+/// admission cap, pacing window, and deadline, both network models
+/// account for every generated packet exactly —
+/// `generated == delivered + abandoned + expired + ingress_drops` —
+/// and the always-on runtime oracle stays quiet. A quiet oracle
+/// certifies the bounded-queue invariant (no source queue ever exceeds
+/// its admission cap; the occupancy checker runs at every enqueue) and,
+/// for the electrical model, the credit balance (credits are unsigned
+/// and only decremented behind an availability check, and the drained
+/// model verifies every counter returned to capacity — an overdraw or
+/// leak anywhere surfaces as a violation).
+#[test]
+fn overload_storms_conserve_packets_and_bound_queues() {
+    use baldur::net::config::{BaldurParams, RouterParams};
+    use baldur::net::runner::{run, NetworkKind, RunConfig, Workload};
+    use baldur::net::traffic::Pattern;
+
+    for case in 0..16 {
+        let mut rng = case_rng("overload", case);
+        let nodes = 1u32 << rng.gen_range(4u32..7);
+        let pattern = match case % 3 {
+            0 => Pattern::UniformRandom,
+            1 => Pattern::Incast {
+                fanin: (nodes / 4).max(2),
+            },
+            _ => Pattern::Hotcast,
+        };
+        let load = [0.5, 1.0, 2.0, 4.0][(case as usize / 3) % 4];
+        let cap = rng.gen_range(1u32..12);
+        let seed = rng.next_u64();
+        let workload = Workload::Storm {
+            pattern,
+            load,
+            packets_per_node: rng.gen_range(8u32..32),
+        };
+
+        let mut bp = BaldurParams::paper_1k();
+        bp.ingress_cap = cap;
+        bp.pacing_window = rng.gen_range(0u32..4);
+        bp.deadline_ps = [0, 5_000_000, 20_000_000][case as usize % 3];
+        bp.max_backoff_exp = rng.gen_range(2u32..6);
+        bp.retry_jitter_pct = rng.gen_range(0u32..100);
+        let mut rp = RouterParams::paper();
+        rp.nic_queue_cap = cap;
+        rp.deadline_ps = bp.deadline_ps;
+
+        for net in [NetworkKind::Baldur(bp), NetworkKind::FatTree { router: rp }] {
+            let label = match net {
+                NetworkKind::Baldur(_) => "baldur",
+                _ => "fattree",
+            };
+            let r = run(&RunConfig {
+                seed,
+                ..RunConfig::new(nodes, net, workload)
+            });
+            assert!(
+                r.generated > 0,
+                "case {case} {label}: storm offered nothing"
+            );
+            assert_eq!(
+                r.generated,
+                r.delivered + r.abandoned + r.expired + r.ingress_drops,
+                "case {case} {label}: packet conservation broken"
+            );
+            assert!(
+                r.oracle.is_clean(),
+                "case {case} {label}: {} oracle violation(s), first: {:?}",
+                r.oracle.total(),
+                r.oracle.reports.first()
+            );
+            if r.delivered > 0 {
+                let jain = r.fairness.jain;
+                assert!(
+                    jain > 0.0 && jain <= 1.0 + 1e-9,
+                    "case {case} {label}: Jain index {jain} out of range"
+                );
+            }
+        }
+    }
+}
+
 /// The two scheduler backends (binary heap and calendar queue) deliver
 /// byte-identical `(time, seq, event)` pop sequences on any workload —
 /// including bursty waves, tight same-timestamp clusters, and the

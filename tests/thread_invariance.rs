@@ -58,6 +58,47 @@ fn fig6_is_byte_identical_at_1_2_and_8_threads() {
     }
 }
 
+/// The overload storm sweep, rendered to CSV and JSON through the
+/// registry, at `threads` — the seeded overload dynamics (admission
+/// drops, deadline expiry, jittered retries) must not leak any
+/// thread-count dependence into the bytes.
+fn overload_bytes(threads: usize) -> (String, String) {
+    let spec = registry::get("overload").expect("overload is registered");
+    let cfg = EvalConfig {
+        threads,
+        ..EvalConfig::tiny()
+    };
+    let mut params = Params::for_spec(spec, cfg);
+    params
+        .set(spec, "loads", "0.5,4")
+        .expect("loads is a declared overload axis");
+    params
+        .set(spec, "patterns", "incast,hotcast")
+        .expect("patterns is a declared overload axis");
+    let sw = Sweep::new(threads);
+    let out = (spec.run)(&sw, &params).expect("overload sweep succeeds");
+    (
+        out.csv.expect("overload renders CSV"),
+        out.json.expect("overload renders JSON"),
+    )
+}
+
+#[test]
+fn overload_is_byte_identical_at_1_2_and_8_threads() {
+    let (csv1, json1) = overload_bytes(1);
+    for threads in [2, 8] {
+        let (csv, json) = overload_bytes(threads);
+        assert!(
+            csv == csv1,
+            "overload CSV diverged between 1 and {threads} threads"
+        );
+        assert!(
+            json == json1,
+            "overload JSON diverged between 1 and {threads} threads"
+        );
+    }
+}
+
 #[test]
 fn failed_slots_are_submission_ordered_at_any_thread_count() {
     // Panic isolation must not cost determinism: with seeded panics in
