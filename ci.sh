@@ -111,6 +111,10 @@ run_step overload-smoke cargo run --release -p baldur-bench --bin overload -- --
 # worker thread and at eight; wall-clock numbers stay advisory.
 run_step perf-smoke-1t env BALDUR_THREADS=1 cargo run --release -p baldur-bench --bin perf -- --smoke
 run_step perf-smoke-8t env BALDUR_THREADS=8 cargo run --release -p baldur-bench --bin perf -- --smoke
+# Scaling smoke: the 1K->4K head of the million-endpoint curve through
+# the SoA kernel; asserts byte-identical repeat runs, 1-vs-8-thread sweep
+# invariance, and packet conservation (wall/RSS columns stay advisory).
+run_step scaling-smoke cargo run --release -p baldur-bench --bin scaling -- --smoke
 
 write_summary
 echo "=== OK (summary: ${summary})"

@@ -4,7 +4,7 @@ use baldur::phy::length_code::LengthCode;
 use baldur::phy::packet_wave::assemble;
 use baldur::tl::netlist::{CircuitSim, Netlist, RunOutcome};
 use baldur::tl::switch::{build_switch, SwitchParams};
-use baldur_bench::timing::Group;
+use baldur_bench::perf::Group;
 
 fn main() {
     let mut g = Group::new("circuit");

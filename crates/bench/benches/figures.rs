@@ -3,7 +3,7 @@
 //! is perf-tracked.
 
 use baldur::experiments::{self, EvalConfig};
-use baldur_bench::timing::Group;
+use baldur_bench::perf::Group;
 
 fn main() {
     let mut g = Group::new("figures");

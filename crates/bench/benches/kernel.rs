@@ -1,7 +1,7 @@
 //! Microbenchmarks of the discrete-event kernel.
 
 use baldur::sim::{Duration, Model, Scheduler, Simulation, Time};
-use baldur_bench::timing::Group;
+use baldur_bench::perf::Group;
 
 struct Ring {
     hops: u64,

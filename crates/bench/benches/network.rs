@@ -1,7 +1,7 @@
 //! Packet-level simulator throughput for all network models.
 
 use baldur::prelude::*;
-use baldur_bench::timing::Group;
+use baldur_bench::perf::Group;
 
 fn run_one(net: NetworkKind) -> LatencyReport {
     let cfg = RunConfig::new(

@@ -1,0 +1,6 @@
+//! Kernel scaling curves: wall-clock, events/sec, peak RSS, and model
+//! state bytes from 1K toward 1M Baldur endpoints.
+
+fn main() {
+    baldur_bench::registry_main("scaling")
+}

@@ -39,7 +39,6 @@
 pub mod cli;
 pub mod perf;
 pub mod runner;
-pub mod timing;
 
 pub use baldur::registry::fmt_ns;
 pub use cli::{finish, header, or_die, print_sweep_summary, usage, usage_error, Args};

@@ -6,7 +6,8 @@
 use std::fmt::Write as _;
 
 use crate::experiments::{
-    ChaosRow, DegradationRow, Fig10Row, Fig6Row, Fig7Row, OverloadRow, SaturationRow, TableVRow,
+    ChaosRow, DegradationRow, Fig10Row, Fig6Row, Fig7Row, OverloadRow, SaturationRow, ScalingRow,
+    TableVRow,
 };
 use crate::power::scaling::ScalePoint;
 
@@ -190,6 +191,31 @@ pub fn overload(rows: &[OverloadRow]) -> String {
             r.report.p99_ns,
             r.report.p999_ns,
             r.report.oracle.total()
+        );
+    }
+    out
+}
+
+/// `endpoints,wall_ms,events,events_per_sec,peak_rss_bytes,state_bytes,bytes_per_endpoint,delivered,generated,peak_pending,calendar`.
+pub fn scaling(rows: &[ScalingRow]) -> String {
+    let mut out = String::from(
+        "endpoints,wall_ms,events,events_per_sec,peak_rss_bytes,state_bytes,bytes_per_endpoint,delivered,generated,peak_pending,calendar\n",
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{},{}",
+            r.endpoints,
+            r.wall_ns as f64 / 1e6,
+            r.events,
+            r.events_per_sec(),
+            r.peak_rss_bytes,
+            r.state_bytes,
+            r.bytes_per_endpoint(),
+            r.delivered,
+            r.generated,
+            r.peak_pending,
+            r.calendar_backed
         );
     }
     out

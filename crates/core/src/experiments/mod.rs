@@ -34,6 +34,7 @@ pub(crate) mod packaging;
 pub(crate) mod perf;
 pub(crate) mod reliability;
 pub(crate) mod saturation;
+pub(crate) mod scaling;
 pub(crate) mod table5;
 pub(crate) mod tables34;
 pub(crate) mod topologies;
@@ -55,12 +56,13 @@ pub use fig8::{figure8, figure8_on};
 pub use fig9::{figure9, figure9_on, Fig9Row};
 pub use overload::{overload, overload_network, overload_on, storm_pattern, OverloadRow};
 pub use perf::{
-    bench_report, install_wall_clock, ops_report, override_samples, wall_clock_installed,
-    BenchRecord, BenchReport, Counters, DeltaRecord, OpsReport, OpsRow, WallStats, MIN_SAMPLES,
-    SCHEMA as PERF_SCHEMA,
+    bench_report, install_memory_probe, install_wall_clock, ops_report, override_samples,
+    peak_rss_bytes, wall_clock_installed, wall_now_ns, BenchRecord, BenchReport, Counters,
+    DeltaRecord, OpsReport, OpsRow, WallStats, MIN_SAMPLES, SCHEMA as PERF_SCHEMA,
 };
 pub use reliability::{reliability, reliability_on, ReliabilityReport};
 pub use saturation::{saturation, saturation_lineup_on, saturation_on, SaturationRow};
+pub use scaling::{scaling_curves, scaling_curves_on, ScalingRow};
 pub use table5::{table_v, table_v_on, TableVRow};
 pub use topologies::{topology_comparison, topology_comparison_on, TopologyRow};
 

@@ -32,7 +32,8 @@ use crate::phy::length_code::LengthCode;
 use crate::phy::packet_wave::assemble;
 use crate::phy::waveform::{Fs, BIT_PERIOD_FS};
 use crate::registry::{
-    fmt_ns, json_of, outln, section, Axis, AxisKind, ExperimentSpec, Mode, Output, Params,
+    fmt_bytes, fmt_ns, json_of, outln, section, Axis, AxisKind, ExperimentSpec, Mode, Output,
+    Params,
 };
 use crate::sim::rng::StreamRng;
 use crate::sim::{Scheduler, Time};
@@ -66,6 +67,7 @@ const CODEC_BYTES: usize = 64 * 1024;
 // ---------------------------------------------------------------------------
 
 static WALL_CLOCK: OnceLock<fn() -> u64> = OnceLock::new();
+static MEMORY_PROBE: OnceLock<fn() -> u64> = OnceLock::new();
 static SAMPLE_OVERRIDE: OnceLock<usize> = OnceLock::new();
 
 /// Installs the monotonic nanosecond source used for wall timing.
@@ -93,6 +95,28 @@ fn now_ns() -> u64 {
 /// True once a wall-clock source has been installed.
 pub fn wall_clock_installed() -> bool {
     WALL_CLOCK.get().is_some()
+}
+
+/// The installed monotonic clock, for experiments that time whole runs
+/// (the `scaling` sweep). Zero without an installed clock — wall time is
+/// advisory everywhere; exact counters are what gates.
+pub fn wall_now_ns() -> u64 {
+    now_ns()
+}
+
+/// Installs the peak-RSS probe (bytes of `VmHWM`, read by `bench::perf`
+/// from `/proc/self/status` — the OS boundary stays on the bench side of
+/// the clock lint wall). First install wins. Without an install, every
+/// report carries zero peak RSS and memory stays advisory, exactly like
+/// the wall clock.
+pub fn install_memory_probe(probe: fn() -> u64) {
+    let _ = MEMORY_PROBE.set(probe);
+}
+
+/// Peak resident-set size of the process in bytes, via the installed
+/// probe; zero when none is installed (e.g. under `cargo test`).
+pub fn peak_rss_bytes() -> u64 {
+    MEMORY_PROBE.get().map_or(0, |probe| probe())
 }
 
 // ---------------------------------------------------------------------------
@@ -218,6 +242,10 @@ pub struct BenchReport {
     pub benches: Vec<BenchRecord>,
     /// Before/after deltas against the retained baselines.
     pub deltas: Vec<DeltaRecord>,
+    /// Peak resident-set size in bytes at emission time (zero when no
+    /// memory probe is installed; absent in pre-probe artifacts).
+    #[serde(default)]
+    pub peak_rss_bytes: u64,
 }
 
 /// Counters-only view of the benchmark table — the shape the
@@ -340,7 +368,9 @@ fn sched_with(mut sched: Scheduler<u64>) -> Counters {
 }
 
 fn sched_heap() -> Counters {
-    sched_with(Scheduler::new())
+    // Pinned: `Scheduler::new()` self-promotes to the calendar queue above
+    // `PROMOTE_PENDING`, and this workload peaks well past it.
+    sched_with(Scheduler::new_heap())
 }
 
 fn sched_calendar() -> Counters {
@@ -609,6 +639,7 @@ pub fn bench_report(samples: usize) -> Result<BenchReport, BaldurError> {
         samples,
         benches,
         deltas,
+        peak_rss_bytes: peak_rss_bytes(),
     })
 }
 
@@ -717,10 +748,11 @@ fn run_hook(_sw: &Sweep, p: &Params) -> Result<Output, BaldurError> {
     outln!(console);
     outln!(
         console,
-        "git {} | {} threads | {} samples/bench",
+        "git {} | {} threads | {} samples/bench | peak rss {}",
         report.git_rev,
         report.threads,
-        report.samples
+        report.samples,
+        fmt_bytes(report.peak_rss_bytes)
     );
     Ok(Output {
         console,

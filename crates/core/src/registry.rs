@@ -450,7 +450,7 @@ pub fn describe(spec: &ExperimentSpec) -> Descriptor {
 /// unreachable from the bench binaries, `all_figures`, the docs table,
 /// and the completeness test — which is exactly what the test checks.
 pub fn all() -> &'static [&'static ExperimentSpec] {
-    static ALL: [&ExperimentSpec; 20] = [
+    static ALL: [&ExperimentSpec; 21] = [
         &experiments::table5::SPEC,
         &experiments::fig6::SPEC,
         &experiments::fig7::SPEC,
@@ -471,6 +471,7 @@ pub fn all() -> &'static [&'static ExperimentSpec] {
         &experiments::tables34::SPEC,
         &experiments::packaging::SPEC,
         &experiments::perf::SPEC,
+        &experiments::scaling::SPEC,
     ];
     &ALL
 }
@@ -549,6 +550,21 @@ pub fn fmt_ns(ns: f64) -> String {
     }
 }
 
+/// Formats a byte count with a binary-prefix unit (peak RSS, state
+/// bytes). Zero renders as `0 B` — the "no probe installed" case.
+pub fn fmt_bytes(bytes: u64) -> String {
+    let b = bytes as f64;
+    if b >= 1024.0 * 1024.0 * 1024.0 {
+        format!("{:.2} GiB", b / (1024.0 * 1024.0 * 1024.0))
+    } else if b >= 1024.0 * 1024.0 {
+        format!("{:.2} MiB", b / (1024.0 * 1024.0))
+    } else if b >= 1024.0 {
+        format!("{:.2} KiB", b / 1024.0)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
 /// Appends a section header to a console rendering (the string twin of
 /// the old bench `header()` helper).
 pub fn section(out: &mut String, title: &str) {
@@ -566,6 +582,15 @@ mod tests {
         assert_eq!(fmt_ns(2_500.0), "2.50 us");
         assert_eq!(fmt_ns(2_500_000.0), "2.50 ms");
         assert_eq!(fmt_ns(f64::NAN), "-");
+    }
+
+    #[test]
+    fn fmt_bytes_scales() {
+        assert_eq!(fmt_bytes(0), "0 B");
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(2048), "2.00 KiB");
+        assert_eq!(fmt_bytes(3 * 1024 * 1024), "3.00 MiB");
+        assert_eq!(fmt_bytes(5 * 1024 * 1024 * 1024), "5.00 GiB");
     }
 
     #[test]

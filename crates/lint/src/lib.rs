@@ -83,6 +83,21 @@ pub const JOB_PATH_FILES: &[&str] = &[
     "crates/core/src/experiments/overload.rs",
 ];
 
+/// Hot-path sources of the million-endpoint kernel: the event engine
+/// and the two packet models' struct-of-arrays state. Per-event heap
+/// allocation (`Box::new`) and node-per-entry collections (`BTreeMap`,
+/// `HashMap`) are banned here outright — state lives in flat arrays and
+/// generational arenas, sized once and reused. The retired `_baseline`
+/// models are deliberately absent: they keep the old map-based layout
+/// for differential testing.
+pub const HOT_PATH_FILES: &[&str] = &[
+    "crates/sim/src/engine.rs",
+    "crates/sim/src/calendar.rs",
+    "crates/sim/src/arena.rs",
+    "crates/net/src/baldur_net.rs",
+    "crates/net/src/router_net.rs",
+];
+
 /// Relative path (from the repo root) of the panic-budget allowlist.
 pub const ALLOWLIST_PATH: &str = "crates/lint/allowlist.txt";
 
@@ -151,6 +166,13 @@ pub enum Rule {
     /// off-by-1000. Multiplication/division are dimensional arithmetic
     /// and exempt.
     MixedUnit,
+    /// `Box::new` / `BTreeMap` / `HashMap` in a [`HOT_PATH_FILES`]
+    /// source: the event kernel and the SoA packet models must not
+    /// allocate per event or keep pointer-chasing node collections —
+    /// at 1M endpoints the allocator and cache misses dominate. State
+    /// belongs in flat `Vec`s and generational arenas. Zero budget by
+    /// default; a proven-cold site can be allowlisted.
+    HotPathAlloc,
     /// `partial_cmp(..)` chained into `.unwrap()` / `.expect(...)`.
     FloatCmpPanic,
     /// `==` / `!=` against a float literal.
@@ -179,6 +201,7 @@ impl Rule {
         Rule::NarrowingCast,
         Rule::UnitF64Param,
         Rule::MixedUnit,
+        Rule::HotPathAlloc,
         Rule::FloatCmpPanic,
         Rule::FloatLiteralEq,
         Rule::StaleArtifact,
@@ -201,6 +224,7 @@ impl Rule {
             Rule::NarrowingCast => "narrowing-cast",
             Rule::UnitF64Param => "unit-f64-param",
             Rule::MixedUnit => "mixed-unit",
+            Rule::HotPathAlloc => "hot-path-alloc",
             Rule::FloatCmpPanic => "float-cmp-panic",
             Rule::FloatLiteralEq => "float-literal-eq",
             Rule::StaleArtifact => "stale-artifact",
@@ -277,6 +301,10 @@ impl Rule {
             Rule::MixedUnit => {
                 "no mixed unit suffixes (_ns vs _ps, _gbps vs _mbps) combined additively \
                  in one expression; convert explicitly first"
+            }
+            Rule::HotPathAlloc => {
+                "no Box::new/BTreeMap/HashMap in the event kernel or SoA packet-model \
+                 hot paths; state lives in flat Vecs and generational arenas"
             }
             Rule::FloatCmpPanic => {
                 "no partial_cmp().unwrap()/expect(); NaN panics — use f64::total_cmp"
@@ -909,6 +937,37 @@ mod tests {
         assert!(lint_source("crates/bench/src/bin/faults.rs", src).is_empty());
         assert!(lint_source("crates/bench/benches/figures.rs", src).is_empty());
         assert!(lint_source("crates/lint/src/main.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hot_path_alloc_fires_only_in_hot_path_files() {
+        let src = "fn f() { let b = Box::new(3); let m: BTreeMap<u32, u32> = BTreeMap::new(); \
+                   g(b, &m); }\n";
+        // Box::new + two BTreeMap tokens in a hot-path file.
+        let hot = lint_source("crates/sim/src/engine.rs", src);
+        assert_eq!(
+            hot.iter().filter(|f| f.rule == "hot-path-alloc").count(),
+            3,
+            "{hot:?}"
+        );
+        // Same source elsewhere in the kernel crate: BTreeMap is the
+        // *recommended* replacement for HashMap there.
+        assert!(lint_source("crates/sim/src/stats.rs", src)
+            .iter()
+            .all(|f| f.rule != "hot-path-alloc"));
+        // The retired baseline models keep their map-based layout.
+        assert!(lint_source("crates/net/src/baldur_net_baseline.rs", src)
+            .iter()
+            .all(|f| f.rule != "hot-path-alloc"));
+        // HashMap in a hot-path file trips both the determinism wall and
+        // the hot-path rule — one finding each.
+        let hm = "fn f() { let m: HashMap<u32, u32> = HashMap::new(); g(&m); }\n";
+        let both = lint_source("crates/net/src/baldur_net.rs", hm);
+        assert!(both.iter().any(|f| f.rule == "hot-path-alloc"), "{both:?}");
+        assert!(
+            both.iter().any(|f| f.rule == "unordered-collection"),
+            "{both:?}"
+        );
     }
 
     #[test]

@@ -8,7 +8,9 @@
 
 use crate::lexer::Kind;
 use crate::scope::{Scopes, Sig};
-use crate::{Finding, Rule, JOB_PATH_FILES, WALL_CLOCK_EXEMPT_FILES, WALL_CRATES, WALL_FILES};
+use crate::{
+    Finding, Rule, HOT_PATH_FILES, JOB_PATH_FILES, WALL_CLOCK_EXEMPT_FILES, WALL_CRATES, WALL_FILES,
+};
 
 /// Rust keywords, used to tell `ident[expr]` indexing apart from array
 /// patterns/literals after keywords (`let [a, b] = …`, `for x in [1, 2]`).
@@ -100,6 +102,8 @@ pub struct FileCtx<'a> {
     pub unit_expr: bool,
     /// Slice-index rule applies (supervised job path + net fault files).
     pub index_scope: bool,
+    /// One of [`HOT_PATH_FILES`]: per-event allocation is banned.
+    pub hot_path: bool,
 }
 
 impl<'a> FileCtx<'a> {
@@ -129,6 +133,7 @@ impl<'a> FileCtx<'a> {
             unit_sig: is("phy") || is("power") || is("net"),
             unit_expr: is("phy") || is("power") || is("net") || is("sim") || is("tl"),
             index_scope: job_path || fault_file,
+            hot_path: HOT_PATH_FILES.contains(&rel),
         }
     }
 }
@@ -278,6 +283,42 @@ pub fn run_passes(ctx: FileCtx<'_>, sig: &[Sig<'_>], scopes: &Scopes, out: &mut 
     mixed_unit_pass(&mut p);
     harness_pass(&mut p);
     float_literal_pass(&mut p);
+    hot_path_alloc_pass(&mut p);
+}
+
+/// Hot-path allocation: `Box::new`, `BTreeMap`, or `HashMap` in the
+/// event kernel or a SoA packet model. One `Box::new` per event is one
+/// malloc per event — at 1M endpoints and tens of millions of events
+/// the allocator dominates; node-based maps add a cache miss per
+/// lookup on top. Flat `Vec`s and generational arenas only.
+fn hot_path_alloc_pass(p: &mut Pass<'_, '_>) {
+    if !p.ctx.hot_path {
+        return;
+    }
+    for i in 0..p.sig.len() {
+        if !p.live(i) || p.kind(i) != Some(Kind::Ident) {
+            continue;
+        }
+        let what = match p.text(i) {
+            "Box" if p.text(i + 1) == "::" && p.is_ident(i + 2, "new") => "`Box::new`",
+            "BTreeMap" => "`BTreeMap`",
+            "HashMap" => "`HashMap`",
+            _ => continue,
+        };
+        let in_fn = p
+            .scopes
+            .fn_name(i)
+            .map_or(String::new(), |f| format!(" (in fn `{f}`)"));
+        p.emit(
+            Rule::HotPathAlloc,
+            i,
+            format!(
+                "{what} in kernel/model hot-path code — per-event allocation and \
+                 node-per-entry maps do not survive 1M endpoints; use a flat Vec or \
+                 an arena, or prove the site cold and allowlist it{in_fn}"
+            ),
+        );
+    }
 }
 
 /// Determinism family: wall-clock reads (repo-wide, minus the

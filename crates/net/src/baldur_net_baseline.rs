@@ -1,4 +1,12 @@
-//! The Baldur all-optical network model (paper Sec. IV-E, V).
+//! The retired map-based Baldur model, kept for differential testing.
+//!
+//! This is the pre-SoA implementation of `baldur_net` (per-NIC
+//! `BTreeMap` pending-ACK and ACK-batch maps, per-node `VecDeque`
+//! queues, `Vec<Vec<Time>>` port state), frozen when the hot state moved
+//! to struct-of-arrays. It is **not** a hot path: the property suite
+//! runs seeded workloads through both models and asserts byte-identical
+//! [`LatencyReport`]s — the same retained-baseline pattern the codecs
+//! use. Behavioral semantics (paper Sec. IV-E, V):
 //!
 //! Bufferless, cut-through, drop-and-retransmit:
 //!
@@ -13,21 +21,11 @@
 //! * latency charged per hop: `switch_latency` (Table V, 1.5 ns at m=4)
 //!   plus a small same-cabinet stage delay; node↔network fibers add the
 //!   Table VI 100 ns each way.
-//!
-//! # State layout (datacenter scale)
-//!
-//! Hot state is struct-of-arrays keyed by dense ids: one flat `Vec` per
-//! NIC field indexed by node id, a single flat port table indexed by
-//! `(stage, switch, dir, path)`, and intrusive queue links (a per-packet
-//! `next` pointer) instead of per-node `VecDeque`s. Combined-ACK batches
-//! live in generational [`Arena`]s; the retired map-based model is kept
-//! as `baldur_net_baseline` and differential-tested for byte-identical
-//! reports. Invariants the layout relies on: packet ids are sequential
-//! and never reused (the path-rotation hash keys on them), and a packet
-//! sits in at most one NIC queue at a time (one `next` link suffices).
+
+use std::collections::{BTreeMap, VecDeque};
 
 use baldur_sim::rng::StreamRng;
-use baldur_sim::{Arena, ArenaStats, Duration, Handle, Model, Scheduler, Simulation, Time};
+use baldur_sim::{Duration, Model, Scheduler, Simulation, Time};
 use baldur_topo::graph::NodeId;
 use baldur_topo::staged::Staged;
 
@@ -39,9 +37,6 @@ use crate::oracle::{Oracle, OracleConfig, Violation};
 
 /// Index into the packet table.
 type PktId = u32;
-
-/// Null link in the intrusive NIC queues.
-const NONE: PktId = PktId::MAX;
 
 #[derive(Debug, Clone, Copy)]
 struct PacketState {
@@ -59,9 +54,52 @@ struct PacketState {
     released: bool,
     /// For ACK packets, the data packet being acknowledged.
     acks: Option<PktId>,
-    /// For combined ACK packets, the arena slot holding the whole batch
-    /// (absent for single ACKs — `acks` already names the one packet).
-    batch: Option<Handle>,
+}
+
+#[derive(Debug)]
+struct Nic {
+    tx_busy_until: Time,
+    /// ACKs are urgent (they gate the partner's buffer), so they queue
+    /// ahead of data.
+    ack_queue: VecDeque<PktId>,
+    data_queue: VecDeque<PktId>,
+    try_scheduled: bool,
+    outstanding: u32,
+    backoff_exp: u32,
+    /// Packets injected and awaiting their first buffer-slot release
+    /// (ACK, give-up, or expiry). Source-side admission pacing defers
+    /// *first* injections while this reaches
+    /// `BaldurParams::pacing_window`; maintained only when pacing is on.
+    in_window: u32,
+    /// ACK coalescing: per source, data packets awaiting a combined ACK
+    /// (the bool marks a pending flush event). Ordered so no iteration
+    /// order can leak into results.
+    pending_acks: BTreeMap<u32, (Vec<PktId>, bool)>,
+}
+
+impl Nic {
+    fn new() -> Self {
+        Nic {
+            tx_busy_until: Time::ZERO,
+            ack_queue: VecDeque::new(),
+            data_queue: VecDeque::new(),
+            try_scheduled: false,
+            outstanding: 0,
+            backoff_exp: 0,
+            in_window: 0,
+            pending_acks: BTreeMap::new(),
+        }
+    }
+
+    fn pop(&mut self) -> Option<PktId> {
+        self.ack_queue
+            .pop_front()
+            .or_else(|| self.data_queue.pop_front())
+    }
+
+    fn is_empty(&self) -> bool {
+        self.ack_queue.is_empty() && self.data_queue.is_empty()
+    }
 }
 
 /// Events of the Baldur model.
@@ -104,26 +142,6 @@ pub enum Ev {
     Fault(u32),
 }
 
-/// Kernel-state accounting for one run — the raw material of the
-/// `scaling` experiment's bytes-per-endpoint and events/sec curves.
-/// Deliberately separate from [`LatencyReport`] (whose shape is golden).
-#[derive(Debug, Clone, Copy, Default)]
-pub struct StateStats {
-    /// Bytes of model state reserved: flat table and queue capacities
-    /// plus arena slabs (the scale-dominant terms).
-    pub state_bytes: u64,
-    /// Combined-ACK batch arena counters.
-    pub ack_batches: ArenaStats,
-    /// Pending (coalescing-window) ACK batch arena counters.
-    pub pending_batches: ArenaStats,
-    /// Peak simultaneous scheduled events.
-    pub peak_pending_events: u64,
-    /// Total events ever scheduled.
-    pub events_scheduled: u64,
-    /// Whether the scheduler self-promoted to the calendar backend.
-    pub calendar_backed: bool,
-}
-
 /// The Baldur network simulation model.
 pub struct BaldurNet {
     topo: Staged,
@@ -131,44 +149,9 @@ pub struct BaldurNet {
     link: LinkParams,
     driver: Driver,
     active_nodes: u32,
-    /// `ports[stage * port_stride + switch * 2m + dir * m + path]` →
-    /// busy-until (one flat table across all stages).
-    ports: Vec<Time>,
-    /// Ports per stage (`switches_per_stage * 2m`).
-    port_stride: usize,
-    // ---- NIC state, struct-of-arrays indexed by node id ----
-    tx_busy_until: Vec<Time>,
-    try_scheduled: Vec<bool>,
-    outstanding: Vec<u32>,
-    backoff_exp: Vec<u32>,
-    /// Packets injected and awaiting their first buffer-slot release
-    /// (ACK, give-up, or expiry). Source-side admission pacing defers
-    /// *first* injections while this reaches
-    /// [`BaldurParams::pacing_window`]; maintained only when pacing is on.
-    in_window: Vec<u32>,
-    /// ACKs are urgent (they gate the partner's buffer), so the ACK list
-    /// drains ahead of data. Heads/tails of intrusive per-NIC queues.
-    ack_head: Vec<PktId>,
-    ack_tail: Vec<PktId>,
-    data_head: Vec<PktId>,
-    data_tail: Vec<PktId>,
-    /// Data-queue occupancy (the admission-control oracle checks it).
-    data_len: Vec<u32>,
-    /// Intrusive queue link per packet (a packet is in at most one NIC
-    /// queue at a time).
-    next_in_queue: Vec<PktId>,
-    /// ACK coalescing: per receiver, the sources it owes a combined ACK,
-    /// each with its batch in the `pending` arena. An entry exists iff
-    /// its flush event is scheduled; keys are unique per list, so lookup
-    /// order cannot leak into results.
-    pending_acks: Vec<Vec<(u32, Handle)>>,
-    /// Batches still collecting inside a coalescing window.
-    pending: Arena<Vec<PktId>>,
-    /// For in-flight combined ACK packets: every data packet they
-    /// acknowledge.
-    ack_batches: Arena<Vec<PktId>>,
-    /// Recycled batch vectors (allocation-free steady state).
-    batch_pool: Vec<Vec<PktId>>,
+    /// `ports[stage][switch * 2m + dir * m + path]` → busy-until.
+    ports: Vec<Vec<Time>>,
+    nics: Vec<Nic>,
     packets: Vec<PacketState>,
     metrics: Collector,
     in_flight: u64,
@@ -182,6 +165,9 @@ pub struct BaldurNet {
     /// Coin flips for bit-error bursts; only drawn while a burst is
     /// active, so fault-free runs stay bit-identical.
     fault_rng: StreamRng,
+    /// For combined ACK packets: every data packet they acknowledge.
+    /// Ordered for the same determinism reason as `pending_acks`.
+    ack_refs: BTreeMap<PktId, Vec<PktId>>,
     /// The always-on invariant oracle (release builds included); its
     /// summary rides on the run's report.
     oracle: Oracle,
@@ -200,9 +186,10 @@ impl BaldurNet {
         let topo_nodes = active_nodes.next_power_of_two().max(4);
         let topo = Staged::build(params.staged_kind(), topo_nodes, params.multiplicity, seed);
         let m = params.multiplicity as usize;
-        let port_stride = topo.switches_per_stage() as usize * 2 * m;
-        let ports = vec![Time::ZERO; topo.stages() as usize * port_stride];
-        let n = active_nodes as usize;
+        let ports = (0..topo.stages())
+            .map(|_| vec![Time::ZERO; topo.switches_per_stage() as usize * 2 * m])
+            .collect();
+        let nics = (0..active_nodes).map(|_| Nic::new()).collect();
         let fstate = FaultState::healthy(
             topo.stages(),
             topo.switches_per_stage(),
@@ -216,22 +203,7 @@ impl BaldurNet {
             driver,
             active_nodes,
             ports,
-            port_stride,
-            tx_busy_until: vec![Time::ZERO; n],
-            try_scheduled: vec![false; n],
-            outstanding: vec![0; n],
-            backoff_exp: vec![0; n],
-            in_window: vec![0; n],
-            ack_head: vec![NONE; n],
-            ack_tail: vec![NONE; n],
-            data_head: vec![NONE; n],
-            data_tail: vec![NONE; n],
-            data_len: vec![0; n],
-            next_in_queue: Vec::new(),
-            pending_acks: vec![Vec::new(); n],
-            pending: Arena::new(),
-            ack_batches: Arena::new(),
-            batch_pool: Vec::new(),
+            nics,
             packets: Vec::new(),
             metrics: Collector::new(sample_cap),
             in_flight: 0,
@@ -239,6 +211,7 @@ impl BaldurNet {
             plan: FaultPlan::new(seed),
             seed,
             fault_rng: StreamRng::named(seed, "biterror", 0),
+            ack_refs: BTreeMap::new(),
             oracle: Oracle::new(OracleConfig::default()),
         }
     }
@@ -263,40 +236,6 @@ impl BaldurNet {
         &self.topo
     }
 
-    /// Kernel-state accounting (capacities, not live population): the
-    /// model half of [`StateStats`] — the caller adds scheduler figures.
-    pub fn state_stats(&self) -> StateStats {
-        fn bytes_of<T>(v: &Vec<T>) -> u64 {
-            (v.capacity() * std::mem::size_of::<T>()) as u64
-        }
-        let per_nic = bytes_of(&self.tx_busy_until)
-            + bytes_of(&self.try_scheduled)
-            + bytes_of(&self.outstanding)
-            + bytes_of(&self.backoff_exp)
-            + bytes_of(&self.in_window)
-            + bytes_of(&self.ack_head)
-            + bytes_of(&self.ack_tail)
-            + bytes_of(&self.data_head)
-            + bytes_of(&self.data_tail)
-            + bytes_of(&self.data_len)
-            + bytes_of(&self.pending_acks)
-            + self.pending_acks.iter().map(bytes_of).sum::<u64>();
-        StateStats {
-            state_bytes: bytes_of(&self.ports)
-                + per_nic
-                + bytes_of(&self.next_in_queue)
-                + bytes_of(&self.packets)
-                + self.pending.state_bytes()
-                + self.ack_batches.state_bytes()
-                + bytes_of(&self.batch_pool),
-            ack_batches: self.ack_batches.stats(),
-            pending_batches: self.pending.stats(),
-            peak_pending_events: 0,
-            events_scheduled: 0,
-            calendar_backed: false,
-        }
-    }
-
     fn duration_of(&self, pkt: PktId) -> Duration {
         if self.packets[pkt as usize].acks.is_some() {
             self.link.ack_time()
@@ -305,140 +244,21 @@ impl BaldurNet {
         }
     }
 
-    fn port_index(&self, stage: u32, switch: u32, dir: u32, path: u32) -> usize {
+    fn port_index(&self, switch: u32, dir: u32, path: u32) -> usize {
         let m = self.params.multiplicity;
-        stage as usize * self.port_stride + (switch * 2 * m + dir * m + path) as usize
-    }
-
-    /// Allocates a packet-table row (and its queue link).
-    fn alloc_packet(&mut self, st: PacketState) -> PktId {
-        let pkt = self.packets.len() as PktId;
-        self.packets.push(st);
-        self.next_in_queue.push(NONE);
-        pkt
-    }
-
-    /// True when `node` has nothing queued (ACK or data).
-    fn nic_is_empty(&self, node: usize) -> bool {
-        self.ack_head[node] == NONE && self.data_head[node] == NONE
-    }
-
-    fn ack_push_back(&mut self, node: usize, pkt: PktId) {
-        self.next_in_queue[pkt as usize] = NONE;
-        let tail = self.ack_tail[node];
-        if tail == NONE {
-            self.ack_head[node] = pkt;
-        } else {
-            self.next_in_queue[tail as usize] = pkt;
-        }
-        self.ack_tail[node] = pkt;
-    }
-
-    fn data_push_back(&mut self, node: usize, pkt: PktId) {
-        self.next_in_queue[pkt as usize] = NONE;
-        let tail = self.data_tail[node];
-        if tail == NONE {
-            self.data_head[node] = pkt;
-        } else {
-            self.next_in_queue[tail as usize] = pkt;
-        }
-        self.data_tail[node] = pkt;
-        self.data_len[node] += 1;
-    }
-
-    fn data_push_front(&mut self, node: usize, pkt: PktId) {
-        let head = self.data_head[node];
-        self.next_in_queue[pkt as usize] = head;
-        if head == NONE {
-            self.data_tail[node] = pkt;
-        }
-        self.data_head[node] = pkt;
-        self.data_len[node] += 1;
-    }
-
-    /// Pops the next packet to transmit: ACKs drain ahead of data.
-    fn nic_pop(&mut self, node: usize) -> Option<PktId> {
-        let head = self.ack_head[node];
-        if head != NONE {
-            let next = self.next_in_queue[head as usize];
-            self.ack_head[node] = next;
-            if next == NONE {
-                self.ack_tail[node] = NONE;
-            }
-            return Some(head);
-        }
-        let head = self.data_head[node];
-        if head != NONE {
-            let next = self.next_in_queue[head as usize];
-            self.data_head[node] = next;
-            if next == NONE {
-                self.data_tail[node] = NONE;
-            }
-            self.data_len[node] -= 1;
-            return Some(head);
-        }
-        None
-    }
-
-    /// Unlinks and returns the first queued retransmission (attempts > 0)
-    /// in `node`'s data queue, if any — the pacing-bypass scan.
-    fn data_unlink_first_retx(&mut self, node: usize) -> Option<PktId> {
-        let mut prev = NONE;
-        let mut cur = self.data_head[node];
-        while cur != NONE {
-            if self
-                .packets
-                .get(cur as usize)
-                .is_some_and(|p| p.attempts > 0)
-            {
-                let next = self.next_in_queue[cur as usize];
-                if prev == NONE {
-                    self.data_head[node] = next;
-                } else {
-                    self.next_in_queue[prev as usize] = next;
-                }
-                if next == NONE {
-                    self.data_tail[node] = prev;
-                }
-                self.data_len[node] -= 1;
-                return Some(cur);
-            }
-            prev = cur;
-            cur = self.next_in_queue[cur as usize];
-        }
-        None
+        (switch * 2 * m + dir * m + path) as usize
     }
 
     fn enqueue(&mut self, now: Time, node: u32, pkt: PktId, sched: &mut Scheduler<Ev>) {
-        let n = node as usize;
+        let nic = &mut self.nics[node as usize];
         if self.packets[pkt as usize].acks.is_some() {
-            self.ack_push_back(n, pkt);
+            nic.ack_queue.push_back(pkt);
         } else {
-            self.data_push_back(n, pkt);
+            nic.data_queue.push_back(pkt);
         }
-        if !self.try_scheduled[n] {
-            self.try_scheduled[n] = true;
-            sched.schedule_at(now.max(self.tx_busy_until[n]), Ev::TryInject(node));
-        }
-    }
-
-    /// Hands a batch vector back to the pool for reuse.
-    fn recycle_batch(&mut self, mut batch: Vec<PktId>) {
-        batch.clear();
-        self.batch_pool.push(batch);
-    }
-
-    /// Takes (and retires) the combined-ACK batch of `pkt`, if any.
-    fn take_ack_batch(&mut self, pkt: PktId) -> Option<Vec<PktId>> {
-        let handle = self.packets.get_mut(pkt as usize)?.batch.take()?;
-        self.ack_batches.remove(handle)
-    }
-
-    /// Drops the combined-ACK references of a packet that died in the
-    /// fabric (ACKs are never retransmitted, so the batch is abandoned).
-    fn drop_ack_batch(&mut self, pkt: PktId) {
-        if let Some(batch) = self.take_ack_batch(pkt) {
-            self.recycle_batch(batch);
+        if !nic.try_scheduled {
+            nic.try_scheduled = true;
+            sched.schedule_at(now.max(nic.tx_busy_until), Ev::TryInject(node));
         }
     }
 
@@ -458,7 +278,7 @@ impl BaldurNet {
                 // data packet is unreleased, so this bounds the queue
                 // too). Refused packets are counted, never stored: they
                 // take no table slot, no buffer slot, no timer.
-                if cap > 0 && self.outstanding[node as usize] >= cap {
+                if cap > 0 && self.nics[node as usize].outstanding >= cap {
                     self.metrics.on_generated(now);
                     self.metrics.note_flow_generated(node);
                     self.metrics.on_ingress_drop(now);
@@ -466,7 +286,8 @@ impl BaldurNet {
                         .note(now.as_ps(), "drop:ingress", u64::from(node), 0);
                     continue;
                 }
-                let pkt = self.alloc_packet(PacketState {
+                let pkt = self.packets.len() as PktId;
+                self.packets.push(PacketState {
                     src: NodeId(node),
                     dst: cmd.dst,
                     generated_at: now,
@@ -475,14 +296,13 @@ impl BaldurNet {
                     acked: false,
                     released: false,
                     acks: None,
-                    batch: None,
                 });
                 self.metrics.on_generated(now);
                 self.metrics.note_flow_generated(node);
-                self.outstanding[node as usize] += 1;
+                self.nics[node as usize].outstanding += 1;
                 self.note_buffer(node);
                 self.enqueue(now, node, pkt, sched);
-                let len = u64::from(self.data_len[node as usize]);
+                let len = self.nics[node as usize].data_queue.len() as u64;
                 self.oracle
                     .check_occupancy(now.as_ps(), node, len, u64::from(cap));
             }
@@ -503,14 +323,8 @@ impl BaldurNet {
         sched: &mut Scheduler<Ev>,
     ) {
         let first = batch[0];
-        let combined = batch.len() > 1;
-        let handle = if combined {
-            Some(self.ack_batches.insert(batch))
-        } else {
-            self.recycle_batch(batch);
-            None
-        };
-        let ack = self.alloc_packet(PacketState {
+        let ack = self.packets.len() as PktId;
+        self.packets.push(PacketState {
             src: NodeId(node),
             dst: NodeId(src),
             generated_at: now,
@@ -519,32 +333,10 @@ impl BaldurNet {
             acked: false,
             released: false,
             acks: Some(first),
-            batch: handle,
         });
-        self.enqueue(now, node, ack, sched);
-    }
-
-    /// Single-packet ACK without a batch allocation (the coalescing-off
-    /// hot path).
-    fn send_ack_single(
-        &mut self,
-        now: Time,
-        node: u32,
-        src: u32,
-        pkt: PktId,
-        sched: &mut Scheduler<Ev>,
-    ) {
-        let ack = self.alloc_packet(PacketState {
-            src: NodeId(node),
-            dst: NodeId(src),
-            generated_at: now,
-            attempts: 0,
-            outcome: DeliveryOutcome::Pending,
-            acked: false,
-            released: false,
-            acks: Some(pkt),
-            batch: None,
-        });
+        if batch.len() > 1 {
+            self.ack_refs.insert(ack, batch);
+        }
         self.enqueue(now, node, ack, sched);
     }
 
@@ -572,8 +364,8 @@ impl BaldurNet {
     /// Gives `node`'s retransmission-buffer slot for one packet back,
     /// with oracle-checked (never wrapping) arithmetic.
     fn release_outstanding(&mut self, now: Time, node: u32) {
-        match self.outstanding.get_mut(node as usize) {
-            Some(o) if *o > 0 => *o -= 1,
+        match self.nics.get_mut(node as usize) {
+            Some(nic) if nic.outstanding > 0 => nic.outstanding -= 1,
             _ => self.oracle.record(
                 now.as_ps(),
                 Violation::CounterUnderflow {
@@ -590,29 +382,8 @@ impl BaldurNet {
         if self.params.pacing_window == 0 {
             return;
         }
-        if let Some(w) = self.in_window.get_mut(node as usize) {
-            *w = w.saturating_sub(1);
-        }
-    }
-
-    /// Settles one data packet acknowledged by an arriving ACK.
-    fn settle_ack(&mut self, now: Time, data_pkt: PktId, dst: NodeId) {
-        let data = &mut self.packets[data_pkt as usize];
-        if !data.acked {
-            data.acked = true;
-            // A slot already given back by retry exhaustion (repair
-            // racing a backoff retry: the packet gave up, then a late
-            // copy delivered and this ACK returned) must not be released
-            // twice.
-            let release = !data.released;
-            data.released = true;
-            if release {
-                self.release_outstanding(now, dst.0);
-                self.release_window(dst.0);
-                // Successful round trip relaxes the backoff.
-                let exp = &mut self.backoff_exp[dst.0 as usize];
-                *exp = exp.saturating_sub(1);
-            }
+        if let Some(nic) = self.nics.get_mut(node as usize) {
+            nic.in_window = nic.in_window.saturating_sub(1);
         }
     }
 
@@ -624,26 +395,22 @@ impl BaldurNet {
     #[cfg(feature = "validate")]
     fn debug_validate_drained(&self) {
         debug_assert_eq!(self.in_flight, 0, "packets still in flight after drain");
-        for i in 0..self.active_nodes as usize {
+        for (i, nic) in self.nics.iter().enumerate() {
             debug_assert!(
-                self.nic_is_empty(i),
+                nic.is_empty(),
                 "NIC {i} still has queued packets after drain"
             );
             debug_assert_eq!(
-                self.outstanding[i], 0,
+                nic.outstanding, 0,
                 "NIC {i} still counts unACKed packets after drain"
             );
             debug_assert!(
-                self.pending_acks[i].is_empty(),
+                nic.pending_acks.is_empty(),
                 "NIC {i} still owes coalesced ACKs after drain"
             );
         }
         debug_assert!(
-            self.pending.is_empty(),
-            "coalescing batches leaked after drain"
-        );
-        debug_assert!(
-            self.ack_batches.is_empty(),
+            self.ack_refs.is_empty(),
             "combined-ACK references leaked after drain"
         );
         // Packet conservation: at drain every data packet has reached a
@@ -676,7 +443,8 @@ impl BaldurNet {
     }
 
     fn note_buffer(&mut self, node: u32) {
-        let bytes = u64::from(self.outstanding[node as usize]) * u64::from(self.link.packet_bytes);
+        let bytes =
+            u64::from(self.nics[node as usize].outstanding) * u64::from(self.link.packet_bytes);
         self.metrics.on_retx_buffer(bytes);
     }
 
@@ -691,7 +459,7 @@ impl BaldurNet {
     /// the stuck-flow detector with the number of packets still owed a
     /// terminal outcome. Returns `true` when the run should abort.
     fn oracle_tick(&mut self, now: Time) -> bool {
-        let per_nic: Vec<u64> = self.outstanding.iter().map(|&o| u64::from(o)).collect();
+        let per_nic: Vec<u64> = self.nics.iter().map(|n| u64::from(n.outstanding)).collect();
         let outstanding: u64 = per_nic.iter().sum::<u64>() + self.in_flight;
         // Each tick is one starvation observation window: a flow (source
         // node) with work outstanding and zero deliveries for N windows
@@ -717,9 +485,7 @@ impl BaldurNet {
                 },
             );
         }
-        let queued = (0..self.active_nodes as usize)
-            .filter(|&i| !self.nic_is_empty(i))
-            .count() as u64;
+        let queued = self.nics.iter().filter(|n| !n.is_empty()).count() as u64;
         if queued > 0 {
             self.oracle.record(
                 at,
@@ -729,7 +495,7 @@ impl BaldurNet {
                 },
             );
         }
-        let outstanding: u64 = self.outstanding.iter().map(|&o| u64::from(o)).sum();
+        let outstanding: u64 = self.nics.iter().map(|n| u64::from(n.outstanding)).sum();
         if outstanding > 0 {
             self.oracle.record(
                 at,
@@ -739,7 +505,7 @@ impl BaldurNet {
                 },
             );
         }
-        let owed: u64 = self.pending_acks.iter().map(|p| p.len() as u64).sum();
+        let owed: u64 = self.nics.iter().map(|n| n.pending_acks.len() as u64).sum();
         if owed > 0 {
             self.oracle.record(
                 at,
@@ -749,8 +515,8 @@ impl BaldurNet {
                 },
             );
         }
-        if !self.ack_batches.is_empty() {
-            let count = self.ack_batches.live();
+        if !self.ack_refs.is_empty() {
+            let count = self.ack_refs.len() as u64;
             self.oracle.record(
                 at,
                 Violation::ResidualState {
@@ -817,23 +583,20 @@ impl Model for BaldurNet {
                 self.apply_driver_output(now, node, out, sched);
             }
             Ev::TryInject(node) => {
-                let n = node as usize;
-                self.try_scheduled[n] = false;
-                if self.nic_is_empty(n) {
+                let nic = &mut self.nics[node as usize];
+                nic.try_scheduled = false;
+                if nic.is_empty() {
                     return;
                 }
-                if self.tx_busy_until[n] > now {
-                    self.try_scheduled[n] = true;
-                    let at = self.tx_busy_until[n];
+                if nic.tx_busy_until > now {
+                    nic.try_scheduled = true;
+                    let at = nic.tx_busy_until;
                     sched.schedule_at(at, Ev::TryInject(node));
                     return;
                 }
-                // `nic_is_empty` was just checked, so the pop always
-                // succeeds; the else arm keeps the handler panic-free
-                // regardless.
-                let Some(mut pkt) = self.nic_pop(n) else {
-                    return;
-                };
+                // `is_empty` was just checked, so the pop always succeeds;
+                // the else arm keeps the handler panic-free regardless.
+                let Some(mut pkt) = nic.pop() else { return };
                 // Deadline check at the head of the queue: a data packet
                 // that aged out while waiting for its (first or retry)
                 // injection slot expires here, without burning the slot —
@@ -859,8 +622,9 @@ impl Model for BaldurNet {
                             self.release_window(src);
                         }
                     }
-                    if !self.nic_is_empty(n) {
-                        self.try_scheduled[n] = true;
+                    let nic = &mut self.nics[node as usize];
+                    if !nic.is_empty() {
+                        nic.try_scheduled = true;
                         sched.schedule_at(now, Ev::TryInject(node));
                     }
                     return;
@@ -874,29 +638,31 @@ impl Model for BaldurNet {
                 if pw > 0
                     && self.packets[pkt as usize].acks.is_none()
                     && self.packets[pkt as usize].attempts == 0
-                    && self.in_window[n] >= pw
+                    && self.nics[node as usize].in_window >= pw
                 {
                     // A queued retransmission must jump a deferred head:
                     // it is what releases the window, so parking it behind
                     // the deferral would deadlock the NIC.
-                    match self.data_unlink_first_retx(n) {
-                        Some(retx) => {
-                            self.data_push_front(n, pkt);
-                            pkt = retx;
-                        }
+                    let bypass = self.nics[node as usize].data_queue.iter().position(|&q| {
+                        self.packets.get(q as usize).is_some_and(|p| p.attempts > 0)
+                    });
+                    let nic = &mut self.nics[node as usize];
+                    nic.data_queue.push_front(pkt);
+                    match bypass.and_then(|pos| nic.data_queue.remove(pos + 1)) {
+                        Some(retx) => pkt = retx,
                         None => {
-                            self.data_push_front(n, pkt);
-                            self.try_scheduled[n] = true;
+                            nic.try_scheduled = true;
                             sched.schedule_at(now + self.link.packet_time(), Ev::TryInject(node));
                             return;
                         }
                     }
                 }
                 let dur = self.duration_of(pkt);
-                self.tx_busy_until[n] = now + dur;
-                if !self.nic_is_empty(n) {
-                    self.try_scheduled[n] = true;
-                    let at = self.tx_busy_until[n];
+                let nic = &mut self.nics[node as usize];
+                nic.tx_busy_until = now + dur;
+                if !nic.is_empty() {
+                    nic.try_scheduled = true;
+                    let at = nic.tx_busy_until;
                     sched.schedule_at(at, Ev::TryInject(node));
                 }
                 let st = &mut self.packets[pkt as usize];
@@ -904,9 +670,9 @@ impl Model for BaldurNet {
                     st.attempts += 1;
                     let attempt = st.attempts;
                     if attempt == 1 && self.params.pacing_window > 0 {
-                        self.in_window[n] += 1;
+                        self.nics[node as usize].in_window += 1;
                     }
-                    let backoff = self.backoff_exp[n];
+                    let backoff = self.nics[node as usize].backoff_exp;
                     let to = Duration::from_ps(jittered_timeout_ps(
                         &self.params,
                         self.seed,
@@ -924,7 +690,7 @@ impl Model for BaldurNet {
                     self.metrics.on_laser_loss();
                     self.oracle
                         .note(now.as_ps(), "drop:laser", u64::from(pkt), u64::from(node));
-                    self.drop_ack_batch(pkt);
+                    self.ack_refs.remove(&pkt);
                     return;
                 }
                 // Head reaches the first-stage switch after the ingress
@@ -950,7 +716,7 @@ impl Model for BaldurNet {
                     self.dec_in_flight(now);
                     // ACKs are never retransmitted, so a dropped combined
                     // ACK must release its batch references here.
-                    self.drop_ack_batch(pkt);
+                    self.ack_refs.remove(&pkt);
                     return; // a dead switch eats the packet
                 }
                 let dst = self.packets[pkt as usize].dst;
@@ -981,9 +747,9 @@ impl Model for BaldurNet {
                     if !healthy && self.fstate.link_is_down(stage, switch, dir, path) {
                         continue;
                     }
-                    let idx = self.port_index(stage, switch, dir, path);
-                    if self.ports[idx] <= now {
-                        self.ports[idx] = now + dur;
+                    let idx = self.port_index(switch, dir, path);
+                    if self.ports[stage as usize][idx] <= now {
+                        self.ports[stage as usize][idx] = now + dur;
                         claimed = Some(path);
                         break;
                     }
@@ -998,7 +764,7 @@ impl Model for BaldurNet {
                             u64::from(stage),
                         );
                         self.dec_in_flight(now);
-                        self.drop_ack_batch(pkt);
+                        self.ack_refs.remove(&pkt);
                         // Dropped: the source's timeout handles recovery.
                     }
                     Some(path) => {
@@ -1018,7 +784,7 @@ impl Model for BaldurNet {
                                     u64::from(stage),
                                 );
                                 self.dec_in_flight(now);
-                                self.drop_ack_batch(pkt);
+                                self.ack_refs.remove(&pkt);
                                 return;
                             }
                         }
@@ -1044,7 +810,7 @@ impl Model for BaldurNet {
                             let Some(target) = self.topo.target(stage, switch, dir, path) else {
                                 debug_assert!(false, "inner stage {stage} has no target");
                                 self.dec_in_flight(now);
-                                self.drop_ack_batch(pkt);
+                                self.ack_refs.remove(&pkt);
                                 return;
                             };
                             sched.schedule_at(
@@ -1069,14 +835,27 @@ impl Model for BaldurNet {
                     Some(data_pkt) => {
                         // ACK arrived back at the data source; a combined
                         // ACK settles its whole batch.
-                        match self.take_ack_batch(pkt) {
-                            Some(batch) => {
-                                for i in 0..batch.len() {
-                                    self.settle_ack(now, batch[i], dst);
+                        let batch = self.ack_refs.remove(&pkt).unwrap_or_else(|| vec![data_pkt]);
+                        for data_pkt in batch {
+                            let data = &mut self.packets[data_pkt as usize];
+                            if !data.acked {
+                                data.acked = true;
+                                // A slot already given back by retry
+                                // exhaustion (repair racing a backoff
+                                // retry: the packet gave up, then a late
+                                // copy delivered and this ACK returned)
+                                // must not be released twice.
+                                let release = !data.released;
+                                data.released = true;
+                                if release {
+                                    self.release_outstanding(now, dst.0);
+                                    self.release_window(dst.0);
+                                    // Successful round trip relaxes the
+                                    // backoff.
+                                    let src_nic = &mut self.nics[dst.0 as usize];
+                                    src_nic.backoff_exp = src_nic.backoff_exp.saturating_sub(1);
                                 }
-                                self.recycle_batch(batch);
                             }
-                            None => self.settle_ack(now, data_pkt, dst),
                         }
                     }
                     None => {
@@ -1101,47 +880,33 @@ impl Model for BaldurNet {
                         // combining is on.
                         let window = self.params.ack_coalesce_ps;
                         if window == 0 {
-                            self.send_ack_single(now, dst.0, src.0, pkt, sched);
+                            self.send_ack(now, dst.0, src.0, vec![pkt], sched);
                         } else {
-                            let d = dst.0 as usize;
-                            match self.pending_acks[d].iter().position(|&(s, _)| s == src.0) {
-                                Some(at) => {
-                                    let handle = self.pending_acks[d][at].1;
-                                    if let Some(batch) = self.pending.get_mut(handle) {
-                                        batch.push(pkt);
-                                    }
-                                }
-                                None => {
-                                    let mut batch = self.batch_pool.pop().unwrap_or_default();
-                                    batch.push(pkt);
-                                    let handle = self.pending.insert(batch);
-                                    self.pending_acks[d].push((src.0, handle));
-                                    sched.schedule_in(
-                                        Duration::from_ps(window),
-                                        Ev::AckFlush {
-                                            node: dst.0,
-                                            src: src.0,
-                                        },
-                                    );
-                                }
+                            let entry = self.nics[dst.0 as usize]
+                                .pending_acks
+                                .entry(src.0)
+                                .or_insert_with(|| (Vec::new(), false));
+                            entry.0.push(pkt);
+                            if !entry.1 {
+                                entry.1 = true;
+                                sched.schedule_in(
+                                    Duration::from_ps(window),
+                                    Ev::AckFlush {
+                                        node: dst.0,
+                                        src: src.0,
+                                    },
+                                );
                             }
                         }
                     }
                 }
             }
             Ev::AckFlush { node, src } => {
-                let n = node as usize;
-                let Some(at) = self.pending_acks[n].iter().position(|&(s, _)| s == src) else {
-                    return;
-                };
-                let (_, handle) = self.pending_acks[n].swap_remove(at);
-                let Some(batch) = self.pending.remove(handle) else {
+                let Some((batch, _)) = self.nics[node as usize].pending_acks.remove(&src) else {
                     return;
                 };
                 if !batch.is_empty() {
                     self.send_ack(now, node, src, batch, sched);
-                } else {
-                    self.recycle_batch(batch);
                 }
             }
             Ev::Timeout { pkt, attempt } => {
@@ -1207,8 +972,8 @@ impl Model for BaldurNet {
                 self.metrics.on_retransmit();
                 if self.params.backoff {
                     // Binary exponential backoff throttles the transmitter.
-                    let exp = &mut self.backoff_exp[st.src.0 as usize];
-                    *exp = (*exp + 1).min(self.params.max_backoff_exp);
+                    let nic = &mut self.nics[st.src.0 as usize];
+                    nic.backoff_exp = (nic.backoff_exp + 1).min(self.params.max_backoff_exp);
                 }
                 self.enqueue(now, st.src.0, pkt, sched);
             }
@@ -1259,7 +1024,6 @@ pub fn simulate_with_faults(
         &FaultPlan::new(seed),
         OracleConfig::default(),
     )
-    .0
 }
 
 /// [`simulate`] executing a full [`FaultPlan`]: scheduled kill/revive of
@@ -1283,31 +1047,6 @@ pub fn simulate_plan(
         horizon_ns,
         &[],
         plan,
-        OracleConfig::default(),
-    )
-    .0
-}
-
-/// [`simulate`] returning kernel-state accounting alongside the report —
-/// the `scaling` experiment's entry point (state bytes, arena high-water
-/// marks, scheduler population and backend).
-pub fn simulate_scaling(
-    active_nodes: u32,
-    params: BaldurParams,
-    link: LinkParams,
-    driver: Driver,
-    seed: u64,
-    horizon_ns: Option<u64>,
-) -> (LatencyReport, StateStats) {
-    simulate_impl(
-        active_nodes,
-        params,
-        link,
-        driver,
-        seed,
-        horizon_ns,
-        &[],
-        &FaultPlan::new(seed),
         OracleConfig::default(),
     )
 }
@@ -1337,7 +1076,6 @@ pub fn simulate_chaos(
         plan,
         oracle_cfg,
     )
-    .0
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -1351,7 +1089,7 @@ fn simulate_impl(
     faults: &[(u32, u32)],
     plan: &FaultPlan,
     oracle_cfg: OracleConfig,
-) -> (LatencyReport, StateStats) {
+) -> LatencyReport {
     let total = driver.total_to_send();
     let sample_cap = (total.min(2_000_000)) as usize + 16;
     let mut model = BaldurNet::new(active_nodes, params, link, driver, seed, sample_cap);
@@ -1406,466 +1144,11 @@ fn simulate_impl(
     }
     let end = sim.scheduler().now();
     let events = sim.scheduler().events_executed();
-    let mut stats = sim.model().state_stats();
-    stats.peak_pending_events = sim.scheduler().peak_pending() as u64;
-    stats.events_scheduled = sim.scheduler().events_scheduled();
-    stats.calendar_backed = sim.scheduler().calendar_backed();
     let mut model = sim.into_model();
     if stop == baldur_sim::StopReason::Drained {
         model.oracle_check_drained(end);
     }
     let mut report = model.into_report(end);
     report.events = events;
-    (report, stats)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::driver::Driver;
-    use crate::traffic::Pattern;
-    use crate::workloads::ping_pong1_pairs;
-
-    fn link() -> LinkParams {
-        LinkParams::paper()
-    }
-
-    #[test]
-    fn light_load_latency_is_near_the_fiber_floor() {
-        // 64 nodes, load 0.05: essentially no contention. The floor is
-        // 2 x 100 ns fiber + 6 stages x ~2 ns + 163.84 ns serialization.
-        let d = Driver::open_loop(64, Pattern::RandomPermutation, 0.05, 50, &link(), 42);
-        let r = simulate(64, BaldurParams::paper_for(64), link(), d, 42, None);
-        assert_eq!(r.delivered, r.generated, "all packets must arrive");
-        assert!(r.avg_ns > 350.0 && r.avg_ns < 500.0, "avg {}", r.avg_ns);
-        assert!(r.drop_rate < 0.02, "drop rate {}", r.drop_rate);
-    }
-
-    #[test]
-    fn heavy_load_drops_but_still_delivers() {
-        // Multiplicity 2 under heavy transpose guarantees contention so
-        // the drop/ACK/retransmit machinery is exercised end to end.
-        let d = Driver::open_loop(64, Pattern::Transpose, 0.9, 60, &link(), 7);
-        let params = BaldurParams {
-            multiplicity: 2,
-            ..BaldurParams::paper_1k()
-        };
-        let r = simulate(64, params, link(), d, 7, None);
-        assert!(
-            r.delivery_ratio() > 0.99,
-            "delivered {}",
-            r.delivery_ratio()
-        );
-        assert!(r.drop_attempts > 0, "expected contention drops");
-        assert!(r.retransmissions > 0);
-        assert!(r.avg_ns > 350.0);
-    }
-
-    #[test]
-    fn multiplicity_cuts_drop_rate() {
-        let mut drops = Vec::new();
-        for m in [1u32, 2, 4] {
-            let d = Driver::open_loop(64, Pattern::Transpose, 0.7, 40, &link(), 3);
-            let params = BaldurParams {
-                multiplicity: m,
-                ..BaldurParams::paper_1k()
-            };
-            let r = simulate(64, params, link(), d, 3, None);
-            drops.push(r.drop_rate);
-        }
-        assert!(
-            drops[0] > drops[1] && drops[1] > drops[2],
-            "drop rates must fall with multiplicity: {drops:?}"
-        );
-        assert!(drops[0] > 0.10, "m=1 under transpose 0.7 drops heavily");
-        assert!(drops[2] < 0.05, "m=4 should be rare-drop");
-    }
-
-    #[test]
-    fn ping_pong_round_trip_is_two_network_crossings() {
-        let pairs = ping_pong1_pairs(16, 9);
-        let d = Driver::ping_pong(pairs, 10, 9);
-        let r = simulate(16, BaldurParams::paper_for(16), link(), d, 9, None);
-        assert_eq!(r.delivered, r.generated);
-        // One crossing is ~370-420 ns; closed-loop latency per packet is a
-        // single crossing (measured generation->delivery).
-        assert!(r.avg_ns > 350.0 && r.avg_ns < 600.0, "avg {}", r.avg_ns);
-    }
-
-    #[test]
-    fn retransmission_buffer_stays_bounded_at_paper_load() {
-        let d = Driver::open_loop(128, Pattern::RandomPermutation, 0.7, 100, &link(), 5);
-        let r = simulate(128, BaldurParams::paper_for(128), link(), d, 5, None);
-        assert!(r.delivery_ratio() > 0.999);
-        // Paper: 536 KB suffices at 0.7 load; 1 MB in the design. Our
-        // high-water mark must sit well inside 1 MB.
-        assert!(
-            r.max_retx_buffer_bytes < 1_048_576,
-            "buffer {}",
-            r.max_retx_buffer_bytes
-        );
-    }
-
-    #[test]
-    fn ack_coalescing_cuts_ack_traffic_without_losing_anything() {
-        // The paper's "traffic combining" future-work idea: combined ACKs
-        // shrink the reverse-direction load. Injections = data + ACK
-        // traversals, so fewer ACKs = fewer injections.
-        let run_with = |window: u64| {
-            let params = BaldurParams {
-                ack_coalesce_ps: window,
-                ..BaldurParams::paper_for(64)
-            };
-            let d = Driver::open_loop(64, Pattern::RandomPermutation, 0.6, 80, &link(), 13);
-            simulate(64, params, link(), d, 13, None)
-        };
-        let plain = run_with(0);
-        let combined = run_with(300_000); // 300 ns window << 1 us timeout
-        assert_eq!(plain.delivered, plain.generated);
-        assert_eq!(combined.delivered, combined.generated);
-        assert!(
-            combined.injections < plain.injections * 95 / 100,
-            "combined {} vs plain {}",
-            combined.injections,
-            plain.injections
-        );
-        // Latency stays in the same regime (ACK delay is off the data
-        // path; only retransmission margins feel the window).
-        assert!(combined.avg_ns < plain.avg_ns * 1.5);
-    }
-
-    #[test]
-    fn routes_around_a_dead_switch() {
-        // Leighton-Maggs: with randomized multiplicity, a faulty switch
-        // costs retransmissions, not connectivity.
-        let params = BaldurParams {
-            path_rotation: true,
-            ..BaldurParams::paper_for(64)
-        };
-        let d = Driver::open_loop(64, Pattern::RandomPermutation, 0.3, 60, &link(), 21);
-        let healthy = simulate(64, params, link(), d, 21, None);
-        let d = Driver::open_loop(64, Pattern::RandomPermutation, 0.3, 60, &link(), 21);
-        let faulty = simulate_with_faults(64, params, link(), d, 21, None, &[(2, 7), (3, 11)]);
-        assert_eq!(healthy.delivered, healthy.generated);
-        assert_eq!(
-            faulty.delivered, faulty.generated,
-            "dead switches must not break connectivity"
-        );
-        assert!(faulty.drop_attempts > healthy.drop_attempts);
-        assert!(faulty.retransmissions > 0);
-    }
-
-    #[test]
-    fn dead_ingress_column_still_recovers_other_flows() {
-        // Even killing a first-stage switch only severs the two nodes
-        // wired to it; packets *from* those nodes are abandoned after
-        // the retry budget while the rest of the machine keeps working.
-        let mut params = BaldurParams::paper_for(64);
-        params.max_retries = 2;
-        params.base_timeout_ps = 500_000;
-        let d = Driver::open_loop(64, Pattern::UniformRandom, 0.2, 20, &link(), 5);
-        let r = simulate_with_faults(64, params, link(), d, 5, None, &[(0, 0)]);
-        // Nodes 0 and 1 inject into switch (0,0): their 40 packets die.
-        assert!(r.abandoned >= 30, "{}", r.abandoned);
-        assert!(r.delivered as f64 >= 0.9 * (r.generated - r.abandoned) as f64);
-    }
-
-    #[test]
-    fn terminates_and_gives_up_under_100_percent_drop() {
-        // Satellite check for the retry-forever hazard: with every switch
-        // dead (100% drop), every packet must hit GaveUp after exactly
-        // max_retries retransmissions and the run must drain on its own —
-        // no infinite retry loop, no horizon rescue needed.
-        let mut params = BaldurParams::paper_for(16);
-        params.max_retries = 3;
-        params.base_timeout_ps = 500_000;
-        let d = Driver::open_loop(16, Pattern::UniformRandom, 0.3, 10, &link(), 11);
-        let plan = FaultPlan::degradation(11, 1.0);
-        let r = simulate_plan(16, params, link(), d, 11, None, &plan);
-        assert_eq!(r.delivered, 0, "nothing can cross a fully dead fabric");
-        assert_eq!(r.abandoned, r.generated, "every packet must give up");
-        assert!(r.generated > 0);
-        // First try + 3 retries per packet, all dropped at stage 0.
-        assert_eq!(r.retransmissions, 3 * r.generated);
-        assert_eq!(r.drop_attempts, 4 * r.generated);
-    }
-
-    #[test]
-    fn dead_laser_loses_frames_until_revival() {
-        // A dark transmit laser during the first 40 us silences node 0;
-        // its packets burn retries (never entering the fabric) until the
-        // laser is repaired, after which retransmissions deliver them.
-        let params = BaldurParams::paper_for(32);
-        let plan = FaultPlan::new(5)
-            .at(0, FaultKind::LaserDown { node: 0 })
-            .at(40_000_000, FaultKind::LaserUp { node: 0 });
-        let d = Driver::open_loop(32, Pattern::RandomPermutation, 0.2, 30, &link(), 5);
-        let r = simulate_plan(32, params, link(), d, 5, None, &plan);
-        assert_eq!(r.delivered, r.generated, "revival must recover all flows");
-        assert!(r.laser_losses > 0, "the dark window must eat frames");
-        assert!(r.retransmissions >= r.laser_losses - 1);
-        // Epoch 0 (laser dark) must show worse goodput than epoch 1.
-        assert_eq!(r.epochs.len(), 2);
-        assert!(r.epochs[0].goodput() < r.epochs[1].goodput() + 1e-9);
-    }
-
-    #[test]
-    fn bit_error_burst_corrupts_then_recovery() {
-        // A heavy burst over the first 30 us corrupts traversals; CRC
-        // drops + retransmission still deliver everything.
-        let params = BaldurParams::paper_for(32);
-        let plan = FaultPlan::new(3).at(
-            0,
-            FaultKind::BitErrorBurst {
-                duration_ps: 30_000_000,
-                corruption_prob: 0.2,
-            },
-        );
-        let d = Driver::open_loop(32, Pattern::RandomPermutation, 0.3, 30, &link(), 17);
-        let r = simulate_plan(32, params, link(), d, 17, None, &plan);
-        assert_eq!(r.delivered, r.generated);
-        assert!(r.corrupted > 0, "the burst must corrupt some traversals");
-        assert!(
-            r.drop_attempts >= r.corrupted,
-            "corruptions are a subset of drops"
-        );
-    }
-
-    #[test]
-    fn link_failures_degrade_but_do_not_disconnect() {
-        // Killing one of the m paths of a direction leaves m-1 survivors:
-        // more contention drops, same connectivity.
-        let params = BaldurParams::paper_for(64);
-        let d = Driver::open_loop(64, Pattern::Transpose, 0.5, 40, &link(), 23);
-        let healthy = simulate(64, params, link(), d, 23, None);
-        let plan = FaultPlan::new(23)
-            .at(
-                0,
-                FaultKind::LinkDown {
-                    stage: 1,
-                    switch: 0,
-                    dir: 0,
-                    path: 0,
-                },
-            )
-            .at(
-                0,
-                FaultKind::LinkDown {
-                    stage: 1,
-                    switch: 1,
-                    dir: 1,
-                    path: 2,
-                },
-            )
-            .at(
-                0,
-                FaultKind::LinkDown {
-                    stage: 2,
-                    switch: 3,
-                    dir: 0,
-                    path: 1,
-                },
-            );
-        let d = Driver::open_loop(64, Pattern::Transpose, 0.5, 40, &link(), 23);
-        let faulty = simulate_plan(64, params, link(), d, 23, None, &plan);
-        assert_eq!(healthy.delivered, healthy.generated);
-        assert_eq!(faulty.delivered, faulty.generated);
-        assert!(faulty.drop_attempts >= healthy.drop_attempts);
-    }
-
-    #[test]
-    fn deterministic_for_fixed_seed() {
-        let mk = || {
-            let d = Driver::open_loop(32, Pattern::Bisection, 0.5, 30, &link(), 77);
-            simulate(32, BaldurParams::paper_for(32), link(), d, 77, None)
-        };
-        let a = mk();
-        let b = mk();
-        assert_eq!(a.avg_ns.to_bits(), b.avg_ns.to_bits());
-        assert_eq!(a.drop_attempts, b.drop_attempts);
-    }
-
-    #[test]
-    fn late_ack_after_giveup_releases_the_slot_exactly_once() {
-        // The repair/backoff race distilled: a 10 us fiber makes every
-        // ACK round trip vastly outlive a 100 ns timeout with a zero
-        // retry budget, so each packet gives up (slot released) while its
-        // copy is still in flight. The copy then delivers and its ACK
-        // returns to a source that already released the slot — without
-        // the `released` guard that second release underflows
-        // `outstanding`, which the oracle would report.
-        let params = BaldurParams {
-            link_delay_ps: 10_000_000,
-            base_timeout_ps: 100_000,
-            max_retries: 0,
-            ..BaldurParams::paper_for(16)
-        };
-        let d = Driver::open_loop(16, Pattern::RandomPermutation, 0.05, 4, &link(), 31);
-        let r = simulate(16, params, link(), d, 31, None);
-        assert_eq!(r.generated, r.delivered + r.abandoned, "conservation");
-        assert!(r.abandoned > 0, "the race needs exhausted packets");
-        assert!(
-            r.oracle.is_clean(),
-            "no counter may underflow: {:?}",
-            r.oracle
-        );
-    }
-
-    #[test]
-    fn livelock_detector_fires_on_a_wedged_fabric() {
-        // Every switch dead and a huge retry budget: sources retransmit
-        // forever, nothing ever delivers. The stuck-flow watermark must
-        // fire (and abort the run) instead of burning the whole horizon.
-        let params = BaldurParams {
-            max_retries: 100_000,
-            ..BaldurParams::paper_for(16)
-        };
-        let plan = FaultPlan::new(5).at(0, FaultKind::FailFraction { fraction: 1.0 });
-        let cfg = crate::oracle::OracleConfig {
-            stall_ps: 1_000_000, // 1 us of silence is already damning here
-            ..crate::oracle::OracleConfig::default()
-        };
-        let d = Driver::open_loop(16, Pattern::RandomPermutation, 0.3, 10, &link(), 5);
-        let r = simulate_chaos(16, params, link(), d, 5, None, &plan, cfg);
-        assert_eq!(r.delivered, 0);
-        assert!(
-            r.oracle
-                .reports
-                .iter()
-                .any(|rep| matches!(rep.violation, Violation::StuckFlow { .. })),
-            "expected a StuckFlow violation, got {:?}",
-            r.oracle
-        );
-    }
-
-    #[test]
-    fn ingress_cap_sheds_load_with_exact_conservation() {
-        // A 16-to-1 incast at 4x saturation with a small admission cap:
-        // the cap must refuse packets (counted, not stored) and the
-        // ledger must still balance exactly.
-        let params = BaldurParams {
-            ingress_cap: 8,
-            deadline_ps: 0,
-            ..BaldurParams::paper_for(32)
-        };
-        let d = Driver::storm(32, Pattern::Incast { fanin: 16 }, 4.0, 40, &link(), 7);
-        let r = simulate(32, params, link(), d, 7, None);
-        assert!(r.ingress_drops > 0, "4x incast must trip admission control");
-        assert_eq!(
-            r.generated,
-            r.delivered + r.abandoned + r.expired + r.ingress_drops,
-            "conservation with load shedding"
-        );
-        assert!(r.delivered > 0, "shedding must not collapse goodput");
-        assert!(r.oracle.is_clean(), "oracle: {:?}", r.oracle);
-    }
-
-    #[test]
-    fn deadline_expires_stale_packets_instead_of_retrying_forever() {
-        // A fully dead fabric with a generous retry budget but a tight
-        // deadline: packets expire at the age budget instead of burning
-        // the whole retry budget.
-        let params = BaldurParams {
-            max_retries: 100_000,
-            base_timeout_ps: 500_000,
-            deadline_ps: 3_000_000, // 3 us age budget
-            ..BaldurParams::paper_for(16)
-        };
-        let plan = FaultPlan::degradation(11, 1.0);
-        let d = Driver::open_loop(16, Pattern::UniformRandom, 0.3, 10, &link(), 11);
-        let r = simulate_plan(16, params, link(), d, 11, None, &plan);
-        assert_eq!(r.delivered, 0, "nothing crosses a dead fabric");
-        assert_eq!(r.expired, r.generated, "every packet expires at deadline");
-        assert_eq!(r.abandoned, 0, "deadline fires before the retry budget");
-        assert!(
-            r.retransmissions < 16 * r.generated,
-            "the deadline bounds retry amplification: {} retries",
-            r.retransmissions
-        );
-        assert_eq!(
-            r.generated,
-            r.delivered + r.abandoned + r.expired + r.ingress_drops
-        );
-    }
-
-    #[test]
-    fn pacing_defers_injections_without_losing_anything() {
-        let base = BaldurParams::paper_for(64);
-        let run = |pacing_window: u32| {
-            let params = BaldurParams {
-                pacing_window,
-                ..base
-            };
-            // An incast storm guarantees wavelength contention at the
-            // victim, so the unpaced run sees real fabric drops.
-            let d = Driver::storm(64, Pattern::Incast { fanin: 8 }, 2.0, 30, &link(), 13);
-            simulate(64, params, link(), d, 13, None)
-        };
-        let unpaced = run(0);
-        let paced = run(2);
-        assert!(unpaced.drop_attempts > 0, "storm must contend");
-        // Contention past the retry budget legitimately gives up, so the
-        // guarantee is exact conservation, not universal delivery.
-        assert_eq!(
-            paced.generated,
-            paced.delivered + paced.abandoned + paced.expired + paced.ingress_drops
-        );
-        assert!(paced.oracle.is_clean(), "oracle: {:?}", paced.oracle);
-        // Pacing throttles the offered burst, so fabric drops fall.
-        assert!(
-            paced.drop_attempts < unpaced.drop_attempts,
-            "paced {} vs unpaced {}",
-            paced.drop_attempts,
-            unpaced.drop_attempts
-        );
-    }
-
-    #[test]
-    fn hotcast_storm_delivers_and_reports_fairness() {
-        let d = Driver::storm(32, Pattern::Hotcast, 0.6, 30, &link(), 3);
-        let r = simulate(32, BaldurParams::paper_for(32), link(), d, 3, None);
-        assert_eq!(r.generated, 32 * 30);
-        assert!(r.delivery_ratio() > 0.99, "{}", r.delivery_ratio());
-        assert_eq!(r.fairness.flows, 32, "every node offers traffic");
-        assert!(r.fairness.jain > 0.0 && r.fairness.jain <= 1.0);
-        assert!(r.p999_ns >= r.p99_ns && r.p99_ns > 0.0);
-    }
-
-    #[test]
-    fn chaos_staged_plan_drains_clean_with_recovery_metrics() {
-        use crate::faults::{ChaosProfile, ChaosShape};
-        // A mixed link/switch/laser chaos schedule over the staged fabric
-        // must drain with conservation intact, a quiet oracle, and one
-        // recovery measurement per repair.
-        let shape = ChaosShape {
-            stages: 3,
-            width: 8,
-            m: 4,
-            nodes: 64,
-            routers: 0,
-        };
-        let profile = ChaosProfile {
-            warmup_ps: 2_000_000,
-            last_repair_ps: 40_000_000,
-            pairs: 6,
-        };
-        let plan = FaultPlan::chaos(19, &shape, &profile);
-        let d = Driver::open_loop(64, Pattern::RandomPermutation, 0.3, 40, &link(), 19);
-        let r = simulate_plan(64, BaldurParams::paper_for(64), link(), d, 19, None, &plan);
-        assert_eq!(r.generated, r.delivered + r.abandoned, "conservation");
-        assert!(r.oracle.is_clean(), "oracle: {:?}", r.oracle);
-        assert_eq!(r.recoveries.len(), plan.repair_times().len());
-        assert!(r.flap_amplification() >= 1.0);
-    }
-
-    #[test]
-    fn scaling_stats_report_state_and_scheduler_accounting() {
-        let d = Driver::open_loop(64, Pattern::UniformRandom, 0.3, 20, &link(), 9);
-        let (r, stats) = simulate_scaling(64, BaldurParams::paper_for(64), link(), d, 9, None);
-        assert_eq!(r.delivered, r.generated);
-        assert!(stats.state_bytes > 0);
-        assert!(stats.events_scheduled >= r.events);
-        assert!(stats.peak_pending_events > 0);
-        assert!(!stats.calendar_backed, "64 nodes stays below promotion");
-    }
+    report
 }

@@ -1,4 +1,11 @@
-//! The buffered electrical network model (paper Table VI baselines).
+//! The retired map-based electrical model, kept for differential testing.
+//!
+//! This is the pre-SoA implementation of `router_net` (per-router
+//! `Vec<VecDeque>` input queues, per-NIC `VecDeque`s), frozen when the
+//! hot state moved to struct-of-arrays. It is **not** a hot path: the
+//! property suite runs seeded workloads through both models and asserts
+//! byte-identical [`LatencyReport`]s. Behavioral semantics (paper Table
+//! VI baselines):
 //!
 //! Virtual-cut-through, input-queued routers with credit-based flow
 //! control: 24 KB of buffering per port split over 3 VCs, 90 ns
@@ -7,18 +14,8 @@
 //! multi-butterfly, dragonfly, and fat-tree — only the [`RoutingAlg`]
 //! differs. Electrical networks are lossless: congestion backs packets up
 //! through credits instead of dropping them.
-//!
-//! # State layout (datacenter scale)
-//!
-//! Router state is struct-of-arrays flattened across the whole machine:
-//! one offset table (`port_off`, cumulative radix) maps a router to its
-//! slice of the flat per-output (`out_busy`, `out_pending`) and
-//! per-(input port, VC) (`credits`, queue heads/tails) tables — radix
-//! varies per router, so offsets rather than a fixed stride. Input and
-//! NIC queues are intrusive lists over a per-packet `next` link (a packet
-//! sits in at most one queue at a time). The retired map-based model is
-//! kept as `router_net_baseline` and differential-tested for
-//! byte-identical reports.
+
+use std::collections::VecDeque;
 
 use baldur_sim::rng::StreamRng;
 use baldur_sim::{Duration, Model, Scheduler, Simulation, Time};
@@ -33,9 +30,6 @@ use crate::routing::{RouteState, RoutingAlg};
 
 type PktId = u32;
 
-/// Null link in the intrusive queues.
-const NONE: PktId = PktId::MAX;
-
 #[derive(Debug, Clone, Copy)]
 struct RPacket {
     src: NodeId,
@@ -44,6 +38,25 @@ struct RPacket {
     route: RouteState,
     /// Output decision at the current router: (port, next vc).
     decision: (u32, u32),
+}
+
+struct Router {
+    /// `queues[in_port * vcs + vc]` — packets buffered at this input.
+    queues: Vec<VecDeque<PktId>>,
+    /// `credits[out_port * vcs + vc]` — free slots downstream.
+    credits: Vec<u32>,
+    out_busy: Vec<Time>,
+    /// Buffered packets routed to each output (adaptive-routing signal).
+    out_pending: Vec<u32>,
+    arb_scheduled: bool,
+    rr: u32,
+}
+
+struct Nic {
+    queue: VecDeque<PktId>,
+    tx_busy_until: Time,
+    credits: Vec<u32>,
+    try_scheduled: bool,
 }
 
 /// Events of the electrical model.
@@ -93,34 +106,8 @@ pub struct RouterNet {
     link: LinkParams,
     rp: RouterParams,
     driver: Driver,
-    /// Cumulative radix per router: router `r` owns output slots
-    /// `port_off[r]..port_off[r]+radix(r)` of the flat per-output tables
-    /// and slots `port_off[r]*vcs..` of the flat per-(port, VC) tables.
-    port_off: Vec<u32>,
-    // ---- per (router, input port, VC), flat ----
-    /// Free slots downstream of each output, `[q_base + out*vcs + vc]`.
-    credits: Vec<u32>,
-    q_head: Vec<PktId>,
-    q_tail: Vec<PktId>,
-    q_len: Vec<u32>,
-    // ---- per (router, output port), flat ----
-    out_busy: Vec<Time>,
-    /// Buffered packets routed to each output (adaptive-routing signal).
-    out_pending: Vec<u32>,
-    // ---- per router ----
-    arb_scheduled: Vec<bool>,
-    rr: Vec<u32>,
-    // ---- per NIC (node) ----
-    nic_head: Vec<PktId>,
-    nic_tail: Vec<PktId>,
-    nic_len: Vec<u32>,
-    nic_tx_busy: Vec<Time>,
-    /// Injection credits, `[node * vcs + vc]`.
-    nic_credits: Vec<u32>,
-    nic_try_scheduled: Vec<bool>,
-    /// Intrusive queue link per packet (a packet is in at most one input
-    /// or NIC queue at a time).
-    next_in_queue: Vec<PktId>,
+    routers: Vec<Router>,
+    nics: Vec<Nic>,
     packets: Vec<RPacket>,
     metrics: Collector,
     rng: StreamRng,
@@ -158,15 +145,29 @@ impl RouterNet {
         sample_cap: usize,
     ) -> Self {
         let vc_cap = rp.vc_capacity(link.packet_bytes);
-        let vcs = rp.vcs as usize;
+        let vcs = rp.vcs;
+        let routers = (0..graph.router_count())
+            .map(|r| {
+                let radix = graph.radix(r) as usize;
+                Router {
+                    queues: vec![VecDeque::new(); radix * vcs as usize],
+                    credits: vec![vc_cap; radix * vcs as usize],
+                    out_busy: vec![Time::ZERO; radix],
+                    out_pending: vec![0; radix],
+                    arb_scheduled: false,
+                    rr: 0,
+                }
+            })
+            .collect();
+        let nics = (0..driver.nodes())
+            .map(|_| Nic {
+                queue: VecDeque::new(),
+                tx_busy_until: Time::ZERO,
+                credits: vec![vc_cap; vcs as usize],
+                try_scheduled: false,
+            })
+            .collect();
         let router_count = graph.router_count();
-        let mut port_off = Vec::with_capacity(router_count as usize);
-        let mut total_ports = 0u32;
-        for r in 0..router_count {
-            port_off.push(total_ports);
-            total_ports += graph.radix(r);
-        }
-        let nq_total = total_ports as usize * vcs;
         let nodes = driver.nodes() as usize;
         RouterNet {
             graph,
@@ -174,22 +175,8 @@ impl RouterNet {
             link,
             rp,
             driver,
-            port_off,
-            credits: vec![vc_cap; nq_total],
-            q_head: vec![NONE; nq_total],
-            q_tail: vec![NONE; nq_total],
-            q_len: vec![0; nq_total],
-            out_busy: vec![Time::ZERO; total_ports as usize],
-            out_pending: vec![0; total_ports as usize],
-            arb_scheduled: vec![false; router_count as usize],
-            rr: vec![0; router_count as usize],
-            nic_head: vec![NONE; nodes],
-            nic_tail: vec![NONE; nodes],
-            nic_len: vec![0; nodes],
-            nic_tx_busy: vec![Time::ZERO; nodes],
-            nic_credits: vec![vc_cap; nodes * vcs],
-            nic_try_scheduled: vec![false; nodes],
-            next_in_queue: Vec::new(),
+            routers,
+            nics,
             packets: Vec::new(),
             metrics: Collector::new(sample_cap),
             rng: StreamRng::named(seed, "routernt", 0),
@@ -200,70 +187,6 @@ impl RouterNet {
             oracle: Oracle::new(OracleConfig::default()),
             flow_pending: vec![0; nodes],
         }
-    }
-
-    /// First flat per-output slot of `router`.
-    fn port_base(&self, router: u32) -> usize {
-        self.port_off[router as usize] as usize
-    }
-
-    /// First flat per-(port, VC) slot of `router`.
-    fn q_base(&self, router: u32) -> usize {
-        self.port_base(router) * self.rp.vcs as usize
-    }
-
-    /// Pushes `pkt` onto the tail of flat queue `flat_qi`.
-    fn rq_push_back(&mut self, flat_qi: usize, pkt: PktId) {
-        self.next_in_queue[pkt as usize] = NONE;
-        let tail = self.q_tail[flat_qi];
-        if tail == NONE {
-            self.q_head[flat_qi] = pkt;
-        } else {
-            self.next_in_queue[tail as usize] = pkt;
-        }
-        self.q_tail[flat_qi] = pkt;
-        self.q_len[flat_qi] += 1;
-    }
-
-    /// Pops the head of flat queue `flat_qi`.
-    fn rq_pop_front(&mut self, flat_qi: usize) -> Option<PktId> {
-        let head = self.q_head[flat_qi];
-        if head == NONE {
-            return None;
-        }
-        let next = self.next_in_queue[head as usize];
-        self.q_head[flat_qi] = next;
-        if next == NONE {
-            self.q_tail[flat_qi] = NONE;
-        }
-        self.q_len[flat_qi] -= 1;
-        Some(head)
-    }
-
-    fn nic_push_back(&mut self, node: usize, pkt: PktId) {
-        self.next_in_queue[pkt as usize] = NONE;
-        let tail = self.nic_tail[node];
-        if tail == NONE {
-            self.nic_head[node] = pkt;
-        } else {
-            self.next_in_queue[tail as usize] = pkt;
-        }
-        self.nic_tail[node] = pkt;
-        self.nic_len[node] += 1;
-    }
-
-    fn nic_pop_front(&mut self, node: usize) -> Option<PktId> {
-        let head = self.nic_head[node];
-        if head == NONE {
-            return None;
-        }
-        let next = self.next_in_queue[head as usize];
-        self.nic_head[node] = next;
-        if next == NONE {
-            self.nic_tail[node] = NONE;
-        }
-        self.nic_len[node] -= 1;
-        Some(head)
     }
 
     /// One admitted packet of `src` reached a terminal outcome
@@ -322,16 +245,26 @@ impl RouterNet {
         *down = true;
         self.any_router_down = true;
         let vcs = self.rp.vcs.max(1);
-        let qb = self.q_base(router);
-        let pb = self.port_base(router);
-        let nq = (self.graph.radix(router) * self.rp.vcs) as usize;
+        let nq = self
+            .routers
+            .get(router as usize)
+            .map_or(0, |r| r.queues.len());
         for qi in 0..nq {
             loop {
-                let Some(pkt) = self.rq_pop_front(qb + qi) else {
+                let Some(pkt) = self
+                    .routers
+                    .get_mut(router as usize)
+                    .and_then(|r| r.queues.get_mut(qi))
+                    .and_then(|q| q.pop_front())
+                else {
                     break;
                 };
                 let out = self.packets.get(pkt as usize).map(|p| p.decision.0);
-                match out.and_then(|o| self.out_pending.get_mut(pb + o as usize)) {
+                match out.and_then(|o| {
+                    self.routers
+                        .get_mut(router as usize)
+                        .and_then(|r| r.out_pending.get_mut(o as usize))
+                }) {
                     Some(p) if *p > 0 => *p -= 1,
                     _ => self.oracle.record(
                         now.as_ps(),
@@ -394,15 +327,17 @@ impl RouterNet {
     }
 
     fn schedule_arb(&mut self, router: u32, at: Time, sched: &mut Scheduler<Ev>) {
-        if !self.arb_scheduled[router as usize] {
-            self.arb_scheduled[router as usize] = true;
+        let r = &mut self.routers[router as usize];
+        if !r.arb_scheduled {
+            r.arb_scheduled = true;
             sched.schedule_at(at, Ev::Arb(router));
         }
     }
 
     fn schedule_nic(&mut self, node: u32, at: Time, sched: &mut Scheduler<Ev>) {
-        if !self.nic_try_scheduled[node as usize] {
-            self.nic_try_scheduled[node as usize] = true;
+        let nic = &mut self.nics[node as usize];
+        if !nic.try_scheduled {
+            nic.try_scheduled = true;
             sched.schedule_at(at, Ev::NicTry(node));
         }
     }
@@ -419,7 +354,7 @@ impl RouterNet {
             for _ in 0..cmd.count {
                 self.metrics.on_generated(now);
                 self.metrics.note_flow_generated(node);
-                if cap > 0 && self.nic_len[node as usize] >= cap {
+                if cap > 0 && self.nics[node as usize].queue.len() >= cap as usize {
                     // Admission control: the NIC queue is full, so the packet
                     // is refused at the edge and counted as an ingress drop.
                     self.metrics.on_ingress_drop(now);
@@ -436,11 +371,10 @@ impl RouterNet {
                     route: RouteState::default(),
                     decision: (0, 0),
                 });
-                self.next_in_queue.push(NONE);
                 if let Some(p) = self.flow_pending.get_mut(node as usize) {
                     *p += 1;
                 }
-                self.nic_push_back(node as usize, pkt);
+                self.nics[node as usize].queue.push_back(pkt);
                 if self.rp.deadline_ps > 0 {
                     // Eager expiry: revisit the queue when this packet's
                     // age budget runs out, so the deadline is enforced
@@ -455,12 +389,12 @@ impl RouterNet {
                 self.oracle.check_occupancy(
                     now.as_ps(),
                     node,
-                    u64::from(self.nic_len[node as usize]),
+                    self.nics[node as usize].queue.len() as u64,
                     u64::from(cap),
                 );
             }
         }
-        if self.nic_head[node as usize] != NONE {
+        if !self.nics[node as usize].queue.is_empty() {
             self.schedule_nic(node, now, sched);
         }
         if let Some(t) = out.wake_at_ps {
@@ -474,26 +408,23 @@ impl RouterNet {
         let radix = self.graph.radix(router);
         let vcs = self.rp.vcs;
         let nq = (radix * vcs) as usize;
-        let qb = self.q_base(router);
-        let pb = self.port_base(router);
         let ser = self.link.packet_time();
         let mut next_wakeup: Option<Time> = None;
 
         for out_port in 0..radix {
-            let busy = self.out_busy[pb + out_port as usize];
+            let busy = self.routers[router as usize].out_busy[out_port as usize];
             if busy > now {
                 next_wakeup = Some(next_wakeup.map_or(busy, |t: Time| t.min(busy)));
                 continue;
             }
             // Round-robin over input queues for fairness.
-            let start = self.rr[router as usize] as usize;
+            let start = self.routers[router as usize].rr as usize;
             let mut granted = false;
             for off in 0..nq {
                 let qi = (start + off) % nq;
-                let pkt = self.q_head[qb + qi];
-                if pkt == NONE {
+                let Some(&pkt) = self.routers[router as usize].queues[qi].front() else {
                     continue;
-                }
+                };
                 let (dport, dvc) = self.packets[pkt as usize].decision;
                 if dport != out_port {
                     continue;
@@ -501,7 +432,9 @@ impl RouterNet {
                 // Downstream space?
                 let peer = self.graph.peer(router, out_port);
                 let has_credit = match peer {
-                    Endpoint::Router { .. } => self.credits[qb + self.qidx(out_port, dvc)] > 0,
+                    Endpoint::Router { .. } => {
+                        self.routers[router as usize].credits[self.qidx(out_port, dvc)] > 0
+                    }
                     Endpoint::Node(_) => true, // nodes always sink
                     Endpoint::Unused => {
                         // Can't happen with a correct routing table; record
@@ -523,10 +456,10 @@ impl RouterNet {
                 // Grant.
                 let in_vc = (qi as u32) % vcs;
                 let in_port = (qi as u32) / vcs;
-                self.rq_pop_front(qb + qi);
-                self.out_pending[pb + out_port as usize] -= 1;
-                self.out_busy[pb + out_port as usize] = now + ser;
-                self.rr[router as usize] = (qi as u32 + 1) % nq as u32;
+                self.routers[router as usize].queues[qi].pop_front();
+                self.routers[router as usize].out_pending[out_port as usize] -= 1;
+                self.routers[router as usize].out_busy[out_port as usize] = now + ser;
+                self.routers[router as usize].rr = (qi as u32 + 1) % nq as u32;
 
                 // Return the freed input slot upstream once the tail passes.
                 match self.graph.peer(router, in_port) {
@@ -560,8 +493,8 @@ impl RouterNet {
                         router: dr,
                         port: dp,
                     } => {
-                        let idx = qb + self.qidx(out_port, dvc);
-                        self.credits[idx] -= 1;
+                        let idx = self.qidx(out_port, dvc);
+                        self.routers[router as usize].credits[idx] -= 1;
                         sched.schedule_at(
                             now + hop,
                             Ev::Arrive {
@@ -644,11 +577,8 @@ impl RouterNet {
             );
         }
         let cap = self.vc_cap;
-        let vcs = self.rp.vcs as usize;
-        for r in 0..self.router_down.len() {
-            let qb = self.q_base(r as u32);
-            let nq = (self.graph.radix(r as u32) as usize) * vcs;
-            let queued: u64 = self.q_len[qb..qb + nq].iter().map(|&l| u64::from(l)).sum();
+        for (r, router) in self.routers.iter().enumerate() {
+            let queued: u64 = router.queues.iter().map(|q| q.len() as u64).sum();
             if queued > 0 {
                 self.oracle.record(
                     at,
@@ -658,8 +588,7 @@ impl RouterNet {
                     },
                 );
             }
-            for idx in 0..nq {
-                let c = self.credits[qb + idx];
+            for (idx, &c) in router.credits.iter().enumerate() {
                 if c != cap {
                     self.oracle.record(
                         at,
@@ -674,18 +603,17 @@ impl RouterNet {
                 }
             }
         }
-        for n in 0..self.nic_head.len() {
-            if self.nic_head[n] != NONE {
+        for (n, nic) in self.nics.iter().enumerate() {
+            if !nic.queue.is_empty() {
                 self.oracle.record(
                     at,
                     Violation::ResidualState {
                         what: format!("nic[{n}].queue"),
-                        count: u64::from(self.nic_len[n]),
+                        count: nic.queue.len() as u64,
                     },
                 );
             }
-            for vc in 0..vcs {
-                let c = self.nic_credits[n * vcs + vc];
+            for (vc, &c) in nic.credits.iter().enumerate() {
                 if c != cap {
                     self.oracle.record(
                         at,
@@ -713,8 +641,7 @@ impl Model for RouterNet {
                 self.apply_driver_output(now, node, out, sched);
             }
             Ev::NicTry(node) => {
-                let n = node as usize;
-                self.nic_try_scheduled[n] = false;
+                self.nics[node as usize].try_scheduled = false;
                 // Deadline check at the head of the queue: the NIC FIFO
                 // is ordered by admission time, so stale heads are shed
                 // here — expiring a packet burns no transmit slot, and
@@ -722,16 +649,12 @@ impl Model for RouterNet {
                 // from hoarding work nobody is waiting for anymore.
                 let deadline = self.rp.deadline_ps;
                 if deadline > 0 {
-                    loop {
-                        let head = self.nic_head[n];
-                        if head == NONE {
-                            break;
-                        }
+                    while let Some(&head) = self.nics[node as usize].queue.front() {
                         let age = now.since(self.packets[head as usize].generated_at);
                         if age.as_ps() < deadline {
                             break;
                         }
-                        self.nic_pop_front(n);
+                        self.nics[node as usize].queue.pop_front();
                         let src = self.packets[head as usize].src.0;
                         self.metrics.on_expired(now);
                         self.flow_done(src);
@@ -744,35 +667,31 @@ impl Model for RouterNet {
                         self.oracle.progress(now.as_ps());
                     }
                 }
-                let pkt = self.nic_head[n];
-                if pkt == NONE {
+                let Some(&pkt) = self.nics[node as usize].queue.front() else {
                     return;
-                }
-                let busy = self.nic_tx_busy[n];
+                };
+                let busy = self.nics[node as usize].tx_busy_until;
                 if busy > now {
                     self.schedule_nic(node, busy, sched);
                     return;
                 }
-                let vcs = self.rp.vcs as usize;
                 let vc = self.alg.injection_vc(u64::from(pkt));
-                if self.nic_credits[n * vcs + vc as usize] == 0 {
+                if self.nics[node as usize].credits[vc as usize] == 0 {
                     // Wait for a credit event to re-trigger.
                     return;
                 }
-                self.nic_pop_front(n);
-                self.nic_credits[n * vcs + vc as usize] -= 1;
+                self.nics[node as usize].queue.pop_front();
+                self.nics[node as usize].credits[vc as usize] -= 1;
                 let ser = self.link.packet_time();
-                self.nic_tx_busy[n] = now + ser;
-                if self.nic_head[n] != NONE {
+                self.nics[node as usize].tx_busy_until = now + ser;
+                if !self.nics[node as usize].queue.is_empty() {
                     self.schedule_nic(node, now + ser, sched);
                 }
-                let (router, port) = self.graph.node_attach[n];
+                let (router, port) = self.graph.node_attach[node as usize];
                 // UGAL decision happens at the source router's state.
                 let mut route = RouteState::default();
                 {
-                    let pb = self.port_base(router);
-                    let radix = self.graph.radix(router) as usize;
-                    let pending: &[u32] = &self.out_pending[pb..pb + radix];
+                    let pending: &[u32] = &self.routers[router as usize].out_pending;
                     self.alg.on_inject(
                         router,
                         NodeId(node),
@@ -840,10 +759,8 @@ impl Model for RouterNet {
                 // Compute the forwarding decision once, on arrival.
                 let dst = self.packets[pkt as usize].dst;
                 let mut route = self.packets[pkt as usize].route;
-                let pb = self.port_base(router);
                 let decision = {
-                    let radix = self.graph.radix(router) as usize;
-                    let pending: &[u32] = &self.out_pending[pb..pb + radix];
+                    let pending: &[u32] = &self.routers[router as usize].out_pending;
                     self.alg.route(
                         &self.graph,
                         router,
@@ -855,28 +772,28 @@ impl Model for RouterNet {
                 };
                 self.packets[pkt as usize].route = route;
                 self.packets[pkt as usize].decision = decision;
-                let qi = self.q_base(router) + self.qidx(port, vc);
-                self.rq_push_back(qi, pkt);
+                let qi = self.qidx(port, vc);
+                self.routers[router as usize].queues[qi].push_back(pkt);
                 // Credit flow control bounds every input queue by the VC
                 // capacity; growth past it means a credit was minted.
-                let len = u64::from(self.q_len[qi]);
+                let len = self.routers[router as usize].queues[qi].len() as u64;
                 if len > u64::from(self.vc_cap) {
                     self.oracle.record(
                         now.as_ps(),
                         Violation::QueueOverflow {
                             router,
-                            queue: self.qidx(port, vc) as u32,
+                            queue: qi as u32,
                             len,
                             bound: u64::from(self.vc_cap),
                         },
                     );
                 }
-                self.out_pending[pb + decision.0 as usize] += 1;
+                self.routers[router as usize].out_pending[decision.0 as usize] += 1;
                 self.metrics.on_forward_attempt(false);
                 self.schedule_arb(router, now, sched);
             }
             Ev::Arb(router) => {
-                self.arb_scheduled[router as usize] = false;
+                self.routers[router as usize].arb_scheduled = false;
                 if self.is_down(router) {
                     return; // its queues were flushed at kill time
                 }
@@ -886,14 +803,11 @@ impl Model for RouterNet {
                 let cap = self.vc_cap;
                 if router == u32::MAX {
                     let node = port;
-                    let vcs = self.rp.vcs;
-                    let slot = if vc < vcs {
-                        self.nic_credits
-                            .get_mut(node as usize * vcs as usize + vc as usize)
-                    } else {
-                        None
-                    };
-                    match slot {
+                    match self
+                        .nics
+                        .get_mut(node as usize)
+                        .and_then(|n| n.credits.get_mut(vc as usize))
+                    {
                         Some(c) if *c < cap => *c += 1,
                         Some(c) => {
                             // A credit beyond capacity was minted somewhere:
@@ -916,20 +830,20 @@ impl Model for RouterNet {
                             },
                         ),
                     }
-                    if self.nic_head.get(node as usize).is_some_and(|&h| h != NONE) {
+                    if self
+                        .nics
+                        .get(node as usize)
+                        .is_some_and(|n| !n.queue.is_empty())
+                    {
                         self.schedule_nic(node, now, sched);
                     }
                 } else {
                     let idx = self.qidx(port, vc);
-                    let slot = if (router as usize) < self.router_down.len()
-                        && idx < (self.graph.radix(router) * self.rp.vcs) as usize
+                    match self
+                        .routers
+                        .get_mut(router as usize)
+                        .and_then(|r| r.credits.get_mut(idx))
                     {
-                        let flat = self.q_base(router) + idx;
-                        self.credits.get_mut(flat)
-                    } else {
-                        None
-                    };
-                    match slot {
                         Some(c) if *c < cap => *c += 1,
                         Some(c) => {
                             let credits = c.saturating_add(1);
@@ -1089,385 +1003,4 @@ pub fn simulate_chaos(
     let mut report = model.into_report(end);
     report.events = events;
     report
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::driver::Driver;
-    use crate::routing::build_mb_graph;
-    use crate::traffic::Pattern;
-    use baldur_topo::dragonfly::Dragonfly;
-    use baldur_topo::fattree::FatTree;
-    use baldur_topo::multibutterfly::MultiButterfly;
-
-    fn link() -> LinkParams {
-        LinkParams::paper()
-    }
-
-    #[test]
-    fn fattree_delivers_everything_at_low_load() {
-        let ft = FatTree::new(4); // 16 hosts
-        let g = ft.build_graph(10_000, 50_000, 100_000);
-        let d = Driver::open_loop(16, Pattern::RandomPermutation, 0.1, 40, &link(), 2);
-        let r = simulate(
-            g,
-            RoutingAlg::FatTree(ft),
-            link(),
-            RouterParams::paper(),
-            d,
-            2,
-            None,
-        );
-        assert_eq!(r.delivered, r.generated);
-        // Unloaded floor: up to 4 router hops x 90 ns + links + one
-        // serialization >= ~500 ns.
-        assert!(r.avg_ns > 400.0 && r.avg_ns < 2_000.0, "avg {}", r.avg_ns);
-    }
-
-    #[test]
-    fn dragonfly_delivers_everything_at_low_load() {
-        let df = Dragonfly::balanced(2); // 72 nodes
-        let g = df.build_graph(10_000, 100_000);
-        let d = Driver::open_loop(72, Pattern::RandomPermutation, 0.1, 30, &link(), 3);
-        let r = simulate(
-            g,
-            RoutingAlg::Dragonfly(df),
-            link(),
-            RouterParams::paper(),
-            d,
-            3,
-            None,
-        );
-        assert_eq!(r.delivered, r.generated);
-        assert!(r.avg_ns > 250.0 && r.avg_ns < 2_000.0, "avg {}", r.avg_ns);
-    }
-
-    #[test]
-    fn electrical_mb_delivers_everything() {
-        let mb = MultiButterfly::new(64, 4, 4);
-        let g = build_mb_graph(&mb, 100_000, 10_000);
-        let d = Driver::open_loop(64, Pattern::Transpose, 0.3, 40, &link(), 4);
-        let r = simulate(
-            g,
-            RoutingAlg::MultiButterfly(mb),
-            link(),
-            RouterParams::paper(),
-            d,
-            4,
-            None,
-        );
-        assert_eq!(r.delivered, r.generated);
-        // 6 stages x 90 ns + 2 x 100 ns fiber + serialization ~ 0.9 us.
-        assert!(r.avg_ns > 600.0 && r.avg_ns < 3_000.0, "avg {}", r.avg_ns);
-    }
-
-    #[test]
-    fn saturation_inflates_latency() {
-        let ft = FatTree::new(4);
-        let g = ft.build_graph(10_000, 50_000, 100_000);
-        let lo = {
-            let d = Driver::open_loop(16, Pattern::Hotspot, 0.1, 30, &link(), 5);
-            simulate(
-                g.clone(),
-                RoutingAlg::FatTree(ft.clone()),
-                link(),
-                RouterParams::paper(),
-                d,
-                5,
-                None,
-            )
-        };
-        let hi = {
-            let d = Driver::open_loop(16, Pattern::Hotspot, 0.9, 30, &link(), 5);
-            simulate(
-                g,
-                RoutingAlg::FatTree(ft),
-                link(),
-                RouterParams::paper(),
-                d,
-                5,
-                None,
-            )
-        };
-        assert!(
-            hi.avg_ns > 2.0 * lo.avg_ns,
-            "hotspot at 0.9 ({}) must crush 0.1 ({})",
-            hi.avg_ns,
-            lo.avg_ns
-        );
-    }
-
-    #[test]
-    fn ping_pong_on_fattree() {
-        let ft = FatTree::new(4);
-        let g = ft.build_graph(10_000, 50_000, 100_000);
-        let pairs = crate::workloads::ping_pong1_pairs(16, 1);
-        let d = Driver::ping_pong(pairs, 5, 1);
-        let r = simulate(
-            g,
-            RoutingAlg::FatTree(ft),
-            link(),
-            RouterParams::paper(),
-            d,
-            1,
-            None,
-        );
-        assert_eq!(r.delivered, r.generated);
-        assert_eq!(r.delivered, 16 / 2 * 2 * 5);
-    }
-
-    #[test]
-    fn ugal_beats_minimal_on_adversarial_traffic() {
-        // ping_pong2-style group pairing concentrates all minimal routes
-        // onto one global link per group pair; UGAL detours around it.
-        let df = Dragonfly::balanced(2); // 72 nodes
-        let run_with = |alg: RoutingAlg| {
-            let g = df.build_graph(10_000, 100_000);
-            let d = Driver::open_loop(72, Pattern::GroupPermutation, 0.6, 40, &link(), 8);
-            simulate(g, alg, link(), RouterParams::paper(), d, 8, None)
-        };
-        let adaptive = run_with(RoutingAlg::Dragonfly(df.clone()));
-        let minimal = run_with(RoutingAlg::DragonflyMinimal(df.clone()));
-        assert!(adaptive.delivery_ratio() > 0.99);
-        assert!(
-            minimal.avg_ns > 1.3 * adaptive.avg_ns,
-            "minimal {} vs adaptive {}",
-            minimal.avg_ns,
-            adaptive.avg_ns
-        );
-    }
-
-    #[test]
-    fn credits_prevent_loss_even_at_saturation() {
-        // Electrical networks are lossless: an oversubscribed hotspot
-        // backs up through credits but every packet eventually lands.
-        let ft = FatTree::new(4);
-        let g = ft.build_graph(10_000, 50_000, 100_000);
-        let d = Driver::open_loop(16, Pattern::Hotspot, 1.0, 30, &link(), 6);
-        let r = simulate(
-            g,
-            RoutingAlg::FatTree(ft),
-            link(),
-            RouterParams::paper(),
-            d,
-            6,
-            None,
-        );
-        assert_eq!(r.delivered, r.generated, "lossless under backpressure");
-        assert_eq!(r.drop_attempts, 0);
-    }
-
-    #[test]
-    fn dead_routers_lose_packets_but_the_network_stays_live() {
-        // 15% dead routers: packets reaching them are terminal losses,
-        // credits are refunded so everything else still flows, and the
-        // run drains with every packet accounted for.
-        let ft = FatTree::new(4);
-        let g = ft.build_graph(10_000, 50_000, 100_000);
-        let d = Driver::open_loop(16, Pattern::RandomPermutation, 0.3, 30, &link(), 12);
-        let plan = FaultPlan::degradation(12, 0.15);
-        let r = simulate_plan(
-            g,
-            RoutingAlg::FatTree(ft),
-            link(),
-            RouterParams::paper(),
-            d,
-            12,
-            None,
-            &plan,
-        );
-        assert!(r.abandoned > 0, "dead routers must eat something");
-        assert!(r.delivered > 0, "the rest of the fabric must still work");
-        assert_eq!(
-            r.delivered + r.abandoned,
-            r.generated,
-            "every packet must be delivered or counted lost"
-        );
-    }
-
-    /// Runs a fat-tree load to drain under `plan` and hands back the
-    /// final model so tests can inspect private credit/queue state.
-    fn run_to_drain(plan: &FaultPlan) -> RouterNet {
-        let ft = FatTree::new(4);
-        let g = ft.build_graph(10_000, 50_000, 100_000);
-        let d = Driver::open_loop(16, Pattern::RandomPermutation, 0.3, 30, &link(), 21);
-        let mut model = RouterNet::new(
-            g,
-            RoutingAlg::FatTree(ft),
-            link(),
-            RouterParams::paper(),
-            d,
-            21,
-            4096,
-        );
-        model.plan = plan.clone();
-        let initial = model.driver.initial();
-        let mut sim = Simulation::new(model);
-        for (node, t) in initial {
-            sim.scheduler_mut()
-                .schedule_at(Time::from_ps(t), Ev::Wake(node));
-        }
-        for (idx, ev) in plan.events.iter().enumerate() {
-            sim.scheduler_mut()
-                .schedule_at(Time::from_ps(ev.at_ps), Ev::Fault(idx as u32));
-        }
-        let stop = sim.run_until(Time::from_ns(500_000_000), u64::MAX);
-        assert_eq!(stop, baldur_sim::StopReason::Drained, "load must drain");
-        sim.into_model()
-    }
-
-    #[test]
-    fn matched_plan_restores_router_state_byte_identically() {
-        // Two routers go down mid-run and come back; at drain, health,
-        // every credit counter, and every queue must match a run that
-        // never saw a fault — repair is exact, not approximate.
-        let plan = FaultPlan::new(77)
-            .outage(2_000_000, 3_000_000, FaultKind::RouterDown { router: 2 })
-            .outage(4_000_000, 2_500_000, FaultKind::RouterDown { router: 7 });
-        let mut faulted = run_to_drain(&plan);
-        let fresh = run_to_drain(&FaultPlan::new(77));
-        assert!(!faulted.any_router_down);
-        assert_eq!(faulted.router_down, fresh.router_down);
-        assert_eq!(
-            faulted.credits, fresh.credits,
-            "router credit state must match"
-        );
-        assert!(faulted.q_head.iter().all(|&h| h == NONE));
-        assert!(faulted.q_len.iter().all(|&l| l == 0));
-        assert_eq!(faulted.out_pending, fresh.out_pending);
-        assert_eq!(
-            faulted.nic_credits, fresh.nic_credits,
-            "NIC credit state must match"
-        );
-        assert!(faulted.nic_head.iter().all(|&h| h == NONE));
-        // The release drain audit agrees nothing leaked.
-        faulted.oracle_check_drained(Time::from_ns(500_000_000));
-        assert!(
-            faulted.oracle.is_clean(),
-            "oracle: {:?}",
-            faulted.oracle.summary()
-        );
-    }
-
-    #[test]
-    fn chaos_router_plan_drains_clean_with_recovery_metrics() {
-        use crate::faults::{ChaosProfile, ChaosShape};
-        let shape = ChaosShape {
-            stages: 0,
-            width: 0,
-            m: 0,
-            nodes: 16,
-            routers: 8,
-        };
-        let profile = ChaosProfile {
-            warmup_ps: 2_000_000,
-            last_repair_ps: 30_000_000,
-            pairs: 4,
-        };
-        let plan = FaultPlan::chaos(33, &shape, &profile);
-        let ft = FatTree::new(4);
-        let g = ft.build_graph(10_000, 50_000, 100_000);
-        let d = Driver::open_loop(16, Pattern::RandomPermutation, 0.3, 40, &link(), 33);
-        let r = simulate_chaos(
-            g,
-            RoutingAlg::FatTree(ft),
-            link(),
-            RouterParams::paper(),
-            d,
-            33,
-            None,
-            &plan,
-            OracleConfig::default(),
-        );
-        assert!(r.oracle.is_clean(), "oracle: {:?}", r.oracle);
-        assert_eq!(r.delivered + r.abandoned, r.generated, "conservation");
-        assert_eq!(
-            r.recoveries.len(),
-            plan.repair_times().len(),
-            "one recovery measurement per repair event"
-        );
-    }
-
-    #[test]
-    fn bounded_nic_queue_sheds_storm_overload_with_conservation() {
-        // A capped NIC injection queue refuses excess incast arrivals at
-        // the edge instead of queueing without bound. Everything admitted
-        // still lands (the fabric stays lossless under credits), so the
-        // shed packets are exactly the conservation gap.
-        let ft = FatTree::new(4);
-        let g = ft.build_graph(10_000, 50_000, 100_000);
-        let d = Driver::storm(16, Pattern::Incast { fanin: 4 }, 3.0, 40, &link(), 9);
-        let rp = RouterParams {
-            nic_queue_cap: 4,
-            ..RouterParams::paper()
-        };
-        let r = simulate(g, RoutingAlg::FatTree(ft), link(), rp, d, 9, None);
-        assert_eq!(r.generated, 4 * 40);
-        assert!(r.ingress_drops > 0, "storm must overflow the capped queue");
-        assert_eq!(r.delivered + r.ingress_drops, r.generated);
-        assert_eq!(r.abandoned, 0, "admitted packets are never lost");
-        assert_eq!(r.fairness.flows, 4, "only the senders offer traffic");
-        assert!(r.fairness.jain > 0.0 && r.fairness.jain <= 1.0);
-        assert!(r.oracle.is_clean(), "oracle: {:?}", r.oracle);
-    }
-
-    #[test]
-    fn nic_deadline_expires_stale_queued_packets_with_conservation() {
-        // A hard incast with a deep NIC queue and a deadline shorter
-        // than the queue wait: stale heads expire at their injection
-        // attempt instead of being transmitted, every packet still has
-        // exactly one terminal outcome, and the oracle stays clean.
-        let ft = FatTree::new(4);
-        let g = ft.build_graph(10_000, 50_000, 100_000);
-        let d = Driver::storm(16, Pattern::Incast { fanin: 8 }, 4.0, 60, &link(), 11);
-        let rp = RouterParams {
-            nic_queue_cap: 32,
-            deadline_ps: 2_000_000, // 2 us age budget
-            ..RouterParams::paper()
-        };
-        let r = simulate(g, RoutingAlg::FatTree(ft), link(), rp, d, 11, None);
-        assert_eq!(r.generated, 8 * 60);
-        assert!(r.expired > 0, "queue wait past the deadline must shed");
-        assert_eq!(
-            r.delivered + r.expired + r.ingress_drops,
-            r.generated,
-            "conservation with expiries"
-        );
-        assert_eq!(r.abandoned, 0, "admitted packets are never lost");
-        assert!(r.oracle.is_clean(), "oracle: {:?}", r.oracle);
-
-        // Deadline off (0) is the paper-faithful default: nothing expires.
-        let ft2 = FatTree::new(4);
-        let g2 = ft2.build_graph(10_000, 50_000, 100_000);
-        let d2 = Driver::storm(16, Pattern::Incast { fanin: 8 }, 4.0, 60, &link(), 11);
-        let rp2 = RouterParams {
-            nic_queue_cap: 32,
-            ..RouterParams::paper()
-        };
-        let r2 = simulate(g2, RoutingAlg::FatTree(ft2), link(), rp2, d2, 11, None);
-        assert_eq!(r2.expired, 0, "deadline 0 never expires");
-        assert_eq!(r2.delivered + r2.ingress_drops, r2.generated);
-    }
-
-    #[test]
-    fn deterministic_for_fixed_seed() {
-        let run = || {
-            let df = Dragonfly::balanced(2);
-            let g = df.build_graph(10_000, 100_000);
-            let d = Driver::open_loop(72, Pattern::Bisection, 0.4, 20, &link(), 9);
-            simulate(
-                g,
-                RoutingAlg::Dragonfly(df),
-                link(),
-                RouterParams::paper(),
-                d,
-                9,
-                None,
-            )
-        };
-        let a = run();
-        let b = run();
-        assert_eq!(a.avg_ns.to_bits(), b.avg_ns.to_bits());
-    }
 }

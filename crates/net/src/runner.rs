@@ -13,7 +13,7 @@ use crate::metrics::LatencyReport;
 use crate::routing::{build_mb_graph, RoutingAlg};
 use crate::traffic::Pattern;
 use crate::workloads::{self, HpcApp, TraceParams};
-use crate::{baldur_net, ideal_net, router_net};
+use crate::{baldur_net, baldur_net_baseline, ideal_net, router_net, router_net_baseline};
 
 /// Which network to simulate (the five of Sec. V-A).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -361,6 +361,97 @@ pub fn run(cfg: &RunConfig) -> LatencyReport {
     }
 }
 
+/// [`run`] through the retired map-based packet models
+/// (`baldur_net_baseline`, `router_net_baseline`) instead of the
+/// struct-of-arrays ones. Exists only for differential testing: for any
+/// configuration both entry points must return byte-identical
+/// [`LatencyReport`]s — the property suite holds them to it. The ideal
+/// network has no retired variant (it never had per-packet hot state),
+/// so it dispatches to the live model.
+///
+/// # Panics
+///
+/// Panics on malformed configurations, exactly like [`run`].
+pub fn run_baseline(cfg: &RunConfig) -> LatencyReport {
+    let driver = build_driver(cfg);
+    let plan = cfg
+        .faults
+        .clone()
+        .unwrap_or_else(|| FaultPlan::new(cfg.seed));
+    match &cfg.network {
+        NetworkKind::Baldur(params) => baldur_net_baseline::simulate_plan(
+            cfg.nodes,
+            *params,
+            cfg.link,
+            driver,
+            cfg.seed,
+            cfg.horizon_ns,
+            &plan,
+        ),
+        NetworkKind::ElectricalMultiButterfly {
+            multiplicity,
+            router,
+        } => {
+            let topo_nodes = cfg.nodes.next_power_of_two().max(4);
+            let mb = MultiButterfly::new(topo_nodes, *multiplicity, cfg.seed);
+            let graph = build_mb_graph(&mb, 100_000, 10_000);
+            router_net_baseline::simulate_plan(
+                graph,
+                RoutingAlg::MultiButterfly(mb),
+                cfg.link,
+                *router,
+                driver,
+                cfg.seed,
+                cfg.horizon_ns,
+                &plan,
+            )
+        }
+        NetworkKind::Dragonfly { router } => {
+            let df = Dragonfly::at_least(u64::from(cfg.nodes));
+            let graph = df.build_graph(10_000, 100_000);
+            router_net_baseline::simulate_plan(
+                graph,
+                RoutingAlg::Dragonfly(df),
+                cfg.link,
+                *router,
+                driver,
+                cfg.seed,
+                cfg.horizon_ns,
+                &plan,
+            )
+        }
+        NetworkKind::DragonflyMinimal { router } => {
+            let df = Dragonfly::at_least(u64::from(cfg.nodes));
+            let graph = df.build_graph(10_000, 100_000);
+            router_net_baseline::simulate_plan(
+                graph,
+                RoutingAlg::DragonflyMinimal(df),
+                cfg.link,
+                *router,
+                driver,
+                cfg.seed,
+                cfg.horizon_ns,
+                &plan,
+            )
+        }
+        NetworkKind::FatTree { router } => {
+            let ft = FatTree::at_least(u64::from(cfg.nodes));
+            let graph = ft.build_graph(10_000, 50_000, 100_000);
+            router_net_baseline::simulate_plan(
+                graph,
+                RoutingAlg::FatTree(ft),
+                cfg.link,
+                *router,
+                driver,
+                cfg.seed,
+                cfg.horizon_ns,
+                &plan,
+            )
+        }
+        NetworkKind::Ideal => ideal_net::simulate(driver, None),
+    }
+}
+
 /// Runs a batch of independent configurations across up to `threads`
 /// workers, returning reports in input order.
 ///
@@ -491,6 +582,17 @@ mod tests {
             out[0].as_ref().ok().map(|r| r.delivered),
             Some(run(&good).delivered)
         );
+    }
+
+    #[test]
+    fn baseline_models_match_soa_models_byte_identically() {
+        // The retired map-based models and the struct-of-arrays models
+        // must agree on the whole report, including float bits, for every
+        // network in the lineup.
+        for (name, net) in NetworkKind::paper_lineup(64) {
+            let cfg = RunConfig::new(64, net, synth(0.3, 15));
+            assert_eq!(run(&cfg), run_baseline(&cfg), "{name}");
+        }
     }
 
     #[test]

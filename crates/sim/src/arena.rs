@@ -1,0 +1,239 @@
+//! Generational arena allocation for kernel-side object populations.
+//!
+//! The datacenter-scale refactor replaces per-object heap allocation
+//! (boxed events, map-of-vec ACK batches) with index handles into flat
+//! slabs. An [`Arena`] hands out [`Handle`]s — a slot index plus a
+//! generation — so a stale handle to a reused slot is detectable instead
+//! of silently aliasing a new tenant. Freed slots go on a free list and
+//! are reused in LIFO order, which keeps the slab dense and the reuse
+//! order deterministic.
+//!
+//! The arena also keeps the allocation counters the perf fabric and the
+//! `scaling` experiment report: live population, high-water mark, total
+//! insertions, and slab capacity (see [`ArenaStats`]).
+
+/// A generational handle into an [`Arena`].
+///
+/// Copyable and order-free: handles are only meaningful against the arena
+/// that issued them. The generation disambiguates reuse — a handle whose
+/// generation no longer matches its slot is dead and resolves to `None`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Handle {
+    slot: u32,
+    generation: u32,
+}
+
+impl Handle {
+    /// The raw slot, for diagnostics only (not a stable identifier —
+    /// slots are reused; the generation is what makes a handle unique).
+    pub fn slot(self) -> u32 {
+        self.slot
+    }
+}
+
+/// One slab slot: the current generation plus the tenant, if any.
+#[derive(Debug, Clone)]
+struct Slot<T> {
+    generation: u32,
+    value: Option<T>,
+}
+
+/// Allocation counters for one arena, in the shape the perf fabric and
+/// the `scaling` experiment report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ArenaStats {
+    /// Currently live entries.
+    pub live: u64,
+    /// Peak simultaneous live entries over the arena's lifetime.
+    pub high_water: u64,
+    /// Total insertions ever (reuse included).
+    pub total_inserts: u64,
+    /// Slab slots allocated (live + free-listed).
+    pub slots: u64,
+}
+
+/// A generational slab allocator: `insert` returns a [`Handle`], `remove`
+/// retires it and recycles the slot. All storage is two flat `Vec`s — no
+/// per-entry heap allocation once the slab has grown to its working set.
+#[derive(Debug, Clone)]
+pub struct Arena<T> {
+    slots: Vec<Slot<T>>,
+    free: Vec<u32>,
+    live: u64,
+    high_water: u64,
+    total_inserts: u64,
+}
+
+impl<T> Arena<T> {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Arena {
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            high_water: 0,
+            total_inserts: 0,
+        }
+    }
+
+    /// An empty arena with slab capacity for `cap` entries.
+    pub fn with_capacity(cap: usize) -> Self {
+        Arena {
+            slots: Vec::with_capacity(cap),
+            free: Vec::new(),
+            live: 0,
+            high_water: 0,
+            total_inserts: 0,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn live(&self) -> u64 {
+        self.live
+    }
+
+    /// True when no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Allocation counters.
+    pub fn stats(&self) -> ArenaStats {
+        ArenaStats {
+            live: self.live,
+            high_water: self.high_water,
+            total_inserts: self.total_inserts,
+            slots: self.slots.len() as u64,
+        }
+    }
+
+    /// Bytes of slab storage currently reserved (capacity, not live
+    /// population) — the exact figure the `scaling` experiment charges
+    /// per endpoint.
+    pub fn state_bytes(&self) -> u64 {
+        (self.slots.capacity() * std::mem::size_of::<Slot<T>>()
+            + self.free.capacity() * std::mem::size_of::<u32>()) as u64
+    }
+
+    /// Inserts `value`, returning its handle. Reuses the most recently
+    /// freed slot when one exists (LIFO — deterministic and cache-warm).
+    pub fn insert(&mut self, value: T) -> Handle {
+        self.total_inserts += 1;
+        self.live += 1;
+        if self.live > self.high_water {
+            self.high_water = self.live;
+        }
+        if let Some(slot) = self.free.pop() {
+            let s = &mut self.slots[slot as usize];
+            s.value = Some(value);
+            return Handle {
+                slot,
+                generation: s.generation,
+            };
+        }
+        let slot = u32::try_from(self.slots.len()).unwrap_or(u32::MAX);
+        debug_assert!(slot < u32::MAX, "arena slab exceeded u32 slots");
+        self.slots.push(Slot {
+            generation: 0,
+            value: Some(value),
+        });
+        Handle {
+            slot,
+            generation: 0,
+        }
+    }
+
+    /// Shared access to a live entry (`None` for stale or foreign handles).
+    pub fn get(&self, h: Handle) -> Option<&T> {
+        self.slots
+            .get(h.slot as usize)
+            .filter(|s| s.generation == h.generation)
+            .and_then(|s| s.value.as_ref())
+    }
+
+    /// Exclusive access to a live entry.
+    pub fn get_mut(&mut self, h: Handle) -> Option<&mut T> {
+        self.slots
+            .get_mut(h.slot as usize)
+            .filter(|s| s.generation == h.generation)
+            .and_then(|s| s.value.as_mut())
+    }
+
+    /// Removes a live entry, returning it and retiring the handle. A
+    /// stale or foreign handle is a no-op returning `None`.
+    pub fn remove(&mut self, h: Handle) -> Option<T> {
+        let s = self.slots.get_mut(h.slot as usize)?;
+        if s.generation != h.generation {
+            return None;
+        }
+        let value = s.value.take()?;
+        s.generation = s.generation.wrapping_add(1);
+        self.free.push(h.slot);
+        self.live -= 1;
+        Some(value)
+    }
+}
+
+impl<T> Default for Arena<T> {
+    fn default() -> Self {
+        Arena::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut a = Arena::new();
+        let h1 = a.insert("one");
+        let h2 = a.insert("two");
+        assert_eq!(a.get(h1), Some(&"one"));
+        assert_eq!(a.get(h2), Some(&"two"));
+        assert_eq!(a.live(), 2);
+        assert_eq!(a.remove(h1), Some("one"));
+        assert_eq!(a.get(h1), None);
+        assert_eq!(a.live(), 1);
+    }
+
+    #[test]
+    fn stale_handles_are_dead_after_reuse() {
+        let mut a = Arena::new();
+        let h1 = a.insert(1u64);
+        assert_eq!(a.remove(h1), Some(1));
+        let h2 = a.insert(2u64);
+        // LIFO reuse: same slot, new generation.
+        assert_eq!(h1.slot(), h2.slot());
+        assert_ne!(h1, h2);
+        assert_eq!(a.get(h1), None);
+        assert_eq!(a.remove(h1), None);
+        assert_eq!(a.get(h2), Some(&2));
+    }
+
+    #[test]
+    fn counters_track_high_water_and_totals() {
+        let mut a = Arena::new();
+        let hs: Vec<Handle> = (0..10u64).map(|i| a.insert(i)).collect();
+        for &h in &hs[..7] {
+            a.remove(h);
+        }
+        a.insert(99);
+        let s = a.stats();
+        assert_eq!(s.live, 4);
+        assert_eq!(s.high_water, 10);
+        assert_eq!(s.total_inserts, 11);
+        assert_eq!(s.slots, 10);
+        assert!(a.state_bytes() > 0);
+    }
+
+    #[test]
+    fn get_mut_edits_in_place() {
+        let mut a = Arena::new();
+        let h = a.insert(vec![1u32]);
+        if let Some(v) = a.get_mut(h) {
+            v.push(2);
+        }
+        assert_eq!(a.get(h), Some(&vec![1, 2]));
+    }
+}

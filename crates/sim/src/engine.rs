@@ -57,6 +57,14 @@ enum Queue<E> {
     Calendar(CalendarQueue<E>),
 }
 
+/// Pending-event population above which an auto-promoting scheduler
+/// migrates its heap into a calendar queue. Below this the binary heap's
+/// lower constant factors win; above it the calendar queue's O(1)
+/// amortized enqueue/dequeue takes over (big network runs keep hundreds
+/// of thousands of events in flight). Promotion is invisible to results:
+/// both backends pop the exact same `(time, seq)` order.
+pub const PROMOTE_PENDING: usize = 16_384;
+
 impl<E> Queue<E> {
     fn len(&self) -> usize {
         match self {
@@ -100,6 +108,13 @@ pub struct Scheduler<E> {
     now: Time,
     seq: u64,
     executed: u64,
+    /// Auto-promote the heap to a calendar queue past [`PROMOTE_PENDING`]
+    /// pending events (set by [`Scheduler::new`]; the explicit-backend
+    /// constructors pin their backend for differential tests and the
+    /// scheduler microbenchmarks).
+    auto_promote: bool,
+    /// Peak simultaneous pending events over the scheduler's lifetime.
+    peak_pending: usize,
     /// `(time, seq)` of the last popped event, for the `validate`-feature
     /// invariant checks (popped times never decrease; same-time pops obey
     /// FIFO order).
@@ -108,15 +123,31 @@ pub struct Scheduler<E> {
 }
 
 impl<E> Scheduler<E> {
-    /// Creates an empty scheduler at time zero (binary-heap backed).
+    /// Creates an empty scheduler at time zero. Starts binary-heap backed
+    /// and promotes itself to a calendar queue when the pending population
+    /// crosses [`PROMOTE_PENDING`] — the right default at every scale,
+    /// since both backends deliver identical pop order.
     pub fn new() -> Self {
         Scheduler {
             queue: Queue::Heap(BinaryHeap::new()),
             now: Time::ZERO,
             seq: 0,
             executed: 0,
+            auto_promote: true,
+            peak_pending: 0,
             #[cfg(feature = "validate")]
             last_pop: None,
+        }
+    }
+
+    /// Creates an empty scheduler pinned to the binary heap (never
+    /// promotes). For backend-differential tests and the `sched_heap`
+    /// microbenchmark, which must measure the heap even past the
+    /// promotion threshold.
+    pub fn new_heap() -> Self {
+        Scheduler {
+            auto_promote: false,
+            ..Scheduler::new()
         }
     }
 
@@ -127,6 +158,8 @@ impl<E> Scheduler<E> {
             now: Time::ZERO,
             seq: 0,
             executed: 0,
+            auto_promote: false,
+            peak_pending: 0,
             #[cfg(feature = "validate")]
             last_pop: None,
         }
@@ -151,6 +184,25 @@ impl<E> Scheduler<E> {
         self.queue.len()
     }
 
+    /// Peak simultaneous pending events over the scheduler's lifetime —
+    /// the event-list high-water mark the `scaling` experiment reports.
+    #[inline]
+    pub fn peak_pending(&self) -> usize {
+        self.peak_pending
+    }
+
+    /// Total events ever scheduled (the tie-break sequence counter).
+    #[inline]
+    pub fn events_scheduled(&self) -> u64 {
+        self.seq
+    }
+
+    /// True when the event list is currently calendar-queue backed
+    /// (either constructed that way or auto-promoted).
+    pub fn calendar_backed(&self) -> bool {
+        matches!(self.queue, Queue::Calendar(_))
+    }
+
     /// Schedules `event` at absolute instant `at`.
     ///
     /// # Panics
@@ -161,6 +213,27 @@ impl<E> Scheduler<E> {
         assert!(at >= self.now, "cannot schedule into the past");
         self.queue.push(at, self.seq, event);
         self.seq += 1;
+        let depth = self.queue.len();
+        if depth > self.peak_pending {
+            self.peak_pending = depth;
+        }
+        if self.auto_promote && depth > PROMOTE_PENDING {
+            self.promote();
+        }
+    }
+
+    /// Drains the heap into a calendar queue, preserving every `(time,
+    /// seq)` pair. Pop order is unchanged by construction — the calendar
+    /// queue orders by the same key — so promotion never perturbs a run.
+    fn promote(&mut self) {
+        let Queue::Heap(heap) = &mut self.queue else {
+            return;
+        };
+        let mut cal = CalendarQueue::new();
+        for s in std::mem::take(heap) {
+            cal.push(s.at, s.seq, s.event);
+        }
+        self.queue = Queue::Calendar(cal);
     }
 
     /// Schedules `event` after `delay` from the current time.
@@ -452,6 +525,31 @@ mod tests {
         // Force time forward.
         sched.pop();
         sched.schedule_at(Time::from_ns(1), ());
+    }
+
+    #[test]
+    fn auto_promotion_preserves_pop_order_and_counters() {
+        let mut auto = Scheduler::<u64>::new();
+        let mut heap = Scheduler::<u64>::new_heap();
+        let n = (PROMOTE_PENDING + 1_000) as u64;
+        // A colliding timestamp pattern so FIFO tie-breaks matter.
+        for i in 0..n {
+            let at = Time::from_ps((i * 7919) % 4_096);
+            auto.schedule_at(at, i);
+            heap.schedule_at(at, i);
+        }
+        assert!(auto.calendar_backed(), "population crossed the threshold");
+        assert!(!heap.calendar_backed(), "pinned heap never promotes");
+        assert_eq!(auto.peak_pending(), PROMOTE_PENDING + 1_000);
+        assert_eq!(auto.events_scheduled(), n);
+        loop {
+            let a = auto.pop_scheduled();
+            let h = heap.pop_scheduled();
+            assert_eq!(a, h, "promotion changed delivery order");
+            if a.is_none() {
+                break;
+            }
+        }
     }
 
     #[test]

@@ -6,7 +6,10 @@
 //!
 //! * [`Time`] / [`Duration`] — integer picosecond simulated time,
 //! * [`Scheduler`] / [`Simulation`] — a deterministic event queue and run
-//!   loop generic over the model's event type,
+//!   loop generic over the model's event type (heap-backed, self-promoting
+//!   to a calendar queue at datacenter-scale event populations),
+//! * [`Arena`] — generational slab allocation with index [`Handle`]s for
+//!   kernel-side object populations (no per-object boxes on hot paths),
 //! * [`rng`] — reproducible, stream-split random number generation,
 //! * [`par`] — a work-stealing thread pool that fans independent runs
 //!   across workers while keeping output order (and thus bytes) identical
@@ -40,6 +43,7 @@
 //! assert_eq!(sim.model().fired, 10);
 //! ```
 
+pub mod arena;
 pub mod calendar;
 pub mod engine;
 pub mod par;
@@ -47,5 +51,6 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
+pub use arena::{Arena, ArenaStats, Handle};
 pub use engine::{Model, Scheduler, Simulation, StopReason};
 pub use time::{Duration, Time};

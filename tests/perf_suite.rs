@@ -69,7 +69,26 @@ fn sample_report() -> BenchReport {
             optimized,
             speedup_median: 2.5,
         }],
+        peak_rss_bytes: 48 * 1024 * 1024,
     }
+}
+
+/// Pre-probe artifacts (no `peak_rss_bytes` key) must keep parsing: the
+/// committed `BENCH_8.json` predates the memory probe.
+#[test]
+fn bench_report_parses_without_peak_rss_field() {
+    use serde::{Deserialize, Serialize, Value};
+    let report = sample_report();
+    let mut value = report.to_value();
+    let Value::Object(entries) = &mut value else {
+        panic!("report must lower to an object");
+    };
+    let before = entries.len();
+    entries.retain(|(key, _)| key != "peak_rss_bytes");
+    assert_eq!(entries.len(), before - 1, "field present before stripping");
+    let back = BenchReport::from_value(&value).expect("parse without peak_rss_bytes");
+    assert_eq!(back.peak_rss_bytes, 0);
+    assert_eq!(back.benches, report.benches);
 }
 
 #[test]

@@ -529,6 +529,59 @@ fn overload_storms_conserve_packets_and_bound_queues() {
     }
 }
 
+/// Struct-of-arrays refactor safety net: for 16 seeded workloads across
+/// both packet models ({baldur, fattree}), both traffic shapes
+/// ({uniform, incast}), and both scales (64 and 256 nodes), the live
+/// SoA state layout and the retired map-based `_baseline` models return
+/// byte-identical `LatencyReport`s — every counter, every float bit,
+/// the oracle summary, and the conservation ledger included. The whole
+/// report derives `PartialEq`, so a single `assert_eq!` covers it all.
+#[test]
+fn soa_models_match_retired_baselines_byte_identically() {
+    use baldur::net::config::{BaldurParams, RouterParams};
+    use baldur::net::runner::{run, run_baseline, NetworkKind, RunConfig, Workload};
+    use baldur::net::traffic::Pattern;
+
+    for case in 0..16 {
+        let mut rng = case_rng("soadiff", case);
+        let nodes = if case % 2 == 0 { 64u32 } else { 256 };
+        let pattern = if case % 4 < 2 {
+            Pattern::UniformRandom
+        } else {
+            Pattern::Incast {
+                fanin: (nodes / 8).max(2),
+            }
+        };
+        let load = [0.3, 0.7, 1.5][case as usize % 3];
+        let seed = rng.next_u64();
+        let workload = Workload::Storm {
+            pattern,
+            load,
+            packets_per_node: rng.gen_range(4u32..10),
+        };
+        let mut bp = BaldurParams::paper_for(u64::from(nodes));
+        bp.ingress_cap = rng.gen_range(4u32..16);
+        bp.pacing_window = rng.gen_range(0u32..3);
+        bp.ack_coalesce_ps = [0, 300_000][case as usize % 2];
+        let mut rp = RouterParams::paper();
+        rp.nic_queue_cap = bp.ingress_cap;
+        for net in [NetworkKind::Baldur(bp), NetworkKind::FatTree { router: rp }] {
+            let label = net.name();
+            let cfg = RunConfig {
+                seed,
+                ..RunConfig::new(nodes, net, workload)
+            };
+            let live = run(&cfg);
+            let retired = run_baseline(&cfg);
+            assert_eq!(
+                live, retired,
+                "case {case} {label} nodes {nodes}: SoA diverged from baseline"
+            );
+            assert!(live.generated > 0, "case {case} {label}: empty workload");
+        }
+    }
+}
+
 /// The two scheduler backends (binary heap and calendar queue) deliver
 /// byte-identical `(time, seq, event)` pop sequences on any workload —
 /// including bursty waves, tight same-timestamp clusters, and the

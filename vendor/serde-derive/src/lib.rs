@@ -10,7 +10,9 @@
 //!   `#[serde(transparent)]`, as an array otherwise),
 //! * unit structs,
 //! * enums with unit, tuple, and struct variants (externally tagged, like
-//!   real serde's default representation).
+//!   real serde's default representation),
+//! * `#[serde(default)]` on named fields — absent keys deserialize to
+//!   `Default::default()` (schema-evolution for committed artifacts).
 //!
 //! Generic type parameters are intentionally rejected with a clear panic —
 //! nothing in the workspace derives on a generic type.
@@ -20,12 +22,22 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 /// One parsed field: its name (named structs/variants) or index.
 #[derive(Debug)]
 struct Fields {
-    /// Named field identifiers, in declaration order.
-    named: Vec<String>,
+    /// Named field identifiers with their `#[serde(default)]` flag, in
+    /// declaration order.
+    named: Vec<(String, bool)>,
     /// Count of tuple fields (used when `named` is empty).
     tuple_len: usize,
     /// True for named-field bodies even when empty.
     is_named: bool,
+}
+
+/// Flags gathered from the `#[serde(...)]` attributes ahead of an item.
+#[derive(Debug, Default, Clone, Copy)]
+struct Attrs {
+    /// `#[serde(transparent)]` was present.
+    transparent: bool,
+    /// `#[serde(default)]` was present (named fields only).
+    default: bool,
 }
 
 #[derive(Debug)]
@@ -164,11 +176,19 @@ fn deserialize_body(input: &Input) -> String {
 }
 
 /// `f1: ::serde::de::field(entries, "Ty", "f1")?, ...` initializers for a
-/// named-field struct or enum variant.
-fn named_fields_init(ty: &str, names: &[String]) -> String {
+/// named-field struct or enum variant. Fields marked `#[serde(default)]`
+/// go through `field_or_default` so their absence is not an error.
+fn named_fields_init(ty: &str, names: &[(String, bool)]) -> String {
     names
         .iter()
-        .map(|f| format!("{f}: ::serde::de::field(entries, \"{ty}\", \"{f}\")?"))
+        .map(|(f, default)| {
+            let getter = if *default {
+                "field_or_default"
+            } else {
+                "field"
+            };
+            format!("{f}: ::serde::de::{getter}(entries, \"{ty}\", \"{f}\")?")
+        })
         .collect::<Vec<_>>()
         .join(", ")
 }
@@ -204,7 +224,12 @@ fn serialize_body(input: &Input) -> String {
             let mut arms = String::new();
             for (vname, fields, transparent) in variants {
                 let arm = if fields.is_named {
-                    let binds = fields.named.join(", ");
+                    let binds = fields
+                        .named
+                        .iter()
+                        .map(|(f, _)| f.as_str())
+                        .collect::<Vec<_>>()
+                        .join(", ");
                     let inner = named_fields_value(&fields.named, "");
                     format!(
                         "{name}::{vname} {{ {binds} }} => ::serde::Value::Object(::std::vec![\
@@ -241,10 +266,10 @@ fn serialize_body(input: &Input) -> String {
     }
 }
 
-fn named_fields_value(names: &[String], accessor_prefix: &str) -> String {
+fn named_fields_value(names: &[(String, bool)], accessor_prefix: &str) -> String {
     let items: Vec<String> = names
         .iter()
-        .map(|f| {
+        .map(|(f, _)| {
             format!(
                 "(::std::string::String::from(\"{f}\"), \
                  ::serde::Serialize::to_value(&{accessor_prefix}{f}))"
@@ -258,7 +283,7 @@ fn parse(input: TokenStream) -> Input {
     let tokens: Vec<TokenTree> = input.into_iter().collect();
     let mut i = 0;
 
-    let transparent = skip_attributes(&tokens, &mut i);
+    let transparent = skip_attributes(&tokens, &mut i).transparent;
     skip_visibility(&tokens, &mut i);
 
     let kind = match &tokens[i] {
@@ -313,29 +338,32 @@ fn parse(input: TokenStream) -> Input {
     }
 }
 
-/// Skips leading attributes; returns whether `#[serde(transparent)]` was
+/// Skips leading attributes; returns the `#[serde(...)]` flags found
 /// among them.
-fn skip_attributes(tokens: &[TokenTree], i: &mut usize) -> bool {
-    let mut transparent = false;
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) -> Attrs {
+    let mut attrs = Attrs::default();
     while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
         *i += 1;
         if let Some(TokenTree::Group(g)) = tokens.get(*i) {
-            if attribute_is_serde_transparent(g.stream()) {
-                transparent = true;
+            if attribute_has_serde_word(g.stream(), "transparent") {
+                attrs.transparent = true;
+            }
+            if attribute_has_serde_word(g.stream(), "default") {
+                attrs.default = true;
             }
             *i += 1;
         }
     }
-    transparent
+    attrs
 }
 
-fn attribute_is_serde_transparent(stream: TokenStream) -> bool {
+fn attribute_has_serde_word(stream: TokenStream, word: &str) -> bool {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
     match (tokens.first(), tokens.get(1)) {
         (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) if id.to_string() == "serde" => {
             args.stream()
                 .into_iter()
-                .any(|t| matches!(&t, TokenTree::Ident(a) if a.to_string() == "transparent"))
+                .any(|t| matches!(&t, TokenTree::Ident(a) if a.to_string() == word))
         }
         _ => false,
     }
@@ -378,7 +406,7 @@ fn parse_named_fields(stream: TokenStream) -> Fields {
     let mut names = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        skip_attributes(&tokens, &mut i);
+        let attrs = skip_attributes(&tokens, &mut i);
         if i >= tokens.len() {
             break;
         }
@@ -387,7 +415,7 @@ fn parse_named_fields(stream: TokenStream) -> Fields {
             TokenTree::Ident(id) => id.to_string(),
             other => panic!("expected field name, found {other}"),
         };
-        names.push(field);
+        names.push((field, attrs.default));
         i += 1;
         match tokens.get(i) {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
@@ -428,7 +456,7 @@ fn parse_variants(stream: TokenStream) -> Vec<(String, Fields, bool)> {
     let mut variants = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        let transparent = skip_attributes(&tokens, &mut i);
+        let transparent = skip_attributes(&tokens, &mut i).transparent;
         if i >= tokens.len() {
             break;
         }

@@ -175,6 +175,25 @@ pub mod de {
         }
     }
 
+    /// Extracts and deserializes field `name` of struct/variant `ty`,
+    /// falling back to `T::default()` when the key is absent (the
+    /// `#[serde(default)]` contract: older artifacts written before the
+    /// field existed keep parsing).
+    ///
+    /// # Errors
+    /// When the field is present but malformed.
+    pub fn field_or_default<T: Deserialize + Default>(
+        entries: &[(String, Value)],
+        ty: &str,
+        name: &str,
+    ) -> Result<T, DeError> {
+        match entries.iter().find(|(k, _)| k == name) {
+            Some((_, v)) => T::from_value(v)
+                .map_err(|e| DeError::new(format!("in {ty}.{name}: {}", e.message()))),
+            None => Ok(T::default()),
+        }
+    }
+
     /// Deserializes element `idx` of a tuple shape `ty`.
     ///
     /// # Errors
